@@ -1,0 +1,230 @@
+// Command dlc compiles programs in the Datalog dialect and, with -i,
+// drives them interactively: stage insertions and deletions, commit
+// transactions, and watch the incremental output deltas.
+//
+//	dlc program.dl            # compile and type-check
+//	dlc -i program.dl         # interactive session
+//
+// Interactive commands:
+//
+//	insert Rel(value, ...)    stage an insertion
+//	delete Rel(value, ...)    stage a deletion
+//	commit                    apply the staged transaction
+//	dump Rel                  print a relation's contents
+//	relations                 list relations
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dl"
+	"repro/internal/dl/engine"
+	"repro/internal/dl/typecheck"
+	"repro/internal/dl/value"
+)
+
+func main() {
+	interactive := flag.Bool("i", false, "start an interactive session after compiling")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dlc [-i] program.dl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("reading program: %v", err)
+	}
+	prog, err := dl.Compile(string(src))
+	if err != nil {
+		log.Fatalf("compile error: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dlc: %s compiles (%d relations, %d rules)\n",
+		flag.Arg(0), len(prog.Checked.Relations), len(prog.Checked.Rules))
+	if !*interactive {
+		return
+	}
+	rt, err := prog.NewRuntime(engine.Options{})
+	if err != nil {
+		log.Fatalf("runtime: %v", err)
+	}
+	repl(prog, rt, os.Stdin, os.Stdout)
+}
+
+func repl(prog *dl.Program, rt *engine.Runtime, in io.Reader, out io.Writer) {
+	scanner := bufio.NewScanner(in)
+	var staged []engine.Update
+	fmt.Fprint(out, "> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+		case line == "quit" || line == "exit":
+			return
+		case line == "relations":
+			for _, name := range rt.Relations() {
+				rel := prog.Relation(name)
+				cols := make([]string, len(rel.Cols))
+				for i, c := range rel.Cols {
+					cols[i] = fmt.Sprintf("%s: %s", c.Name, c.Type)
+				}
+				fmt.Fprintf(out, "%s relation %s(%s)\n", rel.Role, name, strings.Join(cols, ", "))
+			}
+		case line == "commit":
+			delta, err := rt.Apply(staged)
+			staged = nil
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			if len(delta) == 0 {
+				fmt.Fprintln(out, "no output changes")
+			}
+			for rel, z := range delta {
+				for _, e := range z.Entries() {
+					sign := "+"
+					if e.Weight < 0 {
+						sign = "-"
+					}
+					fmt.Fprintf(out, "%s %s%s\n", sign, rel, e.Rec)
+				}
+			}
+		case strings.HasPrefix(line, "dump "):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "dump "))
+			recs, err := rt.Contents(name)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			for _, r := range recs {
+				fmt.Fprintf(out, "%s%s\n", name, r)
+			}
+			fmt.Fprintf(out, "(%d records)\n", len(recs))
+		case strings.HasPrefix(line, "insert ") || strings.HasPrefix(line, "delete "):
+			up, err := parseUpdate(prog, line)
+			if err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				break
+			}
+			staged = append(staged, up)
+			fmt.Fprintf(out, "staged (%d pending; 'commit' to apply)\n", len(staged))
+		default:
+			fmt.Fprintln(out, "commands: insert Rel(v, ...) | delete Rel(v, ...) | commit | dump Rel | relations | quit")
+		}
+		fmt.Fprint(out, "> ")
+	}
+}
+
+// parseUpdate parses "insert Rel(v1, v2, ...)" using the relation's column
+// types to interpret the values.
+func parseUpdate(prog *dl.Program, line string) (engine.Update, error) {
+	insert := strings.HasPrefix(line, "insert ")
+	rest := strings.TrimSpace(line[len("insert "):])
+	open := strings.Index(rest, "(")
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return engine.Update{}, fmt.Errorf("expected Rel(value, ...)")
+	}
+	relName := strings.TrimSpace(rest[:open])
+	rel := prog.Relation(relName)
+	if rel == nil {
+		return engine.Update{}, fmt.Errorf("unknown relation %q", relName)
+	}
+	args, err := splitArgs(rest[open+1 : len(rest)-1])
+	if err != nil {
+		return engine.Update{}, err
+	}
+	if len(args) != len(rel.Cols) {
+		return engine.Update{}, fmt.Errorf("relation %s has %d columns, got %d",
+			relName, len(rel.Cols), len(args))
+	}
+	rec := make(value.Record, len(args))
+	for i, a := range args {
+		v, err := parseValue(a, rel.Cols[i])
+		if err != nil {
+			return engine.Update{}, fmt.Errorf("argument %d: %w", i+1, err)
+		}
+		rec[i] = v
+	}
+	return engine.Update{Relation: relName, Rec: rec, Insert: insert}, nil
+}
+
+// splitArgs splits a comma-separated argument list, honoring quotes.
+func splitArgs(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(s) {
+				i++
+				cur.WriteByte(s[i])
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+			cur.WriteByte(c)
+		case c == ',':
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("unterminated string")
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" || len(out) > 0 {
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func parseValue(s string, col typecheck.Column) (value.Value, error) {
+	switch col.Type.Kind {
+	case value.TBool:
+		switch s {
+		case "true":
+			return value.Bool(true), nil
+		case "false":
+			return value.Bool(false), nil
+		}
+		return value.Value{}, fmt.Errorf("%q is not a bool", s)
+	case value.TInt:
+		n, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%q is not an int", s)
+		}
+		return value.Int(n), nil
+	case value.TBit:
+		n, err := strconv.ParseUint(s, 0, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("%q is not a bit<%d>", s, col.Type.Width)
+		}
+		if value.MaskBits(n, col.Type.Width) != n {
+			return value.Value{}, fmt.Errorf("%d overflows bit<%d>", n, col.Type.Width)
+		}
+		return value.Bit(n), nil
+	case value.TString:
+		if strings.HasPrefix(s, `"`) {
+			unq, err := strconv.Unquote(s)
+			if err != nil {
+				return value.Value{}, fmt.Errorf("bad string %s", s)
+			}
+			return value.String(unq), nil
+		}
+		return value.String(s), nil
+	default:
+		return value.Value{}, fmt.Errorf("column type %s not supported interactively", col.Type)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dl"
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+)
+
+const testProg = `
+input relation R(s: string, n: int, b: bit<8>, f: bool)
+output relation O(s: string)
+O(s) :- R(s, _, _, true).
+`
+
+func testProgram(t *testing.T) *dl.Program {
+	t.Helper()
+	prog, err := dl.Compile(testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`1, 2, 3`, []string{"1", "2", "3"}},
+		{`"a,b", 2`, []string{`"a,b"`, "2"}},
+		{`"esc\"aped", x`, []string{`"esc\"aped"`, "x"}},
+		{``, nil},
+		{`solo`, []string{"solo"}},
+	}
+	for _, c := range cases {
+		got, err := splitArgs(c.in)
+		if err != nil {
+			t.Errorf("splitArgs(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("splitArgs(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitArgs(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+	if _, err := splitArgs(`"unterminated`); err == nil {
+		t.Errorf("unterminated string accepted")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	prog := testProgram(t)
+	up, err := parseUpdate(prog, `insert R("hello", -4, 0xff, true)`)
+	if err != nil {
+		t.Fatalf("parseUpdate: %v", err)
+	}
+	if !up.Insert || up.Relation != "R" {
+		t.Fatalf("update = %+v", up)
+	}
+	want := value.Record{value.String("hello"), value.Int(-4), value.Bit(255), value.Bool(true)}
+	if !up.Rec.Equal(want) {
+		t.Fatalf("record = %v, want %v", up.Rec, want)
+	}
+	up, err = parseUpdate(prog, `delete R(bare, 1, 2, false)`)
+	if err != nil {
+		t.Fatalf("parseUpdate delete: %v", err)
+	}
+	if up.Insert || up.Rec[0].Str() != "bare" {
+		t.Fatalf("delete update = %+v", up)
+	}
+	bad := []string{
+		`insert Nope(1)`,
+		`insert R(1)`,                      // arity
+		`insert R("s", notanint, 2, true)`, // type
+		`insert R("s", 1, 300, true)`,      // bit overflow
+		`insert R("s", 1, 2, maybe)`,       // bool
+		`insert R "s", 1, 2, true`,         // syntax
+	}
+	for _, line := range bad {
+		if _, err := parseUpdate(prog, line); err == nil {
+			t.Errorf("parseUpdate(%q) succeeded", line)
+		}
+	}
+}
+
+func TestReplSession(t *testing.T) {
+	prog := testProgram(t)
+	rt, err := prog.NewRuntime(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session := `relations
+insert R("a", 1, 2, true)
+insert R("b", 1, 2, false)
+commit
+dump O
+delete R("a", 1, 2, true)
+commit
+dump O
+bogus command
+quit
+`
+	var out bytes.Buffer
+	repl(prog, rt, strings.NewReader(session), &out)
+	text := out.String()
+	for _, want := range []string{
+		`input relation R`,
+		`staged (1 pending`,
+		`+ O("a")`,
+		`O("a")` + "\n(1 records)",
+		`- O("a")`,
+		`(0 records)`,
+		"commands:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("session output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command nerpa-bench regenerates the paper's tables and figures
+// (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results).
+//
+//	nerpa-bench -exp all            # everything at paper scale
+//	nerpa-bench -exp ports -n 2000  # T1, the §4.3 2000-port measurement
+//	nerpa-bench -exp lb|incr|label|label-dense|fig3|loc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, all")
+	n := flag.Int("n", 2000, "ports for -exp ports")
+	vips := flag.Int("vips", 50, "load balancers for -exp lb")
+	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
+	changes := flag.Int("changes", 50, "changes for -exp incr")
+	nodes := flag.Int("nodes", 20000, "nodes for -exp label")
+	churn := flag.Int("churn", 100, "link events for -exp label")
+	flag.Parse()
+
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		res, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(res)
+	}
+
+	any := false
+	want := func(name string) bool {
+		if *exp == "all" || *exp == name {
+			any = true
+			return true
+		}
+		return false
+	}
+
+	if want("fig3") {
+		run("fig3", func() (fmt.Stringer, error) { return bench.RunFig3(), nil })
+	}
+	if want("ports") {
+		run("ports", func() (fmt.Stringer, error) { return bench.RunPortScale(*n) })
+	}
+	if want("loc") {
+		run("loc", func() (fmt.Stringer, error) { return bench.RunLOC() })
+	}
+	if want("lb") {
+		run("lb", func() (fmt.Stringer, error) { return bench.RunLoadBalancer(*vips, *backends) })
+	}
+	if want("incr") {
+		run("incr", func() (fmt.Stringer, error) {
+			return bench.RunIncrVsRecompute([]int{100, 500, 2000, 8000}, *changes)
+		})
+	}
+	if want("label") {
+		run("label", func() (fmt.Stringer, error) { return bench.RunLabeling(*nodes, 0, *churn) })
+	}
+	if want("label-dense") || *exp == "all" {
+		run("label-dense", func() (fmt.Stringer, error) {
+			// The documented adversarial case; kept small because every
+			// deletion cascades across the whole reachable set.
+			return bench.RunLabelingDense(1000, 3000, 20)
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Command nerpa-codegen generates control-plane relation declarations
+// from the other two planes (the paper's Fig. 5 tooling): input relations
+// from an OVSDB schema, output relations and digest inputs from a P4
+// program.
+//
+//	nerpa-codegen [-schema file.ovsschema] [-p4 file.p4] [-rules rules.dl]
+//
+// Without flags it generates from the built-in snvs artifacts. With
+// -rules it additionally compiles the generated declarations together
+// with the given rules and reports type errors (the unified cross-plane
+// check).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+	"repro/internal/snvs"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", ".ovsschema file (default: built-in snvs schema)")
+	p4Path := flag.String("p4", "", "P4 subset program (default: built-in snvs.p4)")
+	rulesPath := flag.String("rules", "", "rules to type-check against the generated declarations")
+	flag.Parse()
+
+	var schema *ovsdb.DatabaseSchema
+	var err error
+	if *schemaPath != "" {
+		data, rerr := os.ReadFile(*schemaPath)
+		if rerr != nil {
+			log.Fatalf("reading schema: %v", rerr)
+		}
+		schema, err = ovsdb.ParseSchema(data)
+	} else {
+		schema, err = snvs.Schema()
+	}
+	if err != nil {
+		log.Fatalf("parsing schema: %v", err)
+	}
+
+	var prog *p4.Program
+	if *p4Path != "" {
+		src, rerr := os.ReadFile(*p4Path)
+		if rerr != nil {
+			log.Fatalf("reading program: %v", rerr)
+		}
+		prog, err = p4.ParseProgram("pipeline", string(src))
+		if err != nil {
+			log.Fatalf("parsing program: %v", err)
+		}
+	} else {
+		prog = snvs.Pipeline()
+	}
+	info, err := p4.BuildP4Info(prog)
+	if err != nil {
+		log.Fatalf("building p4info: %v", err)
+	}
+
+	gen, err := codegen.Generate(schema, info, codegen.Options{WithMulticast: true})
+	if err != nil {
+		log.Fatalf("codegen: %v", err)
+	}
+	fmt.Print(gen.Decls)
+
+	if *rulesPath != "" {
+		rules, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			log.Fatalf("reading rules: %v", err)
+		}
+		if _, err := gen.CompileWith(string(rules)); err != nil {
+			log.Fatalf("cross-plane type check failed: %v", err)
+		}
+		fmt.Fprintln(os.Stderr, "nerpa-codegen: cross-plane type check passed")
+	}
+}

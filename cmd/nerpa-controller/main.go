@@ -1,0 +1,84 @@
+// Command nerpa-controller runs the full-stack SDN controller: it
+// connects to the management plane (OVSDB) and one or more data planes
+// (P4Runtime), generates and type-checks the cross-plane program, and
+// synchronizes state incrementally until interrupted.
+//
+//	nerpa-controller -ovsdb 127.0.0.1:6640 -db snvs \
+//	    -p4rt 127.0.0.1:9559[,more...] [-rules rules.dl] [-v]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ovsdb"
+	"repro/internal/p4rt"
+	"repro/internal/snvs"
+)
+
+func main() {
+	ovsdbAddr := flag.String("ovsdb", "127.0.0.1:6640", "OVSDB server address")
+	dbName := flag.String("db", "snvs", "database name")
+	p4rtAddrs := flag.String("p4rt", "127.0.0.1:9559", "comma-separated P4Runtime addresses")
+	rulesPath := flag.String("rules", "", "control-plane rules file (default: built-in snvs rules)")
+	verbose := flag.Bool("v", false, "log every applied transaction")
+	flag.Parse()
+
+	rules := snvs.Rules
+	if *rulesPath != "" {
+		data, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			log.Fatalf("reading rules: %v", err)
+		}
+		rules = string(data)
+	}
+
+	mp, err := ovsdb.Dial(*ovsdbAddr)
+	if err != nil {
+		log.Fatalf("connecting to OVSDB at %s: %v", *ovsdbAddr, err)
+	}
+	defer mp.Close()
+
+	var devices []core.DataPlane
+	for _, addr := range strings.Split(*p4rtAddrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		dp, err := p4rt.Dial(addr)
+		if err != nil {
+			log.Fatalf("connecting to data plane at %s: %v", addr, err)
+		}
+		defer dp.Close()
+		devices = append(devices, dp)
+	}
+
+	cfg := core.Config{Rules: rules, Database: *dbName}
+	if *verbose {
+		cfg.OnTxn = func(st core.TxnStats) {
+			log.Printf("txn source=%s inputs=%d outputs=%d engine=%v push=%v",
+				st.Source, st.InputUpdates, st.OutputChanges, st.EngineTime, st.PushTime)
+		}
+	}
+	ctrl, err := core.New(cfg, mp, devices...)
+	if err != nil {
+		log.Fatalf("starting controller: %v", err)
+	}
+	log.Printf("nerpa-controller: managing %q across %d data plane(s)", *dbName, len(devices))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	select {
+	case <-sig:
+		log.Printf("nerpa-controller: interrupted, stopping")
+		ctrl.Stop()
+	case <-ctrl.Done():
+		if err := ctrl.Err(); err != nil {
+			log.Fatalf("controller failed: %v", err)
+		}
+	}
+}

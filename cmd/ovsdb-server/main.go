@@ -1,0 +1,44 @@
+// Command ovsdb-server hosts an OVSDB management-plane database over TCP.
+//
+// With -schema it serves a database for the given .ovsschema file;
+// without, it serves the built-in snvs schema.
+//
+//	ovsdb-server -addr 127.0.0.1:6640 [-schema file.ovsschema]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/ovsdb"
+	"repro/internal/snvs"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6640", "TCP listen address")
+	schemaPath := flag.String("schema", "", ".ovsschema file (default: built-in snvs schema)")
+	flag.Parse()
+
+	var schema *ovsdb.DatabaseSchema
+	var err error
+	if *schemaPath != "" {
+		data, rerr := os.ReadFile(*schemaPath)
+		if rerr != nil {
+			log.Fatalf("reading schema: %v", rerr)
+		}
+		schema, err = ovsdb.ParseSchema(data)
+	} else {
+		schema, err = snvs.Schema()
+	}
+	if err != nil {
+		log.Fatalf("parsing schema: %v", err)
+	}
+
+	db := ovsdb.NewDatabase(schema)
+	srv := ovsdb.NewServer(db)
+	log.Printf("ovsdb-server: serving database %q on %s", schema.Name, *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+// Command snvs-switch runs the behavioral software switch (the BMv2
+// stand-in) and serves its P4Runtime-style control API.
+//
+//	snvs-switch -p4rt 127.0.0.1:9559 [-p4 program.p4] [-name sw0]
+//
+// With -p4 it executes the given P4-subset program; without, the built-in
+// snvs pipeline. Packets can be injected through the control API's
+// packet-out; in-process deployments (examples, benchmarks) attach hosts
+// through a switchsim.Fabric instead.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/p4"
+	"repro/internal/snvs"
+	"repro/internal/switchsim"
+)
+
+func main() {
+	addr := flag.String("p4rt", "127.0.0.1:9559", "P4Runtime TCP listen address")
+	p4Path := flag.String("p4", "", "P4 subset program file (default: built-in snvs.p4)")
+	name := flag.String("name", "snvs0", "switch name")
+	flag.Parse()
+
+	var prog *p4.Program
+	if *p4Path != "" {
+		src, err := os.ReadFile(*p4Path)
+		if err != nil {
+			log.Fatalf("reading program: %v", err)
+		}
+		prog, err = p4.ParseProgram(*name, string(src))
+		if err != nil {
+			log.Fatalf("parsing program: %v", err)
+		}
+	} else {
+		prog = snvs.Pipeline()
+	}
+
+	sw, err := switchsim.New(*name, switchsim.Config{Program: prog})
+	if err != nil {
+		log.Fatalf("creating switch: %v", err)
+	}
+	log.Printf("snvs-switch: %s running %q, p4rt on %s", *name, prog.Name, *addr)
+	if err := sw.ListenAndServe(*addr); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package nerpa
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ovsdb"
+	"repro/internal/p4rt"
+)
+
+// TestProcessLevelEndToEnd builds the three plane binaries, runs them as
+// separate OS processes, configures the network through the
+// management-plane process, and observes the entries landing in the
+// data-plane process — the deployment shape of Fig. 2/4.
+func TestProcessLevelEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns binaries")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"ovsdb-server", "snvs-switch", "nerpa-controller"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	ovsdbAddr := freeAddr(t)
+	p4rtAddr := freeAddr(t)
+
+	start := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		return cmd
+	}
+	start("ovsdb-server", "-addr", ovsdbAddr)
+	start("snvs-switch", "-p4rt", p4rtAddr)
+	waitDialable(t, ovsdbAddr)
+	waitDialable(t, p4rtAddr)
+	start("nerpa-controller", "-ovsdb", ovsdbAddr, "-p4rt", p4rtAddr, "-db", "snvs")
+
+	// Configure through the management plane.
+	dbc, err := ovsdb.Dial(ovsdbAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbc.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err = dbc.TransactErr("snvs",
+			ovsdb.OpInsert("SwitchCfg", map[string]ovsdb.Value{
+				"name": "snvs0", "flood_unknown": true,
+			}),
+			ovsdb.OpInsert("Port", map[string]ovsdb.Value{
+				"name": "p1", "port_num": int64(1), "vlan_mode": "access", "tag": int64(10),
+			}),
+		)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("transact never succeeded: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Observe the derived entries through the data plane's control API.
+	p4c, err := p4rt.Dial(p4rtAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p4c.Close()
+	for {
+		entries, err := p4c.ReadTable("in_vlan")
+		if err == nil && len(entries) == 1 &&
+			entries[0].Action == "set_vlan" && entries[0].Params[0] == 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in_vlan never converged: %v, %v", entries, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitDialable(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never came up", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,80 @@
+// Load balancer: the paper's §2.2 worst-case workload, observable.
+//
+// The OVN load-balancer benchmark cold-starts a controller with large
+// load balancers and then deletes each one — a pattern where automatic
+// incrementality pays indexing overhead for changes that never amortize.
+// This example runs the declarative LB program and the hand-written
+// translation side by side and prints the cost of each phase.
+//
+//	go run ./examples/loadbalancer
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/dl"
+	"repro/internal/dl/engine"
+	"repro/internal/workload"
+)
+
+func main() {
+	const vips, backends = 20, 500
+	lbs := workload.LBs(vips, backends)
+	fmt.Printf("workload: %d load balancers x %d backends (%d entries total)\n\n",
+		vips, backends, vips*(1+backends))
+
+	// --- Declarative program on the incremental engine. ---
+	prog, err := dl.Compile(baseline.LBRules)
+	check(err)
+	rt, err := prog.NewRuntime(engine.Options{})
+	check(err)
+
+	start := time.Now()
+	for _, lb := range lbs {
+		_, err := rt.Apply(workload.LBInsertUpdates(lb))
+		check(err)
+	}
+	coldStart := time.Since(start)
+	stats := rt.Stats()
+	fmt.Printf("engine cold start:  %v (%d tuples, %d index entries held for incrementality)\n",
+		coldStart.Round(time.Microsecond), stats.Tuples, stats.IndexEntries)
+
+	start = time.Now()
+	for _, lb := range lbs {
+		_, err := rt.Apply(workload.LBDeleteUpdates(lb))
+		check(err)
+	}
+	fmt.Printf("engine teardown:    %v\n", time.Since(start).Round(time.Microsecond))
+
+	// --- Hand-written translation (the C implementation's role). ---
+	start = time.Now()
+	installed := baseline.NewEntrySet()
+	for _, lb := range lbs {
+		for id, e := range baseline.LBEntries([]baseline.LB{lb}).Entries {
+			installed.Entries[id] = e
+		}
+	}
+	fmt.Printf("\nbaseline cold start: %v (%d entries, no auxiliary indexes)\n",
+		time.Since(start).Round(time.Microsecond), len(installed.Entries))
+
+	start = time.Now()
+	for _, lb := range lbs {
+		for id := range baseline.LBEntries([]baseline.LB{lb}).Entries {
+			delete(installed.Entries, id)
+		}
+	}
+	fmt.Printf("baseline teardown:   %v\n", time.Since(start).Round(time.Microsecond))
+
+	fmt.Println("\nThe engine pays for indexing it never gets to amortize on this")
+	fmt.Println("workload — the overhead the paper reports as ~2x CPU and ~5x RAM.")
+	fmt.Println("Run 'nerpa-bench -exp lb' for the measured comparison.")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

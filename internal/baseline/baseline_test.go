@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/p4rt"
+)
+
+func sampleState() *SNVSState {
+	s := NewSNVSState()
+	s.FloodUnknown = true
+	s.Ports["p1"] = PortCfg{Name: "p1", Num: 1, Tag: 10}
+	s.Ports["p2"] = PortCfg{Name: "p2", Num: 2, Tag: 10}
+	s.Ports["p3"] = PortCfg{Name: "p3", Num: 3, Trunk: true, Trunks: []uint16{10, 20}}
+	s.Learned = []LearnedMac{{Mac: 0xaa01, Vlan: 10, Port: 1}}
+	s.StaticMacs = []StaticMacCfg{{Mac: 0xcc04, Vlan: 10, Port: 2}}
+	s.Mirrors = []MirrorCfg{{SrcPort: 1, DstPort: 4}}
+	s.Acls = []AclCfg{{SrcMac: 0xdead, Deny: true}}
+	return s
+}
+
+func countTable(es *EntrySet, table string) int {
+	n := 0
+	for _, e := range es.Entries {
+		if e.Table == table {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDesiredEntriesShape(t *testing.T) {
+	es := sampleState().DesiredEntries()
+	want := map[string]int{
+		"in_vlan":        2, // two access ports
+		"vlan_ok":        4, // (1,10) (2,10) (3,10) (3,20)
+		"flood":          2, // vlans 10, 20
+		"dmac":           2, // learned + static
+		"smac":           2,
+		"mirror_ingress": 1,
+		"acl_src":        1,
+		"strip_tag":      2,
+		"add_tag":        1,
+	}
+	for table, n := range want {
+		if got := countTable(es, table); got != n {
+			t.Errorf("table %s: %d entries, want %d", table, got, n)
+		}
+	}
+	if len(es.Mcast[4096+10]) != 3 || len(es.Mcast[4096+20]) != 1 {
+		t.Errorf("mcast groups = %v", es.Mcast)
+	}
+}
+
+func TestDesiredMatchesIncrementalSemantics(t *testing.T) {
+	// A stale learn (VLAN the port no longer carries) is excluded, just as
+	// the Datalog join with VlanOk excludes it.
+	s := sampleState()
+	s.Learned = append(s.Learned, LearnedMac{Mac: 0xbb, Vlan: 30, Port: 1})
+	es := s.DesiredEntries()
+	if got := countTable(es, "dmac"); got != 2 {
+		t.Errorf("stale learn not filtered: dmac = %d", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := sampleState()
+	before := s.DesiredEntries()
+	// No change: empty diff.
+	if ups := Diff(before, s.DesiredEntries()); len(ups) != 0 {
+		t.Fatalf("idempotent diff has %d updates", len(ups))
+	}
+	// Remove a port: entries retract.
+	delete(s.Ports, "p2")
+	after := s.DesiredEntries()
+	ups := Diff(before, after)
+	if len(ups) == 0 {
+		t.Fatalf("port removal produced no updates")
+	}
+	dels, ins := 0, 0
+	for _, u := range ups {
+		if u.Entry != nil {
+			if u.Type == p4rt.UpdateDelete {
+				dels++
+			} else {
+				ins++
+			}
+		}
+	}
+	// p2's in_vlan, vlan_ok, strip_tag, and the static mac (port 2 left
+	// VLAN 10? no - static stays since vlan_ok(2,10) vanished).
+	if dels == 0 {
+		t.Fatalf("no deletions in diff: %+v", ups)
+	}
+	if ins != 0 {
+		t.Fatalf("unexpected insertions: %d", ins)
+	}
+	// Applying the diff to 'before' must yield 'after'.
+	applied := NewEntrySet()
+	for id, e := range before.Entries {
+		applied.Entries[id] = e
+	}
+	for _, u := range ups {
+		if u.Entry == nil {
+			continue
+		}
+		if u.Type == p4rt.UpdateDelete {
+			delete(applied.Entries, entryID(u.Entry))
+		} else {
+			applied.Entries[entryID(u.Entry)] = *u.Entry
+		}
+	}
+	if len(applied.Entries) != len(after.Entries) {
+		t.Fatalf("diff application: %d entries, want %d", len(applied.Entries), len(after.Entries))
+	}
+}
+
+func TestComputeLabels(t *testing.T) {
+	labels := ComputeLabels(
+		map[string][]string{"a": {"L"}},
+		[][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}, {"x", "y"}},
+	)
+	for _, n := range []string{"a", "b", "c"} {
+		if !labels[n]["L"] {
+			t.Errorf("node %s missing label", n)
+		}
+	}
+	if labels["x"] != nil || labels["y"] != nil {
+		t.Errorf("unreachable nodes labeled")
+	}
+	if CountLabels(labels) != 3 {
+		t.Errorf("CountLabels = %d", CountLabels(labels))
+	}
+}
+
+func TestLBEntries(t *testing.T) {
+	lbs := []LB{
+		{ID: 1, VIP: 0x0a000001, Backends: []LBBackend{{IP: 1, Port: 80}, {IP: 2, Port: 80}}},
+		{ID: 2, VIP: 0x0a000002, Backends: []LBBackend{{IP: 3, Port: 443}}},
+	}
+	es := LBEntries(lbs)
+	if countTable(es, "lb_vip") != 2 || countTable(es, "lb_backend") != 3 {
+		t.Fatalf("lb entries: vip=%d backend=%d",
+			countTable(es, "lb_vip"), countTable(es, "lb_backend"))
+	}
+}
+
+func TestFragmentControllerGrowth(t *testing.T) {
+	st := NewFlowState(sampleState())
+	st.ArpProxy[0x0a000001] = 0xaa
+	st.QosDSCP[1] = 46
+	st.RateLimited[2] = true
+
+	prevFlows, prevSites, prevLoC := 0, 0, 0
+	for n := 1; n <= len(Catalog()); n++ {
+		fc := NewFragmentController(n)
+		flows := len(fc.Flows(st))
+		sites := FragmentSites(n)
+		loc := FeatureLoC(n)
+		if flows < prevFlows || sites <= prevSites-1 || loc <= prevLoC {
+			t.Fatalf("growth not monotone at n=%d: flows=%d sites=%d loc=%d", n, flows, sites, loc)
+		}
+		prevFlows, prevSites, prevLoC = flows, sites, loc
+	}
+	// Fig 3's claim: fragments scatter through a large imperative
+	// codebase; the declarative equivalent is much smaller.
+	n := len(Catalog())
+	if FeatureLoC(n) < 5*DeclarativeLoC(n) {
+		t.Errorf("imperative LoC %d not >> declarative LoC %d",
+			FeatureLoC(n), DeclarativeLoC(n))
+	}
+	if FragmentSites(n) < 15 {
+		t.Errorf("fragment sites = %d, expected a substantial count", FragmentSites(n))
+	}
+}
+
+func TestFeatureSourceMarkers(t *testing.T) {
+	for _, f := range Catalog() {
+		if featureSource(f.Name) == "" {
+			t.Errorf("feature %s has no source markers", f.Name)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package baseline
+
+// ComputeLabels is the full-recompute implementation of the paper's §1
+// example: propagate labels from GivenLabel along Edge until fixpoint.
+// This is the "tens of lines" non-incremental version a Java programmer
+// would write; the incremental equivalent is the two-rule Datalog program
+// (see internal/bench). Every call recomputes from scratch.
+func ComputeLabels(given map[string][]string, edges [][2]string) map[string]map[string]bool {
+	adj := make(map[string][]string, len(edges))
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	labels := make(map[string]map[string]bool)
+	mark := func(node, label string) bool {
+		m := labels[node]
+		if m == nil {
+			m = make(map[string]bool)
+			labels[node] = m
+		}
+		if m[label] {
+			return false
+		}
+		m[label] = true
+		return true
+	}
+	// BFS per (seed, label).
+	type work struct{ node, label string }
+	var queue []work
+	for node, ls := range given {
+		for _, l := range ls {
+			if mark(node, l) {
+				queue = append(queue, work{node, l})
+			}
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[w.node] {
+			if mark(next, w.label) {
+				queue = append(queue, work{next, w.label})
+			}
+		}
+	}
+	return labels
+}
+
+// CountLabels returns the total number of (node, label) pairs.
+func CountLabels(labels map[string]map[string]bool) int {
+	n := 0
+	for _, m := range labels {
+		n += len(m)
+	}
+	return n
+}

@@ -1,0 +1,59 @@
+package baseline
+
+import (
+	"repro/internal/p4"
+	"repro/internal/p4rt"
+)
+
+// LB models one load balancer: a VIP fronting a set of backends (the
+// workload of the paper's §2.2 OVN load-balancer benchmark).
+type LB struct {
+	ID       int
+	VIP      uint32
+	Backends []LBBackend
+}
+
+// LBBackend is one backend of a load balancer.
+type LBBackend struct {
+	IP   uint32
+	Port uint16
+}
+
+// LBEntries is the imperative (hand-written C-style) translation of load
+// balancer configuration into data-plane entries: one VIP entry selecting
+// a group, one bucket entry per backend. Non-incremental: callers
+// recompute the full set on every change and Diff.
+func LBEntries(lbs []LB) *EntrySet {
+	es := NewEntrySet()
+	for _, lb := range lbs {
+		gid := uint64(lb.ID % 65536)
+		es.add(p4rt.TableEntry{
+			Table:   "lb_vip",
+			Matches: []p4.FieldMatch{{Value: uint64(lb.VIP)}},
+			Action:  "lb_group", Params: []uint64{gid},
+		})
+		for i, b := range lb.Backends {
+			es.add(p4rt.TableEntry{
+				Table: "lb_backend",
+				Matches: []p4.FieldMatch{
+					{Value: gid}, {Value: uint64(i % 65536)},
+				},
+				Action: "dnat", Params: []uint64{uint64(b.IP), uint64(b.Port)},
+			})
+		}
+	}
+	return es
+}
+
+// LBRules is the equivalent declarative control-plane program fed to the
+// incremental engine in the §2.2 comparison benchmark.
+const LBRules = `
+input relation Vip(id: int, vip: bit<32>)
+input relation Backend(lb: int, idx: int, ip: bit<32>, port: bit<16>)
+output relation LbVip(vip: bit<32>, gid: bit<16>)
+output relation LbBackend(gid: bit<16>, bucket: bit<16>, ip: bit<32>, port: bit<16>)
+LbVip(v, g) :- Vip(id, v), var g = (id % 65536) as bit<16>.
+LbBackend(g, b, ip, p) :- Backend(lb, idx, ip, p), Vip(lb, _),
+                          var g = (lb % 65536) as bit<16>,
+                          var b = (idx % 65536) as bit<16>.
+`

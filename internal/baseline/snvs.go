@@ -1,0 +1,285 @@
+// Package baseline implements the conventional controllers the paper's
+// evaluation compares against:
+//
+//   - an imperative, non-incremental snvs controller ("recompute the whole
+//     network on every change and diff", the strategy §2.1 argues does not
+//     scale);
+//   - an imperative load-balancer controller (the §2.2 worst-case
+//     comparison where automatic incrementality costs extra CPU and RAM);
+//   - a full-recompute reachability labeler (§1's "tens of lines" version);
+//   - an OpenFlow-fragment-style controller whose per-feature code emits
+//     flow fragments scattered across tables (Fig. 3's sprawl model).
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/p4"
+	"repro/internal/p4rt"
+)
+
+// PortCfg mirrors one row of the snvs Port table.
+type PortCfg struct {
+	Name   string
+	Num    uint16
+	Trunk  bool
+	Tag    uint16   // access VLAN
+	Trunks []uint16 // trunk VLANs
+}
+
+// MirrorCfg mirrors one row of the Mirror table.
+type MirrorCfg struct {
+	SrcPort, DstPort uint16
+}
+
+// StaticMacCfg mirrors one row of the StaticMac table.
+type StaticMacCfg struct {
+	Mac  uint64
+	Vlan uint16
+	Port uint16
+}
+
+// AclCfg mirrors one row of the Acl table.
+type AclCfg struct {
+	SrcMac uint64
+	Deny   bool
+}
+
+// LearnedMac is one MAC-learning event.
+type LearnedMac struct {
+	Mac  uint64
+	Vlan uint16
+	Port uint16
+}
+
+// SNVSState is the controller's full view of configuration and learned
+// state.
+type SNVSState struct {
+	Ports        map[string]PortCfg
+	Mirrors      []MirrorCfg
+	StaticMacs   []StaticMacCfg
+	Acls         []AclCfg
+	Learned      []LearnedMac
+	FloodUnknown bool
+}
+
+// NewSNVSState returns an empty state.
+func NewSNVSState() *SNVSState {
+	return &SNVSState{Ports: make(map[string]PortCfg)}
+}
+
+// EntrySet is a desired data-plane state: table entries keyed by identity
+// plus multicast groups.
+type EntrySet struct {
+	Entries map[string]p4rt.TableEntry
+	Mcast   map[uint16][]uint16
+}
+
+// NewEntrySet returns an empty set.
+func NewEntrySet() *EntrySet {
+	return &EntrySet{
+		Entries: make(map[string]p4rt.TableEntry),
+		Mcast:   make(map[uint16][]uint16),
+	}
+}
+
+func (es *EntrySet) add(e p4rt.TableEntry) {
+	es.Entries[entryID(&e)] = e
+}
+
+func entryID(e *p4rt.TableEntry) string {
+	id := e.Table
+	for _, m := range e.Matches {
+		id += fmt.Sprintf("/%x:%x:%d:%t", m.Value, m.Mask, m.PrefixLen, m.Wildcard)
+	}
+	return id
+}
+
+// DesiredEntries recomputes the complete data-plane state from scratch —
+// the imperative controller's strategy. The code below is what the paper
+// calls the conventional approach: every feature hand-translated into
+// table entries, with the full recomputation re-run on any change.
+func (s *SNVSState) DesiredEntries() *EntrySet {
+	es := NewEntrySet()
+
+	// Feature: VLAN assignment + admission control.
+	vlanPorts := make(map[uint16][]uint16) // vlan -> member ports
+	vlanOK := make(map[[2]uint16]bool)
+	for _, p := range s.Ports {
+		if !p.Trunk {
+			es.add(p4rt.TableEntry{
+				Table:   "in_vlan",
+				Matches: []p4.FieldMatch{{Value: uint64(p.Num)}},
+				Action:  "set_vlan", Params: []uint64{uint64(p.Tag)},
+			})
+			vlanOK[[2]uint16{p.Num, p.Tag}] = true
+			vlanPorts[p.Tag] = append(vlanPorts[p.Tag], p.Num)
+			es.add(p4rt.TableEntry{
+				Table:   "strip_tag",
+				Matches: []p4.FieldMatch{{Value: uint64(p.Num)}},
+				Action:  "pop_tag",
+			})
+		} else {
+			for _, v := range p.Trunks {
+				vlanOK[[2]uint16{p.Num, v}] = true
+				vlanPorts[v] = append(vlanPorts[v], p.Num)
+			}
+			es.add(p4rt.TableEntry{
+				Table:   "add_tag",
+				Matches: []p4.FieldMatch{{Value: uint64(p.Num)}},
+				Action:  "push_tag",
+			})
+		}
+	}
+	for pv := range vlanOK {
+		es.add(p4rt.TableEntry{
+			Table:   "vlan_ok",
+			Matches: []p4.FieldMatch{{Value: uint64(pv[0])}, {Value: uint64(pv[1])}},
+			Action:  "vlan_allow",
+		})
+	}
+
+	// Feature: flooding (per-VLAN multicast groups).
+	if s.FloodUnknown {
+		for vlan, ports := range vlanPorts {
+			group := vlan + 4096
+			es.add(p4rt.TableEntry{
+				Table:   "flood",
+				Matches: []p4.FieldMatch{{Value: uint64(vlan)}},
+				Action:  "set_mcast", Params: []uint64{uint64(group)},
+			})
+			sorted := append([]uint16(nil), ports...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			es.Mcast[group] = dedupPorts(sorted)
+		}
+	}
+
+	// Feature: MAC learning + static MACs.
+	addMac := func(vlan uint16, mac uint64, port uint16) {
+		if !vlanOK[[2]uint16{port, vlan}] {
+			return // stale learn for a VLAN the port no longer carries
+		}
+		es.add(p4rt.TableEntry{
+			Table:   "dmac",
+			Matches: []p4.FieldMatch{{Value: uint64(vlan)}, {Value: mac}},
+			Action:  "forward", Params: []uint64{uint64(port)},
+		})
+		es.add(p4rt.TableEntry{
+			Table:   "smac",
+			Matches: []p4.FieldMatch{{Value: uint64(vlan)}, {Value: mac}},
+			Action:  "known",
+		})
+	}
+	for _, l := range s.Learned {
+		addMac(l.Vlan, l.Mac, l.Port)
+	}
+	for _, m := range s.StaticMacs {
+		es.add(p4rt.TableEntry{
+			Table:   "dmac",
+			Matches: []p4.FieldMatch{{Value: uint64(m.Vlan)}, {Value: m.Mac}},
+			Action:  "forward", Params: []uint64{uint64(m.Port)},
+		})
+		es.add(p4rt.TableEntry{
+			Table:   "smac",
+			Matches: []p4.FieldMatch{{Value: uint64(m.Vlan)}, {Value: m.Mac}},
+			Action:  "known",
+		})
+	}
+
+	// Feature: ingress mirroring.
+	for _, m := range s.Mirrors {
+		es.add(p4rt.TableEntry{
+			Table:   "mirror_ingress",
+			Matches: []p4.FieldMatch{{Value: uint64(m.SrcPort)}},
+			Action:  "clone_to", Params: []uint64{uint64(m.DstPort)},
+		})
+	}
+
+	// Feature: source-MAC ACL.
+	for _, a := range s.Acls {
+		if a.Deny {
+			es.add(p4rt.TableEntry{
+				Table:   "acl_src",
+				Matches: []p4.FieldMatch{{Value: a.SrcMac}},
+				Action:  "acl_deny",
+			})
+		}
+	}
+	return es
+}
+
+func dedupPorts(sorted []uint16) []uint16 {
+	out := sorted[:0]
+	for i, p := range sorted {
+		if i == 0 || sorted[i-1] != p {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Diff computes the updates transforming the installed state old into new.
+// Deletes precede inserts, matching the controller's push ordering.
+func Diff(old, new *EntrySet) []p4rt.Update {
+	var dels, ins []p4rt.Update
+	for id, e := range old.Entries {
+		if _, ok := new.Entries[id]; !ok {
+			ins2 := e
+			dels = append(dels, p4rt.DeleteEntry(ins2))
+		}
+	}
+	for id, e := range new.Entries {
+		oldE, ok := old.Entries[id]
+		if !ok {
+			ins = append(ins, p4rt.InsertEntry(e))
+		} else if !entryEqual(&oldE, &e) {
+			dels = append(dels, p4rt.DeleteEntry(oldE))
+			ins = append(ins, p4rt.InsertEntry(e))
+		}
+	}
+	updates := append(dels, ins...)
+	groups := make(map[uint16]bool)
+	for g := range old.Mcast {
+		groups[g] = true
+	}
+	for g := range new.Mcast {
+		groups[g] = true
+	}
+	for g := range groups {
+		if !portsEqual(old.Mcast[g], new.Mcast[g]) {
+			updates = append(updates, p4rt.SetMulticast(g, new.Mcast[g]))
+		}
+	}
+	return updates
+}
+
+func entryEqual(a, b *p4rt.TableEntry) bool {
+	if a.Table != b.Table || a.Action != b.Action || a.Priority != b.Priority ||
+		len(a.Params) != len(b.Params) || len(a.Matches) != len(b.Matches) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	for i := range a.Matches {
+		if a.Matches[i] != b.Matches[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func portsEqual(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

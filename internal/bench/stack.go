@@ -1,0 +1,126 @@
+// Package bench is the evaluation harness: one runner per table/figure of
+// the paper, each returning a report whose rows mirror what the paper
+// published. cmd/nerpa-bench prints them; bench_test.go wraps them as
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ovsdb"
+	"repro/internal/p4rt"
+	"repro/internal/snvs"
+	"repro/internal/switchsim"
+)
+
+// Stack is a complete in-process deployment of the snvs system over real
+// TCP sockets: OVSDB server, behavioral switch with p4rt, and the Nerpa
+// controller.
+type Stack struct {
+	DB     *ovsdb.Database
+	DBC    *ovsdb.Client
+	Switch *switchsim.Switch
+	Fabric *switchsim.Fabric
+	Ctrl   *core.Controller
+
+	ovsdbSrv *ovsdb.Server
+	closers  []func()
+}
+
+// StartStack boots the full snvs deployment.
+func StartStack() (*Stack, error) {
+	schema, err := snvs.Schema()
+	if err != nil {
+		return nil, err
+	}
+	s := &Stack{DB: ovsdb.NewDatabase(schema)}
+	fail := func(err error) (*Stack, error) {
+		s.Close()
+		return nil, err
+	}
+	s.ovsdbSrv = ovsdb.NewServer(s.DB)
+	ovsdbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	go s.ovsdbSrv.Serve(ovsdbLn)
+	s.closers = append(s.closers, s.ovsdbSrv.Close)
+
+	s.Switch, err = switchsim.New("snvs0", switchsim.Config{Program: snvs.Pipeline()})
+	if err != nil {
+		return fail(err)
+	}
+	p4Ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	go s.Switch.Serve(p4Ln)
+	s.closers = append(s.closers, s.Switch.Close)
+
+	s.Fabric = switchsim.NewFabric()
+	if err := s.Fabric.AddSwitch(s.Switch); err != nil {
+		return fail(err)
+	}
+
+	s.DBC, err = ovsdb.Dial(ovsdbLn.Addr().String())
+	if err != nil {
+		return fail(err)
+	}
+	s.closers = append(s.closers, func() { s.DBC.Close() })
+	p4c, err := p4rt.Dial(p4Ln.Addr().String())
+	if err != nil {
+		return fail(err)
+	}
+	s.closers = append(s.closers, func() { p4c.Close() })
+
+	s.Ctrl, err = core.New(core.Config{Rules: snvs.Rules, Database: "snvs"}, s.DBC, p4c)
+	if err != nil {
+		return fail(err)
+	}
+	s.closers = append(s.closers, s.Ctrl.Stop)
+	return s, nil
+}
+
+// Close tears the deployment down.
+func (s *Stack) Close() {
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		s.closers[i]()
+	}
+	s.closers = nil
+}
+
+// Transact runs OVSDB operations, failing on per-op errors.
+func (s *Stack) Transact(ops ...ovsdb.Operation) error {
+	_, err := s.DBC.TransactErr("snvs", ops...)
+	return err
+}
+
+// WaitEntries polls until the data-plane table holds want entries.
+func (s *Stack) WaitEntries(table string, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := s.Ctrl.Err(); err != nil {
+			return err
+		}
+		if s.Switch.Runtime().EntryCount(table) == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: table %s has %d entries, want %d",
+				table, s.Switch.Runtime().EntryCount(table), want)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// heapAlloc returns live heap bytes after a forced GC.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}

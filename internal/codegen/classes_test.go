@@ -1,0 +1,101 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl/value"
+)
+
+func TestGenerateWithPrefixAndPerDevice(t *testing.T) {
+	info := fig5Pipeline(t)
+	g, err := Generate(nil, info, Options{
+		WithMulticast: true, Prefix: "Leaf", PerDevice: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"output relation LeafInVlan(device: string, standard_metadata_ingress_port: bit<16>, vid: bit<12>)",
+		"input relation LeafMacLearn(device: string, mac: bit<48>, port: bit<16>)",
+		"output relation LeafMulticastGroup(device: string, group: bit<16>, port: bit<16>)",
+	}
+	for _, w := range wants {
+		if !strings.Contains(g.Decls, w) {
+			t.Errorf("missing %q in:\n%s", w, g.Decls)
+		}
+	}
+	if g.MulticastName != "LeafMulticastGroup" {
+		t.Errorf("MulticastName = %q", g.MulticastName)
+	}
+	// The generated program verifies against itself.
+	if _, err := g.CompileWith(""); err != nil {
+		t.Fatalf("CompileWith: %v", err)
+	}
+
+	// Entry conversion strips the device column and reports the device.
+	b := g.Outputs["LeafInVlan"]
+	if b == nil || !b.PerDevice {
+		t.Fatalf("binding = %+v", b)
+	}
+	rec := value.Record{value.String("leaf7"), value.Bit(3), value.Bit(10)}
+	if dev := b.Device(rec); dev != "leaf7" {
+		t.Errorf("Device = %q", dev)
+	}
+	e, err := b.EntryFromRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Table != "in_vlan" || e.Matches[0].Value != 3 || e.Params[0] != 10 {
+		t.Errorf("entry = %+v", e)
+	}
+	// A record missing the device column is rejected.
+	if _, err := b.EntryFromRecord(value.Record{value.Bit(3), value.Bit(10)}); err == nil {
+		t.Errorf("device-less record accepted")
+	}
+
+	// Digest conversion prepends the device.
+	d := g.Digests["LeafMacLearn"]
+	drec, err := d.DigestRecordFrom("leaf7", []uint64{0xaa, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drec[0].Str() != "leaf7" || drec[1].Bit() != 0xaa {
+		t.Errorf("digest record = %v", drec)
+	}
+
+	// Multicast conversion.
+	dev, grp, port, err := MulticastDeviceFromRecord(value.Record{
+		value.String("leaf7"), value.Bit(9), value.Bit(2),
+	})
+	if err != nil || dev != "leaf7" || grp != 9 || port != 2 {
+		t.Errorf("mcast = %s/%d/%d, %v", dev, grp, port, err)
+	}
+	if _, _, _, err := MulticastDeviceFromRecord(value.Record{value.Bit(1), value.Bit(2), value.Bit(3)}); err == nil {
+		t.Errorf("bad mcast record accepted")
+	}
+}
+
+func TestGenerateTwoClassesNoCollision(t *testing.T) {
+	info := fig5Pipeline(t)
+	a, err := Generate(nil, info, Options{WithMulticast: true, Prefix: "Leaf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(nil, info, Options{WithMulticast: true, Prefix: "Spine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same pipeline generated under two prefixes compiles as one
+	// program: no relation collisions.
+	prog, err := a.CompileWith(b.Decls)
+	if err != nil {
+		t.Fatalf("combined compile: %v", err)
+	}
+	if err := b.Verify(prog); err != nil {
+		t.Fatalf("second class verify: %v", err)
+	}
+	if prog.Relation("LeafInVlan") == nil || prog.Relation("SpineInVlan") == nil {
+		t.Fatalf("class relations missing")
+	}
+}

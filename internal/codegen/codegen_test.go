@@ -1,0 +1,298 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl/value"
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+	"repro/internal/p4rt"
+)
+
+// fig5Schema mirrors Fig. 5(b) of the paper: an OVSDB Port table.
+const fig5Schema = `{
+  "name": "snvs",
+  "tables": {
+    "Port": {
+      "columns": {
+        "name": {"type": "string"},
+        "port_num": {"type": "integer"},
+        "tag": {"type": {"key": "integer", "min": 0, "max": 1}},
+        "trunks": {"type": {"key": "integer", "min": 0, "max": "unlimited"}},
+        "options": {"type": {"key": "string", "value": "string", "min": 0, "max": "unlimited"}}
+      },
+      "isRoot": true
+    }
+  }
+}`
+
+// fig5Pipeline mirrors Fig. 5(a): an InVlan match-action table plus a MAC
+// learning digest.
+func fig5Pipeline(t *testing.T) *p4.P4Info {
+	t.Helper()
+	prog := &p4.Program{
+		Name: "snvs",
+		Headers: []*p4.HeaderType{
+			{Name: "ethernet", Fields: []p4.HeaderField{
+				{Name: "dst", Bits: 48}, {Name: "src", Bits: 48}, {Name: "etype", Bits: 16},
+			}},
+		},
+		Metadata: []p4.MetaField{{Name: "vlan", Bits: 12}},
+		Parser:   []*p4.ParserState{{Name: "start", Extract: "ethernet", Next: "accept"}},
+		Actions: []*p4.Action{
+			{Name: "set_vlan", Params: []p4.ActionParam{{Name: "vid", Bits: 12}}, Body: []p4.Stmt{
+				&p4.SetField{Ref: p4.FieldRef{Header: p4.MetaHeader, Field: "vlan"}, Expr: &p4.ParamExpr{Index: 0}},
+			}},
+			{Name: "forward", Params: []p4.ActionParam{{Name: "port", Bits: 16}}, Body: []p4.Stmt{
+				&p4.Output{Port: &p4.ParamExpr{Index: 0}},
+			}},
+			{Name: "acl_allow"},
+			{Name: "acl_deny", Body: []p4.Stmt{&p4.Drop{}}},
+			{Name: "nop"},
+		},
+		Tables: []*p4.Table{
+			{Name: "in_vlan",
+				Keys:    []p4.TableKey{{Ref: p4.FieldRef{Header: p4.StdMetaHeader, Field: p4.FieldIngress}, Match: p4.MatchExact}},
+				Actions: []string{"set_vlan"}},
+			{Name: "fwd",
+				Keys: []p4.TableKey{
+					{Ref: p4.FieldRef{Header: p4.MetaHeader, Field: "vlan"}, Match: p4.MatchExact},
+					{Ref: p4.FieldRef{Header: "ethernet", Field: "dst"}, Match: p4.MatchExact},
+				},
+				Actions: []string{"forward", "nop"}},
+			{Name: "acl",
+				Keys: []p4.TableKey{
+					{Ref: p4.FieldRef{Header: "ethernet", Field: "src"}, Match: p4.MatchTernary},
+				},
+				Actions: []string{"acl_allow", "acl_deny"}},
+		},
+		Digests: []*p4.Digest{{Name: "mac_learn", Fields: []p4.DigestField{
+			{Name: "mac", Bits: 48}, {Name: "port", Bits: 16},
+		}}},
+		Ingress: &p4.Control{Name: "ingress", Apply: []p4.ControlStmt{
+			&p4.ApplyTable{Table: "in_vlan"},
+			&p4.ApplyTable{Table: "fwd"},
+			&p4.ApplyTable{Table: "acl"},
+		}},
+		Deparser: []string{"ethernet"},
+	}
+	info, err := p4.BuildP4Info(prog)
+	if err != nil {
+		t.Fatalf("BuildP4Info: %v", err)
+	}
+	return info
+}
+
+func generate(t *testing.T) *Generated {
+	t.Helper()
+	schema, err := ovsdb.ParseSchema([]byte(fig5Schema))
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	g, err := Generate(schema, fig5Pipeline(t), Options{WithMulticast: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return g
+}
+
+func TestGeneratedDeclarationsFig5(t *testing.T) {
+	g := generate(t)
+	// Fig 5(b): the OVSDB table becomes an input relation.
+	wantDecls := []string{
+		"input relation Port(_uuid: string, name: string, port_num: int)",
+		"input relation Port_Tag(_uuid: string, elem: int)",
+		"input relation Port_Trunks(_uuid: string, elem: int)",
+		"input relation Port_Options(_uuid: string, key: string, value: string)",
+		// Fig 5(a): the P4 table becomes an output relation.
+		"output relation InVlan(standard_metadata_ingress_port: bit<16>, vid: bit<12>)",
+		"input relation MacLearn(mac: bit<48>, port: bit<16>)",
+		"output relation MulticastGroup(group: bit<16>, port: bit<16>)",
+		// Multi-action table: one relation per action, nop skipped.
+		"output relation Fwd(meta_vlan: bit<12>, ethernet_dst: bit<48>, port: bit<16>)",
+		// Ternary table gains mask and priority columns.
+		"output relation AclAclAllow(ethernet_src: bit<48>, ethernet_src_mask: bit<48>, priority: int)",
+		"output relation AclAclDeny(ethernet_src: bit<48>, ethernet_src_mask: bit<48>, priority: int)",
+	}
+	for _, want := range wantDecls {
+		if !strings.Contains(g.Decls, want) {
+			t.Errorf("generated declarations missing %q\n---\n%s", want, g.Decls)
+		}
+	}
+}
+
+func TestGeneratedProgramCompilesAndVerifies(t *testing.T) {
+	g := generate(t)
+	rules := `
+	// Fig 5(c): the hand-written rule computing InVlan from Port.
+	InVlan(p as bit<16>, v as bit<12>) :- Port(u, _, p), Port_Tag(u, v).
+	Fwd(vlan, mac, port as bit<16>) :- MacLearn(mac, port9), InVlan(port9, vlan), var port = port9 as int.
+	`
+	prog, err := g.CompileWith(rules)
+	if err != nil {
+		t.Fatalf("CompileWith: %v", err)
+	}
+	if prog.Relation("InVlan") == nil {
+		t.Fatalf("compiled program lacks InVlan")
+	}
+}
+
+func TestVerifyCatchesDrift(t *testing.T) {
+	g := generate(t)
+	// A program that redeclares InVlan with the wrong type must fail the
+	// cross-plane check even though it compiles.
+	bad := strings.Replace(g.Decls,
+		"output relation InVlan(standard_metadata_ingress_port: bit<16>, vid: bit<12>)",
+		"output relation InVlan(standard_metadata_ingress_port: bit<16>, vid: bit<13>)", 1)
+	if bad == g.Decls {
+		t.Fatalf("test setup: InVlan declaration not found")
+	}
+	gBad := *g
+	gBad.Decls = bad
+	if _, err := gBad.CompileWith(""); err == nil ||
+		!strings.Contains(err.Error(), "InVlan") {
+		t.Fatalf("type drift not caught: %v", err)
+	}
+	// Missing relation is caught too.
+	gMissing := *g
+	gMissing.Decls = strings.Replace(g.Decls,
+		"input relation MacLearn(mac: bit<48>, port: bit<16>)", "", 1)
+	if _, err := gMissing.CompileWith(""); err == nil ||
+		!strings.Contains(err.Error(), "MacLearn") {
+		t.Fatalf("missing relation not caught: %v", err)
+	}
+}
+
+func TestRowRecordConversion(t *testing.T) {
+	g := generate(t)
+	b := g.Inputs["Port"]
+	if b == nil {
+		t.Fatalf("no Port binding")
+	}
+	row := ovsdb.Row{
+		"name":     "eth0",
+		"port_num": int64(4),
+		"tag":      ovsdb.NewSet(int64(10)),
+		"trunks":   ovsdb.NewSet(int64(1), int64(2)),
+		"options":  ovsdb.NewMap([2]ovsdb.Atom{"k", "v"}),
+	}
+	rec, err := b.RowRecord("uuid-1", row)
+	if err != nil {
+		t.Fatalf("RowRecord: %v", err)
+	}
+	if rec[0].Str() != "uuid-1" || rec[1].Str() != "eth0" || rec[2].Int() != 4 {
+		t.Fatalf("record = %v", rec)
+	}
+	// Optional scalar column missing entirely -> zero value.
+	rec2, err := b.RowRecord("uuid-2", ovsdb.Row{})
+	if err != nil {
+		t.Fatalf("RowRecord(empty): %v", err)
+	}
+	if rec2[1].Str() != "" || rec2[2].Int() != 0 {
+		t.Fatalf("zero record = %v", rec2)
+	}
+	aux := g.Aux["Port_Trunks"]
+	recs, err := aux.ElementRecords("uuid-1", row)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("ElementRecords = %v, %v", recs, err)
+	}
+	if recs[0][0].Str() != "uuid-1" || recs[0][1].Int() != 1 {
+		t.Fatalf("element record = %v", recs[0])
+	}
+	mapAux := g.Aux["Port_Options"]
+	mrecs, err := mapAux.ElementRecords("uuid-1", row)
+	if err != nil || len(mrecs) != 1 || mrecs[0][1].Str() != "k" || mrecs[0][2].Str() != "v" {
+		t.Fatalf("map element records = %v, %v", mrecs, err)
+	}
+}
+
+func TestEntryFromRecord(t *testing.T) {
+	g := generate(t)
+	fwd := g.Outputs["Fwd"]
+	rec := value.Record{value.Bit(7), value.Bit(0xaabb), value.Bit(3)}
+	e, err := fwd.EntryFromRecord(rec)
+	if err != nil {
+		t.Fatalf("EntryFromRecord: %v", err)
+	}
+	want := p4rt.TableEntry{
+		Table:   "fwd",
+		Action:  "forward",
+		Matches: []p4.FieldMatch{{Value: 7}, {Value: 0xaabb}},
+		Params:  []uint64{3},
+	}
+	if e.Table != want.Table || e.Action != want.Action ||
+		len(e.Matches) != 2 || e.Matches[0].Value != 7 || e.Params[0] != 3 {
+		t.Fatalf("entry = %+v", e)
+	}
+	// Ternary with priority.
+	acl := g.Outputs["AclAclDeny"]
+	arec := value.Record{value.Bit(0xff), value.Bit(0xff00), value.Int(10)}
+	ae, err := acl.EntryFromRecord(arec)
+	if err != nil {
+		t.Fatalf("acl EntryFromRecord: %v", err)
+	}
+	if ae.Matches[0].Mask != 0xff00 || ae.Priority != 10 {
+		t.Fatalf("acl entry = %+v", ae)
+	}
+	// Arity errors.
+	if _, err := fwd.EntryFromRecord(rec[:2]); err == nil {
+		t.Errorf("short record accepted")
+	}
+	if _, err := fwd.EntryFromRecord(append(rec.Clone(), value.Bit(1))); err == nil {
+		t.Errorf("long record accepted")
+	}
+}
+
+func TestDigestRecord(t *testing.T) {
+	g := generate(t)
+	b := g.Digests["MacLearn"]
+	rec, err := b.DigestRecord([]uint64{0xaabbccddeeff, 3})
+	if err != nil {
+		t.Fatalf("DigestRecord: %v", err)
+	}
+	if rec[0].Bit() != 0xaabbccddeeff || rec[1].Bit() != 3 {
+		t.Fatalf("digest record = %v", rec)
+	}
+	if _, err := b.DigestRecord([]uint64{1}); err == nil {
+		t.Errorf("wrong arity accepted")
+	}
+	if _, err := b.DigestRecord([]uint64{1, 1 << 17}); err == nil {
+		t.Errorf("overflowing field accepted")
+	}
+}
+
+func TestMulticastFromRecord(t *testing.T) {
+	group, port, err := MulticastFromRecord(value.Record{value.Bit(9), value.Bit(4)})
+	if err != nil || group != 9 || port != 4 {
+		t.Fatalf("MulticastFromRecord = %d, %d, %v", group, port, err)
+	}
+	if _, _, err := MulticastFromRecord(value.Record{value.Bit(1)}); err == nil {
+		t.Errorf("bad record accepted")
+	}
+}
+
+func TestGenerateUnsupportedType(t *testing.T) {
+	schema, err := ovsdb.ParseSchema([]byte(`{
+	  "name": "X", "tables": {"T": {"columns": {"r": {"type": "real"}}}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(schema, nil, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "real") {
+		t.Fatalf("real column accepted: %v", err)
+	}
+}
+
+func TestCamel(t *testing.T) {
+	cases := map[string]string{
+		"in_vlan": "InVlan", "fwd": "Fwd", "Port": "Port",
+		"mac_learn": "MacLearn", "a_b_c": "ABC",
+	}
+	for in, want := range cases {
+		if got := camel(in); got != want {
+			t.Errorf("camel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/dl/value"
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+	"repro/internal/p4rt"
+)
+
+// These conversion helpers are the generated-equivalent "glue code" the
+// paper's tooling replaces: typed data movement between the planes with no
+// hand-written marshaling.
+
+// atomToValue converts an OVSDB atom to a control-plane value of the
+// expected type.
+func atomToValue(a ovsdb.Atom, want *value.Type) (value.Value, error) {
+	switch v := a.(type) {
+	case int64:
+		if want.Kind == value.TInt {
+			return value.Int(v), nil
+		}
+	case bool:
+		if want.Kind == value.TBool {
+			return value.Bool(v), nil
+		}
+	case string:
+		if want.Kind == value.TString {
+			return value.String(v), nil
+		}
+	case ovsdb.UUID:
+		if want.Kind == value.TString {
+			return value.String(string(v)), nil
+		}
+	}
+	return value.Value{}, fmt.Errorf("codegen: OVSDB atom %v (%T) does not convert to %s", a, a, want)
+}
+
+// scalarOf unwraps optional scalar columns arriving as singleton sets.
+func scalarOf(v ovsdb.Value, want *value.Type) (value.Value, error) {
+	if set, ok := v.(*ovsdb.Set); ok {
+		switch len(set.Atoms) {
+		case 1:
+			return atomToValue(set.Atoms[0], want)
+		case 0:
+			return want.ZeroValue(), nil
+		default:
+			return value.Value{}, fmt.Errorf("codegen: set of %d atoms in scalar position", len(set.Atoms))
+		}
+	}
+	return atomToValue(v, want)
+}
+
+// RowRecord converts an OVSDB row to the input relation's record.
+// Missing columns take their zero value (monitors may project columns).
+func (b *InputTableBinding) RowRecord(uuid string, row ovsdb.Row) (value.Record, error) {
+	rec := make(value.Record, 1+len(b.Columns))
+	rec[0] = value.String(uuid)
+	for i, col := range b.Columns {
+		want := b.Types[i]
+		raw, ok := row[col]
+		if !ok {
+			rec[1+i] = want.ZeroValue()
+			continue
+		}
+		v, err := scalarOf(raw, want)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: %s.%s: %w", b.Table, col, err)
+		}
+		rec[1+i] = v
+	}
+	return rec, nil
+}
+
+// ElementRecords converts a set- or map-valued column of a row to the
+// auxiliary relation's records, one per element.
+func (b *AuxColumnBinding) ElementRecords(uuid string, row ovsdb.Row) ([]value.Record, error) {
+	raw, ok := row[b.Column]
+	if !ok {
+		return nil, nil
+	}
+	var out []value.Record
+	switch v := raw.(type) {
+	case *ovsdb.Set:
+		if b.IsMap {
+			return nil, fmt.Errorf("codegen: %s.%s: set value for map column", b.Table, b.Column)
+		}
+		for _, a := range v.Atoms {
+			ev, err := atomToValue(a, b.KeyType)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, value.Record{value.String(uuid), ev})
+		}
+	case *ovsdb.Map:
+		if !b.IsMap {
+			return nil, fmt.Errorf("codegen: %s.%s: map value for set column", b.Table, b.Column)
+		}
+		for _, p := range v.Pairs {
+			kv, err := atomToValue(p[0], b.KeyType)
+			if err != nil {
+				return nil, err
+			}
+			vv, err := atomToValue(p[1], b.ValType)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, value.Record{value.String(uuid), kv, vv})
+		}
+	default:
+		// A bare atom is a singleton set.
+		if b.IsMap {
+			return nil, fmt.Errorf("codegen: %s.%s: atom value for map column", b.Table, b.Column)
+		}
+		ev, err := atomToValue(raw, b.KeyType)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, value.Record{value.String(uuid), ev})
+	}
+	return out, nil
+}
+
+// Device returns the target device id of a per-device record ("" when the
+// binding is not per-device).
+func (b *OutputTableBinding) Device(rec value.Record) string {
+	if !b.PerDevice || len(rec) == 0 {
+		return ""
+	}
+	return rec[0].Str()
+}
+
+// EntryFromRecord converts an output relation record to a table entry
+// (skipping the leading device column of per-device bindings).
+func (b *OutputTableBinding) EntryFromRecord(rec value.Record) (p4rt.TableEntry, error) {
+	e := p4rt.TableEntry{Table: b.Table, Action: b.Action}
+	pos := 0
+	if b.PerDevice {
+		if len(rec) == 0 || rec[0].Kind() != value.KindString {
+			return e, fmt.Errorf("codegen: record for %s lacks a device column", b.Relation)
+		}
+		pos = 1
+	}
+	next := func() (value.Value, error) {
+		if pos >= len(rec) {
+			return value.Value{}, fmt.Errorf("codegen: record too short for relation %s", b.Relation)
+		}
+		v := rec[pos]
+		pos++
+		return v, nil
+	}
+	for _, k := range b.Keys {
+		v, err := next()
+		if err != nil {
+			return e, err
+		}
+		fm := p4.FieldMatch{Value: v.Bit()}
+		switch k.Match {
+		case p4.MatchLPM:
+			pl, err := next()
+			if err != nil {
+				return e, err
+			}
+			fm.PrefixLen = int(pl.Int())
+		case p4.MatchTernary:
+			m, err := next()
+			if err != nil {
+				return e, err
+			}
+			fm.Mask = m.Bit()
+		case p4.MatchOptional:
+			w, err := next()
+			if err != nil {
+				return e, err
+			}
+			fm.Wildcard = w.Bool()
+		}
+		e.Matches = append(e.Matches, fm)
+	}
+	for range b.Params {
+		v, err := next()
+		if err != nil {
+			return e, err
+		}
+		e.Params = append(e.Params, v.Bit())
+	}
+	if b.HasPriority {
+		v, err := next()
+		if err != nil {
+			return e, err
+		}
+		e.Priority = int(v.Int())
+	}
+	if pos != len(rec) {
+		return e, fmt.Errorf("codegen: record for %s has %d extra fields", b.Relation, len(rec)-pos)
+	}
+	return e, nil
+}
+
+// DigestRecord converts a digest message to the input relation's record
+// (non-per-device bindings).
+func (b *DigestBinding) DigestRecord(fields []uint64) (value.Record, error) {
+	return b.DigestRecordFrom("", fields)
+}
+
+// DigestRecordFrom converts a digest message arriving from the given
+// device to the input relation's record.
+func (b *DigestBinding) DigestRecordFrom(device string, fields []uint64) (value.Record, error) {
+	if len(fields) != len(b.Bits) {
+		return nil, fmt.Errorf("codegen: digest %s has %d fields, got %d", b.Digest, len(b.Bits), len(fields))
+	}
+	rec := make(value.Record, 0, len(fields)+1)
+	if b.PerDevice {
+		rec = append(rec, value.String(device))
+	}
+	for i, f := range fields {
+		if value.MaskBits(f, b.Bits[i]) != f {
+			return nil, fmt.Errorf("codegen: digest %s field %d overflows bit<%d>", b.Digest, i, b.Bits[i])
+		}
+		rec = append(rec, value.Bit(f))
+	}
+	return rec, nil
+}
+
+// MulticastFromRecord converts a MulticastGroup record to (group, port).
+func MulticastFromRecord(rec value.Record) (group uint16, port uint16, err error) {
+	if len(rec) != 2 {
+		return 0, 0, fmt.Errorf("codegen: MulticastGroup record has %d fields", len(rec))
+	}
+	return uint16(rec[0].Bit()), uint16(rec[1].Bit()), nil
+}
+
+// MulticastDeviceFromRecord converts a per-device MulticastGroup record to
+// (device, group, port).
+func MulticastDeviceFromRecord(rec value.Record) (device string, group, port uint16, err error) {
+	if len(rec) != 3 || rec[0].Kind() != value.KindString {
+		return "", 0, 0, fmt.Errorf("codegen: per-device MulticastGroup record has wrong shape: %v", rec)
+	}
+	return rec[0].Str(), uint16(rec[1].Bit()), uint16(rec[2].Bit()), nil
+}

@@ -1,0 +1,672 @@
+// Package core implements the Nerpa controller: the state-synchronization
+// loop at the center of the paper's architecture (Fig. 4).
+//
+// The controller compiles the generated relation declarations together
+// with the hand-written control-plane rules (type-checking all three
+// planes against each other), subscribes to management-plane changes via
+// an OVSDB monitor, converts each committed transaction into an
+// incremental engine transaction, and pushes the resulting output-relation
+// deltas to the data plane as P4Runtime writes. Data-plane digests flow
+// back into input relations, closing the feedback loop (e.g. MAC
+// learning).
+//
+// Devices are organized into classes, each running its own P4 program
+// (the paper's §4.1 generalization: spine and leaf switches, say). A
+// class's relations are name-prefixed with the class name, and a class
+// may be per-device: its output relations then carry a leading device
+// column so rules compute different entries for different switches.
+//
+// All events are serialized through one loop goroutine, so the engine sees
+// a single totally-ordered stream of transactions.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/dl"
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+	"repro/internal/p4rt"
+)
+
+// DataPlane is the controller's view of one managed device (implemented
+// by *p4rt.Client and by in-process fakes in tests/benchmarks).
+type DataPlane interface {
+	GetP4Info() (*p4.P4Info, error)
+	Write(updates ...p4rt.Update) error
+	OnDigest(func(p4rt.DigestList))
+}
+
+// ManagementPlane is the controller's view of the configuration database
+// (implemented by *ovsdb.Client).
+type ManagementPlane interface {
+	GetSchema(db string) (*ovsdb.DatabaseSchema, error)
+	Monitor(db string, id any, requests map[string]*ovsdb.MonitorRequest, cb func(ovsdb.TableUpdates)) (ovsdb.TableUpdates, error)
+}
+
+// Device is one managed switch: an id (usable in per-device relations)
+// plus its control connection.
+type Device struct {
+	ID string
+	DP DataPlane
+}
+
+// DeviceClass groups devices running the same P4 program.
+type DeviceClass struct {
+	// Name prefixes the class's generated relations (empty for the
+	// single-class case: relations keep their plain names).
+	Name string
+	// PerDevice adds a leading device column to the class's relations, so
+	// rules target individual switches by id.
+	PerDevice bool
+	Devices   []Device
+}
+
+// Config configures a Controller.
+type Config struct {
+	// Rules is the hand-written control-plane program (rules only; the
+	// relation declarations are generated).
+	Rules string
+	// ExtraDecls holds additional hand-written declarations (typedefs,
+	// intermediate relations) prepended with the generated ones.
+	ExtraDecls string
+	// Database is the OVSDB database name.
+	Database string
+	// EngineOptions tune the incremental engine.
+	EngineOptions engine.Options
+	// OnTxn, when set, is called after every applied transaction with
+	// processing statistics (used by the evaluation harness).
+	OnTxn func(TxnStats)
+}
+
+// TxnStats describes one applied transaction.
+type TxnStats struct {
+	Source        string // "ovsdb", "digest", or "initial"
+	InputUpdates  int
+	OutputChanges int
+	EngineTime    time.Duration
+	PushTime      time.Duration
+}
+
+// mcastKey identifies one multicast group on one device ("" = whole
+// class).
+type mcastKey struct {
+	device string
+	group  uint16
+}
+
+// classState is the runtime state of one device class.
+type classState struct {
+	cls     DeviceClass
+	gen     *codegen.Generated
+	devByID map[string]DataPlane
+	mcast   map[mcastKey]map[uint16]bool
+}
+
+// outputRoute resolves an output relation to its class and binding.
+type outputRoute struct {
+	class   *classState
+	binding *codegen.OutputTableBinding
+}
+
+// Controller is a running full-stack controller instance.
+type Controller struct {
+	cfg      Config
+	inputGen *codegen.Generated
+	classes  []*classState
+	outputs  map[string]*outputRoute
+	mcastRel map[string]*classState
+	prog     *dl.Program
+	rt       *engine.Runtime
+	mp       ManagementPlane
+	schema   *ovsdb.DatabaseSchema
+	events   chan event
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+type event struct {
+	source  string
+	updates []engine.Update
+	barrier chan struct{}
+}
+
+// New builds and starts a controller managing a single class of devices
+// (plain relation names, no device column) — the paper's prototype shape.
+func New(cfg Config, mp ManagementPlane, devices ...DataPlane) (*Controller, error) {
+	cls := DeviceClass{}
+	for i, dp := range devices {
+		cls.Devices = append(cls.Devices, Device{ID: fmt.Sprintf("dev%d", i), DP: dp})
+	}
+	return NewWithClasses(cfg, mp, []DeviceClass{cls})
+}
+
+// NewWithClasses builds and starts a controller managing several device
+// classes, each running its own P4 program. It fetches each class's
+// pipeline description, generates declarations from all planes, compiles
+// and cross-checks the combined program, loads the initial database
+// snapshot, and begins processing changes.
+func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Controller, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("core: no device classes")
+	}
+	schema, err := mp.GetSchema(cfg.Database)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetching schema: %w", err)
+	}
+	inputGen, err := codegen.Generate(schema, nil, codegen.Options{})
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:      cfg,
+		inputGen: inputGen,
+		outputs:  make(map[string]*outputRoute),
+		mcastRel: make(map[string]*classState),
+		mp:       mp,
+		schema:   schema,
+		events:   make(chan event, 1024),
+		done:     make(chan struct{}),
+	}
+	decls := inputGen.Decls
+	seen := make(map[string]bool)
+	for _, cls := range classes {
+		if len(cls.Devices) == 0 {
+			return nil, fmt.Errorf("core: class %q has no devices", cls.Name)
+		}
+		if seen[cls.Name] {
+			return nil, fmt.Errorf("core: duplicate device class %q", cls.Name)
+		}
+		seen[cls.Name] = true
+		info, err := cls.Devices[0].DP.GetP4Info()
+		if err != nil {
+			return nil, fmt.Errorf("core: class %q: fetching p4info: %w", cls.Name, err)
+		}
+		for _, dev := range cls.Devices[1:] {
+			other, err := dev.DP.GetP4Info()
+			if err != nil {
+				return nil, fmt.Errorf("core: class %q: fetching p4info: %w", cls.Name, err)
+			}
+			if other.Program != info.Program {
+				return nil, fmt.Errorf("core: class %q: device %s runs %q, class runs %q",
+					cls.Name, dev.ID, other.Program, info.Program)
+			}
+		}
+		gen, err := codegen.Generate(nil, info, codegen.Options{
+			WithMulticast: true, Prefix: cls.Name, PerDevice: cls.PerDevice,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cs := &classState{
+			cls:     cls,
+			gen:     gen,
+			devByID: make(map[string]DataPlane, len(cls.Devices)),
+			mcast:   make(map[mcastKey]map[uint16]bool),
+		}
+		for _, dev := range cls.Devices {
+			if _, dup := cs.devByID[dev.ID]; dup {
+				return nil, fmt.Errorf("core: class %q: duplicate device id %q", cls.Name, dev.ID)
+			}
+			cs.devByID[dev.ID] = dev.DP
+		}
+		for rel, b := range gen.Outputs {
+			if _, dup := c.outputs[rel]; dup {
+				return nil, fmt.Errorf("core: output relation %q generated by two classes", rel)
+			}
+			c.outputs[rel] = &outputRoute{class: cs, binding: b}
+		}
+		c.mcastRel[gen.MulticastName] = cs
+		c.classes = append(c.classes, cs)
+		decls += gen.Decls
+	}
+
+	prog, err := dl.Compile(decls + "\n" + cfg.ExtraDecls + "\n" + cfg.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling control plane: %w", err)
+	}
+	if err := inputGen.Verify(prog); err != nil {
+		return nil, err
+	}
+	for _, cs := range c.classes {
+		if err := cs.gen.Verify(prog); err != nil {
+			return nil, err
+		}
+	}
+	c.prog = prog
+	c.rt, err = prog.NewRuntime(cfg.EngineOptions)
+	if err != nil {
+		return nil, err
+	}
+	go c.loop()
+
+	// Digest subscriptions feed the event queue, tagged with the
+	// originating device.
+	for _, cs := range c.classes {
+		for _, dev := range cs.cls.Devices {
+			cs := cs
+			id := dev.ID
+			dev.DP.OnDigest(func(dl p4rt.DigestList) { c.handleDigest(cs, id, dl) })
+		}
+	}
+	// Monitor every bound table with exactly the bound columns.
+	initial, err := mp.Monitor(cfg.Database, "nerpa", c.monitorRequests(), c.handleOVSDB)
+	if err != nil {
+		c.Stop()
+		return nil, fmt.Errorf("core: monitor: %w", err)
+	}
+	ups, err := c.ovsdbUpdates(initial)
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.events <- event{source: "initial", updates: ups}
+	// When the management plane exposes connection liveness (as
+	// *ovsdb.Client does), surface a dropped session through Err() rather
+	// than silently receiving no further updates.
+	if lp, ok := mp.(interface{ Done() <-chan struct{} }); ok {
+		go func() {
+			select {
+			case <-lp.Done():
+				c.fail(errors.New("core: management-plane connection closed"))
+			case <-c.done:
+			}
+		}()
+	}
+	return c, nil
+}
+
+// Program returns the compiled control-plane program.
+func (c *Controller) Program() *dl.Program { return c.prog }
+
+// Generated returns the management-plane bindings (the schema side).
+// Class bindings are internal; tests reach them through the program.
+func (c *Controller) Generated() *codegen.Generated { return c.inputGen }
+
+// Contents exposes a relation snapshot (diagnostics and tests).
+func (c *Controller) Contents(rel string) ([]value.Record, error) { return c.rt.Contents(rel) }
+
+// Err returns the error that stopped the controller, if any.
+func (c *Controller) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Done is closed when the controller stops.
+func (c *Controller) Done() <-chan struct{} { return c.done }
+
+// Stop terminates the event loop.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.events) })
+	<-c.done
+}
+
+// Barrier blocks until every event enqueued before it has been fully
+// processed (including data-plane pushes).
+func (c *Controller) Barrier() error {
+	ch := make(chan struct{})
+	defer func() { recover() }() // events may be closed concurrently
+	c.events <- event{barrier: ch}
+	select {
+	case <-ch:
+		return nil
+	case <-c.done:
+		return c.Err()
+	}
+}
+
+func (c *Controller) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *Controller) loop() {
+	defer close(c.done)
+	for ev := range c.events {
+		if ev.barrier != nil {
+			close(ev.barrier)
+			continue
+		}
+		if c.Err() != nil {
+			continue // drain after failure
+		}
+		start := time.Now()
+		delta, err := c.rt.Apply(ev.updates)
+		engineTime := time.Since(start)
+		if err != nil {
+			c.fail(fmt.Errorf("core: engine: %w", err))
+			continue
+		}
+		pushStart := time.Now()
+		n, err := c.push(delta)
+		if err != nil {
+			c.fail(fmt.Errorf("core: push: %w", err))
+			continue
+		}
+		if c.cfg.OnTxn != nil {
+			c.cfg.OnTxn(TxnStats{
+				Source:        ev.source,
+				InputUpdates:  len(ev.updates),
+				OutputChanges: n,
+				EngineTime:    engineTime,
+				PushTime:      time.Since(pushStart),
+			})
+		}
+	}
+}
+
+// target identifies one write destination: a device of a class, or the
+// whole class (device "").
+type target struct {
+	class  *classState
+	device string
+}
+
+// push converts output deltas to data-plane writes, grouped per target.
+// Deletes are issued before inserts so match-key replacements land
+// correctly.
+func (c *Controller) push(delta engine.Delta) (int, error) {
+	dels := make(map[target][]p4rt.Update)
+	ins := make(map[target][]p4rt.Update)
+	mcastDirty := make(map[target]map[uint16]bool)
+	var order []target
+	seen := make(map[target]bool)
+	touch := func(tg target) {
+		if !seen[tg] {
+			seen[tg] = true
+			order = append(order, tg)
+		}
+	}
+
+	for rel, z := range delta {
+		if cs, ok := c.mcastRel[rel]; ok {
+			for _, e := range z.Entries() {
+				var device string
+				var group, port uint16
+				var err error
+				if cs.cls.PerDevice {
+					device, group, port, err = codegen.MulticastDeviceFromRecord(e.Rec)
+				} else {
+					group, port, err = codegen.MulticastFromRecord(e.Rec)
+				}
+				if err != nil {
+					return 0, err
+				}
+				key := mcastKey{device: device, group: group}
+				members := cs.mcast[key]
+				if members == nil {
+					members = make(map[uint16]bool)
+					cs.mcast[key] = members
+				}
+				if e.Weight > 0 {
+					members[port] = true
+				} else {
+					delete(members, port)
+				}
+				tg := target{class: cs, device: device}
+				touch(tg)
+				if mcastDirty[tg] == nil {
+					mcastDirty[tg] = make(map[uint16]bool)
+				}
+				mcastDirty[tg][group] = true
+			}
+			continue
+		}
+		route := c.outputs[rel]
+		if route == nil {
+			continue // internal or unbound output relation
+		}
+		for _, e := range z.Entries() {
+			entry, err := route.binding.EntryFromRecord(e.Rec)
+			if err != nil {
+				return 0, err
+			}
+			tg := target{class: route.class, device: route.binding.Device(e.Rec)}
+			touch(tg)
+			if e.Weight > 0 {
+				ins[tg] = append(ins[tg], p4rt.InsertEntry(entry))
+			} else {
+				dels[tg] = append(dels[tg], p4rt.DeleteEntry(entry))
+			}
+		}
+	}
+
+	total := 0
+	for _, tg := range order {
+		var updates []p4rt.Update
+		updates = append(updates, dels[tg]...)
+		updates = append(updates, ins[tg]...)
+		groups := make([]uint16, 0, len(mcastDirty[tg]))
+		for g := range mcastDirty[tg] {
+			groups = append(groups, g)
+		}
+		sortU16(groups)
+		for _, g := range groups {
+			members := tg.class.mcast[mcastKey{device: tg.device, group: g}]
+			ports := make([]uint16, 0, len(members))
+			for p := range members {
+				ports = append(ports, p)
+			}
+			sortU16(ports)
+			updates = append(updates, p4rt.SetMulticast(g, ports))
+		}
+		if len(updates) == 0 {
+			continue
+		}
+		total += len(updates)
+		if err := c.writeTarget(tg, updates); err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+func (c *Controller) writeTarget(tg target, updates []p4rt.Update) error {
+	if tg.device == "" {
+		for _, dev := range tg.class.cls.Devices {
+			if err := dev.DP.Write(updates...); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	dp := tg.class.devByID[tg.device]
+	if dp == nil {
+		return fmt.Errorf("core: rules target unknown device %q of class %q",
+			tg.device, tg.class.cls.Name)
+	}
+	return dp.Write(updates...)
+}
+
+func sortU16(s []uint16) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// monitorRequests builds the per-table monitor covering every bound
+// column.
+func (c *Controller) monitorRequests() map[string]*ovsdb.MonitorRequest {
+	cols := make(map[string]map[string]bool)
+	add := func(table, col string) {
+		m := cols[table]
+		if m == nil {
+			m = make(map[string]bool)
+			cols[table] = m
+		}
+		m[col] = true
+	}
+	for _, b := range c.inputGen.Inputs {
+		for _, col := range b.Columns {
+			add(b.Table, col)
+		}
+		if _, ok := cols[b.Table]; !ok {
+			cols[b.Table] = make(map[string]bool)
+		}
+	}
+	for _, b := range c.inputGen.Aux {
+		add(b.Table, b.Column)
+	}
+	out := make(map[string]*ovsdb.MonitorRequest, len(cols))
+	for table, set := range cols {
+		req := &ovsdb.MonitorRequest{}
+		for col := range set {
+			req.Columns = append(req.Columns, col)
+		}
+		sortStrings(req.Columns)
+		out[table] = req
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// handleOVSDB runs on the OVSDB client's delivery goroutine.
+func (c *Controller) handleOVSDB(tu ovsdb.TableUpdates) {
+	ups, err := c.ovsdbUpdates(tu)
+	if err != nil {
+		c.fail(err)
+		return
+	}
+	c.enqueue(event{source: "ovsdb", updates: ups})
+}
+
+func (c *Controller) enqueue(ev event) {
+	defer func() { recover() }() // racing with Stop is benign
+	c.events <- ev
+}
+
+// ovsdbUpdates converts a monitor notification into engine updates.
+func (c *Controller) ovsdbUpdates(tu ovsdb.TableUpdates) ([]engine.Update, error) {
+	var ups []engine.Update
+	for _, b := range c.inputGen.Inputs {
+		table, ok := tu[b.Table]
+		if !ok {
+			continue
+		}
+		ts := c.schema.Tables[b.Table]
+		for uuid, ru := range table {
+			oldRow, newRow, err := rowsOf(ts, ru)
+			if err != nil {
+				return nil, err
+			}
+			if oldRow != nil {
+				rec, err := b.RowRecord(uuid, oldRow)
+				if err != nil {
+					return nil, err
+				}
+				ups = append(ups, engine.Delete(b.Relation, rec))
+			}
+			if newRow != nil {
+				rec, err := b.RowRecord(uuid, newRow)
+				if err != nil {
+					return nil, err
+				}
+				ups = append(ups, engine.Insert(b.Relation, rec))
+			}
+		}
+	}
+	for _, b := range c.inputGen.Aux {
+		table, ok := tu[b.Table]
+		if !ok {
+			continue
+		}
+		ts := c.schema.Tables[b.Table]
+		for uuid, ru := range table {
+			oldRow, newRow, err := rowsOf(ts, ru)
+			if err != nil {
+				return nil, err
+			}
+			if oldRow != nil {
+				recs, err := b.ElementRecords(uuid, oldRow)
+				if err != nil {
+					return nil, err
+				}
+				for _, rec := range recs {
+					ups = append(ups, engine.Delete(b.Relation, rec))
+				}
+			}
+			if newRow != nil {
+				recs, err := b.ElementRecords(uuid, newRow)
+				if err != nil {
+					return nil, err
+				}
+				for _, rec := range recs {
+					ups = append(ups, engine.Insert(b.Relation, rec))
+				}
+			}
+		}
+	}
+	return ups, nil
+}
+
+// rowsOf reconstructs the full old and new rows of a RowUpdate. For a
+// modify, Old carries only the changed columns, so the full old row is New
+// overlaid with Old.
+func rowsOf(ts *ovsdb.TableSchema, ru ovsdb.RowUpdate) (oldRow, newRow ovsdb.Row, err error) {
+	if ru.New != nil {
+		newRow, err = ovsdb.RowFromJSON(ts, ru.New)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if ru.Old != nil {
+		oldRow, err = ovsdb.RowFromJSON(ts, ru.Old)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ru.New != nil {
+			merged := make(ovsdb.Row, len(newRow))
+			for k, v := range newRow {
+				merged[k] = v
+			}
+			for k, v := range oldRow {
+				merged[k] = v
+			}
+			oldRow = merged
+		}
+	}
+	return oldRow, newRow, nil
+}
+
+// handleDigest runs on a p4rt client's delivery goroutine.
+func (c *Controller) handleDigest(cs *classState, deviceID string, dl p4rt.DigestList) {
+	var ups []engine.Update
+	for _, b := range cs.gen.Digests {
+		if b.Digest != dl.Digest {
+			continue
+		}
+		for _, msg := range dl.Messages {
+			rec, err := b.DigestRecordFrom(deviceID, msg)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			ups = append(ups, engine.Insert(b.Relation, rec))
+		}
+	}
+	if len(ups) > 0 {
+		c.enqueue(event{source: "digest", updates: ups})
+	}
+}

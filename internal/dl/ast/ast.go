@@ -1,0 +1,400 @@
+// Package ast defines the abstract syntax of the Datalog dialect used for
+// control-plane programs. The dialect is modeled on Differential Datalog:
+// typed relations, rules with joins, negation, arithmetic and string
+// expressions, assignments, group-by aggregation, and recursion.
+package ast
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Program is a parsed program: type definitions, relation declarations,
+// functions, and rules, in source order.
+type Program struct {
+	Typedefs  []*Typedef
+	Relations []*RelationDecl
+	Functions []*FuncDecl
+	Rules     []*Rule
+}
+
+// FuncDecl declares a pure function: function Name(p: T, ...): RT = expr.
+// Functions may call only previously declared functions (no recursion).
+type FuncDecl struct {
+	Pos     Pos
+	Name    string
+	Params  []Param
+	RetType TypeExpr
+	Body    Expr
+}
+
+// Typedef declares a named struct type: typedef Name = Name{f: T, ...}.
+type Typedef struct {
+	Pos    Pos
+	Name   string
+	Fields []Param
+}
+
+// RelationRole distinguishes how a relation is fed and consumed.
+type RelationRole int
+
+// Relation roles.
+const (
+	RoleInternal RelationRole = iota // derived, not externally visible
+	RoleInput                        // fed by the environment
+	RoleOutput                       // derived, externally visible deltas
+)
+
+func (r RelationRole) String() string {
+	switch r {
+	case RoleInput:
+		return "input"
+	case RoleOutput:
+		return "output"
+	default:
+		return "internal"
+	}
+}
+
+// Param is a named, typed parameter (relation column or struct field).
+type Param struct {
+	Pos  Pos
+	Name string
+	Type TypeExpr
+}
+
+// RelationDecl declares a relation and its column types.
+type RelationDecl struct {
+	Pos    Pos
+	Role   RelationRole
+	Name   string
+	Params []Param
+}
+
+// Rule is Head :- Body.
+type Rule struct {
+	Pos  Pos
+	Head Atom
+	Body []BodyTerm
+}
+
+// Atom is a relation applied to argument expressions.
+type Atom struct {
+	Pos  Pos
+	Rel  string
+	Args []Expr
+}
+
+// BodyTerm is one conjunct of a rule body.
+type BodyTerm interface {
+	bodyTerm()
+	Position() Pos
+}
+
+// Literal is a (possibly negated) relation atom in a rule body.
+type Literal struct {
+	Atom
+	Negated bool
+}
+
+// Cond is a boolean guard expression in a rule body.
+type Cond struct {
+	Pos  Pos
+	Expr Expr
+}
+
+// Assign binds a fresh variable: var x = expr.
+type Assign struct {
+	Pos  Pos
+	Var  string
+	Expr Expr
+}
+
+// GroupBy aggregates over the bindings produced by the preceding body:
+// var x = agg(arg) group_by (k1, ..., kn). It must be the last body term.
+type GroupBy struct {
+	Pos  Pos
+	Var  string
+	Agg  string // count, sum, min, max
+	Arg  Expr   // may be nil for count()
+	Keys []string
+}
+
+func (*Literal) bodyTerm() {}
+func (*Cond) bodyTerm()    {}
+func (*Assign) bodyTerm()  {}
+func (*GroupBy) bodyTerm() {}
+
+// Position returns the source position of the term.
+func (l *Literal) Position() Pos { return l.Pos }
+
+// Position returns the source position of the term.
+func (c *Cond) Position() Pos { return c.Pos }
+
+// Position returns the source position of the term.
+func (a *Assign) Position() Pos { return a.Pos }
+
+// Position returns the source position of the term.
+func (g *GroupBy) Position() Pos { return g.Pos }
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	typeExpr()
+	Position() Pos
+	String() string
+}
+
+// NamedType names a predeclared or typedef'd type: bool, int, string, Foo.
+type NamedType struct {
+	Pos  Pos
+	Name string
+}
+
+// BitTypeExpr is bit<N>.
+type BitTypeExpr struct {
+	Pos   Pos
+	Width int
+}
+
+// TupleTypeExpr is (T1, ..., Tn).
+type TupleTypeExpr struct {
+	Pos   Pos
+	Elems []TypeExpr
+}
+
+func (*NamedType) typeExpr()     {}
+func (*BitTypeExpr) typeExpr()   {}
+func (*TupleTypeExpr) typeExpr() {}
+
+// Position returns the source position of the type expression.
+func (t *NamedType) Position() Pos { return t.Pos }
+
+// Position returns the source position of the type expression.
+func (t *BitTypeExpr) Position() Pos { return t.Pos }
+
+// Position returns the source position of the type expression.
+func (t *TupleTypeExpr) Position() Pos { return t.Pos }
+
+func (t *NamedType) String() string   { return t.Name }
+func (t *BitTypeExpr) String() string { return fmt.Sprintf("bit<%d>", t.Width) }
+func (t *TupleTypeExpr) String() string {
+	s := "("
+	for i, e := range t.Elems {
+		if i > 0 {
+			s += ", "
+		}
+		s += e.String()
+	}
+	return s + ")"
+}
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	Position() Pos
+}
+
+// Var references a variable.
+type Var struct {
+	Pos  Pos
+	Name string
+}
+
+// Wildcard is the pattern _ (only legal as a literal argument).
+type Wildcard struct {
+	Pos Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// IntLit is an integer literal. It is polymorphic: its type (int or
+// bit<N>) is inferred from context.
+type IntLit struct {
+	Pos Pos
+	Val uint64
+	Neg bool // literal was written with a leading minus
+}
+
+// StringLit is a quoted string.
+type StringLit struct {
+	Pos Pos
+	Val string
+}
+
+// BinaryOp identifies a binary operator.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpBitAnd
+	OpBitOr
+	OpBitXor
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpConcat // ++ string concatenation
+)
+
+var binaryOpNames = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpBitAnd: "&", OpBitOr: "|", OpBitXor: "^", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "and", OpOr: "or", OpConcat: "++",
+}
+
+func (op BinaryOp) String() string { return binaryOpNames[op] }
+
+// Binary is L op R.
+type Binary struct {
+	Pos  Pos
+	Op   BinaryOp
+	L, R Expr
+}
+
+// UnaryOp identifies a unary operator.
+type UnaryOp int
+
+// Unary operators.
+const (
+	OpNot UnaryOp = iota
+	OpNeg
+	OpBitNot
+)
+
+func (op UnaryOp) String() string {
+	switch op {
+	case OpNot:
+		return "not"
+	case OpNeg:
+		return "-"
+	default:
+		return "~"
+	}
+}
+
+// Unary is op E.
+type Unary struct {
+	Pos Pos
+	Op  UnaryOp
+	E   Expr
+}
+
+// Call is a builtin function application.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// FieldAccess is E.name on a struct value.
+type FieldAccess struct {
+	Pos   Pos
+	E     Expr
+	Field string
+}
+
+// TupleExpr is (e1, ..., en) with n != 1.
+type TupleExpr struct {
+	Pos   Pos
+	Elems []Expr
+}
+
+// StructExpr constructs a typedef'd struct: Name{f1 = e1, ...}.
+type StructExpr struct {
+	Pos    Pos
+	Name   string
+	Fields []StructField
+}
+
+// StructField is one field initializer of a StructExpr.
+type StructField struct {
+	Name string
+	Expr Expr
+}
+
+// Cast is E as T (numeric conversions only).
+type Cast struct {
+	Pos  Pos
+	E    Expr
+	Type TypeExpr
+}
+
+// IfElse is if (c) t else e, an expression.
+type IfElse struct {
+	Pos        Pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+func (*Var) expr()         {}
+func (*Wildcard) expr()    {}
+func (*BoolLit) expr()     {}
+func (*IntLit) expr()      {}
+func (*StringLit) expr()   {}
+func (*Binary) expr()      {}
+func (*Unary) expr()       {}
+func (*Call) expr()        {}
+func (*FieldAccess) expr() {}
+func (*TupleExpr) expr()   {}
+func (*StructExpr) expr()  {}
+func (*Cast) expr()        {}
+func (*IfElse) expr()      {}
+
+// Position returns the expression's source position.
+func (e *Var) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *Wildcard) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *BoolLit) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *IntLit) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *StringLit) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *Binary) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *Unary) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *Call) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *FieldAccess) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *TupleExpr) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *StructExpr) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *Cast) Position() Pos { return e.Pos }
+
+// Position returns the expression's source position.
+func (e *IfElse) Position() Pos { return e.Pos }

@@ -1,0 +1,76 @@
+package ast
+
+import "testing"
+
+func TestPosString(t *testing.T) {
+	if got := (Pos{Line: 3, Col: 14}).String(); got != "3:14" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+}
+
+func TestRelationRoleString(t *testing.T) {
+	cases := map[RelationRole]string{
+		RoleInput:    "input",
+		RoleOutput:   "output",
+		RoleInternal: "internal",
+	}
+	for role, want := range cases {
+		if got := role.String(); got != want {
+			t.Errorf("role %d = %q, want %q", role, got, want)
+		}
+	}
+}
+
+func TestTypeExprString(t *testing.T) {
+	tup := &TupleTypeExpr{Elems: []TypeExpr{
+		&NamedType{Name: "string"},
+		&BitTypeExpr{Width: 48},
+	}}
+	if got := tup.String(); got != "(string, bit<48>)" {
+		t.Errorf("tuple type = %q", got)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	// Every binary operator renders to its source spelling, so the
+	// typechecker's error messages quote real syntax.
+	for op := BinaryOp(0); int(op) < len(binaryOpNames); op++ {
+		if op.String() == "" {
+			t.Errorf("binary op %d has no name", op)
+		}
+	}
+	if OpNot.String() == "" || OpNeg.String() == "" {
+		t.Error("unary ops unnamed")
+	}
+}
+
+func TestPositionsPropagate(t *testing.T) {
+	p := Pos{Line: 7, Col: 2}
+	terms := []BodyTerm{
+		&Literal{Atom: Atom{Pos: p}}, &Cond{Pos: p}, &Assign{Pos: p}, &GroupBy{Pos: p},
+	}
+	for _, term := range terms {
+		if term.Position() != p {
+			t.Errorf("%T position = %v", term, term.Position())
+		}
+	}
+	exprs := []Expr{
+		&Var{Pos: p}, &Wildcard{Pos: p}, &BoolLit{Pos: p}, &IntLit{Pos: p},
+		&StringLit{Pos: p}, &Binary{Pos: p}, &Unary{Pos: p}, &Call{Pos: p},
+		&FieldAccess{Pos: p}, &TupleExpr{Pos: p}, &StructExpr{Pos: p},
+		&Cast{Pos: p}, &IfElse{Pos: p},
+	}
+	for _, e := range exprs {
+		if e.Position() != p {
+			t.Errorf("%T position = %v", e, e.Position())
+		}
+	}
+	types := []TypeExpr{
+		&NamedType{Pos: p}, &BitTypeExpr{Pos: p}, &TupleTypeExpr{Pos: p},
+	}
+	for _, te := range types {
+		if te.Position() != p {
+			t.Errorf("%T position = %v", te, te.Position())
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package dl is the front door of the control-plane language: it compiles
+// Datalog dialect source (lex, parse, type-check) into a program that can
+// be instantiated as an incremental runtime.
+//
+// The dialect is modeled on Differential Datalog (DDlog), the language the
+// Full-Stack SDN paper uses for its control plane: typed relations over
+// bools, signed integers, bit<N> vectors, strings, and named structs; rules
+// with joins, stratified negation, arithmetic/string expressions,
+// assignments, group_by aggregation (count, sum, min, max), and recursion.
+package dl
+
+import (
+	"repro/internal/dl/engine"
+	"repro/internal/dl/parser"
+	"repro/internal/dl/typecheck"
+)
+
+// Program is a compiled control-plane program.
+type Program struct {
+	// Checked is the typed intermediate representation; cross-plane tooling
+	// (codegen, the controller) reads relation schemas from it.
+	Checked *typecheck.Program
+	// Source is the text the program was compiled from.
+	Source string
+}
+
+// Compile lexes, parses, and type-checks src.
+func Compile(src string) (*Program, error) {
+	tree, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	checked, err := typecheck.Check(tree)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Checked: checked, Source: src}, nil
+}
+
+// NewRuntime instantiates an incremental runtime for the program.
+func (p *Program) NewRuntime(opts engine.Options) (*engine.Runtime, error) {
+	return engine.New(p.Checked, opts)
+}
+
+// Relation returns the named relation's schema, or nil.
+func (p *Program) Relation(name string) *typecheck.Relation {
+	return p.Checked.Relation(name)
+}

@@ -1,0 +1,54 @@
+package dl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+)
+
+func TestCompileAndRun(t *testing.T) {
+	p, err := Compile(`
+		input relation Edge(a: string, b: string)
+		output relation Reach(a: string, b: string)
+		Reach(a, b) :- Edge(a, b).
+		Reach(a, c) :- Reach(a, b), Edge(b, c).
+	`)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if p.Relation("Edge") == nil || p.Relation("Nope") != nil {
+		t.Errorf("Relation lookup wrong")
+	}
+	rt, err := p.NewRuntime(engine.Options{})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	_, err = rt.Apply([]engine.Update{
+		engine.Insert("Edge", value.Record{value.String("a"), value.String("b")}),
+		engine.Insert("Edge", value.Record{value.String("b"), value.String("c")}),
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	recs, err := rt.Contents("Reach")
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("Reach = %v (err %v), want 3 records", recs, err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"lex error":   `relation R(x: int) @`,
+		"parse error": `relation R(x: int`,
+		"type error":  `relation R(x: int) R("s") :- R(_).`,
+	}
+	for name, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("%s: Compile succeeded", name)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("%s: error lacks position: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,1026 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dl/ast"
+	"repro/internal/dl/typecheck"
+	"repro/internal/dl/value"
+	"repro/internal/dl/zset"
+)
+
+// Update is one element of a transaction: insert or delete a record in an
+// input relation.
+type Update struct {
+	Relation string
+	Rec      value.Record
+	Insert   bool
+}
+
+// Insert builds an insertion update.
+func Insert(rel string, rec value.Record) Update {
+	return Update{Relation: rel, Rec: rec, Insert: true}
+}
+
+// Delete builds a deletion update.
+func Delete(rel string, rec value.Record) Update { return Update{Relation: rel, Rec: rec} }
+
+// Delta maps relation names to their set-level change for one transaction.
+type Delta map[string]*zset.ZSet
+
+// Options configure a Runtime.
+type Options struct {
+	// MaxDerivationsPerTxn bounds the number of tuple derivation operations
+	// one transaction may perform; 0 means unlimited. It is a backstop
+	// against divergent recursive programs (recursion through arithmetic).
+	MaxDerivationsPerTxn int
+	// RecursiveDeleteFallback bounds DRed's known worst case: when a
+	// deletion's overdelete set grows beyond this fraction of a recursive
+	// stratum's contents (dense cyclic data), the engine abandons
+	// delete–rederive and recomputes the stratum from scratch instead,
+	// capping the cost at one recomputation. 0 disables the fallback;
+	// 0 < f <= 1 enables it.
+	RecursiveDeleteFallback float64
+}
+
+// Runtime incrementally evaluates one checked program instance.
+type Runtime struct {
+	prog       *typecheck.Program
+	opts       Options
+	rels       []*relState
+	relByName  map[string]*relState
+	relOfDecl  map[*typecheck.Relation]*relState
+	rules      []*compiledRule
+	aggs       []*aggSpec
+	aggsByHead map[*relState][]*aggSpec
+	// occsByRel[id] lists the (rule, bodyIdx) pairs where relation id
+	// occurs in a body.
+	occsByRel   [][]occurrence
+	rulesByHead map[*relState][]*compiledRule
+	strata      [][]int
+	recStratum  []bool
+	failed      error
+	derivations int
+}
+
+type occurrence struct {
+	rule    *compiledRule
+	bodyIdx int
+}
+
+// aggSpec is a compiled group_by rule: the hidden group relation feeds the
+// head through per-group re-aggregation.
+type aggSpec struct {
+	groupRel  *relState
+	keyIx     *index
+	numKeys   int
+	slotOfCol []int // group-relation column → rule slot
+	argExpr   typecheck.Expr
+	agg       string
+	outSlot   int
+	head      *relState
+	headExprs []typecheck.Expr
+	envSize   int
+}
+
+// New compiles a checked program and returns a runtime with the program's
+// facts already evaluated.
+func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
+	rt := &Runtime{
+		prog:        prog,
+		opts:        opts,
+		relByName:   make(map[string]*relState),
+		relOfDecl:   make(map[*typecheck.Relation]*relState),
+		rulesByHead: make(map[*relState][]*compiledRule),
+		aggsByHead:  make(map[*relState][]*aggSpec),
+	}
+	for _, rel := range prog.Relations {
+		rs := newRelState(rel, len(rt.rels), false)
+		rt.rels = append(rt.rels, rs)
+		rt.relByName[rel.Name] = rs
+		rt.relOfDecl[rel] = rs
+	}
+	// Compile rules; group_by rules split into a hidden relation rule plus
+	// an aggregation spec.
+	var edges []depEdge
+	for ri, rule := range prog.Rules {
+		head := rt.relOfDecl[rule.Head]
+		cr := &compiledRule{src: rule, head: head, slots: rule.Slots}
+		if gb := rule.GroupBy; gb != nil {
+			groupRel, spec := rt.makeGroupRel(ri, rule, gb)
+			spec.head = head
+			spec.headExprs = rule.HeadExprs
+			rt.aggs = append(rt.aggs, spec)
+			rt.aggsByHead[head] = append(rt.aggsByHead[head], spec)
+			edges = append(edges, depEdge{from: groupRel.id, to: head.id, special: true})
+			// The compiled rule now derives the hidden group relation.
+			cr.head = groupRel
+			cr.headExprs = groupHeadExprs(rule, spec)
+			cr.body = rule.Body[:len(rule.Body)-1] // strip the GroupBy term
+		} else {
+			cr.headExprs = rule.HeadExprs
+			cr.body = rule.Body
+		}
+		for _, term := range cr.body {
+			if lit, ok := term.(*typecheck.LiteralTerm); ok {
+				edges = append(edges, depEdge{
+					from:    rt.relOfDecl[lit.Rel].id,
+					to:      cr.head.id,
+					special: lit.Negated,
+				})
+			}
+		}
+		rt.rules = append(rt.rules, cr)
+		rt.rulesByHead[cr.head] = append(rt.rulesByHead[cr.head], cr)
+	}
+
+	stratumOf, strata, recursive, err := stratify(len(rt.rels), edges)
+	if err != nil {
+		return nil, err
+	}
+	rt.strata, rt.recStratum = strata, recursive
+	for id, rs := range rt.rels {
+		rs.stratum = stratumOf[id]
+		rs.recursive = recursive[stratumOf[id]]
+	}
+	for _, spec := range rt.aggs {
+		if spec.head.recursive {
+			return nil, fmt.Errorf("engine: aggregate into recursive relation %s is not supported",
+				spec.head.rel.Name)
+		}
+	}
+	rt.occsByRel = make([][]occurrence, len(rt.rels))
+	for _, cr := range rt.rules {
+		if err := rt.buildPlans(cr); err != nil {
+			return nil, err
+		}
+		for idx, term := range cr.body {
+			if lit, ok := term.(*typecheck.LiteralTerm); ok {
+				rs := rt.relOfDecl[lit.Rel]
+				rt.occsByRel[rs.id] = append(rt.occsByRel[rs.id], occurrence{rule: cr, bodyIdx: idx})
+			}
+		}
+	}
+	// Evaluate facts and unit rules (the empty-input fixpoint).
+	if _, err := rt.apply(nil, true); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// makeGroupRel creates the hidden group-input relation for a group_by rule.
+func (rt *Runtime) makeGroupRel(ri int, rule *typecheck.Rule, gb *typecheck.GroupByTerm) (*relState, *aggSpec) {
+	// Columns: group keys first, then every other slot bound by the body
+	// (excluding the aggregate output slot).
+	isKey := make(map[int]bool, len(gb.KeySlots))
+	for _, s := range gb.KeySlots {
+		isKey[s] = true
+	}
+	var slotOfCol []int
+	slotOfCol = append(slotOfCol, gb.KeySlots...)
+	for s := range rule.Slots {
+		if s != gb.OutSlot && !isKey[s] {
+			slotOfCol = append(slotOfCol, s)
+		}
+	}
+	cols := make([]typecheck.Column, len(slotOfCol))
+	for i, s := range slotOfCol {
+		cols[i] = typecheck.Column{
+			Name: fmt.Sprintf("c%d_%s", i, rule.Slots[s].Name),
+			Type: rule.Slots[s].Type,
+		}
+	}
+	decl := &typecheck.Relation{
+		Name: fmt.Sprintf("__group_%s_%d", rule.Head.Name, ri),
+		Role: ast.RoleInternal,
+		Cols: cols,
+	}
+	rs := newRelState(decl, len(rt.rels), true)
+	rt.rels = append(rt.rels, rs)
+	rt.relByName[decl.Name] = rs
+	rt.relOfDecl[decl] = rs
+	keyCols := make([]int, len(gb.KeySlots))
+	for i := range keyCols {
+		keyCols[i] = i
+	}
+	spec := &aggSpec{
+		groupRel:  rs,
+		keyIx:     rs.getIndex(keyCols),
+		numKeys:   len(gb.KeySlots),
+		slotOfCol: slotOfCol,
+		argExpr:   gb.Arg,
+		agg:       gb.Agg,
+		outSlot:   gb.OutSlot,
+		envSize:   len(rule.Slots),
+	}
+	return rs, spec
+}
+
+// groupHeadExprs builds the hidden relation's head: one VarRef per column.
+func groupHeadExprs(rule *typecheck.Rule, spec *aggSpec) []typecheck.Expr {
+	exprs := make([]typecheck.Expr, len(spec.slotOfCol))
+	for i, s := range spec.slotOfCol {
+		exprs[i] = &typecheck.VarRef{Slot: s, Name: rule.Slots[s].Name, T: rule.Slots[s].Type}
+	}
+	return exprs
+}
+
+func (rt *Runtime) relStateOf(rel *typecheck.Relation) *relState { return rt.relOfDecl[rel] }
+
+// Err returns the error that poisoned the runtime, if any. A poisoned
+// runtime rejects further transactions: a failure mid-propagation leaves
+// derived state inconsistent.
+func (rt *Runtime) Err() error { return rt.failed }
+
+// Apply runs one transaction: the updates are applied to input relations
+// and all derived relations are brought up to date incrementally. It
+// returns the set-level deltas of the output relations.
+func (rt *Runtime) Apply(updates []Update) (Delta, error) {
+	return rt.apply(updates, false)
+}
+
+func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
+	if rt.failed != nil {
+		return nil, fmt.Errorf("engine: runtime is poisoned by a previous failure: %w", rt.failed)
+	}
+	// Stage and validate the updates before touching any state, so a bad
+	// transaction is rejected atomically.
+	type staged struct {
+		rec     value.Record
+		desired bool
+	}
+	stagedByRel := make(map[*relState]map[string]staged)
+	for _, u := range updates {
+		rs := rt.relByName[u.Relation]
+		if rs == nil || rs.hidden {
+			return nil, fmt.Errorf("engine: unknown relation %q", u.Relation)
+		}
+		if rs.rel.Role != ast.RoleInput {
+			return nil, fmt.Errorf("engine: relation %q is not an input relation", u.Relation)
+		}
+		if err := rs.rel.CheckRecord(u.Rec); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		m := stagedByRel[rs]
+		if m == nil {
+			m = make(map[string]staged)
+			stagedByRel[rs] = m
+		}
+		m[u.Rec.Key()] = staged{rec: u.Rec, desired: u.Insert}
+	}
+	rt.derivations = 0
+	// Apply effective input changes.
+	for rs, m := range stagedByRel {
+		for recKey, s := range m {
+			if s.desired {
+				rs.setPresent(s.rec, recKey)
+			} else {
+				rs.setAbsent(s.rec, recKey)
+			}
+		}
+	}
+	// Propagate stratum by stratum.
+	for s := range rt.strata {
+		var err error
+		if rt.recStratum[s] {
+			err = rt.runRecursiveStratum(s, initial)
+		} else {
+			err = rt.runCountingStratum(s, initial)
+		}
+		if err != nil {
+			rt.failed = err
+			return nil, err
+		}
+	}
+	// Collect output deltas and reset per-transaction state.
+	out := make(Delta)
+	for _, rs := range rt.rels {
+		if rs.rel.Role == ast.RoleOutput && !rs.txnDelta.IsEmpty() {
+			out[rs.rel.Name] = rs.txnDelta.Clone()
+		}
+	}
+	for _, rs := range rt.rels {
+		rs.clearTxn()
+	}
+	return out, nil
+}
+
+var errStop = errors.New("engine: stop iteration")
+
+// errFallbackRecompute aborts DRed in favour of recomputing the stratum.
+var errFallbackRecompute = errors.New("engine: overdelete budget exceeded")
+
+type emitFunc func(rec value.Record, w int64) error
+
+// countDerivation enforces the per-transaction derivation budget.
+func (rt *Runtime) countDerivation() error {
+	rt.derivations++
+	if rt.opts.MaxDerivationsPerTxn > 0 && rt.derivations > rt.opts.MaxDerivationsPerTxn {
+		return fmt.Errorf("engine: transaction exceeded %d derivations (divergent recursion?)",
+			rt.opts.MaxDerivationsPerTxn)
+	}
+	return nil
+}
+
+// runPlan seeds a plan with a tuple (or negation key, or nothing) and
+// streams head contributions to emit.
+func (rt *Runtime) runPlan(p *plan, seed value.Record, w int64, mode viewMode, emit emitFunc) error {
+	env := make([]value.Value, p.envSize)
+	for _, b := range p.seedBinds {
+		env[b.Slot] = seed[b.Col]
+	}
+	for _, c := range p.seedChecks {
+		v, err := c.Expr.Eval(env)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
+		}
+		if !v.Equal(seed[c.Col]) {
+			return nil
+		}
+	}
+	return rt.execSteps(p, 0, env, w, mode, emit)
+}
+
+func (rt *Runtime) execSteps(p *plan, si int, env []value.Value, w int64, mode viewMode, emit emitFunc) error {
+	if si == len(p.steps) {
+		rec := make(value.Record, len(p.rule.headExprs))
+		for i, e := range p.rule.headExprs {
+			v, err := e.Eval(env)
+			if err != nil {
+				return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
+			}
+			rec[i] = v
+		}
+		return emit(rec, w)
+	}
+	switch st := p.steps[si].(type) {
+	case *stepFilter:
+		v, err := st.expr.Eval(env)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
+		}
+		if !v.Bool() {
+			return nil
+		}
+		return rt.execSteps(p, si+1, env, w, mode, emit)
+	case *stepAssign:
+		v, err := st.expr.Eval(env)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
+		}
+		env[st.slot] = v
+		return rt.execSteps(p, si+1, env, w, mode, emit)
+	case *stepAbsent:
+		key, err := rt.evalKey(st.keyExprs, env)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
+		}
+		if st.rel.bucketNonEmpty(st.ix, key, mode.useOld(st.bodyIdx, p.seedIdx)) {
+			return nil
+		}
+		return rt.execSteps(p, si+1, env, w, mode, emit)
+	case *stepJoin:
+		key, err := rt.evalKey(st.keyExprs, env)
+		if err != nil {
+			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
+		}
+		old := mode.useOld(st.bodyIdx, p.seedIdx)
+		var iterErr error
+		st.rel.iterBucket(st.ix, key, old, func(rec value.Record) bool {
+			for _, b := range st.binds {
+				env[b.Slot] = rec[b.Col]
+			}
+			for _, c := range st.checks {
+				v, err := c.Expr.Eval(env)
+				if err != nil {
+					iterErr = err
+					return false
+				}
+				if !v.Equal(rec[c.Col]) {
+					return true
+				}
+			}
+			if err := rt.execSteps(p, si+1, env, w, mode, emit); err != nil {
+				iterErr = err
+				return false
+			}
+			return true
+		})
+		if iterErr != nil && !errors.Is(iterErr, errStop) {
+			return iterErr
+		}
+		return iterErr
+	default:
+		panic("engine: unknown plan step")
+	}
+}
+
+func (rt *Runtime) evalKey(keyExprs []typecheck.Expr, env []value.Value) (string, error) {
+	var buf [64]byte
+	enc := buf[:0]
+	for _, e := range keyExprs {
+		v, err := e.Eval(env)
+		if err != nil {
+			return "", err
+		}
+		enc = v.Encode(enc)
+	}
+	return string(enc), nil
+}
+
+// runCheckPlan reports whether head tuple rec is derivable by the rule in
+// the current (new-view) database.
+func (rt *Runtime) runCheckPlan(cr *compiledRule, rec value.Record) (bool, error) {
+	found := false
+	err := rt.runPlan(cr.checkPlan, rec, 1, viewAllNew, func(value.Record, int64) error {
+		found = true
+		return errStop
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		return false, err
+	}
+	return found, nil
+}
+
+// negTransition computes, for a negated literal occurrence whose relation
+// changed, the distinct constraint keys whose emptiness flipped.
+type negTransition struct {
+	keyRec value.Record
+	// factor is the change of the [no match] indicator: +1 when matches
+	// disappeared, -1 when matches appeared.
+	factor int64
+}
+
+func (rt *Runtime) negTransitions(lit *typecheck.LiteralTerm) []negTransition {
+	rs := rt.relStateOf(lit.Rel)
+	ix := rs.getIndex(negKeyCols(lit))
+	seen := make(map[string]bool)
+	var out []negTransition
+	rs.txnDelta.Each(func(rec value.Record, _ int64) {
+		keyRec := make(value.Record, len(lit.Checks))
+		for i, chk := range lit.Checks {
+			keyRec[i] = rec[chk.Col]
+		}
+		keyEnc := keyRec.Key()
+		if seen[keyEnc] {
+			return
+		}
+		seen[keyEnc] = true
+		oldNE := rs.bucketNonEmpty(ix, keyEnc, true)
+		newNE := rs.bucketNonEmpty(ix, keyEnc, false)
+		switch {
+		case oldNE && !newNE:
+			out = append(out, negTransition{keyRec: keyRec, factor: 1})
+		case !oldNE && newNE:
+			out = append(out, negTransition{keyRec: keyRec, factor: -1})
+		}
+	})
+	return out
+}
+
+// runCountingStratum propagates settled lower-stratum deltas into one
+// non-recursive relation using derivation counting.
+func (rt *Runtime) runCountingStratum(s int, initial bool) error {
+	head := rt.rels[rt.strata[s][0]]
+	emit := func(rec value.Record, w int64) error {
+		if err := rt.countDerivation(); err != nil {
+			return err
+		}
+		_, err := head.applyCount(rec, rec.Key(), w)
+		return err
+	}
+	for _, cr := range rt.rulesByHead[head] {
+		if initial && cr.unitPlan != nil {
+			if err := rt.runPlan(cr.unitPlan, nil, 1, viewAllNew, emit); err != nil {
+				return err
+			}
+		}
+		for idx, p := range cr.plansByBody {
+			if p == nil {
+				continue
+			}
+			lit := cr.body[idx].(*typecheck.LiteralTerm)
+			litRel := rt.relStateOf(lit.Rel)
+			if litRel.txnDelta.IsEmpty() {
+				continue
+			}
+			if lit.Negated {
+				for _, tr := range rt.negTransitions(lit) {
+					if err := rt.runPlan(p, tr.keyRec, tr.factor, viewConvention, emit); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			var seedErr error
+			litRel.txnDelta.Each(func(rec value.Record, w int64) {
+				if seedErr != nil {
+					return
+				}
+				seedErr = rt.runPlan(p, rec, w, viewConvention, emit)
+			})
+			if seedErr != nil {
+				return seedErr
+			}
+		}
+	}
+	for _, spec := range rt.aggsByHead[head] {
+		if err := rt.runAggregate(spec); err != nil {
+			return err
+		}
+	}
+	return head.checkSettled()
+}
+
+// runAggregate re-aggregates the groups affected by the hidden group
+// relation's delta and applies the head changes.
+func (rt *Runtime) runAggregate(spec *aggSpec) error {
+	if spec.groupRel.txnDelta.IsEmpty() {
+		return nil
+	}
+	env := make([]value.Value, spec.envSize)
+	seen := make(map[string]bool)
+	var keys []value.Record
+	spec.groupRel.txnDelta.Each(func(rec value.Record, _ int64) {
+		keyRec := rec[:spec.numKeys]
+		keyEnc := value.Record(keyRec).Key()
+		if !seen[keyEnc] {
+			seen[keyEnc] = true
+			keys = append(keys, keyRec)
+		}
+	})
+	for _, keyRec := range keys {
+		keyEnc := value.Record(keyRec).Key()
+		oldV, oldOK, err := rt.aggCompute(spec, keyEnc, true, env)
+		if err != nil {
+			return err
+		}
+		newV, newOK, err := rt.aggCompute(spec, keyEnc, false, env)
+		if err != nil {
+			return err
+		}
+		if oldOK && newOK && oldV.Equal(newV) {
+			continue
+		}
+		mkHead := func(agg value.Value) (value.Record, error) {
+			for i := 0; i < spec.numKeys; i++ {
+				env[spec.slotOfCol[i]] = keyRec[i]
+			}
+			env[spec.outSlot] = agg
+			rec := make(value.Record, len(spec.headExprs))
+			for i, e := range spec.headExprs {
+				v, err := e.Eval(env)
+				if err != nil {
+					return nil, fmt.Errorf("engine: %s: %w", spec.head.rel.Name, err)
+				}
+				rec[i] = v
+			}
+			return rec, nil
+		}
+		if oldOK {
+			rec, err := mkHead(oldV)
+			if err != nil {
+				return err
+			}
+			if err := rt.countDerivation(); err != nil {
+				return err
+			}
+			if _, err := spec.head.applyCount(rec, rec.Key(), -1); err != nil {
+				return err
+			}
+		}
+		if newOK {
+			rec, err := mkHead(newV)
+			if err != nil {
+				return err
+			}
+			if err := rt.countDerivation(); err != nil {
+				return err
+			}
+			if _, err := spec.head.applyCount(rec, rec.Key(), 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// aggCompute evaluates the aggregate over one group in the chosen view.
+// ok is false when the group is empty (no output row).
+func (rt *Runtime) aggCompute(spec *aggSpec, keyEnc string, old bool, env []value.Value) (value.Value, bool, error) {
+	var acc value.Value
+	var sum int64
+	var bitSum uint64
+	n := 0
+	var evalErr error
+	spec.groupRel.iterBucket(spec.keyIx, keyEnc, old, func(rec value.Record) bool {
+		n++
+		if spec.argExpr == nil {
+			return true
+		}
+		for i, s := range spec.slotOfCol {
+			env[s] = rec[i]
+		}
+		v, err := spec.argExpr.Eval(env)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		switch spec.agg {
+		case "sum":
+			if v.Kind() == value.KindBit {
+				bitSum += v.Bit()
+			} else {
+				sum += v.Int()
+			}
+		case "min":
+			if !acc.IsValid() || v.Compare(acc) < 0 {
+				acc = v
+			}
+		case "max":
+			if !acc.IsValid() || v.Compare(acc) > 0 {
+				acc = v
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return value.Value{}, false, evalErr
+	}
+	if n == 0 {
+		return value.Value{}, false, nil
+	}
+	switch spec.agg {
+	case "count":
+		return value.Int(int64(n)), true, nil
+	case "sum":
+		if spec.argExpr.Type().Kind == value.TBit {
+			return value.BitW(bitSum, spec.argExpr.Type().Width), true, nil
+		}
+		return value.Int(sum), true, nil
+	default:
+		return acc, true, nil
+	}
+}
+
+// runRecursiveStratum runs DRed (overdelete, rederive) plus semi-naive
+// insertion for one recursive stratum.
+func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
+	inStratum := make(map[*relState]bool)
+	var stratumRules []*compiledRule
+	for _, id := range rt.strata[s] {
+		rs := rt.rels[id]
+		inStratum[rs] = true
+		stratumRules = append(stratumRules, rt.rulesByHead[rs]...)
+	}
+	// Skip quickly when nothing feeding the stratum changed.
+	changed := initial
+	for _, cr := range stratumRules {
+		for idx := range cr.plansByBody {
+			if cr.plansByBody[idx] == nil {
+				continue
+			}
+			lit := cr.body[idx].(*typecheck.LiteralTerm)
+			litRel := rt.relStateOf(lit.Rel)
+			if !inStratum[litRel] && !litRel.txnDelta.IsEmpty() {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return nil
+	}
+
+	type pending struct {
+		rel *relState
+		rec value.Record
+	}
+
+	// ---- Phase 1: overdelete ----
+	od := make(map[*relState]map[string]value.Record)
+	var queue []pending
+	// The DRed fallback: when overdeletion cascades beyond the configured
+	// fraction of the stratum (dense cyclic data), recomputing the stratum
+	// is cheaper than delete+rederive.
+	odBudget := -1
+	if f := rt.opts.RecursiveDeleteFallback; f > 0 && !initial {
+		size := 0
+		for rs := range inStratum {
+			size += len(rs.counts)
+		}
+		odBudget = int(f * float64(size))
+	}
+	odTotal := 0
+	addOD := func(rs *relState) emitFunc {
+		return func(rec value.Record, _ int64) error {
+			if err := rt.countDerivation(); err != nil {
+				return err
+			}
+			key := rec.Key()
+			if !rs.present(key) {
+				return nil
+			}
+			m := od[rs]
+			if m == nil {
+				m = make(map[string]value.Record)
+				od[rs] = m
+			}
+			if _, dup := m[key]; dup {
+				return nil
+			}
+			m[key] = rec
+			odTotal++
+			if odBudget >= 0 && odTotal > odBudget {
+				return errFallbackRecompute
+			}
+			queue = append(queue, pending{rel: rs, rec: rec})
+			return nil
+		}
+	}
+	if !initial {
+		phase1 := func() error {
+			for _, cr := range stratumRules {
+				emit := addOD(cr.head)
+				for idx, p := range cr.plansByBody {
+					if p == nil {
+						continue
+					}
+					lit := cr.body[idx].(*typecheck.LiteralTerm)
+					litRel := rt.relStateOf(lit.Rel)
+					if inStratum[litRel] || litRel.txnDelta.IsEmpty() {
+						continue
+					}
+					if lit.Negated {
+						for _, tr := range rt.negTransitions(lit) {
+							if tr.factor < 0 { // matches appeared: support lost
+								if err := rt.runPlan(p, tr.keyRec, 1, viewAllOld, emit); err != nil {
+									return err
+								}
+							}
+						}
+						continue
+					}
+					var seedErr error
+					litRel.txnDelta.Each(func(rec value.Record, w int64) {
+						if seedErr != nil || w >= 0 {
+							return
+						}
+						seedErr = rt.runPlan(p, rec, 1, viewAllOld, emit)
+					})
+					if seedErr != nil {
+						return seedErr
+					}
+				}
+			}
+			for len(queue) > 0 {
+				pd := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				for _, occ := range rt.occsByRel[pd.rel.id] {
+					if !inStratum[occ.rule.head] {
+						continue
+					}
+					lit := occ.rule.body[occ.bodyIdx].(*typecheck.LiteralTerm)
+					if lit.Negated {
+						continue // in-stratum negation is impossible (stratified)
+					}
+					if err := rt.runPlan(occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+						viewAllOld, addOD(occ.rule.head)); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+		if err := phase1(); err != nil {
+			if errors.Is(err, errFallbackRecompute) {
+				return rt.recomputeStratum(inStratum, stratumRules)
+			}
+			return err
+		}
+		// ---- Phase 2: apply overdeletions ----
+		for rs, m := range od {
+			for key, rec := range m {
+				rs.setAbsent(rec, key)
+			}
+		}
+	}
+
+	// ---- Phase 3: rederive candidates, then semi-naive insertion ----
+	queue = queue[:0]
+	tryInsert := func(rs *relState) emitFunc {
+		return func(rec value.Record, _ int64) error {
+			if err := rt.countDerivation(); err != nil {
+				return err
+			}
+			if rs.setPresent(rec, rec.Key()) {
+				queue = append(queue, pending{rel: rs, rec: rec})
+			}
+			return nil
+		}
+	}
+	for rs, m := range od {
+		insert := tryInsert(rs)
+		for _, rec := range m {
+			for _, cr := range rt.rulesByHead[rs] {
+				if cr.checkPlan == nil {
+					continue
+				}
+				ok, err := rt.runCheckPlan(cr, rec)
+				if err != nil {
+					return err
+				}
+				if ok {
+					if err := insert(rec, 1); err != nil {
+						return err
+					}
+					break
+				}
+			}
+		}
+	}
+	for _, cr := range stratumRules {
+		insert := tryInsert(cr.head)
+		if initial && cr.unitPlan != nil {
+			if err := rt.runPlan(cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
+				return err
+			}
+		}
+		for idx, p := range cr.plansByBody {
+			if p == nil {
+				continue
+			}
+			lit := cr.body[idx].(*typecheck.LiteralTerm)
+			litRel := rt.relStateOf(lit.Rel)
+			if inStratum[litRel] || litRel.txnDelta.IsEmpty() {
+				continue
+			}
+			if lit.Negated {
+				for _, tr := range rt.negTransitions(lit) {
+					if tr.factor > 0 { // matches disappeared: support gained
+						if err := rt.runPlan(p, tr.keyRec, 1, viewAllNew, insert); err != nil {
+							return err
+						}
+					}
+				}
+				continue
+			}
+			var seedErr error
+			litRel.txnDelta.Each(func(rec value.Record, w int64) {
+				if seedErr != nil || w <= 0 {
+					return
+				}
+				seedErr = rt.runPlan(p, rec, 1, viewAllNew, insert)
+			})
+			if seedErr != nil {
+				return seedErr
+			}
+		}
+	}
+	for len(queue) > 0 {
+		pd := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, occ := range rt.occsByRel[pd.rel.id] {
+			if !inStratum[occ.rule.head] {
+				continue
+			}
+			lit := occ.rule.body[occ.bodyIdx].(*typecheck.LiteralTerm)
+			if lit.Negated {
+				continue
+			}
+			if err := rt.runPlan(occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+				viewAllNew, tryInsert(occ.rule.head)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recomputeStratum rebuilds a recursive stratum from scratch: every
+// stratum tuple is retracted and the stratum's fixpoint is re-derived from
+// the (already settled) context relations. txnDelta consolidation turns
+// the clear+rebuild into the net output delta automatically. This is the
+// RecursiveDeleteFallback path; its cost is one stratum recomputation
+// regardless of how pathological the deletion's overdelete set would be.
+func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules []*compiledRule) error {
+	type pending struct {
+		rel *relState
+		rec value.Record
+	}
+	for rs := range inStratum {
+		recs := make([]countEntry, 0, len(rs.counts))
+		for _, e := range rs.counts {
+			recs = append(recs, e)
+		}
+		for _, e := range recs {
+			rs.setAbsent(e.rec, e.rec.Key())
+		}
+	}
+	var queue []pending
+	tryInsert := func(rs *relState) emitFunc {
+		return func(rec value.Record, _ int64) error {
+			if err := rt.countDerivation(); err != nil {
+				return err
+			}
+			if rs.setPresent(rec, rec.Key()) {
+				queue = append(queue, pending{rel: rs, rec: rec})
+			}
+			return nil
+		}
+	}
+	// Seed: unit rules, plus one full scan of the first positive context
+	// occurrence of each rule (a plan seeded at any occurrence joins the
+	// whole remaining body, so one seeding per rule is complete).
+	for _, cr := range stratumRules {
+		insert := tryInsert(cr.head)
+		if cr.unitPlan != nil {
+			if err := rt.runPlan(cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
+				return err
+			}
+		}
+		for idx, p := range cr.plansByBody {
+			if p == nil {
+				continue
+			}
+			lit := cr.body[idx].(*typecheck.LiteralTerm)
+			litRel := rt.relStateOf(lit.Rel)
+			if lit.Negated || inStratum[litRel] {
+				continue
+			}
+			var seedErr error
+			for _, e := range litRel.counts {
+				if e.count <= 0 {
+					continue
+				}
+				if seedErr = rt.runPlan(p, e.rec, 1, viewAllNew, insert); seedErr != nil {
+					return seedErr
+				}
+			}
+			break // one complete seeding per rule suffices
+		}
+	}
+	for len(queue) > 0 {
+		pd := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, occ := range rt.occsByRel[pd.rel.id] {
+			if !inStratum[occ.rule.head] {
+				continue
+			}
+			lit := occ.rule.body[occ.bodyIdx].(*typecheck.LiteralTerm)
+			if lit.Negated {
+				continue
+			}
+			if err := rt.runPlan(occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+				viewAllNew, tryInsert(occ.rule.head)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Contents returns a sorted snapshot of a relation's records.
+func (rt *Runtime) Contents(name string) ([]value.Record, error) {
+	rs := rt.relByName[name]
+	if rs == nil || rs.hidden {
+		return nil, fmt.Errorf("engine: unknown relation %q", name)
+	}
+	return rs.contents(), nil
+}
+
+// Relations returns the names of the program's (non-hidden) relations,
+// sorted.
+func (rt *Runtime) Relations() []string {
+	var names []string
+	for _, rs := range rt.rels {
+		if !rs.hidden {
+			names = append(names, rs.rel.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats summarizes runtime memory shape for benchmarking.
+type Stats struct {
+	Tuples       int // present tuples across all relations (incl. hidden)
+	IndexEntries int // tuple references held by arrangements
+	Indexes      int
+}
+
+// Stats reports current memory-shape statistics.
+func (rt *Runtime) Stats() Stats {
+	var st Stats
+	for _, rs := range rt.rels {
+		st.Tuples += len(rs.counts)
+		for _, ix := range rs.indexList {
+			st.Indexes++
+			for _, b := range ix.buckets {
+				st.IndexEntries += len(b)
+			}
+		}
+	}
+	return st
+}

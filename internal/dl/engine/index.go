@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dl/ast"
+	"repro/internal/dl/typecheck"
+	"repro/internal/dl/value"
+	"repro/internal/dl/zset"
+)
+
+// index is an arrangement: the present tuples of a relation, grouped by the
+// values of a fixed set of key columns. Indexes are the memory cost of
+// incremental evaluation (cf. the paper's §2.2 discussion of indexing
+// overhead); the ablation benchmarks quantify it.
+type index struct {
+	keyCols []int
+	// buckets maps encoded key → (record key → record).
+	buckets map[string]map[string]value.Record
+	// deletedTxn holds the records removed during the current transaction,
+	// by key then record key, so "old view" lookups can see them until the
+	// transaction ends.
+	deletedTxn map[string]map[string]value.Record
+}
+
+func newIndex(keyCols []int) *index {
+	return &index{
+		keyCols:    keyCols,
+		buckets:    make(map[string]map[string]value.Record),
+		deletedTxn: make(map[string]map[string]value.Record),
+	}
+}
+
+func indexSignature(keyCols []int) string {
+	var sb strings.Builder
+	for i, c := range keyCols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", c)
+	}
+	return sb.String()
+}
+
+// keyOf computes the encoded key of a record.
+func (ix *index) keyOf(rec value.Record) string {
+	var buf [64]byte
+	enc := buf[:0]
+	for _, c := range ix.keyCols {
+		enc = rec[c].Encode(enc)
+	}
+	return string(enc)
+}
+
+func (ix *index) insert(rec value.Record, recKey string) {
+	k := ix.keyOf(rec)
+	b := ix.buckets[k]
+	if b == nil {
+		b = make(map[string]value.Record)
+		ix.buckets[k] = b
+	}
+	b[recKey] = rec
+}
+
+func (ix *index) remove(rec value.Record, recKey string) {
+	k := ix.keyOf(rec)
+	if b := ix.buckets[k]; b != nil {
+		delete(b, recKey)
+		if len(b) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+	d := ix.deletedTxn[k]
+	if d == nil {
+		d = make(map[string]value.Record)
+		ix.deletedTxn[k] = d
+	}
+	d[recKey] = rec
+}
+
+func (ix *index) clearTxn() {
+	if len(ix.deletedTxn) > 0 {
+		ix.deletedTxn = make(map[string]map[string]value.Record)
+	}
+}
+
+// relState is the runtime state of one relation.
+type relState struct {
+	rel       *typecheck.Relation
+	id        int
+	hidden    bool // engine-generated (group-input relations)
+	recursive bool
+	stratum   int
+	// counts maps record key → entry. For non-recursive relations the
+	// weight is the derivation count; for inputs and recursive relations it
+	// is always 1 when present.
+	counts map[string]countEntry
+	// indexes by signature; indexList for iteration.
+	indexes   map[string]*index
+	indexList []*index
+	// txnDelta is the set-level (presence) delta accumulated during the
+	// current transaction; cleared when the transaction completes.
+	txnDelta *zset.ZSet
+	// negKeys tracks records whose derivation count is transiently
+	// negative. The multilinear evaluation order may apply a retraction
+	// before the matching insertion within one stratum; the invariant is
+	// only that counts are non-negative once the stratum settles.
+	negKeys map[string]bool
+}
+
+type countEntry struct {
+	rec   value.Record
+	count int64
+}
+
+func newRelState(rel *typecheck.Relation, id int, hidden bool) *relState {
+	return &relState{
+		rel:      rel,
+		id:       id,
+		hidden:   hidden,
+		counts:   make(map[string]countEntry),
+		indexes:  make(map[string]*index),
+		txnDelta: zset.New(),
+		negKeys:  make(map[string]bool),
+	}
+}
+
+// getIndex returns (registering on demand) the arrangement on keyCols.
+func (rs *relState) getIndex(keyCols []int) *index {
+	cols := append([]int(nil), keyCols...)
+	sort.Ints(cols)
+	sig := indexSignature(cols)
+	if ix, ok := rs.indexes[sig]; ok {
+		return ix
+	}
+	ix := newIndex(cols)
+	// Populate from current contents (relevant when indexes are registered
+	// against an already-loaded runtime; at startup relations are empty).
+	for recKey, e := range rs.counts {
+		if e.count > 0 {
+			ix.insert(e.rec, recKey)
+		}
+	}
+	rs.indexes[sig] = ix
+	rs.indexList = append(rs.indexList, ix)
+	return ix
+}
+
+// present reports whether rec currently has positive count.
+func (rs *relState) present(recKey string) bool { return rs.counts[recKey].count > 0 }
+
+// applyCount adds w derivations of rec and returns the presence transition:
+// +1 became present, -1 became absent, 0 unchanged. Counts may go
+// transiently negative while a stratum is being processed (retractions can
+// be applied before the matching insertions); checkSettled verifies
+// non-negativity once the stratum settles.
+func (rs *relState) applyCount(rec value.Record, recKey string, w int64) (int, error) {
+	e, ok := rs.counts[recKey]
+	if !ok {
+		e = countEntry{rec: rec}
+	}
+	before := e.count > 0
+	e.count += w
+	if e.count == 0 {
+		delete(rs.counts, recKey)
+	} else {
+		rs.counts[recKey] = e
+	}
+	if e.count < 0 {
+		rs.negKeys[recKey] = true
+	} else {
+		delete(rs.negKeys, recKey)
+	}
+	after := e.count > 0
+	switch {
+	case !before && after:
+		rs.noteInsert(rec, recKey)
+		return 1, nil
+	case before && !after:
+		rs.noteRemove(rec, recKey)
+		return -1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// checkSettled verifies that no derivation count is negative once the
+// relation's stratum has settled.
+func (rs *relState) checkSettled() error {
+	if len(rs.negKeys) == 0 {
+		return nil
+	}
+	for key := range rs.negKeys {
+		return fmt.Errorf("engine: relation %s: derivation count for %s settled negative",
+			rs.rel.Name, rs.counts[key].rec)
+	}
+	return nil
+}
+
+// setPresent forces rec present (recursive relations). Reports whether the
+// state changed.
+func (rs *relState) setPresent(rec value.Record, recKey string) bool {
+	if rs.present(recKey) {
+		return false
+	}
+	rs.counts[recKey] = countEntry{rec: rec, count: 1}
+	rs.noteInsert(rec, recKey)
+	return true
+}
+
+// setAbsent forces rec absent (recursive relations). Reports whether the
+// state changed.
+func (rs *relState) setAbsent(rec value.Record, recKey string) bool {
+	e, ok := rs.counts[recKey]
+	if !ok || e.count <= 0 {
+		return false
+	}
+	delete(rs.counts, recKey)
+	rs.noteRemove(rec, recKey)
+	return true
+}
+
+func (rs *relState) noteInsert(rec value.Record, recKey string) {
+	for _, ix := range rs.indexList {
+		ix.insert(rec, recKey)
+	}
+	rs.txnDelta.Add(rec, 1)
+}
+
+func (rs *relState) noteRemove(rec value.Record, recKey string) {
+	for _, ix := range rs.indexList {
+		ix.remove(rec, recKey)
+	}
+	rs.txnDelta.Add(rec, -1)
+}
+
+func (rs *relState) clearTxn() {
+	if !rs.txnDelta.IsEmpty() {
+		rs.txnDelta = zset.New()
+	}
+	for _, ix := range rs.indexList {
+		ix.clearTxn()
+	}
+}
+
+// viewMode selects which version of the database a plan step reads.
+type viewMode int
+
+const (
+	// viewConvention: literals before the seed read the old view, literals
+	// after it the new view (the multilinear differentiation convention).
+	viewConvention viewMode = iota
+	// viewAllOld: every lookup reads the pre-transaction state (DRed
+	// overdelete phase).
+	viewAllOld
+	// viewAllNew: every lookup reads the current state (DRed insertion and
+	// rederivation phases, initial evaluation).
+	viewAllNew
+)
+
+// useOld decides, for a literal at bodyIdx relative to a seed at seedIdx,
+// whether to read the old view.
+func (m viewMode) useOld(bodyIdx, seedIdx int) bool {
+	switch m {
+	case viewAllOld:
+		return true
+	case viewAllNew:
+		return false
+	default:
+		return bodyIdx < seedIdx
+	}
+}
+
+// iterBucket visits every record of the chosen view with the given index
+// key. The callback returns false to stop early; iterBucket reports whether
+// iteration ran to completion.
+func (rs *relState) iterBucket(ix *index, key string, old bool, f func(rec value.Record) bool) bool {
+	if b := ix.buckets[key]; b != nil {
+		for recKey, rec := range b {
+			if old && rs.txnDelta.WeightKey(recKey) > 0 {
+				continue // net-inserted this transaction: not in the old view
+			}
+			if !f(rec) {
+				return false
+			}
+		}
+	}
+	if old {
+		for recKey, rec := range ix.deletedTxn[key] {
+			// Only net deletions were in the old view; a record deleted and
+			// re-inserted in this transaction is yielded from the bucket.
+			if rs.txnDelta.WeightKey(recKey) < 0 {
+				if !f(rec) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// bucketNonEmpty reports whether the chosen view has any record with the
+// given index key.
+func (rs *relState) bucketNonEmpty(ix *index, key string, old bool) bool {
+	found := false
+	rs.iterBucket(ix, key, old, func(value.Record) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// contents returns a sorted snapshot of the present records.
+func (rs *relState) contents() []value.Record {
+	out := make([]value.Record, 0, len(rs.counts))
+	for _, e := range rs.counts {
+		if e.count > 0 {
+			out = append(out, e.rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// isInput reports whether the relation is externally fed.
+func (rs *relState) isInput() bool { return rs.rel.Role == ast.RoleInput }

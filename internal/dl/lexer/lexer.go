@@ -1,0 +1,409 @@
+// Package lexer tokenizes Datalog dialect source text.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/dl/ast"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number // integer literal, value in Token.Num
+	Str    // string literal, unquoted value in Token.Text
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	Comma
+	Dot
+	Colon
+	Semi
+	ColonDash // :-
+	Assign    // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Shl // <<
+	Shr // >>
+	Eq  // ==
+	Ne  // !=
+	Lt
+	Le
+	Gt
+	Ge
+	Concat // ++
+
+	// Keywords.
+	KwInput
+	KwOutput
+	KwRelation
+	KwTypedef
+	KwVar
+	KwNot
+	KwAnd
+	KwOr
+	KwTrue
+	KwFalse
+	KwIf
+	KwElse
+	KwAs
+	KwGroupBy
+	KwFunction
+	KwBit
+	KwBool
+	KwInt
+	KwString
+	Wildcard // _
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", Ident: "identifier", Number: "number", Str: "string",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", Comma: ",", Dot: ".",
+	Colon: ":", Semi: ";", ColonDash: ":-", Assign: "=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Shl: "<<", Shr: ">>",
+	Eq: "==", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Concat: "++",
+	KwInput: "input", KwOutput: "output", KwRelation: "relation",
+	KwTypedef: "typedef", KwVar: "var", KwNot: "not", KwAnd: "and", KwOr: "or",
+	KwTrue: "true", KwFalse: "false", KwIf: "if", KwElse: "else", KwAs: "as",
+	KwGroupBy: "group_by", KwFunction: "function", KwBit: "bit", KwBool: "bool", KwInt: "int",
+	KwString: "string", Wildcard: "_",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+var keywords = map[string]Kind{
+	"input": KwInput, "output": KwOutput, "relation": KwRelation,
+	"typedef": KwTypedef, "var": KwVar, "not": KwNot, "and": KwAnd,
+	"or": KwOr, "true": KwTrue, "false": KwFalse, "if": KwIf, "else": KwElse,
+	"as": KwAs, "group_by": KwGroupBy, "function": KwFunction,
+	"bit": KwBit, "bool": KwBool,
+	"int": KwInt, "string": KwString, "_": Wildcard,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // Ident name or unquoted Str contents
+	Num  uint64 // Number value
+	Pos  ast.Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return t.Text
+	case Number:
+		return strconv.FormatUint(t.Num, 10)
+	case Str:
+		return strconv.Quote(t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer produces tokens from source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+// Lex tokenizes the whole input, returning the token stream terminated by
+// an EOF token.
+func Lex(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) pos() ast.Pos { return ast.Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(i int) byte {
+	if lx.off+i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+i]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) errorf(pos ast.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.off >= len(lx.src) {
+					return lx.errorf(start, "unterminated block comment")
+				}
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(pos), nil
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(pos)
+	case c == '"':
+		return lx.lexString(pos)
+	}
+	lx.advance()
+	two := func(next byte, k2, k1 Kind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: k2, Pos: pos}
+		}
+		return Token{Kind: k1, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '.':
+		return Token{Kind: Dot, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case ':':
+		return two('-', ColonDash, Colon), nil
+	case '=':
+		return two('=', Eq, Assign), nil
+	case '+':
+		return two('+', Concat, Plus), nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '&':
+		return Token{Kind: Amp, Pos: pos}, nil
+	case '|':
+		return Token{Kind: Pipe, Pos: pos}, nil
+	case '^':
+		return Token{Kind: Caret, Pos: pos}, nil
+	case '~':
+		return Token{Kind: Tilde, Pos: pos}, nil
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return Token{Kind: Shl, Pos: pos}, nil
+		}
+		return two('=', Le, Lt), nil
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: Shr, Pos: pos}, nil
+		}
+		return two('=', Ge, Gt), nil
+	case '!':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: Ne, Pos: pos}, nil
+		}
+		return Token{}, lx.errorf(pos, "unexpected character %q", '!')
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off-1:])
+	return Token{}, lx.errorf(pos, "unexpected character %q", r)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func (lx *Lexer) lexIdent(pos ast.Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentCont(lx.peek()) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Text: text, Pos: pos}
+	}
+	return Token{Kind: Ident, Text: text, Pos: pos}
+}
+
+func (lx *Lexer) lexNumber(pos ast.Pos) (Token, error) {
+	start := lx.off
+	base := 10
+	if lx.peek() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		base = 16
+		lx.advance()
+		lx.advance()
+	} else if lx.peek() == '0' && (lx.peekAt(1) == 'b' || lx.peekAt(1) == 'B') {
+		base = 2
+		lx.advance()
+		lx.advance()
+	}
+	digits := lx.off
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if c == '_' || c >= '0' && c <= '9' ||
+			base == 16 && (c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	text := strings.ReplaceAll(lx.src[digits:lx.off], "_", "")
+	if text == "" {
+		return Token{}, lx.errorf(pos, "malformed number %q", lx.src[start:lx.off])
+	}
+	n, err := strconv.ParseUint(text, base, 64)
+	if err != nil {
+		return Token{}, lx.errorf(pos, "malformed number %q: %v", lx.src[start:lx.off], err)
+	}
+	// Reject an identifier character glued to the number (e.g. 12ab in base 10).
+	if lx.off < len(lx.src) && isIdentStart(lx.peek()) {
+		return Token{}, lx.errorf(pos, "malformed number: unexpected %q", rune(lx.peek()))
+	}
+	return Token{Kind: Number, Num: n, Pos: pos}, nil
+}
+
+func (lx *Lexer) lexString(pos ast.Pos) (Token, error) {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if lx.off >= len(lx.src) {
+			return Token{}, lx.errorf(pos, "unterminated string literal")
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			return Token{Kind: Str, Text: sb.String(), Pos: pos}, nil
+		case '\\':
+			if lx.off >= len(lx.src) {
+				return Token{}, lx.errorf(pos, "unterminated string literal")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				return Token{}, lx.errorf(pos, "unknown escape \\%c", e)
+			}
+		case '\n':
+			return Token{}, lx.errorf(pos, "newline in string literal")
+		default:
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// IsUpperIdent reports whether name starts with an upper-case letter
+// (relation and type names do; variables are lower-case by convention).
+func IsUpperIdent(name string) bool {
+	r, _ := utf8.DecodeRuneInString(name)
+	return unicode.IsUpper(r)
+}

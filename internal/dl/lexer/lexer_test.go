@@ -1,0 +1,137 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, `InVlan(p, v) :- Port(p, v, false).`)
+	want := []Kind{Ident, LParen, Ident, Comma, Ident, RParen, ColonDash,
+		Ident, LParen, Ident, Comma, Ident, Comma, KwFalse, RParen, Dot, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := `:- = == != < <= > >= << >> + ++ - * / % & | ^ ~ _`
+	want := []Kind{ColonDash, Assign, Eq, Ne, Lt, Le, Gt, Ge, Shl, Shr,
+		Plus, Concat, Minus, Star, Slash, Percent, Amp, Pipe, Caret, Tilde, Wildcard, EOF}
+	got := kinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Lex("42 0x2a 0b101010 1_000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := []uint64{42, 42, 42, 1000}
+	for i, w := range wantVals {
+		if toks[i].Kind != Number || toks[i].Num != w {
+			t.Errorf("token %d = %v (num %d), want %d", i, toks[i], toks[i].Num, w)
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := Lex(`"hello\n\"there\"" "tab\t"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "hello\n\"there\"" {
+		t.Errorf("string 0 = %q", toks[0].Text)
+	}
+	if toks[1].Text != "tab\t" {
+		t.Errorf("string 1 = %q", toks[1].Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `a // line comment
+	/* block
+	   comment */ b`
+	got := kinds(t, src)
+	want := []Kind{Ident, Ident, EOF}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Lex("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("token a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("token bb at %v", toks[1].Pos)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	src := "input output relation typedef var not and or true false if else as group_by bit bool int string"
+	want := []Kind{KwInput, KwOutput, KwRelation, KwTypedef, KwVar, KwNot,
+		KwAnd, KwOr, KwTrue, KwFalse, KwIf, KwElse, KwAs, KwGroupBy, KwBit,
+		KwBool, KwInt, KwString, EOF}
+	got := kinds(t, src)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`"unterminated`,
+		`"newline
+		"`,
+		`"bad \q escape"`,
+		`12abc`,
+		`0x`,
+		`!x`,
+		`@`,
+		`/* unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("error lacks position: %v", err)
+		}
+	}
+}
+
+func TestIsUpperIdent(t *testing.T) {
+	if !IsUpperIdent("Port") || IsUpperIdent("port") || IsUpperIdent("_x") {
+		t.Errorf("IsUpperIdent misclassifies")
+	}
+}

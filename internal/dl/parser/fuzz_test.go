@@ -1,0 +1,31 @@
+package parser
+
+import "testing"
+
+// FuzzParse asserts the parser never panics: any input either parses or
+// returns a positioned error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"input relation R(x: int)",
+		"R(x) :- A(x), not B(x, _).",
+		"typedef P = P{a: bit<12>, b: string}",
+		"O(k, s) :- In(k, v), var s = sum(v) group_by (k).",
+		"function f(x: int): int = x + 1",
+		`O(if (a > 0) "p" else "n") :- In(a).`,
+		"R(x) :- A(x), x > 0x1f, var y = (x, x).",
+		"R(\"\\n\\t\") :- A(_).",
+		"relation R(x: (int, (string, bool)))",
+		"R(x) :- A(x)", // missing dot
+		"((((((((((",   // garbage
+		"R(x as bit<9>) :- A(x).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatalf("nil program without error")
+		}
+	})
+}

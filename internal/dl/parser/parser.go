@@ -1,0 +1,744 @@
+// Package parser builds the Datalog dialect AST from source text.
+//
+// Grammar sketch (see the README's language reference for details):
+//
+//	program  := { typedef | reldecl | rule }
+//	typedef  := "typedef" Name "=" Name "{" params "}"
+//	reldecl  := ["input"|"output"] "relation" Name "(" params ")"
+//	rule     := atom [ ":-" bodyterm { "," bodyterm } ] "."
+//	bodyterm := ["not"] atom
+//	          | "var" ident "=" expr [ "group_by" "(" ident {"," ident} ")" ]
+//	          | expr                      (boolean guard)
+//
+// Relation and type names start with an upper-case letter; variables with a
+// lower-case letter or underscore.
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/dl/ast"
+	"repro/internal/dl/lexer"
+)
+
+// Error is a parse error with source position.
+type Error struct {
+	Pos ast.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []lexer.Token
+	i    int
+}
+
+// Parse parses a complete program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for p.cur().Kind != lexer.EOF {
+		switch p.cur().Kind {
+		case lexer.KwTypedef:
+			td, err := p.parseTypedef()
+			if err != nil {
+				return nil, err
+			}
+			prog.Typedefs = append(prog.Typedefs, td)
+		case lexer.KwInput, lexer.KwOutput, lexer.KwRelation:
+			rd, err := p.parseRelationDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Relations = append(prog.Relations, rd)
+		case lexer.KwFunction:
+			fd, err := p.parseFuncDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Functions = append(prog.Functions, fd)
+		default:
+			rule, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			prog.Rules = append(prog.Rules, rule)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() lexer.Token  { return p.toks[p.i] }
+func (p *parser) next() lexer.Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errorf(pos ast.Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if p.cur().Kind != k {
+		return lexer.Token{}, p.errorf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) accept(k lexer.Kind) bool {
+	if p.cur().Kind == k {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTypedef() (*ast.Typedef, error) {
+	kw := p.next() // typedef
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if !lexer.IsUpperIdent(name.Text) {
+		return nil, p.errorf(name.Pos, "type name %q must start with an upper-case letter", name.Text)
+	}
+	if _, err := p.expect(lexer.Assign); err != nil {
+		return nil, err
+	}
+	ctor, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if ctor.Text != name.Text {
+		return nil, p.errorf(ctor.Pos, "constructor %q must match type name %q", ctor.Text, name.Text)
+	}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	fields, err := p.parseParams(lexer.RBrace)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Typedef{Pos: kw.Pos, Name: name.Text, Fields: fields}, nil
+}
+
+// parseFuncDecl parses: function name(p: T, ...): RT = expr
+func (p *parser) parseFuncDecl() (*ast.FuncDecl, error) {
+	kw := p.next() // function
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if lexer.IsUpperIdent(name.Text) {
+		return nil, p.errorf(name.Pos, "function name %q must start with a lower-case letter", name.Text)
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams(lexer.RParen)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Colon); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Assign); err != nil {
+		return nil, err
+	}
+	body, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.FuncDecl{Pos: kw.Pos, Name: name.Text, Params: params,
+		RetType: ret, Body: body}, nil
+}
+
+func (p *parser) parseRelationDecl() (*ast.RelationDecl, error) {
+	role := ast.RoleInternal
+	pos := p.cur().Pos
+	switch p.cur().Kind {
+	case lexer.KwInput:
+		role = ast.RoleInput
+		p.next()
+	case lexer.KwOutput:
+		role = ast.RoleOutput
+		p.next()
+	}
+	if _, err := p.expect(lexer.KwRelation); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if !lexer.IsUpperIdent(name.Text) {
+		return nil, p.errorf(name.Pos, "relation name %q must start with an upper-case letter", name.Text)
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	params, err := p.parseParams(lexer.RParen)
+	if err != nil {
+		return nil, err
+	}
+	if len(params) == 0 {
+		return nil, p.errorf(name.Pos, "relation %q has no columns", name.Text)
+	}
+	return &ast.RelationDecl{Pos: pos, Role: role, Name: name.Text, Params: params}, nil
+}
+
+// parseParams parses "name: type, ..." up to the closing token, consuming it.
+func (p *parser) parseParams(closing lexer.Kind) ([]ast.Param, error) {
+	var params []ast.Param
+	if p.accept(closing) {
+		return params, nil
+	}
+	for {
+		name, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Colon); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, ast.Param{Pos: name.Pos, Name: name.Text, Type: ty})
+		if p.accept(closing) {
+			return params, nil
+		}
+		if _, err := p.expect(lexer.Comma); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseType() (ast.TypeExpr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.KwBool:
+		p.next()
+		return &ast.NamedType{Pos: tok.Pos, Name: "bool"}, nil
+	case lexer.KwInt:
+		p.next()
+		return &ast.NamedType{Pos: tok.Pos, Name: "int"}, nil
+	case lexer.KwString:
+		p.next()
+		return &ast.NamedType{Pos: tok.Pos, Name: "string"}, nil
+	case lexer.KwBit:
+		p.next()
+		if _, err := p.expect(lexer.Lt); err != nil {
+			return nil, err
+		}
+		w, err := p.expect(lexer.Number)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Gt); err != nil {
+			return nil, err
+		}
+		if w.Num < 1 || w.Num > 64 {
+			return nil, p.errorf(w.Pos, "bit width %d out of range 1..64", w.Num)
+		}
+		return &ast.BitTypeExpr{Pos: tok.Pos, Width: int(w.Num)}, nil
+	case lexer.Ident:
+		p.next()
+		if !lexer.IsUpperIdent(tok.Text) {
+			return nil, p.errorf(tok.Pos, "type name %q must start with an upper-case letter", tok.Text)
+		}
+		return &ast.NamedType{Pos: tok.Pos, Name: tok.Text}, nil
+	case lexer.LParen:
+		p.next()
+		var elems []ast.TypeExpr
+		for {
+			e, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if p.accept(lexer.RParen) {
+				break
+			}
+			if _, err := p.expect(lexer.Comma); err != nil {
+				return nil, err
+			}
+		}
+		if len(elems) == 1 {
+			return elems[0], nil
+		}
+		return &ast.TupleTypeExpr{Pos: tok.Pos, Elems: elems}, nil
+	default:
+		return nil, p.errorf(tok.Pos, "expected a type, found %s", tok)
+	}
+}
+
+func (p *parser) parseRule() (*ast.Rule, error) {
+	head, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	rule := &ast.Rule{Pos: head.Pos, Head: head}
+	if p.accept(lexer.Dot) {
+		return rule, nil // fact
+	}
+	if _, err := p.expect(lexer.ColonDash); err != nil {
+		return nil, err
+	}
+	for {
+		term, err := p.parseBodyTerm()
+		if err != nil {
+			return nil, err
+		}
+		rule.Body = append(rule.Body, term)
+		if p.accept(lexer.Dot) {
+			return rule, nil
+		}
+		if _, err := p.expect(lexer.Comma); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) parseAtom() (ast.Atom, error) {
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if !lexer.IsUpperIdent(name.Text) {
+		return ast.Atom{}, p.errorf(name.Pos, "relation name %q must start with an upper-case letter", name.Text)
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return ast.Atom{}, err
+	}
+	atom := ast.Atom{Pos: name.Pos, Rel: name.Text}
+	if p.accept(lexer.RParen) {
+		return ast.Atom{}, p.errorf(name.Pos, "atom %q has no arguments", name.Text)
+	}
+	for {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		atom.Args = append(atom.Args, arg)
+		if p.accept(lexer.RParen) {
+			return atom, nil
+		}
+		if _, err := p.expect(lexer.Comma); err != nil {
+			return ast.Atom{}, err
+		}
+	}
+}
+
+// isAtomStart reports whether the upcoming tokens begin a relation atom:
+// an upper-case identifier immediately followed by '('.
+func (p *parser) isAtomStart() bool {
+	return p.cur().Kind == lexer.Ident && lexer.IsUpperIdent(p.cur().Text) &&
+		p.i+1 < len(p.toks) && p.toks[p.i+1].Kind == lexer.LParen
+}
+
+func (p *parser) parseBodyTerm() (ast.BodyTerm, error) {
+	tok := p.cur()
+	switch {
+	case tok.Kind == lexer.KwNot && p.i+1 < len(p.toks) &&
+		p.toks[p.i+1].Kind == lexer.Ident && lexer.IsUpperIdent(p.toks[p.i+1].Text):
+		p.next()
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Literal{Atom: atom, Negated: true}, nil
+	case tok.Kind == lexer.KwVar:
+		p.next()
+		name, err := p.expect(lexer.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if lexer.IsUpperIdent(name.Text) {
+			return nil, p.errorf(name.Pos, "variable %q must start with a lower-case letter", name.Text)
+		}
+		if _, err := p.expect(lexer.Assign); err != nil {
+			return nil, err
+		}
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != lexer.KwGroupBy {
+			return &ast.Assign{Pos: tok.Pos, Var: name.Text, Expr: expr}, nil
+		}
+		p.next() // group_by
+		call, ok := expr.(*ast.Call)
+		if !ok || !isAggName(call.Name) {
+			return nil, p.errorf(expr.Position(), "group_by requires an aggregate call (count, sum, min, max)")
+		}
+		if len(call.Args) > 1 {
+			return nil, p.errorf(call.Pos, "aggregate %s takes at most one argument", call.Name)
+		}
+		if call.Name != "count" && len(call.Args) != 1 {
+			return nil, p.errorf(call.Pos, "aggregate %s requires an argument", call.Name)
+		}
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		var keys []string
+		for {
+			k, err := p.expect(lexer.Ident)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k.Text)
+			if p.accept(lexer.RParen) {
+				break
+			}
+			if _, err := p.expect(lexer.Comma); err != nil {
+				return nil, err
+			}
+		}
+		gb := &ast.GroupBy{Pos: tok.Pos, Var: name.Text, Agg: call.Name, Keys: keys}
+		if len(call.Args) == 1 {
+			gb.Arg = call.Args[0]
+		}
+		return gb, nil
+	case p.isAtomStart():
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Literal{Atom: atom}, nil
+	default:
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Cond{Pos: tok.Pos, Expr: expr}, nil
+	}
+}
+
+func isAggName(s string) bool {
+	switch s {
+	case "count", "sum", "min", "max":
+		return true
+	}
+	return false
+}
+
+// Expression parsing, by descending precedence.
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == lexer.KwOr {
+		pos := p.next().Pos
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Pos: pos, Op: ast.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == lexer.KwAnd {
+		pos := p.next().Pos
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Pos: pos, Op: ast.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (ast.Expr, error) {
+	if p.cur().Kind == lexer.KwNot {
+		pos := p.next().Pos
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Pos: pos, Op: ast.OpNot, E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[lexer.Kind]ast.BinaryOp{
+	lexer.Eq: ast.OpEq, lexer.Ne: ast.OpNe, lexer.Lt: ast.OpLt,
+	lexer.Le: ast.OpLe, lexer.Gt: ast.OpGt, lexer.Ge: ast.OpGe,
+}
+
+func (p *parser) parseCmp() (ast.Expr, error) {
+	l, err := p.parseBitOr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.cur().Kind]; ok {
+		pos := p.next().Pos
+		r, err := p.parseBitOr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Binary{Pos: pos, Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseBinaryChain(sub func() (ast.Expr, error), ops map[lexer.Kind]ast.BinaryOp) (ast.Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := ops[p.cur().Kind]
+		if !ok {
+			return l, nil
+		}
+		pos := p.next().Pos
+		r, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.Binary{Pos: pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseBitOr() (ast.Expr, error) {
+	return p.parseBinaryChain(p.parseBitXor, map[lexer.Kind]ast.BinaryOp{lexer.Pipe: ast.OpBitOr})
+}
+
+func (p *parser) parseBitXor() (ast.Expr, error) {
+	return p.parseBinaryChain(p.parseBitAnd, map[lexer.Kind]ast.BinaryOp{lexer.Caret: ast.OpBitXor})
+}
+
+func (p *parser) parseBitAnd() (ast.Expr, error) {
+	return p.parseBinaryChain(p.parseShift, map[lexer.Kind]ast.BinaryOp{lexer.Amp: ast.OpBitAnd})
+}
+
+func (p *parser) parseShift() (ast.Expr, error) {
+	return p.parseBinaryChain(p.parseAdd, map[lexer.Kind]ast.BinaryOp{
+		lexer.Shl: ast.OpShl, lexer.Shr: ast.OpShr,
+	})
+}
+
+func (p *parser) parseAdd() (ast.Expr, error) {
+	return p.parseBinaryChain(p.parseMul, map[lexer.Kind]ast.BinaryOp{
+		lexer.Plus: ast.OpAdd, lexer.Minus: ast.OpSub, lexer.Concat: ast.OpConcat,
+	})
+}
+
+func (p *parser) parseMul() (ast.Expr, error) {
+	return p.parseBinaryChain(p.parseUnary, map[lexer.Kind]ast.BinaryOp{
+		lexer.Star: ast.OpMul, lexer.Slash: ast.OpDiv, lexer.Percent: ast.OpMod,
+	})
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.Minus:
+		p.next()
+		// Fold a negated integer literal immediately so -9223372036854775808
+		// style values round-trip.
+		if p.cur().Kind == lexer.Number {
+			n := p.next()
+			return p.parsePostfixOn(&ast.IntLit{Pos: tok.Pos, Val: n.Num, Neg: true})
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Pos: tok.Pos, Op: ast.OpNeg, E: e}, nil
+	case lexer.Tilde:
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{Pos: tok.Pos, Op: ast.OpBitNot, E: e}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePostfixOn(e)
+}
+
+func (p *parser) parsePostfixOn(e ast.Expr) (ast.Expr, error) {
+	for {
+		switch p.cur().Kind {
+		case lexer.Dot:
+			// Field access only when followed by an identifier; a bare dot is
+			// the rule terminator.
+			if p.i+1 < len(p.toks) && p.toks[p.i+1].Kind == lexer.Ident &&
+				!lexer.IsUpperIdent(p.toks[p.i+1].Text) {
+				pos := p.next().Pos
+				f := p.next()
+				e = &ast.FieldAccess{Pos: pos, E: e, Field: f.Text}
+				continue
+			}
+			return e, nil
+		case lexer.KwAs:
+			pos := p.next().Pos
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			e = &ast.Cast{Pos: pos, E: e, Type: ty}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	tok := p.cur()
+	switch tok.Kind {
+	case lexer.KwTrue:
+		p.next()
+		return &ast.BoolLit{Pos: tok.Pos, Val: true}, nil
+	case lexer.KwFalse:
+		p.next()
+		return &ast.BoolLit{Pos: tok.Pos, Val: false}, nil
+	case lexer.Number:
+		p.next()
+		return &ast.IntLit{Pos: tok.Pos, Val: tok.Num}, nil
+	case lexer.Str:
+		p.next()
+		return &ast.StringLit{Pos: tok.Pos, Val: tok.Text}, nil
+	case lexer.Wildcard:
+		p.next()
+		return &ast.Wildcard{Pos: tok.Pos}, nil
+	case lexer.KwIf:
+		p.next()
+		if _, err := p.expect(lexer.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.KwElse); err != nil {
+			return nil, err
+		}
+		els, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.IfElse{Pos: tok.Pos, Cond: cond, Then: then, Else: els}, nil
+	case lexer.Ident:
+		p.next()
+		switch p.cur().Kind {
+		case lexer.LParen:
+			if lexer.IsUpperIdent(tok.Text) {
+				return nil, p.errorf(tok.Pos, "relation atom %q is not valid inside an expression", tok.Text)
+			}
+			p.next()
+			call := &ast.Call{Pos: tok.Pos, Name: tok.Text}
+			if p.accept(lexer.RParen) {
+				return call, nil
+			}
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.accept(lexer.RParen) {
+					return call, nil
+				}
+				if _, err := p.expect(lexer.Comma); err != nil {
+					return nil, err
+				}
+			}
+		case lexer.LBrace:
+			if !lexer.IsUpperIdent(tok.Text) {
+				return nil, p.errorf(tok.Pos, "struct constructor %q must be a type name", tok.Text)
+			}
+			p.next()
+			se := &ast.StructExpr{Pos: tok.Pos, Name: tok.Text}
+			if p.accept(lexer.RBrace) {
+				return se, nil
+			}
+			for {
+				f, err := p.expect(lexer.Ident)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(lexer.Assign); err != nil {
+					return nil, err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				se.Fields = append(se.Fields, ast.StructField{Name: f.Text, Expr: e})
+				if p.accept(lexer.RBrace) {
+					return se, nil
+				}
+				if _, err := p.expect(lexer.Comma); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			if lexer.IsUpperIdent(tok.Text) {
+				return nil, p.errorf(tok.Pos, "unexpected type or relation name %q in expression", tok.Text)
+			}
+			return &ast.Var{Pos: tok.Pos, Name: tok.Text}, nil
+		}
+	case lexer.LParen:
+		p.next()
+		if p.accept(lexer.RParen) {
+			return &ast.TupleExpr{Pos: tok.Pos}, nil
+		}
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(lexer.RParen) {
+			return first, nil
+		}
+		te := &ast.TupleExpr{Pos: tok.Pos, Elems: []ast.Expr{first}}
+		for {
+			if _, err := p.expect(lexer.Comma); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			te.Elems = append(te.Elems, e)
+			if p.accept(lexer.RParen) {
+				return te, nil
+			}
+		}
+	default:
+		return nil, p.errorf(tok.Pos, "expected an expression, found %s", tok)
+	}
+}

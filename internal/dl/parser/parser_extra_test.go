@@ -1,0 +1,135 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/dl/ast"
+)
+
+func TestParseFunctionDecls(t *testing.T) {
+	prog := mustParse(t, `
+		function inc(x: int): int = x + 1
+		function pair(a: int, b: string): (int, string) = (a, b)
+		function constant(): bool = true
+		R(inc(v)) :- In(v).
+		input relation In(v: int)
+		output relation R(v: int)
+	`)
+	if len(prog.Functions) != 3 {
+		t.Fatalf("functions = %d", len(prog.Functions))
+	}
+	f := prog.Functions[0]
+	if f.Name != "inc" || len(f.Params) != 1 {
+		t.Errorf("inc = %+v", f)
+	}
+	if _, ok := f.Body.(*ast.Binary); !ok {
+		t.Errorf("inc body = %T", f.Body)
+	}
+	if len(prog.Functions[2].Params) != 0 {
+		t.Errorf("constant params = %+v", prog.Functions[2].Params)
+	}
+}
+
+func TestParseFunctionErrors(t *testing.T) {
+	bad := map[string]string{
+		"uppercase name": `function Inc(x: int): int = x`,
+		"missing return": `function inc(x: int) = x`,
+		"missing body":   `function inc(x: int): int`,
+		"bad param":      `function inc(x): int = x`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseMoreEdgeCases(t *testing.T) {
+	// Nested tuples, chained field access, casts inside calls.
+	prog := mustParse(t, `
+		typedef In = In{p: (int, string)}
+		input relation R(v: In)
+		output relation O(x: string)
+		O(to_string(((v.p), 1))) :- R(v).
+	`)
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+
+	// Empty tuple and single-element parenthesization.
+	prog = mustParse(t, `
+		input relation A(x: int)
+		output relation B(x: int)
+		B((x)) :- A(x), var u = (), var t = (x, x, x).
+	`)
+	assign := prog.Rules[0].Body[1].(*ast.Assign)
+	if te, ok := assign.Expr.(*ast.TupleExpr); !ok || len(te.Elems) != 0 {
+		t.Errorf("unit tuple = %+v", assign.Expr)
+	}
+	triple := prog.Rules[0].Body[2].(*ast.Assign).Expr.(*ast.TupleExpr)
+	if len(triple.Elems) != 3 {
+		t.Errorf("triple = %+v", triple)
+	}
+}
+
+func TestParseOperatorChains(t *testing.T) {
+	prog := mustParse(t, `
+		input relation A(x: int)
+		output relation B(x: int)
+		B(y) :- A(x), var y = x | x ^ x & x << 1 >> 2 + 3 * 4 % 5 - 6.
+	`)
+	// Just verify it parses into a Binary with | at the top (lowest of
+	// the arithmetic precedence levels used).
+	top := prog.Rules[0].Body[1].(*ast.Assign).Expr.(*ast.Binary)
+	if top.Op != ast.OpBitOr {
+		t.Errorf("top op = %v, want |", top.Op)
+	}
+}
+
+func TestParseDeeplyNestedExpr(t *testing.T) {
+	src := `
+	input relation A(x: int)
+	output relation B(x: int)
+	B(if (x > 0) if (x > 1) if (x > 2) 3 else 2 else 1 else 0) :- A(x).
+	`
+	prog := mustParse(t, src)
+	outer := prog.Rules[0].Head.Args[0].(*ast.IfElse)
+	inner := outer.Then.(*ast.IfElse)
+	if _, ok := inner.Then.(*ast.IfElse); !ok {
+		t.Errorf("nesting lost: %T", inner.Then)
+	}
+}
+
+func TestParseNotOfAtomVsExpr(t *testing.T) {
+	// "not X(...)" with uppercase X is a negated literal; "not (a or b)"
+	// is a boolean expression.
+	prog := mustParse(t, `
+		input relation A(x: bool)
+		input relation B(x: bool)
+		output relation O(x: bool)
+		O(x) :- A(x), not B(x).
+		O(x) :- A(x), not (x or false).
+	`)
+	if lit, ok := prog.Rules[0].Body[1].(*ast.Literal); !ok || !lit.Negated {
+		t.Errorf("negated literal parsed as %T", prog.Rules[0].Body[1])
+	}
+	if cond, ok := prog.Rules[1].Body[1].(*ast.Cond); !ok {
+		t.Errorf("negated expr parsed as %T", prog.Rules[1].Body[1])
+	} else if u, ok := cond.Expr.(*ast.Unary); !ok || u.Op != ast.OpNot {
+		t.Errorf("cond = %+v", cond.Expr)
+	}
+}
+
+func TestParsePositionsInErrors(t *testing.T) {
+	_, err := Parse("input relation R(x: int)\nR(y) :- R(x), zzz(.")
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if perr.Pos.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Pos.Line)
+	}
+}

@@ -1,0 +1,209 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func TestParseRelationDecls(t *testing.T) {
+	prog := mustParse(t, `
+		input relation Port(id: string, vlan: bit<12>, tagged: bool)
+		output relation InVlan(port: bit<9>, vlan: bit<12>)
+		relation Internal(x: int)
+	`)
+	if len(prog.Relations) != 3 {
+		t.Fatalf("relations = %d, want 3", len(prog.Relations))
+	}
+	r0 := prog.Relations[0]
+	if r0.Role != ast.RoleInput || r0.Name != "Port" || len(r0.Params) != 3 {
+		t.Errorf("Port decl wrong: %+v", r0)
+	}
+	if bt, ok := r0.Params[1].Type.(*ast.BitTypeExpr); !ok || bt.Width != 12 {
+		t.Errorf("vlan type = %v", r0.Params[1].Type)
+	}
+	if prog.Relations[1].Role != ast.RoleOutput {
+		t.Errorf("InVlan role = %v", prog.Relations[1].Role)
+	}
+	if prog.Relations[2].Role != ast.RoleInternal {
+		t.Errorf("Internal role = %v", prog.Relations[2].Role)
+	}
+}
+
+func TestParseTypedef(t *testing.T) {
+	prog := mustParse(t, `typedef Pt = Pt{x: int, y: bit<8>}`)
+	if len(prog.Typedefs) != 1 {
+		t.Fatalf("typedefs = %d", len(prog.Typedefs))
+	}
+	td := prog.Typedefs[0]
+	if td.Name != "Pt" || len(td.Fields) != 2 || td.Fields[1].Name != "y" {
+		t.Errorf("typedef = %+v", td)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	prog := mustParse(t, `
+		Label(n1, l) :- GivenLabel(n1, l).
+		Label(n2, l) :- Label(n1, l), Edge(n1, n2).
+		Neg(a) :- A(a), not B(a, _).
+		Guarded(a, b) :- A(a), var b = a + 1, a > 2.
+		Fact(1, "x").
+	`)
+	if len(prog.Rules) != 5 {
+		t.Fatalf("rules = %d, want 5", len(prog.Rules))
+	}
+	r1 := prog.Rules[1]
+	if r1.Head.Rel != "Label" || len(r1.Body) != 2 {
+		t.Errorf("recursive rule parsed wrong: %+v", r1)
+	}
+	neg := prog.Rules[2].Body[1].(*ast.Literal)
+	if !neg.Negated || neg.Rel != "B" {
+		t.Errorf("negated literal parsed wrong: %+v", neg)
+	}
+	if _, ok := neg.Args[1].(*ast.Wildcard); !ok {
+		t.Errorf("wildcard arg parsed wrong: %T", neg.Args[1])
+	}
+	g := prog.Rules[3]
+	if _, ok := g.Body[1].(*ast.Assign); !ok {
+		t.Errorf("assign term parsed wrong: %T", g.Body[1])
+	}
+	if _, ok := g.Body[2].(*ast.Cond); !ok {
+		t.Errorf("cond term parsed wrong: %T", g.Body[2])
+	}
+	if len(prog.Rules[4].Body) != 0 {
+		t.Errorf("fact has a body")
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	prog := mustParse(t, `Out(k, s) :- In(k, v), var s = sum(v) group_by (k).`)
+	gb, ok := prog.Rules[0].Body[1].(*ast.GroupBy)
+	if !ok {
+		t.Fatalf("body[1] = %T, want GroupBy", prog.Rules[0].Body[1])
+	}
+	if gb.Agg != "sum" || gb.Var != "s" || len(gb.Keys) != 1 || gb.Keys[0] != "k" {
+		t.Errorf("group_by = %+v", gb)
+	}
+	prog = mustParse(t, `Out(k, c) :- In(k, v), var c = count() group_by (k).`)
+	gb = prog.Rules[0].Body[1].(*ast.GroupBy)
+	if gb.Agg != "count" || gb.Arg != nil {
+		t.Errorf("count group_by = %+v", gb)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	prog := mustParse(t, `R(x) :- A(a), var x = a + 2 * 3.`)
+	assign := prog.Rules[0].Body[1].(*ast.Assign)
+	add, ok := assign.Expr.(*ast.Binary)
+	if !ok || add.Op != ast.OpAdd {
+		t.Fatalf("top op = %+v, want +", assign.Expr)
+	}
+	mul, ok := add.R.(*ast.Binary)
+	if !ok || mul.Op != ast.OpMul {
+		t.Errorf("right op = %+v, want *", add.R)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	src := `R(x) :- A(a, s),
+		var x = if (a > 0 and not (a == 3)) hash64(s) else 0,
+		var y = a as bit<16>,
+		var z = Pt{x = 1, y = 2},
+		var w = z.x,
+		var t = (a, s),
+		var c = s ++ "suffix",
+		var n = -5,
+		var m = ~a.`
+	prog := mustParse(t, src)
+	if len(prog.Rules[0].Body) != 9 {
+		t.Fatalf("body terms = %d", len(prog.Rules[0].Body))
+	}
+	ife := prog.Rules[0].Body[1].(*ast.Assign).Expr.(*ast.IfElse)
+	if _, ok := ife.Cond.(*ast.Binary); !ok {
+		t.Errorf("if condition = %T", ife.Cond)
+	}
+	if _, ok := prog.Rules[0].Body[2].(*ast.Assign).Expr.(*ast.Cast); !ok {
+		t.Errorf("cast = %T", prog.Rules[0].Body[2].(*ast.Assign).Expr)
+	}
+	se := prog.Rules[0].Body[3].(*ast.Assign).Expr.(*ast.StructExpr)
+	if se.Name != "Pt" || len(se.Fields) != 2 {
+		t.Errorf("struct expr = %+v", se)
+	}
+	fa := prog.Rules[0].Body[4].(*ast.Assign).Expr.(*ast.FieldAccess)
+	if fa.Field != "x" {
+		t.Errorf("field access = %+v", fa)
+	}
+	te := prog.Rules[0].Body[5].(*ast.Assign).Expr.(*ast.TupleExpr)
+	if len(te.Elems) != 2 {
+		t.Errorf("tuple expr = %+v", te)
+	}
+	neg := prog.Rules[0].Body[7].(*ast.Assign).Expr.(*ast.IntLit)
+	if !neg.Neg || neg.Val != 5 {
+		t.Errorf("negative literal = %+v", neg)
+	}
+}
+
+func TestFieldAccessVsRuleDot(t *testing.T) {
+	// The trailing dot terminates the rule even right after a variable.
+	prog := mustParse(t, `R(x) :- A(x), x > 0.
+		S(y) :- B(y).`)
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(prog.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := map[string]string{
+		"missing dot":             `R(x) :- A(x)`,
+		"lowercase relation":      `r(x) :- A(x).`,
+		"empty atom":              `R() :- A(x).`,
+		"empty relation":          `relation R()`,
+		"bad bit width":           `relation R(x: bit<65>)`,
+		"uppercase variable":      `R(x) :- A(x), var Y = 1.`,
+		"group_by non-agg":        `R(x, s) :- A(x, v), var s = foo(v) group_by (x).`,
+		"sum missing arg":         `R(x, s) :- A(x, v), var s = sum() group_by (x).`,
+		"ctor name mismatch":      `typedef A = B{x: int}`,
+		"atom in expression":      `R(x) :- A(x), var y = B(x).`,
+		"dangling type name":      `R(x) :- A(x), var y = Foo.`,
+		"missing else":            `R(x) :- A(x), var y = if (x > 0) 1.`,
+		"trailing garbage number": `R(x) :- A(x), x > 1f.`,
+	}
+	for name, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error", name, src)
+		} else if !strings.Contains(err.Error(), ":") {
+			t.Errorf("%s: error lacks position: %v", name, err)
+		}
+	}
+}
+
+func TestParseSnvsStyleProgram(t *testing.T) {
+	// A miniature of the snvs program exercising most constructs together.
+	src := `
+	// VLAN assignment for the simple network virtual switch.
+	typedef PortCfg = PortCfg{vid: bit<12>, tagged: bool}
+
+	input relation Port(id: string, port: bit<9>, cfg: PortCfg)
+	input relation MacLearned(port: bit<9>, vlan: bit<12>, mac: bit<48>)
+	output relation InVlan(port: bit<9>, vlan: bit<12>)
+	output relation FwdEntry(vlan: bit<12>, mac: bit<48>, port: bit<9>)
+
+	InVlan(p, cfg.vid) :- Port(_, p, cfg), not cfg.tagged.
+	FwdEntry(v, m, p) :- MacLearned(p, v, m).
+	`
+	prog := mustParse(t, src)
+	if len(prog.Rules) != 2 || len(prog.Relations) != 4 || len(prog.Typedefs) != 1 {
+		t.Errorf("program shape: %d rules, %d relations, %d typedefs",
+			len(prog.Rules), len(prog.Relations), len(prog.Typedefs))
+	}
+}

@@ -1,0 +1,299 @@
+package typecheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl/ast"
+	"repro/internal/dl/parser"
+	"repro/internal/dl/value"
+)
+
+func check(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	checked, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v\nsource:\n%s", err, src)
+	}
+	return checked
+}
+
+func checkErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(prog)
+	if err == nil {
+		t.Fatalf("Check succeeded, want error containing %q\nsource:\n%s", wantSubstr, src)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("error %q does not contain %q", err.Error(), wantSubstr)
+	}
+}
+
+const declPrelude = `
+	input relation Edge(a: string, b: string)
+	input relation Num(k: string, v: int)
+	input relation Bits(k: string, v: bit<12>)
+	output relation Out(a: string, b: string)
+	output relation OutI(k: string, v: int)
+`
+
+func TestCheckSimpleRule(t *testing.T) {
+	p := check(t, declPrelude+`Out(a, b) :- Edge(a, b).`)
+	if len(p.Rules) != 1 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.Head.Name != "Out" || len(r.HeadExprs) != 2 || len(r.Slots) != 2 {
+		t.Errorf("rule shape wrong: %+v", r)
+	}
+	lit := r.Body[0].(*LiteralTerm)
+	if lit.BindSlots[0] != 0 || lit.BindSlots[1] != 1 || len(lit.Checks) != 0 {
+		t.Errorf("literal binding wrong: %+v", lit)
+	}
+	if !r.HeadIsPattern() {
+		t.Errorf("head should be a pattern")
+	}
+}
+
+func TestCheckRepeatedVarBecomesCheck(t *testing.T) {
+	p := check(t, declPrelude+`Out(a, a) :- Edge(a, a).`)
+	lit := p.Rules[0].Body[0].(*LiteralTerm)
+	if lit.BindSlots[0] != 0 || lit.BindSlots[1] != -1 || len(lit.Checks) != 1 {
+		t.Errorf("repeated var: binds=%v checks=%d", lit.BindSlots, len(lit.Checks))
+	}
+}
+
+func TestCheckJoinSharedVariable(t *testing.T) {
+	p := check(t, declPrelude+`Out(a, c) :- Edge(a, b), Edge(b, c).`)
+	second := p.Rules[0].Body[1].(*LiteralTerm)
+	// b is bound by the first literal, so it becomes a check on column 0.
+	if second.BindSlots[0] != -1 || len(second.Checks) != 1 || second.Checks[0].Col != 0 {
+		t.Errorf("join literal wrong: %+v", second)
+	}
+}
+
+func TestCheckNegation(t *testing.T) {
+	check(t, declPrelude+`Out(a, b) :- Edge(a, b), not Edge(b, a).`)
+	checkErr(t, declPrelude+`Out(a, b) :- Edge(a, b), not Edge(c, a).`,
+		"negated literal must be bound")
+}
+
+func TestCheckWildcard(t *testing.T) {
+	p := check(t, declPrelude+`OutI(k, v) :- Num(k, v), Edge(k, _).`)
+	lit := p.Rules[0].Body[1].(*LiteralTerm)
+	if lit.BindSlots[1] != -1 || len(lit.Checks) != 1 {
+		t.Errorf("wildcard literal wrong: %+v", lit)
+	}
+}
+
+func TestCheckAssignAndCond(t *testing.T) {
+	p := check(t, declPrelude+`OutI(k, w) :- Num(k, v), var w = v * 2 + 1, w > 10.`)
+	r := p.Rules[0]
+	if len(r.Body) != 3 {
+		t.Fatalf("body = %d terms", len(r.Body))
+	}
+	as := r.Body[1].(*AssignTerm)
+	if !as.Expr.Type().Equal(value.IntType) {
+		t.Errorf("assign type = %s", as.Expr.Type())
+	}
+	cond := r.Body[2].(*CondTerm)
+	if !cond.Expr.Type().Equal(value.BoolType) {
+		t.Errorf("cond type = %s", cond.Expr.Type())
+	}
+}
+
+func TestCheckGroupBy(t *testing.T) {
+	p := check(t, declPrelude+`OutI(k, s) :- Num(k, v), var s = sum(v) group_by (k).`)
+	gb := p.Rules[0].GroupBy
+	if gb == nil || gb.Agg != "sum" || len(gb.KeySlots) != 1 {
+		t.Fatalf("group_by = %+v", gb)
+	}
+	if !gb.OutType.Equal(value.IntType) {
+		t.Errorf("sum out type = %s", gb.OutType)
+	}
+	// Head may only reference keys and the aggregate output.
+	checkErr(t, declPrelude+`OutI(k, v) :- Num(k, v), var s = sum(v) group_by (k).`,
+		"unbound variable")
+}
+
+func TestCheckBitArithmetic(t *testing.T) {
+	src := declPrelude + `
+	output relation OutB(k: string, v: bit<12>)
+	OutB(k, v + 1) :- Bits(k, v).`
+	p := check(t, src)
+	be := p.Rules[0].HeadExprs[1].(*BinOp)
+	if be.Kind != BinAddBit || be.Width != 12 {
+		t.Errorf("bit add = %+v", be)
+	}
+}
+
+func TestCheckTypeErrors(t *testing.T) {
+	cases := map[string]struct{ src, want string }{
+		"undeclared head":     {`Out2(a) :- Edge(a, _).`, "undeclared relation"},
+		"undeclared body":     {declPrelude + `Out(a, a) :- Foo(a).`, "undeclared relation"},
+		"head into input":     {declPrelude + `Edge(a, a) :- Out(a, _).`, "cannot be a rule head"},
+		"arity mismatch":      {declPrelude + `Out(a, b) :- Edge(a, b, b).`, "columns"},
+		"type mismatch":       {declPrelude + `OutI(k, v) :- Num(v, k).`, "type"},
+		"string plus int":     {declPrelude + `OutI(k, v + 1) :- Edge(k, v).`, "expected string"},
+		"unbound in head":     {declPrelude + `Out(a, z) :- Edge(a, _).`, "unbound variable"},
+		"bit literal too big": {declPrelude + `OutB2(v) :- Bits(_, v), v == 5000.`, "undeclared"},
+		"bad cast":            {declPrelude + `Out(a, b) :- Edge(a, b), var x = a as bit<8>.`, "cast"},
+		"dup column":          {`relation R(x: int, x: int)`, "duplicate column"},
+		"dup relation":        {`relation R(x: int) relation R(y: int)`, "redeclared"},
+		"recursive typedef":   {`typedef T = T{f: T}`, "recursively defined"},
+		"unknown function":    {declPrelude + `OutI(k, foo(v)) :- Num(k, v).`, "unknown function"},
+		"sum of strings":      {declPrelude + `OutI(k, s) :- Edge(k, v), var s = sum(v) group_by (k).`, "numeric"},
+		"groupby unbound key": {declPrelude + `OutI(k, s) :- Num(k, v), var s = sum(v) group_by (z).`, "not bound"},
+		"div type clash":      {declPrelude + `OutI(k, v / w) :- Num(k, v), Bits(k, w).`, "type"},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) { checkErr(t, c.src, c.want) })
+	}
+}
+
+func TestCheckLiteralOverflow(t *testing.T) {
+	checkErr(t, `
+		input relation B(v: bit<4>)
+		output relation O(v: bit<4>)
+		O(20) :- B(_).`, "overflows")
+}
+
+func TestCheckTypedefsAndStructs(t *testing.T) {
+	src := `
+	typedef Cfg = Cfg{vid: bit<12>, tagged: bool}
+	input relation Port(id: string, cfg: Cfg)
+	output relation Vlan(id: string, vid: bit<12>)
+	Vlan(id, cfg.vid) :- Port(id, cfg), not cfg.tagged.
+	Vlan(id, c.vid) :- Port(id, _), var c = Cfg{vid = 7, tagged = false}.
+	`
+	p := check(t, src)
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	fg := p.Rules[0].HeadExprs[1].(*FieldGet)
+	if fg.Index != 0 || !fg.Type().Equal(value.BitType(12)) {
+		t.Errorf("field access = %+v", fg)
+	}
+}
+
+func TestCheckFacts(t *testing.T) {
+	p := check(t, declPrelude+`Out("a", "b").`)
+	r := p.Rules[0]
+	if len(r.Body) != 0 || len(r.HeadExprs) != 2 {
+		t.Fatalf("fact shape wrong")
+	}
+	v, err := r.HeadExprs[0].Eval(nil)
+	if err != nil || v.Str() != "a" {
+		t.Errorf("fact head eval = %v, %v", v, err)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	// Build a program whose rule exercises many operators, then evaluate
+	// the head expressions directly.
+	src := `
+	input relation In(a: int, b: int, s: string)
+	output relation O(x: int, y: string, z: bool)
+	O(if (a > b) a else b, s ++ "!", a == b and not (a < 0)) :- In(a, b, s).
+	`
+	p := check(t, src)
+	env := []value.Value{value.Int(3), value.Int(5), value.String("hi")}
+	r := p.Rules[0]
+	x, err := r.HeadExprs[0].Eval(env)
+	if err != nil || x.Int() != 5 {
+		t.Errorf("if-else eval = %v, %v", x, err)
+	}
+	y, _ := r.HeadExprs[1].Eval(env)
+	if y.Str() != "hi!" {
+		t.Errorf("concat eval = %v", y)
+	}
+	z, _ := r.HeadExprs[2].Eval(env)
+	if z.Bool() {
+		t.Errorf("bool eval = %v", z)
+	}
+}
+
+func TestExprEvalDivZero(t *testing.T) {
+	src := `
+	input relation In(a: int)
+	output relation O(x: int)
+	O(10 / a) :- In(a).
+	`
+	p := check(t, src)
+	_, err := p.Rules[0].HeadExprs[0].Eval([]value.Value{value.Int(0)})
+	if err == nil {
+		t.Errorf("division by zero did not error")
+	}
+	v, err := p.Rules[0].HeadExprs[0].Eval([]value.Value{value.Int(2)})
+	if err != nil || v.Int() != 5 {
+		t.Errorf("eval = %v, %v", v, err)
+	}
+}
+
+func TestBitWrapping(t *testing.T) {
+	src := `
+	input relation In(a: bit<8>)
+	output relation O(x: bit<8>)
+	O(a + 200) :- In(a).
+	`
+	p := check(t, src)
+	v, err := p.Rules[0].HeadExprs[0].Eval([]value.Value{value.Bit(100)})
+	if err != nil || v.Bit() != (100+200)%256 {
+		t.Errorf("bit wrap eval = %v, %v", v, err)
+	}
+}
+
+func TestBuiltinEval(t *testing.T) {
+	src := `
+	input relation In(s: string, n: int)
+	output relation O(a: string, b: int, c: bool, d: string)
+	O(substr(s, 1, 3), len(s), string_contains(s, "ell"), to_string(n)) :- In(s, n).
+	`
+	p := check(t, src)
+	env := []value.Value{value.String("hello"), value.Int(42)}
+	r := p.Rules[0]
+	got := make([]value.Value, 4)
+	for i := range got {
+		var err error
+		got[i], err = r.HeadExprs[i].Eval(env)
+		if err != nil {
+			t.Fatalf("eval %d: %v", i, err)
+		}
+	}
+	if got[0].Str() != "el" || got[1].Int() != 5 || !got[2].Bool() || got[3].Str() != "42" {
+		t.Errorf("builtins = %v", got)
+	}
+}
+
+func TestCheckRecordValidation(t *testing.T) {
+	p := check(t, declPrelude)
+	edge := p.Relation("Edge")
+	ok := value.Record{value.String("a"), value.String("b")}
+	if err := edge.CheckRecord(ok); err != nil {
+		t.Errorf("CheckRecord(ok) = %v", err)
+	}
+	if err := edge.CheckRecord(value.Record{value.Int(1), value.String("b")}); err == nil {
+		t.Errorf("CheckRecord accepted ill-typed record")
+	}
+	if err := edge.CheckRecord(ok[:1]); err == nil {
+		t.Errorf("CheckRecord accepted wrong arity")
+	}
+}
+
+func TestRoleAndPatternHeads(t *testing.T) {
+	p := check(t, declPrelude+`OutI(k, v + 1) :- Num(k, v).`)
+	if p.Rules[0].HeadIsPattern() {
+		t.Errorf("computed head misreported as pattern")
+	}
+	if p.Relation("Edge").Role != ast.RoleInput || p.Relation("Out").Role != ast.RoleOutput {
+		t.Errorf("roles wrong")
+	}
+}

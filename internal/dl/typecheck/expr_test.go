@@ -1,0 +1,314 @@
+package typecheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dl/ast"
+	"repro/internal/dl/parser"
+	"repro/internal/dl/value"
+)
+
+// evalExpr compiles a one-rule program whose head is the expression under
+// test over typed inputs, then evaluates it with the given environment.
+//
+// The program shape is:
+//
+//	input relation In(a: T1, b: T2, ...)
+//	output relation O(r: RT)
+//	O(<expr>) :- In(a, b, ...).
+func evalExpr(t *testing.T, inCols, outCol, expr string, env []value.Value) (value.Value, error) {
+	t.Helper()
+	src := "input relation In(" + inCols + ")\n" +
+		"output relation O(r: " + outCol + ")\n" +
+		"O(" + expr + ") :- In(" + varsOf(inCols) + ").\n"
+	tree, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	prog, err := Check(tree)
+	if err != nil {
+		t.Fatalf("check: %v\n%s", err, src)
+	}
+	return prog.Rules[0].HeadExprs[0].Eval(env)
+}
+
+// varsOf extracts the parameter names of "a: T, b: T".
+func varsOf(cols string) string {
+	var names []string
+	for _, part := range strings.Split(cols, ",") {
+		names = append(names, strings.TrimSpace(strings.Split(part, ":")[0]))
+	}
+	return strings.Join(names, ", ")
+}
+
+func TestEvalIntArithmetic(t *testing.T) {
+	env := []value.Value{value.Int(7), value.Int(3)}
+	cases := map[string]int64{
+		"a + b": 10, "a - b": 4, "a * b": 21, "a / b": 2, "a % b": 1,
+		"a & b": 3, "a | b": 7, "a ^ b": 4,
+		"a << 2": 28, "a >> 1": 3,
+		"-a": -7, "~a": -8,
+		"min(a, b)": 3, "max(a, b)": 7, "abs(0 - a)": 7,
+		"if (a > b) a else b": 7,
+	}
+	for expr, want := range cases {
+		got, err := evalExpr(t, "a: int, b: int", "int", expr, env)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		if got.Int() != want {
+			t.Errorf("%s = %d, want %d", expr, got.Int(), want)
+		}
+	}
+}
+
+func TestEvalIntOverflowSemantics(t *testing.T) {
+	// Wrapping and the INT64_MIN edge cases.
+	minInt := value.Int(-1 << 63)
+	env := []value.Value{minInt, value.Int(-1)}
+	got, err := evalExpr(t, "a: int, b: int", "int", "a / b", env)
+	if err != nil || got.Int() != -1<<63 {
+		t.Errorf("INT64_MIN / -1 = %v, %v (want wraparound)", got, err)
+	}
+	got, err = evalExpr(t, "a: int, b: int", "int", "a % b", env)
+	if err != nil || got.Int() != 0 {
+		t.Errorf("INT64_MIN %% -1 = %v, %v", got, err)
+	}
+	// Negative shift amounts cannot be expressed; oversized shifts clamp.
+	got, err = evalExpr(t, "a: int, b: int", "int", "a >> 100",
+		[]value.Value{value.Int(-8), value.Int(0)})
+	if err != nil || got.Int() != -1 {
+		t.Errorf("-8 >> 100 = %v, %v (arithmetic shift saturates)", got, err)
+	}
+	got, err = evalExpr(t, "a: int, b: int", "int", "a << 100",
+		[]value.Value{value.Int(5), value.Int(0)})
+	if err != nil || got.Int() != 0 {
+		t.Errorf("5 << 100 = %v, %v", got, err)
+	}
+}
+
+func TestEvalBitArithmetic(t *testing.T) {
+	env := []value.Value{value.Bit(200), value.Bit(100)}
+	cases := map[string]uint64{
+		"a + b":    (200 + 100) % 256,
+		"a - b":    100,
+		"b - a":    (100 - 200 + 256) % 256,
+		"a * b":    (200 * 100) % 256,
+		"a / b":    2,
+		"a % b":    0,
+		"a & b":    200 & 100,
+		"a | b":    200 | 100,
+		"a ^ b":    200 ^ 100,
+		"~a":       ^uint64(200) & 0xff,
+		"a << 1":   (200 << 1) % 256,
+		"a >> 3":   200 >> 3,
+		"a >> 100": 0,
+		"a << 100": 0,
+	}
+	for expr, want := range cases {
+		got, err := evalExpr(t, "a: bit<8>, b: bit<8>", "bit<8>", expr, env)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		if got.Bit() != want {
+			t.Errorf("%s = %d, want %d", expr, got.Bit(), want)
+		}
+	}
+}
+
+func TestEvalDivModByZero(t *testing.T) {
+	for _, tc := range []struct{ cols, out, expr string }{
+		{"a: int, b: int", "int", "a / b"},
+		{"a: int, b: int", "int", "a % b"},
+		{"a: bit<8>, b: bit<8>", "bit<8>", "a / b"},
+		{"a: bit<8>, b: bit<8>", "bit<8>", "a % b"},
+	} {
+		var env []value.Value
+		if strings.Contains(tc.cols, "bit") {
+			env = []value.Value{value.Bit(5), value.Bit(0)}
+		} else {
+			env = []value.Value{value.Int(5), value.Int(0)}
+		}
+		if _, err := evalExpr(t, tc.cols, tc.out, tc.expr, env); err == nil {
+			t.Errorf("%s with zero divisor succeeded", tc.expr)
+		}
+	}
+}
+
+func TestEvalComparisons(t *testing.T) {
+	env := []value.Value{value.Int(3), value.Int(5)}
+	cases := map[string]bool{
+		"a == b": false, "a != b": true,
+		"a < b": true, "a <= b": true, "a > b": false, "a >= b": false,
+		"a < b and b < 10":        true,
+		"a > b or b == 5":         true,
+		"not (a == b)":            true,
+		"a == 3 and not (b == 3)": true,
+	}
+	for expr, want := range cases {
+		got, err := evalExpr(t, "a: int, b: int", "bool", expr, env)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		if got.Bool() != want {
+			t.Errorf("%s = %v, want %v", expr, got.Bool(), want)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right side would divide by zero; short-circuiting must skip it.
+	env := []value.Value{value.Int(0)}
+	got, err := evalExpr(t, "a: int", "bool", "a != 0 and 10 / a > 1", env)
+	if err != nil || got.Bool() {
+		t.Errorf("and short-circuit: %v, %v", got, err)
+	}
+	got, err = evalExpr(t, "a: int", "bool", "a == 0 or 10 / a > 1", env)
+	if err != nil || !got.Bool() {
+		t.Errorf("or short-circuit: %v, %v", got, err)
+	}
+}
+
+func TestEvalStringsAndCasts(t *testing.T) {
+	got, err := evalExpr(t, "s: string", "string", `s ++ "-x"`,
+		[]value.Value{value.String("ab")})
+	if err != nil || got.Str() != "ab-x" {
+		t.Errorf("concat: %v, %v", got, err)
+	}
+	got, err = evalExpr(t, "a: int", "bit<4>", "a as bit<4>",
+		[]value.Value{value.Int(300)})
+	if err != nil || got.Bit() != 300%16 {
+		t.Errorf("int->bit cast: %v, %v", got, err)
+	}
+	got, err = evalExpr(t, "a: bit<8>", "int", "a as int",
+		[]value.Value{value.Bit(255)})
+	if err != nil || got.Int() != 255 {
+		t.Errorf("bit->int cast: %v, %v", got, err)
+	}
+	got, err = evalExpr(t, "a: bit<16>", "bit<8>", "a as bit<8>",
+		[]value.Value{value.Bit(0x1ff)})
+	if err != nil || got.Bit() != 0xff {
+		t.Errorf("narrowing cast: %v, %v", got, err)
+	}
+}
+
+func TestEvalTupleAndStruct(t *testing.T) {
+	tree, err := parser.Parse(`
+		typedef Pair = Pair{x: int, y: int}
+		input relation In(a: int, b: int)
+		output relation O(p: Pair, t: (int, int), first: int)
+		O(Pair{x = a, y = b}, (b, a), Pair{x = a, y = b}.x) :- In(a, b).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Check(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := []value.Value{value.Int(1), value.Int(2)}
+	p, err := prog.Rules[0].HeadExprs[0].Eval(env)
+	if err != nil || p.Field(0).Int() != 1 || p.Field(1).Int() != 2 {
+		t.Errorf("struct = %v, %v", p, err)
+	}
+	tp, err := prog.Rules[0].HeadExprs[1].Eval(env)
+	if err != nil || tp.Field(0).Int() != 2 {
+		t.Errorf("tuple = %v, %v", tp, err)
+	}
+	f, err := prog.Rules[0].HeadExprs[2].Eval(env)
+	if err != nil || f.Int() != 1 {
+		t.Errorf("field access on constructed struct = %v, %v", f, err)
+	}
+}
+
+func TestEvalHash64Stable(t *testing.T) {
+	a, err := evalExpr(t, "s: string", "bit<64>", "hash64(s)",
+		[]value.Value{value.String("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := evalExpr(t, "s: string", "bit<64>", "hash64(s)",
+		[]value.Value{value.String("x")})
+	if err != nil || a.Bit() != b.Bit() {
+		t.Errorf("hash64 not deterministic: %v vs %v", a, b)
+	}
+	c, _ := evalExpr(t, "s: string", "bit<64>", "hash64(s)",
+		[]value.Value{value.String("y")})
+	if c.Bit() == a.Bit() {
+		t.Errorf("hash64 collision on trivial inputs")
+	}
+}
+
+func TestEvalSubstrClamps(t *testing.T) {
+	cases := []struct {
+		from, to int64
+		want     string
+	}{
+		{1, 3, "el"},
+		{-5, 2, "he"},
+		{3, 100, "lo"},
+		{4, 2, ""},
+	}
+	for _, c := range cases {
+		got, err := evalExpr(t, "s: string, f: int, u: int", "string",
+			"substr(s, f, u)",
+			[]value.Value{value.String("hello"), value.Int(c.from), value.Int(c.to)})
+		if err != nil || got.Str() != c.want {
+			t.Errorf("substr(hello, %d, %d) = %v, %v (want %q)", c.from, c.to, got, err, c.want)
+		}
+	}
+}
+
+func TestEvalMinMaxStrings(t *testing.T) {
+	got, err := evalExpr(t, "a: string, b: string", "string", "min(a, b)",
+		[]value.Value{value.String("b"), value.String("a")})
+	if err != nil || got.Str() != "a" {
+		t.Errorf("min strings: %v, %v", got, err)
+	}
+	got, err = evalExpr(t, "a: string, b: string", "string", "max(a, b)",
+		[]value.Value{value.String("b"), value.String("a")})
+	if err != nil || got.Str() != "b" {
+		t.Errorf("max strings: %v, %v", got, err)
+	}
+}
+
+func TestEvalToString(t *testing.T) {
+	cases := []struct {
+		cols string
+		env  []value.Value
+		want string
+	}{
+		{"a: int", []value.Value{value.Int(-3)}, "-3"},
+		{"a: bool", []value.Value{value.Bool(true)}, "true"},
+		{"a: string", []value.Value{value.String("s")}, "s"},
+		{"a: bit<8>", []value.Value{value.Bit(9)}, "9"},
+	}
+	for _, c := range cases {
+		got, err := evalExpr(t, c.cols, "string", "to_string(a)", c.env)
+		if err != nil || got.Str() != c.want {
+			t.Errorf("to_string(%v) = %v, %v (want %q)", c.env[0], got, err, c.want)
+		}
+	}
+}
+
+func TestAddRelation(t *testing.T) {
+	prog := &Program{
+		Types:     map[string]*value.Type{},
+		RelByName: map[string]*Relation{},
+	}
+	rel := &Relation{Name: "R", Role: ast.RoleInput,
+		Cols: []Column{{Name: "x", Type: value.IntType}}}
+	if err := prog.AddRelation(rel); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Relation("R") != rel || rel.Index != 0 {
+		t.Errorf("AddRelation did not register")
+	}
+	if err := prog.AddRelation(rel); err == nil {
+		t.Errorf("duplicate AddRelation succeeded")
+	}
+}

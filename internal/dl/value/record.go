@@ -1,0 +1,98 @@
+package value
+
+import "strings"
+
+// Record is a relation tuple: a fixed-arity sequence of values. Records are
+// treated as immutable once constructed.
+type Record []Value
+
+// Key returns the canonical encoding of the record as a string, suitable for
+// use as a map key. Distinct records have distinct keys.
+func (r Record) Key() string {
+	var buf [96]byte
+	enc := buf[:0]
+	for _, v := range r {
+		enc = v.Encode(enc)
+	}
+	return string(enc)
+}
+
+// AppendEncode appends the record's canonical encoding to dst.
+func (r Record) AppendEncode(dst []byte) []byte {
+	for _, v := range r {
+		dst = v.Encode(dst)
+	}
+	return dst
+}
+
+// DecodeRecord decodes a record of the given arity from its canonical
+// encoding.
+func DecodeRecord(b []byte, arity int) (Record, error) {
+	rec := make(Record, arity)
+	var err error
+	for i := 0; i < arity; i++ {
+		rec[i], b, err = DecodeValue(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// Equal reports whether two records have the same arity and equal fields.
+func (r Record) Equal(s Record) bool {
+	if len(r) != len(s) {
+		return false
+	}
+	for i := range r {
+		if !r[i].Equal(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders records lexicographically by field, shorter records first
+// on a shared prefix.
+func (r Record) Compare(s Record) int {
+	n := len(r)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if c := r[i].Compare(s[i]); c != 0 {
+			return c
+		}
+	}
+	return cmpU64(uint64(len(r)), uint64(len(s)))
+}
+
+// Clone returns a copy of the record sharing the (immutable) values.
+func (r Record) Clone() Record {
+	out := make(Record, len(r))
+	copy(out, r)
+	return out
+}
+
+// Project returns a new record holding the fields at the given indexes.
+func (r Record) Project(idx []int) Record {
+	out := make(Record, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}
+
+// String renders the record as a parenthesized field list.
+func (r Record) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}

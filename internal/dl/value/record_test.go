@@ -1,0 +1,236 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordKeyDistinguishes(t *testing.T) {
+	a := Record{Int(1), String("x")}
+	b := Record{Int(1), String("y")}
+	c := Record{Int(1), String("x")}
+	if a.Key() == b.Key() {
+		t.Errorf("distinct records share a key")
+	}
+	if a.Key() != c.Key() {
+		t.Errorf("equal records have different keys")
+	}
+}
+
+func TestRecordKeyArityBoundary(t *testing.T) {
+	// Field boundaries must not be ambiguous: ("ab","c") != ("a","bc").
+	a := Record{String("ab"), String("c")}
+	b := Record{String("a"), String("bc")}
+	if a.Key() == b.Key() {
+		t.Errorf("field boundary ambiguity in record encoding")
+	}
+}
+
+func TestDecodeRecordRoundTrip(t *testing.T) {
+	rec := Record{Bool(true), Int(-9), Bit(12), String("hello"), Tuple(Int(1))}
+	got, err := DecodeRecord(rec.AppendEncode(nil), len(rec))
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if !got.Equal(rec) {
+		t.Errorf("round trip = %v, want %v", got, rec)
+	}
+}
+
+func TestRecordCompare(t *testing.T) {
+	a := Record{Int(1), Int(2)}
+	b := Record{Int(1), Int(3)}
+	pre := Record{Int(1)}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Errorf("Compare ordering wrong")
+	}
+	if pre.Compare(a) != -1 {
+		t.Errorf("shorter prefix should order first")
+	}
+}
+
+func TestRecordProjectAndClone(t *testing.T) {
+	r := Record{Int(10), Int(20), Int(30)}
+	p := r.Project([]int{2, 0})
+	if len(p) != 2 || p[0].Int() != 30 || p[1].Int() != 10 {
+		t.Errorf("Project = %v", p)
+	}
+	c := r.Clone()
+	c[0] = Int(99)
+	if r[0].Int() != 10 {
+		t.Errorf("Clone aliases the original")
+	}
+}
+
+type qrec struct{ r Record }
+
+func (qrec) Generate(rnd *rand.Rand, _ int) reflect.Value {
+	n := rnd.Intn(5)
+	rec := make(Record, n)
+	for i := range rec {
+		rec[i] = randValue(rnd, 2)
+	}
+	return reflect.ValueOf(qrec{rec})
+}
+
+func TestPropRecordKeyInjective(t *testing.T) {
+	f := func(x, y qrec) bool {
+		if len(x.r) != len(y.r) {
+			return true // keys are only compared within a relation (fixed arity)
+		}
+		return (x.r.Key() == y.r.Key()) == x.r.Equal(y.r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeEqualAndString(t *testing.T) {
+	s1 := StructType("Pt", Field{"x", IntType}, Field{"y", IntType})
+	s2 := StructType("Pt", Field{"x", IntType}, Field{"y", IntType})
+	s3 := StructType("Pt2", Field{"x", IntType}, Field{"y", IntType})
+	if !s1.Equal(s2) {
+		t.Errorf("identical struct types unequal")
+	}
+	if s1.Equal(s3) {
+		t.Errorf("structs with different names equal")
+	}
+	if !BitType(8).Equal(BitType(8)) || BitType(8).Equal(BitType(9)) {
+		t.Errorf("bit width equality wrong")
+	}
+	if got := BitType(12).String(); got != "bit<12>" {
+		t.Errorf("BitType(12).String() = %q", got)
+	}
+	if got := TupleType(IntType, StringType).String(); got != "(int, string)" {
+		t.Errorf("tuple String() = %q", got)
+	}
+}
+
+func TestTypeCheckValue(t *testing.T) {
+	pt := StructType("Pt", Field{"x", BitType(4)}, Field{"y", StringType})
+	good := Tuple(Bit(15), String("ok"))
+	bad1 := Tuple(Bit(16), String("overflow"))
+	bad2 := Tuple(Bit(1))
+	if err := pt.CheckValue(good); err != nil {
+		t.Errorf("CheckValue(good) = %v", err)
+	}
+	if err := pt.CheckValue(bad1); err == nil {
+		t.Errorf("CheckValue accepted overflowing bit field")
+	}
+	if err := pt.CheckValue(bad2); err == nil {
+		t.Errorf("CheckValue accepted wrong arity")
+	}
+	if err := BoolType.CheckValue(Int(1)); err == nil {
+		t.Errorf("CheckValue accepted kind mismatch")
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	pt := StructType("Pt", Field{"x", IntType}, Field{"s", StringType})
+	z := pt.ZeroValue()
+	if z.Field(0).Int() != 0 || z.Field(1).Str() != "" {
+		t.Errorf("ZeroValue = %v", z)
+	}
+	if err := pt.CheckValue(z); err != nil {
+		t.Errorf("zero value fails its own type check: %v", err)
+	}
+}
+
+func TestFieldIndex(t *testing.T) {
+	pt := StructType("Pt", Field{"x", IntType}, Field{"y", IntType})
+	if pt.FieldIndex("y") != 1 || pt.FieldIndex("z") != -1 {
+		t.Errorf("FieldIndex wrong")
+	}
+}
+
+func TestAccessorsAndKindStrings(t *testing.T) {
+	if !Int(1).IsValid() || (Value{}).IsValid() {
+		t.Errorf("IsValid wrong")
+	}
+	if Int(-1).Uint64() != ^uint64(0) || Bit(7).Uint64() != 7 {
+		t.Errorf("Uint64 wrong")
+	}
+	tup := Tuple(Int(1), Int(2))
+	if len(tup.Tuple()) != 2 {
+		t.Errorf("Tuple() wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Uint64 on string did not panic")
+		}
+	}()
+	_ = String("x").Uint64()
+}
+
+func TestKindNames(t *testing.T) {
+	names := map[Kind]string{
+		KindBool: "bool", KindInt: "int", KindBit: "bit",
+		KindString: "string", KindTuple: "tuple", KindInvalid: "invalid",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Int(1), String("x")}
+	if r.String() != `(1, "x")` {
+		t.Errorf("Record.String() = %q", r.String())
+	}
+}
+
+func TestTypeEqualMatrix(t *testing.T) {
+	tup1 := TupleType(IntType, StringType)
+	tup2 := TupleType(IntType, StringType)
+	tup3 := TupleType(IntType)
+	cases := []struct {
+		a, b *Type
+		want bool
+	}{
+		{IntType, IntType, true},
+		{IntType, BoolType, false},
+		{IntType, nil, false},
+		{nil, IntType, false},
+		{tup1, tup2, true},
+		{tup1, tup3, false},
+		{tup1, TupleType(IntType, IntType), false},
+		{StructType("A", Field{"x", IntType}), StructType("A", Field{"y", IntType}), false},
+		{StructType("A", Field{"x", IntType}), StructType("A", Field{"x", BoolType}), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+	if !IntType.IsNumeric() || !BitType(4).IsNumeric() || StringType.IsNumeric() {
+		t.Errorf("IsNumeric wrong")
+	}
+	var nilT *Type
+	if nilT.IsNumeric() {
+		t.Errorf("nil IsNumeric true")
+	}
+}
+
+func TestZeroValuesAllKinds(t *testing.T) {
+	for _, tt := range []*Type{BoolType, IntType, StringType, BitType(5),
+		TupleType(IntType, BoolType),
+		StructType("S", Field{"a", StringType})} {
+		z := tt.ZeroValue()
+		if err := tt.CheckValue(z); err != nil {
+			t.Errorf("zero of %s fails check: %v", tt, err)
+		}
+	}
+}
+
+func TestBitTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("BitType(0) did not panic")
+		}
+	}()
+	BitType(0)
+}

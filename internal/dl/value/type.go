@@ -1,0 +1,212 @@
+package value
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies a Type.
+type TypeKind uint8
+
+// The type kinds of the dialect's type system.
+const (
+	TInvalid TypeKind = iota
+	TBool
+	TInt    // signed 64-bit integer
+	TBit    // bit<N>, unsigned, 1 <= N <= 64
+	TString // UTF-8 string
+	TStruct // named struct with ordered, named fields
+	TTuple  // anonymous tuple
+)
+
+// Field is one named, typed component of a struct type (or an unnamed one
+// of a tuple type).
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Type describes a value's static type. Types are immutable after
+// construction; share them freely.
+type Type struct {
+	Kind   TypeKind
+	Width  int     // TBit: number of bits
+	Name   string  // TStruct: declared name
+	Fields []Field // TStruct, TTuple
+}
+
+// Predeclared singleton types.
+var (
+	BoolType   = &Type{Kind: TBool}
+	IntType    = &Type{Kind: TInt}
+	StringType = &Type{Kind: TString}
+)
+
+// BitType returns the type bit<width>. Width must be in 1..64.
+func BitType(width int) *Type {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("value: bit width %d out of range 1..64", width))
+	}
+	return &Type{Kind: TBit, Width: width}
+}
+
+// StructType constructs a named struct type.
+func StructType(name string, fields ...Field) *Type {
+	return &Type{Kind: TStruct, Name: name, Fields: fields}
+}
+
+// TupleType constructs an anonymous tuple type.
+func TupleType(elems ...*Type) *Type {
+	fields := make([]Field, len(elems))
+	for i, e := range elems {
+		fields[i] = Field{Type: e}
+	}
+	return &Type{Kind: TTuple, Fields: fields}
+}
+
+// FieldIndex returns the index of the named field of a struct type, or -1.
+func (t *Type) FieldIndex(name string) int {
+	for i, f := range t.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports structural type equality. Struct types additionally compare
+// by name, so two distinct declarations never unify.
+func (t *Type) Equal(u *Type) bool {
+	if t == u {
+		return true
+	}
+	if t == nil || u == nil || t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case TBit:
+		return t.Width == u.Width
+	case TStruct:
+		if t.Name != u.Name || len(t.Fields) != len(u.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if t.Fields[i].Name != u.Fields[i].Name || !t.Fields[i].Type.Equal(u.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	case TTuple:
+		if len(t.Fields) != len(u.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if !t.Fields[i].Type.Equal(u.Fields[i].Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// IsNumeric reports whether values of the type support arithmetic.
+func (t *Type) IsNumeric() bool { return t != nil && (t.Kind == TInt || t.Kind == TBit) }
+
+// String renders the type in source syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TBool:
+		return "bool"
+	case TInt:
+		return "int"
+	case TBit:
+		return fmt.Sprintf("bit<%d>", t.Width)
+	case TString:
+		return "string"
+	case TStruct:
+		return t.Name
+	case TTuple:
+		var sb strings.Builder
+		sb.WriteByte('(')
+		for i, f := range t.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.Type.String())
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// ZeroValue returns the zero value of the type: false, 0, "", or a tuple of
+// zero values.
+func (t *Type) ZeroValue() Value {
+	switch t.Kind {
+	case TBool:
+		return Bool(false)
+	case TInt:
+		return Int(0)
+	case TBit:
+		return Bit(0)
+	case TString:
+		return String("")
+	case TStruct, TTuple:
+		fields := make([]Value, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = f.Type.ZeroValue()
+		}
+		return Tuple(fields...)
+	default:
+		panic("value: zero of invalid type")
+	}
+}
+
+// CheckValue reports whether v is a well-formed value of type t (including
+// bit-width range and struct shape).
+func (t *Type) CheckValue(v Value) error {
+	switch t.Kind {
+	case TBool:
+		if v.Kind() != KindBool {
+			return typeErr(t, v)
+		}
+	case TInt:
+		if v.Kind() != KindInt {
+			return typeErr(t, v)
+		}
+	case TBit:
+		if v.Kind() != KindBit {
+			return typeErr(t, v)
+		}
+		if MaskBits(v.Bit(), t.Width) != v.Bit() {
+			return fmt.Errorf("value %d overflows %s", v.Bit(), t)
+		}
+	case TString:
+		if v.Kind() != KindString {
+			return typeErr(t, v)
+		}
+	case TStruct, TTuple:
+		if v.Kind() != KindTuple || v.NumFields() != len(t.Fields) {
+			return typeErr(t, v)
+		}
+		for i, f := range t.Fields {
+			if err := f.Type.CheckValue(v.Field(i)); err != nil {
+				return fmt.Errorf("field %d: %w", i, err)
+			}
+		}
+	default:
+		return fmt.Errorf("invalid type")
+	}
+	return nil
+}
+
+func typeErr(t *Type, v Value) error {
+	return fmt.Errorf("value %s is not of type %s", v, t)
+}

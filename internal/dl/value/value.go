@@ -1,0 +1,349 @@
+// Package value defines the runtime values and types shared by every plane
+// of the stack: the Datalog control-plane engine computes over them, the
+// management plane's rows convert to and from them, and the data plane's
+// match fields and action parameters are checked against them.
+//
+// Values are small immutable tagged unions. Records (fixed-width slices of
+// values) are the tuples stored in relations. A canonical byte encoding
+// provides map keys, hashing, and a deterministic total order.
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the runtime representation of a Value.
+type Kind uint8
+
+// The value kinds.
+const (
+	KindInvalid Kind = iota
+	KindBool
+	KindInt    // signed, 64-bit
+	KindBit    // unsigned, up to 64 bits wide (width tracked by the type)
+	KindString // immutable UTF-8 string
+	KindTuple  // struct or tuple: ordered fields
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindBit:
+		return "bit"
+	case KindString:
+		return "string"
+	case KindTuple:
+		return "tuple"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is an immutable runtime value. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	num  uint64
+	str  string
+	tup  []Value
+}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int returns a signed 64-bit integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// Bit returns an unsigned bit-vector value. The caller is responsible for
+// masking to the declared width; BitW does it for you.
+func Bit(v uint64) Value { return Value{kind: KindBit, num: v} }
+
+// BitW returns an unsigned bit-vector value masked to width bits (1..64).
+func BitW(v uint64, width int) Value { return Value{kind: KindBit, num: MaskBits(v, width)} }
+
+// MaskBits truncates v to its low width bits (width 1..64).
+func MaskBits(v uint64, width int) uint64 {
+	if width <= 0 {
+		return 0
+	}
+	if width >= 64 {
+		return v
+	}
+	return v & (1<<uint(width) - 1)
+}
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Tuple returns a tuple (or struct) value over the given fields. The slice
+// is owned by the new value and must not be mutated afterwards.
+func Tuple(fields ...Value) Value { return Value{kind: KindTuple, tup: fields} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value has been initialized.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// Bool returns the boolean payload; it panics on other kinds.
+func (v Value) Bool() bool {
+	v.check(KindBool)
+	return v.num != 0
+}
+
+// Int returns the signed integer payload; it panics on other kinds.
+func (v Value) Int() int64 {
+	v.check(KindInt)
+	return int64(v.num)
+}
+
+// Bit returns the unsigned bit-vector payload; it panics on other kinds.
+func (v Value) Bit() uint64 {
+	v.check(KindBit)
+	return v.num
+}
+
+// Uint64 returns the numeric payload of an Int or Bit value as a uint64.
+func (v Value) Uint64() uint64 {
+	if v.kind != KindInt && v.kind != KindBit {
+		panic(fmt.Sprintf("value: Uint64 on %s", v.kind))
+	}
+	return v.num
+}
+
+// Str returns the string payload; it panics on other kinds.
+func (v Value) Str() string {
+	v.check(KindString)
+	return v.str
+}
+
+// Tuple returns the field slice of a tuple value; callers must not mutate it.
+func (v Value) Tuple() []Value {
+	v.check(KindTuple)
+	return v.tup
+}
+
+// Field returns field i of a tuple value.
+func (v Value) Field(i int) Value {
+	v.check(KindTuple)
+	return v.tup[i]
+}
+
+// NumFields returns the number of fields of a tuple value.
+func (v Value) NumFields() int {
+	v.check(KindTuple)
+	return len(v.tup)
+}
+
+func (v Value) check(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("value: %s access on %s value", k, v.kind))
+	}
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindBool, KindInt, KindBit:
+		return v.num == w.num
+	case KindString:
+		return v.str == w.str
+	case KindTuple:
+		if len(v.tup) != len(w.tup) {
+			return false
+		}
+		for i := range v.tup {
+			if !v.tup[i].Equal(w.tup[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Compare returns -1, 0, or +1 establishing a deterministic total order.
+// Values of different kinds order by kind.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindBool, KindBit:
+		return cmpU64(v.num, w.num)
+	case KindInt:
+		a, b := int64(v.num), int64(w.num)
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case KindString:
+		return strings.Compare(v.str, w.str)
+	case KindTuple:
+		n := len(v.tup)
+		if len(w.tup) < n {
+			n = len(w.tup)
+		}
+		for i := 0; i < n; i++ {
+			if c := v.tup[i].Compare(w.tup[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpU64(uint64(len(v.tup)), uint64(len(w.tup)))
+	default:
+		return 0
+	}
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// Encode appends a canonical byte encoding of v to dst and returns the
+// extended slice. The encoding is injective: distinct values have distinct
+// encodings, so it can serve as a map key.
+func (v Value) Encode(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindBool, KindInt, KindBit:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v.num)
+		dst = append(dst, b[:]...)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+		dst = append(dst, v.str...)
+	case KindTuple:
+		dst = binary.AppendUvarint(dst, uint64(len(v.tup)))
+		for _, f := range v.tup {
+			dst = f.Encode(dst)
+		}
+	}
+	return dst
+}
+
+// DecodeValue decodes one value from b, returning the value and the rest of
+// the buffer.
+func DecodeValue(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, nil, fmt.Errorf("value: decode: empty buffer")
+	}
+	k := Kind(b[0])
+	b = b[1:]
+	switch k {
+	case KindBool, KindInt, KindBit:
+		if len(b) < 8 {
+			return Value{}, nil, fmt.Errorf("value: decode: short numeric payload")
+		}
+		n := binary.BigEndian.Uint64(b[:8])
+		if k == KindBool && n > 1 {
+			return Value{}, nil, fmt.Errorf("value: decode: bad bool payload %d", n)
+		}
+		return Value{kind: k, num: n}, b[8:], nil
+	case KindString:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < n {
+			return Value{}, nil, fmt.Errorf("value: decode: bad string length")
+		}
+		b = b[sz:]
+		return String(string(b[:n])), b[n:], nil
+	case KindTuple:
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 || n > uint64(len(b)) {
+			return Value{}, nil, fmt.Errorf("value: decode: bad tuple arity")
+		}
+		b = b[sz:]
+		fields := make([]Value, n)
+		var err error
+		for i := range fields {
+			fields[i], b, err = DecodeValue(b)
+			if err != nil {
+				return Value{}, nil, err
+			}
+		}
+		return Tuple(fields...), b, nil
+	default:
+		return Value{}, nil, fmt.Errorf("value: decode: unknown kind %d", k)
+	}
+}
+
+// Hash returns a 64-bit FNV-1a hash of the value's canonical encoding.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	var buf [64]byte
+	enc := v.Encode(buf[:0])
+	for _, c := range enc {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// String renders the value in the Datalog dialect's literal syntax.
+func (v Value) String() string {
+	var sb strings.Builder
+	v.format(&sb)
+	return sb.String()
+}
+
+func (v Value) format(sb *strings.Builder) {
+	switch v.kind {
+	case KindBool:
+		if v.num != 0 {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case KindInt:
+		sb.WriteString(strconv.FormatInt(int64(v.num), 10))
+	case KindBit:
+		sb.WriteString(strconv.FormatUint(v.num, 10))
+	case KindString:
+		sb.WriteString(strconv.Quote(v.str))
+	case KindTuple:
+		sb.WriteByte('(')
+		for i, f := range v.tup {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			f.format(sb)
+		}
+		sb.WriteByte(')')
+	default:
+		sb.WriteString("<invalid>")
+	}
+}
+
+// MaxInt64 is the largest signed value representable in an Int.
+const MaxInt64 = math.MaxInt64

@@ -1,0 +1,218 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if v := Bool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Errorf("Bool(true) = %v", v)
+	}
+	if v := Bool(false); v.Bool() {
+		t.Errorf("Bool(false).Bool() = true")
+	}
+	if v := Int(-42); v.Int() != -42 {
+		t.Errorf("Int(-42).Int() = %d", v.Int())
+	}
+	if v := Bit(0xff); v.Bit() != 0xff {
+		t.Errorf("Bit(0xff).Bit() = %d", v.Bit())
+	}
+	if v := String("hi"); v.Str() != "hi" {
+		t.Errorf("String(hi).Str() = %q", v.Str())
+	}
+	tup := Tuple(Int(1), String("x"))
+	if tup.NumFields() != 2 || tup.Field(0).Int() != 1 || tup.Field(1).Str() != "x" {
+		t.Errorf("Tuple fields wrong: %v", tup)
+	}
+}
+
+func TestBitWMasks(t *testing.T) {
+	cases := []struct {
+		v     uint64
+		width int
+		want  uint64
+	}{
+		{0xfff, 8, 0xff},
+		{0xfff, 12, 0xfff},
+		{0xffffffffffffffff, 64, 0xffffffffffffffff},
+		{0xffffffffffffffff, 63, 0x7fffffffffffffff},
+		{5, 1, 1},
+		{5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := BitW(c.v, c.width).Bit(); got != c.want {
+			t.Errorf("BitW(%#x, %d) = %#x, want %#x", c.v, c.width, got, c.want)
+		}
+	}
+}
+
+func TestAccessorPanicsOnWrongKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic accessing Int payload of a Bool")
+		}
+	}()
+	_ = Bool(true).Int()
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Int(1), Int(1), true},
+		{Int(1), Bit(1), false}, // different kinds never equal
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{Tuple(Int(1), Int(2)), Tuple(Int(1), Int(2)), true},
+		{Tuple(Int(1)), Tuple(Int(1), Int(2)), false},
+		{Tuple(Tuple(Bool(true))), Tuple(Tuple(Bool(true))), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	// A representative ascending sequence.
+	asc := []Value{
+		Bool(false), Bool(true),
+		Int(-5), Int(0), Int(7),
+		Bit(0), Bit(9),
+		String(""), String("a"), String("ab"),
+		Tuple(), Tuple(Int(1)), Tuple(Int(1), Int(0)), Tuple(Int(2)),
+	}
+	for i := range asc {
+		for j := range asc {
+			got := asc[i].Compare(asc[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", asc[i], asc[j], got, want)
+			}
+		}
+	}
+}
+
+// randValue generates a random value of bounded depth for property tests.
+func randValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(5)
+	if depth <= 0 {
+		k = r.Intn(4) // no tuples at the leaves
+	}
+	switch k {
+	case 0:
+		return Bool(r.Intn(2) == 1)
+	case 1:
+		return Int(int64(r.Uint64()))
+	case 2:
+		return Bit(r.Uint64())
+	case 3:
+		b := make([]byte, r.Intn(12))
+		r.Read(b)
+		return String(string(b))
+	default:
+		n := r.Intn(4)
+		fields := make([]Value, n)
+		for i := range fields {
+			fields[i] = randValue(r, depth-1)
+		}
+		return Tuple(fields...)
+	}
+}
+
+type qv struct{ v Value }
+
+func (qv) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(qv{randValue(r, 3)})
+}
+
+func TestPropEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(x qv) bool {
+		enc := x.v.Encode(nil)
+		got, rest, err := DecodeValue(enc)
+		return err == nil && len(rest) == 0 && got.Equal(x.v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEncodingInjective(t *testing.T) {
+	f := func(x, y qv) bool {
+		same := string(x.v.Encode(nil)) == string(y.v.Encode(nil))
+		return same == x.v.Equal(y.v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareConsistentWithEqual(t *testing.T) {
+	f := func(x, y qv) bool {
+		c := x.v.Compare(y.v)
+		if x.v.Equal(y.v) != (c == 0) {
+			return false
+		}
+		return c == -y.v.Compare(x.v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropHashEqualValues(t *testing.T) {
+	f := func(x qv) bool {
+		// Re-building the same value hashes identically.
+		clone, _, err := DecodeValue(x.v.Encode(nil))
+		return err == nil && clone.Hash() == x.v.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{byte(KindBool)},                         // truncated numeric
+		{byte(KindBool), 0, 0, 0, 0, 0, 0, 0, 9}, // bool payload out of range
+		{byte(KindString), 200},                  // length longer than data
+		{byte(KindTuple), 3, byte(KindBool)},     // truncated tuple
+		{99, 1, 2, 3},                            // unknown kind
+	}
+	for i, b := range bad {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("case %d: DecodeValue(%v) succeeded, want error", i, b)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Bool(true), "true"},
+		{Int(-3), "-3"},
+		{Bit(10), "10"},
+		{String("a\"b"), `"a\"b"`},
+		{Tuple(Int(1), String("x")), `(1, "x")`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

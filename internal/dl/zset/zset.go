@@ -1,0 +1,172 @@
+// Package zset implements Z-sets: finite collections of records with signed
+// integer weights. Z-sets are the algebra of incremental view maintenance
+// (as in DBSP and Differential Datalog): a relation's contents is a Z-set
+// with positive weights, and a change ("delta") is a Z-set whose positive
+// entries are insertions and negative entries are deletions.
+package zset
+
+import (
+	"sort"
+
+	"repro/internal/dl/value"
+)
+
+// Entry is one weighted record of a Z-set.
+type Entry struct {
+	Rec    value.Record
+	Weight int64
+}
+
+// ZSet is a mutable weighted collection of records keyed by canonical
+// encoding. The zero value is not ready to use; call New.
+type ZSet struct {
+	m map[string]Entry
+}
+
+// New returns an empty Z-set.
+func New() *ZSet { return &ZSet{m: make(map[string]Entry)} }
+
+// NewSized returns an empty Z-set with capacity for n entries.
+func NewSized(n int) *ZSet { return &ZSet{m: make(map[string]Entry, n)} }
+
+// FromEntries builds a Z-set from the given entries, summing duplicates.
+func FromEntries(entries ...Entry) *ZSet {
+	z := NewSized(len(entries))
+	for _, e := range entries {
+		z.Add(e.Rec, e.Weight)
+	}
+	return z
+}
+
+// Add adds rec with weight w, consolidating immediately: entries whose
+// weight reaches zero are removed. It returns the record's new weight.
+func (z *ZSet) Add(rec value.Record, w int64) int64 {
+	if w == 0 {
+		return z.Weight(rec)
+	}
+	k := rec.Key()
+	e, ok := z.m[k]
+	if !ok {
+		z.m[k] = Entry{Rec: rec, Weight: w}
+		return w
+	}
+	e.Weight += w
+	if e.Weight == 0 {
+		delete(z.m, k)
+		return 0
+	}
+	z.m[k] = e
+	return e.Weight
+}
+
+// AddAll adds every entry of other into z (z += other).
+func (z *ZSet) AddAll(other *ZSet) {
+	for _, e := range other.m {
+		z.Add(e.Rec, e.Weight)
+	}
+}
+
+// AddAllNegated subtracts every entry of other from z (z -= other).
+func (z *ZSet) AddAllNegated(other *ZSet) {
+	for _, e := range other.m {
+		z.Add(e.Rec, -e.Weight)
+	}
+}
+
+// Weight returns the weight of rec (zero if absent).
+func (z *ZSet) Weight(rec value.Record) int64 { return z.m[rec.Key()].Weight }
+
+// WeightKey returns the weight stored under a precomputed record key.
+func (z *ZSet) WeightKey(key string) int64 { return z.m[key].Weight }
+
+// Contains reports whether rec has nonzero weight.
+func (z *ZSet) Contains(rec value.Record) bool { return z.Weight(rec) != 0 }
+
+// Len returns the number of records with nonzero weight.
+func (z *ZSet) Len() int { return len(z.m) }
+
+// IsEmpty reports whether the Z-set has no entries.
+func (z *ZSet) IsEmpty() bool { return len(z.m) == 0 }
+
+// Each calls f for every entry. Iteration order is unspecified; use
+// Entries for deterministic order.
+func (z *ZSet) Each(f func(rec value.Record, w int64)) {
+	for _, e := range z.m {
+		f(e.Rec, e.Weight)
+	}
+}
+
+// Entries returns the entries sorted by record order (deterministic).
+func (z *ZSet) Entries() []Entry {
+	out := make([]Entry, 0, len(z.m))
+	for _, e := range z.m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rec.Compare(out[j].Rec) < 0 })
+	return out
+}
+
+// Clone returns an independent copy.
+func (z *ZSet) Clone() *ZSet {
+	c := NewSized(len(z.m))
+	for k, e := range z.m {
+		c.m[k] = e
+	}
+	return c
+}
+
+// Negate returns a new Z-set with all weights negated.
+func (z *ZSet) Negate() *ZSet {
+	c := NewSized(len(z.m))
+	for k, e := range z.m {
+		c.m[k] = Entry{Rec: e.Rec, Weight: -e.Weight}
+	}
+	return c
+}
+
+// Distinct returns the set-semantics view: every record with positive
+// weight appears with weight exactly 1. Records with negative weight are
+// dropped (a well-formed relation never has them).
+func (z *ZSet) Distinct() *ZSet {
+	c := NewSized(len(z.m))
+	for k, e := range z.m {
+		if e.Weight > 0 {
+			c.m[k] = Entry{Rec: e.Rec, Weight: 1}
+		}
+	}
+	return c
+}
+
+// Equal reports whether two Z-sets hold exactly the same weighted records.
+func (z *ZSet) Equal(other *ZSet) bool {
+	if len(z.m) != len(other.m) {
+		return false
+	}
+	for k, e := range z.m {
+		if other.m[k].Weight != e.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all entries, retaining allocated capacity.
+func (z *ZSet) Clear() {
+	for k := range z.m {
+		delete(z.m, k)
+	}
+}
+
+// MinWeight returns the smallest weight present, or 0 if empty. A negative
+// result on a relation's contents indicates an engine invariant violation.
+func (z *ZSet) MinWeight() int64 {
+	var min int64
+	first := true
+	for _, e := range z.m {
+		if first || e.Weight < min {
+			min = e.Weight
+			first = false
+		}
+	}
+	return min
+}

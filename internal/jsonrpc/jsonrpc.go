@@ -1,0 +1,284 @@
+// Package jsonrpc implements the JSON-RPC 1.0 peer protocol as used by
+// OVSDB (RFC 7047 §4): concatenated JSON messages over a reliable byte
+// stream, with requests, notifications (id null), and responses flowing in
+// both directions.
+package jsonrpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// message is the wire form of all three message kinds.
+type message struct {
+	Method string          `json:"method,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  json.RawMessage `json:"error,omitempty"`
+	// ID is present (possibly null) on requests and responses. A pointer
+	// distinguishes "absent" from "null".
+	ID *json.RawMessage `json:"id,omitempty"`
+}
+
+func (m *message) isRequest() bool  { return m.Method != "" && m.ID != nil && !isNull(*m.ID) }
+func (m *message) isNotify() bool   { return m.Method != "" && (m.ID == nil || isNull(*m.ID)) }
+func (m *message) isResponse() bool { return m.Method == "" && m.ID != nil }
+
+func isNull(raw json.RawMessage) bool { return string(raw) == "null" }
+
+// RPCError is a protocol-level error returned by a peer.
+type RPCError struct {
+	Code    string `json:"error"`
+	Details string `json:"details,omitempty"`
+}
+
+func (e *RPCError) Error() string {
+	if e.Details != "" {
+		return fmt.Sprintf("jsonrpc: %s: %s", e.Code, e.Details)
+	}
+	return "jsonrpc: " + e.Code
+}
+
+// Handler serves incoming requests and notifications on a connection.
+// Handle runs on the connection's read loop: implementations must not
+// block indefinitely. For a notification the result is discarded.
+type Handler interface {
+	Handle(c *Conn, method string, params json.RawMessage) (result any, err *RPCError)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(c *Conn, method string, params json.RawMessage) (any, *RPCError)
+
+// Handle calls f.
+func (f HandlerFunc) Handle(c *Conn, method string, params json.RawMessage) (any, *RPCError) {
+	return f(c, method, params)
+}
+
+// Conn is a JSON-RPC peer connection. Both sides may issue calls and
+// notifications concurrently.
+type Conn struct {
+	rwc     io.ReadWriteCloser
+	handler Handler
+
+	// Writes are decoupled from callers (and from the read loop, which
+	// serves handlers) through a queue drained by a writer goroutine, so a
+	// slow or synchronous peer never deadlocks request handling.
+	writeMu    sync.Mutex
+	writeQueue [][]byte
+	writeWake  chan struct{}
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *message
+	closed  bool
+	readErr error
+	done    chan struct{}
+}
+
+// NewConn starts a connection over rwc. handler may be nil if the peer
+// never sends requests. The read loop runs until the stream fails or the
+// connection is closed.
+func NewConn(rwc io.ReadWriteCloser, handler Handler) *Conn {
+	c := NewConnPending(rwc)
+	c.Start(handler)
+	return c
+}
+
+// NewConnPending creates a connection without starting its loops, letting
+// the caller publish the *Conn (e.g. into a handler's state) before any
+// request can be dispatched. Call Start to begin processing.
+func NewConnPending(rwc io.ReadWriteCloser) *Conn {
+	return &Conn{
+		rwc:       rwc,
+		writeWake: make(chan struct{}, 1),
+		pending:   make(map[uint64]chan *message),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start installs the handler and launches the read and write loops. It
+// must be called exactly once on a pending connection.
+func (c *Conn) Start(handler Handler) {
+	c.handler = handler
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// Close tears down the connection and fails all pending calls.
+func (c *Conn) Close() error {
+	c.fail(errors.New("jsonrpc: connection closed"))
+	return c.rwc.Close()
+}
+
+// Done is closed when the read loop exits.
+func (c *Conn) Done() <-chan struct{} { return c.done }
+
+// Err returns the error that terminated the read loop (nil while running).
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readErr
+}
+
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.readErr = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	close(c.done)
+}
+
+func (c *Conn) readLoop() {
+	dec := json.NewDecoder(c.rwc)
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			c.fail(err)
+			c.rwc.Close()
+			return
+		}
+		switch {
+		case m.isResponse():
+			var id uint64
+			if err := json.Unmarshal(*m.ID, &id); err != nil {
+				continue // response to an id we never issued
+			}
+			c.mu.Lock()
+			ch := c.pending[id]
+			delete(c.pending, id)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- &m
+			}
+		case m.isRequest():
+			c.serve(&m, true)
+		case m.isNotify():
+			c.serve(&m, false)
+		}
+	}
+}
+
+func (c *Conn) serve(m *message, wantReply bool) {
+	var result any
+	var rpcErr *RPCError
+	if c.handler == nil {
+		rpcErr = &RPCError{Code: "unknown method", Details: m.Method}
+	} else {
+		result, rpcErr = c.handler.Handle(c, m.Method, m.Params)
+	}
+	if !wantReply {
+		return
+	}
+	reply := map[string]any{"id": m.ID, "result": result, "error": nil}
+	if rpcErr != nil {
+		reply["result"] = nil
+		reply["error"] = rpcErr
+	}
+	c.send(reply)
+}
+
+func (c *Conn) send(v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return errors.New("jsonrpc: connection closed")
+	}
+	c.writeMu.Lock()
+	c.writeQueue = append(c.writeQueue, buf)
+	c.writeMu.Unlock()
+	select {
+	case c.writeWake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (c *Conn) writeLoop() {
+	for {
+		c.writeMu.Lock()
+		batch := c.writeQueue
+		c.writeQueue = nil
+		c.writeMu.Unlock()
+		if len(batch) == 0 {
+			select {
+			case <-c.writeWake:
+				continue
+			case <-c.done:
+				return
+			}
+		}
+		for _, buf := range batch {
+			if _, err := c.rwc.Write(buf); err != nil {
+				c.fail(err)
+				c.rwc.Close()
+				return
+			}
+		}
+	}
+}
+
+// Call issues a request and waits for the matching response, decoding its
+// result into result (unless nil).
+func (c *Conn) Call(method string, params any, result any) error {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		return fmt.Errorf("jsonrpc: connection closed: %w", err)
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan *message, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := map[string]any{"method": method, "params": params, "id": id}
+	if params == nil {
+		req["params"] = []any{}
+	}
+	if err := c.send(req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	m, ok := <-ch
+	if !ok {
+		return fmt.Errorf("jsonrpc: connection closed while waiting for %s reply", method)
+	}
+	if m.Error != nil && !isNull(m.Error) {
+		var rpcErr RPCError
+		if err := json.Unmarshal(m.Error, &rpcErr); err != nil {
+			return fmt.Errorf("jsonrpc: %s failed: %s", method, string(m.Error))
+		}
+		return &rpcErr
+	}
+	if result != nil && m.Result != nil {
+		return json.Unmarshal(m.Result, result)
+	}
+	return nil
+}
+
+// Notify sends a notification (no reply expected).
+func (c *Conn) Notify(method string, params any) error {
+	req := map[string]any{"method": method, "params": params, "id": nil}
+	if params == nil {
+		req["params"] = []any{}
+	}
+	return c.send(req)
+}

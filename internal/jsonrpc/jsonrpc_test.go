@@ -1,0 +1,191 @@
+package jsonrpc
+
+import (
+	"encoding/json"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns two connected Conns over an in-memory duplex pipe.
+func pipePair(t *testing.T, hA, hB Handler) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca := NewConn(a, hA)
+	cb := NewConn(b, hB)
+	t.Cleanup(func() {
+		ca.Close()
+		cb.Close()
+	})
+	return ca, cb
+}
+
+func echoHandler() Handler {
+	return HandlerFunc(func(_ *Conn, method string, params json.RawMessage) (any, *RPCError) {
+		switch method {
+		case "echo":
+			var v any
+			if err := json.Unmarshal(params, &v); err != nil {
+				return nil, &RPCError{Code: "bad params"}
+			}
+			return v, nil
+		case "fail":
+			return nil, &RPCError{Code: "boom", Details: "requested failure"}
+		default:
+			return nil, &RPCError{Code: "unknown method", Details: method}
+		}
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	ca, _ := pipePair(t, nil, echoHandler())
+	var got []string
+	if err := ca.Call("echo", []string{"hello", "world"}, &got); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if len(got) != 2 || got[0] != "hello" {
+		t.Errorf("echo result = %v", got)
+	}
+}
+
+func TestCallError(t *testing.T) {
+	ca, _ := pipePair(t, nil, echoHandler())
+	err := ca.Call("fail", nil, nil)
+	rpcErr, ok := err.(*RPCError)
+	if !ok || rpcErr.Code != "boom" {
+		t.Fatalf("Call error = %v, want RPCError boom", err)
+	}
+	if !strings.Contains(rpcErr.Error(), "requested failure") {
+		t.Errorf("error text = %q", rpcErr.Error())
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	ca, _ := pipePair(t, nil, echoHandler())
+	if err := ca.Call("nope", nil, nil); err == nil {
+		t.Fatalf("unknown method succeeded")
+	}
+}
+
+func TestNotify(t *testing.T) {
+	var mu sync.Mutex
+	var seen []string
+	h := HandlerFunc(func(_ *Conn, method string, params json.RawMessage) (any, *RPCError) {
+		mu.Lock()
+		seen = append(seen, method)
+		mu.Unlock()
+		return nil, nil
+	})
+	ca, _ := pipePair(t, nil, h)
+	if err := ca.Notify("update", map[string]int{"x": 1}); err != nil {
+		t.Fatalf("Notify: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("notification never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	ca, cb := pipePair(t, echoHandler(), echoHandler())
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 20; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			var out string
+			errs <- ca.Call("echo", "ping", &out)
+		}()
+		go func() {
+			defer wg.Done()
+			var out string
+			errs <- cb.Call("echo", "pong", &out)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent call failed: %v", err)
+		}
+	}
+}
+
+func TestCloseFailsPending(t *testing.T) {
+	block := make(chan struct{})
+	h := HandlerFunc(func(_ *Conn, method string, params json.RawMessage) (any, *RPCError) {
+		<-block
+		return nil, nil
+	})
+	ca, _ := pipePair(t, nil, h)
+	done := make(chan error, 1)
+	go func() { done <- ca.Call("slow", nil, nil) }()
+	time.Sleep(10 * time.Millisecond)
+	ca.Close()
+	close(block)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("pending call survived Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("pending call hung after Close")
+	}
+}
+
+func TestMalformedStreamFailsConn(t *testing.T) {
+	a, b := net.Pipe()
+	ca := NewConn(a, nil)
+	defer ca.Close()
+	go b.Write([]byte("this is not json"))
+	select {
+	case <-ca.Done():
+		if ca.Err() == nil {
+			t.Fatalf("Err() nil after malformed input")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("connection did not fail on malformed input")
+	}
+}
+
+func TestConcatenatedMessages(t *testing.T) {
+	// Two notifications in one write must both be dispatched (the OVSDB
+	// wire format is concatenated JSON values, not newline-delimited).
+	var mu sync.Mutex
+	count := 0
+	h := HandlerFunc(func(_ *Conn, method string, params json.RawMessage) (any, *RPCError) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil, nil
+	})
+	a, b := net.Pipe()
+	ca := NewConn(a, h)
+	defer ca.Close()
+	go b.Write([]byte(`{"method":"m","params":[],"id":null}{"method":"m","params":[],"id":null}`))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := count
+		mu.Unlock()
+		if n == 2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d messages, want 2", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

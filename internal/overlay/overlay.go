@@ -1,0 +1,207 @@
+// Package overlay is a tunnel-overlay network program — the OVN-style
+// feature set the paper cites ("tunnel overlays, and logical-physical
+// gateways"). Tenant traffic entering a leaf is encapsulated in a tunnel
+// header carrying the destination leaf id and a tenant VNI; the spine
+// routes on the tunnel header alone; the destination leaf decapsulates
+// and delivers. Tenants are isolated end to end: forwarding tables key on
+// (VNI, MAC), so identical MACs in different tenants never collide and
+// cross-tenant delivery is impossible.
+//
+// The whole overlay — tenant assignment, encap/decap, spine routing — is
+// computed by eleven rules from two management-plane tables.
+package overlay
+
+import (
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+)
+
+// UplinkPort is the leaf port wired to the spine.
+const UplinkPort = 10
+
+// TunnelEtherType marks encapsulated frames.
+const TunnelEtherType = 0x88B5
+
+// SchemaJSON is the management plane: tenants' hosts and the leaf fabric.
+const SchemaJSON = `{
+  "name": "overlay",
+  "version": "1.0.0",
+  "tables": {
+    "Host": {
+      "columns": {
+        "mac": {"type": "integer"},
+        "leaf": {"type": "string"},
+        "port": {"type": "integer"},
+        "tenant": {"type": "integer"}
+      },
+      "isRoot": true
+    },
+    "Leaf": {
+      "columns": {
+        "name": {"type": "string"},
+        "id": {"type": "integer"},
+        "spine_port": {"type": "integer"}
+      },
+      "indexes": [["name"], ["id"]],
+      "isRoot": true
+    }
+  }
+}`
+
+// Schema parses the management-plane schema.
+func Schema() (*ovsdb.DatabaseSchema, error) {
+	return ovsdb.ParseSchema([]byte(SchemaJSON))
+}
+
+// LeafP4 is the leaf data plane: tenant classification, local delivery,
+// encapsulation toward remote leaves, and decapsulation of fabric
+// traffic.
+const LeafP4 = `
+// leaf_overlay.p4
+header ethernet { bit<48> dst; bit<48> src; bit<16> etype; }
+// The tunnel sits between ethernet and the payload, like a VLAN tag:
+// destination leaf id, tenant VNI, and the encapsulated ethertype.
+header tunnel { bit<16> dst_leaf; bit<24> vni; bit<16> next_type; }
+metadata { bit<24> tenant; }
+
+parser {
+    state start {
+        extract(ethernet);
+        transition select(ethernet.etype) {
+            0x88B5: parse_tunnel;
+            default: accept;
+        }
+    }
+    state parse_tunnel { extract(tunnel); transition accept; }
+}
+
+control Ingress {
+    action set_tenant(bit<24> vni) { meta.tenant = vni; }
+    action deliver(bit<16> port) { output(port); }
+    action encap(bit<16> dst_leaf, bit<16> uplink) {
+        tunnel.setValid();
+        tunnel.dst_leaf = dst_leaf;
+        tunnel.vni = meta.tenant;
+        tunnel.next_type = ethernet.etype;
+        ethernet.etype = 0x88B5;
+        output(uplink);
+    }
+    action decap() {
+        meta.tenant = tunnel.vni;
+        ethernet.etype = tunnel.next_type;
+        tunnel.setInvalid();
+    }
+    action drop_pkt() { drop(); }
+
+    // Which tenant does this access port belong to?
+    table tenant_tbl {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { set_tenant; }
+        default_action = drop_pkt;
+    }
+    // Fabric traffic addressed to this leaf is decapsulated.
+    table decap_tbl {
+        key = { tunnel.dst_leaf: exact; }
+        actions = { decap; }
+        default_action = drop_pkt;
+    }
+    // Tenant-scoped delivery to a local host port.
+    table dmac_local {
+        key = { meta.tenant: exact; ethernet.dst: exact; }
+        actions = { deliver; }
+        default_action = drop_pkt;
+    }
+    // Tenant-scoped encapsulation toward the owning leaf.
+    table dmac_remote {
+        key = { meta.tenant: exact; ethernet.dst: exact; }
+        actions = { encap; }
+        default_action = drop_pkt;
+    }
+
+    apply {
+        if (tunnel.isValid()) {
+            decap_tbl.apply();
+            dmac_local.apply();
+        } else {
+            tenant_tbl.apply();
+            if (standard_metadata.egress_spec == 0) {
+                dmac_local.apply();
+            }
+            if (standard_metadata.egress_spec == 0) {
+                dmac_remote.apply();
+            }
+        }
+    }
+}
+deparser { emit(ethernet); emit(tunnel); }
+`
+
+// SpineP4 is the spine data plane: it routes on the tunnel header only
+// and never inspects tenant traffic.
+const SpineP4 = `
+// spine_overlay.p4
+header ethernet { bit<48> dst; bit<48> src; bit<16> etype; }
+header tunnel { bit<16> dst_leaf; bit<24> vni; bit<16> next_type; }
+
+parser {
+    state start {
+        extract(ethernet);
+        transition select(ethernet.etype) {
+            0x88B5: parse_tunnel;
+            default: reject;
+        }
+    }
+    state parse_tunnel { extract(tunnel); transition accept; }
+}
+
+control Ingress {
+    action steer(bit<16> port) { output(port); }
+    action drop_pkt() { drop(); }
+    table route {
+        key = { tunnel.dst_leaf: exact; }
+        actions = { steer; }
+        default_action = drop_pkt;
+    }
+    apply { route.apply(); }
+}
+deparser { emit(ethernet); emit(tunnel); }
+`
+
+// LeafPipeline parses the leaf program.
+func LeafPipeline() *p4.Program {
+	prog, err := p4.ParseProgram("leaf_overlay", LeafP4)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// SpinePipeline parses the spine program.
+func SpinePipeline() *p4.Program {
+	prog, err := p4.ParseProgram("spine_overlay", SpineP4)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Rules computes the overlay from Host and Leaf rows. Generated relation
+// layouts: Host(_uuid, leaf, mac, port, tenant), Leaf(_uuid, id, name,
+// spine_port); leaf relations are per-device and prefixed "Leaf", the
+// spine's "Spine".
+const Rules = `
+// A dmac_local key pair (tenant, mac) exists on the host's own leaf...
+LeafTenantTbl(l, p as bit<16>, t as bit<24>) :- Host(_, l, _, p, t).
+LeafDmacLocal(l, t as bit<24>, m as bit<48>, p as bit<16>) :-
+    Host(_, l, m, p, t).
+
+// ...and every other leaf encapsulates toward the owning leaf's id.
+LeafDmacRemote(l2, t as bit<24>, m as bit<48>, lid as bit<16>, 10) :-
+    Host(_, l, m, _, t), Leaf(_, lid, l, _), Leaf(_, _, l2, _), l2 != l.
+
+// Each leaf decapsulates traffic addressed to its own id.
+LeafDecapTbl(l, lid as bit<16>) :- Leaf(_, lid, l, _).
+
+// The spine steers tunnel frames by destination leaf id.
+SpineRoute(lid as bit<16>, sp as bit<16>) :- Leaf(_, lid, _, sp).
+`

@@ -1,0 +1,291 @@
+package ovsdb
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/jsonrpc"
+)
+
+// Client is an OVSDB protocol client: transactions, schema introspection,
+// and monitors with ordered update delivery.
+type Client struct {
+	conn *jsonrpc.Conn
+
+	mu       sync.Mutex
+	monitors map[string]func(TableUpdates)
+}
+
+// Dial connects to an OVSDB server over TCP.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established byte stream.
+func NewClient(rwc io.ReadWriteCloser) *Client {
+	c := &Client{monitors: make(map[string]func(TableUpdates))}
+	c.conn = jsonrpc.NewConn(rwc, jsonrpc.HandlerFunc(c.handle))
+	return c
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Done is closed when the connection fails or is closed.
+func (c *Client) Done() <-chan struct{} { return c.conn.Done() }
+
+func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) (any, *jsonrpc.RPCError) {
+	switch method {
+	case "echo":
+		var v any
+		_ = json.Unmarshal(params, &v)
+		if v == nil {
+			v = []any{}
+		}
+		return v, nil
+	case "update":
+		var raw []json.RawMessage
+		if err := json.Unmarshal(params, &raw); err != nil || len(raw) != 2 {
+			return nil, &jsonrpc.RPCError{Code: "bad params", Details: "update expects [id, updates]"}
+		}
+		monID := canonicalJSON(raw[0])
+		var tu TableUpdates
+		dec := json.NewDecoder(bytes.NewReader(raw[1]))
+		dec.UseNumber()
+		if err := dec.Decode(&tu); err != nil {
+			return nil, &jsonrpc.RPCError{Code: "bad params", Details: err.Error()}
+		}
+		c.mu.Lock()
+		cb := c.monitors[monID]
+		c.mu.Unlock()
+		if cb != nil {
+			cb(tu)
+		}
+		return nil, nil
+	default:
+		return nil, &jsonrpc.RPCError{Code: "unknown method", Details: method}
+	}
+}
+
+// ListDbs returns the names of the hosted databases.
+func (c *Client) ListDbs() ([]string, error) {
+	var out []string
+	if err := c.conn.Call("list_dbs", []any{}, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetSchema fetches and parses a database schema.
+func (c *Client) GetSchema(db string) (*DatabaseSchema, error) {
+	var raw json.RawMessage
+	if err := c.conn.Call("get_schema", []any{db}, &raw); err != nil {
+		return nil, err
+	}
+	return ParseSchema(raw)
+}
+
+// Echo round-trips a keepalive.
+func (c *Client) Echo() error {
+	var out any
+	return c.conn.Call("echo", []any{"ping"}, &out)
+}
+
+// Transact runs operations against the named database and parses the
+// per-operation results.
+func (c *Client) Transact(db string, ops ...Operation) ([]OpResult, error) {
+	params := make([]any, 0, len(ops)+1)
+	params = append(params, db)
+	for i := range ops {
+		params = append(params, &ops[i])
+	}
+	var raw []json.RawMessage
+	if err := c.conn.Call("transact", params, &raw); err != nil {
+		return nil, err
+	}
+	results := make([]OpResult, len(raw))
+	for i, r := range raw {
+		res, err := parseOpResult(r)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// TransactErr is like Transact but turns any per-operation error into a Go
+// error.
+func (c *Client) TransactErr(db string, ops ...Operation) ([]OpResult, error) {
+	results, err := c.Transact(db, ops...)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		if r.Error != "" {
+			return results, fmt.Errorf("ovsdb: operation %d failed: %s (%s)", i, r.Error, r.Details)
+		}
+	}
+	return results, nil
+}
+
+func parseOpResult(raw json.RawMessage) (OpResult, error) {
+	var m struct {
+		Count   *int             `json:"count"`
+		UUID    []any            `json:"uuid"`
+		Rows    []map[string]any `json:"rows"`
+		Error   string           `json:"error"`
+		Details string           `json:"details"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&m); err != nil {
+		return OpResult{}, fmt.Errorf("ovsdb: bad operation result: %w", err)
+	}
+	res := OpResult{Rows: m.Rows, Error: m.Error, Details: m.Details}
+	if m.Count != nil {
+		res.Count = *m.Count
+	}
+	if len(m.UUID) == 2 {
+		if s, ok := m.UUID[1].(string); ok {
+			res.UUID = UUID(s)
+		}
+	}
+	return res, nil
+}
+
+// Monitor registers a monitor and returns the initial contents. Updates
+// are delivered to cb in commit order on the connection's read loop; cb
+// must not block on calls back into this client.
+func (c *Client) Monitor(db string, id any, requests map[string]*MonitorRequest, cb func(TableUpdates)) (TableUpdates, error) {
+	idRaw, err := json.Marshal(id)
+	if err != nil {
+		return nil, err
+	}
+	monID := canonicalJSON(idRaw)
+	c.mu.Lock()
+	if _, dup := c.monitors[monID]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("ovsdb: duplicate monitor id %s", monID)
+	}
+	c.monitors[monID] = cb
+	c.mu.Unlock()
+
+	var raw json.RawMessage
+	if err := c.conn.Call("monitor", []any{db, id, requests}, &raw); err != nil {
+		c.mu.Lock()
+		delete(c.monitors, monID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	var initial TableUpdates
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&initial); err != nil {
+		return nil, fmt.Errorf("ovsdb: bad initial monitor reply: %w", err)
+	}
+	return initial, nil
+}
+
+// MonitorCancel cancels a previously registered monitor.
+func (c *Client) MonitorCancel(id any) error {
+	idRaw, err := json.Marshal(id)
+	if err != nil {
+		return err
+	}
+	monID := canonicalJSON(idRaw)
+	c.mu.Lock()
+	delete(c.monitors, monID)
+	c.mu.Unlock()
+	var out any
+	return c.conn.Call("monitor_cancel", []any{id}, &out)
+}
+
+// --- Operation builders ---
+
+// mustRaw marshals v, panicking on failure (values are always
+// marshallable).
+func mustRaw(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Cond builds a where clause [column, op, value] from a typed Value.
+func Cond(column, op string, v Value) [3]json.RawMessage {
+	return [3]json.RawMessage{mustRaw(column), mustRaw(op), mustRaw(ValueToJSON(v))}
+}
+
+// Mutation builds a mutation [column, mutator, value] from a typed Value.
+func Mutation(column, mutator string, v Value) [3]json.RawMessage {
+	return [3]json.RawMessage{mustRaw(column), mustRaw(mutator), mustRaw(ValueToJSON(v))}
+}
+
+// JSONRow converts typed column values to a JSON row object.
+func JSONRow(row map[string]Value) map[string]any {
+	out := make(map[string]any, len(row))
+	for col, v := range row {
+		out[col] = ValueToJSON(v)
+	}
+	return out
+}
+
+// OpInsert builds an insert operation.
+func OpInsert(table string, row map[string]Value) Operation {
+	return Operation{Op: "insert", Table: table, Row: JSONRow(row)}
+}
+
+// OpInsertNamed builds an insert with a named UUID usable later in the
+// same transaction.
+func OpInsertNamed(table, uuidName string, row map[string]Value) Operation {
+	return Operation{Op: "insert", Table: table, Row: JSONRow(row), UUIDName: uuidName}
+}
+
+// OpSelect builds a select operation.
+func OpSelect(table string, where ...[3]json.RawMessage) Operation {
+	return Operation{Op: "select", Table: table, Where: where}
+}
+
+// OpUpdate builds an update operation.
+func OpUpdate(table string, row map[string]Value, where ...[3]json.RawMessage) Operation {
+	return Operation{Op: "update", Table: table, Row: JSONRow(row), Where: where}
+}
+
+// OpDelete builds a delete operation.
+func OpDelete(table string, where ...[3]json.RawMessage) Operation {
+	return Operation{Op: "delete", Table: table, Where: where}
+}
+
+// OpMutate builds a mutate operation.
+func OpMutate(table string, mutations [][3]json.RawMessage, where ...[3]json.RawMessage) Operation {
+	return Operation{Op: "mutate", Table: table, Mutations: mutations, Where: where}
+}
+
+// RowFromJSON converts a JSON row object (as found in monitor updates and
+// select results) back to typed column values. Unknown columns (including
+// _uuid) are skipped unless listed in the table schema.
+func RowFromJSON(ts *TableSchema, obj map[string]any) (Row, error) {
+	row := make(Row, len(obj))
+	for col, rv := range obj {
+		cs := ts.Columns[col]
+		if cs == nil {
+			continue
+		}
+		v, err := ValueFromJSON(rv, &cs.Type)
+		if err != nil {
+			return nil, fmt.Errorf("ovsdb: column %q: %w", col, err)
+		}
+		row[col] = v
+	}
+	return row, nil
+}

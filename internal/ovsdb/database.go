@@ -1,0 +1,629 @@
+package ovsdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Row is one table row: column name → value. The _uuid pseudo-column is
+// stored separately as the row key.
+type Row map[string]Value
+
+// clone returns a shallow copy (values are immutable by convention).
+func (r Row) clone() Row {
+	out := make(Row, len(r))
+	for k, v := range r {
+		out[k] = v
+	}
+	return out
+}
+
+// Database is an in-memory OVSDB database instance guarded by a mutex.
+// Transactions are atomic: on error every modified row is rolled back.
+type Database struct {
+	mu     sync.Mutex
+	schema *DatabaseSchema
+	tables map[string]map[UUID]Row
+	// idx enforces schema "indexes" uniqueness in O(1): per table, one
+	// map per declared index from the index-columns key to the row UUID.
+	// Maintained eagerly; rebuilt from the table on transaction rollback.
+	idx map[string][]map[string]UUID
+
+	monMu    sync.Mutex
+	monitors map[*Monitor]bool
+}
+
+// NewDatabase creates an empty database for the schema.
+func NewDatabase(schema *DatabaseSchema) *Database {
+	db := &Database{
+		schema:   schema,
+		tables:   make(map[string]map[UUID]Row, len(schema.Tables)),
+		idx:      make(map[string][]map[string]UUID, len(schema.Tables)),
+		monitors: make(map[*Monitor]bool),
+	}
+	for name, ts := range schema.Tables {
+		db.tables[name] = make(map[UUID]Row)
+		maps := make([]map[string]UUID, len(ts.Indexes))
+		for i := range maps {
+			maps[i] = make(map[string]UUID)
+		}
+		db.idx[name] = maps
+	}
+	return db
+}
+
+// indexKeyOf computes the key of row under one declared index.
+func indexKeyOf(cols []string, row Row) string {
+	k := ""
+	for _, c := range cols {
+		k += valueKey(row[c]) + "\x00"
+	}
+	return k
+}
+
+// reindexRow validates and applies the index-map changes for one row
+// transition (oldRow nil on insert, newRow nil on delete).
+func (db *Database) reindexRow(table string, ts *TableSchema, id UUID, oldRow, newRow Row) error {
+	maps := db.idx[table]
+	for i, cols := range ts.Indexes {
+		var oldKey, newKey string
+		if oldRow != nil {
+			oldKey = indexKeyOf(cols, oldRow)
+		}
+		if newRow != nil {
+			newKey = indexKeyOf(cols, newRow)
+		}
+		if oldRow != nil && newRow != nil && oldKey == newKey {
+			continue
+		}
+		if newRow != nil {
+			if other, exists := maps[i][newKey]; exists && other != id {
+				return fmt.Errorf("duplicate value for index %v (row %s)", cols, other)
+			}
+		}
+		if oldRow != nil {
+			delete(maps[i], oldKey)
+		}
+		if newRow != nil {
+			maps[i][newKey] = id
+		}
+	}
+	return nil
+}
+
+// rebuildIndexes reconstructs a table's index maps from its rows (used
+// after rollback).
+func (db *Database) rebuildIndexes(table string) {
+	ts := db.schema.Tables[table]
+	maps := make([]map[string]UUID, len(ts.Indexes))
+	for i := range maps {
+		maps[i] = make(map[string]UUID)
+	}
+	for id, row := range db.tables[table] {
+		for i, cols := range ts.Indexes {
+			maps[i][indexKeyOf(cols, row)] = id
+		}
+	}
+	db.idx[table] = maps
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *DatabaseSchema { return db.schema }
+
+// Operation is one element of a transact request (RFC 7047 §5.2).
+type Operation struct {
+	Op        string               `json:"op"`
+	Table     string               `json:"table,omitempty"`
+	Row       map[string]any       `json:"row,omitempty"`
+	Rows      []map[string]any     `json:"rows,omitempty"`
+	Where     [][3]json.RawMessage `json:"where,omitempty"`
+	Columns   []string             `json:"columns,omitempty"`
+	Mutations [][3]json.RawMessage `json:"mutations,omitempty"`
+	UUIDName  string               `json:"uuid-name,omitempty"`
+	Until     string               `json:"until,omitempty"`
+	Timeout   int                  `json:"timeout,omitempty"`
+	Comment   string               `json:"comment,omitempty"`
+}
+
+// OpResult is the result of one operation.
+type OpResult struct {
+	Count   int              `json:"count,omitempty"`
+	UUID    any              `json:"uuid,omitempty"`
+	Rows    []map[string]any `json:"rows,omitempty"`
+	Error   string           `json:"error,omitempty"`
+	Details string           `json:"details,omitempty"`
+}
+
+// rowChange records a row's before/after images for rollback and monitor
+// notification.
+type rowChange struct {
+	old Row // nil for insert
+	new Row // nil for delete
+}
+
+// txn tracks one in-flight transaction.
+type txn struct {
+	db      *Database
+	changes map[string]map[UUID]*rowChange
+	named   map[string]UUID // named-uuid → real uuid
+}
+
+func (tx *txn) change(table string, id UUID) *rowChange {
+	m := tx.changes[table]
+	if m == nil {
+		m = make(map[UUID]*rowChange)
+		tx.changes[table] = m
+	}
+	c := m[id]
+	if c == nil {
+		c = &rowChange{}
+		if cur, ok := tx.db.tables[table][id]; ok {
+			c.old = cur.clone()
+		}
+		m[id] = c
+	}
+	return c
+}
+
+// Transact executes the operations atomically. The returned slice has one
+// result per operation; if an operation fails, its result carries the
+// error, later operations are not executed, and all changes are rolled
+// back (per RFC 7047, the whole transaction is aborted).
+func (db *Database) Transact(ops []Operation) []OpResult {
+	db.mu.Lock()
+
+	tx := &txn{
+		db:      db,
+		changes: make(map[string]map[UUID]*rowChange),
+		named:   make(map[string]UUID),
+	}
+	results := make([]OpResult, 0, len(ops))
+	failed := -1
+	for i, op := range ops {
+		res := db.applyOp(tx, &op)
+		results = append(results, res)
+		if res.Error != "" {
+			failed = i
+			break
+		}
+	}
+	if failed >= 0 {
+		// Roll back in-place modifications and rebuild the touched
+		// tables' index maps.
+		for table, rows := range tx.changes {
+			for id, c := range rows {
+				if c.old == nil {
+					delete(db.tables[table], id)
+				} else {
+					db.tables[table][id] = c.old
+				}
+			}
+			db.rebuildIndexes(table)
+		}
+		for len(results) < len(ops) {
+			results = append(results, OpResult{})
+		}
+		db.mu.Unlock()
+		return results
+	}
+	// Resolve named UUIDs that leaked into stored rows.
+	if err := tx.resolveNamed(); err != nil {
+		// Treat as a constraint violation on the whole transaction.
+		for table, rows := range tx.changes {
+			for id, c := range rows {
+				if c.old == nil {
+					delete(db.tables[table], id)
+				} else {
+					db.tables[table][id] = c.old
+				}
+			}
+			db.rebuildIndexes(table)
+		}
+		db.mu.Unlock()
+		return []OpResult{{Error: "constraint violation", Details: err.Error()}}
+	}
+	// Snapshot the effective changes and enqueue monitor notifications
+	// before releasing the database lock, so monitors observe commits in
+	// order. Delivery itself is asynchronous (per-monitor goroutines).
+	changes := tx.effectiveChanges()
+	if len(changes) > 0 {
+		db.notifyMonitors(changes)
+	}
+	db.mu.Unlock()
+	return results
+}
+
+// effectiveChanges drops no-op changes (rows restored to their original
+// value within the transaction).
+func (tx *txn) effectiveChanges() map[string]map[UUID]*rowChange {
+	out := make(map[string]map[UUID]*rowChange)
+	for table, rows := range tx.changes {
+		for id, c := range rows {
+			if cur, ok := tx.db.tables[table][id]; ok {
+				c.new = cur.clone()
+			} else {
+				c.new = nil
+			}
+			if c.old == nil && c.new == nil {
+				continue // inserted and deleted within the txn
+			}
+			if c.old != nil && c.new != nil && rowsEqual(c.old, c.new) {
+				continue
+			}
+			m := out[table]
+			if m == nil {
+				m = make(map[UUID]*rowChange)
+				out[table] = m
+			}
+			m[id] = c
+		}
+	}
+	return out
+}
+
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		w, ok := b[k]
+		if !ok || !ValueEqual(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveNamed rewrites namedUUID placeholders in stored rows to the real
+// UUIDs allocated by their inserts.
+func (tx *txn) resolveNamed() error {
+	if len(tx.named) == 0 {
+		return nil
+	}
+	var err error
+	resolveAtom := func(a Atom) Atom {
+		if n, ok := a.(namedUUID); ok {
+			real, found := tx.named[string(n)]
+			if !found {
+				err = fmt.Errorf("unknown named-uuid %q", string(n))
+				return a
+			}
+			return real
+		}
+		return a
+	}
+	for table, rows := range tx.changes {
+		for id := range rows {
+			row, ok := tx.db.tables[table][id]
+			if !ok {
+				continue
+			}
+			for col, v := range row {
+				switch v := v.(type) {
+				case *Set:
+					atoms := make([]Atom, len(v.Atoms))
+					for i, a := range v.Atoms {
+						atoms[i] = resolveAtom(a)
+					}
+					row[col] = NewSet(atoms...)
+				case *Map:
+					pairs := make([][2]Atom, len(v.Pairs))
+					for i, p := range v.Pairs {
+						pairs[i] = [2]Atom{resolveAtom(p[0]), resolveAtom(p[1])}
+					}
+					row[col] = NewMap(pairs...)
+				default:
+					row[col] = resolveAtom(v)
+				}
+			}
+		}
+	}
+	return err
+}
+
+func (db *Database) applyOp(tx *txn, op *Operation) OpResult {
+	switch op.Op {
+	case "insert":
+		return db.opInsert(tx, op)
+	case "select":
+		return db.opSelect(op)
+	case "update":
+		return db.opUpdate(tx, op)
+	case "mutate":
+		return db.opMutate(tx, op)
+	case "delete":
+		return db.opDelete(tx, op)
+	case "wait":
+		return db.opWait(op)
+	case "comment":
+		return OpResult{}
+	case "abort":
+		return OpResult{Error: "aborted", Details: "aborted by request"}
+	default:
+		return OpResult{Error: "unknown operation", Details: op.Op}
+	}
+}
+
+func (db *Database) tableSchema(name string) (*TableSchema, map[UUID]Row, error) {
+	ts := db.schema.Tables[name]
+	if ts == nil {
+		return nil, nil, fmt.Errorf("no table %q", name)
+	}
+	return ts, db.tables[name], nil
+}
+
+// parseRow converts a JSON row object into typed column values.
+func parseRow(ts *TableSchema, raw map[string]any) (Row, error) {
+	row := make(Row, len(raw))
+	for col, rv := range raw {
+		cs := ts.Columns[col]
+		if cs == nil {
+			return nil, fmt.Errorf("unknown column %q", col)
+		}
+		v, err := ValueFromJSON(rv, &cs.Type)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", col, err)
+		}
+		if err := cs.Type.CheckValue(v); err != nil {
+			return nil, fmt.Errorf("column %q: %w", col, err)
+		}
+		row[col] = v
+	}
+	return row, nil
+}
+
+func (db *Database) opInsert(tx *txn, op *Operation) OpResult {
+	ts, table, err := db.tableSchema(op.Table)
+	if err != nil {
+		return OpResult{Error: "unknown table", Details: err.Error()}
+	}
+	row, err := parseRow(ts, op.Row)
+	if err != nil {
+		return OpResult{Error: "constraint violation", Details: err.Error()}
+	}
+	// Fill defaults.
+	for col, cs := range ts.Columns {
+		if _, ok := row[col]; !ok {
+			row[col] = cs.Type.DefaultValue()
+		}
+	}
+	if ts.MaxRows > 0 && len(table) >= ts.MaxRows {
+		return OpResult{Error: "constraint violation",
+			Details: fmt.Sprintf("table %q is full (maxRows %d)", op.Table, ts.MaxRows)}
+	}
+	id := NewUUID()
+	if err := db.reindexRow(op.Table, ts, id, nil, row); err != nil {
+		return OpResult{Error: "constraint violation", Details: err.Error()}
+	}
+	if op.UUIDName != "" {
+		if _, dup := tx.named[op.UUIDName]; dup {
+			return OpResult{Error: "duplicate uuid-name", Details: op.UUIDName}
+		}
+		tx.named[op.UUIDName] = id
+	}
+	tx.change(op.Table, id) // records old == nil
+	table[id] = row
+	return OpResult{UUID: []any{"uuid", string(id)}}
+}
+
+// matchRows returns the UUIDs of rows satisfying all where clauses, sorted
+// for determinism.
+func (db *Database) matchRows(tx *txn, ts *TableSchema, table map[UUID]Row, where [][3]json.RawMessage) ([]UUID, error) {
+	conds, err := parseConditions(tx, ts, where)
+	if err != nil {
+		return nil, err
+	}
+	var out []UUID
+	for id, row := range table {
+		ok := true
+		for _, c := range conds {
+			m, err := c.matches(id, row)
+			if err != nil {
+				return nil, err
+			}
+			if !m {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (db *Database) opSelect(op *Operation) OpResult {
+	ts, table, err := db.tableSchema(op.Table)
+	if err != nil {
+		return OpResult{Error: "unknown table", Details: err.Error()}
+	}
+	ids, err := db.matchRows(nil, ts, table, op.Where)
+	if err != nil {
+		return OpResult{Error: "constraint violation", Details: err.Error()}
+	}
+	rows := make([]map[string]any, 0, len(ids))
+	for _, id := range ids {
+		rows = append(rows, rowToJSON(ts, id, table[id], op.Columns))
+	}
+	return OpResult{Rows: rows}
+}
+
+func (db *Database) opUpdate(tx *txn, op *Operation) OpResult {
+	ts, table, err := db.tableSchema(op.Table)
+	if err != nil {
+		return OpResult{Error: "unknown table", Details: err.Error()}
+	}
+	newVals, err := parseRow(ts, op.Row)
+	if err != nil {
+		return OpResult{Error: "constraint violation", Details: err.Error()}
+	}
+	for col := range newVals {
+		if !ts.Columns[col].Mutable {
+			return OpResult{Error: "constraint violation",
+				Details: fmt.Sprintf("column %q is immutable", col)}
+		}
+	}
+	ids, err := db.matchRows(tx, ts, table, op.Where)
+	if err != nil {
+		return OpResult{Error: "constraint violation", Details: err.Error()}
+	}
+	for _, id := range ids {
+		tx.change(op.Table, id)
+		row := table[id].clone()
+		for col, v := range newVals {
+			row[col] = v
+		}
+		if err := db.reindexRow(op.Table, ts, id, table[id], row); err != nil {
+			return OpResult{Error: "constraint violation", Details: err.Error()}
+		}
+		table[id] = row
+	}
+	return OpResult{Count: len(ids)}
+}
+
+func (db *Database) opDelete(tx *txn, op *Operation) OpResult {
+	ts, table, err := db.tableSchema(op.Table)
+	if err != nil {
+		return OpResult{Error: "unknown table", Details: err.Error()}
+	}
+	ids, err := db.matchRows(tx, ts, table, op.Where)
+	if err != nil {
+		return OpResult{Error: "constraint violation", Details: err.Error()}
+	}
+	for _, id := range ids {
+		tx.change(op.Table, id)
+		if err := db.reindexRow(op.Table, ts, id, table[id], nil); err != nil {
+			return OpResult{Error: "constraint violation", Details: err.Error()}
+		}
+		delete(table, id)
+	}
+	return OpResult{Count: len(ids)}
+}
+
+func (db *Database) opWait(op *Operation) OpResult {
+	ts, table, err := db.tableSchema(op.Table)
+	if err != nil {
+		return OpResult{Error: "unknown table", Details: err.Error()}
+	}
+	ids, err := db.matchRows(nil, ts, table, op.Where)
+	if err != nil {
+		return OpResult{Error: "constraint violation", Details: err.Error()}
+	}
+	cols := op.Columns
+	if cols == nil {
+		for c := range ts.Columns {
+			cols = append(cols, c)
+		}
+	}
+	// Project matched rows onto the requested columns.
+	got := make([]Row, 0, len(ids))
+	for _, id := range ids {
+		proj := make(Row, len(cols))
+		for _, c := range cols {
+			proj[c] = table[id][c]
+		}
+		got = append(got, proj)
+	}
+	want := make([]Row, 0, len(op.Rows))
+	for _, raw := range op.Rows {
+		row, err := parseRow(ts, raw)
+		if err != nil {
+			return OpResult{Error: "constraint violation", Details: err.Error()}
+		}
+		want = append(want, row)
+	}
+	equal := rowMultisetEqual(got, want)
+	switch op.Until {
+	case "==":
+		if !equal {
+			return OpResult{Error: "timed out", Details: "rows do not match"}
+		}
+	case "!=":
+		if equal {
+			return OpResult{Error: "timed out", Details: "rows match"}
+		}
+	default:
+		return OpResult{Error: "constraint violation", Details: "until must be == or !="}
+	}
+	return OpResult{}
+}
+
+func rowMultisetEqual(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(r Row) string {
+		cols := make([]string, 0, len(r))
+		for c := range r {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		s := ""
+		for _, c := range cols {
+			s += c + "=" + valueKey(r[c]) + ";"
+		}
+		return s
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[key(r)]++
+	}
+	for _, r := range b {
+		counts[key(r)]--
+	}
+	for _, n := range counts {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rowToJSON renders a row (with _uuid) as a JSON object, optionally
+// projected onto columns.
+func rowToJSON(ts *TableSchema, id UUID, row Row, columns []string) map[string]any {
+	out := make(map[string]any)
+	if columns == nil {
+		out["_uuid"] = []any{"uuid", string(id)}
+		for col, v := range row {
+			out[col] = ValueToJSON(v)
+		}
+		return out
+	}
+	for _, col := range columns {
+		if col == "_uuid" {
+			out["_uuid"] = []any{"uuid", string(id)}
+			continue
+		}
+		if v, ok := row[col]; ok {
+			out[col] = ValueToJSON(v)
+		}
+	}
+	return out
+}
+
+// Get returns a copy of a row by UUID (primarily for tests and tooling).
+func (db *Database) Get(table string, id UUID) (Row, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, false
+	}
+	row, ok := t[id]
+	if !ok {
+		return nil, false
+	}
+	return row.clone(), true
+}
+
+// RowCount returns the number of rows in a table.
+func (db *Database) RowCount(table string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.tables[table])
+}

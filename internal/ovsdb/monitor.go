@@ -1,0 +1,248 @@
+package ovsdb
+
+import (
+	"sync"
+)
+
+// MonitorSelect controls which kinds of changes a monitor receives.
+// The zero value selects everything (matching RFC 7047 defaults).
+type MonitorSelect struct {
+	Initial *bool `json:"initial,omitempty"`
+	Insert  *bool `json:"insert,omitempty"`
+	Delete  *bool `json:"delete,omitempty"`
+	Modify  *bool `json:"modify,omitempty"`
+}
+
+func selOn(b *bool) bool { return b == nil || *b }
+
+// MonitorRequest selects the columns and change kinds for one table.
+type MonitorRequest struct {
+	Columns []string       `json:"columns,omitempty"`
+	Select  *MonitorSelect `json:"select,omitempty"`
+}
+
+func (mr *MonitorRequest) wants(kind string) bool {
+	if mr.Select == nil {
+		return true
+	}
+	switch kind {
+	case "initial":
+		return selOn(mr.Select.Initial)
+	case "insert":
+		return selOn(mr.Select.Insert)
+	case "delete":
+		return selOn(mr.Select.Delete)
+	default:
+		return selOn(mr.Select.Modify)
+	}
+}
+
+// RowUpdate is one row's change in a monitor notification (RFC 7047 §4.1.6).
+type RowUpdate struct {
+	Old map[string]any `json:"old,omitempty"`
+	New map[string]any `json:"new,omitempty"`
+}
+
+// TableUpdate maps row UUIDs to their updates.
+type TableUpdate map[string]RowUpdate
+
+// TableUpdates maps table names to their updates.
+type TableUpdates map[string]TableUpdate
+
+// Monitor is a registered change subscriber. Notifications are delivered
+// in commit order on a dedicated goroutine via the callback passed to
+// AddMonitor.
+type Monitor struct {
+	db       *Database
+	requests map[string]*MonitorRequest
+	notify   func(TableUpdates)
+
+	mu     sync.Mutex
+	queue  []TableUpdates
+	wake   chan struct{}
+	closed bool
+}
+
+// AddMonitor registers a monitor over the given tables and returns it
+// along with the initial contents (rows as inserts) for tables whose
+// select includes initial. notify is called sequentially, in commit order.
+func (db *Database) AddMonitor(requests map[string]*MonitorRequest, notify func(TableUpdates)) (*Monitor, TableUpdates, error) {
+	for table, req := range requests {
+		ts := db.schema.Tables[table]
+		if ts == nil {
+			return nil, nil, &MonitorError{Table: table, Reason: "unknown table"}
+		}
+		for _, col := range req.Columns {
+			if _, ok := ts.Columns[col]; !ok {
+				return nil, nil, &MonitorError{Table: table, Reason: "unknown column " + col}
+			}
+		}
+	}
+	m := &Monitor{
+		db:       db,
+		requests: requests,
+		notify:   notify,
+		wake:     make(chan struct{}, 1),
+	}
+	db.mu.Lock()
+	initial := make(TableUpdates)
+	for table, req := range requests {
+		if !req.wants("initial") {
+			continue
+		}
+		ts := db.schema.Tables[table]
+		tu := make(TableUpdate)
+		for id, row := range db.tables[table] {
+			tu[string(id)] = RowUpdate{New: projectRow(ts, row, req.Columns)}
+		}
+		if len(tu) > 0 {
+			initial[table] = tu
+		}
+	}
+	db.monMu.Lock()
+	db.monitors[m] = true
+	db.monMu.Unlock()
+	db.mu.Unlock()
+	go m.run()
+	return m, initial, nil
+}
+
+// MonitorError reports an invalid monitor request.
+type MonitorError struct {
+	Table  string
+	Reason string
+}
+
+func (e *MonitorError) Error() string { return "ovsdb: monitor " + e.Table + ": " + e.Reason }
+
+// Cancel unregisters the monitor and stops its delivery goroutine.
+func (m *Monitor) Cancel() {
+	m.db.monMu.Lock()
+	delete(m.db.monitors, m)
+	m.db.monMu.Unlock()
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Monitor) enqueue(tu TableUpdates) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, tu)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Monitor) run() {
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 {
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			<-m.wake
+			m.mu.Lock()
+		}
+		batch := m.queue
+		m.queue = nil
+		m.mu.Unlock()
+		for _, tu := range batch {
+			m.notify(tu)
+		}
+	}
+}
+
+// projectRow renders the requested columns of a row to JSON form.
+// A nil column list means all columns.
+func projectRow(ts *TableSchema, row Row, columns []string) map[string]any {
+	out := make(map[string]any)
+	if columns == nil {
+		for col, v := range row {
+			out[col] = ValueToJSON(v)
+		}
+		return out
+	}
+	for _, col := range columns {
+		if v, ok := row[col]; ok {
+			out[col] = ValueToJSON(v)
+		}
+	}
+	return out
+}
+
+// notifyMonitors fans a committed transaction's changes out to monitors.
+// Called with db.mu held (commit order therefore equals enqueue order);
+// delivery happens asynchronously on each monitor's goroutine.
+func (db *Database) notifyMonitors(changes map[string]map[UUID]*rowChange) {
+	db.monMu.Lock()
+	defer db.monMu.Unlock()
+	for m := range db.monitors {
+		tu := m.render(db, changes)
+		if len(tu) > 0 {
+			m.enqueue(tu)
+		}
+	}
+}
+
+func (m *Monitor) render(db *Database, changes map[string]map[UUID]*rowChange) TableUpdates {
+	out := make(TableUpdates)
+	for table, rows := range changes {
+		req := m.requests[table]
+		if req == nil {
+			continue
+		}
+		ts := db.schema.Tables[table]
+		tu := make(TableUpdate)
+		for id, c := range rows {
+			switch {
+			case c.old == nil && c.new != nil:
+				if req.wants("insert") {
+					tu[string(id)] = RowUpdate{New: projectRow(ts, c.new, req.Columns)}
+				}
+			case c.old != nil && c.new == nil:
+				if req.wants("delete") {
+					tu[string(id)] = RowUpdate{Old: projectRow(ts, c.old, req.Columns)}
+				}
+			default:
+				if !req.wants("modify") {
+					continue
+				}
+				// Old carries only the columns that actually changed (and
+				// are selected); New carries all selected columns.
+				oldChanged := make(map[string]any)
+				cols := req.Columns
+				if cols == nil {
+					for col := range c.old {
+						cols = append(cols, col)
+					}
+				}
+				for _, col := range cols {
+					ov, nv := c.old[col], c.new[col]
+					if !ValueEqual(ov, nv) {
+						oldChanged[col] = ValueToJSON(ov)
+					}
+				}
+				if len(oldChanged) == 0 {
+					continue // no selected column changed
+				}
+				tu[string(id)] = RowUpdate{Old: oldChanged, New: projectRow(ts, c.new, req.Columns)}
+			}
+		}
+		if len(tu) > 0 {
+			out[table] = tu
+		}
+	}
+	return out
+}

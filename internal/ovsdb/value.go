@@ -1,0 +1,319 @@
+// Package ovsdb implements the management plane: an OVSDB-style (RFC 7047)
+// transactional database with typed schemas, a JSON-RPC wire protocol, and
+// monitor-based change streaming — the property the paper relies on to
+// drive the control plane ("it can stream a database's ongoing series of
+// changes, grouped into transactions, to a subscriber").
+package ovsdb
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UUID is a canonically formatted RFC 4122 UUID string.
+type UUID string
+
+// NewUUID returns a fresh random (version 4) UUID.
+func NewUUID() UUID {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("ovsdb: no entropy: " + err.Error())
+	}
+	b[6] = b[6]&0x0f | 0x40
+	b[8] = b[8]&0x3f | 0x80
+	return UUID(fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16]))
+}
+
+// ZeroUUID is the all-zero UUID used as the default for uuid columns.
+const ZeroUUID = UUID("00000000-0000-0000-0000-000000000000")
+
+// Atom is a scalar OVSDB value: int64, float64, bool, string, or UUID.
+type Atom any
+
+// Set is an OVSDB set value (unordered, no duplicates). The atoms are kept
+// sorted by their canonical key for deterministic output.
+type Set struct {
+	Atoms []Atom
+}
+
+// Map is an OVSDB map value. Pairs are kept sorted by key.
+type Map struct {
+	Pairs [][2]Atom
+}
+
+// Value is an OVSDB column value: an Atom, *Set, or *Map.
+type Value any
+
+// atomKey returns a canonical ordering/identity key for an atom.
+func atomKey(a Atom) string {
+	switch v := a.(type) {
+	case int64:
+		return fmt.Sprintf("i%020d", uint64(v)+1<<63)
+	case float64:
+		return fmt.Sprintf("r%v", v)
+	case bool:
+		if v {
+			return "b1"
+		}
+		return "b0"
+	case string:
+		return "s" + v
+	case UUID:
+		return "u" + string(v)
+	case namedUUID:
+		return "n" + string(v)
+	default:
+		panic(fmt.Sprintf("ovsdb: bad atom type %T", a))
+	}
+}
+
+// atomEqual reports equality of two atoms.
+func atomEqual(a, b Atom) bool { return atomKey(a) == atomKey(b) }
+
+// NewSet builds a set, deduplicating and sorting its atoms.
+func NewSet(atoms ...Atom) *Set {
+	seen := make(map[string]bool, len(atoms))
+	out := make([]Atom, 0, len(atoms))
+	for _, a := range atoms {
+		k := atomKey(a)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	sortAtoms(out)
+	return &Set{Atoms: out}
+}
+
+func sortAtoms(atoms []Atom) {
+	sort.Slice(atoms, func(i, j int) bool { return atomKey(atoms[i]) < atomKey(atoms[j]) })
+}
+
+// Contains reports whether the set holds the atom.
+func (s *Set) Contains(a Atom) bool {
+	k := atomKey(a)
+	for _, x := range s.Atoms {
+		if atomKey(x) == k {
+			return true
+		}
+	}
+	return false
+}
+
+// NewMap builds a map value from key/value pairs, keeping the last value
+// for duplicate keys and sorting by key.
+func NewMap(pairs ...[2]Atom) *Map {
+	byKey := make(map[string][2]Atom, len(pairs))
+	for _, p := range pairs {
+		byKey[atomKey(p[0])] = p
+	}
+	out := make([][2]Atom, 0, len(byKey))
+	for _, p := range byKey {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return atomKey(out[i][0]) < atomKey(out[j][0]) })
+	return &Map{Pairs: out}
+}
+
+// Get returns the value stored under key, if any.
+func (m *Map) Get(key Atom) (Atom, bool) {
+	k := atomKey(key)
+	for _, p := range m.Pairs {
+		if atomKey(p[0]) == k {
+			return p[1], true
+		}
+	}
+	return nil, false
+}
+
+// valueKey returns a canonical identity key for any Value.
+func valueKey(v Value) string {
+	switch v := v.(type) {
+	case *Set:
+		var sb strings.Builder
+		sb.WriteString("S{")
+		for _, a := range v.Atoms {
+			sb.WriteString(atomKey(a))
+			sb.WriteByte(';')
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case *Map:
+		var sb strings.Builder
+		sb.WriteString("M{")
+		for _, p := range v.Pairs {
+			sb.WriteString(atomKey(p[0]))
+			sb.WriteByte('=')
+			sb.WriteString(atomKey(p[1]))
+			sb.WriteByte(';')
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	default:
+		return atomKey(v)
+	}
+}
+
+// ValueEqual reports deep equality of two OVSDB values.
+func ValueEqual(a, b Value) bool { return valueKey(a) == valueKey(b) }
+
+// atomToJSON converts an atom to its RFC 7047 JSON form.
+func atomToJSON(a Atom) any {
+	switch v := a.(type) {
+	case UUID:
+		return []any{"uuid", string(v)}
+	case namedUUID:
+		return []any{"named-uuid", string(v)}
+	default:
+		return a
+	}
+}
+
+// ValueToJSON converts a Value to its RFC 7047 JSON form.
+func ValueToJSON(v Value) any {
+	switch v := v.(type) {
+	case *Set:
+		if len(v.Atoms) == 1 {
+			return atomToJSON(v.Atoms[0])
+		}
+		elems := make([]any, len(v.Atoms))
+		for i, a := range v.Atoms {
+			elems[i] = atomToJSON(a)
+		}
+		return []any{"set", elems}
+	case *Map:
+		pairs := make([]any, len(v.Pairs))
+		for i, p := range v.Pairs {
+			pairs[i] = []any{atomToJSON(p[0]), atomToJSON(p[1])}
+		}
+		return []any{"map", pairs}
+	default:
+		return atomToJSON(v)
+	}
+}
+
+// atomFromJSON parses a JSON value as an atom of the given base type.
+func atomFromJSON(raw any, base string) (Atom, error) {
+	switch base {
+	case "integer":
+		// Accept both wire forms (json.Number, float64) and in-process Go
+		// values (int64, int) so operation builders can pass typed values.
+		switch n := raw.(type) {
+		case json.Number:
+			i, err := n.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("ovsdb: %q is not an integer", n)
+			}
+			return i, nil
+		case float64:
+			return int64(n), nil
+		case int64:
+			return n, nil
+		case int:
+			return int64(n), nil
+		}
+	case "real":
+		switch n := raw.(type) {
+		case json.Number:
+			f, err := n.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("ovsdb: %q is not a number", n)
+			}
+			return f, nil
+		case float64:
+			return n, nil
+		case int64:
+			return float64(n), nil
+		case int:
+			return float64(n), nil
+		}
+	case "boolean":
+		if b, ok := raw.(bool); ok {
+			return b, nil
+		}
+	case "string":
+		if s, ok := raw.(string); ok {
+			return s, nil
+		}
+	case "uuid":
+		if pair, ok := raw.([]any); ok && len(pair) == 2 {
+			tag, _ := pair[0].(string)
+			id, idOK := pair[1].(string)
+			if (tag == "uuid" || tag == "named-uuid") && idOK {
+				if tag == "named-uuid" {
+					return namedUUID(id), nil
+				}
+				return UUID(id), nil
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ovsdb: unknown base type %q", base)
+	}
+	return nil, fmt.Errorf("ovsdb: JSON value %v is not a valid %s", raw, base)
+}
+
+// namedUUID marks a not-yet-resolved named UUID reference inside a
+// transaction. It must never escape a committed row.
+type namedUUID string
+
+// ValueFromJSON parses a JSON value (already decoded with json.Number) as
+// a value of the given column type.
+func ValueFromJSON(raw any, ct *ColumnType) (Value, error) {
+	// Sets and maps arrive as ["set", [...]] / ["map", [...]]; a singleton
+	// set may arrive as a bare atom.
+	if arr, ok := raw.([]any); ok && len(arr) == 2 {
+		if tag, _ := arr[0].(string); tag == "set" || tag == "map" {
+			elems, ok := arr[1].([]any)
+			if !ok {
+				return nil, fmt.Errorf("ovsdb: malformed %s payload", tag)
+			}
+			switch tag {
+			case "set":
+				atoms := make([]Atom, 0, len(elems))
+				for _, e := range elems {
+					a, err := atomFromJSON(e, ct.Key.Type)
+					if err != nil {
+						return nil, err
+					}
+					atoms = append(atoms, a)
+				}
+				return NewSet(atoms...), nil
+			case "map":
+				if ct.Value == nil {
+					return nil, fmt.Errorf("ovsdb: map value for non-map column")
+				}
+				pairs := make([][2]Atom, 0, len(elems))
+				for _, e := range elems {
+					kv, ok := e.([]any)
+					if !ok || len(kv) != 2 {
+						return nil, fmt.Errorf("ovsdb: malformed map pair %v", e)
+					}
+					k, err := atomFromJSON(kv[0], ct.Key.Type)
+					if err != nil {
+						return nil, err
+					}
+					v, err := atomFromJSON(kv[1], ct.Value.Type)
+					if err != nil {
+						return nil, err
+					}
+					pairs = append(pairs, [2]Atom{k, v})
+				}
+				return NewMap(pairs...), nil
+			}
+		}
+	}
+	atom, err := atomFromJSON(raw, ct.Key.Type)
+	if err != nil {
+		return nil, err
+	}
+	if ct.IsScalar() {
+		return atom, nil
+	}
+	if ct.Value != nil {
+		return nil, fmt.Errorf("ovsdb: atom given for map column")
+	}
+	return NewSet(atom), nil
+}

@@ -1,0 +1,53 @@
+package p4
+
+// bitReader extracts big-endian bit-packed fields from a byte slice.
+type bitReader struct {
+	data []byte
+	pos  int // bit offset
+}
+
+// read extracts the next n bits (n <= 64) as a big-endian unsigned value.
+// ok is false when the data is exhausted.
+func (r *bitReader) read(n int) (v uint64, ok bool) {
+	if r.pos+n > len(r.data)*8 {
+		return 0, false
+	}
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitIdx := 7 - r.pos&7
+		v = v<<1 | uint64(r.data[byteIdx]>>bitIdx&1)
+		r.pos++
+	}
+	return v, true
+}
+
+// bytesConsumed returns how many whole bytes have been consumed; the
+// parser only extracts byte-aligned headers so this is exact at header
+// boundaries.
+func (r *bitReader) bytesConsumed() int { return (r.pos + 7) / 8 }
+
+// bitWriter packs big-endian bit fields into a byte slice.
+type bitWriter struct {
+	data []byte
+	pos  int
+}
+
+// write appends the low n bits of v.
+func (w *bitWriter) write(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		if w.pos&7 == 0 {
+			w.data = append(w.data, 0)
+		}
+		bit := byte(v >> uint(i) & 1)
+		w.data[w.pos>>3] |= bit << (7 - w.pos&7)
+		w.pos++
+	}
+}
+
+// maskBits returns a mask of the low n bits.
+func maskBits(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(n) - 1
+}

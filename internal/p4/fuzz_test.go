@@ -1,0 +1,48 @@
+package p4
+
+import "testing"
+
+// FuzzParseProgram asserts the P4 parser never panics.
+func FuzzParseProgram(f *testing.F) {
+	f.Add(miniP4)
+	f.Add("header h { bit<8> f; }")
+	f.Add("control Ingress { apply { } }")
+	f.Add("parser { state start { transition select(h.f) { 1: accept; } } }")
+	f.Add("}{}{}{")
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseProgram("fuzz", src)
+	})
+}
+
+// FuzzProcess asserts the interpreter never panics on arbitrary frames.
+func FuzzProcess(f *testing.F) {
+	prog, err := ParseProgram("fuzz", miniP4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rt, err := NewRuntime(prog)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := rt.InsertEntry("t", Entry{
+		Matches: []FieldMatch{{Value: 0xbb}, {Mask: 0xfff, Value: 0}},
+		Action:  "fwd", Params: []uint64{4},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	frame := make([]byte, 18)
+	frame[12] = 0x81
+	f.Add(frame)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := rt.Process(1, data)
+		if err != nil {
+			t.Fatalf("Process returned an error: %v", err)
+		}
+		for _, out := range res.Outputs {
+			if len(out.Data) == 0 {
+				t.Fatalf("empty output frame")
+			}
+		}
+	})
+}

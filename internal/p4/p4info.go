@@ -1,0 +1,174 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P4Info is the control-plane-visible description of a program, analogous
+// to the P4Runtime p4info.proto artifact produced by p4c: tables with
+// their match fields and allowed actions, action signatures, and digest
+// layouts. IDs are assigned deterministically.
+type P4Info struct {
+	Program string       `json:"program"`
+	Tables  []TableInfo  `json:"tables"`
+	Actions []ActionInfo `json:"actions"`
+	Digests []DigestInfo `json:"digests"`
+}
+
+// MatchFieldInfo describes one table key.
+type MatchFieldInfo struct {
+	ID    int    `json:"id"`
+	Name  string `json:"name"`
+	Bits  int    `json:"bitwidth"`
+	Match string `json:"match_type"`
+}
+
+// TableInfo describes one table.
+type TableInfo struct {
+	ID          int              `json:"id"`
+	Name        string           `json:"name"`
+	MatchFields []MatchFieldInfo `json:"match_fields"`
+	ActionRefs  []string         `json:"action_refs"`
+	Size        int              `json:"size"`
+}
+
+// ActionParamInfo describes one action parameter.
+type ActionParamInfo struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Bits int    `json:"bitwidth"`
+}
+
+// ActionInfo describes one action.
+type ActionInfo struct {
+	ID     int               `json:"id"`
+	Name   string            `json:"name"`
+	Params []ActionParamInfo `json:"params"`
+}
+
+// DigestFieldInfo describes one digest field.
+type DigestFieldInfo struct {
+	Name string `json:"name"`
+	Bits int    `json:"bitwidth"`
+}
+
+// DigestInfo describes one digest message type.
+type DigestInfo struct {
+	ID     int               `json:"id"`
+	Name   string            `json:"name"`
+	Fields []DigestFieldInfo `json:"fields"`
+}
+
+// BuildP4Info derives the P4Info from a validated program. Entities are
+// sorted by name so IDs are stable across runs.
+func BuildP4Info(prog *Program) (*P4Info, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	info := &P4Info{Program: prog.Name}
+
+	actions := append([]*Action(nil), prog.Actions...)
+	sort.Slice(actions, func(i, j int) bool { return actions[i].Name < actions[j].Name })
+	for i, a := range actions {
+		ai := ActionInfo{ID: 0x0100_0000 + i, Name: a.Name}
+		for pi, p := range a.Params {
+			ai.Params = append(ai.Params, ActionParamInfo{ID: pi + 1, Name: p.Name, Bits: p.Bits})
+		}
+		info.Actions = append(info.Actions, ai)
+	}
+
+	tables := append([]*Table(nil), prog.Tables...)
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	for i, t := range tables {
+		ti := TableInfo{ID: 0x0200_0000 + i, Name: t.Name, Size: t.Size}
+		for ki, k := range t.Keys {
+			ti.MatchFields = append(ti.MatchFields, MatchFieldInfo{
+				ID: ki + 1, Name: k.Name, Bits: k.Bits, Match: k.Match.String(),
+			})
+		}
+		ti.ActionRefs = append(ti.ActionRefs, t.Actions...)
+		info.Tables = append(info.Tables, ti)
+	}
+
+	digests := append([]*Digest(nil), prog.Digests...)
+	sort.Slice(digests, func(i, j int) bool { return digests[i].Name < digests[j].Name })
+	for i, d := range digests {
+		di := DigestInfo{ID: 0x0300_0000 + i, Name: d.Name}
+		for _, f := range d.Fields {
+			di.Fields = append(di.Fields, DigestFieldInfo{Name: f.Name, Bits: f.Bits})
+		}
+		info.Digests = append(info.Digests, di)
+	}
+	return info, nil
+}
+
+// Table returns the named table's info, or nil.
+func (pi *P4Info) Table(name string) *TableInfo {
+	for i := range pi.Tables {
+		if pi.Tables[i].Name == name {
+			return &pi.Tables[i]
+		}
+	}
+	return nil
+}
+
+// Action returns the named action's info, or nil.
+func (pi *P4Info) Action(name string) *ActionInfo {
+	for i := range pi.Actions {
+		if pi.Actions[i].Name == name {
+			return &pi.Actions[i]
+		}
+	}
+	return nil
+}
+
+// Digest returns the named digest's info, or nil.
+func (pi *P4Info) Digest(name string) *DigestInfo {
+	for i := range pi.Digests {
+		if pi.Digests[i].Name == name {
+			return &pi.Digests[i]
+		}
+	}
+	return nil
+}
+
+// CheckEntryAgainstInfo validates an entry shape against table metadata,
+// the same check a P4Runtime server performs on Write.
+func CheckEntryAgainstInfo(pi *P4Info, table string, e *Entry) error {
+	ti := pi.Table(table)
+	if ti == nil {
+		return fmt.Errorf("p4: unknown table %q", table)
+	}
+	if len(e.Matches) != len(ti.MatchFields) {
+		return fmt.Errorf("p4: table %q takes %d match fields, got %d",
+			table, len(ti.MatchFields), len(e.Matches))
+	}
+	for i, mf := range ti.MatchFields {
+		if e.Matches[i].Value&^maskBits(mf.Bits) != 0 {
+			return fmt.Errorf("p4: table %q field %s: value overflows %d bits", table, mf.Name, mf.Bits)
+		}
+	}
+	ai := pi.Action(e.Action)
+	if ai == nil {
+		return fmt.Errorf("p4: unknown action %q", e.Action)
+	}
+	allowed := false
+	for _, ref := range ti.ActionRefs {
+		if ref == e.Action {
+			allowed = true
+		}
+	}
+	if !allowed {
+		return fmt.Errorf("p4: table %q does not allow action %q", table, e.Action)
+	}
+	if len(e.Params) != len(ai.Params) {
+		return fmt.Errorf("p4: action %q takes %d params, got %d", e.Action, len(ai.Params), len(e.Params))
+	}
+	for i, p := range ai.Params {
+		if e.Params[i]&^maskBits(p.Bits) != 0 {
+			return fmt.Errorf("p4: action %q param %s overflows %d bits", e.Action, p.Name, p.Bits)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,1079 @@
+package p4
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a parser for a P4-16 subset sufficient for
+// Nerpa-style data planes. The subset (see the README's language
+// reference):
+//
+//	header NAME { bit<N> field; ... }          // declares type and instance
+//	metadata { bit<N> field; ... }             // user metadata fields
+//	digest NAME { bit<N> field; ... }          // digest message layout
+//	parser { state NAME { extract(h); transition select(f){...} } ... }
+//	control NAME {                              // Ingress / Egress
+//	  action a(bit<N> p, ...) { stmt; ... }
+//	  table t { key = {...} actions = {...} default_action = a(args); size = N; }
+//	  apply { t.apply(); if (cond) {...} else {...} }
+//	}
+//	deparser { emit(h); ... }
+//
+// Action statements: field = expr; output(e); multicast(e); clone(e);
+// drop(); digest(name, {e, ...}); h.setValid(); h.setInvalid().
+
+// ParseProgram parses P4 subset source into a validated Program.
+func ParseProgram(name, src string) (*Program, error) {
+	p := &p4Parser{lex: newP4Lexer(src), prog: &Program{Name: name}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+// --- lexer ---
+
+type p4Token struct {
+	kind string // "ident", "num", "punct", "eof"
+	text string
+	num  uint64
+	line int
+}
+
+type p4Lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newP4Lexer(src string) *p4Lexer { return &p4Lexer{src: src, line: 1} }
+
+func (lx *p4Lexer) next() (p4Token, error) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			lx.pos += 2
+		default:
+			goto tokenStart
+		}
+	}
+	return p4Token{kind: "eof", line: lx.line}, nil
+
+tokenStart:
+	c := lx.src[lx.pos]
+	line := lx.line
+	if isP4IdentStart(c) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && isP4IdentCont(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return p4Token{kind: "ident", text: lx.src[start:lx.pos], line: line}, nil
+	}
+	if c >= '0' && c <= '9' {
+		start := lx.pos
+		base := 10
+		if c == '0' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == 'x' || lx.src[lx.pos+1] == 'X') {
+			base = 16
+			lx.pos += 2
+		} else if c == '0' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == 'b' || lx.src[lx.pos+1] == 'B') {
+			base = 2
+			lx.pos += 2
+		}
+		digits := lx.pos
+		for lx.pos < len(lx.src) && isP4Digit(lx.src[lx.pos], base) {
+			lx.pos++
+		}
+		text := strings.ReplaceAll(lx.src[digits:lx.pos], "_", "")
+		n, err := strconv.ParseUint(text, base, 64)
+		if err != nil {
+			return p4Token{}, fmt.Errorf("p4: line %d: bad number %q", line, lx.src[start:lx.pos])
+		}
+		return p4Token{kind: "num", num: n, line: line}, nil
+	}
+	// Two-character operators.
+	if lx.pos+1 < len(lx.src) {
+		two := lx.src[lx.pos : lx.pos+2]
+		switch two {
+		case "==", "!=", "&&", "||":
+			lx.pos += 2
+			return p4Token{kind: "punct", text: two, line: line}, nil
+		}
+	}
+	lx.pos++
+	switch c {
+	case '{', '}', '(', ')', '<', '>', ';', ':', ',', '=', '.', '!':
+		return p4Token{kind: "punct", text: string(c), line: line}, nil
+	}
+	return p4Token{}, fmt.Errorf("p4: line %d: unexpected character %q", line, c)
+}
+
+func isP4IdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isP4IdentCont(c byte) bool { return isP4IdentStart(c) || c >= '0' && c <= '9' }
+func isP4Digit(c byte, base int) bool {
+	if c == '_' {
+		return true
+	}
+	switch base {
+	case 16:
+		return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+	case 2:
+		return c == '0' || c == '1'
+	default:
+		return c >= '0' && c <= '9'
+	}
+}
+
+// --- parser ---
+
+type p4Parser struct {
+	lex    *p4Lexer
+	tok    p4Token
+	peeked *p4Token
+	prog   *Program
+}
+
+func (p *p4Parser) advance() error {
+	if p.peeked != nil {
+		p.tok = *p.peeked
+		p.peeked = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *p4Parser) peek() (p4Token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return p4Token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *p4Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("p4: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *p4Parser) expectPunct(s string) error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if p.tok.kind != "punct" || p.tok.text != s {
+		return p.errorf("expected %q, found %q", s, p.tok.text)
+	}
+	return nil
+}
+
+func (p *p4Parser) expectIdent() (string, error) {
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	if p.tok.kind != "ident" {
+		return "", p.errorf("expected an identifier, found %q", p.tok.text)
+	}
+	return p.tok.text, nil
+}
+
+func (p *p4Parser) acceptPunct(s string) (bool, error) {
+	t, err := p.peek()
+	if err != nil {
+		return false, err
+	}
+	if t.kind == "punct" && t.text == s {
+		return true, p.advance()
+	}
+	return false, nil
+}
+
+func (p *p4Parser) parse() error {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind == "eof" {
+			return nil
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "header":
+			if err := p.parseHeader(); err != nil {
+				return err
+			}
+		case "metadata":
+			if err := p.parseMetadata(); err != nil {
+				return err
+			}
+		case "digest":
+			if err := p.parseDigest(); err != nil {
+				return err
+			}
+		case "parser":
+			if err := p.parseParser(); err != nil {
+				return err
+			}
+		case "control":
+			if err := p.parseControl(); err != nil {
+				return err
+			}
+		case "deparser":
+			if err := p.parseDeparser(); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("unexpected top-level declaration %q", kw)
+		}
+	}
+}
+
+// parseBitType parses bit<N>.
+func (p *p4Parser) parseBitType() (int, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return 0, err
+	}
+	if name != "bit" {
+		return 0, p.errorf("expected bit<N>, found %q", name)
+	}
+	if err := p.expectPunct("<"); err != nil {
+		return 0, err
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	if p.tok.kind != "num" || p.tok.num < 1 || p.tok.num > 64 {
+		return 0, p.errorf("bad bit width")
+	}
+	width := int(p.tok.num)
+	if err := p.expectPunct(">"); err != nil {
+		return 0, err
+	}
+	return width, nil
+}
+
+// parseFieldList parses { bit<N> name; ... }.
+func (p *p4Parser) parseFieldList() ([]HeaderField, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var fields []HeaderField
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return nil, err
+		} else if ok {
+			return fields, nil
+		}
+		bits, err := p.parseBitType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		fields = append(fields, HeaderField{Name: name, Bits: bits})
+	}
+}
+
+func (p *p4Parser) parseHeader() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fields, err := p.parseFieldList()
+	if err != nil {
+		return err
+	}
+	p.prog.Headers = append(p.prog.Headers, &HeaderType{Name: name, Fields: fields})
+	return nil
+}
+
+func (p *p4Parser) parseMetadata() error {
+	fields, err := p.parseFieldList()
+	if err != nil {
+		return err
+	}
+	for _, f := range fields {
+		p.prog.Metadata = append(p.prog.Metadata, MetaField{Name: f.Name, Bits: f.Bits})
+	}
+	return nil
+}
+
+func (p *p4Parser) parseDigest() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	fields, err := p.parseFieldList()
+	if err != nil {
+		return err
+	}
+	d := &Digest{Name: name}
+	for _, f := range fields {
+		d.Fields = append(d.Fields, DigestField{Name: f.Name, Bits: f.Bits})
+	}
+	p.prog.Digests = append(p.prog.Digests, d)
+	return nil
+}
+
+// parseFieldRef parses ident or ident.ident.
+func (p *p4Parser) parseFieldRef() (FieldRef, error) {
+	a, err := p.expectIdent()
+	if err != nil {
+		return FieldRef{}, err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return FieldRef{}, err
+	}
+	b, err := p.expectIdent()
+	if err != nil {
+		return FieldRef{}, err
+	}
+	return FieldRef{Header: a, Field: b}, nil
+}
+
+func (p *p4Parser) parseParser() error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return err
+		} else if ok {
+			return nil
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if kw != "state" {
+			return p.errorf("expected state, found %q", kw)
+		}
+		st := &ParserState{}
+		st.Name, err = p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return err
+		}
+		for {
+			if ok, err := p.acceptPunct("}"); err != nil {
+				return err
+			} else if ok {
+				break
+			}
+			stmt, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			switch stmt {
+			case "extract":
+				if err := p.expectPunct("("); err != nil {
+					return err
+				}
+				st.Extract, err = p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return err
+				}
+			case "transition":
+				if err := p.parseTransition(st); err != nil {
+					return err
+				}
+			default:
+				return p.errorf("unexpected parser statement %q", stmt)
+			}
+		}
+		p.prog.Parser = append(p.prog.Parser, st)
+	}
+}
+
+func (p *p4Parser) parseTransition(st *ParserState) error {
+	next, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if next != "select" {
+		st.Next = next
+		return p.expectPunct(";")
+	}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	field, err := p.parseFieldRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	sel := &Select{Field: field, Default: "reject"}
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return err
+		} else if ok {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		switch {
+		case p.tok.kind == "num":
+			c := SelectCase{Value: p.tok.num}
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			c.Next, err = p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			sel.Cases = append(sel.Cases, c)
+		case p.tok.kind == "ident" && p.tok.text == "default":
+			if err := p.expectPunct(":"); err != nil {
+				return err
+			}
+			sel.Default, err = p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("bad select case %q", p.tok.text)
+		}
+	}
+	st.Select = sel
+	return nil
+}
+
+func (p *p4Parser) parseDeparser() error {
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return err
+		} else if ok {
+			return nil
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if kw != "emit" {
+			return p.errorf("expected emit, found %q", kw)
+		}
+		if err := p.expectPunct("("); err != nil {
+			return err
+		}
+		h, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return err
+		}
+		p.prog.Deparser = append(p.prog.Deparser, h)
+	}
+}
+
+// --- control blocks ---
+
+func (p *p4Parser) parseControl() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	ctl := &Control{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return err
+		} else if ok {
+			break
+		}
+		kw, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		switch kw {
+		case "action":
+			if err := p.parseAction(); err != nil {
+				return err
+			}
+		case "table":
+			if err := p.parseTable(); err != nil {
+				return err
+			}
+		case "apply":
+			body, err := p.parseControlBlock()
+			if err != nil {
+				return err
+			}
+			ctl.Apply = body
+		default:
+			return p.errorf("unexpected control member %q", kw)
+		}
+	}
+	switch strings.ToLower(name) {
+	case "ingress":
+		p.prog.Ingress = ctl
+	case "egress":
+		p.prog.Egress = ctl
+	default:
+		return fmt.Errorf("p4: control %q must be Ingress or Egress", name)
+	}
+	return nil
+}
+
+// actionCtx resolves parameter names while parsing an action body.
+type actionCtx struct {
+	params []ActionParam
+}
+
+func (ac *actionCtx) paramIndex(name string) int {
+	for i, p := range ac.params {
+		if p.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *p4Parser) parseAction() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	act := &Action{Name: name}
+	ctx := &actionCtx{}
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	for {
+		if ok, err := p.acceptPunct(")"); err != nil {
+			return err
+		} else if ok {
+			break
+		}
+		if len(act.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return err
+			}
+		}
+		bits, err := p.parseBitType()
+		if err != nil {
+			return err
+		}
+		pname, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		act.Params = append(act.Params, ActionParam{Name: pname, Bits: bits})
+	}
+	ctx.params = act.Params
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return err
+		} else if ok {
+			break
+		}
+		stmt, err := p.parseActionStmt(ctx)
+		if err != nil {
+			return err
+		}
+		act.Body = append(act.Body, stmt)
+	}
+	p.prog.Actions = append(p.prog.Actions, act)
+	return nil
+}
+
+// parseExpr parses a constant, parameter reference, or field reference.
+func (p *p4Parser) parseExpr(ctx *actionCtx) (Expr, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == "num" {
+		return &ConstExpr{Value: p.tok.num}, nil
+	}
+	if p.tok.kind != "ident" {
+		return nil, p.errorf("expected an expression, found %q", p.tok.text)
+	}
+	first := p.tok.text
+	if dot, err := p.acceptPunct("."); err != nil {
+		return nil, err
+	} else if dot {
+		f, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &FieldExpr{Ref: FieldRef{Header: first, Field: f}}, nil
+	}
+	if ctx != nil {
+		if idx := ctx.paramIndex(first); idx >= 0 {
+			return &ParamExpr{Index: idx}, nil
+		}
+	}
+	return nil, p.errorf("unknown identifier %q in expression", first)
+}
+
+func (p *p4Parser) parseActionStmt(ctx *actionCtx) (Stmt, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch first {
+	case "output", "multicast", "clone":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		switch first {
+		case "output":
+			return &Output{Port: e}, nil
+		case "multicast":
+			return &Multicast{Group: e}, nil
+		default:
+			return &Clone{Port: e}, nil
+		}
+	case "drop":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &Drop{}, nil
+	case "digest":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(","); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		d := &EmitDigest{Digest: name}
+		for {
+			if ok, err := p.acceptPunct("}"); err != nil {
+				return nil, err
+			} else if ok {
+				break
+			}
+			if len(d.Fields) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			e, err := p.parseExpr(ctx)
+			if err != nil {
+				return nil, err
+			}
+			d.Fields = append(d.Fields, e)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	// field assignment or header method: first is a header/meta name.
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	second, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	switch second {
+	case "setValid", "setInvalid":
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &SetValid{Header: first, Valid: second == "setValid"}, nil
+	default:
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &SetField{Ref: FieldRef{Header: first, Field: second}, Expr: e}, nil
+	}
+}
+
+func (p *p4Parser) parseTable() error {
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	t := &Table{Name: name}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return err
+		} else if ok {
+			break
+		}
+		prop, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return err
+		}
+		switch prop {
+		case "key":
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			for {
+				if ok, err := p.acceptPunct("}"); err != nil {
+					return err
+				} else if ok {
+					break
+				}
+				ref, err := p.parseFieldRef()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(":"); err != nil {
+					return err
+				}
+				kindName, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				var kind MatchKind
+				switch kindName {
+				case "exact":
+					kind = MatchExact
+				case "lpm":
+					kind = MatchLPM
+				case "ternary":
+					kind = MatchTernary
+				case "optional":
+					kind = MatchOptional
+				default:
+					return p.errorf("unknown match kind %q", kindName)
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return err
+				}
+				t.Keys = append(t.Keys, TableKey{Ref: ref, Match: kind})
+			}
+		case "actions":
+			if err := p.expectPunct("{"); err != nil {
+				return err
+			}
+			for {
+				if ok, err := p.acceptPunct("}"); err != nil {
+					return err
+				} else if ok {
+					break
+				}
+				a, err := p.expectIdent()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(";"); err != nil {
+					return err
+				}
+				t.Actions = append(t.Actions, a)
+			}
+		case "default_action":
+			a, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			call := ActionCall{Action: a}
+			if open, err := p.acceptPunct("("); err != nil {
+				return err
+			} else if open {
+				for {
+					if ok, err := p.acceptPunct(")"); err != nil {
+						return err
+					} else if ok {
+						break
+					}
+					if len(call.Params) > 0 {
+						if err := p.expectPunct(","); err != nil {
+							return err
+						}
+					}
+					if err := p.advance(); err != nil {
+						return err
+					}
+					if p.tok.kind != "num" {
+						return p.errorf("default_action arguments must be literals")
+					}
+					call.Params = append(call.Params, p.tok.num)
+				}
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			t.DefaultAction = call
+		case "size":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if p.tok.kind != "num" {
+				return p.errorf("size must be a literal")
+			}
+			t.Size = int(p.tok.num)
+			if err := p.expectPunct(";"); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("unknown table property %q", prop)
+		}
+	}
+	p.prog.Tables = append(p.prog.Tables, t)
+	return nil
+}
+
+// parseControlBlock parses { stmt; ... } in an apply section.
+func (p *p4Parser) parseControlBlock() ([]ControlStmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []ControlStmt
+	for {
+		if ok, err := p.acceptPunct("}"); err != nil {
+			return nil, err
+		} else if ok {
+			return out, nil
+		}
+		stmt, err := p.parseControlStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmt)
+	}
+}
+
+func (p *p4Parser) parseControlStmt() (ControlStmt, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if first == "if" {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		node := &If{Cond: cond}
+		node.Then, err = p.parseControlBlock()
+		if err != nil {
+			return nil, err
+		}
+		if t, err := p.peek(); err != nil {
+			return nil, err
+		} else if t.kind == "ident" && t.text == "else" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			node.Else, err = p.parseControlBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return node, nil
+	}
+	// table.apply();
+	if err := p.expectPunct("."); err != nil {
+		return nil, err
+	}
+	m, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if m != "apply" {
+		return nil, p.errorf("expected apply, found %q", m)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &ApplyTable{Table: first}, nil
+}
+
+// parseCond parses a condition: comparisons, h.isValid(), !cond, &&, ||.
+func (p *p4Parser) parseCond() (BoolExpr, error) {
+	l, err := p.parseCondAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == "punct" && (t.text == "&&" || t.text == "||") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			op := "and"
+			if t.text == "||" {
+				op = "or"
+			}
+			r, err := p.parseCondAtom()
+			if err != nil {
+				return nil, err
+			}
+			l = &BoolOp{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *p4Parser) parseCondAtom() (BoolExpr, error) {
+	if ok, err := p.acceptPunct("!"); err != nil {
+		return nil, err
+	} else if ok {
+		inner, err := p.parseCondAtom()
+		if err != nil {
+			return nil, err
+		}
+		return &BoolOp{Op: "not", L: inner}, nil
+	}
+	if ok, err := p.acceptPunct("("); err != nil {
+		return nil, err
+	} else if ok {
+		inner, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	// field == expr | field != expr | header.isValid()
+	l, err := p.parseExpr(nil)
+	if err != nil {
+		return nil, err
+	}
+	if fe, ok := l.(*FieldExpr); ok && fe.Ref.Field == "isValid" {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &IsValid{Header: fe.Ref.Header}, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != "punct" || p.tok.text != "==" && p.tok.text != "!=" {
+		return nil, p.errorf("expected a comparison, found %q", p.tok.text)
+	}
+	op := p.tok.text
+	r, err := p.parseExpr(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Op: op, L: l, R: r}, nil
+}

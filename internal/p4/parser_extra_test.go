@@ -1,0 +1,215 @@
+package p4
+
+import "testing"
+
+func TestParseControlConditions(t *testing.T) {
+	prog, err := ParseProgram("c", `
+		header h { bit<8> f; }
+		metadata { bit<4> m; }
+		parser { state start { extract(h); transition accept; } }
+		control Ingress {
+			action a() { }
+			table t {
+				key = { h.f: exact; }
+				actions = { a; }
+			}
+			apply {
+				if (h.f == 1 || meta.m != 0) { t.apply(); } else { t.apply(); }
+				if (!(h.isValid())) { t.apply(); }
+			}
+		}
+		deparser { emit(h); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iff := prog.Ingress.Apply[0].(*If)
+	or, ok := iff.Cond.(*BoolOp)
+	if !ok || or.Op != "or" {
+		t.Fatalf("cond = %+v", iff.Cond)
+	}
+	if len(iff.Else) != 1 {
+		t.Fatalf("else branch missing")
+	}
+	neg := prog.Ingress.Apply[1].(*If).Cond.(*BoolOp)
+	if neg.Op != "not" {
+		t.Fatalf("negated cond = %+v", neg)
+	}
+}
+
+func TestParseSelectDefaultsToReject(t *testing.T) {
+	prog, err := ParseProgram("r", `
+		header h { bit<16> f; }
+		parser {
+			state start {
+				extract(h);
+				transition select(h.f) { 1: accept; }
+			}
+		}
+		control Ingress { apply { } }
+		deparser { emit(h); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Parser[0].Select.Default != "reject" {
+		t.Fatalf("default = %q, want reject", prog.Parser[0].Select.Default)
+	}
+	// A rejected packet is dropped.
+	rt, err := NewRuntime(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Process(1, []byte{0, 2})
+	if err != nil || !res.Dropped {
+		t.Fatalf("rejected packet: %+v, %v", res, err)
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	bad := map[string]string{
+		"select non-ident case": `header h { bit<8> f; } parser { state start { extract(h); transition select(h.f) { {}: accept; } } } control Ingress { apply { } } deparser { }`,
+		"deparser non-emit":     `header h { bit<8> f; } parser { state start { transition accept; } } control Ingress { apply { } } deparser { drop(h); }`,
+		"bad field ref":         `header h { bit<8> f; } parser { state start { transition select(h) { } } } control Ingress { apply { } } deparser { }`,
+		"table missing eq":      `header h { bit<8> f; } parser { state start { transition accept; } } control Ingress { action a() {} table t { key { h.f: exact; } actions = { a; } } apply { } } deparser { }`,
+		"apply non-method":      `header h { bit<8> f; } parser { state start { transition accept; } } control Ingress { action a() {} table t { key = { h.f: exact; } actions = { a; } } apply { t.frob(); } } deparser { }`,
+		"digest bad braces":     `header h { bit<8> f; } digest d { bit<8> x; } parser { state start { transition accept; } } control Ingress { action a() { digest(d, h.f); } apply { } } deparser { }`,
+		"unknown expr ident":    `header h { bit<8> f; } parser { state start { transition accept; } } control Ingress { action a() { output(zzz); } apply { } } deparser { }`,
+		"default action expr":   `header h { bit<8> f; } parser { state start { transition accept; } } control Ingress { action a(bit<8> v) { h.f = v; } table t { key = { h.f: exact; } actions = { a; } default_action = a(h); } apply { } } deparser { }`,
+	}
+	for name, src := range bad {
+		if _, err := ParseProgram("bad", src); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestRuntimeAccessors(t *testing.T) {
+	prog, err := ParseProgram("acc", miniP4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Program() != prog {
+		t.Errorf("Program() mismatch")
+	}
+	e := Entry{Matches: []FieldMatch{{Value: 5}, {Mask: 0xff, Value: 1}},
+		Action: "fwd", Params: []uint64{2}, Priority: 3}
+	if err := rt.InsertEntry("t", e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := rt.GetEntry("t", e.Matches)
+	if !ok || got.Action != "fwd" || got.Priority != 3 {
+		t.Fatalf("GetEntry = %+v, %v", got, ok)
+	}
+	if _, ok := rt.GetEntry("t", []FieldMatch{{Value: 99}, {}}); ok {
+		t.Errorf("GetEntry found a missing entry")
+	}
+	if _, ok := rt.GetEntry("nope", e.Matches); ok {
+		t.Errorf("GetEntry on unknown table succeeded")
+	}
+	info, err := BuildP4Info(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest("seen") == nil || info.Digest("nope") != nil {
+		t.Errorf("Digest lookup wrong")
+	}
+}
+
+func TestMaskedSelectCase(t *testing.T) {
+	// The IR supports masked select cases (built programmatically).
+	prog := &Program{
+		Name:    "m",
+		Headers: []*HeaderType{{Name: "h", Fields: []HeaderField{{Name: "f", Bits: 8}}}},
+		Parser: []*ParserState{
+			{Name: "start", Extract: "h", Select: &Select{
+				Field:   FieldRef{"h", "f"},
+				Cases:   []SelectCase{{Value: 0x80, Mask: 0x80, Next: "accept"}},
+				Default: "reject",
+			}},
+		},
+		Actions: []*Action{{Name: "out", Body: []Stmt{&Output{Port: &ConstExpr{Value: 2}}}}},
+		Tables: []*Table{{Name: "t",
+			Keys:          []TableKey{{Ref: FieldRef{"h", "f"}, Match: MatchExact}},
+			Actions:       []string{"out"},
+			DefaultAction: ActionCall{Action: "out"}}},
+		Ingress:  &Control{Name: "Ingress", Apply: []ControlStmt{&ApplyTable{Table: "t"}}},
+		Deparser: []string{"h"},
+	}
+	rt, err := NewRuntime(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Process(1, []byte{0x90}) // high bit set: accepted
+	if err != nil || res.Dropped {
+		t.Fatalf("masked case did not match: %+v, %v", res, err)
+	}
+	res, err = rt.Process(1, []byte{0x10}) // high bit clear: rejected
+	if err != nil || !res.Dropped {
+		t.Fatalf("masked case matched wrongly: %+v, %v", res, err)
+	}
+}
+
+func TestTableCounters(t *testing.T) {
+	prog, err := ParseProgram("cnt", miniP4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InsertEntry("t", Entry{
+		Matches: []FieldMatch{{Value: 0xbb}, {Wildcard: true}},
+		Action:  "fwd", Params: []uint64{4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The mini program applies t only when eth is valid and meta != 0;
+	// meta is always 0, so the table never applies: counters stay zero.
+	frame := make([]byte, 14)
+	frame[5] = 0xbb
+	if _, err := rt.Process(1, frame); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := rt.Counters("t")
+	if !ok || c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if _, ok := rt.Counters("nope"); ok {
+		t.Fatalf("unknown table counters")
+	}
+	// A program that always applies: count hit and miss.
+	prog2, err := ParseProgram("cnt2", `
+		header h { bit<8> f; }
+		parser { state start { extract(h); transition accept; } }
+		control Ingress {
+			action out() { output(2); }
+			table t { key = { h.f: exact; } actions = { out; } }
+			apply { t.apply(); }
+		}
+		deparser { emit(h); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := NewRuntime(prog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt2.InsertEntry("t", Entry{
+		Matches: []FieldMatch{{Value: 7}}, Action: "out",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rt2.Process(1, []byte{7}) // hit
+	rt2.Process(1, []byte{9}) // miss
+	c, _ = rt2.Counters("t")
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}

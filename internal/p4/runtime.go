@@ -1,0 +1,807 @@
+package p4
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FieldMatch is the runtime value of one table key in an entry. Which
+// members are meaningful depends on the key's match kind:
+//
+//	exact:    Value
+//	lpm:      Value, PrefixLen
+//	ternary:  Value, Mask
+//	optional: Value, Wildcard
+type FieldMatch struct {
+	Value     uint64
+	Mask      uint64
+	PrefixLen int
+	Wildcard  bool
+}
+
+// Entry is one installed table entry.
+type Entry struct {
+	Matches  []FieldMatch
+	Priority int // higher wins (ternary/optional tables)
+	Action   string
+	Params   []uint64
+}
+
+// entryKey canonically encodes an entry's match for identity.
+func entryKey(matches []FieldMatch) string {
+	buf := make([]byte, 0, len(matches)*18)
+	for _, m := range matches {
+		for i := 56; i >= 0; i -= 8 {
+			buf = append(buf, byte(m.Value>>uint(i)))
+		}
+		for i := 56; i >= 0; i -= 8 {
+			buf = append(buf, byte(m.Mask>>uint(i)))
+		}
+		buf = append(buf, byte(m.PrefixLen))
+		if m.Wildcard {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return string(buf)
+}
+
+// tableState holds installed entries for one table.
+type tableState struct {
+	table *Table
+	// exactIdx accelerates all-exact tables.
+	exactIdx map[string]*Entry
+	allExact bool
+	entries  map[string]*Entry
+	defact   ActionCall
+	// hits/misses are atomic: lookups run under the runtime's read lock.
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newTableState(t *Table) *tableState {
+	allExact := true
+	for _, k := range t.Keys {
+		if k.Match != MatchExact {
+			allExact = false
+		}
+	}
+	return &tableState{
+		table:    t,
+		allExact: allExact,
+		exactIdx: make(map[string]*Entry),
+		entries:  make(map[string]*Entry),
+		defact:   t.DefaultAction,
+	}
+}
+
+func exactKey(matches []FieldMatch) string {
+	buf := make([]byte, 0, len(matches)*8)
+	for _, m := range matches {
+		for i := 56; i >= 0; i -= 8 {
+			buf = append(buf, byte(m.Value>>uint(i)))
+		}
+	}
+	return string(buf)
+}
+
+func exactKeyVals(vals []uint64) string {
+	buf := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		for i := 56; i >= 0; i -= 8 {
+			buf = append(buf, byte(v>>uint(i)))
+		}
+	}
+	return string(buf)
+}
+
+// lookup finds the best matching entry for the key field values.
+func (ts *tableState) lookup(vals []uint64) *Entry {
+	if ts.allExact {
+		return ts.exactIdx[exactKeyVals(vals)]
+	}
+	var best *Entry
+	bestPrefix := -1
+	for _, e := range ts.entries {
+		if !ts.matches(e, vals) {
+			continue
+		}
+		if best == nil {
+			best = e
+			bestPrefix = ts.totalPrefix(e)
+			continue
+		}
+		// Priority first, then total LPM prefix length.
+		if e.Priority > best.Priority ||
+			e.Priority == best.Priority && ts.totalPrefix(e) > bestPrefix {
+			best = e
+			bestPrefix = ts.totalPrefix(e)
+		}
+	}
+	return best
+}
+
+func (ts *tableState) totalPrefix(e *Entry) int {
+	total := 0
+	for i, k := range ts.table.Keys {
+		if k.Match == MatchLPM {
+			total += e.Matches[i].PrefixLen
+		}
+	}
+	return total
+}
+
+func (ts *tableState) matches(e *Entry, vals []uint64) bool {
+	for i, k := range ts.table.Keys {
+		m := e.Matches[i]
+		v := vals[i]
+		switch k.Match {
+		case MatchExact:
+			if v != m.Value {
+				return false
+			}
+		case MatchLPM:
+			shift := uint(k.Bits - m.PrefixLen)
+			if m.PrefixLen == 0 {
+				continue
+			}
+			if v>>shift != m.Value>>shift {
+				return false
+			}
+		case MatchTernary:
+			if v&m.Mask != m.Value&m.Mask {
+				return false
+			}
+		case MatchOptional:
+			if !m.Wildcard && v != m.Value {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DigestMessage is one emitted digest record.
+type DigestMessage struct {
+	Digest string
+	Fields []uint64
+}
+
+// PortOut is one packet emission produced by Process.
+type PortOut struct {
+	Port uint16
+	Data []byte
+}
+
+// Result is the outcome of processing one packet.
+type Result struct {
+	Outputs []PortOut
+	Digests []DigestMessage
+	Dropped bool
+}
+
+// Runtime executes a validated program against installed table entries.
+// It is safe for concurrent use: table writes take the write lock, packet
+// processing the read lock.
+type Runtime struct {
+	prog *Program
+
+	mu     sync.RWMutex
+	tables map[string]*tableState
+	mcast  map[uint16][]uint16 // multicast group → ports
+
+	headerIdx map[string]*HeaderType
+	metaIdx   map[string]int
+	stateIdx  map[string]*ParserState
+}
+
+// NewRuntime validates the program and prepares an empty runtime.
+func NewRuntime(prog *Program) (*Runtime, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		prog:      prog,
+		tables:    make(map[string]*tableState),
+		mcast:     make(map[uint16][]uint16),
+		headerIdx: make(map[string]*HeaderType),
+		metaIdx:   make(map[string]int),
+		stateIdx:  make(map[string]*ParserState),
+	}
+	for _, t := range prog.Tables {
+		rt.tables[t.Name] = newTableState(t)
+	}
+	for _, h := range prog.Headers {
+		rt.headerIdx[h.Name] = h
+	}
+	for i, m := range prog.Metadata {
+		rt.metaIdx[m.Name] = i
+	}
+	for _, st := range prog.Parser {
+		rt.stateIdx[st.Name] = st
+	}
+	return rt, nil
+}
+
+// Program returns the program the runtime executes.
+func (rt *Runtime) Program() *Program { return rt.prog }
+
+// InsertEntry installs a table entry, replacing any entry with identical
+// matches.
+func (rt *Runtime) InsertEntry(table string, e Entry) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ts := rt.tables[table]
+	if ts == nil {
+		return fmt.Errorf("p4: unknown table %q", table)
+	}
+	if err := rt.checkEntry(ts, &e); err != nil {
+		return err
+	}
+	key := entryKey(e.Matches)
+	ts.entries[key] = &e
+	if ts.allExact {
+		ts.exactIdx[exactKey(e.Matches)] = &e
+	}
+	return nil
+}
+
+// DeleteEntry removes the entry with identical matches.
+func (rt *Runtime) DeleteEntry(table string, matches []FieldMatch) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ts := rt.tables[table]
+	if ts == nil {
+		return fmt.Errorf("p4: unknown table %q", table)
+	}
+	key := entryKey(matches)
+	if _, ok := ts.entries[key]; !ok {
+		return fmt.Errorf("p4: table %q: no such entry", table)
+	}
+	delete(ts.entries, key)
+	if ts.allExact {
+		delete(ts.exactIdx, exactKey(matches))
+	}
+	return nil
+}
+
+// Entries returns a deterministic snapshot of a table's entries.
+func (rt *Runtime) Entries(table string) ([]Entry, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	ts := rt.tables[table]
+	if ts == nil {
+		return nil, fmt.Errorf("p4: unknown table %q", table)
+	}
+	keys := make([]string, 0, len(ts.entries))
+	for k := range ts.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Entry, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *ts.entries[k])
+	}
+	return out, nil
+}
+
+// TableCounters are per-table hit/miss counts (the analogue of
+// P4Runtime's direct counters).
+type TableCounters struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Counters returns a table's hit/miss counters.
+func (rt *Runtime) Counters(table string) (TableCounters, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	ts := rt.tables[table]
+	if ts == nil {
+		return TableCounters{}, false
+	}
+	return TableCounters{Hits: ts.hits.Load(), Misses: ts.misses.Load()}, true
+}
+
+// GetEntry returns a copy of the entry with exactly the given matches.
+func (rt *Runtime) GetEntry(table string, matches []FieldMatch) (Entry, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	ts := rt.tables[table]
+	if ts == nil {
+		return Entry{}, false
+	}
+	e, ok := ts.entries[entryKey(matches)]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// EntryCount returns the number of installed entries in a table.
+func (rt *Runtime) EntryCount(table string) int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if ts := rt.tables[table]; ts != nil {
+		return len(ts.entries)
+	}
+	return 0
+}
+
+// SetMulticastGroup installs the port list for a multicast group.
+func (rt *Runtime) SetMulticastGroup(group uint16, ports []uint16) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(ports) == 0 {
+		delete(rt.mcast, group)
+		return
+	}
+	rt.mcast[group] = append([]uint16(nil), ports...)
+}
+
+// MulticastGroup returns the ports of a group.
+func (rt *Runtime) MulticastGroup(group uint16) []uint16 {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]uint16(nil), rt.mcast[group]...)
+}
+
+func (rt *Runtime) checkEntry(ts *tableState, e *Entry) error {
+	t := ts.table
+	if len(e.Matches) != len(t.Keys) {
+		return fmt.Errorf("p4: table %q takes %d keys, got %d", t.Name, len(t.Keys), len(e.Matches))
+	}
+	for i, k := range t.Keys {
+		m := &e.Matches[i]
+		if m.Value&^maskBits(k.Bits) != 0 {
+			return fmt.Errorf("p4: table %q key %s: value %#x overflows %d bits",
+				t.Name, k.Name, m.Value, k.Bits)
+		}
+		if k.Match == MatchLPM && (m.PrefixLen < 0 || m.PrefixLen > k.Bits) {
+			return fmt.Errorf("p4: table %q key %s: prefix length %d out of range",
+				t.Name, k.Name, m.PrefixLen)
+		}
+	}
+	act := rt.prog.ActionByName(e.Action)
+	if act == nil {
+		return fmt.Errorf("p4: unknown action %q", e.Action)
+	}
+	allowed := false
+	for _, a := range t.Actions {
+		if a == e.Action {
+			allowed = true
+		}
+	}
+	if !allowed {
+		return fmt.Errorf("p4: table %q does not allow action %q", t.Name, e.Action)
+	}
+	if len(e.Params) != len(act.Params) {
+		return fmt.Errorf("p4: action %q takes %d params, got %d", e.Action, len(act.Params), len(e.Params))
+	}
+	for i, p := range act.Params {
+		if e.Params[i]&^maskBits(p.Bits) != 0 {
+			return fmt.Errorf("p4: action %q param %s: value %#x overflows %d bits",
+				e.Action, p.Name, e.Params[i], p.Bits)
+		}
+	}
+	if t.Size > 0 && len(ts.entries) >= t.Size {
+		if _, replacing := ts.entries[entryKey(e.Matches)]; !replacing {
+			return fmt.Errorf("p4: table %q is full (%d entries)", t.Name, t.Size)
+		}
+	}
+	return nil
+}
+
+// pktState is the per-packet execution state.
+type pktState struct {
+	rt          *Runtime
+	headerVals  map[string][]uint64
+	headerValid map[string]bool
+	meta        []uint64
+	std         map[string]uint64
+	payload     []byte
+	dropped     bool
+	mcastGroup  uint16
+	digests     []DigestMessage
+	clones      []uint16
+}
+
+// Process runs one packet received on ingressPort through the pipeline.
+func (rt *Runtime) Process(ingressPort uint16, data []byte) (Result, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+
+	st := &pktState{
+		rt:          rt,
+		headerVals:  make(map[string][]uint64, len(rt.prog.Headers)),
+		headerValid: make(map[string]bool, len(rt.prog.Headers)),
+		meta:        make([]uint64, len(rt.prog.Metadata)),
+		std:         map[string]uint64{FieldIngress: uint64(ingressPort)},
+	}
+	if err := st.parse(data); err != nil {
+		// Parse errors drop the packet, as BMv2 does by default.
+		return Result{Dropped: true}, nil
+	}
+	if err := st.runControl(rt.prog.Ingress.Apply); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	// Clone-session copies are emitted even for dropped originals
+	// (mirroring must see denied traffic too).
+	for _, port := range st.clones {
+		out, err := st.egressAndDeparse(port)
+		if err != nil {
+			return Result{}, err
+		}
+		if out != nil {
+			res.Outputs = append(res.Outputs, PortOut{Port: port, Data: out})
+		}
+	}
+	if st.dropped {
+		res.Dropped = true
+		res.Digests = st.digests
+		return res, nil
+	}
+	// Replication: multicast beats unicast, matching v1model semantics
+	// when mcast_grp is set.
+	if st.mcastGroup != 0 {
+		ports := rt.mcast[st.mcastGroup]
+		for _, port := range ports {
+			if port == ingressPort {
+				continue // no reflection back to the source port
+			}
+			out, err := st.egressAndDeparse(port)
+			if err != nil {
+				return Result{}, err
+			}
+			if out != nil {
+				res.Outputs = append(res.Outputs, PortOut{Port: port, Data: out})
+			}
+		}
+		res.Digests = st.digests
+		return res, nil
+	}
+	if egress, ok := st.std[FieldEgress]; ok {
+		port := uint16(egress)
+		out, err := st.egressAndDeparse(port)
+		if err != nil {
+			return Result{}, err
+		}
+		if out != nil {
+			res.Outputs = append(res.Outputs, PortOut{Port: port, Data: out})
+		}
+		res.Digests = st.digests
+		return res, nil
+	}
+	// No egress decision: drop.
+	res.Dropped = true
+	res.Digests = st.digests
+	return res, nil
+}
+
+// egressAndDeparse runs the egress control (on a copy of the packet state
+// for multicast replicas) and deparses. A nil return means the replica was
+// dropped.
+func (st *pktState) egressAndDeparse(port uint16) ([]byte, error) {
+	repl := st.cloneForReplica()
+	repl.std[FieldEgress] = uint64(port)
+	if eg := st.rt.prog.Egress; eg != nil {
+		if err := repl.runControl(eg.Apply); err != nil {
+			return nil, err
+		}
+		if repl.dropped {
+			return nil, nil
+		}
+	}
+	st.digests = append(st.digests, repl.digests...)
+	return repl.deparse(), nil
+}
+
+func (st *pktState) cloneForReplica() *pktState {
+	c := &pktState{
+		rt:          st.rt,
+		headerVals:  make(map[string][]uint64, len(st.headerVals)),
+		headerValid: make(map[string]bool, len(st.headerValid)),
+		meta:        append([]uint64(nil), st.meta...),
+		std:         make(map[string]uint64, len(st.std)),
+		payload:     st.payload,
+	}
+	for k, v := range st.headerVals {
+		c.headerVals[k] = append([]uint64(nil), v...)
+	}
+	for k, v := range st.headerValid {
+		c.headerValid[k] = v
+	}
+	for k, v := range st.std {
+		c.std[k] = v
+	}
+	return c
+}
+
+func (st *pktState) parse(data []byte) error {
+	r := &bitReader{data: data}
+	state := st.rt.prog.Parser[0]
+	for steps := 0; ; steps++ {
+		if steps > 1000 {
+			return fmt.Errorf("p4: parser did not terminate")
+		}
+		if state.Extract != "" {
+			h := st.rt.headerIdx[state.Extract]
+			vals := make([]uint64, len(h.Fields))
+			for i, f := range h.Fields {
+				v, ok := r.read(f.Bits)
+				if !ok {
+					return fmt.Errorf("p4: packet too short extracting %s", h.Name)
+				}
+				vals[i] = v
+			}
+			st.headerVals[h.Name] = vals
+			st.headerValid[h.Name] = true
+		}
+		next := state.Next
+		if state.Select != nil {
+			v, err := st.readField(state.Select.Field)
+			if err != nil {
+				return err
+			}
+			next = state.Select.Default
+			for _, c := range state.Select.Cases {
+				mask := c.Mask
+				if mask == 0 {
+					mask = ^uint64(0)
+				}
+				if v&mask == c.Value&mask {
+					next = c.Next
+					break
+				}
+			}
+		}
+		switch next {
+		case "accept":
+			st.payload = data[r.bytesConsumed():]
+			return nil
+		case "reject":
+			return fmt.Errorf("p4: parser rejected packet")
+		default:
+			state = st.rt.stateIdx[next]
+		}
+	}
+}
+
+func (st *pktState) readField(ref FieldRef) (uint64, error) {
+	switch ref.Header {
+	case StdMetaHeader:
+		return st.std[ref.Field], nil
+	case MetaHeader:
+		idx, ok := st.rt.metaIdx[ref.Field]
+		if !ok {
+			return 0, fmt.Errorf("p4: unknown metadata field %q", ref.Field)
+		}
+		return st.meta[idx], nil
+	default:
+		h := st.rt.headerIdx[ref.Header]
+		if h == nil {
+			return 0, fmt.Errorf("p4: unknown header %q", ref.Header)
+		}
+		if !st.headerValid[ref.Header] {
+			return 0, nil // reading an invalid header yields zero
+		}
+		i := h.FieldIndex(ref.Field)
+		if i < 0 {
+			return 0, fmt.Errorf("p4: header %s has no field %q", ref.Header, ref.Field)
+		}
+		return st.headerVals[ref.Header][i], nil
+	}
+}
+
+func (st *pktState) writeField(ref FieldRef, v uint64) error {
+	switch ref.Header {
+	case StdMetaHeader:
+		switch ref.Field {
+		case FieldMcastGrp:
+			st.mcastGroup = uint16(v)
+		default:
+			st.std[ref.Field] = v
+		}
+		return nil
+	case MetaHeader:
+		idx, ok := st.rt.metaIdx[ref.Field]
+		if !ok {
+			return fmt.Errorf("p4: unknown metadata field %q", ref.Field)
+		}
+		st.meta[idx] = v
+		return nil
+	default:
+		h := st.rt.headerIdx[ref.Header]
+		if h == nil {
+			return fmt.Errorf("p4: unknown header %q", ref.Header)
+		}
+		i := h.FieldIndex(ref.Field)
+		if i < 0 {
+			return fmt.Errorf("p4: header %s has no field %q", ref.Header, ref.Field)
+		}
+		if !st.headerValid[ref.Header] {
+			return nil // writing an invalid header is a no-op
+		}
+		st.headerVals[ref.Header][i] = v & maskBits(h.Fields[i].Bits)
+		return nil
+	}
+}
+
+func (st *pktState) evalExpr(e Expr, params []uint64) (uint64, error) {
+	switch e := e.(type) {
+	case *ConstExpr:
+		return e.Value, nil
+	case *ParamExpr:
+		return params[e.Index], nil
+	case *FieldExpr:
+		return st.readField(e.Ref)
+	default:
+		return 0, fmt.Errorf("p4: unknown expression %T", e)
+	}
+}
+
+func (st *pktState) evalBool(b BoolExpr) (bool, error) {
+	switch b := b.(type) {
+	case *Compare:
+		l, err := st.evalExpr(b.L, nil)
+		if err != nil {
+			return false, err
+		}
+		r, err := st.evalExpr(b.R, nil)
+		if err != nil {
+			return false, err
+		}
+		if b.Op == "!=" {
+			return l != r, nil
+		}
+		return l == r, nil
+	case *IsValid:
+		return st.headerValid[b.Header], nil
+	case *BoolOp:
+		l, err := st.evalBool(b.L)
+		if err != nil {
+			return false, err
+		}
+		switch b.Op {
+		case "not":
+			return !l, nil
+		case "and":
+			if !l {
+				return false, nil
+			}
+			return st.evalBool(b.R)
+		case "or":
+			if l {
+				return true, nil
+			}
+			return st.evalBool(b.R)
+		}
+		return false, fmt.Errorf("p4: unknown boolean operator %q", b.Op)
+	default:
+		return false, fmt.Errorf("p4: unknown condition %T", b)
+	}
+}
+
+func (st *pktState) runControl(stmts []ControlStmt) error {
+	for _, cs := range stmts {
+		switch cs := cs.(type) {
+		case *ApplyTable:
+			if err := st.applyTable(cs.Table); err != nil {
+				return err
+			}
+		case *If:
+			cond, err := st.evalBool(cs.Cond)
+			if err != nil {
+				return err
+			}
+			branch := cs.Then
+			if !cond {
+				branch = cs.Else
+			}
+			if err := st.runControl(branch); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (st *pktState) applyTable(name string) error {
+	ts := st.rt.tables[name]
+	vals := make([]uint64, len(ts.table.Keys))
+	for i, k := range ts.table.Keys {
+		v, err := st.readField(k.Ref)
+		if err != nil {
+			return err
+		}
+		vals[i] = v
+	}
+	var call ActionCall
+	if e := ts.lookup(vals); e != nil {
+		ts.hits.Add(1)
+		call = ActionCall{Action: e.Action, Params: e.Params}
+	} else {
+		ts.misses.Add(1)
+		call = ts.defact
+		if call.Action == "" {
+			return nil // no default action: miss is a no-op
+		}
+	}
+	act := st.rt.prog.ActionByName(call.Action)
+	return st.runAction(act, call.Params)
+}
+
+func (st *pktState) runAction(act *Action, params []uint64) error {
+	for _, stmt := range act.Body {
+		switch s := stmt.(type) {
+		case *SetField:
+			v, err := st.evalExpr(s.Expr, params)
+			if err != nil {
+				return err
+			}
+			if err := st.writeField(s.Ref, v); err != nil {
+				return err
+			}
+		case *Output:
+			v, err := st.evalExpr(s.Port, params)
+			if err != nil {
+				return err
+			}
+			st.std[FieldEgress] = v
+			st.dropped = false
+		case *Multicast:
+			v, err := st.evalExpr(s.Group, params)
+			if err != nil {
+				return err
+			}
+			st.mcastGroup = uint16(v)
+		case *Clone:
+			v, err := st.evalExpr(s.Port, params)
+			if err != nil {
+				return err
+			}
+			st.clones = append(st.clones, uint16(v))
+		case *Drop:
+			st.dropped = true
+		case *EmitDigest:
+			d := st.rt.prog.DigestByName(s.Digest)
+			fields := make([]uint64, len(s.Fields))
+			for i, fe := range s.Fields {
+				v, err := st.evalExpr(fe, params)
+				if err != nil {
+					return err
+				}
+				fields[i] = v & maskBits(d.Fields[i].Bits)
+			}
+			st.digests = append(st.digests, DigestMessage{Digest: s.Digest, Fields: fields})
+		case *SetValid:
+			if s.Valid && !st.headerValid[s.Header] {
+				h := st.rt.headerIdx[s.Header]
+				st.headerVals[s.Header] = make([]uint64, len(h.Fields))
+			}
+			st.headerValid[s.Header] = s.Valid
+		}
+	}
+	return nil
+}
+
+// deparse emits valid headers in deparser order followed by the payload.
+func (st *pktState) deparse() []byte {
+	w := &bitWriter{}
+	for _, hn := range st.rt.prog.Deparser {
+		if !st.headerValid[hn] {
+			continue
+		}
+		h := st.rt.headerIdx[hn]
+		vals := st.headerVals[hn]
+		for i, f := range h.Fields {
+			w.write(vals[i], f.Bits)
+		}
+	}
+	return append(w.data, st.payload...)
+}

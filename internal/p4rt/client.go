@@ -1,0 +1,144 @@
+package p4rt
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/jsonrpc"
+	"repro/internal/p4"
+)
+
+// Client is the controller side of the p4rt protocol.
+type Client struct {
+	conn *jsonrpc.Conn
+
+	mu         sync.Mutex
+	onDigest   func(DigestList)
+	onPacketIn func(PacketIn)
+	autoAck    bool
+}
+
+// Dial connects to a p4rt server over TCP.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established byte stream.
+func NewClient(rwc io.ReadWriteCloser) *Client {
+	c := &Client{autoAck: true}
+	c.conn = jsonrpc.NewConn(rwc, jsonrpc.HandlerFunc(c.handle))
+	return c
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Done is closed when the connection fails or is closed.
+func (c *Client) Done() <-chan struct{} { return c.conn.Done() }
+
+// OnDigest installs the digest stream handler. Unless auto-acking is
+// disabled, each list is acknowledged after the handler returns.
+func (c *Client) OnDigest(f func(DigestList)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onDigest = f
+}
+
+// OnPacketIn installs the packet-in handler.
+func (c *Client) OnPacketIn(f func(PacketIn)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPacketIn = f
+}
+
+// SetAutoAck controls automatic digest acknowledgement (default on).
+func (c *Client) SetAutoAck(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.autoAck = on
+}
+
+func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) (any, *jsonrpc.RPCError) {
+	switch method {
+	case "digest":
+		var dl DigestList
+		if err := json.Unmarshal(params, &dl); err != nil {
+			return nil, &jsonrpc.RPCError{Code: "bad params", Details: err.Error()}
+		}
+		c.mu.Lock()
+		handler := c.onDigest
+		ack := c.autoAck
+		c.mu.Unlock()
+		if handler != nil {
+			handler(dl)
+		}
+		if ack {
+			c.conn.Notify("digest_ack", dl.ListID)
+		}
+		return nil, nil
+	case "packet_in":
+		var pi PacketIn
+		if err := json.Unmarshal(params, &pi); err != nil {
+			return nil, &jsonrpc.RPCError{Code: "bad params", Details: err.Error()}
+		}
+		c.mu.Lock()
+		handler := c.onPacketIn
+		c.mu.Unlock()
+		if handler != nil {
+			handler(pi)
+		}
+		return nil, nil
+	default:
+		return nil, &jsonrpc.RPCError{Code: "unknown method", Details: method}
+	}
+}
+
+// GetP4Info fetches the running pipeline's description.
+func (c *Client) GetP4Info() (*p4.P4Info, error) {
+	var info p4.P4Info
+	if err := c.conn.Call("get_p4info", []any{}, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Write applies updates atomically on the device.
+func (c *Client) Write(updates ...Update) error {
+	var out map[string]any
+	return c.conn.Call("write", updates, &out)
+}
+
+// ReadTable snapshots a table's entries.
+func (c *Client) ReadTable(table string) ([]TableEntry, error) {
+	var entries []TableEntry
+	if err := c.conn.Call("read", table, &entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// PacketOut injects a packet on a port.
+func (c *Client) PacketOut(port uint16, data []byte) error {
+	var out map[string]any
+	return c.conn.Call("packet_out", PacketOut{Port: port, Data: data}, &out)
+}
+
+// ReadCounters reads a table's hit/miss counters.
+func (c *Client) ReadCounters(table string) (p4.TableCounters, error) {
+	var out p4.TableCounters
+	if err := c.conn.Call("read_counters", table, &out); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// AckDigest acknowledges a digest list explicitly (with auto-ack off).
+func (c *Client) AckDigest(listID uint64) error {
+	return c.conn.Notify("digest_ack", listID)
+}

@@ -1,0 +1,344 @@
+package p4rt
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/p4"
+)
+
+// fakeDevice records every call so the tests can assert the wire protocol
+// end to end without a full switch simulator behind it.
+type fakeDevice struct {
+	mu       sync.Mutex
+	info     *p4.P4Info
+	writes   [][]Update
+	packets  []PacketOut
+	acks     []uint64
+	failNext bool
+	counters map[string]p4.TableCounters
+}
+
+func (d *fakeDevice) P4Info() *p4.P4Info { return d.info }
+
+func (d *fakeDevice) Write(updates []Update) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failNext {
+		d.failNext = false
+		return errors.New("injected write failure")
+	}
+	d.writes = append(d.writes, updates)
+	return nil
+}
+
+func (d *fakeDevice) ReadTable(table string) ([]TableEntry, error) {
+	if table == "ghost" {
+		return nil, errors.New("no such table")
+	}
+	return []TableEntry{{Table: table, Action: "fwd", Params: []uint64{7}}}, nil
+}
+
+func (d *fakeDevice) PacketOut(port uint16, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.packets = append(d.packets, PacketOut{Port: port, Data: data})
+	return nil
+}
+
+func (d *fakeDevice) AckDigest(listID uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.acks = append(d.acks, listID)
+}
+
+// Counters implements the optional CounterReader extension.
+func (d *fakeDevice) Counters(table string) (p4.TableCounters, bool) {
+	c, ok := d.counters[table]
+	return c, ok
+}
+
+func startServer(t *testing.T, dev Device) (*Server, string) {
+	t.Helper()
+	srv := NewServer(dev)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	return srv, ln.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func (d *fakeDevice) lastWrite() []Update {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.writes) == 0 {
+		return nil
+	}
+	return d.writes[len(d.writes)-1]
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	dev := &fakeDevice{
+		info: &p4.P4Info{Program: "fake"},
+		counters: map[string]p4.TableCounters{
+			"t": {Hits: 3, Misses: 1},
+		},
+	}
+	_, addr := startServer(t, dev)
+	c := dialT(t, addr)
+
+	info, err := c.GetP4Info()
+	if err != nil || info.Program != "fake" {
+		t.Fatalf("GetP4Info = %+v, %v", info, err)
+	}
+
+	// Write carries every update shape over the wire intact.
+	entry := TableEntry{
+		Table:   "t",
+		Matches: []p4.FieldMatch{{Value: 0xfeed, PrefixLen: 24, Mask: 0xff, Wildcard: false}},
+		Action:  "fwd", Params: []uint64{9}, Priority: 5,
+	}
+	if err := c.Write(
+		InsertEntry(entry),
+		ModifyEntry(entry),
+		DeleteEntry(entry),
+		SetMulticast(4096, []uint16{1, 2, 3}),
+	); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := dev.lastWrite()
+	if len(got) != 4 {
+		t.Fatalf("device saw %d updates", len(got))
+	}
+	if got[0].Type != UpdateInsert || got[1].Type != UpdateModify || got[2].Type != UpdateDelete {
+		t.Fatalf("update types = %v %v %v", got[0].Type, got[1].Type, got[2].Type)
+	}
+	if e := got[1].Entry; e == nil || e.Table != "t" || e.Priority != 5 ||
+		len(e.Matches) != 1 || e.Matches[0].Value != 0xfeed ||
+		e.Matches[0].PrefixLen != 24 || e.Matches[0].Mask != 0xff {
+		t.Fatalf("entry mangled in transit: %+v", got[1].Entry)
+	}
+	if g := got[3].Multicast; g == nil || g.Group != 4096 || len(g.Ports) != 3 {
+		t.Fatalf("multicast mangled: %+v", got[3].Multicast)
+	}
+
+	entries, err := c.ReadTable("t")
+	if err != nil || len(entries) != 1 || entries[0].Params[0] != 7 {
+		t.Fatalf("ReadTable = %+v, %v", entries, err)
+	}
+
+	if err := c.PacketOut(4, []byte{0xde, 0xad}); err != nil {
+		t.Fatalf("PacketOut: %v", err)
+	}
+	waitCond(t, func() bool {
+		dev.mu.Lock()
+		defer dev.mu.Unlock()
+		return len(dev.packets) == 1
+	})
+	dev.mu.Lock()
+	po := dev.packets[0]
+	dev.mu.Unlock()
+	if po.Port != 4 || len(po.Data) != 2 || po.Data[0] != 0xde {
+		t.Fatalf("packet out mangled: %+v", po)
+	}
+
+	counters, err := c.ReadCounters("t")
+	if err != nil || counters.Hits != 3 || counters.Misses != 1 {
+		t.Fatalf("ReadCounters = %+v, %v", counters, err)
+	}
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	_, addr := startServer(t, dev)
+	c := dialT(t, addr)
+
+	dev.failNext = true
+	err := c.Write(InsertEntry(TableEntry{Table: "t"}))
+	if err == nil || !strings.Contains(err.Error(), "injected write failure") {
+		t.Fatalf("Write err = %v", err)
+	}
+	if _, err := c.ReadTable("ghost"); err == nil {
+		t.Fatal("ReadTable(ghost) succeeded")
+	}
+	// The fake has a counters map but no entry for this table.
+	if _, err := c.ReadCounters("ghost"); err == nil {
+		t.Fatal("ReadCounters(ghost) succeeded")
+	}
+}
+
+// noCounterDevice wraps a fakeDevice but does NOT implement CounterReader.
+type noCounterDevice struct{ d *fakeDevice }
+
+func (n *noCounterDevice) P4Info() *p4.P4Info                       { return n.d.P4Info() }
+func (n *noCounterDevice) Write(u []Update) error                   { return n.d.Write(u) }
+func (n *noCounterDevice) ReadTable(t string) ([]TableEntry, error) { return n.d.ReadTable(t) }
+func (n *noCounterDevice) PacketOut(p uint16, b []byte) error       { return n.d.PacketOut(p, b) }
+func (n *noCounterDevice) AckDigest(id uint64)                      { n.d.AckDigest(id) }
+
+func TestReadCountersUnimplemented(t *testing.T) {
+	dev := &noCounterDevice{d: &fakeDevice{info: &p4.P4Info{Program: "bare"}}}
+	_, addr := startServer(t, dev)
+	c := dialT(t, addr)
+	_, err := c.ReadCounters("t")
+	if err == nil || !strings.Contains(err.Error(), "unimplemented") {
+		t.Fatalf("ReadCounters on bare device = %v", err)
+	}
+}
+
+func TestDigestAutoAck(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	srv, addr := startServer(t, dev)
+	c := dialT(t, addr)
+
+	var mu sync.Mutex
+	var got []DigestList
+	c.OnDigest(func(dl DigestList) {
+		mu.Lock()
+		got = append(got, dl)
+		mu.Unlock()
+	})
+	srv.NotifyDigest(DigestList{Digest: "learn", ListID: 42,
+		Messages: [][]uint64{{1, 2}, {3, 4}}})
+	waitCond(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+	mu.Lock()
+	dl := got[0]
+	mu.Unlock()
+	if dl.Digest != "learn" || len(dl.Messages) != 2 || dl.Messages[1][1] != 4 {
+		t.Fatalf("digest mangled: %+v", dl)
+	}
+	// Auto-ack is on by default: the device sees the ack without any
+	// explicit AckDigest call.
+	waitCond(t, func() bool {
+		dev.mu.Lock()
+		defer dev.mu.Unlock()
+		return len(dev.acks) == 1 && dev.acks[0] == 42
+	})
+}
+
+func TestDigestManualAck(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	srv, addr := startServer(t, dev)
+	c := dialT(t, addr)
+	c.SetAutoAck(false)
+
+	seen := make(chan uint64, 1)
+	c.OnDigest(func(dl DigestList) { seen <- dl.ListID })
+	srv.NotifyDigest(DigestList{Digest: "learn", ListID: 7})
+	select {
+	case id := <-seen:
+		if id != 7 {
+			t.Fatalf("list id = %d", id)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("digest never delivered")
+	}
+	// No ack yet.
+	time.Sleep(10 * time.Millisecond)
+	dev.mu.Lock()
+	n := len(dev.acks)
+	dev.mu.Unlock()
+	if n != 0 {
+		t.Fatal("auto-ack fired despite SetAutoAck(false)")
+	}
+	if err := c.AckDigest(7); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, func() bool {
+		dev.mu.Lock()
+		defer dev.mu.Unlock()
+		return len(dev.acks) == 1 && dev.acks[0] == 7
+	})
+}
+
+func TestPacketInDelivery(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	srv, addr := startServer(t, dev)
+	c := dialT(t, addr)
+
+	seen := make(chan PacketIn, 1)
+	c.OnPacketIn(func(pi PacketIn) { seen <- pi })
+	srv.NotifyPacketIn(PacketIn{Port: 3, Data: []byte{1, 2, 3}})
+	select {
+	case pi := <-seen:
+		if pi.Port != 3 || len(pi.Data) != 3 {
+			t.Fatalf("packet-in mangled: %+v", pi)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("packet-in never delivered")
+	}
+}
+
+func TestNotifyFansOutToAllControllers(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	srv, addr := startServer(t, dev)
+	c1 := dialT(t, addr)
+	c2 := dialT(t, addr)
+	c1.SetAutoAck(false)
+	c2.SetAutoAck(false)
+
+	var n sync.WaitGroup
+	n.Add(2)
+	for _, c := range []*Client{c1, c2} {
+		once := sync.Once{}
+		c.OnDigest(func(DigestList) { once.Do(n.Done) })
+	}
+	// A completed RPC round-trip guarantees the server has accepted and
+	// registered the connection (Dial alone does not).
+	for _, c := range []*Client{c1, c2} {
+		if _, err := c.GetP4Info(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.NotifyDigest(DigestList{Digest: "learn", ListID: 1})
+	done := make(chan struct{})
+	go func() { n.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("digest not fanned out to both controllers")
+	}
+}
+
+func TestClientDoneOnServerClose(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	srv, addr := startServer(t, dev)
+	c := dialT(t, addr)
+	srv.Close()
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("client Done not signalled after server close")
+	}
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never satisfied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,54 @@
+package packet
+
+import "testing"
+
+// FuzzDecodeChain asserts the decoders never panic on arbitrary bytes and
+// never claim success on inputs shorter than the header they parsed.
+func FuzzDecodeChain(f *testing.F) {
+	e := Ethernet{Dst: 0xffffffffffff, Src: 0x1, EtherType: EtherTypeVLAN}
+	v := VLAN{VID: 10, EtherType: EtherTypeIPv4}
+	ip := IP{TTL: 64, Protocol: ProtoUDP, Src: 1, Dst: 2}
+	u := UDP{SrcPort: 1, DstPort: 2}
+	full := u.Append(ip.Append(v.Append(e.Append(nil)), 8), 0)
+	f.Add(full)
+	f.Add([]byte{})
+	f.Add(full[:10])
+	arp := ARP{Op: ARPRequest, SenderHA: 1, SenderIP: 2, TargetIP: 3}
+	ethArp := Ethernet{EtherType: EtherTypeARP}
+	f.Add(arp.Append(ethArp.Append(nil)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var eth Ethernet
+		rest, err := eth.Decode(data)
+		if err != nil {
+			return
+		}
+		if len(data)-len(rest) != 14 {
+			t.Fatalf("ethernet consumed %d bytes", len(data)-len(rest))
+		}
+		switch eth.EtherType {
+		case EtherTypeVLAN:
+			var vl VLAN
+			if rest, err = vl.Decode(rest); err != nil {
+				return
+			}
+			if vl.VID > 0xfff {
+				t.Fatalf("vid out of range: %d", vl.VID)
+			}
+		case EtherTypeARP:
+			var a ARP
+			if _, err = a.Decode(rest); err != nil {
+				return
+			}
+		case EtherTypeIPv4:
+			var p IP
+			if rest, err = p.Decode(rest); err != nil {
+				return
+			}
+			if p.Protocol == ProtoUDP {
+				var uh UDP
+				_, _ = uh.Decode(rest)
+			}
+		}
+	})
+}

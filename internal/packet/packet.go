@@ -1,0 +1,304 @@
+// Package packet provides Ethernet-family packet encoding and decoding for
+// the behavioral switch. In the style of gopacket's DecodingLayerParser,
+// layers decode into preallocated structs without copying or allocating,
+// and serialization prepends layers onto a buffer.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet address held in a uint64 (upper 16 bits zero),
+// the same representation the data plane's bit<48> fields use.
+type MAC uint64
+
+// ParseMAC parses the colon-separated hexadecimal form.
+func ParseMAC(s string) (MAC, error) {
+	var b [6]uint64
+	if _, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x",
+		&b[0], &b[1], &b[2], &b[3], &b[4], &b[5]); err != nil {
+		return 0, fmt.Errorf("packet: bad MAC %q: %w", s, err)
+	}
+	var m MAC
+	for _, x := range b {
+		m = m<<8 | MAC(x)
+	}
+	return m, nil
+}
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+}
+
+// IsBroadcast reports whether the address is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool { return m == 0xffffffffffff }
+
+// IsMulticast reports whether the group bit is set.
+func (m MAC) IsMulticast() bool { return m>>40&1 == 1 }
+
+// IPv4 is an IPv4 address in host byte order.
+type IPv4 uint32
+
+// ParseIPv4 parses dotted-quad notation.
+func ParseIPv4(s string) (IPv4, error) {
+	var a, b, c, d uint32
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0, fmt.Errorf("packet: bad IPv4 %q: %w", s, err)
+	}
+	if a > 255 || b > 255 || c > 255 || d > 255 {
+		return 0, fmt.Errorf("packet: bad IPv4 %q: octet out of range", s)
+	}
+	return IPv4(a<<24 | b<<16 | c<<8 | d), nil
+}
+
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// EtherTypes.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeVLAN uint16 = 0x8100
+	EtherTypeIPv6 uint16 = 0x86dd
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP byte = 1
+	ProtoTCP  byte = 6
+	ProtoUDP  byte = 17
+)
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+const ethernetLen = 14
+
+// Decode parses the header, returning the remaining payload without
+// copying.
+func (e *Ethernet) Decode(b []byte) ([]byte, error) {
+	if len(b) < ethernetLen {
+		return nil, fmt.Errorf("packet: truncated Ethernet header (%d bytes)", len(b))
+	}
+	e.Dst = decodeMAC(b[0:6])
+	e.Src = decodeMAC(b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return b[ethernetLen:], nil
+}
+
+// decodeMAC reads 6 bytes big-endian without allocating.
+func decodeMAC(b []byte) MAC {
+	return MAC(b[0])<<40 | MAC(b[1])<<32 | MAC(b[2])<<24 |
+		MAC(b[3])<<16 | MAC(b[4])<<8 | MAC(b[5])
+}
+
+func putMAC(b []byte, m MAC) {
+	b[0], b[1], b[2], b[3], b[4], b[5] =
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m)
+}
+
+// Append serializes the header onto buf.
+func (e *Ethernet) Append(buf []byte) []byte {
+	var h [ethernetLen]byte
+	putMAC(h[0:6], e.Dst)
+	putMAC(h[6:12], e.Src)
+	binary.BigEndian.PutUint16(h[12:14], e.EtherType)
+	return append(buf, h[:]...)
+}
+
+// VLAN is an 802.1Q tag.
+type VLAN struct {
+	PCP       byte   // priority code point (3 bits)
+	DEI       bool   // drop eligible indicator
+	VID       uint16 // VLAN identifier (12 bits)
+	EtherType uint16 // encapsulated ethertype
+}
+
+const vlanLen = 4
+
+// Decode parses the tag, returning the remaining payload.
+func (v *VLAN) Decode(b []byte) ([]byte, error) {
+	if len(b) < vlanLen {
+		return nil, fmt.Errorf("packet: truncated VLAN tag (%d bytes)", len(b))
+	}
+	tci := binary.BigEndian.Uint16(b[0:2])
+	v.PCP = byte(tci >> 13)
+	v.DEI = tci>>12&1 == 1
+	v.VID = tci & 0x0fff
+	v.EtherType = binary.BigEndian.Uint16(b[2:4])
+	return b[vlanLen:], nil
+}
+
+// Append serializes the tag onto buf.
+func (v *VLAN) Append(buf []byte) []byte {
+	tci := uint16(v.PCP)<<13 | v.VID&0x0fff
+	if v.DEI {
+		tci |= 1 << 12
+	}
+	var h [vlanLen]byte
+	binary.BigEndian.PutUint16(h[0:2], tci)
+	binary.BigEndian.PutUint16(h[2:4], v.EtherType)
+	return append(buf, h[:]...)
+}
+
+// ARP is an IPv4-over-Ethernet ARP message.
+type ARP struct {
+	Op                 uint16 // 1 request, 2 reply
+	SenderHA, TargetHA MAC
+	SenderIP, TargetIP IPv4
+}
+
+const arpLen = 28
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// Decode parses the message, returning any trailing bytes.
+func (a *ARP) Decode(b []byte) ([]byte, error) {
+	if len(b) < arpLen {
+		return nil, fmt.Errorf("packet: truncated ARP (%d bytes)", len(b))
+	}
+	if htype := binary.BigEndian.Uint16(b[0:2]); htype != 1 {
+		return nil, fmt.Errorf("packet: ARP hardware type %d unsupported", htype)
+	}
+	if ptype := binary.BigEndian.Uint16(b[2:4]); ptype != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: ARP protocol type %#04x unsupported", ptype)
+	}
+	if b[4] != 6 || b[5] != 4 {
+		return nil, fmt.Errorf("packet: ARP address lengths %d/%d unsupported", b[4], b[5])
+	}
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	a.SenderHA = decodeMAC(b[8:14])
+	a.SenderIP = IPv4(binary.BigEndian.Uint32(b[14:18]))
+	a.TargetHA = decodeMAC(b[18:24])
+	a.TargetIP = IPv4(binary.BigEndian.Uint32(b[24:28]))
+	return b[arpLen:], nil
+}
+
+// Append serializes the message onto buf.
+func (a *ARP) Append(buf []byte) []byte {
+	var h [arpLen]byte
+	binary.BigEndian.PutUint16(h[0:2], 1)
+	binary.BigEndian.PutUint16(h[2:4], EtherTypeIPv4)
+	h[4], h[5] = 6, 4
+	binary.BigEndian.PutUint16(h[6:8], a.Op)
+	putMAC(h[8:14], a.SenderHA)
+	binary.BigEndian.PutUint32(h[14:18], uint32(a.SenderIP))
+	putMAC(h[18:24], a.TargetHA)
+	binary.BigEndian.PutUint32(h[24:28], uint32(a.TargetIP))
+	return append(buf, h[:]...)
+}
+
+// IP is an IPv4 header (options unsupported: IHL always 5 on output,
+// options skipped on input).
+type IP struct {
+	TOS      byte
+	Length   uint16
+	ID       uint16
+	Flags    byte // 3 bits
+	FragOff  uint16
+	TTL      byte
+	Protocol byte
+	Checksum uint16
+	Src, Dst IPv4
+}
+
+const ipv4MinLen = 20
+
+// Decode parses the header, returning the payload (options are skipped).
+func (ip *IP) Decode(b []byte) ([]byte, error) {
+	if len(b) < ipv4MinLen {
+		return nil, fmt.Errorf("packet: truncated IPv4 header (%d bytes)", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("packet: IP version %d, want 4", v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4MinLen || len(b) < ihl {
+		return nil, fmt.Errorf("packet: bad IHL %d", ihl)
+	}
+	ip.TOS = b[1]
+	ip.Length = binary.BigEndian.Uint16(b[2:4])
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	ip.Flags = byte(ff >> 13)
+	ip.FragOff = ff & 0x1fff
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Checksum = binary.BigEndian.Uint16(b[10:12])
+	ip.Src = IPv4(binary.BigEndian.Uint32(b[12:16]))
+	ip.Dst = IPv4(binary.BigEndian.Uint32(b[16:20]))
+	return b[ihl:], nil
+}
+
+// Append serializes the header onto buf, computing length (from
+// payloadLen) and checksum.
+func (ip *IP) Append(buf []byte, payloadLen int) []byte {
+	var h [ipv4MinLen]byte
+	h[0] = 4<<4 | 5
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:4], uint16(ipv4MinLen+payloadLen))
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	binary.BigEndian.PutUint32(h[12:16], uint32(ip.Src))
+	binary.BigEndian.PutUint32(h[16:20], uint32(ip.Dst))
+	binary.BigEndian.PutUint16(h[10:12], Checksum(h[:]))
+	return append(buf, h[:]...)
+}
+
+// Checksum computes the Internet checksum (RFC 1071).
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+const udpLen = 8
+
+// Decode parses the header, returning the payload.
+func (u *UDP) Decode(b []byte) ([]byte, error) {
+	if len(b) < udpLen {
+		return nil, fmt.Errorf("packet: truncated UDP header (%d bytes)", len(b))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Checksum = binary.BigEndian.Uint16(b[6:8])
+	return b[udpLen:], nil
+}
+
+// Append serializes the header onto buf (checksum left zero: optional in
+// IPv4).
+func (u *UDP) Append(buf []byte, payloadLen int) []byte {
+	var h [udpLen]byte
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:6], uint16(udpLen+payloadLen))
+	return append(buf, h[:]...)
+}

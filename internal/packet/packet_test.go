@@ -1,0 +1,186 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMACParseFormat(t *testing.T) {
+	m, err := ParseMAC("00:11:22:aa:bb:cc")
+	if err != nil {
+		t.Fatalf("ParseMAC: %v", err)
+	}
+	if m != 0x001122aabbcc {
+		t.Fatalf("MAC value = %#x", uint64(m))
+	}
+	if m.String() != "00:11:22:aa:bb:cc" {
+		t.Fatalf("MAC string = %s", m)
+	}
+	if _, err := ParseMAC("nonsense"); err == nil {
+		t.Fatalf("bad MAC accepted")
+	}
+	if !MAC(0xffffffffffff).IsBroadcast() || MAC(1).IsBroadcast() {
+		t.Errorf("IsBroadcast wrong")
+	}
+	if !MAC(0x010000000000).IsMulticast() || MAC(0x001122334455).IsMulticast() {
+		t.Errorf("IsMulticast wrong")
+	}
+}
+
+func TestIPv4ParseFormat(t *testing.T) {
+	ip, err := ParseIPv4("10.1.2.3")
+	if err != nil || ip != 0x0a010203 {
+		t.Fatalf("ParseIPv4 = %#x, %v", uint32(ip), err)
+	}
+	if ip.String() != "10.1.2.3" {
+		t.Fatalf("IPv4 string = %s", ip)
+	}
+	if _, err := ParseIPv4("300.1.1.1"); err == nil {
+		t.Fatalf("out-of-range octet accepted")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{Dst: 0xffffffffffff, Src: 0x001122334455, EtherType: EtherTypeIPv4}
+	buf := e.Append(nil)
+	buf = append(buf, 0xde, 0xad)
+	var got Ethernet
+	rest, err := got.Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != e {
+		t.Fatalf("round trip: %+v != %+v", got, e)
+	}
+	if len(rest) != 2 || rest[0] != 0xde {
+		t.Fatalf("payload = %v", rest)
+	}
+}
+
+func TestVLANRoundTrip(t *testing.T) {
+	v := VLAN{PCP: 5, DEI: true, VID: 1234, EtherType: EtherTypeARP}
+	var got VLAN
+	rest, err := got.Decode(v.Append(nil))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Decode: %v, rest %v", err, rest)
+	}
+	if got != v {
+		t.Fatalf("round trip: %+v != %+v", got, v)
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := ARP{Op: ARPRequest, SenderHA: 0x0a0b0c0d0e0f, SenderIP: 0x0a000001,
+		TargetHA: 0, TargetIP: 0x0a000002}
+	var got ARP
+	rest, err := got.Decode(a.Append(nil))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != a {
+		t.Fatalf("round trip: %+v != %+v", got, a)
+	}
+}
+
+func TestIPRoundTripAndChecksum(t *testing.T) {
+	ip := IP{TOS: 0, ID: 7, TTL: 64, Protocol: ProtoUDP,
+		Src: 0x0a000001, Dst: 0x0a000002}
+	payload := []byte{1, 2, 3, 4}
+	buf := ip.Append(nil, len(payload))
+	buf = append(buf, payload...)
+	var got IP
+	rest, err := got.Decode(buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Src != ip.Src || got.Dst != ip.Dst || got.TTL != 64 ||
+		got.Protocol != ProtoUDP || int(got.Length) != 20+len(payload) {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(rest) != 4 {
+		t.Fatalf("payload = %v", rest)
+	}
+	// A correct header checksums to zero over the full header.
+	if Checksum(buf[:20]) != 0 {
+		t.Fatalf("header checksum does not verify")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{SrcPort: 5353, DstPort: 53}
+	var got UDP
+	rest, err := got.Decode(u.Append(nil, 3))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.SrcPort != 5353 || got.DstPort != 53 || got.Length != 11 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	var e Ethernet
+	if _, err := e.Decode(make([]byte, 5)); err == nil {
+		t.Errorf("truncated Ethernet accepted")
+	}
+	var v VLAN
+	if _, err := v.Decode(make([]byte, 2)); err == nil {
+		t.Errorf("truncated VLAN accepted")
+	}
+	var a ARP
+	if _, err := a.Decode(make([]byte, 10)); err == nil {
+		t.Errorf("truncated ARP accepted")
+	}
+	var ip IP
+	if _, err := ip.Decode(make([]byte, 10)); err == nil {
+		t.Errorf("truncated IP accepted")
+	}
+	bad := make([]byte, 20)
+	bad[0] = 6 << 4 // IPv6 version
+	if _, err := ip.Decode(bad); err == nil {
+		t.Errorf("wrong IP version accepted")
+	}
+	var u UDP
+	if _, err := u.Decode(make([]byte, 4)); err == nil {
+		t.Errorf("truncated UDP accepted")
+	}
+}
+
+func TestPropEthernetVLANRoundTrip(t *testing.T) {
+	f := func(dst, src uint64, et uint16, pcp byte, vid uint16) bool {
+		e := Ethernet{Dst: MAC(dst & 0xffffffffffff), Src: MAC(src & 0xffffffffffff), EtherType: EtherTypeVLAN}
+		v := VLAN{PCP: pcp & 7, VID: vid & 0xfff, EtherType: et}
+		buf := e.Append(nil)
+		buf = v.Append(buf)
+		var ge Ethernet
+		var gv VLAN
+		rest, err := ge.Decode(buf)
+		if err != nil {
+			return false
+		}
+		if _, err := gv.Decode(rest); err != nil {
+			return false
+		}
+		return ge == e && gv == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropChecksumVerifies(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		ip := IP{
+			TOS: byte(r.Intn(256)), ID: uint16(r.Intn(65536)),
+			TTL: byte(r.Intn(256)), Protocol: byte(r.Intn(256)),
+			Src: IPv4(r.Uint32()), Dst: IPv4(r.Uint32()),
+			Flags: byte(r.Intn(8)), FragOff: uint16(r.Intn(1 << 13)),
+		}
+		buf := ip.Append(nil, r.Intn(100))
+		if Checksum(buf) != 0 {
+			t.Fatalf("checksum does not verify for %+v", ip)
+		}
+	}
+}

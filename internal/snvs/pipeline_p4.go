@@ -1,0 +1,205 @@
+package snvs
+
+import "repro/internal/p4"
+
+// PipelineSource is the data-plane program in P4 subset source form — the
+// artifact a network programmer writes (and the "300 lines of P4" the
+// paper's LoC table counts). Pipeline() parses it; a test asserts it is
+// equivalent to the programmatic specification.
+const PipelineSource = `
+// snvs.p4 — the simple network virtual switch data plane.
+
+header ethernet {
+    bit<48> dst;
+    bit<48> src;
+    bit<16> etype;
+}
+
+header vlan {
+    bit<3>  pcp;
+    bit<1>  dei;
+    bit<12> vid;
+    bit<16> etype;
+}
+
+metadata {
+    bit<12> vlan;
+}
+
+// MAC learning events streamed to the controller.
+digest learn {
+    bit<48> mac;
+    bit<12> vlan;
+    bit<16>  port;
+}
+
+parser {
+    state start {
+        extract(ethernet);
+        transition select(ethernet.etype) {
+            0x8100: parse_vlan;
+            default: accept;
+        }
+    }
+    state parse_vlan {
+        extract(vlan);
+        transition accept;
+    }
+}
+
+control Ingress {
+    action set_vlan(bit<12> vid) {
+        meta.vlan = vid;
+    }
+    action use_tag() {
+        meta.vlan = vlan.vid;
+    }
+    action vlan_allow() {
+    }
+    action known() {
+    }
+    action learn() {
+        digest(learn, {ethernet.src, meta.vlan, standard_metadata.ingress_port});
+    }
+    action forward(bit<16> port) {
+        output(port);
+    }
+    action set_mcast(bit<16> grp) {
+        multicast(grp);
+    }
+    action acl_deny() {
+        drop();
+    }
+    action clone_to(bit<16> port) {
+        clone(port);
+    }
+    action drop_pkt() {
+        drop();
+    }
+    action nop() {
+    }
+
+    // Untagged packets on access ports join the port's VLAN.
+    table in_vlan {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { set_vlan; }
+        default_action = drop_pkt;
+    }
+    // Tagged packets carry their own VLAN id.
+    table tag_vlan {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { use_tag; }
+        default_action = use_tag;
+    }
+    // Admission: is this VLAN allowed on this port?
+    table vlan_ok {
+        key = {
+            standard_metadata.ingress_port: exact;
+            meta.vlan: exact;
+        }
+        actions = { vlan_allow; }
+        default_action = drop_pkt;
+    }
+    // Known source MACs; misses emit a learning digest.
+    table smac {
+        key = {
+            meta.vlan: exact;
+            ethernet.src: exact;
+        }
+        actions = { known; }
+        default_action = learn;
+    }
+    // Unicast forwarding.
+    table dmac {
+        key = {
+            meta.vlan: exact;
+            ethernet.dst: exact;
+        }
+        actions = { forward; }
+        default_action = nop;
+    }
+    // Per-VLAN flooding for unknown destinations.
+    table flood {
+        key = { meta.vlan: exact; }
+        actions = { set_mcast; }
+        default_action = nop;
+    }
+    // Source-MAC ACL (applies after forwarding so denies win).
+    table acl_src {
+        key = { ethernet.src: exact; }
+        actions = { acl_deny; }
+        default_action = nop;
+    }
+    // Ingress port mirroring via clone sessions.
+    table mirror_ingress {
+        key = { standard_metadata.ingress_port: exact; }
+        actions = { clone_to; }
+        default_action = nop;
+    }
+
+    apply {
+        if (vlan.isValid()) {
+            tag_vlan.apply();
+        } else {
+            in_vlan.apply();
+        }
+        vlan_ok.apply();
+        smac.apply();
+        dmac.apply();
+        if (standard_metadata.egress_spec == 0) {
+            flood.apply();
+        }
+        acl_src.apply();
+        mirror_ingress.apply();
+    }
+}
+
+control Egress {
+    action push_tag() {
+        vlan.setValid();
+        vlan.etype = ethernet.etype;
+        vlan.vid = meta.vlan;
+        ethernet.etype = 0x8100;
+    }
+    action pop_tag() {
+        ethernet.etype = vlan.etype;
+        vlan.setInvalid();
+    }
+    // Access ports emit untagged frames.
+    table strip_tag {
+        key = { standard_metadata.egress_spec: exact; }
+        actions = { pop_tag; }
+        default_action = nop;
+    }
+    // Trunk ports tag frames that arrived untagged.
+    table add_tag {
+        key = { standard_metadata.egress_spec: exact; }
+        actions = { push_tag; }
+        default_action = nop;
+    }
+
+    apply {
+        if (vlan.isValid()) {
+            strip_tag.apply();
+        } else {
+            add_tag.apply();
+        }
+    }
+}
+
+deparser {
+    emit(ethernet);
+    emit(vlan);
+}
+`
+
+// Pipeline parses the data-plane program from its P4 source.
+func Pipeline() *p4.Program {
+	prog, err := p4.ParseProgram("snvs", PipelineSource)
+	if err != nil {
+		// The source is a compile-time constant; failing to parse it is a
+		// programming error.
+		panic(err)
+	}
+	return prog
+}

@@ -1,0 +1,75 @@
+package snvs
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/p4"
+)
+
+// TestParsedEqualsSpec asserts the textual snvs.p4 and the programmatic
+// specification describe the same pipeline.
+func TestParsedEqualsSpec(t *testing.T) {
+	parsed := Pipeline()
+	spec := pipelineSpec()
+	if err := parsed.Validate(); err != nil {
+		t.Fatalf("parsed: %v", err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+
+	// P4Info equality covers tables, actions, and digests (sorted by name,
+	// so declaration order differences don't matter).
+	pi1, err := p4.BuildP4Info(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi2, err := p4.BuildP4Info(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pi1, pi2) {
+		t.Errorf("P4Info differs:\nparsed: %+v\nspec:   %+v", pi1, pi2)
+	}
+
+	// Structural equality for the rest.
+	if !reflect.DeepEqual(parsed.Headers, spec.Headers) {
+		t.Errorf("headers differ")
+	}
+	if !reflect.DeepEqual(parsed.Metadata, spec.Metadata) {
+		t.Errorf("metadata differs")
+	}
+	if !reflect.DeepEqual(parsed.Parser, spec.Parser) {
+		t.Errorf("parser FSM differs:\nparsed: %+v\nspec:   %+v", parsed.Parser[0], spec.Parser[0])
+	}
+	if !reflect.DeepEqual(parsed.Ingress, spec.Ingress) {
+		t.Errorf("ingress control differs")
+	}
+	if !reflect.DeepEqual(parsed.Egress, spec.Egress) {
+		t.Errorf("egress control differs")
+	}
+	if !reflect.DeepEqual(parsed.Deparser, spec.Deparser) {
+		t.Errorf("deparser differs")
+	}
+	// Actions compare after sorting by name (declaration order differs).
+	sortActions := func(as []*p4.Action) []*p4.Action {
+		out := append([]*p4.Action(nil), as...)
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return out
+	}
+	pa, sa := sortActions(parsed.Actions), sortActions(spec.Actions)
+	if !reflect.DeepEqual(pa, sa) {
+		t.Errorf("actions differ")
+		for i := range pa {
+			if i < len(sa) && !reflect.DeepEqual(pa[i], sa[i]) {
+				t.Errorf("  first difference: parsed %+v vs spec %+v", pa[i], sa[i])
+				break
+			}
+		}
+	}
+	if !reflect.DeepEqual(parsed.Tables, spec.Tables) {
+		t.Errorf("tables differ")
+	}
+}

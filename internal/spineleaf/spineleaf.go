@@ -1,0 +1,121 @@
+// Package spineleaf is the paper's §4.1 generalization made concrete:
+// one controller managing two *classes* of devices, each running its own
+// P4 program — leaf switches (hosts attach here) and a spine
+// interconnecting them. Leaf relations are per-device, so the rules
+// compute different forwarding entries for each leaf switch from the
+// shared management-plane tables.
+package spineleaf
+
+import (
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+)
+
+// UplinkPort is the leaf port wired to the spine on every leaf.
+const UplinkPort = 10
+
+// FloodGroup is the multicast group used for unknown destinations.
+const FloodGroup = 1
+
+// SchemaJSON is the management-plane schema: hosts and leaves.
+const SchemaJSON = `{
+  "name": "spineleaf",
+  "version": "1.0.0",
+  "tables": {
+    "Host": {
+      "columns": {
+        "mac": {"type": "integer"},
+        "leaf": {"type": "string"},
+        "port": {"type": "integer"}
+      },
+      "indexes": [["mac"]],
+      "isRoot": true
+    },
+    "Leaf": {
+      "columns": {
+        "name": {"type": "string"},
+        "spine_port": {"type": "integer"}
+      },
+      "indexes": [["name"]],
+      "isRoot": true
+    }
+  }
+}`
+
+// Schema parses the management-plane schema.
+func Schema() (*ovsdb.DatabaseSchema, error) {
+	return ovsdb.ParseSchema([]byte(SchemaJSON))
+}
+
+// LeafP4 is the leaf switches' data plane.
+const LeafP4 = `
+// leaf.p4 — forward known MACs, flood unknowns to the VLAN-less fabric.
+header ethernet { bit<48> dst; bit<48> src; bit<16> etype; }
+parser { state start { extract(ethernet); transition accept; } }
+control Ingress {
+    action forward(bit<16> port) { output(port); }
+    action flood() { multicast(1); }
+    table dmac {
+        key = { ethernet.dst: exact; }
+        actions = { forward; }
+        default_action = flood;
+    }
+    apply { dmac.apply(); }
+}
+deparser { emit(ethernet); }
+`
+
+// SpineP4 is the spine's data plane: a different program (different table
+// and action names) for a different device class.
+const SpineP4 = `
+// spine.p4 — steer toward the destination's leaf, flood unknowns.
+header ethernet { bit<48> dst; bit<48> src; bit<16> etype; }
+parser { state start { extract(ethernet); transition accept; } }
+control Ingress {
+    action steer(bit<16> port) { output(port); }
+    action flood_fabric() { multicast(1); }
+    table fwd {
+        key = { ethernet.dst: exact; }
+        actions = { steer; }
+        default_action = flood_fabric;
+    }
+    apply { fwd.apply(); }
+}
+deparser { emit(ethernet); }
+`
+
+// LeafPipeline parses the leaf program.
+func LeafPipeline() *p4.Program {
+	prog, err := p4.ParseProgram("leaf", LeafP4)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// SpinePipeline parses the spine program.
+func SpinePipeline() *p4.Program {
+	prog, err := p4.ParseProgram("spine", SpineP4)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Rules is the control plane spanning both classes. Relation names carry
+// the class prefix; leaf relations carry a leading device column.
+const Rules = `
+// A host's own leaf forwards its MAC to the host port; every other leaf
+// forwards it to the uplink.
+LeafDmac(l, m as bit<48>, p as bit<16>) :- Host(_, l, m, p).
+LeafDmac(l2, m as bit<48>, 10) :- Host(_, l, m, _), Leaf(_, l2, _), l2 != l.
+
+// The spine steers each MAC toward its leaf's spine port.
+SpineFwd(m as bit<48>, sp as bit<16>) :- Host(_, l, m, _), Leaf(_, l, sp).
+
+// Flooding: each leaf floods to its local host ports plus the uplink; the
+// spine floods to every leaf.
+LeafMulticastGroup(l, 1, p as bit<16>) :- Host(_, l, _, p).
+LeafMulticastGroup(l, 1, 10) :- Leaf(_, l, _).
+SpineMulticastGroup(1, sp as bit<16>) :- Leaf(_, _, sp).
+`

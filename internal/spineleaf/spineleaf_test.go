@@ -1,0 +1,232 @@
+package spineleaf
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+	"repro/internal/p4rt"
+	"repro/internal/packet"
+	"repro/internal/switchsim"
+)
+
+func TestPipelinesParse(t *testing.T) {
+	if err := LeafPipeline().Validate(); err != nil {
+		t.Fatalf("leaf: %v", err)
+	}
+	if err := SpinePipeline().Validate(); err != nil {
+		t.Fatalf("spine: %v", err)
+	}
+	if LeafPipeline().Name == SpinePipeline().Name {
+		t.Fatalf("classes must run distinct programs")
+	}
+}
+
+// topo is a 2-leaf, 1-spine deployment over real TCP with attached hosts.
+type topo struct {
+	t      *testing.T
+	db     *ovsdb.Client
+	leaf1  *switchsim.Switch
+	leaf2  *switchsim.Switch
+	spine  *switchsim.Switch
+	ctrl   *core.Controller
+	h1, h2 *switchsim.Host
+}
+
+func startTopo(t *testing.T) *topo {
+	t.Helper()
+	schema, err := Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := ovsdb.NewDatabase(schema)
+	srv := ovsdb.NewServer(db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	mkSwitch := func(name string, prog *p4.Program) (*switchsim.Switch, *p4rt.Client) {
+		sw, err := switchsim.New(name, switchsim.Config{Program: prog})
+		if err != nil {
+			t.Fatal(err)
+		}
+		swLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go sw.Serve(swLn)
+		t.Cleanup(sw.Close)
+		client, err := p4rt.Dial(swLn.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+		return sw, client
+	}
+	leaf1, c1 := mkSwitch("leaf1", LeafPipeline())
+	leaf2, c2 := mkSwitch("leaf2", LeafPipeline())
+	spine, cs := mkSwitch("spine", SpinePipeline())
+
+	fabric := switchsim.NewFabric()
+	for _, sw := range []*switchsim.Switch{leaf1, leaf2, spine} {
+		if err := fabric.AddSwitch(sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, err := fabric.AttachHost("h1", "leaf1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := fabric.AttachHost("h2", "leaf2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fabric.LinkSwitches("leaf1", UplinkPort, "spine", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fabric.LinkSwitches("leaf2", UplinkPort, "spine", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	dbc, err := ovsdb.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dbc.Close() })
+	ctrl, err := core.NewWithClasses(core.Config{
+		Rules:    Rules,
+		Database: "spineleaf",
+	}, dbc, []core.DeviceClass{
+		{Name: "Leaf", PerDevice: true, Devices: []core.Device{
+			{ID: "leaf1", DP: c1}, {ID: "leaf2", DP: c2},
+		}},
+		{Name: "Spine", Devices: []core.Device{{ID: "spine", DP: cs}}},
+	})
+	if err != nil {
+		t.Fatalf("NewWithClasses: %v", err)
+	}
+	t.Cleanup(ctrl.Stop)
+	return &topo{t: t, db: dbc, leaf1: leaf1, leaf2: leaf2, spine: spine,
+		ctrl: ctrl, h1: h1, h2: h2}
+}
+
+func (tp *topo) transact(ops ...ovsdb.Operation) {
+	tp.t.Helper()
+	if _, err := tp.db.TransactErr("spineleaf", ops...); err != nil {
+		tp.t.Fatal(err)
+	}
+}
+
+func (tp *topo) waitEntries(sw *switchsim.Switch, table string, want int) {
+	tp.t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for sw.Runtime().EntryCount(table) != want {
+		if err := tp.ctrl.Err(); err != nil {
+			tp.t.Fatalf("controller: %v", err)
+		}
+		if time.Now().After(deadline) {
+			tp.t.Fatalf("%s.%s has %d entries, want %d",
+				sw.Name(), table, sw.Runtime().EntryCount(table), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func frame(dst, src packet.MAC) []byte {
+	e := packet.Ethernet{Dst: dst, Src: src, EtherType: 0x1234}
+	return append(e.Append(nil), 0xca, 0xfe)
+}
+
+func TestSpineLeafForwarding(t *testing.T) {
+	tp := startTopo(t)
+	tp.transact(
+		ovsdb.OpInsert("Leaf", map[string]ovsdb.Value{"name": "leaf1", "spine_port": int64(1)}),
+		ovsdb.OpInsert("Leaf", map[string]ovsdb.Value{"name": "leaf2", "spine_port": int64(2)}),
+		ovsdb.OpInsert("Host", map[string]ovsdb.Value{"mac": int64(0xaa01), "leaf": "leaf1", "port": int64(1)}),
+		ovsdb.OpInsert("Host", map[string]ovsdb.Value{"mac": int64(0xaa02), "leaf": "leaf2", "port": int64(1)}),
+	)
+	// Each leaf gets 2 dmac entries (its local host + the remote via
+	// uplink); the spine steers both MACs.
+	tp.waitEntries(tp.leaf1, "dmac", 2)
+	tp.waitEntries(tp.leaf2, "dmac", 2)
+	tp.waitEntries(tp.spine, "fwd", 2)
+
+	// Per-device divergence: leaf1 sends 0xaa01 to a host port, leaf2
+	// sends it to the uplink.
+	find := func(sw *switchsim.Switch, mac uint64) uint64 {
+		entries, err := sw.Runtime().Entries("dmac")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Matches[0].Value == mac {
+				return e.Params[0]
+			}
+		}
+		t.Fatalf("%s: no dmac entry for %x", sw.Name(), mac)
+		return 0
+	}
+	if p := find(tp.leaf1, 0xaa01); p != 1 {
+		t.Errorf("leaf1 sends aa01 to port %d, want 1 (local)", p)
+	}
+	if p := find(tp.leaf2, 0xaa01); p != UplinkPort {
+		t.Errorf("leaf2 sends aa01 to port %d, want uplink %d", p, UplinkPort)
+	}
+
+	// End-to-end unicast across the fabric: h1 -> h2 crosses leaf1, the
+	// spine, and leaf2.
+	if err := tp.h1.Send(frame(0xaa02, 0xaa01)); err != nil {
+		t.Fatal(err)
+	}
+	if tp.h2.ReceivedCount() != 1 {
+		t.Fatalf("h2 received %d frames", tp.h2.ReceivedCount())
+	}
+	tp.h2.Received()
+
+	// Unknown destination floods across the whole fabric exactly once.
+	if err := tp.h1.Send(frame(0xdddd, 0xaa01)); err != nil {
+		t.Fatal(err)
+	}
+	if tp.h2.ReceivedCount() != 1 {
+		t.Fatalf("flooded frame count at h2 = %d", tp.h2.ReceivedCount())
+	}
+	tp.h2.Received()
+
+	// Removing a host retracts its entries everywhere.
+	tp.transact(ovsdb.OpDelete("Host", ovsdb.Cond("mac", "==", int64(0xaa02))))
+	tp.waitEntries(tp.leaf1, "dmac", 1)
+	tp.waitEntries(tp.leaf2, "dmac", 1)
+	tp.waitEntries(tp.spine, "fwd", 1)
+	if err := tp.ctrl.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassValidation(t *testing.T) {
+	schema, err := Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = schema
+	// Unknown device targeted by rules surfaces as a push error.
+	// (Covered implicitly: startTopo uses ids matching the Leaf table; a
+	// mismatch is exercised here.)
+	tp := startTopo(t)
+	tp.transact(
+		ovsdb.OpInsert("Leaf", map[string]ovsdb.Value{"name": "leaf9", "spine_port": int64(7)}),
+		ovsdb.OpInsert("Host", map[string]ovsdb.Value{"mac": int64(0xbb), "leaf": "leaf9", "port": int64(1)}),
+	)
+	deadline := time.Now().Add(5 * time.Second)
+	for tp.ctrl.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatalf("rules targeting unknown device did not surface an error")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,341 @@
+// Package switchsim is the behavioral software switch: it executes a p4
+// pipeline on injected packets (the BMv2 stand-in), exposes the p4rt
+// control API, batches digests toward the controller, and keeps per-port
+// counters. A Fabric wires multiple switches and hosts into a topology.
+package switchsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/p4"
+	"repro/internal/p4rt"
+)
+
+// Config configures a Switch.
+type Config struct {
+	// Program is the pipeline to execute (required).
+	Program *p4.Program
+	// DigestMaxBatch flushes a digest list when it reaches this many
+	// messages (default 1: immediate delivery).
+	DigestMaxBatch int
+	// DigestMaxDelay flushes a non-empty batch after this delay
+	// (default: immediate).
+	DigestMaxDelay time.Duration
+}
+
+// PortStats counts packets per port.
+type PortStats struct {
+	RxPackets uint64
+	TxPackets uint64
+}
+
+// Switch is one simulated network device.
+type Switch struct {
+	name string
+	rt   *p4.Runtime
+	info *p4.P4Info
+	srv  *p4rt.Server
+	cfg  Config
+
+	outMu  sync.RWMutex
+	output func(port uint16, data []byte)
+
+	statsMu sync.Mutex
+	stats   map[uint16]*PortStats
+	dropped uint64
+
+	digestMu   sync.Mutex
+	digestBuf  map[string][][]uint64
+	nextListID uint64
+	acked      map[uint64]bool
+	flushTimer *time.Timer
+}
+
+// New builds a switch running the program.
+func New(name string, cfg Config) (*Switch, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("switchsim: no program")
+	}
+	rt, err := p4.NewRuntime(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	info, err := p4.BuildP4Info(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DigestMaxBatch <= 0 {
+		cfg.DigestMaxBatch = 1
+	}
+	sw := &Switch{
+		name:      name,
+		rt:        rt,
+		info:      info,
+		cfg:       cfg,
+		stats:     make(map[uint16]*PortStats),
+		digestBuf: make(map[string][][]uint64),
+		acked:     make(map[uint64]bool),
+	}
+	sw.srv = p4rt.NewServer(sw)
+	return sw, nil
+}
+
+// Name returns the switch name.
+func (sw *Switch) Name() string { return sw.name }
+
+// Runtime exposes the underlying pipeline runtime (tests, benchmarks).
+func (sw *Switch) Runtime() *p4.Runtime { return sw.rt }
+
+// Serve accepts p4rt controller connections on ln.
+func (sw *Switch) Serve(ln net.Listener) error { return sw.srv.Serve(ln) }
+
+// ListenAndServe listens on addr and serves p4rt.
+func (sw *Switch) ListenAndServe(addr string) error { return sw.srv.ListenAndServe(addr) }
+
+// Close stops the p4rt server.
+func (sw *Switch) Close() { sw.srv.Close() }
+
+// SetOutputHandler installs the function receiving every emitted frame.
+func (sw *Switch) SetOutputHandler(f func(port uint16, data []byte)) {
+	sw.outMu.Lock()
+	defer sw.outMu.Unlock()
+	sw.output = f
+}
+
+// Inject delivers a frame arriving on the given port and runs the
+// pipeline; outputs are passed to the output handler.
+func (sw *Switch) Inject(port uint16, data []byte) error {
+	sw.statsMu.Lock()
+	sw.portStats(port).RxPackets++
+	sw.statsMu.Unlock()
+
+	res, err := sw.rt.Process(port, data)
+	if err != nil {
+		return fmt.Errorf("switchsim %s: %w", sw.name, err)
+	}
+	if res.Dropped && len(res.Outputs) == 0 {
+		sw.statsMu.Lock()
+		sw.dropped++
+		sw.statsMu.Unlock()
+	}
+	for _, d := range res.Digests {
+		sw.queueDigest(d)
+	}
+	sw.outMu.RLock()
+	out := sw.output
+	sw.outMu.RUnlock()
+	for _, o := range res.Outputs {
+		sw.statsMu.Lock()
+		sw.portStats(o.Port).TxPackets++
+		sw.statsMu.Unlock()
+		if out != nil {
+			out(o.Port, o.Data)
+		}
+	}
+	return nil
+}
+
+func (sw *Switch) portStats(port uint16) *PortStats {
+	ps := sw.stats[port]
+	if ps == nil {
+		ps = &PortStats{}
+		sw.stats[port] = ps
+	}
+	return ps
+}
+
+// Stats returns a copy of a port's counters.
+func (sw *Switch) Stats(port uint16) PortStats {
+	sw.statsMu.Lock()
+	defer sw.statsMu.Unlock()
+	return *sw.portStats(port)
+}
+
+// Dropped returns the number of dropped packets.
+func (sw *Switch) Dropped() uint64 {
+	sw.statsMu.Lock()
+	defer sw.statsMu.Unlock()
+	return sw.dropped
+}
+
+// --- digest batching ---
+
+func (sw *Switch) queueDigest(d p4.DigestMessage) {
+	sw.digestMu.Lock()
+	sw.digestBuf[d.Digest] = append(sw.digestBuf[d.Digest], d.Fields)
+	full := len(sw.digestBuf[d.Digest]) >= sw.cfg.DigestMaxBatch
+	if full {
+		sw.flushDigestLocked(d.Digest)
+		sw.digestMu.Unlock()
+		return
+	}
+	if sw.cfg.DigestMaxDelay > 0 {
+		if sw.flushTimer == nil {
+			sw.flushTimer = time.AfterFunc(sw.cfg.DigestMaxDelay, sw.FlushDigests)
+		}
+		sw.digestMu.Unlock()
+		return
+	}
+	// No delay configured: flush immediately.
+	sw.flushDigestLocked(d.Digest)
+	sw.digestMu.Unlock()
+}
+
+// FlushDigests sends all buffered digest lists immediately.
+func (sw *Switch) FlushDigests() {
+	sw.digestMu.Lock()
+	for name := range sw.digestBuf {
+		sw.flushDigestLocked(name)
+	}
+	sw.digestMu.Unlock()
+}
+
+// flushDigestLocked sends one digest's buffer; digestMu must be held.
+func (sw *Switch) flushDigestLocked(name string) {
+	msgs := sw.digestBuf[name]
+	if len(msgs) == 0 {
+		return
+	}
+	delete(sw.digestBuf, name)
+	if sw.flushTimer != nil {
+		sw.flushTimer.Stop()
+		sw.flushTimer = nil
+	}
+	sw.nextListID++
+	dl := p4rt.DigestList{Digest: name, ListID: sw.nextListID, Messages: msgs}
+	// Notify without holding digestMu against reentrant acks: the server
+	// send path is asynchronous, so holding it is safe, but release anyway.
+	go sw.srv.NotifyDigest(dl)
+}
+
+// --- p4rt.Device implementation ---
+
+// P4Info describes the running pipeline.
+func (sw *Switch) P4Info() *p4.P4Info { return sw.info }
+
+// Write applies updates atomically: all validations run against the
+// current state and applied changes are rolled back if a later update
+// fails.
+func (sw *Switch) Write(updates []p4rt.Update) error {
+	type undo func()
+	var undos []undo
+	rollback := func() {
+		for i := len(undos) - 1; i >= 0; i-- {
+			undos[i]()
+		}
+	}
+	for i := range updates {
+		u := &updates[i]
+		switch {
+		case u.Entry != nil:
+			e := u.Entry
+			prev := sw.findEntry(e.Table, e.Matches)
+			switch u.Type {
+			case p4rt.UpdateInsert, p4rt.UpdateModify:
+				if u.Type == p4rt.UpdateInsert && prev != nil {
+					rollback()
+					return fmt.Errorf("switchsim %s: table %s: entry already exists", sw.name, e.Table)
+				}
+				if u.Type == p4rt.UpdateModify && prev == nil {
+					rollback()
+					return fmt.Errorf("switchsim %s: table %s: no entry to modify", sw.name, e.Table)
+				}
+				if err := sw.rt.InsertEntry(e.Table, p4.Entry{
+					Matches: e.Matches, Priority: e.Priority,
+					Action: e.Action, Params: e.Params,
+				}); err != nil {
+					rollback()
+					return err
+				}
+				table, matches, old := e.Table, e.Matches, prev
+				undos = append(undos, func() {
+					if old != nil {
+						sw.rt.InsertEntry(table, *old)
+					} else {
+						sw.rt.DeleteEntry(table, matches)
+					}
+				})
+			case p4rt.UpdateDelete:
+				if err := sw.rt.DeleteEntry(e.Table, e.Matches); err != nil {
+					rollback()
+					return err
+				}
+				table, old := e.Table, prev
+				undos = append(undos, func() { sw.rt.InsertEntry(table, *old) })
+			default:
+				rollback()
+				return fmt.Errorf("switchsim %s: unknown update type %q", sw.name, u.Type)
+			}
+		case u.Multicast != nil:
+			group := u.Multicast.Group
+			old := sw.rt.MulticastGroup(group)
+			sw.rt.SetMulticastGroup(group, u.Multicast.Ports)
+			undos = append(undos, func() { sw.rt.SetMulticastGroup(group, old) })
+		default:
+			rollback()
+			return fmt.Errorf("switchsim %s: empty update", sw.name)
+		}
+	}
+	return nil
+}
+
+// findEntry returns a copy of the entry with the given matches, or nil.
+func (sw *Switch) findEntry(table string, matches []p4.FieldMatch) *p4.Entry {
+	e, ok := sw.rt.GetEntry(table, matches)
+	if !ok {
+		return nil
+	}
+	return &e
+}
+
+// ReadTable snapshots a table.
+func (sw *Switch) ReadTable(table string) ([]p4rt.TableEntry, error) {
+	entries, err := sw.rt.Entries(table)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]p4rt.TableEntry, len(entries))
+	for i, e := range entries {
+		out[i] = p4rt.TableEntry{
+			Table: table, Matches: e.Matches, Priority: e.Priority,
+			Action: e.Action, Params: e.Params,
+		}
+	}
+	return out, nil
+}
+
+// PacketOut emits a frame directly on a port, bypassing the pipeline.
+func (sw *Switch) PacketOut(port uint16, data []byte) error {
+	sw.statsMu.Lock()
+	sw.portStats(port).TxPackets++
+	sw.statsMu.Unlock()
+	sw.outMu.RLock()
+	out := sw.output
+	sw.outMu.RUnlock()
+	if out != nil {
+		out(port, data)
+	}
+	return nil
+}
+
+// AckDigest records a digest acknowledgement.
+func (sw *Switch) AckDigest(listID uint64) {
+	sw.digestMu.Lock()
+	sw.acked[listID] = true
+	sw.digestMu.Unlock()
+}
+
+// DigestAcked reports whether a list has been acknowledged (tests).
+func (sw *Switch) DigestAcked(listID uint64) bool {
+	sw.digestMu.Lock()
+	defer sw.digestMu.Unlock()
+	return sw.acked[listID]
+}
+
+// Counters exposes a table's hit/miss counters (p4rt.CounterReader).
+func (sw *Switch) Counters(table string) (p4.TableCounters, bool) {
+	return sw.rt.Counters(table)
+}

@@ -1,0 +1,189 @@
+// Package workload generates the synthetic inputs driving the evaluation:
+// port-churn configuration (the §4.3 scalability experiment), load-balancer
+// cold-start/teardown sequences (the §2.2 worst case), steady-state
+// small-change streams (the §2.2 incremental-processing comparison), and
+// random graphs with edge churn (the §1 labeling example). These stand in
+// for the production traces (Robotron, OVN deployments) the paper cites,
+// preserving the change-pattern shapes that drive the claimed behaviours.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+	"repro/internal/ovsdb"
+)
+
+// AccessPortRow builds the OVSDB row for access port i (VLAN spread over
+// nVlans).
+func AccessPortRow(i, nVlans int) map[string]ovsdb.Value {
+	return map[string]ovsdb.Value{
+		"name":      fmt.Sprintf("port%d", i),
+		"port_num":  int64(i + 1),
+		"vlan_mode": "access",
+		"tag":       int64(10 + i%nVlans),
+	}
+}
+
+// PortCfg builds the equivalent baseline configuration for port i.
+func PortCfg(i, nVlans int) baseline.PortCfg {
+	return baseline.PortCfg{
+		Name: fmt.Sprintf("port%d", i),
+		Num:  uint16(i + 1),
+		Tag:  uint16(10 + i%nVlans),
+	}
+}
+
+// PortRecord builds the engine input record for port i, matching the
+// generated Port relation layout (_uuid, name, port_num, tag, vlan_mode).
+func PortRecord(i, nVlans int) value.Record {
+	return value.Record{
+		value.String(fmt.Sprintf("uuid-port-%d", i)),
+		value.String(fmt.Sprintf("port%d", i)),
+		value.Int(int64(i + 1)),
+		value.Int(int64(10 + i%nVlans)),
+		value.String("access"),
+	}
+}
+
+// LearnedRecord builds a Learn digest record (mac, vlan, port) for host h
+// on port i.
+func LearnedRecord(h, i, nVlans int) value.Record {
+	return value.Record{
+		value.BitW(uint64(0xaa0000000000+h), 48),
+		value.BitW(uint64(10+i%nVlans), 12),
+		value.BitW(uint64(i+1), 16),
+	}
+}
+
+// LBs builds v load balancers with b backends each.
+func LBs(v, b int) []baseline.LB {
+	lbs := make([]baseline.LB, v)
+	for i := range lbs {
+		lb := baseline.LB{ID: i + 1, VIP: uint32(0x0a000000 + i + 1)}
+		for j := 0; j < b; j++ {
+			lb.Backends = append(lb.Backends, baseline.LBBackend{
+				IP:   uint32(0x0b000000 + i*b + j),
+				Port: uint16(8000 + j%1000),
+			})
+		}
+		lbs[i] = lb
+	}
+	return lbs
+}
+
+// LBInsertUpdates builds the engine updates loading one load balancer
+// (for the LBRules program).
+func LBInsertUpdates(lb baseline.LB) []engine.Update {
+	ups := make([]engine.Update, 0, 1+len(lb.Backends))
+	ups = append(ups, engine.Insert("Vip", value.Record{
+		value.Int(int64(lb.ID)), value.BitW(uint64(lb.VIP), 32),
+	}))
+	for j, b := range lb.Backends {
+		ups = append(ups, engine.Insert("Backend", value.Record{
+			value.Int(int64(lb.ID)), value.Int(int64(j)),
+			value.BitW(uint64(b.IP), 32), value.BitW(uint64(b.Port), 16),
+		}))
+	}
+	return ups
+}
+
+// LBDeleteUpdates builds the engine updates removing one load balancer.
+func LBDeleteUpdates(lb baseline.LB) []engine.Update {
+	ups := LBInsertUpdates(lb)
+	for i := range ups {
+		ups[i].Insert = false
+	}
+	return ups
+}
+
+// Graph is a random directed graph over string node names.
+type Graph struct {
+	Nodes []string
+	Edges [][2]string
+}
+
+// RandomTree builds a random recursive tree: node i > 0 gets a uniformly
+// random parent among 0..i-1, edges directed parent → child. This is the
+// sparse, hierarchy-shaped topology typical of real networks, where a link
+// failure affects a small subtree.
+func RandomTree(n int, seed int64) Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := Graph{Nodes: make([]string, n)}
+	for i := range g.Nodes {
+		g.Nodes[i] = fmt.Sprintf("n%d", i)
+	}
+	for i := 1; i < n; i++ {
+		g.Edges = append(g.Edges, [2]string{g.Nodes[r.Intn(i)], g.Nodes[i]})
+	}
+	return g
+}
+
+// RandomGraph builds a graph with n nodes and m distinct random edges.
+func RandomGraph(n, m int, seed int64) Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := Graph{Nodes: make([]string, n)}
+	for i := range g.Nodes {
+		g.Nodes[i] = fmt.Sprintf("n%d", i)
+	}
+	seen := make(map[[2]string]bool, m)
+	for len(g.Edges) < m && len(seen) < n*(n-1) {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		e := [2]string{g.Nodes[a], g.Nodes[b]}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		g.Edges = append(g.Edges, e)
+	}
+	return g
+}
+
+// EdgeChange is one link up/down event.
+type EdgeChange struct {
+	Add  bool
+	Edge [2]string
+}
+
+// EdgeChurn produces steps alternating deletions and re-insertions of
+// random existing edges (link flaps).
+func (g Graph) EdgeChurn(steps int, seed int64) []EdgeChange {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]EdgeChange, 0, steps)
+	removed := make(map[int]bool)
+	for len(out) < steps {
+		i := r.Intn(len(g.Edges))
+		if removed[i] {
+			removed[i] = false
+			out = append(out, EdgeChange{Add: true, Edge: g.Edges[i]})
+		} else {
+			removed[i] = true
+			out = append(out, EdgeChange{Add: false, Edge: g.Edges[i]})
+		}
+	}
+	return out
+}
+
+// EdgeUpdate converts an edge change to an engine update on Edge(a, b).
+func EdgeUpdate(c EdgeChange) engine.Update {
+	rec := value.Record{value.String(c.Edge[0]), value.String(c.Edge[1])}
+	if c.Add {
+		return engine.Insert("Edge", rec)
+	}
+	return engine.Delete("Edge", rec)
+}
+
+// ReachabilityRules is the two-rule labeling program of the paper's §1.
+const ReachabilityRules = `
+input relation GivenLabel(n: string, label: string)
+input relation Edge(a: string, b: string)
+output relation Label(n: string, label: string)
+Label(n, l) :- GivenLabel(n, l).
+Label(n2, l) :- Label(n1, l), Edge(n1, n2).
+`

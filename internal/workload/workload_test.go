@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/dl"
+	"repro/internal/dl/engine"
+)
+
+func TestRandomTreeShape(t *testing.T) {
+	g := RandomTree(100, 1)
+	if len(g.Nodes) != 100 || len(g.Edges) != 99 {
+		t.Fatalf("tree shape: %d nodes, %d edges", len(g.Nodes), len(g.Edges))
+	}
+	// Every node except the root has exactly one incoming edge.
+	indeg := make(map[string]int)
+	for _, e := range g.Edges {
+		indeg[e[1]]++
+	}
+	if indeg["n0"] != 0 {
+		t.Errorf("root has incoming edges")
+	}
+	for i := 1; i < 100; i++ {
+		if indeg[g.Nodes[i]] != 1 {
+			t.Errorf("node %d indegree = %d", i, indeg[g.Nodes[i]])
+		}
+	}
+	// Determinism by seed.
+	g2 := RandomTree(100, 1)
+	for i := range g.Edges {
+		if g.Edges[i] != g2.Edges[i] {
+			t.Fatalf("tree not deterministic")
+		}
+	}
+}
+
+func TestRandomGraphDistinctEdges(t *testing.T) {
+	g := RandomGraph(20, 50, 2)
+	if len(g.Edges) != 50 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	seen := make(map[[2]string]bool)
+	for _, e := range g.Edges {
+		if e[0] == e[1] {
+			t.Errorf("self loop %v", e)
+		}
+		if seen[e] {
+			t.Errorf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestEdgeChurnAlternates(t *testing.T) {
+	g := RandomTree(50, 3)
+	churn := g.EdgeChurn(40, 4)
+	if len(churn) != 40 {
+		t.Fatalf("churn length = %d", len(churn))
+	}
+	// Per edge, deletions and insertions must alternate starting with a
+	// deletion (the edge begins present).
+	state := make(map[[2]string]bool) // true = currently removed
+	for i, c := range churn {
+		if c.Add == !state[c.Edge] {
+			t.Fatalf("event %d: %v of edge %v in wrong state", i, c.Add, c.Edge)
+		}
+		state[c.Edge] = !c.Add
+	}
+}
+
+func TestPortAndLearnRecordsTypeCheck(t *testing.T) {
+	// The record layouts must match the generated snvs relations; the
+	// bench harness relies on it. Compile a skeleton with the same shapes.
+	prog, err := dl.Compile(`
+		input relation Port(_uuid: string, name: string, port_num: int, tag: int, vlan_mode: string)
+		input relation Learn(mac: bit<48>, vlan: bit<12>, port: bit<16>)
+		output relation O(p: int)
+		O(p) :- Port(_, _, p, _, _).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := prog.NewRuntime(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Apply([]engine.Update{
+		engine.Insert("Port", PortRecord(3, 10)),
+		engine.Insert("Learn", LearnedRecord(1, 3, 10)),
+	}); err != nil {
+		t.Fatalf("records do not type-check: %v", err)
+	}
+}
+
+func TestLBUpdates(t *testing.T) {
+	lbs := LBs(2, 3)
+	if len(lbs) != 2 || len(lbs[0].Backends) != 3 {
+		t.Fatalf("lbs shape: %+v", lbs)
+	}
+	ins := LBInsertUpdates(lbs[0])
+	if len(ins) != 4 {
+		t.Fatalf("insert updates = %d", len(ins))
+	}
+	dels := LBDeleteUpdates(lbs[0])
+	for _, d := range dels {
+		if d.Insert {
+			t.Fatalf("delete updates contain an insert")
+		}
+	}
+}

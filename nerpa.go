@@ -1,0 +1,65 @@
+// Package nerpa is the public facade of this repository: a from-scratch
+// Go reproduction of "Full-Stack SDN" (Sur, Pfaff, Ryzhyk, Budiu —
+// HotNets '22), the Nerpa programming framework in which the management,
+// control, and data planes of a network are programmed and type-checked
+// together, with an automatically incremental control plane.
+//
+// The facade re-exports the pieces a downstream user composes:
+//
+//   - CompileRules / codegen: build a cross-plane program from an OVSDB
+//     schema, a P4 pipeline, and hand-written Datalog rules;
+//   - NewController: run the synchronization loop against a management
+//     plane and data planes;
+//   - the substrate packages (internal/ovsdb, internal/p4, internal/
+//     switchsim, internal/dl) for assembling deployments and tests.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-vs-measured evaluation.
+package nerpa
+
+import (
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/dl"
+	"repro/internal/dl/engine"
+	"repro/internal/ovsdb"
+	"repro/internal/p4"
+)
+
+// Program is a compiled control-plane program.
+type Program = dl.Program
+
+// Controller is a running full-stack controller.
+type Controller = core.Controller
+
+// ControllerConfig configures NewController.
+type ControllerConfig = core.Config
+
+// Generated holds generated declarations and cross-plane bindings.
+type Generated = codegen.Generated
+
+// CompileRules compiles a standalone control-plane program (no generated
+// declarations). For cross-plane programs use Generate + CompileWith.
+func CompileRules(src string) (*Program, error) { return dl.Compile(src) }
+
+// Generate produces control-plane declarations and bindings from a
+// management-plane schema and a data-plane pipeline (either may be nil).
+func Generate(schema *ovsdb.DatabaseSchema, info *p4.P4Info) (*Generated, error) {
+	return codegen.Generate(schema, info, codegen.Options{WithMulticast: true})
+}
+
+// NewController builds and starts the full-stack controller.
+func NewController(cfg ControllerConfig, mp core.ManagementPlane, devices ...core.DataPlane) (*Controller, error) {
+	return core.New(cfg, mp, devices...)
+}
+
+// NewRuntime instantiates an incremental runtime for a compiled program.
+func NewRuntime(p *Program) (*engine.Runtime, error) {
+	return p.NewRuntime(engine.Options{})
+}
+
+// ParseSchema parses an OVSDB schema document.
+func ParseSchema(data []byte) (*ovsdb.DatabaseSchema, error) { return ovsdb.ParseSchema(data) }
+
+// ParseP4 parses a P4-subset program.
+func ParseP4(name, src string) (*p4.Program, error) { return p4.ParseProgram(name, src) }

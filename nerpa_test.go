@@ -1,0 +1,68 @@
+package nerpa
+
+import (
+	"testing"
+
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+	"repro/internal/p4"
+	"repro/internal/snvs"
+)
+
+// TestFacade exercises the public entry points end to end: parse both
+// plane artifacts, generate declarations, compile with rules, run the
+// engine.
+func TestFacade(t *testing.T) {
+	schema, err := ParseSchema([]byte(snvs.SchemaJSON))
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	pipeline, err := ParseP4("snvs", snvs.PipelineSource)
+	if err != nil {
+		t.Fatalf("ParseP4: %v", err)
+	}
+	info, err := p4.BuildP4Info(pipeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generate(schema, info)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	prog, err := gen.CompileWith(snvs.Rules)
+	if err != nil {
+		t.Fatalf("CompileWith: %v", err)
+	}
+	rt, err := NewRuntime(prog)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	_, err = rt.Apply([]engine.Update{engine.Insert("Port", value.Record{
+		value.String("u1"), value.String("p1"), value.Int(1),
+		value.Int(10), value.String("access"),
+	})})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	recs, err := rt.Contents("InVlan")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("InVlan = %v, %v", recs, err)
+	}
+}
+
+func TestFacadeCompileRules(t *testing.T) {
+	prog, err := CompileRules(`
+		input relation A(x: int)
+		output relation B(x: int)
+		B(x) :- A(x), x > 0.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Relation("B") == nil {
+		t.Fatal("relation lookup failed")
+	}
+	if _, err := CompileRules(`nonsense`); err == nil {
+		t.Fatal("bad program accepted")
+	}
+}
