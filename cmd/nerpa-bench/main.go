@@ -5,25 +5,43 @@
 //	nerpa-bench -exp all            # everything at paper scale
 //	nerpa-bench -exp ports -n 2000  # T1, the §4.3 2000-port measurement
 //	nerpa-bench -exp lb|incr|label|label-dense|fig3|loc
+//	nerpa-bench -exp parallel -workers 1,2,4,8   # writes BENCH_parallel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
 
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers element %q", f)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, all")
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, all")
 	n := flag.Int("n", 2000, "ports for -exp ports")
 	vips := flag.Int("vips", 50, "load balancers for -exp lb")
 	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
 	changes := flag.Int("changes", 50, "changes for -exp incr")
 	nodes := flag.Int("nodes", 20000, "nodes for -exp label")
 	churn := flag.Int("churn", 100, "link events for -exp label")
+	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp parallel")
+	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "machine-readable output for -exp parallel")
 	flag.Parse()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -62,6 +80,27 @@ func main() {
 	}
 	if want("label") {
 		run("label", func() (fmt.Stringer, error) { return bench.RunLabeling(*nodes, 0, *churn) })
+	}
+	if want("parallel") {
+		run("parallel", func() (fmt.Stringer, error) {
+			ws, err := parseWorkers(*workers)
+			if err != nil {
+				return nil, err
+			}
+			res, err := bench.RunParallelScaling(1000, 32, 20, ws)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*parallelOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *parallelOut)
+			return res, nil
+		})
 	}
 	if want("label-dense") || *exp == "all" {
 		run("label-dense", func() (fmt.Stringer, error) {

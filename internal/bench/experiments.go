@@ -217,6 +217,12 @@ type IncrResult struct {
 // SnvsEngine compiles the generated snvs control-plane program and
 // returns a fresh runtime (record layouts match the workload helpers).
 func SnvsEngine() (*engine.Runtime, error) {
+	return SnvsEngineOpts(engine.Options{})
+}
+
+// SnvsEngineOpts is SnvsEngine with explicit engine options (worker
+// count, derivation budget, ...).
+func SnvsEngineOpts(opts engine.Options) (*engine.Runtime, error) {
 	schema, err := snvs.Schema()
 	if err != nil {
 		return nil, err
@@ -233,7 +239,7 @@ func SnvsEngine() (*engine.Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return prog.NewRuntime(engine.Options{})
+	return prog.NewRuntime(opts)
 }
 
 // RunIncrVsRecompute runs T4 across network sizes.

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Parallel scaling — Options.Workers across the snvs control-plane
+// program. Steady state with batched changes (a batch fans out into one
+// evaluation job per affected rule/plan, which is what the worker pool
+// distributes; single-row changes stay below the pool's job threshold
+// by design).
+// ---------------------------------------------------------------------
+
+// ParallelRow is one worker count's measurement.
+type ParallelRow struct {
+	Workers  int           `json:"workers"`
+	PerBatch time.Duration `json:"per_batch_ns"`
+	Speedup  float64       `json:"speedup_vs_1"`
+}
+
+// ParallelResult is the parallel-scaling report.
+type ParallelResult struct {
+	Ports     int           `json:"ports"`
+	Batch     int           `json:"batch"`
+	Rounds    int           `json:"rounds"`
+	GoMaxProc int           `json:"gomaxprocs"`
+	Rows      []ParallelRow `json:"rows"`
+}
+
+// RunParallelScaling loads the snvs engine with `ports` ports and learned
+// MACs, then times `rounds` insert+delete batches of `batch` ports at each
+// worker count. workers[0] is the baseline the speedup column is relative
+// to (pass 1 first).
+func RunParallelScaling(ports, batch, rounds int, workers []int) (*ParallelResult, error) {
+	const nVlans = 10
+	res := &ParallelResult{
+		Ports: ports, Batch: batch, Rounds: rounds, GoMaxProc: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range workers {
+		rt, err := SnvsEngineOpts(engine.Options{Workers: w})
+		if err != nil {
+			return nil, err
+		}
+		var load []engine.Update
+		load = append(load, engine.Insert("SwitchCfg", value.Record{
+			value.String("u-cfg"), value.Bool(true), value.String("snvs0"),
+		}))
+		for i := 0; i < ports; i++ {
+			load = append(load, engine.Insert("Port", workload.PortRecord(i, nVlans)))
+			load = append(load, engine.Insert("Learn", workload.LearnedRecord(i, i, nVlans)))
+		}
+		if _, err := rt.Apply(load); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			ups := make([]engine.Update, 0, batch)
+			for j := 0; j < batch; j++ {
+				ups = append(ups, engine.Insert("Port", workload.PortRecord(ports+j, nVlans)))
+			}
+			if _, err := rt.Apply(ups); err != nil {
+				return nil, err
+			}
+			for j := range ups {
+				ups[j].Insert = false
+			}
+			if _, err := rt.Apply(ups); err != nil {
+				return nil, err
+			}
+		}
+		per := time.Since(start) / time.Duration(2*rounds)
+		res.Rows = append(res.Rows, ParallelRow{Workers: w, PerBatch: per})
+	}
+	if len(res.Rows) > 0 && res.Rows[0].PerBatch > 0 {
+		base := float64(res.Rows[0].PerBatch)
+		for i := range res.Rows {
+			res.Rows[i].Speedup = base / float64(res.Rows[i].PerBatch)
+		}
+	}
+	return res, nil
+}
+
+// String renders the report.
+func (r *ParallelResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parallel scaling: %d ports loaded, %d-port batches x %d rounds (GOMAXPROCS=%d)\n",
+		r.Ports, r.Batch, r.Rounds, r.GoMaxProc)
+	if r.GoMaxProc == 1 {
+		sb.WriteString("  note: single-CPU machine — speedups are not observable here\n")
+	}
+	fmt.Fprintf(&sb, "  %8s  %14s  %8s\n", "workers", "per batch", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %8d  %14v  %7.2fx\n", row.Workers, row.PerBatch, row.Speedup)
+	}
+	return sb.String()
+}

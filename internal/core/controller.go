@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/codegen"
@@ -80,10 +81,21 @@ type Config struct {
 	Database string
 	// EngineOptions tune the incremental engine.
 	EngineOptions engine.Options
+	// PushWorkers bounds how many devices receive their P4Runtime writes
+	// concurrently when a delta touches several switches. 0 selects the
+	// default (8); 1 serializes all writes. Updates destined for the same
+	// device are always issued in order on one goroutine, and the push
+	// reports success only after every device's writes complete (barrier
+	// before ack).
+	PushWorkers int
 	// OnTxn, when set, is called after every applied transaction with
 	// processing statistics (used by the evaluation harness).
 	OnTxn func(TxnStats)
 }
+
+// defaultPushWorkers is the device-write concurrency used when
+// Config.PushWorkers is zero.
+const defaultPushWorkers = 8
 
 // TxnStats describes one applied transaction.
 type TxnStats struct {
@@ -377,7 +389,9 @@ type target struct {
 
 // push converts output deltas to data-plane writes, grouped per target.
 // Deletes are issued before inserts so match-key replacements land
-// correctly.
+// correctly. Relations are visited in sorted name order and Z-set entries
+// in sorted record order, so the write stream is deterministic regardless
+// of map iteration or engine worker interleaving.
 func (c *Controller) push(delta engine.Delta) (int, error) {
 	dels := make(map[target][]p4rt.Update)
 	ins := make(map[target][]p4rt.Update)
@@ -391,7 +405,13 @@ func (c *Controller) push(delta engine.Delta) (int, error) {
 		}
 	}
 
-	for rel, z := range delta {
+	rels := make([]string, 0, len(delta))
+	for rel := range delta {
+		rels = append(rels, rel)
+	}
+	sortStrings(rels)
+	for _, rel := range rels {
+		z := delta[rel]
 		if cs, ok := c.mcastRel[rel]; ok {
 			for _, e := range z.Entries() {
 				var device string
@@ -444,7 +464,23 @@ func (c *Controller) push(delta engine.Delta) (int, error) {
 		}
 	}
 
+	// Flatten targets into per-device batch lists: class-wide targets
+	// expand to every device of the class, and a device touched by several
+	// targets keeps its batches in target order. Devices are then mutually
+	// independent and their writes can proceed concurrently.
 	total := 0
+	var writes []*devWrite
+	byDev := make(map[target]*devWrite)
+	addBatch := func(cs *classState, id string, dp DataPlane, updates []p4rt.Update) {
+		key := target{class: cs, device: id}
+		dw := byDev[key]
+		if dw == nil {
+			dw = &devWrite{dp: dp}
+			byDev[key] = dw
+			writes = append(writes, dw)
+		}
+		dw.batches = append(dw.batches, updates)
+	}
 	for _, tg := range order {
 		var updates []p4rt.Update
 		updates = append(updates, dels[tg]...)
@@ -467,28 +503,85 @@ func (c *Controller) push(delta engine.Delta) (int, error) {
 			continue
 		}
 		total += len(updates)
-		if err := c.writeTarget(tg, updates); err != nil {
-			return 0, err
+		if tg.device == "" {
+			for _, dev := range tg.class.cls.Devices {
+				addBatch(tg.class, dev.ID, dev.DP, updates)
+			}
+			continue
 		}
+		dp := tg.class.devByID[tg.device]
+		if dp == nil {
+			return 0, fmt.Errorf("core: rules target unknown device %q of class %q",
+				tg.device, tg.class.cls.Name)
+		}
+		addBatch(tg.class, tg.device, dp, updates)
+	}
+	if err := c.writeDevices(writes); err != nil {
+		return 0, err
 	}
 	return total, nil
 }
 
-func (c *Controller) writeTarget(tg target, updates []p4rt.Update) error {
-	if tg.device == "" {
-		for _, dev := range tg.class.cls.Devices {
-			if err := dev.DP.Write(updates...); err != nil {
+// devWrite is the ordered write stream destined for one device within one
+// push.
+type devWrite struct {
+	dp      DataPlane
+	batches [][]p4rt.Update
+}
+
+func (dw *devWrite) flush() error {
+	for _, b := range dw.batches {
+		if err := dw.dp.Write(b...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeDevices issues each device's write stream, fanning out across up to
+// Config.PushWorkers goroutines. Per-device ordering is preserved (one
+// goroutine owns a device's whole stream), all writes complete before the
+// push returns (barrier), and on failure the error of the first device in
+// delta order is reported.
+func (c *Controller) writeDevices(writes []*devWrite) error {
+	nw := c.cfg.PushWorkers
+	if nw <= 0 {
+		nw = defaultPushWorkers
+	}
+	if nw > len(writes) {
+		nw = len(writes)
+	}
+	if nw <= 1 {
+		for _, dw := range writes {
+			if err := dw.flush(); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	dp := tg.class.devByID[tg.device]
-	if dp == nil {
-		return fmt.Errorf("core: rules target unknown device %q of class %q",
-			tg.device, tg.class.cls.Name)
+	errs := make([]error, len(writes))
+	var next int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(writes) {
+					return
+				}
+				errs[i] = writes[i].flush()
+			}
+		}()
 	}
-	return dp.Write(updates...)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func sortU16(s []uint16) {

@@ -43,6 +43,13 @@ type Options struct {
 	// capping the cost at one recomputation. 0 disables the fallback;
 	// 0 < f <= 1 enables it.
 	RecursiveDeleteFallback float64
+	// Workers sets the number of goroutines used for plan evaluation within
+	// a transaction. 0 and 1 select the fully sequential path. Values above
+	// 1 fan independent rule seedings (and, for recursive strata, each
+	// breadth-first propagation round) out across that many workers;
+	// evaluation is read-only and results are merged sequentially, so the
+	// output is identical to sequential evaluation.
+	Workers int
 }
 
 // Runtime incrementally evaluates one checked program instance.
@@ -59,10 +66,16 @@ type Runtime struct {
 	// occurs in a body.
 	occsByRel   [][]occurrence
 	rulesByHead map[*relState][]*compiledRule
-	strata      [][]int
-	recStratum  []bool
-	failed      error
-	derivations int
+	strata     [][]int
+	recStratum []bool
+	failed     error
+	// derivations counts tuple derivation operations in the current
+	// transaction. Sequential sections increment it directly; parallel
+	// evaluation batches use atomic increments (the two never overlap: a
+	// batch is bracketed by a WaitGroup barrier).
+	derivations int64
+	// seqCtx is the evaluation scratch used by all sequential plan runs.
+	seqCtx evalCtx
 }
 
 type occurrence struct {
@@ -312,12 +325,16 @@ var errStop = errors.New("engine: stop iteration")
 // errFallbackRecompute aborts DRed in favour of recomputing the stratum.
 var errFallbackRecompute = errors.New("engine: overdelete budget exceeded")
 
-type emitFunc func(rec value.Record, w int64) error
+// emitFunc receives head contributions. key is rec's canonical encoding,
+// computed once at emit so downstream map operations (counts, Z-sets) never
+// re-encode the record.
+type emitFunc func(rec value.Record, key string, w int64) error
 
-// countDerivation enforces the per-transaction derivation budget.
+// countDerivation enforces the per-transaction derivation budget
+// (sequential sections only; workers use countDerivationAtomic).
 func (rt *Runtime) countDerivation() error {
 	rt.derivations++
-	if rt.opts.MaxDerivationsPerTxn > 0 && rt.derivations > rt.opts.MaxDerivationsPerTxn {
+	if rt.opts.MaxDerivationsPerTxn > 0 && rt.derivations > int64(rt.opts.MaxDerivationsPerTxn) {
 		return fmt.Errorf("engine: transaction exceeded %d derivations (divergent recursion?)",
 			rt.opts.MaxDerivationsPerTxn)
 	}
@@ -325,9 +342,10 @@ func (rt *Runtime) countDerivation() error {
 }
 
 // runPlan seeds a plan with a tuple (or negation key, or nothing) and
-// streams head contributions to emit.
-func (rt *Runtime) runPlan(p *plan, seed value.Record, w int64, mode viewMode, emit emitFunc) error {
-	env := make([]value.Value, p.envSize)
+// streams head contributions to emit. ctx supplies the evaluation scratch;
+// concurrent callers must use distinct contexts.
+func (rt *Runtime) runPlan(ctx *evalCtx, p *plan, seed value.Record, w int64, mode viewMode, emit emitFunc) error {
+	env := ctx.envFor(p.envSize)
 	for _, b := range p.seedBinds {
 		env[b.Slot] = seed[b.Col]
 	}
@@ -340,10 +358,10 @@ func (rt *Runtime) runPlan(p *plan, seed value.Record, w int64, mode viewMode, e
 			return nil
 		}
 	}
-	return rt.execSteps(p, 0, env, w, mode, emit)
+	return rt.execSteps(ctx, p, 0, env, w, mode, emit)
 }
 
-func (rt *Runtime) execSteps(p *plan, si int, env []value.Value, w int64, mode viewMode, emit emitFunc) error {
+func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w int64, mode viewMode, emit emitFunc) error {
 	if si == len(p.steps) {
 		rec := make(value.Record, len(p.rule.headExprs))
 		for i, e := range p.rule.headExprs {
@@ -353,7 +371,7 @@ func (rt *Runtime) execSteps(p *plan, si int, env []value.Value, w int64, mode v
 			}
 			rec[i] = v
 		}
-		return emit(rec, w)
+		return emit(rec, rec.Key(), w)
 	}
 	switch st := p.steps[si].(type) {
 	case *stepFilter:
@@ -364,30 +382,32 @@ func (rt *Runtime) execSteps(p *plan, si int, env []value.Value, w int64, mode v
 		if !v.Bool() {
 			return nil
 		}
-		return rt.execSteps(p, si+1, env, w, mode, emit)
+		return rt.execSteps(ctx, p, si+1, env, w, mode, emit)
 	case *stepAssign:
 		v, err := st.expr.Eval(env)
 		if err != nil {
 			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
 		}
 		env[st.slot] = v
-		return rt.execSteps(p, si+1, env, w, mode, emit)
+		return rt.execSteps(ctx, p, si+1, env, w, mode, emit)
 	case *stepAbsent:
-		key, err := rt.evalKey(st.keyExprs, env)
+		key, err := evalKey(ctx, st.keyExprs, env)
 		if err != nil {
 			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
 		}
 		if st.rel.bucketNonEmpty(st.ix, key, mode.useOld(st.bodyIdx, p.seedIdx)) {
 			return nil
 		}
-		return rt.execSteps(p, si+1, env, w, mode, emit)
+		return rt.execSteps(ctx, p, si+1, env, w, mode, emit)
 	case *stepJoin:
-		key, err := rt.evalKey(st.keyExprs, env)
+		key, err := evalKey(ctx, st.keyExprs, env)
 		if err != nil {
 			return fmt.Errorf("engine: %s: %w", p.rule.head.rel.Name, err)
 		}
 		old := mode.useOld(st.bodyIdx, p.seedIdx)
 		var iterErr error
+		// iterBucket resolves its map lookups before yielding, so nested
+		// evalKey calls below may safely reuse (clobber) ctx.keyBuf.
 		st.rel.iterBucket(st.ix, key, old, func(rec value.Record) bool {
 			for _, b := range st.binds {
 				env[b.Slot] = rec[b.Col]
@@ -402,7 +422,7 @@ func (rt *Runtime) execSteps(p *plan, si int, env []value.Value, w int64, mode v
 					return true
 				}
 			}
-			if err := rt.execSteps(p, si+1, env, w, mode, emit); err != nil {
+			if err := rt.execSteps(ctx, p, si+1, env, w, mode, emit); err != nil {
 				iterErr = err
 				return false
 			}
@@ -417,24 +437,27 @@ func (rt *Runtime) execSteps(p *plan, si int, env []value.Value, w int64, mode v
 	}
 }
 
-func (rt *Runtime) evalKey(keyExprs []typecheck.Expr, env []value.Value) (string, error) {
-	var buf [64]byte
-	enc := buf[:0]
+// evalKey encodes a lookup key into the context's scratch buffer. The
+// returned slice is valid until the next evalKey call on the same context.
+func evalKey(ctx *evalCtx, keyExprs []typecheck.Expr, env []value.Value) ([]byte, error) {
+	enc := ctx.keyBuf[:0]
 	for _, e := range keyExprs {
 		v, err := e.Eval(env)
 		if err != nil {
-			return "", err
+			ctx.keyBuf = enc
+			return nil, err
 		}
 		enc = v.Encode(enc)
 	}
-	return string(enc), nil
+	ctx.keyBuf = enc
+	return enc, nil
 }
 
 // runCheckPlan reports whether head tuple rec is derivable by the rule in
 // the current (new-view) database.
-func (rt *Runtime) runCheckPlan(cr *compiledRule, rec value.Record) (bool, error) {
+func (rt *Runtime) runCheckPlan(ctx *evalCtx, cr *compiledRule, rec value.Record) (bool, error) {
 	found := false
-	err := rt.runPlan(cr.checkPlan, rec, 1, viewAllNew, func(value.Record, int64) error {
+	err := rt.runPlan(ctx, cr.checkPlan, rec, 1, viewAllNew, func(value.Record, string, int64) error {
 		found = true
 		return errStop
 	})
@@ -458,18 +481,21 @@ func (rt *Runtime) negTransitions(lit *typecheck.LiteralTerm) []negTransition {
 	ix := rs.getIndex(negKeyCols(lit))
 	seen := make(map[string]bool)
 	var out []negTransition
+	bp := value.GetEncodeBuf()
+	enc := *bp
 	rs.txnDelta.Each(func(rec value.Record, _ int64) {
 		keyRec := make(value.Record, len(lit.Checks))
 		for i, chk := range lit.Checks {
 			keyRec[i] = rec[chk.Col]
 		}
-		keyEnc := keyRec.Key()
-		if seen[keyEnc] {
+		// Checks are in column order, so this encoding matches the index key.
+		enc = keyRec.AppendEncode(enc[:0])
+		if seen[string(enc)] {
 			return
 		}
-		seen[keyEnc] = true
-		oldNE := rs.bucketNonEmpty(ix, keyEnc, true)
-		newNE := rs.bucketNonEmpty(ix, keyEnc, false)
+		seen[string(enc)] = true
+		oldNE := rs.bucketNonEmpty(ix, enc, true)
+		newNE := rs.bucketNonEmpty(ix, enc, false)
 		switch {
 		case oldNE && !newNE:
 			out = append(out, negTransition{keyRec: keyRec, factor: 1})
@@ -477,25 +503,19 @@ func (rt *Runtime) negTransitions(lit *typecheck.LiteralTerm) []negTransition {
 			out = append(out, negTransition{keyRec: keyRec, factor: -1})
 		}
 	})
+	*bp = enc
+	value.PutEncodeBuf(bp)
 	return out
 }
 
-// runCountingStratum propagates settled lower-stratum deltas into one
-// non-recursive relation using derivation counting.
-func (rt *Runtime) runCountingStratum(s int, initial bool) error {
-	head := rt.rels[rt.strata[s][0]]
-	emit := func(rec value.Record, w int64) error {
-		if err := rt.countDerivation(); err != nil {
-			return err
-		}
-		_, err := head.applyCount(rec, rec.Key(), w)
-		return err
-	}
+// gatherCountingJobs collects every plan seeding a non-recursive stratum
+// needs. The stratum's inputs are settled lower strata, so the whole job
+// list can be computed before any evaluation runs.
+func (rt *Runtime) gatherCountingJobs(head *relState, initial bool) []seedJob {
+	var jobs []seedJob
 	for _, cr := range rt.rulesByHead[head] {
 		if initial && cr.unitPlan != nil {
-			if err := rt.runPlan(cr.unitPlan, nil, 1, viewAllNew, emit); err != nil {
-				return err
-			}
+			jobs = append(jobs, seedJob{p: cr.unitPlan, w: 1, mode: viewAllNew, head: head})
 		}
 		for idx, p := range cr.plansByBody {
 			if p == nil {
@@ -508,21 +528,57 @@ func (rt *Runtime) runCountingStratum(s int, initial bool) error {
 			}
 			if lit.Negated {
 				for _, tr := range rt.negTransitions(lit) {
-					if err := rt.runPlan(p, tr.keyRec, tr.factor, viewConvention, emit); err != nil {
-						return err
-					}
+					jobs = append(jobs, seedJob{p: p, seed: tr.keyRec, w: tr.factor, mode: viewConvention, head: head})
 				}
 				continue
 			}
-			var seedErr error
 			litRel.txnDelta.Each(func(rec value.Record, w int64) {
-				if seedErr != nil {
+				jobs = append(jobs, seedJob{p: p, seed: rec, w: w, mode: viewConvention, head: head})
+			})
+		}
+	}
+	return jobs
+}
+
+// runCountingStratum propagates settled lower-stratum deltas into one
+// non-recursive relation using derivation counting. Evaluation is read-only
+// with respect to this stratum (the head never appears in its own rule
+// bodies), so seedings are independent: with Workers > 1 they fan out
+// across a pool, each worker accumulating head contributions in a private
+// Z-set, and the Z-sets are merged through applyCount afterwards. Weight
+// addition commutes, so the merged result is identical to sequential
+// evaluation.
+func (rt *Runtime) runCountingStratum(s int, initial bool) error {
+	head := rt.rels[rt.strata[s][0]]
+	jobs := rt.gatherCountingJobs(head, initial)
+	if nw := rt.parallelism(len(jobs)); nw > 1 {
+		outs, err := rt.evalJobsZSet(jobs, nw)
+		if err != nil {
+			return err
+		}
+		for _, z := range outs {
+			var applyErr error
+			z.EachKeyed(func(key string, rec value.Record, w int64) {
+				if applyErr != nil {
 					return
 				}
-				seedErr = rt.runPlan(p, rec, w, viewConvention, emit)
+				_, applyErr = head.applyCount(rec, key, w)
 			})
-			if seedErr != nil {
-				return seedErr
+			if applyErr != nil {
+				return applyErr
+			}
+		}
+	} else {
+		emit := func(rec value.Record, key string, w int64) error {
+			if err := rt.countDerivation(); err != nil {
+				return err
+			}
+			_, err := head.applyCount(rec, key, w)
+			return err
+		}
+		for _, j := range jobs {
+			if err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.w, j.mode, emit); err != nil {
+				return err
 			}
 		}
 	}
@@ -551,13 +607,14 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 			keys = append(keys, keyRec)
 		}
 	})
+	var keyBuf []byte
 	for _, keyRec := range keys {
-		keyEnc := value.Record(keyRec).Key()
-		oldV, oldOK, err := rt.aggCompute(spec, keyEnc, true, env)
+		keyBuf = value.Record(keyRec).AppendEncode(keyBuf[:0])
+		oldV, oldOK, err := rt.aggCompute(spec, keyBuf, true, env)
 		if err != nil {
 			return err
 		}
-		newV, newOK, err := rt.aggCompute(spec, keyEnc, false, env)
+		newV, newOK, err := rt.aggCompute(spec, keyBuf, false, env)
 		if err != nil {
 			return err
 		}
@@ -609,7 +666,7 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 
 // aggCompute evaluates the aggregate over one group in the chosen view.
 // ok is false when the group is empty (no output row).
-func (rt *Runtime) aggCompute(spec *aggSpec, keyEnc string, old bool, env []value.Value) (value.Value, bool, error) {
+func (rt *Runtime) aggCompute(spec *aggSpec, keyEnc []byte, old bool, env []value.Value) (value.Value, bool, error) {
 	var acc value.Value
 	var sum int64
 	var bitSum uint64
@@ -692,6 +749,9 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	if !changed {
 		return nil
 	}
+	if rt.opts.Workers > 1 {
+		return rt.runRecursiveStratumParallel(inStratum, stratumRules, initial)
+	}
 
 	type pending struct {
 		rel *relState
@@ -714,11 +774,10 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	}
 	odTotal := 0
 	addOD := func(rs *relState) emitFunc {
-		return func(rec value.Record, _ int64) error {
+		return func(rec value.Record, key string, _ int64) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
-			key := rec.Key()
 			if !rs.present(key) {
 				return nil
 			}
@@ -755,7 +814,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 					if lit.Negated {
 						for _, tr := range rt.negTransitions(lit) {
 							if tr.factor < 0 { // matches appeared: support lost
-								if err := rt.runPlan(p, tr.keyRec, 1, viewAllOld, emit); err != nil {
+								if err := rt.runPlan(&rt.seqCtx, p, tr.keyRec, 1, viewAllOld, emit); err != nil {
 									return err
 								}
 							}
@@ -767,7 +826,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 						if seedErr != nil || w >= 0 {
 							return
 						}
-						seedErr = rt.runPlan(p, rec, 1, viewAllOld, emit)
+						seedErr = rt.runPlan(&rt.seqCtx, p, rec, 1, viewAllOld, emit)
 					})
 					if seedErr != nil {
 						return seedErr
@@ -785,7 +844,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 					if lit.Negated {
 						continue // in-stratum negation is impossible (stratified)
 					}
-					if err := rt.runPlan(occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+					if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
 						viewAllOld, addOD(occ.rule.head)); err != nil {
 						return err
 					}
@@ -810,11 +869,11 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	// ---- Phase 3: rederive candidates, then semi-naive insertion ----
 	queue = queue[:0]
 	tryInsert := func(rs *relState) emitFunc {
-		return func(rec value.Record, _ int64) error {
+		return func(rec value.Record, key string, _ int64) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
-			if rs.setPresent(rec, rec.Key()) {
+			if rs.setPresent(rec, key) {
 				queue = append(queue, pending{rel: rs, rec: rec})
 			}
 			return nil
@@ -822,17 +881,17 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	}
 	for rs, m := range od {
 		insert := tryInsert(rs)
-		for _, rec := range m {
+		for key, rec := range m {
 			for _, cr := range rt.rulesByHead[rs] {
 				if cr.checkPlan == nil {
 					continue
 				}
-				ok, err := rt.runCheckPlan(cr, rec)
+				ok, err := rt.runCheckPlan(&rt.seqCtx, cr, rec)
 				if err != nil {
 					return err
 				}
 				if ok {
-					if err := insert(rec, 1); err != nil {
+					if err := insert(rec, key, 1); err != nil {
 						return err
 					}
 					break
@@ -843,7 +902,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	for _, cr := range stratumRules {
 		insert := tryInsert(cr.head)
 		if initial && cr.unitPlan != nil {
-			if err := rt.runPlan(cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
+			if err := rt.runPlan(&rt.seqCtx, cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
 				return err
 			}
 		}
@@ -859,7 +918,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 			if lit.Negated {
 				for _, tr := range rt.negTransitions(lit) {
 					if tr.factor > 0 { // matches disappeared: support gained
-						if err := rt.runPlan(p, tr.keyRec, 1, viewAllNew, insert); err != nil {
+						if err := rt.runPlan(&rt.seqCtx, p, tr.keyRec, 1, viewAllNew, insert); err != nil {
 							return err
 						}
 					}
@@ -871,7 +930,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 				if seedErr != nil || w <= 0 {
 					return
 				}
-				seedErr = rt.runPlan(p, rec, 1, viewAllNew, insert)
+				seedErr = rt.runPlan(&rt.seqCtx, p, rec, 1, viewAllNew, insert)
 			})
 			if seedErr != nil {
 				return seedErr
@@ -889,7 +948,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 			if lit.Negated {
 				continue
 			}
-			if err := rt.runPlan(occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+			if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
 				viewAllNew, tryInsert(occ.rule.head)); err != nil {
 				return err
 			}
@@ -920,11 +979,11 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 	}
 	var queue []pending
 	tryInsert := func(rs *relState) emitFunc {
-		return func(rec value.Record, _ int64) error {
+		return func(rec value.Record, key string, _ int64) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
-			if rs.setPresent(rec, rec.Key()) {
+			if rs.setPresent(rec, key) {
 				queue = append(queue, pending{rel: rs, rec: rec})
 			}
 			return nil
@@ -936,7 +995,7 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 	for _, cr := range stratumRules {
 		insert := tryInsert(cr.head)
 		if cr.unitPlan != nil {
-			if err := rt.runPlan(cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
+			if err := rt.runPlan(&rt.seqCtx, cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
 				return err
 			}
 		}
@@ -954,7 +1013,7 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 				if e.count <= 0 {
 					continue
 				}
-				if seedErr = rt.runPlan(p, e.rec, 1, viewAllNew, insert); seedErr != nil {
+				if seedErr = rt.runPlan(&rt.seqCtx, p, e.rec, 1, viewAllNew, insert); seedErr != nil {
 					return seedErr
 				}
 			}
@@ -972,7 +1031,7 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 			if lit.Negated {
 				continue
 			}
-			if err := rt.runPlan(occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+			if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
 				viewAllNew, tryInsert(occ.rule.head)); err != nil {
 				return err
 			}

@@ -44,39 +44,46 @@ func indexSignature(keyCols []int) string {
 	return sb.String()
 }
 
-// keyOf computes the encoded key of a record.
-func (ix *index) keyOf(rec value.Record) string {
-	var buf [64]byte
-	enc := buf[:0]
+// keyAppend appends the encoded index key of a record to dst. Callers pass
+// pooled or stack buffers so arrangement maintenance and probes avoid
+// allocating; the byte form is converted to a string only when it must be
+// stored as a map key.
+func (ix *index) keyAppend(dst []byte, rec value.Record) []byte {
 	for _, c := range ix.keyCols {
-		enc = rec[c].Encode(enc)
+		dst = rec[c].Encode(dst)
 	}
-	return string(enc)
+	return dst
 }
 
 func (ix *index) insert(rec value.Record, recKey string) {
-	k := ix.keyOf(rec)
-	b := ix.buckets[k]
+	bp := value.GetEncodeBuf()
+	enc := ix.keyAppend(*bp, rec)
+	b := ix.buckets[string(enc)] // zero-alloc map access
 	if b == nil {
 		b = make(map[string]value.Record)
-		ix.buckets[k] = b
+		ix.buckets[string(enc)] = b
 	}
+	*bp = enc
+	value.PutEncodeBuf(bp)
 	b[recKey] = rec
 }
 
 func (ix *index) remove(rec value.Record, recKey string) {
-	k := ix.keyOf(rec)
-	if b := ix.buckets[k]; b != nil {
+	bp := value.GetEncodeBuf()
+	enc := ix.keyAppend(*bp, rec)
+	if b := ix.buckets[string(enc)]; b != nil {
 		delete(b, recKey)
 		if len(b) == 0 {
-			delete(ix.buckets, k)
+			delete(ix.buckets, string(enc))
 		}
 	}
-	d := ix.deletedTxn[k]
+	d := ix.deletedTxn[string(enc)]
 	if d == nil {
 		d = make(map[string]value.Record)
-		ix.deletedTxn[k] = d
+		ix.deletedTxn[string(enc)] = d
 	}
+	*bp = enc
+	value.PutEncodeBuf(bp)
 	d[recKey] = rec
 }
 
@@ -226,14 +233,14 @@ func (rs *relState) noteInsert(rec value.Record, recKey string) {
 	for _, ix := range rs.indexList {
 		ix.insert(rec, recKey)
 	}
-	rs.txnDelta.Add(rec, 1)
+	rs.txnDelta.AddKeyed(rec, recKey, 1)
 }
 
 func (rs *relState) noteRemove(rec value.Record, recKey string) {
 	for _, ix := range rs.indexList {
 		ix.remove(rec, recKey)
 	}
-	rs.txnDelta.Add(rec, -1)
+	rs.txnDelta.AddKeyed(rec, recKey, -1)
 }
 
 func (rs *relState) clearTxn() {
@@ -275,9 +282,16 @@ func (m viewMode) useOld(bodyIdx, seedIdx int) bool {
 
 // iterBucket visits every record of the chosen view with the given index
 // key. The callback returns false to stop early; iterBucket reports whether
-// iteration ran to completion.
-func (rs *relState) iterBucket(ix *index, key string, old bool, f func(rec value.Record) bool) bool {
-	if b := ix.buckets[key]; b != nil {
+// iteration ran to completion. The key is taken as bytes (zero-alloc map
+// access); both map lookups happen before the first yield, so callers may
+// reuse the key buffer inside the callback.
+func (rs *relState) iterBucket(ix *index, key []byte, old bool, f func(rec value.Record) bool) bool {
+	b := ix.buckets[string(key)]
+	var dt map[string]value.Record
+	if old {
+		dt = ix.deletedTxn[string(key)]
+	}
+	if b != nil {
 		for recKey, rec := range b {
 			if old && rs.txnDelta.WeightKey(recKey) > 0 {
 				continue // net-inserted this transaction: not in the old view
@@ -287,14 +301,12 @@ func (rs *relState) iterBucket(ix *index, key string, old bool, f func(rec value
 			}
 		}
 	}
-	if old {
-		for recKey, rec := range ix.deletedTxn[key] {
-			// Only net deletions were in the old view; a record deleted and
-			// re-inserted in this transaction is yielded from the bucket.
-			if rs.txnDelta.WeightKey(recKey) < 0 {
-				if !f(rec) {
-					return false
-				}
+	for recKey, rec := range dt {
+		// Only net deletions were in the old view; a record deleted and
+		// re-inserted in this transaction is yielded from the bucket.
+		if rs.txnDelta.WeightKey(recKey) < 0 {
+			if !f(rec) {
+				return false
 			}
 		}
 	}
@@ -303,7 +315,7 @@ func (rs *relState) iterBucket(ix *index, key string, old bool, f func(rec value
 
 // bucketNonEmpty reports whether the chosen view has any record with the
 // given index key.
-func (rs *relState) bucketNonEmpty(ix *index, key string, old bool) bool {
+func (rs *relState) bucketNonEmpty(ix *index, key []byte, old bool) bool {
 	found := false
 	rs.iterBucket(ix, key, old, func(value.Record) bool {
 		found = true

@@ -1,0 +1,433 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dl/typecheck"
+	"repro/internal/dl/value"
+	"repro/internal/dl/zset"
+)
+
+// This file implements the worker pool for parallel plan evaluation
+// (Options.Workers > 1). The design keeps the engine's determinism
+// invariant — output deltas are byte-identical to sequential evaluation —
+// by splitting every propagation step into two phases:
+//
+//  1. an evaluation phase that is strictly read-only with respect to
+//     relation state (plans only probe arrangements; expression evaluation
+//     is pure), fanned out across workers, each accumulating results in
+//     private storage; and
+//  2. a sequential merge phase that applies the accumulated results.
+//
+// Counting strata merge through applyCount, whose weight additions
+// commute, so worker interleaving cannot change the settled state.
+// Recursive strata replace the sequential LIFO cascade with breadth-first
+// rounds: all frontier tuples are evaluated in parallel against a frozen
+// view, then their consequences are applied and the next frontier is
+// built. Fixpoint confluence (chaotic iteration) makes the reached
+// fixpoint independent of round structure.
+
+// minParallelJobs is the batch size below which fan-out overhead
+// outweighs the win and evaluation stays on the calling goroutine.
+const minParallelJobs = 16
+
+// seedJob is one independent unit of evaluation work: a plan seeded with a
+// tuple (or a negation transition key, or nothing for unit plans).
+type seedJob struct {
+	p    *plan
+	seed value.Record
+	w    int64
+	mode viewMode
+	head *relState
+}
+
+// cand is one head contribution collected during a recursive-stratum
+// evaluation round.
+type cand struct {
+	rel *relState
+	rec value.Record
+	key string
+}
+
+// evalCtx is per-goroutine evaluation scratch: the variable environment and
+// the key-encoding buffer. Reusing it across plan runs keeps the
+// arrangement probe path allocation-free.
+type evalCtx struct {
+	env    []value.Value
+	keyBuf []byte
+}
+
+// envFor returns a zeroed environment of at least size n backed by the
+// context's scratch slice. Plan execution is not re-entrant per context.
+func (c *evalCtx) envFor(n int) []value.Value {
+	if cap(c.env) < n {
+		c.env = make([]value.Value, n)
+	}
+	env := c.env[:n]
+	for i := range env {
+		env[i] = value.Value{}
+	}
+	return env
+}
+
+var ctxPool = sync.Pool{New: func() any { return new(evalCtx) }}
+
+// parallelism decides how many workers to use for n independent jobs;
+// values <= 1 mean "run sequentially".
+func (rt *Runtime) parallelism(n int) int {
+	w := rt.opts.Workers
+	if w <= 1 || n < minParallelJobs {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// countDerivationAtomic is countDerivation for worker goroutines.
+func (rt *Runtime) countDerivationAtomic() error {
+	n := atomic.AddInt64(&rt.derivations, 1)
+	if rt.opts.MaxDerivationsPerTxn > 0 && n > int64(rt.opts.MaxDerivationsPerTxn) {
+		return fmt.Errorf("engine: transaction exceeded %d derivations (divergent recursion?)",
+			rt.opts.MaxDerivationsPerTxn)
+	}
+	return nil
+}
+
+// runWorkers runs fn on nw goroutines, handing out job indexes from a
+// shared atomic counter (cheap work stealing), and returns the first error
+// by worker index.
+func runWorkers(nw, njobs int, fn func(worker int, job int) error) error {
+	var next int64
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= njobs {
+					return
+				}
+				if err := fn(wi, i); err != nil {
+					errs[wi] = err
+					return
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalJobsZSet evaluates jobs across nw workers, each accumulating head
+// contributions into a private Z-set. The caller merges the returned
+// Z-sets sequentially.
+func (rt *Runtime) evalJobsZSet(jobs []seedJob, nw int) ([]*zset.ZSet, error) {
+	outs := make([]*zset.ZSet, nw)
+	ctxs := make([]*evalCtx, nw)
+	emits := make([]emitFunc, nw)
+	for wi := 0; wi < nw; wi++ {
+		out := zset.New()
+		outs[wi] = out
+		ctxs[wi] = ctxPool.Get().(*evalCtx)
+		emits[wi] = func(rec value.Record, key string, w int64) error {
+			if err := rt.countDerivationAtomic(); err != nil {
+				return err
+			}
+			out.AddKeyed(rec, key, w)
+			return nil
+		}
+	}
+	err := runWorkers(nw, len(jobs), func(wi, i int) error {
+		j := jobs[i]
+		return rt.runPlan(ctxs[wi], j.p, j.seed, j.w, j.mode, emits[wi])
+	})
+	for _, c := range ctxs {
+		ctxPool.Put(c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// evalJobsCollect evaluates jobs and returns every head contribution as a
+// flat candidate list (recursive strata; weights carry no information
+// there). Order is nondeterministic; the sequential merge dedupes.
+func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
+	nw := rt.parallelism(len(jobs))
+	if nw <= 1 {
+		var out []cand
+		for _, j := range jobs {
+			head := j.head
+			err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.w, j.mode,
+				func(rec value.Record, key string, _ int64) error {
+					if err := rt.countDerivation(); err != nil {
+						return err
+					}
+					out = append(out, cand{rel: head, rec: rec, key: key})
+					return nil
+				})
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	outs := make([][]cand, nw)
+	ctxs := make([]*evalCtx, nw)
+	for wi := 0; wi < nw; wi++ {
+		ctxs[wi] = ctxPool.Get().(*evalCtx)
+	}
+	err := runWorkers(nw, len(jobs), func(wi, i int) error {
+		j := jobs[i]
+		return rt.runPlan(ctxs[wi], j.p, j.seed, j.w, j.mode,
+			func(rec value.Record, key string, _ int64) error {
+				if err := rt.countDerivationAtomic(); err != nil {
+					return err
+				}
+				outs[wi] = append(outs[wi], cand{rel: j.head, rec: rec, key: key})
+				return nil
+			})
+	})
+	for _, c := range ctxs {
+		ctxPool.Put(c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	merged := make([]cand, 0, total)
+	for _, o := range outs {
+		merged = append(merged, o...)
+	}
+	return merged, nil
+}
+
+// checkJob asks whether an overdeleted tuple is still derivable.
+type checkJob struct {
+	rs  *relState
+	rec value.Record
+	key string
+}
+
+// runCheckJobs runs rederivation checks (read-only) in parallel and
+// reports, per job, whether any rule rederives the tuple.
+func (rt *Runtime) runCheckJobs(jobs []checkJob) ([]bool, error) {
+	res := make([]bool, len(jobs))
+	check := func(ctx *evalCtx, i int) error {
+		cj := jobs[i]
+		for _, cr := range rt.rulesByHead[cj.rs] {
+			if cr.checkPlan == nil {
+				continue
+			}
+			ok, err := rt.runCheckPlan(ctx, cr, cj.rec)
+			if err != nil {
+				return err
+			}
+			if ok {
+				res[i] = true
+				return nil
+			}
+		}
+		return nil
+	}
+	nw := rt.parallelism(len(jobs))
+	if nw <= 1 {
+		for i := range jobs {
+			if err := check(&rt.seqCtx, i); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	ctxs := make([]*evalCtx, nw)
+	for wi := 0; wi < nw; wi++ {
+		ctxs[wi] = ctxPool.Get().(*evalCtx)
+	}
+	err := runWorkers(nw, len(jobs), func(wi, i int) error { return check(ctxs[wi], i) })
+	for _, c := range ctxs {
+		ctxPool.Put(c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// gatherRecursiveSeeds collects the context-delta seedings of a recursive
+// stratum: deletions feeding the overdelete phase (insert=false, evaluated
+// against the old view) or insertions feeding the semi-naive insertion
+// phase (insert=true, new view).
+func (rt *Runtime) gatherRecursiveSeeds(inStratum map[*relState]bool, stratumRules []*compiledRule, insert, initial bool) []seedJob {
+	var jobs []seedJob
+	mode := viewAllOld
+	if insert {
+		mode = viewAllNew
+	}
+	for _, cr := range stratumRules {
+		if insert && initial && cr.unitPlan != nil {
+			jobs = append(jobs, seedJob{p: cr.unitPlan, w: 1, mode: viewAllNew, head: cr.head})
+		}
+		for idx, p := range cr.plansByBody {
+			if p == nil {
+				continue
+			}
+			lit := cr.body[idx].(*typecheck.LiteralTerm)
+			litRel := rt.relStateOf(lit.Rel)
+			if inStratum[litRel] || litRel.txnDelta.IsEmpty() {
+				continue
+			}
+			if lit.Negated {
+				for _, tr := range rt.negTransitions(lit) {
+					if (insert && tr.factor > 0) || (!insert && tr.factor < 0) {
+						jobs = append(jobs, seedJob{p: p, seed: tr.keyRec, w: 1, mode: mode, head: cr.head})
+					}
+				}
+				continue
+			}
+			cr := cr
+			p := p
+			litRel.txnDelta.Each(func(rec value.Record, w int64) {
+				if (insert && w > 0) || (!insert && w < 0) {
+					jobs = append(jobs, seedJob{p: p, seed: rec, w: 1, mode: mode, head: cr.head})
+				}
+			})
+		}
+	}
+	return jobs
+}
+
+// appendCascadeJobs appends, for every in-stratum positive occurrence of
+// rs, the plan seeding that propagates rec one step further.
+func (rt *Runtime) appendCascadeJobs(jobs []seedJob, inStratum map[*relState]bool, rs *relState, rec value.Record, mode viewMode) []seedJob {
+	for _, occ := range rt.occsByRel[rs.id] {
+		if !inStratum[occ.rule.head] {
+			continue
+		}
+		lit := occ.rule.body[occ.bodyIdx].(*typecheck.LiteralTerm)
+		if lit.Negated {
+			continue // in-stratum negation is impossible (stratified)
+		}
+		jobs = append(jobs, seedJob{
+			p:    occ.rule.plansByBody[occ.bodyIdx],
+			seed: rec,
+			w:    1,
+			mode: mode,
+			head: occ.rule.head,
+		})
+	}
+	return jobs
+}
+
+// runRecursiveStratumParallel is the Workers>1 form of DRed + semi-naive
+// insertion. Each cascade becomes breadth-first rounds: the whole frontier
+// is evaluated read-only (in parallel for large rounds), then consequences
+// are applied sequentially and the next frontier built. This reaches the
+// same fixpoint as the sequential LIFO cascade: every rule's in-stratum
+// body literals all have plans, and a joint derivation through tuples
+// inserted in different rounds is produced by the cascade of whichever
+// tuple was inserted last.
+func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, stratumRules []*compiledRule, initial bool) error {
+	od := make(map[*relState]map[string]value.Record)
+	odBudget := -1
+	if f := rt.opts.RecursiveDeleteFallback; f > 0 && !initial {
+		size := 0
+		for rs := range inStratum {
+			size += len(rs.counts)
+		}
+		odBudget = int(f * float64(size))
+	}
+	odTotal := 0
+
+	if !initial {
+		// ---- Phase 1: overdelete (old view is frozen; evaluation is pure) ----
+		frontier := rt.gatherRecursiveSeeds(inStratum, stratumRules, false, initial)
+		fallback := false
+		for len(frontier) > 0 && !fallback {
+			cands, err := rt.evalJobsCollect(frontier)
+			if err != nil {
+				return err
+			}
+			var next []seedJob
+			for _, c := range cands {
+				if !c.rel.present(c.key) {
+					continue
+				}
+				m := od[c.rel]
+				if m == nil {
+					m = make(map[string]value.Record)
+					od[c.rel] = m
+				}
+				if _, dup := m[c.key]; dup {
+					continue
+				}
+				m[c.key] = c.rec
+				odTotal++
+				if odBudget >= 0 && odTotal > odBudget {
+					fallback = true
+					break
+				}
+				next = rt.appendCascadeJobs(next, inStratum, c.rel, c.rec, viewAllOld)
+			}
+			frontier = next
+		}
+		if fallback {
+			return rt.recomputeStratum(inStratum, stratumRules)
+		}
+		// ---- Phase 2: apply overdeletions ----
+		for rs, m := range od {
+			for key, rec := range m {
+				rs.setAbsent(rec, key)
+			}
+		}
+	}
+
+	// ---- Phase 3: rederive overdeleted candidates, then insert ----
+	var frontier []seedJob
+	if len(od) > 0 {
+		var checks []checkJob
+		for rs, m := range od {
+			for key, rec := range m {
+				checks = append(checks, checkJob{rs: rs, rec: rec, key: key})
+			}
+		}
+		ok, err := rt.runCheckJobs(checks)
+		if err != nil {
+			return err
+		}
+		for i, cj := range checks {
+			if ok[i] && cj.rs.setPresent(cj.rec, cj.key) {
+				frontier = rt.appendCascadeJobs(frontier, inStratum, cj.rs, cj.rec, viewAllNew)
+			}
+		}
+	}
+	frontier = append(frontier, rt.gatherRecursiveSeeds(inStratum, stratumRules, true, initial)...)
+	for len(frontier) > 0 {
+		cands, err := rt.evalJobsCollect(frontier)
+		if err != nil {
+			return err
+		}
+		var next []seedJob
+		for _, c := range cands {
+			if c.rel.setPresent(c.rec, c.key) {
+				next = rt.appendCascadeJobs(next, inStratum, c.rel, c.rec, viewAllNew)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dl/ast"
+	"repro/internal/dl/value"
+)
+
+// deltasEqual reports whether two transaction deltas are identical, and if
+// not, describes the first difference.
+func deltasEqual(a, b Delta) (bool, string) {
+	if len(a) != len(b) {
+		return false, fmt.Sprintf("delta relation count %d vs %d", len(a), len(b))
+	}
+	for rel, za := range a {
+		zb, ok := b[rel]
+		if !ok {
+			return false, fmt.Sprintf("relation %s missing", rel)
+		}
+		ea, eb := za.Entries(), zb.Entries()
+		if len(ea) != len(eb) {
+			return false, fmt.Sprintf("%s: %d vs %d entries", rel, len(ea), len(eb))
+		}
+		for i := range ea {
+			if !ea[i].Rec.Equal(eb[i].Rec) || ea[i].Weight != eb[i].Weight {
+				return false, fmt.Sprintf("%s[%d]: %v*%d vs %v*%d",
+					rel, i, ea[i].Rec, ea[i].Weight, eb[i].Rec, eb[i].Weight)
+			}
+		}
+	}
+	return true, ""
+}
+
+// runParallelEquivalence drives identical random transactions through a
+// sequential runtime, several parallel runtimes, and the naive reference
+// evaluator, requiring byte-identical deltas and contents throughout. This
+// is the determinism invariant of the worker pool: Workers must be
+// unobservable in every output.
+func runParallelEquivalence(t *testing.T, src string, gen func(r *rand.Rand, insert bool) Update, txns, opsPerTxn int, seed int64) {
+	t.Helper()
+	prog := compile(t, src)
+	optVariants := []Options{
+		{Workers: 4},
+		{Workers: 8, RecursiveDeleteFallback: 0.5},
+	}
+	seqRT, err := New(prog, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRTs := make([]*Runtime, len(optVariants))
+	for i, o := range optVariants {
+		if parRTs[i], err = New(prog, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rand.New(rand.NewSource(seed))
+	live := make(map[string]map[string]value.Record)
+	for _, rel := range prog.Relations {
+		if rel.Role == ast.RoleInput {
+			live[rel.Name] = make(map[string]value.Record)
+		}
+	}
+	for txn := 0; txn < txns; txn++ {
+		var ups []Update
+		for i := 0; i < 1+r.Intn(opsPerTxn); i++ {
+			u := gen(r, r.Intn(3) > 0)
+			ups = append(ups, u)
+			if u.Insert {
+				live[u.Relation][u.Rec.Key()] = u.Rec
+			} else {
+				delete(live[u.Relation], u.Rec.Key())
+			}
+		}
+		seqDelta, err := seqRT.Apply(ups)
+		if err != nil {
+			t.Fatalf("txn %d (sequential): %v", txn, err)
+		}
+		for i, parRT := range parRTs {
+			parDelta, err := parRT.Apply(ups)
+			if err != nil {
+				t.Fatalf("txn %d (workers=%d): %v", txn, optVariants[i].Workers, err)
+			}
+			if ok, diff := deltasEqual(seqDelta, parDelta); !ok {
+				t.Fatalf("txn %d: workers=%d delta diverged from sequential: %s",
+					txn, optVariants[i].Workers, diff)
+			}
+		}
+		inputs := make(map[string][]value.Record)
+		for name, m := range live {
+			for _, rec := range m {
+				inputs[name] = append(inputs[name], rec)
+			}
+		}
+		want, err := NaiveEval(prog, inputs)
+		if err != nil {
+			t.Fatalf("naive: %v", err)
+		}
+		for _, rel := range prog.Relations {
+			for i, parRT := range parRTs {
+				got, _ := parRT.Contents(rel.Name)
+				if len(got) != len(want[rel.Name]) {
+					t.Fatalf("txn %d: workers=%d: %s has %d records, naive %d",
+						txn, optVariants[i].Workers, rel.Name, len(got), len(want[rel.Name]))
+				}
+				for j := range got {
+					if !got[j].Equal(want[rel.Name][j]) {
+						t.Fatalf("txn %d: workers=%d: %s[%d] = %v, naive %v",
+							txn, optVariants[i].Workers, rel.Name, j, got[j], want[rel.Name][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Wide fan-out generators so transactions regularly clear minParallelJobs
+// and actually exercise the pool.
+
+func genReach(r *rand.Rand, insert bool) Update {
+	if r.Intn(5) == 0 {
+		return Update{
+			Relation: "GivenLabel",
+			Rec:      strRec(fmt.Sprintf("n%d", r.Intn(8)), fmt.Sprintf("L%d", r.Intn(2))),
+			Insert:   insert,
+		}
+	}
+	return Update{
+		Relation: "Edge",
+		Rec:      strRec(fmt.Sprintf("n%d", r.Intn(8)), fmt.Sprintf("n%d", r.Intn(8))),
+		Insert:   insert,
+	}
+}
+
+func TestParallelEquivalenceReachability(t *testing.T) {
+	runParallelEquivalence(t, reachSrc, genReach, 50, 8, 11)
+	runParallelEquivalence(t, reachSrc, genReach, 50, 8, 12)
+}
+
+func TestParallelEquivalenceNegationJoin(t *testing.T) {
+	src := `
+	input relation A(x: string, y: string)
+	input relation B(y: string)
+	output relation O(x: string)
+	output relation P(x: string, y: string)
+	O(x) :- A(x, y), not B(y).
+	P(x, z) :- A(x, y), A(y, z), not B(x).
+	`
+	gen := func(r *rand.Rand, insert bool) Update {
+		if r.Intn(3) == 0 {
+			return Update{Relation: "B", Rec: strRec(fmt.Sprintf("n%d", r.Intn(5))), Insert: insert}
+		}
+		return Update{
+			Relation: "A",
+			Rec:      strRec(fmt.Sprintf("n%d", r.Intn(5)), fmt.Sprintf("n%d", r.Intn(5))),
+			Insert:   insert,
+		}
+	}
+	runParallelEquivalence(t, src, gen, 60, 8, 13)
+}
+
+func TestParallelEquivalenceAggregation(t *testing.T) {
+	src := `
+	input relation S(k: string, item: string, v: int)
+	output relation T(k: string, total: int)
+	output relation C(k: string, n: int)
+	T(k, s) :- S(k, i, v), var s = sum(v) group_by (k).
+	C(k, c) :- S(k, i, v), var c = count() group_by (k).
+	`
+	gen := func(r *rand.Rand, insert bool) Update {
+		return Update{
+			Relation: "S",
+			Rec: value.Record{
+				value.String(fmt.Sprintf("k%d", r.Intn(3))),
+				value.String(fmt.Sprintf("i%d", r.Intn(4))),
+				value.Int(int64(r.Intn(10))),
+			},
+			Insert: insert,
+		}
+	}
+	runParallelEquivalence(t, src, gen, 60, 8, 14)
+}
+
+func TestParallelEquivalenceMutualRecursion(t *testing.T) {
+	src := `
+	input relation E(a: string, b: string)
+	output relation Even(a: string, b: string)
+	output relation Odd(a: string, b: string)
+	Odd(a, b) :- E(a, b).
+	Odd(a, c) :- Even(a, b), E(b, c).
+	Even(a, c) :- Odd(a, b), E(b, c).
+	`
+	gen := func(r *rand.Rand, insert bool) Update {
+		return Update{
+			Relation: "E",
+			Rec:      strRec(fmt.Sprintf("n%d", r.Intn(6)), fmt.Sprintf("n%d", r.Intn(6))),
+			Insert:   insert,
+		}
+	}
+	runParallelEquivalence(t, src, gen, 50, 6, 15)
+}
+
+// TestQuickParallelDeterminism is the testing/quick form of the invariant:
+// any seed must produce a byte-identical delta stream at every worker
+// count. Each quick iteration runs a short random transaction sequence
+// against the reachability program.
+func TestQuickParallelDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := compile(t, reachSrc)
+		rt1, err := New(prog, Options{Workers: 1})
+		if err != nil {
+			return false
+		}
+		rt4, err := New(prog, Options{Workers: 4})
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		for txn := 0; txn < 10; txn++ {
+			var ups []Update
+			for i := 0; i < 1+r.Intn(10); i++ {
+				ups = append(ups, genReach(r, r.Intn(3) > 0))
+			}
+			d1, err1 := rt1.Apply(ups)
+			d4, err4 := rt4.Apply(ups)
+			if (err1 == nil) != (err4 == nil) {
+				return false
+			}
+			if err1 != nil {
+				return true // both failed identically early
+			}
+			if ok, _ := deltasEqual(d1, d4); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelDerivationGuard: the budget must still trip under parallel
+// evaluation (counted atomically across workers).
+func TestParallelDerivationGuard(t *testing.T) {
+	rt, err := New(compile(t, reachSrc), Options{Workers: 4, MaxDerivationsPerTxn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []Update
+	ups = append(ups, Insert("GivenLabel", strRec("n0", "L")))
+	for i := 0; i < 30; i++ {
+		ups = append(ups, Insert("Edge", strRec(
+			fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1))))
+	}
+	if _, err := rt.Apply(ups); err == nil {
+		t.Fatalf("derivation guard did not trip under Workers:4")
+	}
+}

@@ -1,20 +1,49 @@
 package value
 
-import "strings"
+import (
+	"strings"
+	"sync"
+)
 
 // Record is a relation tuple: a fixed-arity sequence of values. Records are
 // treated as immutable once constructed.
 type Record []Value
 
+// encPool recycles canonical-encoding buffers: wide records overflow any
+// reasonable stack buffer, and the engine's arrangements re-encode keys on
+// every maintenance operation. See GetEncodeBuf.
+var encPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// GetEncodeBuf returns an empty encode buffer from a shared pool. Pass it
+// back to PutEncodeBuf when done (after any string conversion of the
+// contents).
+func GetEncodeBuf() *[]byte {
+	return encPool.Get().(*[]byte)
+}
+
+// PutEncodeBuf returns a buffer obtained from GetEncodeBuf to the pool.
+func PutEncodeBuf(b *[]byte) {
+	if cap(*b) > 1<<16 {
+		return // don't let one huge record pin a large buffer
+	}
+	*b = (*b)[:0]
+	encPool.Put(b)
+}
+
 // Key returns the canonical encoding of the record as a string, suitable for
 // use as a map key. Distinct records have distinct keys.
 func (r Record) Key() string {
-	var buf [96]byte
-	enc := buf[:0]
-	for _, v := range r {
-		enc = v.Encode(enc)
+	if len(r) <= 8 {
+		// Common case: narrow records encode within a stack buffer.
+		var buf [96]byte
+		return string(r.AppendEncode(buf[:0]))
 	}
-	return string(enc)
+	bp := GetEncodeBuf()
+	enc := r.AppendEncode(*bp)
+	k := string(enc)
+	*bp = enc
+	PutEncodeBuf(bp)
+	return k
 }
 
 // AppendEncode appends the record's canonical encoding to dst.

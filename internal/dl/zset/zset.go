@@ -44,32 +44,41 @@ func (z *ZSet) Add(rec value.Record, w int64) int64 {
 	if w == 0 {
 		return z.Weight(rec)
 	}
-	k := rec.Key()
-	e, ok := z.m[k]
+	return z.AddKeyed(rec, rec.Key(), w)
+}
+
+// AddKeyed is Add with the record's canonical key already computed, so hot
+// paths that hold the key (arrangements, the engine's emit path) avoid
+// re-encoding the record.
+func (z *ZSet) AddKeyed(rec value.Record, key string, w int64) int64 {
+	if w == 0 {
+		return z.m[key].Weight
+	}
+	e, ok := z.m[key]
 	if !ok {
-		z.m[k] = Entry{Rec: rec, Weight: w}
+		z.m[key] = Entry{Rec: rec, Weight: w}
 		return w
 	}
 	e.Weight += w
 	if e.Weight == 0 {
-		delete(z.m, k)
+		delete(z.m, key)
 		return 0
 	}
-	z.m[k] = e
+	z.m[key] = e
 	return e.Weight
 }
 
 // AddAll adds every entry of other into z (z += other).
 func (z *ZSet) AddAll(other *ZSet) {
-	for _, e := range other.m {
-		z.Add(e.Rec, e.Weight)
+	for k, e := range other.m {
+		z.AddKeyed(e.Rec, k, e.Weight)
 	}
 }
 
 // AddAllNegated subtracts every entry of other from z (z -= other).
 func (z *ZSet) AddAllNegated(other *ZSet) {
-	for _, e := range other.m {
-		z.Add(e.Rec, -e.Weight)
+	for k, e := range other.m {
+		z.AddKeyed(e.Rec, k, -e.Weight)
 	}
 }
 
@@ -93,6 +102,14 @@ func (z *ZSet) IsEmpty() bool { return len(z.m) == 0 }
 func (z *ZSet) Each(f func(rec value.Record, w int64)) {
 	for _, e := range z.m {
 		f(e.Rec, e.Weight)
+	}
+}
+
+// EachKeyed calls f for every entry with its canonical key. Iteration order
+// is unspecified; use Entries for deterministic order.
+func (z *ZSet) EachKeyed(f func(key string, rec value.Record, w int64)) {
+	for k, e := range z.m {
+		f(k, e.Rec, e.Weight)
 	}
 }
 
