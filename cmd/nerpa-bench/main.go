@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 func parseWorkers(s string) ([]int, error) {
@@ -87,7 +88,7 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			res, err := bench.RunParallelScaling(1000, 32, 20, ws)
+			res, err := bench.RunParallelScaling(1000, 32, 20, ws, obs.NewRegistry())
 			if err != nil {
 				return nil, err
 			}

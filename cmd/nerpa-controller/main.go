@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ovsdb"
 	"repro/internal/p4rt"
 	"repro/internal/snvs"
@@ -25,8 +26,20 @@ func main() {
 	dbName := flag.String("db", "snvs", "database name")
 	p4rtAddrs := flag.String("p4rt", "127.0.0.1:9559", "comma-separated P4Runtime addresses")
 	rulesPath := flag.String("rules", "", "control-plane rules file (default: built-in snvs rules)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces and pprof on this address (off when empty)")
 	verbose := flag.Bool("v", false, "log every applied transaction")
 	flag.Parse()
+
+	var observer *obs.Observer
+	if *obsAddr != "" {
+		observer = obs.NewObserver()
+		go func() {
+			if err := observer.ListenAndServe(*obsAddr); err != nil {
+				log.Fatalf("obs server: %v", err)
+			}
+		}()
+		log.Printf("nerpa-controller: observability on http://%s/metrics", *obsAddr)
+	}
 
 	rules := snvs.Rules
 	if *rulesPath != "" {
@@ -54,10 +67,11 @@ func main() {
 			log.Fatalf("connecting to data plane at %s: %v", addr, err)
 		}
 		defer dp.Close()
+		dp.SetObs(observer.Reg(), addr)
 		devices = append(devices, dp)
 	}
 
-	cfg := core.Config{Rules: rules, Database: *dbName}
+	cfg := core.Config{Rules: rules, Database: *dbName, Obs: observer}
 	if *verbose {
 		cfg.OnTxn = func(st core.TxnStats) {
 			log.Printf("txn source=%s inputs=%d outputs=%d engine=%v push=%v",

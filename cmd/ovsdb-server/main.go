@@ -11,6 +11,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/ovsdb"
 	"repro/internal/snvs"
 )
@@ -18,6 +19,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6640", "TCP listen address")
 	schemaPath := flag.String("schema", "", ".ovsschema file (default: built-in snvs schema)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces and pprof on this address (off when empty)")
 	flag.Parse()
 
 	var schema *ovsdb.DatabaseSchema
@@ -36,6 +38,16 @@ func main() {
 	}
 
 	db := ovsdb.NewDatabase(schema)
+	if *obsAddr != "" {
+		observer := obs.NewObserver()
+		db.SetObs(observer.Reg(), observer.Tr())
+		go func() {
+			if err := observer.ListenAndServe(*obsAddr); err != nil {
+				log.Fatalf("obs server: %v", err)
+			}
+		}()
+		log.Printf("ovsdb-server: observability on http://%s/metrics", *obsAddr)
+	}
 	srv := ovsdb.NewServer(db)
 	log.Printf("ovsdb-server: serving database %q on %s", schema.Name, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {

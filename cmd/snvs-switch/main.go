@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/snvs"
 	"repro/internal/switchsim"
@@ -23,6 +24,7 @@ func main() {
 	addr := flag.String("p4rt", "127.0.0.1:9559", "P4Runtime TCP listen address")
 	p4Path := flag.String("p4", "", "P4 subset program file (default: built-in snvs.p4)")
 	name := flag.String("name", "snvs0", "switch name")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces and pprof on this address (off when empty)")
 	flag.Parse()
 
 	var prog *p4.Program
@@ -42,6 +44,16 @@ func main() {
 	sw, err := switchsim.New(*name, switchsim.Config{Program: prog})
 	if err != nil {
 		log.Fatalf("creating switch: %v", err)
+	}
+	if *obsAddr != "" {
+		observer := obs.NewObserver()
+		sw.SetObs(observer.Reg())
+		go func() {
+			if err := observer.ListenAndServe(*obsAddr); err != nil {
+				log.Fatalf("obs server: %v", err)
+			}
+		}()
+		log.Printf("snvs-switch: observability on http://%s/metrics", *obsAddr)
 	}
 	log.Printf("snvs-switch: %s running %q, p4rt on %s", *name, prog.Name, *addr)
 	if err := sw.ListenAndServe(*addr); err != nil {

@@ -1,10 +1,15 @@
 package nerpa
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -29,6 +34,9 @@ func TestProcessLevelEndToEnd(t *testing.T) {
 	}
 	ovsdbAddr := freeAddr(t)
 	p4rtAddr := freeAddr(t)
+	ovsdbObs := freeAddr(t)
+	switchObs := freeAddr(t)
+	ctrlObs := freeAddr(t)
 
 	start := func(name string, args ...string) *exec.Cmd {
 		cmd := exec.Command(filepath.Join(bin, name), args...)
@@ -43,11 +51,12 @@ func TestProcessLevelEndToEnd(t *testing.T) {
 		})
 		return cmd
 	}
-	start("ovsdb-server", "-addr", ovsdbAddr)
-	start("snvs-switch", "-p4rt", p4rtAddr)
+	start("ovsdb-server", "-addr", ovsdbAddr, "-obs-addr", ovsdbObs)
+	start("snvs-switch", "-p4rt", p4rtAddr, "-obs-addr", switchObs)
 	waitDialable(t, ovsdbAddr)
 	waitDialable(t, p4rtAddr)
-	start("nerpa-controller", "-ovsdb", ovsdbAddr, "-p4rt", p4rtAddr, "-db", "snvs")
+	start("nerpa-controller", "-ovsdb", ovsdbAddr, "-p4rt", p4rtAddr, "-db", "snvs",
+		"-obs-addr", ctrlObs)
 
 	// Configure through the management plane.
 	dbc, err := ovsdb.Dial(ovsdbAddr)
@@ -88,6 +97,58 @@ func TestProcessLevelEndToEnd(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("in_vlan never converged: %v, %v", entries, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Each process serves its own plane's metrics on -obs-addr.
+	for addr, series := range map[string]string{
+		ovsdbObs:  "ovsdb_txn_total",
+		switchObs: "switchsim_writes_total",
+		ctrlObs:   "p4rt_writes_total",
+	} {
+		body := fetchMetrics(t, addr, deadline)
+		if !strings.Contains(body, "# TYPE "+series+" counter") {
+			t.Fatalf("http://%s/metrics missing %s:\n%s", addr, series, body)
+		}
+	}
+
+	// The management plane's tracer saw the transaction.
+	body := fetchURL(t, "http://"+ovsdbObs+"/debug/traces", deadline)
+	var dump struct {
+		Traces []struct {
+			Stages []struct {
+				Name string `json:"name"`
+			} `json:"stages"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/traces is not JSON: %v\n%s", err, body)
+	}
+	if len(dump.Traces) == 0 || len(dump.Traces[0].Stages) == 0 {
+		t.Fatalf("/debug/traces empty: %s", body)
+	}
+}
+
+func fetchMetrics(t *testing.T, addr string, deadline time.Time) string {
+	t.Helper()
+	return fetchURL(t, "http://"+addr+"/metrics", deadline)
+}
+
+func fetchURL(t *testing.T, url string, deadline time.Time) string {
+	t.Helper()
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return string(body)
+			}
+			err = fmt.Errorf("GET %s: status %s, read err %v", url, resp.Status, rerr)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fetching %s: %v", url, err)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}

@@ -1,9 +1,18 @@
 #!/bin/sh
-# Full local gate: build, vet, and race-enabled tests across the module.
-# The race detector is the authoritative check for the engine worker pool
-# and the controller's concurrent device writes.
+# Full local gate: format, build, vet, race-enabled tests, and a
+# benchmark smoke pass across the module. The race detector is the
+# authoritative check for the engine worker pool, the controller's
+# concurrent device writes, and the obs hot path.
 set -eux
 cd "$(dirname "$0")/.."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 go build ./...
 go vet ./...
 go test -race ./...
+# Smoke: every benchmark must still run (one iteration, no timing claims).
+go test -run=NONE -bench=. -benchtime=1x ./...

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dl/engine"
 	"repro/internal/dl/value"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -33,19 +34,35 @@ type ParallelResult struct {
 	Rounds    int           `json:"rounds"`
 	GoMaxProc int           `json:"gomaxprocs"`
 	Rows      []ParallelRow `json:"rows"`
+	// Metrics is the obs registry snapshot taken after the run when the
+	// caller passed a registry (nerpa-bench embeds it in BENCH_*.json).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // RunParallelScaling loads the snvs engine with `ports` ports and learned
 // MACs, then times `rounds` insert+delete batches of `batch` ports at each
 // worker count. workers[0] is the baseline the speedup column is relative
-// to (pass 1 first).
-func RunParallelScaling(ports, batch, rounds int, workers []int) (*ParallelResult, error) {
+// to (pass 1 first). A non-nil reg enables engine stats and records
+// per-batch latency, delta sizes and derivation counts into it; the
+// snapshot lands in the result's Metrics map. Pass nil for pure timing.
+func RunParallelScaling(ports, batch, rounds int, workers []int, reg *obs.Registry) (*ParallelResult, error) {
 	const nVlans = 10
 	res := &ParallelResult{
 		Ports: ports, Batch: batch, Rounds: rounds, GoMaxProc: runtime.GOMAXPROCS(0),
 	}
+	var mBatch, mDelta *obs.Histogram
+	var mDeriv *obs.Counter
+	if reg != nil {
+		mDelta = reg.Histogram("dl_delta_size", "Output delta size per batch.", obs.SizeBuckets)
+		mDeriv = reg.Counter("dl_derivations_total", "Facts derived across the run.")
+	}
 	for _, w := range workers {
-		rt, err := SnvsEngineOpts(engine.Options{Workers: w})
+		opts := engine.Options{Workers: w, CollectStats: reg != nil}
+		if reg != nil {
+			mBatch = reg.Histogram("bench_batch_seconds",
+				"Per-batch apply latency.", nil, obs.L("workers", fmt.Sprint(w)))
+		}
+		rt, err := SnvsEngineOpts(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -60,21 +77,35 @@ func RunParallelScaling(ports, batch, rounds int, workers []int) (*ParallelResul
 		if _, err := rt.Apply(load); err != nil {
 			return nil, err
 		}
+		observe := func(t0 time.Time) {
+			if reg == nil {
+				return
+			}
+			mBatch.ObserveDuration(time.Since(t0))
+			if st := rt.LastApplyStats(); st != nil {
+				mDelta.Observe(float64(st.DeltaSize))
+				mDeriv.Add(uint64(st.Derivations))
+			}
+		}
 		start := time.Now()
 		for r := 0; r < rounds; r++ {
 			ups := make([]engine.Update, 0, batch)
 			for j := 0; j < batch; j++ {
 				ups = append(ups, engine.Insert("Port", workload.PortRecord(ports+j, nVlans)))
 			}
+			t0 := time.Now()
 			if _, err := rt.Apply(ups); err != nil {
 				return nil, err
 			}
+			observe(t0)
 			for j := range ups {
 				ups[j].Insert = false
 			}
+			t0 = time.Now()
 			if _, err := rt.Apply(ups); err != nil {
 				return nil, err
 			}
+			observe(t0)
 		}
 		per := time.Since(start) / time.Duration(2*rounds)
 		res.Rows = append(res.Rows, ParallelRow{Workers: w, PerBatch: per})
@@ -84,6 +115,9 @@ func RunParallelScaling(ports, batch, rounds int, workers []int) (*ParallelResul
 		for i := range res.Rows {
 			res.Rows[i].Speedup = base / float64(res.Rows[i].PerBatch)
 		}
+	}
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
 	}
 	return res, nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ovsdb"
 	"repro/internal/p4rt"
 	"repro/internal/snvs"
@@ -31,13 +32,18 @@ type Stack struct {
 	closers  []func()
 }
 
-// StartStack boots the full snvs deployment.
-func StartStack() (*Stack, error) {
+// StartStack boots the full snvs deployment, uninstrumented.
+func StartStack() (*Stack, error) { return StartStackObs(nil) }
+
+// StartStackObs boots the full snvs deployment with every plane wired to
+// the observer's registry and tracer (nil behaves like StartStack).
+func StartStackObs(o *obs.Observer) (*Stack, error) {
 	schema, err := snvs.Schema()
 	if err != nil {
 		return nil, err
 	}
 	s := &Stack{DB: ovsdb.NewDatabase(schema)}
+	s.DB.SetObs(o.Reg(), o.Tr())
 	fail := func(err error) (*Stack, error) {
 		s.Close()
 		return nil, err
@@ -54,6 +60,7 @@ func StartStack() (*Stack, error) {
 	if err != nil {
 		return fail(err)
 	}
+	s.Switch.SetObs(o.Reg())
 	p4Ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fail(err)
@@ -76,8 +83,9 @@ func StartStack() (*Stack, error) {
 		return fail(err)
 	}
 	s.closers = append(s.closers, func() { p4c.Close() })
+	p4c.SetObs(o.Reg(), "snvs0")
 
-	s.Ctrl, err = core.New(core.Config{Rules: snvs.Rules, Database: "snvs"}, s.DBC, p4c)
+	s.Ctrl, err = core.New(core.Config{Rules: snvs.Rules, Database: "snvs", Obs: o}, s.DBC, p4c)
 	if err != nil {
 		return fail(err)
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/dl"
 	"repro/internal/dl/engine"
 	"repro/internal/dl/value"
+	"repro/internal/obs"
 	"repro/internal/ovsdb"
 	"repro/internal/p4"
 	"repro/internal/p4rt"
@@ -89,8 +90,14 @@ type Config struct {
 	// before ack).
 	PushWorkers int
 	// OnTxn, when set, is called after every applied transaction with
-	// processing statistics (used by the evaluation harness).
+	// processing statistics (used by the evaluation harness). The same
+	// numbers also feed the Obs registry, so the two always agree.
 	OnTxn func(TxnStats)
+	// Obs, when set, receives controller metrics (registry) and per-txn
+	// commit→delta→push timelines (tracer). Setting it also enables
+	// engine statistics collection so per-stratum and per-worker timings
+	// are exposed. nil disables all instrumentation at zero cost.
+	Obs *obs.Observer
 }
 
 // defaultPushWorkers is the device-write concurrency used when
@@ -100,6 +107,7 @@ const defaultPushWorkers = 8
 // TxnStats describes one applied transaction.
 type TxnStats struct {
 	Source        string // "ovsdb", "digest", or "initial"
+	TxnID         uint64 // OVSDB-minted transaction ID (0 when unknown)
 	InputUpdates  int
 	OutputChanges int
 	EngineTime    time.Duration
@@ -142,12 +150,87 @@ type Controller struct {
 	done     chan struct{}
 	stopOnce sync.Once
 
+	tracer *obs.Tracer
+	m      ctrlMetrics
+
 	mu  sync.Mutex
 	err error
 }
 
+// ctrlMetrics holds the controller's pre-registered instruments. With no
+// registry every field is a nil instrument (and map lookups on nil maps
+// return nil), so the instrumented paths need no enable checks.
+type ctrlMetrics struct {
+	txnTotal    map[string]*obs.Counter // by event source
+	engineSecs  *obs.Histogram
+	pushSecs    *obs.Histogram
+	inputSize   *obs.Histogram
+	outputSize  *obs.Histogram
+	pushErrors  *obs.Counter
+	devPush     map[string]*obs.Histogram // by device id
+	devBatch    *obs.Histogram
+	evalStratum []*obs.Histogram
+	deltaSize   *obs.Histogram
+	derivations *obs.Counter
+	rounds      *obs.Counter
+	workerBusy  []*obs.Counter
+}
+
+// initObs pre-registers every controller series. Called once the runtime
+// (stratum count) and device classes are known, so the per-txn paths only
+// ever touch existing instruments.
+func (c *Controller) initObs() {
+	reg := c.cfg.Obs.Reg()
+	c.tracer = c.cfg.Obs.Tr()
+	c.m.txnTotal = map[string]*obs.Counter{}
+	for _, src := range []string{"ovsdb", "digest", "initial"} {
+		c.m.txnTotal[src] = reg.Counter("core_txn_total",
+			"Transactions applied by the controller.", obs.L("source", src))
+	}
+	c.m.engineSecs = reg.Histogram("core_engine_seconds",
+		"Incremental evaluation latency per transaction.", nil)
+	c.m.pushSecs = reg.Histogram("core_push_seconds",
+		"Data-plane push latency per transaction (all devices, barrier).", nil)
+	c.m.inputSize = reg.Histogram("core_input_updates",
+		"Input updates per transaction.", obs.SizeBuckets)
+	c.m.outputSize = reg.Histogram("core_output_changes",
+		"Data-plane changes produced per transaction.", obs.SizeBuckets)
+	c.m.pushErrors = reg.Counter("core_push_errors_total",
+		"Transactions whose data-plane push failed.")
+	c.m.devPush = map[string]*obs.Histogram{}
+	for _, cs := range c.classes {
+		for _, dev := range cs.cls.Devices {
+			c.m.devPush[dev.ID] = reg.Histogram("core_device_push_seconds",
+				"Per-device write-stream latency within a push.", nil, obs.L("device", dev.ID))
+		}
+	}
+	c.m.devBatch = reg.Histogram("core_device_push_updates",
+		"Updates written to one device within a push.", obs.SizeBuckets)
+	for s := 0; s < c.rt.NumStrata(); s++ {
+		c.m.evalStratum = append(c.m.evalStratum, reg.Histogram("dl_eval_seconds",
+			"Evaluation latency per stratum per transaction.", nil,
+			obs.L("stratum", fmt.Sprintf("%d", s))))
+	}
+	c.m.deltaSize = reg.Histogram("dl_delta_size",
+		"Output delta tuples per transaction.", obs.SizeBuckets)
+	c.m.derivations = reg.Counter("dl_derivations_total",
+		"Tuple derivation operations performed.")
+	c.m.rounds = reg.Counter("dl_rounds_total",
+		"Breadth-first propagation rounds in recursive strata.")
+	workers := c.cfg.EngineOptions.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		c.m.workerBusy = append(c.m.workerBusy, reg.Counter("dl_worker_busy_nanoseconds_total",
+			"Plan-evaluation time accumulated by each pool worker.",
+			obs.L("worker", fmt.Sprintf("%d", w))))
+	}
+}
+
 type event struct {
 	source  string
+	txnID   uint64
 	updates []engine.Update
 	barrier chan struct{}
 }
@@ -170,6 +253,10 @@ func New(cfg Config, mp ManagementPlane, devices ...DataPlane) (*Controller, err
 func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Controller, error) {
 	if len(classes) == 0 {
 		return nil, fmt.Errorf("core: no device classes")
+	}
+	if cfg.Obs.Reg() != nil {
+		// Per-stratum and per-worker metrics need the engine's statistics.
+		cfg.EngineOptions.CollectStats = true
 	}
 	schema, err := mp.GetSchema(cfg.Database)
 	if err != nil {
@@ -259,6 +346,7 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 	if err != nil {
 		return nil, err
 	}
+	c.initObs()
 	go c.loop()
 
 	// Digest subscriptions feed the event queue, tagged with the
@@ -270,8 +358,18 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 			dev.DP.OnDigest(func(dl p4rt.DigestList) { c.handleDigest(cs, id, dl) })
 		}
 	}
-	// Monitor every bound table with exactly the bound columns.
-	initial, err := mp.Monitor(cfg.Database, "nerpa", c.monitorRequests(), c.handleOVSDB)
+	// Monitor every bound table with exactly the bound columns. When the
+	// management plane can correlate updates to the transaction that
+	// produced them (as *ovsdb.Client can), use the txn-aware variant so
+	// traces carry a complete commit→delta→push timeline.
+	var initial ovsdb.TableUpdates
+	if tm, ok := mp.(interface {
+		MonitorTxn(db string, id any, requests map[string]*ovsdb.MonitorRequest, cb func(uint64, ovsdb.TableUpdates)) (ovsdb.TableUpdates, error)
+	}); ok {
+		initial, err = tm.MonitorTxn(cfg.Database, "nerpa", c.monitorRequests(), c.handleOVSDBTxn)
+	} else {
+		initial, err = mp.Monitor(cfg.Database, "nerpa", c.monitorRequests(), c.handleOVSDB)
+	}
 	if err != nil {
 		c.Stop()
 		return nil, fmt.Errorf("core: monitor: %w", err)
@@ -362,21 +460,78 @@ func (c *Controller) loop() {
 			c.fail(fmt.Errorf("core: engine: %w", err))
 			continue
 		}
+		c.observeEngine(&ev, start, engineTime)
 		pushStart := time.Now()
 		n, err := c.push(delta)
+		pushTime := time.Since(pushStart)
 		if err != nil {
+			c.m.pushErrors.Inc()
 			c.fail(fmt.Errorf("core: push: %w", err))
 			continue
 		}
-		if c.cfg.OnTxn != nil {
-			c.cfg.OnTxn(TxnStats{
-				Source:        ev.source,
-				InputUpdates:  len(ev.updates),
-				OutputChanges: n,
-				EngineTime:    engineTime,
-				PushTime:      time.Since(pushStart),
+		if c.tracer != nil {
+			c.tracer.Record(ev.txnID, "core", obs.Stage{
+				Name:  "push",
+				Start: pushStart,
+				End:   pushStart.Add(pushTime),
+				Attrs: map[string]int64{"updates": int64(n)},
 			})
 		}
+		c.record(TxnStats{
+			Source:        ev.source,
+			TxnID:         ev.txnID,
+			InputUpdates:  len(ev.updates),
+			OutputChanges: n,
+			EngineTime:    engineTime,
+			PushTime:      pushTime,
+		})
+	}
+}
+
+// observeEngine translates the engine's per-transaction statistics into
+// dl_* metrics and the "delta" trace stage.
+func (c *Controller) observeEngine(ev *event, start time.Time, engineTime time.Duration) {
+	st := c.rt.LastApplyStats()
+	if st != nil {
+		for _, ss := range st.Strata {
+			if ss.Stratum < len(c.m.evalStratum) {
+				c.m.evalStratum[ss.Stratum].ObserveDuration(ss.Duration)
+			}
+			c.m.rounds.Add(uint64(ss.Rounds))
+		}
+		c.m.deltaSize.Observe(float64(st.DeltaSize))
+		c.m.derivations.Add(uint64(st.Derivations))
+		for wi, d := range st.WorkerBusy {
+			if wi < len(c.m.workerBusy) {
+				c.m.workerBusy[wi].Add(uint64(d))
+			}
+		}
+	}
+	if c.tracer != nil {
+		attrs := map[string]int64{"input_updates": int64(len(ev.updates))}
+		if st != nil {
+			attrs["delta_size"] = int64(st.DeltaSize)
+			attrs["derivations"] = st.Derivations
+		}
+		c.tracer.Record(ev.txnID, "core", obs.Stage{
+			Name:  "delta",
+			Start: start,
+			End:   start.Add(engineTime),
+			Attrs: attrs,
+		})
+	}
+}
+
+// record is the single accounting site for per-transaction statistics:
+// the obs registry and the OnTxn hook both see exactly these numbers.
+func (c *Controller) record(ts TxnStats) {
+	c.m.txnTotal[ts.Source].Inc()
+	c.m.engineSecs.ObserveDuration(ts.EngineTime)
+	c.m.pushSecs.ObserveDuration(ts.PushTime)
+	c.m.inputSize.Observe(float64(ts.InputUpdates))
+	c.m.outputSize.Observe(float64(ts.OutputChanges))
+	if c.cfg.OnTxn != nil {
+		c.cfg.OnTxn(ts)
 	}
 }
 
@@ -475,7 +630,7 @@ func (c *Controller) push(delta engine.Delta) (int, error) {
 		key := target{class: cs, device: id}
 		dw := byDev[key]
 		if dw == nil {
-			dw = &devWrite{dp: dp}
+			dw = &devWrite{id: id, dp: dp}
 			byDev[key] = dw
 			writes = append(writes, dw)
 		}
@@ -525,6 +680,7 @@ func (c *Controller) push(delta engine.Delta) (int, error) {
 // devWrite is the ordered write stream destined for one device within one
 // push.
 type devWrite struct {
+	id      string
 	dp      DataPlane
 	batches [][]p4rt.Update
 }
@@ -536,6 +692,19 @@ func (dw *devWrite) flush() error {
 		}
 	}
 	return nil
+}
+
+// flushObserved is flush plus per-device latency and batch-size metrics.
+func (c *Controller) flushObserved(dw *devWrite) error {
+	t0 := time.Now()
+	err := dw.flush()
+	c.m.devPush[dw.id].ObserveDuration(time.Since(t0))
+	n := 0
+	for _, b := range dw.batches {
+		n += len(b)
+	}
+	c.m.devBatch.Observe(float64(n))
+	return err
 }
 
 // writeDevices issues each device's write stream, fanning out across up to
@@ -553,7 +722,7 @@ func (c *Controller) writeDevices(writes []*devWrite) error {
 	}
 	if nw <= 1 {
 		for _, dw := range writes {
-			if err := dw.flush(); err != nil {
+			if err := c.flushObserved(dw); err != nil {
 				return err
 			}
 		}
@@ -571,7 +740,7 @@ func (c *Controller) writeDevices(writes []*devWrite) error {
 				if i >= len(writes) {
 					return
 				}
-				errs[i] = writes[i].flush()
+				errs[i] = c.flushObserved(writes[i])
 			}
 		}()
 	}
@@ -637,12 +806,18 @@ func sortStrings(s []string) {
 
 // handleOVSDB runs on the OVSDB client's delivery goroutine.
 func (c *Controller) handleOVSDB(tu ovsdb.TableUpdates) {
+	c.handleOVSDBTxn(0, tu)
+}
+
+// handleOVSDBTxn is handleOVSDB with the originating transaction ID, used
+// when the management plane supports txn-aware monitors.
+func (c *Controller) handleOVSDBTxn(txn uint64, tu ovsdb.TableUpdates) {
 	ups, err := c.ovsdbUpdates(tu)
 	if err != nil {
 		c.fail(err)
 		return
 	}
-	c.enqueue(event{source: "ovsdb", updates: ups})
+	c.enqueue(event{source: "ovsdb", txnID: txn, updates: ups})
 }
 
 func (c *Controller) enqueue(ev event) {

@@ -21,6 +21,11 @@ type fakeMP struct {
 func (f *fakeMP) GetSchema(string) (*ovsdb.DatabaseSchema, error) { return f.db.Schema(), nil }
 
 func (f *fakeMP) Monitor(_ string, _ any, requests map[string]*ovsdb.MonitorRequest, cb func(ovsdb.TableUpdates)) (ovsdb.TableUpdates, error) {
+	_, initial, err := f.db.AddMonitor(requests, func(_ uint64, tu ovsdb.TableUpdates) { cb(tu) })
+	return initial, err
+}
+
+func (f *fakeMP) MonitorTxn(_ string, _ any, requests map[string]*ovsdb.MonitorRequest, cb func(uint64, ovsdb.TableUpdates)) (ovsdb.TableUpdates, error) {
 	_, initial, err := f.db.AddMonitor(requests, cb)
 	return initial, err
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dl/ast"
 	"repro/internal/dl/typecheck"
@@ -50,6 +51,11 @@ type Options struct {
 	// evaluation is read-only and results are merged sequentially, so the
 	// output is identical to sequential evaluation.
 	Workers int
+	// CollectStats enables per-transaction evaluation statistics
+	// (per-stratum timings, worker utilization, delta sizes), retrievable
+	// via LastApplyStats. Off by default: the hot path then contains no
+	// timing calls at all.
+	CollectStats bool
 }
 
 // Runtime incrementally evaluates one checked program instance.
@@ -66,9 +72,9 @@ type Runtime struct {
 	// occurs in a body.
 	occsByRel   [][]occurrence
 	rulesByHead map[*relState][]*compiledRule
-	strata     [][]int
-	recStratum []bool
-	failed     error
+	strata      [][]int
+	recStratum  []bool
+	failed      error
 	// derivations counts tuple derivation operations in the current
 	// transaction. Sequential sections increment it directly; parallel
 	// evaluation batches use atomic increments (the two never overlap: a
@@ -76,6 +82,14 @@ type Runtime struct {
 	derivations int64
 	// seqCtx is the evaluation scratch used by all sequential plan runs.
 	seqCtx evalCtx
+	// stats is the in-progress ApplyStats of the current transaction (nil
+	// unless Options.CollectStats); lastStats is the completed record of
+	// the previous transaction. statJobs/statRounds accumulate the
+	// current stratum's counters.
+	stats      *ApplyStats
+	lastStats  *ApplyStats
+	statJobs   int
+	statRounds int
 }
 
 type occurrence struct {
@@ -284,6 +298,14 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 		m[u.Rec.Key()] = staged{rec: u.Rec, desired: u.Insert}
 	}
 	rt.derivations = 0
+	rt.stats = nil
+	if rt.opts.CollectStats {
+		w := rt.opts.Workers
+		if w < 1 {
+			w = 1
+		}
+		rt.stats = &ApplyStats{Workers: rt.opts.Workers, WorkerBusy: make([]time.Duration, w)}
+	}
 	// Apply effective input changes.
 	for rs, m := range stagedByRel {
 		for recKey, s := range m {
@@ -296,6 +318,11 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 	}
 	// Propagate stratum by stratum.
 	for s := range rt.strata {
+		var t0 time.Time
+		if rt.stats != nil {
+			rt.statJobs, rt.statRounds = 0, 0
+			t0 = time.Now()
+		}
 		var err error
 		if rt.recStratum[s] {
 			err = rt.runRecursiveStratum(s, initial)
@@ -305,6 +332,15 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 		if err != nil {
 			rt.failed = err
 			return nil, err
+		}
+		if rt.stats != nil {
+			rt.stats.Strata = append(rt.stats.Strata, StratumStats{
+				Stratum:   s,
+				Recursive: rt.recStratum[s],
+				Jobs:      rt.statJobs,
+				Rounds:    rt.statRounds,
+				Duration:  time.Since(t0),
+			})
 		}
 	}
 	// Collect output deltas and reset per-transaction state.
@@ -316,6 +352,13 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 	}
 	for _, rs := range rt.rels {
 		rs.clearTxn()
+	}
+	if rt.stats != nil {
+		rt.stats.Derivations = rt.derivations
+		for _, z := range out {
+			rt.stats.DeltaSize += z.Len()
+		}
+		rt.lastStats, rt.stats = rt.stats, nil
 	}
 	return out, nil
 }
@@ -551,6 +594,9 @@ func (rt *Runtime) gatherCountingJobs(head *relState, initial bool) []seedJob {
 func (rt *Runtime) runCountingStratum(s int, initial bool) error {
 	head := rt.rels[rt.strata[s][0]]
 	jobs := rt.gatherCountingJobs(head, initial)
+	if rt.stats != nil {
+		rt.statJobs += len(jobs)
+	}
 	if nw := rt.parallelism(len(jobs)); nw > 1 {
 		outs, err := rt.evalJobsZSet(jobs, nw)
 		if err != nil {

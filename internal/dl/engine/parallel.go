@@ -148,10 +148,10 @@ func (rt *Runtime) evalJobsZSet(jobs []seedJob, nw int) ([]*zset.ZSet, error) {
 			return nil
 		}
 	}
-	err := runWorkers(nw, len(jobs), func(wi, i int) error {
+	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error {
 		j := jobs[i]
 		return rt.runPlan(ctxs[wi], j.p, j.seed, j.w, j.mode, emits[wi])
-	})
+	}))
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -189,7 +189,7 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 	for wi := 0; wi < nw; wi++ {
 		ctxs[wi] = ctxPool.Get().(*evalCtx)
 	}
-	err := runWorkers(nw, len(jobs), func(wi, i int) error {
+	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error {
 		j := jobs[i]
 		return rt.runPlan(ctxs[wi], j.p, j.seed, j.w, j.mode,
 			func(rec value.Record, key string, _ int64) error {
@@ -199,7 +199,7 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 				outs[wi] = append(outs[wi], cand{rel: j.head, rec: rec, key: key})
 				return nil
 			})
-	})
+	}))
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -258,7 +258,7 @@ func (rt *Runtime) runCheckJobs(jobs []checkJob) ([]bool, error) {
 	for wi := 0; wi < nw; wi++ {
 		ctxs[wi] = ctxPool.Get().(*evalCtx)
 	}
-	err := runWorkers(nw, len(jobs), func(wi, i int) error { return check(ctxs[wi], i) })
+	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error { return check(ctxs[wi], i) }))
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -358,6 +358,10 @@ func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, str
 		frontier := rt.gatherRecursiveSeeds(inStratum, stratumRules, false, initial)
 		fallback := false
 		for len(frontier) > 0 && !fallback {
+			if rt.stats != nil {
+				rt.statRounds++
+				rt.statJobs += len(frontier)
+			}
 			cands, err := rt.evalJobsCollect(frontier)
 			if err != nil {
 				return err
@@ -417,6 +421,10 @@ func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, str
 	}
 	frontier = append(frontier, rt.gatherRecursiveSeeds(inStratum, stratumRules, true, initial)...)
 	for len(frontier) > 0 {
+		if rt.stats != nil {
+			rt.statRounds++
+			rt.statJobs += len(frontier)
+		}
 		cands, err := rt.evalJobsCollect(frontier)
 		if err != nil {
 			return err

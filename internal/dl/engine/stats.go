@@ -1,0 +1,60 @@
+package engine
+
+import "time"
+
+// StratumStats times one stratum's propagation within a single Apply.
+type StratumStats struct {
+	Stratum   int
+	Recursive bool
+	// Jobs counts plan seedings evaluated: the settled job list for
+	// counting strata, the cumulative frontier size for parallel
+	// recursive strata. The sequential recursive path does not count
+	// (its LIFO cascade has no batch boundary) and reports 0.
+	Jobs int
+	// Rounds counts breadth-first propagation rounds (parallel recursive
+	// strata only; DRed overdelete and insertion rounds both count).
+	Rounds   int
+	Duration time.Duration
+}
+
+// ApplyStats describes one transaction's evaluation when
+// Options.CollectStats is set. Collection adds two clock reads per
+// stratum plus two per parallel job; with CollectStats false none of
+// this code runs.
+type ApplyStats struct {
+	Strata      []StratumStats
+	Derivations int64
+	// DeltaSize is the total number of tuple changes across all output
+	// relations' deltas.
+	DeltaSize int
+	// Workers echoes Options.Workers; WorkerBusy[i] is worker i's total
+	// plan-evaluation time across all parallel batches of the Apply
+	// (empty when evaluation stayed sequential).
+	Workers    int
+	WorkerBusy []time.Duration
+}
+
+// LastApplyStats returns the statistics of the most recent Apply, or nil
+// when Options.CollectStats is unset. The returned value is owned by the
+// runtime and valid until the next Apply.
+func (rt *Runtime) LastApplyStats() *ApplyStats { return rt.lastStats }
+
+// NumStrata returns the number of evaluation strata in the compiled
+// program (useful for pre-registering per-stratum metrics).
+func (rt *Runtime) NumStrata() int { return len(rt.strata) }
+
+// instrument wraps a worker function with per-worker busy-time
+// accounting when stats collection is on.
+func (rt *Runtime) instrument(fn func(wi, i int) error) func(wi, i int) error {
+	if rt.stats == nil {
+		return fn
+	}
+	busy := rt.stats.WorkerBusy
+	return func(wi, i int) error {
+		t0 := time.Now()
+		err := fn(wi, i)
+		// Each worker only touches its own slot; no synchronization needed.
+		busy[wi] += time.Since(t0)
+		return err
+	}
+}

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCollectStatsOff(t *testing.T) {
+	rt := newRT(t, projSrc)
+	apply(t, rt, Insert("In", strRec("x", "y")))
+	if rt.LastApplyStats() != nil {
+		t.Fatalf("stats collected with CollectStats unset")
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	rt, err := New(compile(t, projSrc), Options{CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(t, rt, Insert("In", strRec("x", "y")))
+	st := rt.LastApplyStats()
+	if st == nil {
+		t.Fatalf("no stats with CollectStats set")
+	}
+	if len(st.Strata) != rt.NumStrata() {
+		t.Fatalf("stats cover %d strata, runtime has %d", len(st.Strata), rt.NumStrata())
+	}
+	if st.DeltaSize != 1 {
+		t.Fatalf("DeltaSize = %d, want 1", st.DeltaSize)
+	}
+	if st.Derivations < 1 {
+		t.Fatalf("Derivations = %d, want >= 1", st.Derivations)
+	}
+	var jobs int
+	for _, ss := range st.Strata {
+		jobs += ss.Jobs
+	}
+	if jobs < 1 {
+		t.Fatalf("no jobs counted: %+v", st.Strata)
+	}
+}
+
+func TestCollectStatsParallelWorkerBusy(t *testing.T) {
+	rt, err := New(compile(t, `
+		input relation In(a: string, b: string)
+		output relation Out(b: string, a: string)
+		Out(b, a) :- In(a, b).
+	`), Options{Workers: 4, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough updates to cross minParallelJobs and engage the pool.
+	ups := make([]Update, 0, 64)
+	for i := 0; i < 64; i++ {
+		ups = append(ups, Insert("In", strRec(fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i))))
+	}
+	apply(t, rt, ups...)
+	st := rt.LastApplyStats()
+	if st == nil || st.Workers != 4 || len(st.WorkerBusy) != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var busy bool
+	for _, d := range st.WorkerBusy {
+		if d > 0 {
+			busy = true
+		}
+	}
+	if !busy {
+		t.Fatalf("no worker busy time recorded: %v", st.WorkerBusy)
+	}
+	if st.DeltaSize != 64 {
+		t.Fatalf("DeltaSize = %d, want 64", st.DeltaSize)
+	}
+}

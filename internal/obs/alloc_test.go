@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+// TestObsHotPathZeroAlloc guards the acceptance criterion that counter
+// increments and histogram observes allocate nothing for pre-registered
+// series (mirroring engine's TestArrangementProbeZeroAlloc). Registration
+// may allocate; the per-event hot path must not.
+func TestObsHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "h", L("plane", "test"))
+	g := r.Gauge("hot_gauge", "h")
+	h := r.Histogram("hot_seconds", "h", nil)
+
+	cases := []struct {
+		name string
+		run  func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(0.5) }},
+		{"Histogram.Observe", func() { h.Observe(0.0042) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(200, tc.run); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+
+	// The nil (disabled) instruments must be alloc-free too.
+	var nc *Counter
+	var nh *Histogram
+	if allocs := testing.AllocsPerRun(200, func() { nc.Inc(); nh.Observe(1) }); allocs != 0 {
+		t.Errorf("nil instruments: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// Observer bundles the metrics registry and the transaction tracer that
+// one process threads through its planes. A nil *Observer is the
+// disabled state: Reg() and Tr() return nil, which cascades into no-op
+// instruments everywhere downstream.
+type Observer struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// NewObserver creates an enabled observer with a fresh registry and a
+// default-capacity tracer.
+func NewObserver() *Observer {
+	return &Observer{Registry: NewRegistry(), Tracer: NewTracer(0)}
+}
+
+// Reg returns the registry (nil when the observer is disabled).
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Tr returns the tracer (nil when the observer is disabled).
+func (o *Observer) Tr() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Handler returns the runtime-exposure mux:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/traces  recent transaction timelines as JSON (?n= limits)
+//	/debug/pprof/  the standard Go profiling endpoints
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Reg().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		o.Tr().WriteJSON(w, n)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve serves the runtime endpoints on ln until it is closed.
+func (o *Observer) Serve(ln net.Listener) error {
+	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return srv.Serve(ln)
+}
+
+// ListenAndServe listens on addr and serves the runtime endpoints.
+func (o *Observer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return o.Serve(ln)
+}

@@ -1,0 +1,403 @@
+// Package obs is the cross-plane observability subsystem: a stdlib-only
+// metrics registry (atomic counters, gauges, fixed-bucket histograms with
+// Prometheus text exposition), a bounded transaction tracer that stitches
+// one management-plane commit to its control-plane evaluation and
+// data-plane push, and an opt-in HTTP server exposing both plus pprof.
+//
+// Every type is safe to use through nil pointers: a nil *Registry hands
+// out nil instruments whose methods are no-ops, so instrumented code
+// never branches on "is observability enabled". The update paths of
+// pre-registered instruments take no locks and perform no allocations —
+// cheap enough for the engine and push hot paths.
+//
+// Metric naming follows <plane>_<noun>_<unit>: ovsdb_* (management
+// plane), dl_* (control-plane engine), core_* (controller sync loop),
+// p4rt_* / switchsim_* (data plane). Counters end in _total; latencies
+// are seconds histograms over LatencyBuckets; sizes use SizeBuckets.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the default histogram bounds for durations in
+// seconds: 5µs to 2.5s in a 1-2.5-5 progression (+Inf is implicit). They
+// cover the repo's whole dynamic range, from sub-stratum evaluation to a
+// full-stack push over TCP.
+var LatencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// SizeBuckets are the default histogram bounds for counts (batch sizes,
+// delta sizes): powers of four up to 64Ki.
+var SizeBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}
+
+// Label is one name="value" pair attached to a series.
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// instrument is the common identity of one registered series.
+type instrument struct {
+	name   string
+	labels string // rendered {k="v",...} suffix, "" when unlabeled
+}
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; a nil Counter ignores updates.
+type Counter struct {
+	inst instrument
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. A nil Gauge ignores
+// updates.
+type Gauge struct {
+	inst instrument
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.bits, d)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed cumulative-at-exposition
+// buckets. Observe is lock-free and allocation-free. A nil Histogram
+// ignores observations.
+type Histogram struct {
+	inst   instrument
+	bounds []float64       // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// addFloat atomically adds d to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// family groups all series sharing a metric name (one TYPE line each).
+type family struct {
+	name, help, typ string
+	series          []*instrument // registration order; sorted at exposition
+	byKey           map[string]any
+}
+
+// Registry holds registered instruments. Registration takes a lock and
+// may allocate; instrument updates never do. All methods are nil-safe:
+// a nil *Registry returns nil instruments.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelKey renders labels into the canonical {k="v",...} suffix, sorted
+// by key, which doubles as the series identity within a family.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup finds or creates the family and returns the existing series, if
+// any. Caller holds r.mu.
+func (r *Registry) lookup(name, help, typ, key string) (*family, any) {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, byKey: make(map[string]any)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f, f.byKey[key]
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, got := r.lookup(name, help, "counter", key)
+	if got != nil {
+		return got.(*Counter)
+	}
+	c := &Counter{inst: instrument{name: name, labels: key}}
+	f.byKey[key] = c
+	f.series = append(f.series, &c.inst)
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, got := r.lookup(name, help, "gauge", key)
+	if got != nil {
+		return got.(*Gauge)
+	}
+	g := &Gauge{inst: instrument{name: name, labels: key}}
+	f.byKey[key] = g
+	f.series = append(f.series, &g.inst)
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram series with the
+// given ascending bucket upper bounds (nil selects LatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, got := r.lookup(name, help, "histogram", key)
+	if got != nil {
+		return got.(*Histogram)
+	}
+	h := &Histogram{
+		inst:   instrument{name: name, labels: key},
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	f.byKey[key] = h
+	f.series = append(f.series, &h.inst)
+	return h
+}
+
+// snapshotFamilies returns families and their series in deterministic
+// (name, then label) order.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	out := make([]*family, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		out = append(out, f)
+	}
+	return out
+}
+
+// formatFloat renders a sample value in Prometheus text form.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histLabels merges an extra le label into a rendered label suffix.
+func histLabels(base, le string) string {
+	if base == "" {
+		return `{le="` + le + `"}`
+	}
+	return base[:len(base)-1] + `,le="` + le + `"}`
+}
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4), sorted for determinism.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var sb strings.Builder
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, inst := range f.series {
+			switch m := f.byKey[inst.labels].(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, inst.labels, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, inst.labels, formatFloat(m.Value()))
+			case *Histogram:
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, histLabels(inst.labels, formatFloat(b)), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, histLabels(inst.labels, "+Inf"), cum)
+				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, inst.labels, formatFloat(m.Sum()))
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, inst.labels, m.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Snapshot returns every series as a flat map keyed by the exposition
+// series name (histograms expand to _bucket/_sum/_count samples), for
+// embedding in machine-readable benchmark output.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, f := range r.snapshotFamilies() {
+		for _, inst := range f.series {
+			switch m := f.byKey[inst.labels].(type) {
+			case *Counter:
+				out[f.name+inst.labels] = float64(m.Value())
+			case *Gauge:
+				out[f.name+inst.labels] = m.Value()
+			case *Histogram:
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					out[f.name+"_bucket"+histLabels(inst.labels, formatFloat(b))] = float64(cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				out[f.name+"_bucket"+histLabels(inst.labels, "+Inf")] = float64(cum)
+				out[f.name+"_sum"+inst.labels] = m.Sum()
+				out[f.name+"_count"+inst.labels] = float64(m.Count())
+			}
+		}
+	}
+	return out
+}

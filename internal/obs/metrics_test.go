@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	// Bucket occupancy: le=1 → {0.5, 1}, le=10 → {5}, le=100 → {50}, +Inf → {500}.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 556.5 {
+		t.Fatalf("count/sum = %d/%v, want 5/556.5", h.Count(), h.Sum())
+	}
+	h.ObserveDuration(2 * time.Second)
+	if h.Count() != 6 {
+		t.Fatalf("ObserveDuration not recorded")
+	}
+}
+
+// TestReRegistrationReturnsSameSeries pins the pre-registration contract:
+// the same (name, labels) identity maps to one instrument, so hot paths
+// can hold the handle and later registrations see accumulated state.
+func TestReRegistrationReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", L("p", "1"), L("q", "2"))
+	b := r.Counter("x_total", "help", L("q", "2"), L("p", "1")) // label order irrelevant
+	if a != b {
+		t.Fatalf("re-registration returned a distinct counter")
+	}
+	if c := r.Counter("x_total", "help", L("p", "other")); c == a {
+		t.Fatalf("different labels returned the same series")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+// TestNilRegistryIsNoOp pins the disabled path: nil registry, nil
+// instruments, every method a no-op. Instrumented code never branches.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h_seconds", "h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments accumulated state")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatalf("nil registry snapshot not nil")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_txn_total", "transactions", L("source", "ovsdb")).Add(3)
+	r.Counter("app_txn_total", "transactions", L("source", "digest")).Add(1)
+	r.Gauge("app_inflight", "in-flight").Set(2)
+	h := r.Histogram("app_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE app_inflight gauge\n",
+		"# TYPE app_seconds histogram\n",
+		"# TYPE app_txn_total counter\n",
+		"# HELP app_txn_total transactions\n",
+		`app_txn_total{source="ovsdb"} 3` + "\n",
+		`app_txn_total{source="digest"} 1` + "\n",
+		"app_inflight 2\n",
+		`app_seconds_bucket{le="0.1"} 1` + "\n",
+		`app_seconds_bucket{le="1"} 2` + "\n",
+		`app_seconds_bucket{le="+Inf"} 3` + "\n",
+		"app_seconds_sum 5.55\n",
+		"app_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families sorted by name: inflight < seconds < txn_total.
+	if !(strings.Index(out, "app_inflight") < strings.Index(out, "app_seconds") &&
+		strings.Index(out, "app_seconds") < strings.Index(out, "app_txn_total")) {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	// Every non-comment line is "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, " ")
+		if len(parts) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", L("k", "v")).Add(7)
+	h := r.Histogram("h_seconds", "h", []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if snap[`c_total{k="v"}`] != 7 {
+		t.Fatalf("snapshot counter = %v", snap[`c_total{k="v"}`])
+	}
+	if snap["h_seconds_count"] != 1 || snap["h_seconds_sum"] != 0.5 {
+		t.Fatalf("snapshot histogram: %v", snap)
+	}
+	if snap[`h_seconds_bucket{le="1"}`] != 1 || snap[`h_seconds_bucket{le="+Inf"}`] != 1 {
+		t.Fatalf("snapshot buckets: %v", snap)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h", L("k", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `c_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, one gauge, and one
+// histogram from many goroutines (run under -race via hack/check.sh) and
+// checks the totals are exact — the lock-free paths lose no updates.
+func TestConcurrentUpdates(t *testing.T) {
+	const goroutines, perG = 16, 2000
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	g := r.Gauge("g", "h")
+	h := r.Histogram("h_seconds", "h", []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Add(1)
+				g.Add(1)
+				h.Observe(float64(j % 2)) // alternate buckets
+				// Interleave reads with writes.
+				if j%512 == 0 {
+					_ = c.Value()
+					_ = h.Count()
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if c.Value() != total {
+		t.Fatalf("counter lost updates: %d != %d", c.Value(), total)
+	}
+	if g.Value() != total {
+		t.Fatalf("gauge lost updates: %v != %d", g.Value(), total)
+	}
+	if h.Count() != total {
+		t.Fatalf("histogram lost updates: %d != %d", h.Count(), total)
+	}
+	if lo, hi := h.counts[0].Load(), h.counts[1].Load(); lo != total/2 || hi != total/2 {
+		t.Fatalf("bucket split %d/%d, want %d each", lo, hi, total/2)
+	}
+	if math.Abs(h.Sum()-total/2) > 1e-6 {
+		t.Fatalf("histogram sum %v, want %d", h.Sum(), total/2)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage is one timed step of a transaction's life: the management-plane
+// commit, the monitor fan-out, the control-plane delta evaluation (with
+// per-stratum sub-stages), or the data-plane push.
+type Stage struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Attrs carries stage-scoped measurements (update counts, delta
+	// sizes, worker utilization) as integer samples.
+	Attrs map[string]int64 `json:"attrs,omitempty"`
+}
+
+// Trace is the per-transaction timeline, keyed by the txn ID minted at
+// OVSDB commit and propagated through monitor delivery to the controller.
+// In a single-process deployment one trace carries the complete
+// commit→monitor→delta→push timeline; in a multi-process deployment each
+// process's tracer holds the stages it executed, correlated by TxnID.
+type Trace struct {
+	TxnID  uint64  `json:"txn_id"`
+	Source string  `json:"source,omitempty"`
+	Stages []Stage `json:"stages"`
+}
+
+// clone deep-copies a trace so callers can't race with appends.
+func (t *Trace) clone() Trace {
+	out := Trace{TxnID: t.TxnID, Source: t.Source, Stages: make([]Stage, len(t.Stages))}
+	copy(out.Stages, t.Stages)
+	return out
+}
+
+// Tracer keeps a bounded in-memory ring of recent transaction traces.
+// Recording is cheap (one mutex, one append) and happens once per
+// transaction stage, never per tuple. A nil Tracer ignores records.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	byID    map[uint64]*Trace
+	order   []uint64 // insertion order for FIFO eviction
+	evicted uint64
+}
+
+// DefaultTraceCapacity bounds the ring when NewTracer is given n <= 0.
+const DefaultTraceCapacity = 256
+
+// NewTracer creates a tracer retaining the last n transactions.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultTraceCapacity
+	}
+	return &Tracer{cap: n, byID: make(map[uint64]*Trace, n)}
+}
+
+// Record appends one stage to txnID's trace, creating it (and evicting
+// the oldest trace if the ring is full) on first sight. txnID 0 marks an
+// event with no originating transaction and is dropped. The source tag
+// sticks on first non-empty value.
+func (t *Tracer) Record(txnID uint64, source string, st Stage) {
+	if t == nil || txnID == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.byID[txnID]
+	if tr == nil {
+		if len(t.order) >= t.cap {
+			old := t.order[0]
+			t.order = t.order[1:]
+			delete(t.byID, old)
+			t.evicted++
+		}
+		tr = &Trace{TxnID: txnID}
+		t.byID[txnID] = tr
+		t.order = append(t.order, txnID)
+	}
+	if tr.Source == "" {
+		tr.Source = source
+	}
+	tr.Stages = append(tr.Stages, st)
+}
+
+// Get returns a copy of txnID's trace.
+func (t *Tracer) Get(txnID uint64) (Trace, bool) {
+	if t == nil {
+		return Trace{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := t.byID[txnID]
+	if tr == nil {
+		return Trace{}, false
+	}
+	return tr.clone(), true
+}
+
+// Recent returns up to n traces, oldest first (n <= 0 means all
+// retained).
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := t.order
+	if n > 0 && len(ids) > n {
+		ids = ids[len(ids)-n:]
+	}
+	out := make([]Trace, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, t.byID[id].clone())
+	}
+	return out
+}
+
+// Evicted returns how many traces the ring has discarded.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// traceDump is the /debug/traces JSON envelope.
+type traceDump struct {
+	Evicted uint64  `json:"evicted"`
+	Traces  []Trace `json:"traces"`
+}
+
+// WriteJSON renders up to n recent traces (0 = all) as JSON, each
+// trace's stages sorted by start time so the timeline reads in order.
+func (t *Tracer) WriteJSON(w io.Writer, n int) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"evicted":0,"traces":[]}`+"\n")
+		return err
+	}
+	dump := traceDump{Evicted: t.Evicted(), Traces: t.Recent(n)}
+	if dump.Traces == nil {
+		dump.Traces = []Trace{}
+	}
+	for i := range dump.Traces {
+		st := dump.Traces[i].Stages
+		sort.SliceStable(st, func(a, b int) bool { return st[a].Start.Before(st[b].Start) })
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}

@@ -17,7 +17,7 @@ type Client struct {
 	conn *jsonrpc.Conn
 
 	mu       sync.Mutex
-	monitors map[string]func(TableUpdates)
+	monitors map[string]func(uint64, TableUpdates)
 }
 
 // Dial connects to an OVSDB server over TCP.
@@ -31,7 +31,7 @@ func Dial(addr string) (*Client, error) {
 
 // NewClient wraps an established byte stream.
 func NewClient(rwc io.ReadWriteCloser) *Client {
-	c := &Client{monitors: make(map[string]func(TableUpdates))}
+	c := &Client{monitors: make(map[string]func(uint64, TableUpdates))}
 	c.conn = jsonrpc.NewConn(rwc, jsonrpc.HandlerFunc(c.handle))
 	return c
 }
@@ -53,7 +53,7 @@ func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) 
 		return v, nil
 	case "update":
 		var raw []json.RawMessage
-		if err := json.Unmarshal(params, &raw); err != nil || len(raw) != 2 {
+		if err := json.Unmarshal(params, &raw); err != nil || len(raw) < 2 {
 			return nil, &jsonrpc.RPCError{Code: "bad params", Details: "update expects [id, updates]"}
 		}
 		monID := canonicalJSON(raw[0])
@@ -63,11 +63,17 @@ func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) 
 		if err := dec.Decode(&tu); err != nil {
 			return nil, &jsonrpc.RPCError{Code: "bad params", Details: err.Error()}
 		}
+		// Optional third element: the server-minted txn ID (this repo's
+		// extension for cross-plane tracing). Absent or malformed → 0.
+		var txn uint64
+		if len(raw) >= 3 {
+			_ = json.Unmarshal(raw[2], &txn)
+		}
 		c.mu.Lock()
 		cb := c.monitors[monID]
 		c.mu.Unlock()
 		if cb != nil {
-			cb(tu)
+			cb(txn, tu)
 		}
 		return nil, nil
 	default:
@@ -166,6 +172,13 @@ func parseOpResult(raw json.RawMessage) (OpResult, error) {
 // are delivered to cb in commit order on the connection's read loop; cb
 // must not block on calls back into this client.
 func (c *Client) Monitor(db string, id any, requests map[string]*MonitorRequest, cb func(TableUpdates)) (TableUpdates, error) {
+	return c.MonitorTxn(db, id, requests, func(_ uint64, tu TableUpdates) { cb(tu) })
+}
+
+// MonitorTxn is Monitor with transaction-aware delivery: cb additionally
+// receives the txn ID the server minted at commit (0 when the server does
+// not send one), enabling cross-plane trace correlation.
+func (c *Client) MonitorTxn(db string, id any, requests map[string]*MonitorRequest, cb func(uint64, TableUpdates)) (TableUpdates, error) {
 	idRaw, err := json.Marshal(id)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Row is one table row: column name → value. The _uuid pseudo-column is
@@ -33,6 +36,18 @@ type Database struct {
 
 	monMu    sync.Mutex
 	monitors map[*Monitor]bool
+
+	// txnSeq mints transaction IDs under db.mu, so IDs are monotonic in
+	// commit order. ID 0 is reserved for "no transaction".
+	txnSeq uint64
+
+	// Observability (all nil-safe; zero overhead when unset).
+	tracer         *obs.Tracer
+	mTxnTotal      *obs.Counter
+	mTxnErrors     *obs.Counter
+	mCommitSeconds *obs.Histogram
+	mMonitorLag    *obs.Histogram
+	mMonitorSends  *obs.Counter
 }
 
 // NewDatabase creates an empty database for the schema.
@@ -112,6 +127,31 @@ func (db *Database) rebuildIndexes(table string) {
 // Schema returns the database schema.
 func (db *Database) Schema() *DatabaseSchema { return db.schema }
 
+// SetObs attaches a metrics registry and tracer to the database. Both may
+// be nil (the default): all instruments degrade to no-ops. Call before
+// serving transactions.
+func (db *Database) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
+	db.tracer = tracer
+	db.mTxnTotal = reg.Counter("ovsdb_txn_total",
+		"Committed OVSDB transactions.")
+	db.mTxnErrors = reg.Counter("ovsdb_txn_errors_total",
+		"OVSDB transactions aborted by an operation error.")
+	db.mCommitSeconds = reg.Histogram("ovsdb_commit_seconds",
+		"OVSDB transaction commit latency.", nil)
+	db.mMonitorLag = reg.Histogram("ovsdb_monitor_lag_seconds",
+		"Delay between commit and monitor callback delivery.", nil)
+	db.mMonitorSends = reg.Counter("ovsdb_monitor_updates_total",
+		"Monitor update notifications delivered.")
+}
+
+// LastTxnID returns the most recently minted transaction ID (0 if no
+// transaction has committed).
+func (db *Database) LastTxnID() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.txnSeq
+}
+
 // Operation is one element of a transact request (RFC 7047 §5.2).
 type Operation struct {
 	Op        string               `json:"op"`
@@ -172,6 +212,7 @@ func (tx *txn) change(table string, id UUID) *rowChange {
 // error, later operations are not executed, and all changes are rolled
 // back (per RFC 7047, the whole transaction is aborted).
 func (db *Database) Transact(ops []Operation) []OpResult {
+	start := time.Now()
 	db.mu.Lock()
 
 	tx := &txn{
@@ -206,6 +247,7 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 			results = append(results, OpResult{})
 		}
 		db.mu.Unlock()
+		db.mTxnErrors.Inc()
 		return results
 	}
 	// Resolve named UUIDs that leaked into stored rows.
@@ -222,16 +264,32 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 			db.rebuildIndexes(table)
 		}
 		db.mu.Unlock()
+		db.mTxnErrors.Inc()
 		return []OpResult{{Error: "constraint violation", Details: err.Error()}}
 	}
 	// Snapshot the effective changes and enqueue monitor notifications
 	// before releasing the database lock, so monitors observe commits in
 	// order. Delivery itself is asynchronous (per-monitor goroutines).
+	// The txn ID is minted here, under db.mu, so IDs are monotonic in
+	// commit order and monitors can correlate updates to transactions.
+	db.txnSeq++
+	txnID := db.txnSeq
+	commit := time.Now()
 	changes := tx.effectiveChanges()
 	if len(changes) > 0 {
-		db.notifyMonitors(changes)
+		db.notifyMonitors(txnID, commit, changes)
 	}
 	db.mu.Unlock()
+	db.mTxnTotal.Inc()
+	db.mCommitSeconds.ObserveDuration(commit.Sub(start))
+	if db.tracer != nil {
+		db.tracer.Record(txnID, "ovsdb", obs.Stage{
+			Name:  "commit",
+			Start: start,
+			End:   commit,
+			Attrs: map[string]int64{"ops": int64(len(ops)), "changed_tables": int64(len(changes))},
+		})
+	}
 	return results
 }
 

@@ -2,6 +2,9 @@ package ovsdb
 
 import (
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // MonitorSelect controls which kinds of changes a monitor receives.
@@ -51,22 +54,33 @@ type TableUpdates map[string]TableUpdate
 
 // Monitor is a registered change subscriber. Notifications are delivered
 // in commit order on a dedicated goroutine via the callback passed to
-// AddMonitor.
+// AddMonitor. The txn argument is the ID minted at commit (0 for events
+// with no originating transaction), letting subscribers correlate
+// updates with traced transactions.
 type Monitor struct {
 	db       *Database
 	requests map[string]*MonitorRequest
-	notify   func(TableUpdates)
+	notify   func(txn uint64, tu TableUpdates)
 
 	mu     sync.Mutex
-	queue  []TableUpdates
+	queue  []queuedUpdate
 	wake   chan struct{}
 	closed bool
+}
+
+// queuedUpdate is one committed transaction's rendered updates awaiting
+// delivery, stamped with the commit time so delivery can report fan-out
+// lag.
+type queuedUpdate struct {
+	txn    uint64
+	commit time.Time
+	tu     TableUpdates
 }
 
 // AddMonitor registers a monitor over the given tables and returns it
 // along with the initial contents (rows as inserts) for tables whose
 // select includes initial. notify is called sequentially, in commit order.
-func (db *Database) AddMonitor(requests map[string]*MonitorRequest, notify func(TableUpdates)) (*Monitor, TableUpdates, error) {
+func (db *Database) AddMonitor(requests map[string]*MonitorRequest, notify func(txn uint64, tu TableUpdates)) (*Monitor, TableUpdates, error) {
 	for table, req := range requests {
 		ts := db.schema.Tables[table]
 		if ts == nil {
@@ -129,13 +143,13 @@ func (m *Monitor) Cancel() {
 	}
 }
 
-func (m *Monitor) enqueue(tu TableUpdates) {
+func (m *Monitor) enqueue(qu queuedUpdate) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return
 	}
-	m.queue = append(m.queue, tu)
+	m.queue = append(m.queue, qu)
 	m.mu.Unlock()
 	select {
 	case m.wake <- struct{}{}:
@@ -158,8 +172,16 @@ func (m *Monitor) run() {
 		batch := m.queue
 		m.queue = nil
 		m.mu.Unlock()
-		for _, tu := range batch {
-			m.notify(tu)
+		for _, qu := range batch {
+			delivered := time.Now()
+			m.db.mMonitorLag.ObserveDuration(delivered.Sub(qu.commit))
+			m.db.mMonitorSends.Inc()
+			m.db.tracer.Record(qu.txn, "ovsdb", obs.Stage{
+				Name:  "monitor",
+				Start: qu.commit,
+				End:   delivered,
+			})
+			m.notify(qu.txn, qu.tu)
 		}
 	}
 }
@@ -185,13 +207,13 @@ func projectRow(ts *TableSchema, row Row, columns []string) map[string]any {
 // notifyMonitors fans a committed transaction's changes out to monitors.
 // Called with db.mu held (commit order therefore equals enqueue order);
 // delivery happens asynchronously on each monitor's goroutine.
-func (db *Database) notifyMonitors(changes map[string]map[UUID]*rowChange) {
+func (db *Database) notifyMonitors(txn uint64, commit time.Time, changes map[string]map[UUID]*rowChange) {
 	db.monMu.Lock()
 	defer db.monMu.Unlock()
 	for m := range db.monitors {
 		tu := m.render(db, changes)
 		if len(tu) > 0 {
-			m.enqueue(tu)
+			m.enqueue(queuedUpdate{txn: txn, commit: commit, tu: tu})
 		}
 	}
 }

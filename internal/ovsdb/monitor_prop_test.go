@@ -38,7 +38,7 @@ func TestPropMonitorMirrorsTable(t *testing.T) {
 	m := &mirror{rows: make(map[string]map[string]any)}
 	_, initial, err := db.AddMonitor(map[string]*MonitorRequest{
 		"Port": {Columns: []string{"name", "number", "enabled"}},
-	}, m.apply)
+	}, func(_ uint64, tu TableUpdates) { m.apply(tu) })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -261,8 +261,12 @@ func (sc *serverConn) handleMonitor(params json.RawMessage) (any, *jsonrpc.RPCEr
 	sc.mu.Unlock()
 
 	idCopy := append(json.RawMessage{}, raw[1]...)
-	mon, initial, err := db.AddMonitor(requests, func(tu TableUpdates) {
-		sc.conn.Notify("update", []any{json.RawMessage(idCopy), tu})
+	// The txn ID rides as an optional third element of the update
+	// notification so clients can correlate updates with traced
+	// transactions; RFC 7047 clients that expect two elements should
+	// ignore extras.
+	mon, initial, err := db.AddMonitor(requests, func(txn uint64, tu TableUpdates) {
+		sc.conn.Notify("update", []any{json.RawMessage(idCopy), tu, txn})
 	})
 	if err != nil {
 		return nil, rpcErr("bad request", err.Error())

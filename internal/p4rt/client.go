@@ -5,8 +5,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/jsonrpc"
+	"repro/internal/obs"
 	"repro/internal/p4"
 )
 
@@ -18,6 +20,14 @@ type Client struct {
 	onDigest   func(DigestList)
 	onPacketIn func(PacketIn)
 	autoAck    bool
+
+	// Write-path instruments (nil-safe; zero overhead when unset).
+	mWriteSecs    *obs.Histogram
+	mWrites       *obs.Counter
+	mWriteErrors  *obs.Counter
+	mInflight     *obs.Gauge
+	mWriteUpdates *obs.Histogram
+	obsOn         bool
 }
 
 // Dial connects to a p4rt server over TCP.
@@ -108,10 +118,44 @@ func (c *Client) GetP4Info() (*p4.P4Info, error) {
 	return &info, nil
 }
 
+// SetObs registers the client's write-path metrics in reg, labelled with
+// target (the device this client controls). Call before issuing writes;
+// a nil registry leaves the client uninstrumented.
+func (c *Client) SetObs(reg *obs.Registry, target string) {
+	if reg == nil {
+		return
+	}
+	lbl := obs.L("target", target)
+	c.mWriteSecs = reg.Histogram("p4rt_write_seconds",
+		"Write RPC latency.", nil, lbl)
+	c.mWrites = reg.Counter("p4rt_writes_total",
+		"Write RPCs issued.", lbl)
+	c.mWriteErrors = reg.Counter("p4rt_write_errors_total",
+		"Write RPCs that failed.", lbl)
+	c.mInflight = reg.Gauge("p4rt_writes_inflight",
+		"Write RPCs currently awaiting a response.", lbl)
+	c.mWriteUpdates = reg.Histogram("p4rt_write_updates",
+		"Updates per write RPC.", obs.SizeBuckets, lbl)
+	c.obsOn = true
+}
+
 // Write applies updates atomically on the device.
 func (c *Client) Write(updates ...Update) error {
 	var out map[string]any
-	return c.conn.Call("write", updates, &out)
+	if !c.obsOn {
+		return c.conn.Call("write", updates, &out)
+	}
+	c.mInflight.Add(1)
+	t0 := time.Now()
+	err := c.conn.Call("write", updates, &out)
+	c.mWriteSecs.ObserveDuration(time.Since(t0))
+	c.mInflight.Add(-1)
+	c.mWrites.Inc()
+	c.mWriteUpdates.Observe(float64(len(updates)))
+	if err != nil {
+		c.mWriteErrors.Inc()
+	}
+	return err
 }
 
 // ReadTable snapshots a table's entries.

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/p4"
 	"repro/internal/p4rt"
 )
@@ -52,6 +53,26 @@ type Switch struct {
 	nextListID uint64
 	acked      map[uint64]bool
 	flushTimer *time.Timer
+
+	// Data-plane instruments (nil-safe; zero overhead when unset).
+	mRx      *obs.Counter
+	mTx      *obs.Counter
+	mDropped *obs.Counter
+	mDigests *obs.Counter
+	mWrites  *obs.Counter
+	mUpdates *obs.Counter
+}
+
+// SetObs registers the switch's packet and control-plane counters in reg,
+// labelled with the switch name. A nil registry is a no-op.
+func (sw *Switch) SetObs(reg *obs.Registry) {
+	lbl := obs.L("switch", sw.name)
+	sw.mRx = reg.Counter("switchsim_rx_packets_total", "Frames injected.", lbl)
+	sw.mTx = reg.Counter("switchsim_tx_packets_total", "Frames emitted.", lbl)
+	sw.mDropped = reg.Counter("switchsim_dropped_packets_total", "Frames dropped by the pipeline.", lbl)
+	sw.mDigests = reg.Counter("switchsim_digest_lists_total", "Digest lists sent to the controller.", lbl)
+	sw.mWrites = reg.Counter("switchsim_writes_total", "Write batches applied.", lbl)
+	sw.mUpdates = reg.Counter("switchsim_write_updates_total", "Individual updates applied.", lbl)
 }
 
 // New builds a switch running the program.
@@ -111,6 +132,7 @@ func (sw *Switch) Inject(port uint16, data []byte) error {
 	sw.statsMu.Lock()
 	sw.portStats(port).RxPackets++
 	sw.statsMu.Unlock()
+	sw.mRx.Inc()
 
 	res, err := sw.rt.Process(port, data)
 	if err != nil {
@@ -120,6 +142,7 @@ func (sw *Switch) Inject(port uint16, data []byte) error {
 		sw.statsMu.Lock()
 		sw.dropped++
 		sw.statsMu.Unlock()
+		sw.mDropped.Inc()
 	}
 	for _, d := range res.Digests {
 		sw.queueDigest(d)
@@ -131,6 +154,7 @@ func (sw *Switch) Inject(port uint16, data []byte) error {
 		sw.statsMu.Lock()
 		sw.portStats(o.Port).TxPackets++
 		sw.statsMu.Unlock()
+		sw.mTx.Inc()
 		if out != nil {
 			out(o.Port, o.Data)
 		}
@@ -205,6 +229,7 @@ func (sw *Switch) flushDigestLocked(name string) {
 		sw.flushTimer = nil
 	}
 	sw.nextListID++
+	sw.mDigests.Inc()
 	dl := p4rt.DigestList{Digest: name, ListID: sw.nextListID, Messages: msgs}
 	// Notify without holding digestMu against reentrant acks: the server
 	// send path is asynchronous, so holding it is safe, but release anyway.
@@ -220,6 +245,8 @@ func (sw *Switch) P4Info() *p4.P4Info { return sw.info }
 // current state and applied changes are rolled back if a later update
 // fails.
 func (sw *Switch) Write(updates []p4rt.Update) error {
+	sw.mWrites.Inc()
+	sw.mUpdates.Add(uint64(len(updates)))
 	type undo func()
 	var undos []undo
 	rollback := func() {
@@ -312,6 +339,7 @@ func (sw *Switch) PacketOut(port uint16, data []byte) error {
 	sw.statsMu.Lock()
 	sw.portStats(port).TxPackets++
 	sw.statsMu.Unlock()
+	sw.mTx.Inc()
 	sw.outMu.RLock()
 	out := sw.output
 	sw.outMu.RUnlock()
