@@ -34,7 +34,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, all")
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, all")
 	n := flag.Int("n", 2000, "ports for -exp ports")
 	vips := flag.Int("vips", 50, "load balancers for -exp lb")
 	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
@@ -43,6 +43,7 @@ func main() {
 	churn := flag.Int("churn", 100, "link events for -exp label")
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp parallel")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "machine-readable output for -exp parallel")
+	provOut := flag.String("provenance-out", "BENCH_provenance.json", "machine-readable output for -exp provenance")
 	flag.Parse()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -100,6 +101,23 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *parallelOut)
+			return res, nil
+		})
+	}
+	if want("provenance") {
+		run("provenance", func() (fmt.Stringer, error) {
+			res, err := bench.RunProvenance(1000, 32, 20)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*provOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *provOut)
 			return res, nil
 		})
 	}

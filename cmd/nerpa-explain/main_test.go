@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTree(t *testing.T) {
+	res := &explainResult{
+		Relation: "in_vlan",
+		Key:      "vlan.port=1",
+		Entry: &explainEntry{
+			Table: "in_vlan", Device: "snvs0", Matches: "vlan.port=1",
+			Action: "SetVlan", Relation: "InVlan", Record: "(1, 10)",
+			TxnID: 3, Source: "ovsdb",
+		},
+		Tree: &explainNode{
+			Relation: "InVlan", Record: "(1, 10)", Kind: "derived",
+			Rule: `InVlan(..) :- Port(..)`, Alternatives: 1,
+			Children: []*explainNode{
+				{Relation: "Port", Record: `("u", "p1", 1, 10, "access")`, Kind: "input", TxnID: 3},
+				{Relation: "Hidden", Record: "(7)", Kind: "unknown"},
+			},
+		},
+	}
+	var sb strings.Builder
+	render(&sb, res)
+	out := sb.String()
+
+	for _, want := range []string{
+		"table in_vlan on snvs0: vlan.port=1 -> SetVlan",
+		"pushed from InVlan(1, 10) by txn 3 (ovsdb)",
+		"InVlan(1, 10)  [rule: InVlan(..) :- Port(..); +1 alternative derivation(s)]",
+		`├── Port("u", "p1", 1, 10, "access")  [input, txn 3]`,
+		"└── Hidden(7)  [provenance unavailable]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderNesting(t *testing.T) {
+	res := &explainResult{
+		Tree: &explainNode{
+			Relation: "Reach", Record: "(1, 3)", Kind: "derived", Rule: "Reach(..) :- Reach(..), Edge(..)",
+			Children: []*explainNode{
+				{Relation: "Reach", Record: "(1, 2)", Kind: "derived", Rule: "Reach(..) :- Edge(..)",
+					Children: []*explainNode{
+						{Relation: "Edge", Record: "(1, 2)", Kind: "input"},
+					}},
+				{Relation: "Edge", Record: "(2, 3)", Kind: "input", Truncated: true},
+			},
+		},
+	}
+	var sb strings.Builder
+	render(&sb, res)
+	out := sb.String()
+
+	// The inner input sits under the first (non-last) child, so its line
+	// carries the continuation bar; the last child uses the corner.
+	for _, want := range []string{
+		"├── Reach(1, 2)",
+		"│   └── Edge(1, 2)  [input]",
+		"└── Edge(2, 3)  [input]  [truncated]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q\n%s", want, out)
+		}
+	}
+}

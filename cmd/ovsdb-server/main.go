@@ -41,6 +41,9 @@ func main() {
 	if *obsAddr != "" {
 		observer := obs.NewObserver()
 		db.SetObs(observer.Reg(), observer.Tr())
+		// The server is ready as soon as its listener accepts: the database
+		// is in-memory and fully initialized before serving starts.
+		observer.SetReady(true)
 		go func() {
 			if err := observer.ListenAndServe(*obsAddr); err != nil {
 				log.Fatalf("obs server: %v", err)

@@ -48,6 +48,8 @@ func main() {
 	if *obsAddr != "" {
 		observer := obs.NewObserver()
 		sw.SetObs(observer.Reg())
+		// Ready once the pipeline is loaded, which New already did.
+		observer.SetReady(true)
 		go func() {
 			if err := observer.ListenAndServe(*obsAddr); err != nil {
 				log.Fatalf("obs server: %v", err)

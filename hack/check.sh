@@ -16,3 +16,9 @@ go vet ./...
 go test -race ./...
 # Smoke: every benchmark must still run (one iteration, no timing claims).
 go test -run=NONE -bench=. -benchtime=1x ./...
+# Provenance overhead smoke: the experiment must run end to end and emit
+# its machine-readable report, and the collection-off hot path must stay
+# allocation-free (the PR's overhead budget).
+go run ./cmd/nerpa-bench -exp provenance -provenance-out BENCH_provenance.json
+test -s BENCH_provenance.json
+go test -run 'TestProvenanceOffZeroAlloc' -count=1 ./internal/dl/engine/

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Provenance overhead — Options.CollectProvenance off vs on across the
+// snvs control-plane program. The off row is the PR's overhead budget
+// baseline (the hot path must stay allocation-free; see
+// TestProvenanceOffZeroAlloc); the on row prices what /debug/explain
+// costs when enabled.
+// ---------------------------------------------------------------------
+
+// ProvenanceRow is one configuration's measurement.
+type ProvenanceRow struct {
+	Provenance bool          `json:"provenance"`
+	PerBatch   time.Duration `json:"per_batch_ns"`
+	// OverheadPct is this row's per-batch latency relative to the off
+	// baseline, as a percentage increase.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Facts/Evictions are the engine store's final statistics (zero when
+	// provenance is off).
+	Facts     int    `json:"facts"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// ProvenanceResult is the provenance-overhead report.
+type ProvenanceResult struct {
+	Ports  int             `json:"ports"`
+	Batch  int             `json:"batch"`
+	Rounds int             `json:"rounds"`
+	Rows   []ProvenanceRow `json:"rows"`
+}
+
+// RunProvenance loads the snvs engine with `ports` ports and learned
+// MACs, then times `rounds` insert+delete batches of `batch` ports with
+// provenance collection off and on.
+func RunProvenance(ports, batch, rounds int) (*ProvenanceResult, error) {
+	const nVlans = 10
+	res := &ProvenanceResult{Ports: ports, Batch: batch, Rounds: rounds}
+	for _, collect := range []bool{false, true} {
+		rt, err := SnvsEngineOpts(engine.Options{CollectProvenance: collect})
+		if err != nil {
+			return nil, err
+		}
+		var load []engine.Update
+		load = append(load, engine.Insert("SwitchCfg", value.Record{
+			value.String("u-cfg"), value.Bool(true), value.String("snvs0"),
+		}))
+		for i := 0; i < ports; i++ {
+			load = append(load, engine.Insert("Port", workload.PortRecord(i, nVlans)))
+			load = append(load, engine.Insert("Learn", workload.LearnedRecord(i, i, nVlans)))
+		}
+		if _, err := rt.Apply(load); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			ups := make([]engine.Update, 0, batch)
+			for j := 0; j < batch; j++ {
+				ups = append(ups, engine.Insert("Port", workload.PortRecord(ports+j, nVlans)))
+			}
+			if _, err := rt.Apply(ups); err != nil {
+				return nil, err
+			}
+			for j := range ups {
+				ups[j].Insert = false
+			}
+			if _, err := rt.Apply(ups); err != nil {
+				return nil, err
+			}
+		}
+		per := time.Since(start) / time.Duration(2*rounds)
+		st := rt.ProvenanceStats()
+		res.Rows = append(res.Rows, ProvenanceRow{
+			Provenance: collect, PerBatch: per,
+			Facts: st.Facts, Evictions: st.Evictions,
+		})
+	}
+	if base := float64(res.Rows[0].PerBatch); base > 0 {
+		for i := range res.Rows {
+			res.Rows[i].OverheadPct = (float64(res.Rows[i].PerBatch)/base - 1) * 100
+		}
+	}
+	return res, nil
+}
+
+// String renders the report.
+func (r *ProvenanceResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Provenance overhead: %d ports loaded, %d-port batches x %d rounds\n",
+		r.Ports, r.Batch, r.Rounds)
+	fmt.Fprintf(&sb, "  %10s  %14s  %9s  %8s  %9s\n", "provenance", "per batch", "overhead", "facts", "evictions")
+	for _, row := range r.Rows {
+		state := "off"
+		if row.Provenance {
+			state = "on"
+		}
+		fmt.Fprintf(&sb, "  %10s  %14v  %8.1f%%  %8d  %9d\n",
+			state, row.PerBatch, row.OverheadPct, row.Facts, row.Evictions)
+	}
+	return sb.String()
+}

@@ -141,7 +141,9 @@ type Controller struct {
 	inputGen *codegen.Generated
 	classes  []*classState
 	outputs  map[string]*outputRoute
+	p4Tables map[string]bool
 	mcastRel map[string]*classState
+	prov     *provState
 	prog     *dl.Program
 	rt       *engine.Runtime
 	mp       ManagementPlane
@@ -174,6 +176,11 @@ type ctrlMetrics struct {
 	derivations *obs.Counter
 	rounds      *obs.Counter
 	workerBusy  []*obs.Counter
+
+	provFacts     *obs.Gauge
+	provEvictions *obs.Gauge
+	provEntries   *obs.Gauge
+	provInputs    *obs.Gauge
 }
 
 // initObs pre-registers every controller series. Called once the runtime
@@ -226,6 +233,14 @@ func (c *Controller) initObs() {
 			"Plan-evaluation time accumulated by each pool worker.",
 			obs.L("worker", fmt.Sprintf("%d", w))))
 	}
+	c.m.provFacts = reg.Gauge("obs_provenance_facts",
+		"Derived facts with recorded provenance in the engine store.")
+	c.m.provEvictions = reg.Gauge("obs_provenance_evictions",
+		"Provenance records discarded by the capacity bounds (engine store + controller origin maps).")
+	c.m.provEntries = reg.Gauge("obs_provenance_entries",
+		"Pushed P4 table entries with a recorded origin.")
+	c.m.provInputs = reg.Gauge("obs_provenance_inputs",
+		"Input-relation records with a recorded originating transaction.")
 }
 
 type event struct {
@@ -255,8 +270,10 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 		return nil, fmt.Errorf("core: no device classes")
 	}
 	if cfg.Obs.Reg() != nil {
-		// Per-stratum and per-worker metrics need the engine's statistics.
+		// Per-stratum and per-worker metrics need the engine's statistics,
+		// and /debug/explain needs the engine's provenance store.
 		cfg.EngineOptions.CollectStats = true
+		cfg.EngineOptions.CollectProvenance = true
 	}
 	schema, err := mp.GetSchema(cfg.Database)
 	if err != nil {
@@ -270,6 +287,7 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 		cfg:      cfg,
 		inputGen: inputGen,
 		outputs:  make(map[string]*outputRoute),
+		p4Tables: make(map[string]bool),
 		mcastRel: make(map[string]*classState),
 		mp:       mp,
 		schema:   schema,
@@ -323,6 +341,7 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 				return nil, fmt.Errorf("core: output relation %q generated by two classes", rel)
 			}
 			c.outputs[rel] = &outputRoute{class: cs, binding: b}
+			c.p4Tables[b.Table] = true
 		}
 		c.mcastRel[gen.MulticastName] = cs
 		c.classes = append(c.classes, cs)
@@ -346,7 +365,13 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 	if err != nil {
 		return nil, err
 	}
+	if cfg.EngineOptions.CollectProvenance {
+		c.prov = newProvState(cfg.EngineOptions.ProvenanceCapacity)
+	}
 	c.initObs()
+	if c.prov != nil {
+		c.cfg.Obs.SetExplainer(c)
+	}
 	go c.loop()
 
 	// Digest subscriptions feed the event queue, tagged with the
@@ -441,6 +466,7 @@ func (c *Controller) fail(err error) {
 		c.err = err
 	}
 	c.mu.Unlock()
+	c.cfg.Obs.SetReady(false)
 }
 
 func (c *Controller) loop() {
@@ -461,8 +487,9 @@ func (c *Controller) loop() {
 			continue
 		}
 		c.observeEngine(&ev, start, engineTime)
+		c.noteInputs(&ev)
 		pushStart := time.Now()
-		n, err := c.push(delta)
+		n, err := c.push(&ev, delta)
 		pushTime := time.Since(pushStart)
 		if err != nil {
 			c.m.pushErrors.Inc()
@@ -485,6 +512,11 @@ func (c *Controller) loop() {
 			EngineTime:    engineTime,
 			PushTime:      pushTime,
 		})
+		if ev.source == "initial" {
+			// Monitor established and initial sync pushed: the controller
+			// is serving the database's current state.
+			c.cfg.Obs.SetReady(true)
+		}
 	}
 }
 
@@ -530,6 +562,7 @@ func (c *Controller) record(ts TxnStats) {
 	c.m.pushSecs.ObserveDuration(ts.PushTime)
 	c.m.inputSize.Observe(float64(ts.InputUpdates))
 	c.m.outputSize.Observe(float64(ts.OutputChanges))
+	c.observeProvenance()
 	if c.cfg.OnTxn != nil {
 		c.cfg.OnTxn(ts)
 	}
@@ -546,11 +579,15 @@ type target struct {
 // Deletes are issued before inserts so match-key replacements land
 // correctly. Relations are visited in sorted name order and Z-set entries
 // in sorted record order, so the write stream is deterministic regardless
-// of map iteration or engine worker interleaving.
-func (c *Controller) push(delta engine.Delta) (int, error) {
+// of map iteration or engine worker interleaving. Entry-origin records
+// are staged during conversion and applied only once every device
+// acknowledged its writes, so the origin maps never describe entries the
+// switches rejected.
+func (c *Controller) push(ev *event, delta engine.Delta) (int, error) {
 	dels := make(map[target][]p4rt.Update)
 	ins := make(map[target][]p4rt.Update)
 	mcastDirty := make(map[target]map[uint16]bool)
+	var origins []pendingOrigin
 	var order []target
 	seen := make(map[target]bool)
 	touch := func(tg target) {
@@ -616,6 +653,19 @@ func (c *Controller) push(delta engine.Delta) (int, error) {
 			} else {
 				dels[tg] = append(dels[tg], p4rt.DeleteEntry(entry))
 			}
+			if c.prov != nil {
+				match := renderMatches(route.binding, entry)
+				ek := entryKey{device: tg.device, table: entry.Table, match: match}
+				if e.Weight > 0 {
+					origins = append(origins, pendingOrigin{key: ek, origin: &EntryOrigin{
+						Table: entry.Table, Device: tg.device, Matches: match,
+						Action: entry.Action, Relation: rel, Record: e.Rec.String(),
+						TxnID: ev.txnID, Source: ev.source, rec: e.Rec,
+					}})
+				} else {
+					origins = append(origins, pendingOrigin{key: ek})
+				}
+			}
 		}
 	}
 
@@ -673,6 +723,18 @@ func (c *Controller) push(delta engine.Delta) (int, error) {
 	}
 	if err := c.writeDevices(writes); err != nil {
 		return 0, err
+	}
+	// Drops first: a same-match replacement (delete old + insert new in
+	// one delta) must end with the new origin regardless of record order.
+	for _, po := range origins {
+		if po.origin == nil {
+			c.prov.dropEntry(po.key)
+		}
+	}
+	for _, po := range origins {
+		if po.origin != nil {
+			c.prov.noteEntry(po.key, po.origin)
+		}
 	}
 	return total, nil
 }

@@ -56,6 +56,14 @@ type Options struct {
 	// via LastApplyStats. Off by default: the hot path then contains no
 	// timing calls at all.
 	CollectStats bool
+	// CollectProvenance records, per derived fact, the rule and input
+	// facts of each derivation into a bounded store queryable via
+	// Explain. Off by default: like CollectStats, the evaluation hot
+	// path then stays allocation-free.
+	CollectProvenance bool
+	// ProvenanceCapacity bounds the number of facts the provenance store
+	// retains (FIFO eviction); 0 selects DefaultProvenanceCapacity.
+	ProvenanceCapacity int
 }
 
 // Runtime incrementally evaluates one checked program instance.
@@ -90,6 +98,8 @@ type Runtime struct {
 	lastStats  *ApplyStats
 	statJobs   int
 	statRounds int
+	// prov is the provenance store (nil unless Options.CollectProvenance).
+	prov *provStore
 }
 
 type occurrence struct {
@@ -110,6 +120,8 @@ type aggSpec struct {
 	head      *relState
 	headExprs []typecheck.Expr
 	envSize   int
+	// label identifies the aggregation in provenance records.
+	label string
 }
 
 // New compiles a checked program and returns a runtime with the program's
@@ -139,6 +151,7 @@ func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
 			groupRel, spec := rt.makeGroupRel(ri, rule, gb)
 			spec.head = head
 			spec.headExprs = rule.HeadExprs
+			spec.label = fmt.Sprintf("%s :- var = %s(..) group_by (..)", head.rel.Name, gb.Agg)
 			rt.aggs = append(rt.aggs, spec)
 			rt.aggsByHead[head] = append(rt.aggsByHead[head], spec)
 			edges = append(edges, depEdge{from: groupRel.id, to: head.id, special: true})
@@ -159,6 +172,7 @@ func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
 				})
 			}
 		}
+		cr.label = ruleLabel(cr)
 		rt.rules = append(rt.rules, cr)
 		rt.rulesByHead[cr.head] = append(rt.rulesByHead[cr.head], cr)
 	}
@@ -188,6 +202,14 @@ func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
 				rs := rt.relOfDecl[lit.Rel]
 				rt.occsByRel[rs.id] = append(rt.occsByRel[rs.id], occurrence{rule: cr, bodyIdx: idx})
 			}
+		}
+	}
+	if opts.CollectProvenance {
+		rt.prov = newProvStore(opts.ProvenanceCapacity)
+		// Every relation (including hidden group relations) drops a
+		// fact's provenance when the fact is retracted.
+		for _, rs := range rt.rels {
+			rs.prov = rt.prov
 		}
 	}
 	// Evaluate facts and unit rules (the empty-input fixpoint).
@@ -388,6 +410,20 @@ func (rt *Runtime) countDerivation() error {
 // streams head contributions to emit. ctx supplies the evaluation scratch;
 // concurrent callers must use distinct contexts.
 func (rt *Runtime) runPlan(ctx *evalCtx, p *plan, seed value.Record, w int64, mode viewMode, emit emitFunc) error {
+	ctx.capture = false
+	if rt.prov != nil && mode != viewAllOld {
+		// Capture the derivation trail: the seed fact (when the seed is a
+		// positive literal) plus every fact joined below. The overdelete
+		// phase (viewAllOld) captures nothing — retracted facts drop
+		// their provenance wholesale instead.
+		ctx.capture = true
+		ctx.trail = ctx.trail[:0]
+		if p.seedIdx >= 0 {
+			if lit, ok := p.rule.body[p.seedIdx].(*typecheck.LiteralTerm); ok && !lit.Negated {
+				ctx.trail = append(ctx.trail, provInput{rs: rt.relStateOf(lit.Rel), rec: seed})
+			}
+		}
+	}
 	env := ctx.envFor(p.envSize)
 	for _, b := range p.seedBinds {
 		env[b.Slot] = seed[b.Col]
@@ -414,7 +450,11 @@ func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w
 			}
 			rec[i] = v
 		}
-		return emit(rec, rec.Key(), w)
+		key := rec.Key()
+		if ctx.capture {
+			rt.recordProv(p.rule, rec, key, w, ctx.trail)
+		}
+		return emit(rec, key, w)
 	}
 	switch st := p.steps[si].(type) {
 	case *stepFilter:
@@ -465,7 +505,14 @@ func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w
 					return true
 				}
 			}
-			if err := rt.execSteps(ctx, p, si+1, env, w, mode, emit); err != nil {
+			if ctx.capture {
+				ctx.trail = append(ctx.trail, provInput{rs: st.rel, rec: rec})
+			}
+			err := rt.execSteps(ctx, p, si+1, env, w, mode, emit)
+			if ctx.capture {
+				ctx.trail = ctx.trail[:len(ctx.trail)-1]
+			}
+			if err != nil {
 				iterErr = err
 				return false
 			}
@@ -602,6 +649,17 @@ func (rt *Runtime) runCountingStratum(s int, initial bool) error {
 		if err != nil {
 			return err
 		}
+		if rt.prov != nil && len(outs) > 1 {
+			// With provenance on, consolidate the workers' Z-sets first so
+			// each key sees at most one net applyCount transition. Without
+			// this, a transient remove (worker A's -1 merged before worker
+			// B's +1) would drop provenance recorded during evaluation for
+			// a fact that ends the transaction present.
+			for _, z := range outs[1:] {
+				outs[0].AddAll(z)
+			}
+			outs = outs[:1]
+		}
 		for _, z := range outs {
 			var applyErr error
 			z.EachKeyed(func(key string, rec value.Record, w int64) {
@@ -690,7 +748,11 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
-			if _, err := spec.head.applyCount(rec, rec.Key(), -1); err != nil {
+			key := rec.Key()
+			if rt.prov != nil {
+				rt.prov.unrecordByLabel(spec.head, key, spec.label)
+			}
+			if _, err := spec.head.applyCount(rec, key, -1); err != nil {
 				return err
 			}
 		}
@@ -702,8 +764,12 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
-			if _, err := spec.head.applyCount(rec, rec.Key(), 1); err != nil {
+			key := rec.Key()
+			if _, err := spec.head.applyCount(rec, key, 1); err != nil {
 				return err
+			}
+			if rt.prov != nil {
+				rt.recordAggProv(spec, keyBuf, rec, key)
 			}
 		}
 	}
@@ -1093,6 +1159,16 @@ func (rt *Runtime) Contents(name string) ([]value.Record, error) {
 		return nil, fmt.Errorf("engine: unknown relation %q", name)
 	}
 	return rs.contents(), nil
+}
+
+// RelationRole reports a (non-hidden) relation's role; ok is false for
+// unknown or hidden names.
+func (rt *Runtime) RelationRole(name string) (ast.RelationRole, bool) {
+	rs := rt.relByName[name]
+	if rs == nil || rs.hidden {
+		return 0, false
+	}
+	return rs.rel.Role, true
 }
 
 // Relations returns the names of the program's (non-hidden) relations,

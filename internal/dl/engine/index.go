@@ -115,6 +115,9 @@ type relState struct {
 	// before the matching insertion within one stratum; the invariant is
 	// only that counts are non-negative once the stratum settles.
 	negKeys map[string]bool
+	// prov, when non-nil, is the runtime's provenance store: a retracted
+	// fact drops its recorded derivations.
+	prov *provStore
 }
 
 type countEntry struct {
@@ -241,6 +244,9 @@ func (rs *relState) noteRemove(rec value.Record, recKey string) {
 		ix.remove(rec, recKey)
 	}
 	rs.txnDelta.AddKeyed(rec, recKey, -1)
+	if rs.prov != nil {
+		rs.prov.drop(rs.id, recKey)
+	}
 }
 
 func (rs *relState) clearTxn() {

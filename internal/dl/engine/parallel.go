@@ -57,6 +57,12 @@ type cand struct {
 type evalCtx struct {
 	env    []value.Value
 	keyBuf []byte
+	// capture/trail implement provenance recording (provenance.go): when
+	// capture is on, trail is the stack of body facts the current plan
+	// run has joined so far. runPlan resets both, so pooled contexts
+	// never leak state across runs.
+	capture bool
+	trail   []provInput
 }
 
 // envFor returns a zeroed environment of at least size n backed by the

@@ -82,8 +82,10 @@ type compiledRule struct {
 	src       *typecheck.Rule
 	head      *relState
 	headExprs []typecheck.Expr
-	body      []typecheck.Term // excludes any GroupBy term
-	slots     []typecheck.VarInfo
+	// label is the rule's operator-facing identity in provenance records.
+	label string
+	body  []typecheck.Term // excludes any GroupBy term
+	slots []typecheck.VarInfo
 	// plansByBody[i] is the plan seeded at body literal i (nil for
 	// non-literal terms).
 	plansByBody []*plan

@@ -1,0 +1,499 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dl/typecheck"
+	"repro/internal/dl/value"
+)
+
+// This file implements the provenance layer: an optional record of *why*
+// each derived fact exists — per derivation, the rule and the input facts
+// that produced it. It is gated exactly like CollectStats: when
+// Options.CollectProvenance is off the hot path carries only a single
+// boolean write per plan run and stays allocation-free
+// (TestProvenanceOffZeroAlloc). When on, every emit records (or, for
+// retractions, unrecords) a derivation into a bounded, mutex-guarded
+// store keyed by (relation, record key).
+//
+// Correctness under the engine's evaluation modes:
+//
+//   - Counting strata: insertions (w>0) record, retractions (w<0)
+//     unrecord. A derivation's identity (sig) is its rule label plus the
+//     *sorted* input record keys, so the seeding plan used to produce or
+//     retract it is irrelevant — the retraction emitted by any seeding of
+//     a rule removes the derivation the matching insertion recorded.
+//   - DRed (recursive strata): the overdelete phase runs with viewAllOld
+//     and captures nothing; applying the overdeletions drops each
+//     retracted fact's provenance wholesale (relState.noteRemove →
+//     provStore.drop). Rederivation runs check plans under viewAllNew
+//     with capture on, so a surviving fact's provenance is rebuilt from
+//     its post-deletion proof. RecursiveDeleteFallback's recomputeStratum
+//     behaves identically: setAbsent drops, re-insertion re-records.
+//   - Workers > 1: recording happens inside worker emit paths under the
+//     store mutex; sig-based identity makes record/unrecord order across
+//     workers irrelevant.
+//
+// The store is bounded (ProvenanceCapacity facts, FIFO eviction;
+// maxDerivationsPerFact alternates per fact) and Explain reads only the
+// store under its mutex — never relation state — so explaining while a
+// transaction applies is race-free by construction.
+
+// DefaultProvenanceCapacity bounds the store when
+// Options.ProvenanceCapacity is zero.
+const DefaultProvenanceCapacity = 1 << 16
+
+// maxDerivationsPerFact caps the alternate derivations retained per fact;
+// additional ones are counted as dropped rather than stored.
+const maxDerivationsPerFact = 8
+
+// maxAggProvInputs caps the group members recorded as an aggregate
+// derivation's inputs (the whole group is the true input set; huge groups
+// are truncated and flagged).
+const maxAggProvInputs = 64
+
+// Explain tree bounds used when ExplainOptions leaves them zero.
+const (
+	DefaultExplainDepth = 64
+	DefaultExplainNodes = 1024
+)
+
+// provInput is one body fact on an evaluation context's capture trail.
+type provInput struct {
+	rs  *relState
+	rec value.Record
+}
+
+// factRef identifies one input fact of a recorded derivation.
+type factRef struct {
+	rel int
+	rec value.Record
+	key string
+}
+
+// derivation is one recorded way a fact was produced.
+type derivation struct {
+	label     string
+	stratum   int
+	inputs    []factRef
+	sig       string
+	truncated bool
+}
+
+type provKey struct {
+	rel int
+	key string
+}
+
+type factProv struct {
+	rec    value.Record
+	derivs []*derivation
+}
+
+// provStore is the bounded, concurrency-safe provenance store.
+type provStore struct {
+	mu       sync.Mutex
+	capacity int
+	facts    map[provKey]*factProv
+	// order is the FIFO insertion order used for eviction; it may hold
+	// keys already dropped (tombstones), compacted when it outgrows the
+	// live set.
+	order         []provKey
+	evictions     uint64
+	droppedDerivs uint64
+}
+
+func newProvStore(capacity int) *provStore {
+	if capacity <= 0 {
+		capacity = DefaultProvenanceCapacity
+	}
+	return &provStore{capacity: capacity, facts: make(map[provKey]*factProv)}
+}
+
+// derivationSig is a derivation's identity: rule label plus sorted input
+// keys. Sorting makes the identity independent of which body literal
+// seeded the plan that produced (or retracts) the derivation.
+func derivationSig(label string, inputs []factRef) string {
+	parts := make([]string, len(inputs))
+	var sb strings.Builder
+	for i, in := range inputs {
+		sb.Reset()
+		sb.Grow(len(in.key) + 4)
+		for _, b := range []byte{byte(in.rel >> 8), byte(in.rel)} {
+			sb.WriteByte(b)
+		}
+		sb.WriteString(in.key)
+		parts[i] = sb.String()
+	}
+	sort.Strings(parts)
+	return label + "\x01" + strings.Join(parts, "\x01")
+}
+
+func trailToInputs(trail []provInput) []factRef {
+	if len(trail) == 0 {
+		return nil
+	}
+	inputs := make([]factRef, len(trail))
+	for i, t := range trail {
+		inputs[i] = factRef{rel: t.rs.id, rec: t.rec, key: t.rec.Key()}
+	}
+	return inputs
+}
+
+// record adds one derivation of (head, rec); duplicates (same sig) are
+// collapsed.
+func (ps *provStore) record(head *relState, rec value.Record, key, label string, stratum int, trail []provInput, truncated bool) {
+	inputs := trailToInputs(trail)
+	sig := derivationSig(label, inputs)
+	pk := provKey{rel: head.id, key: key}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	fp := ps.facts[pk]
+	if fp == nil {
+		ps.evictLocked()
+		fp = &factProv{rec: rec}
+		ps.facts[pk] = fp
+		ps.order = append(ps.order, pk)
+		ps.compactLocked()
+	}
+	for _, d := range fp.derivs {
+		if d.sig == sig {
+			return
+		}
+	}
+	if len(fp.derivs) >= maxDerivationsPerFact {
+		ps.droppedDerivs++
+		return
+	}
+	fp.derivs = append(fp.derivs, &derivation{
+		label: label, stratum: stratum, inputs: inputs, sig: sig, truncated: truncated,
+	})
+}
+
+// unrecord removes the derivation of (head, key) matching the retraction's
+// rule and inputs, if recorded.
+func (ps *provStore) unrecord(head *relState, key, label string, trail []provInput) {
+	sig := derivationSig(label, trailToInputs(trail))
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	fp := ps.facts[provKey{rel: head.id, key: key}]
+	if fp == nil {
+		return
+	}
+	for i, d := range fp.derivs {
+		if d.sig == sig {
+			fp.derivs = append(fp.derivs[:i], fp.derivs[i+1:]...)
+			return
+		}
+	}
+}
+
+// unrecordByLabel removes every derivation of (head, key) recorded under
+// label, regardless of inputs (aggregate re-derivations replace the whole
+// group's contribution).
+func (ps *provStore) unrecordByLabel(head *relState, key, label string) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	fp := ps.facts[provKey{rel: head.id, key: key}]
+	if fp == nil {
+		return
+	}
+	kept := fp.derivs[:0]
+	for _, d := range fp.derivs {
+		if d.label != label {
+			kept = append(kept, d)
+		}
+	}
+	fp.derivs = kept
+}
+
+// drop discards all provenance of one fact (called when the fact is
+// retracted from its relation).
+func (ps *provStore) drop(relID int, recKey string) {
+	ps.mu.Lock()
+	delete(ps.facts, provKey{rel: relID, key: recKey})
+	ps.mu.Unlock()
+}
+
+// evictLocked makes room for one more fact by evicting in FIFO order.
+func (ps *provStore) evictLocked() {
+	for len(ps.facts) >= ps.capacity && len(ps.order) > 0 {
+		pk := ps.order[0]
+		ps.order = ps.order[1:]
+		if _, ok := ps.facts[pk]; ok {
+			delete(ps.facts, pk)
+			ps.evictions++
+		}
+	}
+}
+
+// compactLocked rebuilds order without tombstones once they dominate.
+func (ps *provStore) compactLocked() {
+	if len(ps.order) <= 2*ps.capacity {
+		return
+	}
+	kept := make([]provKey, 0, len(ps.facts))
+	for _, pk := range ps.order {
+		if _, ok := ps.facts[pk]; ok {
+			kept = append(kept, pk)
+		}
+	}
+	ps.order = kept
+}
+
+// ProvenanceStats summarizes the provenance store.
+type ProvenanceStats struct {
+	// Facts is the number of facts with recorded provenance.
+	Facts int
+	// Evictions counts facts discarded by the capacity bound.
+	Evictions uint64
+	// DroppedDerivations counts alternate derivations discarded by the
+	// per-fact bound.
+	DroppedDerivations uint64
+}
+
+// ProvenanceEnabled reports whether the runtime collects provenance.
+func (rt *Runtime) ProvenanceEnabled() bool { return rt.prov != nil }
+
+// ProvenanceStats reports provenance store statistics (zero when
+// collection is off).
+func (rt *Runtime) ProvenanceStats() ProvenanceStats {
+	if rt.prov == nil {
+		return ProvenanceStats{}
+	}
+	rt.prov.mu.Lock()
+	defer rt.prov.mu.Unlock()
+	return ProvenanceStats{
+		Facts:              len(rt.prov.facts),
+		Evictions:          rt.prov.evictions,
+		DroppedDerivations: rt.prov.droppedDerivs,
+	}
+}
+
+// ExplainOptions bound a derivation tree; zero values select the
+// defaults.
+type ExplainOptions struct {
+	MaxDepth int
+	MaxNodes int
+}
+
+// ExplainNode is one node of a derivation tree.
+type ExplainNode struct {
+	Relation string `json:"relation"`
+	Record   string `json:"record"`
+	// Kind is "derived" (a rule produced it; Rule/Children say how),
+	// "input" (externally fed), "unknown" (the fact was an input to a
+	// recorded derivation but its own provenance is gone — evicted or
+	// never recorded), or "cycle" (already expanded on this path).
+	Kind    string `json:"kind"`
+	Rule    string `json:"rule,omitempty"`
+	Stratum int    `json:"stratum,omitempty"`
+	// TxnID is filled by layers that know transaction identity (the
+	// controller annotates input leaves with the OVSDB txn that inserted
+	// the row); the engine never sets it.
+	TxnID uint64 `json:"txn_id,omitempty"`
+	// Alternatives counts additional recorded derivations not expanded.
+	Alternatives int `json:"alternatives,omitempty"`
+	// Truncated marks nodes cut short by the depth/node budget or by the
+	// aggregate input cap.
+	Truncated bool           `json:"truncated,omitempty"`
+	Children  []*ExplainNode `json:"children,omitempty"`
+
+	// Tuple and RecordKey carry the fact itself for in-process callers
+	// (tests, the controller's txn annotation); not serialized.
+	Tuple     value.Record `json:"-"`
+	RecordKey string       `json:"-"`
+}
+
+// Explain returns the derivation tree of rec in a derived relation. ok is
+// false when provenance is off, the relation is unknown, hidden, or an
+// input, or the fact has no recorded provenance (never derived,
+// retracted, or evicted). It reads only the provenance store, so it is
+// safe to call concurrently with Apply.
+func (rt *Runtime) Explain(relation string, rec value.Record, opt ExplainOptions) (*ExplainNode, bool) {
+	rs := rt.relByName[relation]
+	if rt.prov == nil || rs == nil || rs.hidden || rs.isInput() {
+		return nil, false
+	}
+	return rt.prov.explain(rt, rs, rec.Key(), opt)
+}
+
+// ExplainRendered is Explain keyed by the record's String() rendering —
+// the operator-facing form the /debug/explain endpoint receives. The
+// store is scanned linearly under its lock; acceptable for a debug query.
+func (rt *Runtime) ExplainRendered(relation, rendered string, opt ExplainOptions) (*ExplainNode, bool) {
+	rs := rt.relByName[relation]
+	if rt.prov == nil || rs == nil || rs.hidden || rs.isInput() {
+		return nil, false
+	}
+	rt.prov.mu.Lock()
+	key := ""
+	found := false
+	for pk, fp := range rt.prov.facts {
+		if pk.rel == rs.id && fp.rec.String() == rendered {
+			key, found = pk.key, true
+			break
+		}
+	}
+	rt.prov.mu.Unlock()
+	if !found {
+		return nil, false
+	}
+	return rt.prov.explain(rt, rs, key, opt)
+}
+
+func (ps *provStore) explain(rt *Runtime, rs *relState, key string, opt ExplainOptions) (*ExplainNode, bool) {
+	depth, nodes := opt.MaxDepth, opt.MaxNodes
+	if depth <= 0 {
+		depth = DefaultExplainDepth
+	}
+	if nodes <= 0 {
+		nodes = DefaultExplainNodes
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	pk := provKey{rel: rs.id, key: key}
+	fp := ps.facts[pk]
+	if fp == nil || len(fp.derivs) == 0 {
+		return nil, false
+	}
+	budget := nodes
+	path := make(map[provKey]bool)
+	return ps.nodeLocked(rt, pk, fp.rec, depth, &budget, path), true
+}
+
+// nodeLocked builds the tree node for one fact (store mutex held).
+func (ps *provStore) nodeLocked(rt *Runtime, pk provKey, rec value.Record, depth int, budget *int, path map[provKey]bool) *ExplainNode {
+	*budget--
+	rs := rt.rels[pk.rel]
+	n := &ExplainNode{
+		Relation:  rs.rel.Name,
+		Record:    rec.String(),
+		Tuple:     rec,
+		RecordKey: pk.key,
+	}
+	if rs.isInput() {
+		n.Kind = "input"
+		return n
+	}
+	fp := ps.facts[pk]
+	if fp == nil || len(fp.derivs) == 0 {
+		n.Kind = "unknown"
+		return n
+	}
+	n.Kind = "derived"
+	// Prefer a derivation that does not revisit a fact already being
+	// expanded on this path (recursive strata can record cyclic
+	// alternates).
+	d := fp.derivs[0]
+	for _, cand := range fp.derivs {
+		revisits := false
+		for _, in := range cand.inputs {
+			if path[provKey{rel: in.rel, key: in.key}] {
+				revisits = true
+				break
+			}
+		}
+		if !revisits {
+			d = cand
+			break
+		}
+	}
+	n.Rule = d.label
+	n.Stratum = d.stratum
+	n.Alternatives = len(fp.derivs) - 1
+	n.Truncated = d.truncated
+	if depth <= 0 {
+		if len(d.inputs) > 0 {
+			n.Truncated = true
+		}
+		return n
+	}
+	path[pk] = true
+	for _, in := range d.inputs {
+		if *budget <= 0 {
+			n.Truncated = true
+			break
+		}
+		cpk := provKey{rel: in.rel, key: in.key}
+		if path[cpk] {
+			*budget--
+			n.Children = append(n.Children, &ExplainNode{
+				Relation:  rt.rels[in.rel].rel.Name,
+				Record:    in.rec.String(),
+				Kind:      "cycle",
+				Tuple:     in.rec,
+				RecordKey: in.key,
+			})
+			continue
+		}
+		n.Children = append(n.Children, ps.nodeLocked(rt, cpk, in.rec, depth-1, budget, path))
+	}
+	delete(path, pk)
+	return n
+}
+
+// recordProv records (w>0) or retracts (w<0) one derivation at plan emit
+// time. Called only when the emitting context has capture on.
+func (rt *Runtime) recordProv(cr *compiledRule, rec value.Record, key string, w int64, trail []provInput) {
+	if w > 0 {
+		rt.prov.record(cr.head, rec, key, cr.label, cr.head.stratum, trail, false)
+	} else if w < 0 {
+		rt.prov.unrecord(cr.head, key, cr.label, trail)
+	}
+}
+
+// recordAggProv records an aggregate head fact with its (capped) group
+// bucket as the input set.
+func (rt *Runtime) recordAggProv(spec *aggSpec, keyEnc []byte, rec value.Record, key string) {
+	var trail []provInput
+	truncated := false
+	spec.groupRel.iterBucket(spec.keyIx, keyEnc, false, func(grec value.Record) bool {
+		if len(trail) >= maxAggProvInputs {
+			truncated = true
+			return false
+		}
+		trail = append(trail, provInput{rs: spec.groupRel, rec: grec})
+		return true
+	})
+	rt.prov.record(spec.head, rec, key, spec.label, spec.head.stratum, trail, truncated)
+}
+
+// ruleLabel renders a compact operator-facing identity for a compiled
+// rule: the head name and the body literal shapes.
+func ruleLabel(cr *compiledRule) string {
+	var sb strings.Builder
+	sb.WriteString(cr.head.rel.Name)
+	sb.WriteString(" :- ")
+	wrote := false
+	nonLit := false
+	for _, term := range cr.body {
+		lit, ok := term.(*typecheck.LiteralTerm)
+		if !ok {
+			nonLit = true
+			continue
+		}
+		if wrote {
+			sb.WriteString(", ")
+		}
+		wrote = true
+		if lit.Negated {
+			sb.WriteString("not ")
+		}
+		sb.WriteString(lit.Rel.Name)
+		sb.WriteString("(..)")
+	}
+	if nonLit {
+		if wrote {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("..")
+		wrote = true
+	}
+	if !wrote {
+		sb.WriteString("<fact>")
+	}
+	return sb.String()
+}

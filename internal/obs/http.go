@@ -1,20 +1,49 @@
 package obs
 
 import (
+	"encoding/json"
+	"errors"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 )
 
+// Explainer answers /debug/explain queries. The controller implements it
+// by resolving the query against the engine's provenance store and its
+// own cross-plane origin maps.
+type Explainer interface {
+	// Explain resolves relation (a Datalog relation or a P4 table name)
+	// and key (a record or match rendering; may be empty when unique)
+	// into a JSON-marshalable derivation tree. maxDepth/maxNodes <= 0
+	// select implementation defaults. An error wrapping ErrNotFound maps
+	// to HTTP 404; any other error to 400.
+	Explain(relation, key string, maxDepth, maxNodes int) (any, error)
+}
+
+// ErrNotFound marks an explain query whose subject does not exist (or is
+// no longer recorded).
+var ErrNotFound = errors.New("not found")
+
 // Observer bundles the metrics registry and the transaction tracer that
-// one process threads through its planes. A nil *Observer is the
-// disabled state: Reg() and Tr() return nil, which cascades into no-op
-// instruments everywhere downstream.
+// one process threads through its planes, plus the process-level health
+// state the HTTP surface exposes. A nil *Observer is the disabled state:
+// Reg() and Tr() return nil, which cascades into no-op instruments
+// everywhere downstream, and the setters are no-ops.
 type Observer struct {
 	Registry *Registry
 	Tracer   *Tracer
+
+	// ready is the /readyz state: set by the process once its planes are
+	// established (for the controller: OVSDB monitor up and the initial
+	// sync pushed).
+	ready atomic.Bool
+	// expl holds the registered Explainer (nil until a provenance-capable
+	// component wires itself in).
+	expl atomic.Value
 }
 
 // NewObserver creates an enabled observer with a fresh registry and a
@@ -39,33 +68,137 @@ func (o *Observer) Tr() *Tracer {
 	return o.Tracer
 }
 
+// SetReady flips the /readyz state. Nil-safe.
+func (o *Observer) SetReady(ready bool) {
+	if o == nil {
+		return
+	}
+	o.ready.Store(ready)
+}
+
+// Ready reports the current /readyz state (false when disabled).
+func (o *Observer) Ready() bool {
+	if o == nil {
+		return false
+	}
+	return o.ready.Load()
+}
+
+// SetExplainer registers the /debug/explain resolver. Nil-safe; a nil
+// explainer is ignored.
+func (o *Observer) SetExplainer(e Explainer) {
+	if o == nil || e == nil {
+		return
+	}
+	o.expl.Store(&e)
+}
+
+func (o *Observer) explainer() Explainer {
+	if o == nil {
+		return nil
+	}
+	if p, ok := o.expl.Load().(*Explainer); ok {
+		return *p
+	}
+	return nil
+}
+
 // Handler returns the runtime-exposure mux:
 //
-//	/metrics       Prometheus text exposition of the registry
-//	/debug/traces  recent transaction timelines as JSON (?n= limits)
-//	/debug/pprof/  the standard Go profiling endpoints
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        liveness (200 once the process serves HTTP)
+//	/readyz         readiness (503 until SetReady(true))
+//	/debug/traces   transaction timelines as JSON (?txn= one transaction,
+//	                404 if unknown; ?limit= caps the dump)
+//	/debug/explain  derivation tree of one fact or table entry
+//	                (?relation= and ?key=, with ?depth=/?nodes= bounds)
+//	/debug/pprof/   the standard Go profiling endpoints
 func (o *Observer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.Reg().WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		n := 0
-		if s := r.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil {
-				n = v
-			}
-		}
-		w.Header().Set("Content-Type", "application/json")
-		o.Tr().WriteJSON(w, n)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
 	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !o.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/debug/traces", o.handleTraces)
+	mux.HandleFunc("/debug/explain", o.handleExplain)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func (o *Observer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if s := q.Get("txn"); s != "" {
+		id, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad txn id: "+s, http.StatusBadRequest)
+			return
+		}
+		tr, ok := o.Tr().Get(id)
+		if !ok {
+			http.Error(w, "unknown txn "+s, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeTraceJSON(w, tr)
+		return
+	}
+	n := 0
+	// ?limit= is the documented form; ?n= is kept for compatibility.
+	for _, p := range []string{"limit", "n"} {
+		if s := q.Get(p); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				n = v
+			}
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.Tr().WriteJSON(w, n)
+}
+
+func (o *Observer) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	relation := q.Get("relation")
+	if relation == "" {
+		http.Error(w, "missing relation parameter", http.StatusBadRequest)
+		return
+	}
+	atoi := func(p string) int {
+		v, _ := strconv.Atoi(q.Get(p))
+		return v
+	}
+	e := o.explainer()
+	if e == nil {
+		http.Error(w, "no explainer registered (provenance disabled?)", http.StatusServiceUnavailable)
+		return
+	}
+	res, err := e.Explain(relation, q.Get("key"), atoi("depth"), atoi("nodes"))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(res)
 }
 
 // Serve serves the runtime endpoints on ln until it is closed.

@@ -363,7 +363,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				cum += m.counts[len(m.bounds)].Load()
 				fmt.Fprintf(&sb, "%s_bucket%s %d\n", f.name, histLabels(inst.labels, "+Inf"), cum)
 				fmt.Fprintf(&sb, "%s_sum%s %s\n", f.name, inst.labels, formatFloat(m.Sum()))
-				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, inst.labels, m.Count())
+				// _count is derived from the same cumulative sum as the
+				// +Inf bucket: the 0.0.4 format requires them equal, and
+				// the separate count atomic can transiently disagree while
+				// concurrent Observes are in flight.
+				fmt.Fprintf(&sb, "%s_count%s %d\n", f.name, inst.labels, cum)
 			}
 		}
 	}
@@ -395,7 +399,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 				cum += m.counts[len(m.bounds)].Load()
 				out[f.name+"_bucket"+histLabels(inst.labels, "+Inf")] = float64(cum)
 				out[f.name+"_sum"+inst.labels] = m.Sum()
-				out[f.name+"_count"+inst.labels] = float64(m.Count())
+				// As in WritePrometheus: _count must equal the +Inf bucket.
+				out[f.name+"_count"+inst.labels] = float64(cum)
 			}
 		}
 	}

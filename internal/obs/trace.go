@@ -137,6 +137,15 @@ type traceDump struct {
 	Traces  []Trace `json:"traces"`
 }
 
+// writeTraceJSON renders one trace as JSON with its stages in timeline
+// order (the /debug/traces?txn= form).
+func writeTraceJSON(w io.Writer, tr Trace) error {
+	sort.SliceStable(tr.Stages, func(a, b int) bool { return tr.Stages[a].Start.Before(tr.Stages[b].Start) })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
 // WriteJSON renders up to n recent traces (0 = all) as JSON, each
 // trace's stages sorted by start time so the timeline reads in order.
 func (t *Tracer) WriteJSON(w io.Writer, n int) error {
