@@ -34,7 +34,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, all")
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, all")
 	n := flag.Int("n", 2000, "ports for -exp ports")
 	vips := flag.Int("vips", 50, "load balancers for -exp lb")
 	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
@@ -44,6 +44,8 @@ func main() {
 	workers := flag.String("workers", "1,2,4,8", "comma-separated worker counts for -exp parallel")
 	parallelOut := flag.String("parallel-out", "BENCH_parallel.json", "machine-readable output for -exp parallel")
 	provOut := flag.String("provenance-out", "BENCH_provenance.json", "machine-readable output for -exp provenance")
+	obsTxns := flag.Int("obs-txns", 300, "transactions per mode for -exp obs-overhead")
+	obsOut := flag.String("obs-overhead-out", "BENCH_obs_overhead.json", "machine-readable output for -exp obs-overhead")
 	flag.Parse()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -118,6 +120,23 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *provOut)
+			return res, nil
+		})
+	}
+	if want("obs-overhead") {
+		run("obs-overhead", func() (fmt.Stringer, error) {
+			res, err := bench.RunObsOverhead(*obsTxns)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*obsOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *obsOut)
 			return res, nil
 		})
 	}

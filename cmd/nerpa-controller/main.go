@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -21,18 +23,31 @@ import (
 	"repro/internal/snvs"
 )
 
+// drainDelay is how long /readyz answers 503 "draining" before the
+// controller actually stops, so load balancers stop routing first.
+const drainDelay = 200 * time.Millisecond
+
 func main() {
 	ovsdbAddr := flag.String("ovsdb", "127.0.0.1:6640", "OVSDB server address")
 	dbName := flag.String("db", "snvs", "database name")
 	p4rtAddrs := flag.String("p4rt", "127.0.0.1:9559", "comma-separated P4Runtime addresses")
 	rulesPath := flag.String("rules", "", "control-plane rules file (default: built-in snvs rules)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces and pprof on this address (off when empty)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces, /debug/events and pprof on this address (off when empty)")
+	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
+	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
+	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
 	verbose := flag.Bool("v", false, "log every applied transaction")
 	flag.Parse()
 
 	var observer *obs.Observer
 	if *obsAddr != "" {
-		observer = obs.NewObserver()
+		observer = obs.NewObserverWith(obs.ObserverConfig{EventCapacity: *obsEvents})
+		if *obsSlowBudget > 0 {
+			observer.SetSlowBudget(obs.AllBudget(*obsSlowBudget))
+		}
+		if *obsHistoryInterval > 0 {
+			observer.StartHistory(*obsHistoryInterval)
+		}
 		go func() {
 			if err := observer.ListenAndServe(*obsAddr); err != nil {
 				log.Fatalf("obs server: %v", err)
@@ -67,7 +82,7 @@ func main() {
 			log.Fatalf("connecting to data plane at %s: %v", addr, err)
 		}
 		defer dp.Close()
-		dp.SetObs(observer.Reg(), addr)
+		dp.SetObs(observer, addr)
 		devices = append(devices, dp)
 	}
 
@@ -85,10 +100,12 @@ func main() {
 	log.Printf("nerpa-controller: managing %q across %d data plane(s)", *dbName, len(devices))
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
-		log.Printf("nerpa-controller: interrupted, stopping")
+		log.Printf("nerpa-controller: signal received, draining")
+		observer.SetDraining()
+		time.Sleep(drainDelay)
 		ctrl.Stop()
 	case <-ctrl.Done():
 		if err := ctrl.Err(); err != nil {

@@ -7,19 +7,31 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/ovsdb"
 	"repro/internal/snvs"
 )
 
+// drainDelay is how long /readyz answers 503 "draining" before the
+// listener actually closes, so load balancers stop routing first.
+const drainDelay = 200 * time.Millisecond
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6640", "TCP listen address")
 	schemaPath := flag.String("schema", "", ".ovsschema file (default: built-in snvs schema)")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces and pprof on this address (off when empty)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces, /debug/events and pprof on this address (off when empty)")
+	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
+	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
+	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
 	flag.Parse()
 
 	var schema *ovsdb.DatabaseSchema
@@ -38,9 +50,16 @@ func main() {
 	}
 
 	db := ovsdb.NewDatabase(schema)
+	var observer *obs.Observer
 	if *obsAddr != "" {
-		observer := obs.NewObserver()
-		db.SetObs(observer.Reg(), observer.Tr())
+		observer = obs.NewObserverWith(obs.ObserverConfig{EventCapacity: *obsEvents})
+		if *obsSlowBudget > 0 {
+			observer.SetSlowBudget(obs.AllBudget(*obsSlowBudget))
+		}
+		db.SetObs(observer)
+		if *obsHistoryInterval > 0 {
+			observer.StartHistory(*obsHistoryInterval)
+		}
 		// The server is ready as soon as its listener accepts: the database
 		// is in-memory and fully initialized before serving starts.
 		observer.SetReady(true)
@@ -51,9 +70,21 @@ func main() {
 		}()
 		log.Printf("ovsdb-server: observability on http://%s/metrics", *obsAddr)
 	}
+
 	srv := ovsdb.NewServer(db)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("ovsdb-server: signal received, draining")
+		observer.SetDraining()
+		time.Sleep(drainDelay)
+		srv.Close()
+	}()
+
 	log.Printf("ovsdb-server: serving database %q on %s", schema.Name, *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("serve: %v", err)
 	}
+	log.Printf("ovsdb-server: stopped")
 }

@@ -10,9 +10,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/p4"
@@ -20,11 +25,18 @@ import (
 	"repro/internal/switchsim"
 )
 
+// drainDelay is how long /readyz answers 503 "draining" before the
+// listener actually closes, so load balancers stop routing first.
+const drainDelay = 200 * time.Millisecond
+
 func main() {
 	addr := flag.String("p4rt", "127.0.0.1:9559", "P4Runtime TCP listen address")
 	p4Path := flag.String("p4", "", "P4 subset program file (default: built-in snvs.p4)")
 	name := flag.String("name", "snvs0", "switch name")
-	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces and pprof on this address (off when empty)")
+	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces, /debug/events and pprof on this address (off when empty)")
+	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
+	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
+	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
 	flag.Parse()
 
 	var prog *p4.Program
@@ -45,9 +57,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("creating switch: %v", err)
 	}
+	var observer *obs.Observer
 	if *obsAddr != "" {
-		observer := obs.NewObserver()
-		sw.SetObs(observer.Reg())
+		observer = obs.NewObserverWith(obs.ObserverConfig{EventCapacity: *obsEvents})
+		if *obsSlowBudget > 0 {
+			observer.SetSlowBudget(obs.AllBudget(*obsSlowBudget))
+		}
+		sw.SetObs(observer)
+		if *obsHistoryInterval > 0 {
+			observer.StartHistory(*obsHistoryInterval)
+		}
 		// Ready once the pipeline is loaded, which New already did.
 		observer.SetReady(true)
 		go func() {
@@ -57,8 +76,20 @@ func main() {
 		}()
 		log.Printf("snvs-switch: observability on http://%s/metrics", *obsAddr)
 	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("snvs-switch: signal received, draining")
+		observer.SetDraining()
+		time.Sleep(drainDelay)
+		sw.Close()
+	}()
+
 	log.Printf("snvs-switch: %s running %q, p4rt on %s", *name, prog.Name, *addr)
-	if err := sw.ListenAndServe(*addr); err != nil {
+	if err := sw.ListenAndServe(*addr); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("serve: %v", err)
 	}
+	log.Printf("snvs-switch: stopped")
 }

@@ -11,6 +11,7 @@ if [ -n "$unformatted" ]; then
     echo "$unformatted" >&2
     exit 1
 fi
+sh hack/lint_names.sh
 go build ./...
 go vet ./...
 go test -race ./...
@@ -22,3 +23,8 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 go run ./cmd/nerpa-bench -exp provenance -provenance-out BENCH_provenance.json
 test -s BENCH_provenance.json
 go test -run 'TestProvenanceOffZeroAlloc' -count=1 ./internal/dl/engine/
+# Flight-recorder overhead: the experiment must emit its report, and the
+# event hot path must stay allocation-free (the PR's <=5% p50 budget).
+go run ./cmd/nerpa-bench -exp obs-overhead -obs-txns 200 -obs-overhead-out BENCH_obs_overhead.json
+test -s BENCH_obs_overhead.json
+go test -run 'TestEventHotPathZeroAlloc' -count=1 ./internal/obs/

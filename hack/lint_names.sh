@@ -1,0 +1,54 @@
+#!/bin/sh
+# Naming lint: every registered metric series must be named
+# <plane>_<snake_case> and every flight-recorder event kind must be
+# <noun>.<verb>, so dashboards, /debug/events filters, and the metrics
+# history stay greppable and predictable. Test files are exempt (they
+# register throwaway series on purpose).
+set -eu
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Metric names: the first string argument of Counter/Gauge/Histogram
+# registrations and of history Track* calls outside tests.
+metrics=$(grep -rhoE '\.(Counter|Gauge|Histogram|TrackRate|TrackValue|TrackHistogramAvg|TrackAvg)\("[^"]+"' \
+    --include='*.go' --exclude='*_test.go' cmd internal |
+    sed -E 's/.*\("([^"]+)"$/\1/' | sort -u)
+for m in $metrics; do
+    if ! echo "$m" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|bench)_[a-z0-9_]+$'; then
+        echo "lint: metric/series name \"$m\" is not <plane>_<snake_case>" >&2
+        fail=1
+    fi
+done
+
+# The watchdog's canonical series constants are series names too.
+series=$(grep -hoE '^\tSeries[A-Za-z]+ += +"[^"]+"' internal/obs/watchdog.go |
+    sed -E 's/.*"([^"]+)"/\1/')
+for s in $series; do
+    if ! echo "$s" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|bench)_[a-z0-9_]+$'; then
+        echo "lint: watchdog series name \"$s\" is not <plane>_<snake_case>" >&2
+        fail=1
+    fi
+done
+
+# Event planes and kinds: every Ev("plane", "kind") emit site.
+events=$(grep -rhoE '\bEv\("[^"]+", *"[^"]+"\)' \
+    --include='*.go' --exclude='*_test.go' cmd internal |
+    sed -E 's/.*Ev\("([^"]+)", *"([^"]+)"\)/\1:\2/' | sort -u)
+for e in $events; do
+    plane=${e%%:*}
+    kind=${e#*:}
+    if ! echo "$plane" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim)$'; then
+        echo "lint: event plane \"$plane\" (kind $kind) is not a known plane" >&2
+        fail=1
+    fi
+    if ! echo "$kind" | grep -qE '^[a-z_]+\.[a-z_]+$'; then
+        echo "lint: event kind \"$kind\" (plane $plane) is not <noun>.<verb>" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "lint_names: ok ($(echo "$metrics" | wc -l) metric names, $(echo "$events" | wc -l) event kinds)"

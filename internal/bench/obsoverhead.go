@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/ovsdb"
+)
+
+// ---------------------------------------------------------------------
+// Flight-recorder overhead — the same full-stack insert/delete workload
+// with no observer at all, with the observer but the event ring
+// disabled, with events on, and with events plus the metrics-history
+// sampler. Overhead is computed against the "metrics" row (observer
+// minus recorder), which isolates what the flight recorder itself adds
+// on top of the pre-existing metrics/tracing instrumentation: that
+// events-only delta is the PR's acceptance budget (p50 within 5%),
+// since the recorder is meant to be always-on in production.
+// ---------------------------------------------------------------------
+
+// obsOverheadBaseMode is the row overheads are computed against.
+const obsOverheadBaseMode = "metrics"
+
+// ObsOverheadRow is one recorder configuration's measurement.
+type ObsOverheadRow struct {
+	Mode string `json:"mode"` // "off", "metrics", "events", "events+history"
+	Txns int    `json:"txns"`
+	// P50/P99 are apply+push latency percentiles (engine evaluation plus
+	// data-plane push, per transaction, as measured by the controller).
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// P50OverheadPct is this row's p50 relative to the "metrics"
+	// baseline (observer on, event ring disabled), as a percentage
+	// increase.
+	P50OverheadPct float64 `json:"p50_overhead_pct"`
+	// Events is the flight recorder's total appended-event count at the
+	// end of the run (0 when the ring is off).
+	Events uint64 `json:"events"`
+}
+
+// ObsOverheadResult is the recorder-overhead report.
+type ObsOverheadResult struct {
+	Txns int              `json:"txns"`
+	Rows []ObsOverheadRow `json:"rows"`
+}
+
+// obsOverheadSamples collects per-transaction apply+push latencies from
+// the controller's OnTxn hook. The hook runs on the event-loop
+// goroutine while the driver reads counts concurrently, hence the lock.
+type obsOverheadSamples struct {
+	mu        sync.Mutex
+	armed     bool
+	latencies []time.Duration
+}
+
+func (c *obsOverheadSamples) onTxn(ts core.TxnStats) {
+	if ts.Source != "ovsdb" || ts.InputUpdates == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.armed {
+		c.latencies = append(c.latencies, ts.EngineTime+ts.PushTime)
+	}
+	c.mu.Unlock()
+}
+
+func (c *obsOverheadSamples) arm() {
+	c.mu.Lock()
+	c.armed = true
+	c.latencies = c.latencies[:0]
+	c.mu.Unlock()
+}
+
+func (c *obsOverheadSamples) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.latencies)
+}
+
+func (c *obsOverheadSamples) snapshot() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.latencies...)
+}
+
+// RunObsOverhead boots the full stack once per mode and drives `txns`
+// alternating Port insert and delete transactions through each — twice:
+// one discarded warmup pass, one measured pass — reporting p50/p99
+// apply+push latency. The alternation keeps table sizes constant, so
+// every mode measures the same steady state.
+func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
+	if txns <= 0 {
+		txns = 300
+	}
+	res := &ObsOverheadResult{Txns: txns}
+	for _, mode := range []string{"off", obsOverheadBaseMode, "events", "events+history"} {
+		var o *obs.Observer
+		switch mode {
+		case "off":
+		case obsOverheadBaseMode:
+			o = obs.NewObserverWith(obs.ObserverConfig{EventCapacity: -1})
+		default:
+			o = obs.NewObserver()
+		}
+		coll := &obsOverheadSamples{}
+		s, err := StartStackWith(o, coll.onTxn)
+		if err != nil {
+			return nil, err
+		}
+		if mode == "events+history" {
+			o.StartHistory(10 * time.Millisecond)
+		}
+		row, err := runObsOverheadMode(s, coll, mode, txns)
+		if o != nil {
+			row.Events = o.Reg().Counter("obs_events_total", "").Value()
+			o.StopHistory()
+		}
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	var base float64
+	for _, row := range res.Rows {
+		if row.Mode == obsOverheadBaseMode {
+			base = float64(row.P50)
+		}
+	}
+	if base > 0 {
+		for i := range res.Rows {
+			res.Rows[i].P50OverheadPct = (float64(res.Rows[i].P50)/base - 1) * 100
+		}
+	}
+	return res, nil
+}
+
+func runObsOverheadMode(s *Stack, coll *obsOverheadSamples, mode string, txns int) (*ObsOverheadRow, error) {
+	if err := s.Transact(ovsdb.OpInsert("SwitchCfg", map[string]ovsdb.Value{
+		"name": "snvs0", "flood_unknown": true,
+	}), ovsdb.OpInsert("Port", map[string]ovsdb.Value{
+		"name": "warm", "port_num": int64(999), "vlan_mode": "access", "tag": int64(10),
+	})); err != nil {
+		return nil, err
+	}
+	if err := s.WaitEntries("in_vlan", 1, 10*time.Second); err != nil {
+		return nil, err
+	}
+	// Pass 1 warms the whole path (allocator, connection buffers, table
+	// state); only pass 2 is measured.
+	for _, pass := range []string{"warmup", "measure"} {
+		coll.arm()
+		for i := 0; i < txns; i++ {
+			var err error
+			if i%2 == 0 {
+				err = s.Transact(ovsdb.OpInsert("Port", map[string]ovsdb.Value{
+					"name": "bench-p", "port_num": int64(7), "vlan_mode": "access", "tag": int64(10),
+				}))
+			} else {
+				err = s.Transact(ovsdb.OpDelete("Port", ovsdb.Cond("name", "==", "bench-p")))
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Drain: every committed transaction must have been applied and
+		// pushed before the next pass (or the percentile read) starts.
+		deadline := time.Now().Add(30 * time.Second)
+		for coll.count() < txns {
+			if err := s.Ctrl.Err(); err != nil {
+				return nil, err
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("bench: obs-overhead %s/%s: %d/%d transactions applied",
+					mode, pass, coll.count(), txns)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	lats := coll.snapshot()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return &ObsOverheadRow{
+		Mode: mode,
+		Txns: len(lats),
+		P50:  percentileDur(lats, 50),
+		P99:  percentileDur(lats, 99),
+	}, nil
+}
+
+// percentileDur returns the p-th percentile of sorted latencies.
+func percentileDur(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}
+
+// String renders the report.
+func (r *ObsOverheadResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Flight-recorder overhead: %d txns per mode (apply+push latency, vs %s)\n",
+		r.Txns, obsOverheadBaseMode)
+	fmt.Fprintf(&sb, "  %-14s  %12s  %12s  %9s  %8s\n", "mode", "p50", "p99", "overhead", "events")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "  %-14s  %12v  %12v  %8.1f%%  %8d\n",
+			row.Mode, row.P50, row.P99, row.P50OverheadPct, row.Events)
+	}
+	return sb.String()
+}

@@ -37,13 +37,17 @@ func StartStack() (*Stack, error) { return StartStackObs(nil) }
 
 // StartStackObs boots the full snvs deployment with every plane wired to
 // the observer's registry and tracer (nil behaves like StartStack).
-func StartStackObs(o *obs.Observer) (*Stack, error) {
+func StartStackObs(o *obs.Observer) (*Stack, error) { return StartStackWith(o, nil) }
+
+// StartStackWith is StartStackObs plus a per-transaction stats hook
+// passed through to the controller (used by latency experiments).
+func StartStackWith(o *obs.Observer, onTxn func(core.TxnStats)) (*Stack, error) {
 	schema, err := snvs.Schema()
 	if err != nil {
 		return nil, err
 	}
 	s := &Stack{DB: ovsdb.NewDatabase(schema)}
-	s.DB.SetObs(o.Reg(), o.Tr())
+	s.DB.SetObs(o)
 	fail := func(err error) (*Stack, error) {
 		s.Close()
 		return nil, err
@@ -60,7 +64,7 @@ func StartStackObs(o *obs.Observer) (*Stack, error) {
 	if err != nil {
 		return fail(err)
 	}
-	s.Switch.SetObs(o.Reg())
+	s.Switch.SetObs(o)
 	p4Ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return fail(err)
@@ -83,9 +87,9 @@ func StartStackObs(o *obs.Observer) (*Stack, error) {
 		return fail(err)
 	}
 	s.closers = append(s.closers, func() { p4c.Close() })
-	p4c.SetObs(o.Reg(), "snvs0")
+	p4c.SetObs(o, "snvs0")
 
-	s.Ctrl, err = core.New(core.Config{Rules: snvs.Rules, Database: "snvs", Obs: o}, s.DBC, p4c)
+	s.Ctrl, err = core.New(core.Config{Rules: snvs.Rules, Database: "snvs", Obs: o, OnTxn: onTxn}, s.DBC, p4c)
 	if err != nil {
 		return fail(err)
 	}

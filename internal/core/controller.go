@@ -153,6 +153,7 @@ type Controller struct {
 	stopOnce sync.Once
 
 	tracer *obs.Tracer
+	rec    *obs.Recorder
 	m      ctrlMetrics
 
 	mu  sync.Mutex
@@ -189,6 +190,7 @@ type ctrlMetrics struct {
 func (c *Controller) initObs() {
 	reg := c.cfg.Obs.Reg()
 	c.tracer = c.cfg.Obs.Tr()
+	c.rec = c.cfg.Obs.Rec()
 	c.m.txnTotal = map[string]*obs.Counter{}
 	for _, src := range []string{"ovsdb", "digest", "initial"} {
 		c.m.txnTotal[src] = reg.Counter("core_txn_total",
@@ -241,6 +243,25 @@ func (c *Controller) initObs() {
 		"Pushed P4 table entries with a recorded origin.")
 	c.m.provInputs = reg.Gauge("obs_provenance_inputs",
 		"Input-relation records with a recorded originating transaction.")
+
+	// History series the stall watchdog consumes (see obs.Series*):
+	// applied-transaction rate (summed across sources), event-queue depth,
+	// and the latency averages behind "what did push latency look like".
+	o := c.cfg.Obs
+	srcCounters := make([]*obs.Counter, 0, len(c.m.txnTotal))
+	for _, ctr := range c.m.txnTotal {
+		srcCounters = append(srcCounters, ctr)
+	}
+	o.TrackRate(obs.SeriesApplies, func() float64 {
+		var sum uint64
+		for _, ctr := range srcCounters {
+			sum += ctr.Value()
+		}
+		return float64(sum)
+	})
+	o.TrackValue(obs.SeriesQueueDepth, func() float64 { return float64(len(c.events)) })
+	o.TrackHistogramAvg(obs.SeriesPushLatency, c.m.pushSecs)
+	o.TrackHistogramAvg(obs.SeriesEngineLatency, c.m.engineSecs)
 }
 
 type event struct {
@@ -274,6 +295,9 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 		// and /debug/explain needs the engine's provenance store.
 		cfg.EngineOptions.CollectStats = true
 		cfg.EngineOptions.CollectProvenance = true
+		// The engine shares the process flight recorder, so apply/stratum
+		// events interleave with the controller's own on one timeline.
+		cfg.EngineOptions.Events = cfg.Obs.Rec()
 	}
 	schema, err := mp.GetSchema(cfg.Database)
 	if err != nil {
@@ -462,10 +486,14 @@ func (c *Controller) Barrier() error {
 
 func (c *Controller) fail(err error) {
 	c.mu.Lock()
-	if c.err == nil {
+	first := c.err == nil
+	if first {
 		c.err = err
 	}
 	c.mu.Unlock()
+	if first {
+		c.rec.Append(obs.Ev("core", "ctrl.error"))
+	}
 	c.cfg.Obs.SetReady(false)
 }
 
@@ -479,6 +507,7 @@ func (c *Controller) loop() {
 		if c.Err() != nil {
 			continue // drain after failure
 		}
+		c.rt.SetEventTxn(ev.txnID)
 		start := time.Now()
 		delta, err := c.rt.Apply(ev.updates)
 		engineTime := time.Since(start)
@@ -488,11 +517,18 @@ func (c *Controller) loop() {
 		}
 		c.observeEngine(&ev, start, engineTime)
 		c.noteInputs(&ev)
+		c.rec.Append(obs.Ev("core", "delta.done").WithTxn(ev.txnID).
+			F("input_updates", int64(len(ev.updates))).
+			F("changed_rels", int64(len(delta))).
+			F("eval_us", engineTime.Microseconds()))
 		pushStart := time.Now()
+		c.rec.Append(obs.Ev("core", "push.start").WithTxn(ev.txnID).At(pushStart))
 		n, err := c.push(&ev, delta)
 		pushTime := time.Since(pushStart)
 		if err != nil {
 			c.m.pushErrors.Inc()
+			c.rec.Append(obs.Ev("core", "push.error").WithTxn(ev.txnID).
+				F("updates", int64(n)))
 			c.fail(fmt.Errorf("core: push: %w", err))
 			continue
 		}
@@ -503,6 +539,18 @@ func (c *Controller) loop() {
 				End:   pushStart.Add(pushTime),
 				Attrs: map[string]int64{"updates": int64(n)},
 			})
+		}
+		// Budget checks run only after the push completed, so an incident
+		// pinned for a slow delta still captures the full commit→push
+		// timeline (and slow pushes pin the provenance of what they wrote).
+		if o := c.cfg.Obs; o != nil {
+			if o.BudgetExceeded("delta", engineTime) {
+				o.PinIncident("delta", ev.txnID, ev.source, engineTime, nil)
+			}
+			if o.BudgetExceeded("push", pushTime) {
+				o.PinIncident("push", ev.txnID, ev.source, pushTime,
+					c.prov.originsForTxn(ev.txnID, incidentOriginLimit))
+			}
 		}
 		c.record(TxnStats{
 			Source:        ev.source,
@@ -680,7 +728,7 @@ func (c *Controller) push(ev *event, delta engine.Delta) (int, error) {
 		key := target{class: cs, device: id}
 		dw := byDev[key]
 		if dw == nil {
-			dw = &devWrite{id: id, dp: dp}
+			dw = &devWrite{id: id, dp: dp, txn: ev.txnID}
 			byDev[key] = dw
 			writes = append(writes, dw)
 		}
@@ -722,8 +770,11 @@ func (c *Controller) push(ev *event, delta engine.Delta) (int, error) {
 		addBatch(tg.class, tg.device, dp, updates)
 	}
 	if err := c.writeDevices(writes); err != nil {
-		return 0, err
+		return total, err
 	}
+	c.rec.Append(obs.Ev("core", "push.barrier").WithTxn(ev.txnID).
+		F("devices", int64(len(writes))).
+		F("updates", int64(total)))
 	// Drops first: a same-match replacement (delete old + insert new in
 	// one delta) must end with the new origin regardless of record order.
 	for _, po := range origins {
@@ -744,6 +795,7 @@ func (c *Controller) push(ev *event, delta engine.Delta) (int, error) {
 type devWrite struct {
 	id      string
 	dp      DataPlane
+	txn     uint64
 	batches [][]p4rt.Update
 }
 
@@ -756,16 +808,26 @@ func (dw *devWrite) flush() error {
 	return nil
 }
 
-// flushObserved is flush plus per-device latency and batch-size metrics.
+// flushObserved is flush plus per-device latency and batch-size metrics
+// and the device.write flight-recorder event.
 func (c *Controller) flushObserved(dw *devWrite) error {
 	t0 := time.Now()
 	err := dw.flush()
-	c.m.devPush[dw.id].ObserveDuration(time.Since(t0))
+	elapsed := time.Since(t0)
+	c.m.devPush[dw.id].ObserveDuration(elapsed)
 	n := 0
 	for _, b := range dw.batches {
 		n += len(b)
 	}
 	c.m.devBatch.Observe(float64(n))
+	failed := int64(0)
+	if err != nil {
+		failed = 1
+	}
+	c.rec.Append(obs.Ev("core", "device.write").WithTxn(dw.txn).WithDevice(dw.id).
+		F("updates", int64(n)).
+		F("write_us", elapsed.Microseconds()).
+		F("failed", failed))
 	return err
 }
 

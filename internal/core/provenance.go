@@ -110,6 +110,29 @@ func (p *provState) dropEntry(k entryKey) {
 	p.mu.Unlock()
 }
 
+// incidentOriginLimit caps how many entry origins a pinned slow-push
+// incident carries.
+const incidentOriginLimit = 8
+
+// originsForTxn returns up to max entry origins pushed by one
+// transaction, newest first — the "relevant Explain output" pinned into
+// a slow-push incident. Nil-safe (provenance may be disabled).
+func (p *provState) originsForTxn(txn uint64, max int) []*EntryOrigin {
+	if p == nil || txn == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*EntryOrigin
+	for i := len(p.eorder) - 1; i >= 0 && len(out) < max; i-- {
+		o := p.entries[p.eorder[i]]
+		if o != nil && o.TxnID == txn {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
 func (p *provState) compactEntriesLocked() {
 	live := p.eorder[:0]
 	for _, k := range p.eorder {

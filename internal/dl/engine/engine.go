@@ -10,6 +10,7 @@ import (
 	"repro/internal/dl/typecheck"
 	"repro/internal/dl/value"
 	"repro/internal/dl/zset"
+	"repro/internal/obs"
 )
 
 // Update is one element of a transaction: insert or delete a record in an
@@ -64,6 +65,11 @@ type Options struct {
 	// ProvenanceCapacity bounds the number of facts the provenance store
 	// retains (FIFO eviction); 0 selects DefaultProvenanceCapacity.
 	ProvenanceCapacity int
+	// Events, when set, receives flight-recorder events (apply.start,
+	// apply.end, per-stratum stratum.eval at debug level). Stratum events
+	// reuse the CollectStats timings, so they add no clock reads of their
+	// own; with a nil recorder the hot path emits nothing.
+	Events *obs.Recorder
 }
 
 // Runtime incrementally evaluates one checked program instance.
@@ -100,7 +106,15 @@ type Runtime struct {
 	statRounds int
 	// prov is the provenance store (nil unless Options.CollectProvenance).
 	prov *provStore
+	// eventTxn tags the next Apply's flight-recorder events with a
+	// transaction ID (set via SetEventTxn by the single-goroutine caller).
+	eventTxn uint64
 }
+
+// SetEventTxn tags the next Apply's flight-recorder events with the
+// given transaction ID (0 = untagged). The controller's apply loop is
+// single-goroutine, so no synchronization is needed.
+func (rt *Runtime) SetEventTxn(txn uint64) { rt.eventTxn = txn }
 
 type occurrence struct {
 	rule    *compiledRule
@@ -319,6 +333,8 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 		}
 		m[u.Rec.Key()] = staged{rec: u.Rec, desired: u.Insert}
 	}
+	rt.opts.Events.Append(obs.Ev("dl", "apply.start").WithTxn(rt.eventTxn).
+		F("updates", int64(len(updates))))
 	rt.derivations = 0
 	rt.stats = nil
 	if rt.opts.CollectStats {
@@ -381,6 +397,24 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 			rt.stats.DeltaSize += z.Len()
 		}
 		rt.lastStats, rt.stats = rt.stats, nil
+	}
+	if rec := rt.opts.Events; rec != nil {
+		if st := rt.lastStats; st != nil && rt.opts.CollectStats {
+			for _, ss := range st.Strata {
+				recursive := int64(0)
+				if ss.Recursive {
+					recursive = 1
+				}
+				rec.Append(obs.Ev("dl", "stratum.eval").WithTxn(rt.eventTxn).Debug().
+					F("stratum", int64(ss.Stratum)).
+					F("recursive", recursive).
+					F("rounds", int64(ss.Rounds)).
+					F("eval_us", ss.Duration.Microseconds()))
+			}
+		}
+		rec.Append(obs.Ev("dl", "apply.end").WithTxn(rt.eventTxn).
+			F("derivations", rt.derivations).
+			F("changed_rels", int64(len(out))))
 	}
 	return out, nil
 }

@@ -28,28 +28,84 @@ type Explainer interface {
 // no longer recorded).
 var ErrNotFound = errors.New("not found")
 
-// Observer bundles the metrics registry and the transaction tracer that
-// one process threads through its planes, plus the process-level health
-// state the HTTP surface exposes. A nil *Observer is the disabled state:
-// Reg() and Tr() return nil, which cascades into no-op instruments
-// everywhere downstream, and the setters are no-ops.
+// Observer bundles the metrics registry, the transaction tracer, and
+// the flight-recorder state (event ring, incident store, metrics
+// history, stall watchdog) that one process threads through its planes,
+// plus the process-level health state the HTTP surface exposes. A nil
+// *Observer is the disabled state: Reg(), Tr(), Rec() etc. return nil,
+// which cascades into no-op instruments everywhere downstream, and the
+// setters are no-ops.
 type Observer struct {
 	Registry *Registry
 	Tracer   *Tracer
+	// Recorder is the flight-recorder event ring (nil = events disabled;
+	// all emit sites are nil-safe).
+	Recorder *Recorder
+	// Incidents pins slow-transaction captures (nil = capture disabled).
+	Incidents *IncidentStore
+	// History holds the sampled metrics rings (nil = history disabled).
+	History *History
+	// Watchdog derives stall state from History on each sampler tick.
+	Watchdog *Watchdog
 
 	// ready is the /readyz state: set by the process once its planes are
 	// established (for the controller: OVSDB monitor up and the initial
 	// sync pushed).
 	ready atomic.Bool
+	// draining flips /readyz to 503 ahead of listener close so load
+	// balancers stop routing before in-flight work is cut off.
+	draining atomic.Bool
+	// stall holds the watchdog's current reason string ("" = healthy).
+	stall atomic.Value
+	// budgets holds the per-stage slow-transaction Budgets.
+	budgets atomic.Value
 	// expl holds the registered Explainer (nil until a provenance-capable
 	// component wires itself in).
 	expl atomic.Value
+
+	mIncidents *Counter
+	mStalled   *Gauge
 }
 
-// NewObserver creates an enabled observer with a fresh registry and a
-// default-capacity tracer.
+// ObserverConfig sizes the flight-recorder parts of an observer. The
+// zero value selects every default.
+type ObserverConfig struct {
+	// EventCapacity sizes the event ring; 0 selects
+	// DefaultEventCapacity, negative disables event recording entirely.
+	EventCapacity int
+	// IncidentCapacity sizes the incident store (0 = default).
+	IncidentCapacity int
+	// HistorySamples sizes each history ring (0 = default).
+	HistorySamples int
+	// Watchdog tunes the stall rules (zero = defaults).
+	Watchdog WatchdogConfig
+}
+
+// NewObserver creates an enabled observer with default-sized registry,
+// tracer, event ring, incident store, history and watchdog.
 func NewObserver() *Observer {
-	return &Observer{Registry: NewRegistry(), Tracer: NewTracer(0)}
+	return NewObserverWith(ObserverConfig{})
+}
+
+// NewObserverWith creates an enabled observer sized by cfg.
+func NewObserverWith(cfg ObserverConfig) *Observer {
+	o := &Observer{
+		Registry:  NewRegistry(),
+		Tracer:    NewTracer(0),
+		Incidents: NewIncidentStore(cfg.IncidentCapacity),
+		History:   NewHistory(cfg.HistorySamples),
+		Watchdog:  NewWatchdog(cfg.Watchdog),
+	}
+	if cfg.EventCapacity >= 0 {
+		o.Recorder = NewRecorder(cfg.EventCapacity)
+		o.Recorder.total = o.Registry.Counter("obs_events_total",
+			"Flight-recorder events appended (including since-evicted ones).")
+	}
+	o.mIncidents = o.Registry.Counter("obs_incidents_total",
+		"Slow-transaction incidents pinned by budget checks.")
+	o.mStalled = o.Registry.Gauge("obs_watchdog_stalled",
+		"1 while the stall watchdog reports a wedge, else 0.")
+	return o
 }
 
 // Reg returns the registry (nil when the observer is disabled).
@@ -66,6 +122,40 @@ func (o *Observer) Tr() *Tracer {
 		return nil
 	}
 	return o.Tracer
+}
+
+// Rec returns the flight recorder (nil when disabled; a nil *Recorder
+// no-ops Append, so emit sites never check).
+func (o *Observer) Rec() *Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Recorder
+}
+
+// Inc returns the incident store (nil when disabled).
+func (o *Observer) Inc() *IncidentStore {
+	if o == nil {
+		return nil
+	}
+	return o.Incidents
+}
+
+// SetDraining marks the process as shutting down: /readyz answers 503
+// "draining" from now on, regardless of the ready flag. Nil-safe.
+func (o *Observer) SetDraining() {
+	if o == nil {
+		return
+	}
+	o.draining.Store(true)
+}
+
+// Draining reports whether shutdown drain has begun.
+func (o *Observer) Draining() bool {
+	if o == nil {
+		return false
+	}
+	return o.draining.Load()
 }
 
 // SetReady flips the /readyz state. Nil-safe.
@@ -110,6 +200,12 @@ func (o *Observer) explainer() Explainer {
 //	/readyz         readiness (503 until SetReady(true))
 //	/debug/traces   transaction timelines as JSON (?txn= one transaction,
 //	                404 if unknown; ?limit= caps the dump)
+//	/debug/events   flight-recorder dump (?plane= ?kind= ?txn= ?since=
+//	                [seq or RFC3339] ?limit=; ?format=ndjson streams one
+//	                event per line)
+//	/debug/incidents pinned slow-transaction captures (?txn= filters)
+//	/debug/history  sampled metrics rings (?series= one series, ?n= caps
+//	                samples per series)
 //	/debug/explain  derivation tree of one fact or table entry
 //	                (?relation= and ?key=, with ?depth=/?nodes= bounds)
 //	/debug/pprof/   the standard Go profiling endpoints
@@ -123,13 +219,24 @@ func (o *Observer) Handler() http.Handler {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if o.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		if !o.Ready() {
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		if reason := o.StallReason(); reason != "" {
+			http.Error(w, "stalled: "+reason, http.StatusServiceUnavailable)
 			return
 		}
 		io.WriteString(w, "ready\n")
 	})
 	mux.HandleFunc("/debug/traces", o.handleTraces)
+	mux.HandleFunc("/debug/events", o.handleEvents)
+	mux.HandleFunc("/debug/incidents", o.handleIncidents)
+	mux.HandleFunc("/debug/history", o.handleHistory)
 	mux.HandleFunc("/debug/explain", o.handleExplain)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -168,6 +275,69 @@ func (o *Observer) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	o.Tr().WriteJSON(w, n)
+}
+
+func (o *Observer) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := EventFilter{Plane: q.Get("plane"), Kind: q.Get("kind")}
+	if s := q.Get("txn"); s != "" {
+		id, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad txn id: "+s, http.StatusBadRequest)
+			return
+		}
+		f.Txn = id
+	}
+	if s := q.Get("since"); s != "" {
+		// ?since= takes either a sequence number (resume cursor) or an
+		// RFC3339 timestamp.
+		if seq, err := strconv.ParseUint(s, 10, 64); err == nil {
+			f.SinceSeq = seq
+		} else if t, err := time.Parse(time.RFC3339, s); err == nil {
+			f.Since = t
+		} else {
+			http.Error(w, "bad since (want sequence number or RFC3339 time): "+s, http.StatusBadRequest)
+			return
+		}
+	}
+	if s := q.Get("limit"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			f.Limit = v
+		}
+	}
+	if q.Get("format") == "ndjson" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		o.Rec().WriteNDJSON(w, f)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.Rec().WriteJSON(w, f)
+}
+
+func (o *Observer) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	var txn uint64
+	if s := r.URL.Query().Get("txn"); s != "" {
+		id, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "bad txn id: "+s, http.StatusBadRequest)
+			return
+		}
+		txn = id
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.Inc().WriteJSON(w, txn)
+}
+
+func (o *Observer) handleHistory(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n := 0
+	if s := q.Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	o.Hist().WriteJSON(w, q.Get("series"), n)
 }
 
 func (o *Observer) handleExplain(w http.ResponseWriter, r *http.Request) {

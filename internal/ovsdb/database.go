@@ -42,7 +42,9 @@ type Database struct {
 	txnSeq uint64
 
 	// Observability (all nil-safe; zero overhead when unset).
+	obs            *obs.Observer
 	tracer         *obs.Tracer
+	rec            *obs.Recorder
 	mTxnTotal      *obs.Counter
 	mTxnErrors     *obs.Counter
 	mCommitSeconds *obs.Histogram
@@ -127,11 +129,14 @@ func (db *Database) rebuildIndexes(table string) {
 // Schema returns the database schema.
 func (db *Database) Schema() *DatabaseSchema { return db.schema }
 
-// SetObs attaches a metrics registry and tracer to the database. Both may
-// be nil (the default): all instruments degrade to no-ops. Call before
-// serving transactions.
-func (db *Database) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
-	db.tracer = tracer
+// SetObs attaches an observer to the database. A nil observer (the
+// default) degrades every instrument, the flight recorder and the
+// history to no-ops. Call before serving transactions.
+func (db *Database) SetObs(o *obs.Observer) {
+	db.obs = o
+	db.tracer = o.Tr()
+	db.rec = o.Rec()
+	reg := o.Reg()
 	db.mTxnTotal = reg.Counter("ovsdb_txn_total",
 		"Committed OVSDB transactions.")
 	db.mTxnErrors = reg.Counter("ovsdb_txn_errors_total",
@@ -142,6 +147,9 @@ func (db *Database) SetObs(reg *obs.Registry, tracer *obs.Tracer) {
 		"Delay between commit and monitor callback delivery.", nil)
 	db.mMonitorSends = reg.Counter("ovsdb_monitor_updates_total",
 		"Monitor update notifications delivered.")
+	o.TrackRate(obs.SeriesCommits, func() float64 { return float64(db.mTxnTotal.Value()) })
+	o.TrackHistogramAvg(obs.SeriesMonitorLag, db.mMonitorLag)
+	o.TrackHistogramAvg("ovsdb_commit_seconds", db.mCommitSeconds)
 }
 
 // LastTxnID returns the most recently minted transaction ID (0 if no
@@ -248,6 +256,8 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 		}
 		db.mu.Unlock()
 		db.mTxnErrors.Inc()
+		db.rec.Append(obs.Ev("ovsdb", "txn.abort").
+			F("ops", int64(len(ops))).F("failed_op", int64(failed)))
 		return results
 	}
 	// Resolve named UUIDs that leaked into stored rows.
@@ -265,6 +275,7 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 		}
 		db.mu.Unlock()
 		db.mTxnErrors.Inc()
+		db.rec.Append(obs.Ev("ovsdb", "txn.abort").F("ops", int64(len(ops))))
 		return []OpResult{{Error: "constraint violation", Details: err.Error()}}
 	}
 	// Snapshot the effective changes and enqueue monitor notifications
@@ -282,6 +293,10 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 	db.mu.Unlock()
 	db.mTxnTotal.Inc()
 	db.mCommitSeconds.ObserveDuration(commit.Sub(start))
+	db.rec.Append(obs.Ev("ovsdb", "txn.commit").WithTxn(txnID).At(commit).
+		F("ops", int64(len(ops))).
+		F("changed_tables", int64(len(changes))).
+		F("commit_us", commit.Sub(start).Microseconds()))
 	if db.tracer != nil {
 		db.tracer.Record(txnID, "ovsdb", obs.Stage{
 			Name:  "commit",

@@ -174,13 +174,20 @@ func (m *Monitor) run() {
 		m.mu.Unlock()
 		for _, qu := range batch {
 			delivered := time.Now()
-			m.db.mMonitorLag.ObserveDuration(delivered.Sub(qu.commit))
+			lag := delivered.Sub(qu.commit)
+			m.db.mMonitorLag.ObserveDuration(lag)
 			m.db.mMonitorSends.Inc()
 			m.db.tracer.Record(qu.txn, "ovsdb", obs.Stage{
 				Name:  "monitor",
 				Start: qu.commit,
 				End:   delivered,
 			})
+			m.db.rec.Append(obs.Ev("ovsdb", "monitor.deliver").WithTxn(qu.txn).At(delivered).
+				F("tables", int64(len(qu.tu))).
+				F("lag_us", lag.Microseconds()))
+			if m.db.obs.BudgetExceeded("monitor", lag) {
+				m.db.obs.PinIncident("monitor", qu.txn, "ovsdb", lag, nil)
+			}
 			m.notify(qu.txn, qu.tu)
 		}
 	}

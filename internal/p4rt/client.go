@@ -27,6 +27,8 @@ type Client struct {
 	mWriteErrors  *obs.Counter
 	mInflight     *obs.Gauge
 	mWriteUpdates *obs.Histogram
+	rec           *obs.Recorder
+	target        string
 	obsOn         bool
 }
 
@@ -85,6 +87,9 @@ func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) 
 		handler := c.onDigest
 		ack := c.autoAck
 		c.mu.Unlock()
+		c.rec.Append(obs.Ev("p4rt", "digest.recv").WithDevice(c.target).
+			F("list_id", int64(dl.ListID)).
+			F("messages", int64(len(dl.Messages))))
 		if handler != nil {
 			handler(dl)
 		}
@@ -118,13 +123,17 @@ func (c *Client) GetP4Info() (*p4.P4Info, error) {
 	return &info, nil
 }
 
-// SetObs registers the client's write-path metrics in reg, labelled with
-// target (the device this client controls). Call before issuing writes;
-// a nil registry leaves the client uninstrumented.
-func (c *Client) SetObs(reg *obs.Registry, target string) {
+// SetObs registers the client's write-path metrics in o's registry,
+// labelled with target (the device this client controls), and attaches
+// the flight recorder. Call before issuing writes; a nil observer
+// leaves the client uninstrumented.
+func (c *Client) SetObs(o *obs.Observer, target string) {
+	reg := o.Reg()
 	if reg == nil {
 		return
 	}
+	c.rec = o.Rec()
+	c.target = target
 	lbl := obs.L("target", target)
 	c.mWriteSecs = reg.Histogram("p4rt_write_seconds",
 		"Write RPC latency.", nil, lbl)
@@ -148,13 +157,20 @@ func (c *Client) Write(updates ...Update) error {
 	c.mInflight.Add(1)
 	t0 := time.Now()
 	err := c.conn.Call("write", updates, &out)
-	c.mWriteSecs.ObserveDuration(time.Since(t0))
+	elapsed := time.Since(t0)
+	c.mWriteSecs.ObserveDuration(elapsed)
 	c.mInflight.Add(-1)
 	c.mWrites.Inc()
 	c.mWriteUpdates.Observe(float64(len(updates)))
+	failed := int64(0)
 	if err != nil {
 		c.mWriteErrors.Inc()
+		failed = 1
 	}
+	c.rec.Append(obs.Ev("p4rt", "rpc.write").WithDevice(c.target).
+		F("updates", int64(len(updates))).
+		F("rpc_us", elapsed.Microseconds()).
+		F("failed", failed))
 	return err
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -61,11 +62,27 @@ type Switch struct {
 	mDigests *obs.Counter
 	mWrites  *obs.Counter
 	mUpdates *obs.Counter
+	rec      *obs.Recorder
+
+	// writeFault, when set, runs at the start of every Write (fault
+	// injection for tests: delays, forced errors).
+	writeFault atomic.Value // func([]p4rt.Update) error
 }
 
-// SetObs registers the switch's packet and control-plane counters in reg,
-// labelled with the switch name. A nil registry is a no-op.
-func (sw *Switch) SetObs(reg *obs.Registry) {
+// SetWriteFault installs a hook invoked at the start of every Write with
+// the incoming updates. A non-nil return aborts the write with that
+// error; the hook may also just sleep to simulate a slow device. Pass
+// nil to clear. Safe to call concurrently with writes.
+func (sw *Switch) SetWriteFault(f func([]p4rt.Update) error) {
+	sw.writeFault.Store(&f)
+}
+
+// SetObs registers the switch's packet and control-plane counters in o's
+// registry, labelled with the switch name, and attaches the flight
+// recorder. A nil observer is a no-op.
+func (sw *Switch) SetObs(o *obs.Observer) {
+	reg := o.Reg()
+	sw.rec = o.Rec()
 	lbl := obs.L("switch", sw.name)
 	sw.mRx = reg.Counter("switchsim_rx_packets_total", "Frames injected.", lbl)
 	sw.mTx = reg.Counter("switchsim_tx_packets_total", "Frames emitted.", lbl)
@@ -230,6 +247,9 @@ func (sw *Switch) flushDigestLocked(name string) {
 	}
 	sw.nextListID++
 	sw.mDigests.Inc()
+	sw.rec.Append(obs.Ev("switchsim", "digest.send").WithDevice(sw.name).
+		F("list_id", int64(sw.nextListID)).
+		F("messages", int64(len(msgs))))
 	dl := p4rt.DigestList{Digest: name, ListID: sw.nextListID, Messages: msgs}
 	// Notify without holding digestMu against reentrant acks: the server
 	// send path is asynchronous, so holding it is safe, but release anyway.
@@ -245,8 +265,17 @@ func (sw *Switch) P4Info() *p4.P4Info { return sw.info }
 // current state and applied changes are rolled back if a later update
 // fails.
 func (sw *Switch) Write(updates []p4rt.Update) error {
+	if fp, _ := sw.writeFault.Load().(*func([]p4rt.Update) error); fp != nil && *fp != nil {
+		if err := (*fp)(updates); err != nil {
+			sw.rec.Append(obs.Ev("switchsim", "write.apply").WithDevice(sw.name).
+				F("updates", int64(len(updates))).F("failed", 1))
+			return fmt.Errorf("switchsim %s: injected fault: %w", sw.name, err)
+		}
+	}
 	sw.mWrites.Inc()
 	sw.mUpdates.Add(uint64(len(updates)))
+	sw.rec.Append(obs.Ev("switchsim", "write.apply").WithDevice(sw.name).
+		F("updates", int64(len(updates))))
 	type undo func()
 	var undos []undo
 	rollback := func() {
