@@ -34,7 +34,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, all")
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, reconnect, all")
 	n := flag.Int("n", 2000, "ports for -exp ports")
 	vips := flag.Int("vips", 50, "load balancers for -exp lb")
 	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
@@ -46,6 +46,9 @@ func main() {
 	provOut := flag.String("provenance-out", "BENCH_provenance.json", "machine-readable output for -exp provenance")
 	obsTxns := flag.Int("obs-txns", 300, "transactions per mode for -exp obs-overhead")
 	obsOut := flag.String("obs-overhead-out", "BENCH_obs_overhead.json", "machine-readable output for -exp obs-overhead")
+	reconnectPorts := flag.String("reconnect-ports", "50,250,1000", "comma-separated port counts for -exp reconnect")
+	reconnectRestarts := flag.Int("reconnect-restarts", 5, "switch restarts per size for -exp reconnect")
+	reconnectOut := flag.String("reconnect-out", "BENCH_reconnect.json", "machine-readable output for -exp reconnect")
 	flag.Parse()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -137,6 +140,27 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *obsOut)
+			return res, nil
+		})
+	}
+	if want("reconnect") {
+		run("reconnect", func() (fmt.Stringer, error) {
+			sizes, err := parseWorkers(*reconnectPorts)
+			if err != nil {
+				return nil, fmt.Errorf("bad -reconnect-ports: %w", err)
+			}
+			res, err := bench.RunReconnect(sizes, *reconnectRestarts)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*reconnectOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *reconnectOut)
 			return res, nil
 		})
 	}

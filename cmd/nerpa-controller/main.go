@@ -9,6 +9,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -36,6 +37,9 @@ func main() {
 	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
 	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
+	reconnectBackoff := flag.Duration("reconnect-backoff", 5*time.Second, "maximum redial backoff after a connection drops (0 = exit on disconnect)")
+	rpcTimeout := flag.Duration("rpc-timeout", 30*time.Second, "per-RPC deadline on OVSDB and P4Runtime calls (0 = none)")
+	keepalive := flag.Duration("keepalive", 10*time.Second, "echo-heartbeat interval on every connection; 3 misses fail it (0 = off)")
 	verbose := flag.Bool("v", false, "log every applied transaction")
 	flag.Parse()
 
@@ -65,21 +69,72 @@ func main() {
 		rules = string(data)
 	}
 
-	mp, err := ovsdb.Dial(*ovsdbAddr)
-	if err != nil {
-		log.Fatalf("connecting to OVSDB at %s: %v", *ovsdbAddr, err)
+	// Connections self-heal unless -reconnect-backoff is 0: they redial
+	// with jittered exponential backoff, re-establish monitors and
+	// sessions, and resynchronize state, so a bounced ovsdb-server or
+	// switch is an outage, not a controller restart.
+	var mp core.ManagementPlane
+	if *reconnectBackoff > 0 {
+		rmp, err := ovsdb.DialResilient(ovsdb.ResilientConfig{
+			Addr:              *ovsdbAddr,
+			BackoffMax:        *reconnectBackoff,
+			CallTimeout:       *rpcTimeout,
+			KeepaliveInterval: *keepalive,
+			KeepaliveMisses:   3,
+			Obs:               observer,
+		})
+		if err != nil {
+			log.Fatalf("connecting to OVSDB at %s: %v", *ovsdbAddr, err)
+		}
+		defer rmp.Close()
+		mp = rmp
+	} else {
+		c, err := ovsdb.Dial(*ovsdbAddr)
+		if err != nil {
+			log.Fatalf("connecting to OVSDB at %s: %v", *ovsdbAddr, err)
+		}
+		c.SetCallTimeout(*rpcTimeout)
+		if *keepalive > 0 {
+			c.StartKeepalive(*keepalive, 3)
+		}
+		defer c.Close()
+		mp = c
 	}
-	defer mp.Close()
 
 	var devices []core.DataPlane
-	for _, addr := range strings.Split(*p4rtAddrs, ",") {
+	var rclients []*p4rt.ResilientClient
+	for i, addr := range strings.Split(*p4rtAddrs, ",") {
 		addr = strings.TrimSpace(addr)
 		if addr == "" {
+			continue
+		}
+		if *reconnectBackoff > 0 {
+			// core.New names devices dev0, dev1, ... in argument order;
+			// the reconnect hook below resyncs by that name.
+			rc, err := p4rt.DialResilient(p4rt.ResilientConfig{
+				Addr:              addr,
+				Target:            fmt.Sprintf("dev%d", i),
+				BackoffMax:        *reconnectBackoff,
+				CallTimeout:       *rpcTimeout,
+				KeepaliveInterval: *keepalive,
+				KeepaliveMisses:   3,
+				Obs:               observer,
+			})
+			if err != nil {
+				log.Fatalf("connecting to data plane at %s: %v", addr, err)
+			}
+			defer rc.Close()
+			rclients = append(rclients, rc)
+			devices = append(devices, rc)
 			continue
 		}
 		dp, err := p4rt.Dial(addr)
 		if err != nil {
 			log.Fatalf("connecting to data plane at %s: %v", addr, err)
+		}
+		dp.SetCallTimeout(*rpcTimeout)
+		if *keepalive > 0 {
+			dp.StartKeepalive(*keepalive, 3)
 		}
 		defer dp.Close()
 		dp.SetObs(observer, addr)
@@ -96,6 +151,13 @@ func main() {
 	ctrl, err := core.New(cfg, mp, devices...)
 	if err != nil {
 		log.Fatalf("starting controller: %v", err)
+	}
+	// When a device session is re-established, reconcile its tables
+	// against the controller's desired state before republishing it.
+	for i, rc := range rclients {
+		id := fmt.Sprintf("dev%d", i)
+		rc := rc
+		rc.OnReconnect(func(cl *p4rt.Client) error { return ctrl.Resync(id, cl) })
 	}
 	log.Printf("nerpa-controller: managing %q across %d data plane(s)", *dbName, len(devices))
 

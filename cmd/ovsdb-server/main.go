@@ -32,6 +32,7 @@ func main() {
 	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
 	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
+	keepalive := flag.Duration("keepalive", 0, "echo-heartbeat interval on accepted connections; 3 misses fail one (0 = off)")
 	flag.Parse()
 
 	var schema *ovsdb.DatabaseSchema
@@ -72,6 +73,9 @@ func main() {
 	}
 
 	srv := ovsdb.NewServer(db)
+	if *keepalive > 0 {
+		srv.SetKeepalive(*keepalive, 3)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {

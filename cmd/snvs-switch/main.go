@@ -37,6 +37,7 @@ func main() {
 	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
 	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
+	keepalive := flag.Duration("keepalive", 0, "echo-heartbeat interval on accepted connections; 3 misses fail one (0 = off)")
 	flag.Parse()
 
 	var prog *p4.Program
@@ -56,6 +57,9 @@ func main() {
 	sw, err := switchsim.New(*name, switchsim.Config{Program: prog})
 	if err != nil {
 		log.Fatalf("creating switch: %v", err)
+	}
+	if *keepalive > 0 {
+		sw.SetKeepalive(*keepalive, 3)
 	}
 	var observer *obs.Observer
 	if *obsAddr != "" {

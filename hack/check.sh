@@ -28,3 +28,8 @@ go test -run 'TestProvenanceOffZeroAlloc' -count=1 ./internal/dl/engine/
 go run ./cmd/nerpa-bench -exp obs-overhead -obs-txns 200 -obs-overhead-out BENCH_obs_overhead.json
 test -s BENCH_obs_overhead.json
 go test -run 'TestEventHotPathZeroAlloc' -count=1 ./internal/obs/
+# Resilience: the kill-and-restart e2e must reconverge under the race
+# detector, and the reconnect experiment must emit its recovery report.
+go test -race -run 'TestKillRestartEndToEnd' -count=1 .
+go run ./cmd/nerpa-bench -exp reconnect -reconnect-ports 50,250 -reconnect-restarts 3 -reconnect-out BENCH_reconnect.json
+test -s BENCH_reconnect.json

@@ -1,0 +1,24 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunReconnectSmall(t *testing.T) {
+	res, err := RunReconnect([]int{15}, 2)
+	if err != nil {
+		t.Fatalf("RunReconnect: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	row := res.Rows[0]
+	if row.Ports != 15 || row.Restarts != 2 || row.P50 <= 0 || row.Max < row.P50 {
+		t.Fatalf("row = %+v", row)
+	}
+	if !strings.Contains(res.String(), "reconverge") {
+		t.Errorf("report missing header: %s", res)
+	}
+	t.Logf("\n%s", res)
+}

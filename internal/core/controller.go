@@ -151,6 +151,14 @@ type Controller struct {
 	events   chan event
 	done     chan struct{}
 	stopOnce sync.Once
+	evMu     sync.RWMutex
+	evClosed bool
+
+	// desired tracks each device's intended data-plane state (event-loop
+	// goroutine only); devClass resolves a device ID to its class for
+	// Resync. See resilience.go.
+	desired  map[string]*deviceDesired
+	devClass map[string]*classState
 
 	tracer *obs.Tracer
 	rec    *obs.Recorder
@@ -170,6 +178,7 @@ type ctrlMetrics struct {
 	inputSize   *obs.Histogram
 	outputSize  *obs.Histogram
 	pushErrors  *obs.Counter
+	resyncs     *obs.Counter
 	devPush     map[string]*obs.Histogram // by device id
 	devBatch    *obs.Histogram
 	evalStratum []*obs.Histogram
@@ -206,6 +215,8 @@ func (c *Controller) initObs() {
 		"Data-plane changes produced per transaction.", obs.SizeBuckets)
 	c.m.pushErrors = reg.Counter("core_push_errors_total",
 		"Transactions whose data-plane push failed.")
+	c.m.resyncs = reg.Counter("core_resyncs_total",
+		"Device reconciliations completed after a reconnect.")
 	c.m.devPush = map[string]*obs.Histogram{}
 	for _, cs := range c.classes {
 		for _, dev := range cs.cls.Devices {
@@ -269,6 +280,7 @@ type event struct {
 	txnID   uint64
 	updates []engine.Update
 	barrier chan struct{}
+	resync  *resyncReq
 }
 
 // New builds and starts a controller managing a single class of devices
@@ -317,6 +329,8 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 		schema:   schema,
 		events:   make(chan event, 1024),
 		done:     make(chan struct{}),
+		desired:  make(map[string]*deviceDesired),
+		devClass: make(map[string]*classState),
 	}
 	decls := inputGen.Decls
 	seen := make(map[string]bool)
@@ -359,6 +373,11 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 				return nil, fmt.Errorf("core: class %q: duplicate device id %q", cls.Name, dev.ID)
 			}
 			cs.devByID[dev.ID] = dev.DP
+			// First registration wins on a cross-class ID collision; Resync
+			// addresses devices by ID, so collide at your own risk.
+			if _, dup := c.devClass[dev.ID]; !dup {
+				c.devClass[dev.ID] = cs
+			}
 		}
 		for rel, b := range gen.Outputs {
 			if _, dup := c.outputs[rel]; dup {
@@ -466,7 +485,12 @@ func (c *Controller) Done() <-chan struct{} { return c.done }
 
 // Stop terminates the event loop.
 func (c *Controller) Stop() {
-	c.stopOnce.Do(func() { close(c.events) })
+	c.stopOnce.Do(func() {
+		c.evMu.Lock()
+		c.evClosed = true
+		c.evMu.Unlock()
+		close(c.events)
+	})
 	<-c.done
 }
 
@@ -474,8 +498,9 @@ func (c *Controller) Stop() {
 // processed (including data-plane pushes).
 func (c *Controller) Barrier() error {
 	ch := make(chan struct{})
-	defer func() { recover() }() // events may be closed concurrently
-	c.events <- event{barrier: ch}
+	if !c.enqueue(event{barrier: ch}) {
+		return c.Err()
+	}
 	select {
 	case <-ch:
 		return nil
@@ -504,6 +529,18 @@ func (c *Controller) loop() {
 			close(ev.barrier)
 			continue
 		}
+		if ev.resync != nil {
+			// Reconciliation runs even though it interleaves with normal
+			// transactions: the event loop serializes it against pushes, so
+			// it sees a consistent desired state.
+			if err := c.Err(); err != nil {
+				ev.resync.done <- fmt.Errorf("core: resync %s: controller failed: %w",
+					ev.resync.device, err)
+			} else {
+				ev.resync.done <- c.doResync(ev.resync.device, ev.resync.dp)
+			}
+			continue
+		}
 		if c.Err() != nil {
 			continue // drain after failure
 		}
@@ -529,8 +566,14 @@ func (c *Controller) loop() {
 			c.m.pushErrors.Inc()
 			c.rec.Append(obs.Ev("core", "push.error").WithTxn(ev.txnID).
 				F("updates", int64(n)))
-			c.fail(fmt.Errorf("core: push: %w", err))
-			continue
+			// A device that is merely unreachable does not poison the
+			// controller: its desired state kept advancing, and the resync
+			// that runs when its connection heals closes the gap. Anything
+			// else (e.g. the switch rejected a write) is a real failure.
+			if !errors.Is(err, p4rt.ErrUnavailable) {
+				c.fail(fmt.Errorf("core: push: %w", err))
+				continue
+			}
 		}
 		if c.tracer != nil {
 			c.tracer.Record(ev.txnID, "core", obs.Stage{
@@ -725,6 +768,10 @@ func (c *Controller) push(ev *event, delta engine.Delta) (int, error) {
 	var writes []*devWrite
 	byDev := make(map[target]*devWrite)
 	addBatch := func(cs *classState, id string, dp DataPlane, updates []p4rt.Update) {
+		// Fold into the desired state before the write is attempted, so an
+		// unreachable device's intent keeps advancing and a later Resync
+		// can replay exactly the difference.
+		c.noteDesired(id, updates)
 		key := target{class: cs, device: id}
 		dw := byDev[key]
 		if dw == nil {
@@ -845,12 +892,11 @@ func (c *Controller) writeDevices(writes []*devWrite) error {
 		nw = len(writes)
 	}
 	if nw <= 1 {
-		for _, dw := range writes {
-			if err := c.flushObserved(dw); err != nil {
-				return err
-			}
+		errs := make([]error, len(writes))
+		for i, dw := range writes {
+			errs[i] = c.flushObserved(dw)
 		}
-		return nil
+		return pickPushErr(errs)
 	}
 	errs := make([]error, len(writes))
 	var next int64
@@ -869,12 +915,29 @@ func (c *Controller) writeDevices(writes []*devWrite) error {
 		}()
 	}
 	wg.Wait()
+	return pickPushErr(errs)
+}
+
+// pickPushErr reduces per-device push errors to the one the transaction
+// reports: any fatal error outranks device-unavailable ones (which the
+// loop tolerates), and within a rank the first device in delta order
+// wins. Every device got its write attempt either way — one unreachable
+// device must not starve the others.
+func pickPushErr(errs []error) error {
+	var unavail error
 	for _, err := range errs {
-		if err != nil {
-			return err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, p4rt.ErrUnavailable) {
+			if unavail == nil {
+				unavail = err
+			}
+			continue
+		}
+		return err
 	}
-	return nil
+	return unavail
 }
 
 func sortU16(s []uint16) {
@@ -944,9 +1007,19 @@ func (c *Controller) handleOVSDBTxn(txn uint64, tu ovsdb.TableUpdates) {
 	c.enqueue(event{source: "ovsdb", txnID: txn, updates: ups})
 }
 
-func (c *Controller) enqueue(ev event) {
-	defer func() { recover() }() // racing with Stop is benign
+// enqueue submits an event unless the controller has stopped, reporting
+// whether it was accepted. The evClosed flag is flipped under the write
+// lock before Stop closes the channel, so a send can never race the
+// close: in-flight senders hold the read lock, which Stop waits out
+// (the loop keeps draining, so those sends cannot block forever).
+func (c *Controller) enqueue(ev event) bool {
+	c.evMu.RLock()
+	defer c.evMu.RUnlock()
+	if c.evClosed {
+		return false
+	}
 	c.events <- ev
+	return true
 }
 
 // ovsdbUpdates converts a monitor notification into engine updates.

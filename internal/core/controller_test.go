@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -38,6 +39,7 @@ type fakeDP struct {
 	writes   [][]p4rt.Update
 	onDigest func(p4rt.DigestList)
 	failNext bool
+	unavail  bool
 }
 
 func (f *fakeDP) GetP4Info() (*p4.P4Info, error) { return f.info, nil }
@@ -45,12 +47,23 @@ func (f *fakeDP) GetP4Info() (*p4.P4Info, error) { return f.info, nil }
 func (f *fakeDP) Write(updates ...p4rt.Update) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.unavail {
+		return fmt.Errorf("fake device down: %w", p4rt.ErrUnavailable)
+	}
 	if f.failNext {
 		f.failNext = false
 		return &failErr{}
 	}
 	f.writes = append(f.writes, updates)
 	return nil
+}
+
+// setUnavailable simulates a transport outage: writes fail with
+// p4rt.ErrUnavailable (which the controller tolerates) until cleared.
+func (f *fakeDP) setUnavailable(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.unavail = on
 }
 
 type failErr struct{}

@@ -1,0 +1,228 @@
+// Resilience: the controller's side of surviving connection loss.
+//
+// The controller tracks, per device, the exact table entries and
+// multicast groups it wants installed (the "desired state"), updated
+// unconditionally as the engine emits deltas — including while a device
+// is unreachable. When a device's connection heals, Resync diffs the
+// device's actual tables (ReadTable) against the desired state and
+// writes only the difference, so reconvergence costs one snapshot plus
+// the drift, not a full replay.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/p4rt"
+)
+
+// TableReader is the device surface Resync needs: implemented by
+// *p4rt.Client (and *p4rt.ResilientClient). Data planes that cannot
+// snapshot their tables simply never get resynced.
+type TableReader interface {
+	ReadTable(table string) ([]p4rt.TableEntry, error)
+	Write(updates ...p4rt.Update) error
+}
+
+// deviceDesired is the controller's desired data-plane state for one
+// device. Mutated only on the event-loop goroutine.
+type deviceDesired struct {
+	// entries maps the canonical (table, matches, priority) key to the
+	// full desired entry.
+	entries map[string]p4rt.TableEntry
+	// mcast maps group id to desired ports.
+	mcast map[uint16][]uint16
+}
+
+// entryIdent canonically identifies an entry slot: same table, matches
+// and priority → same slot (action and params are the slot's value).
+func entryIdent(e *p4rt.TableEntry) string {
+	b, _ := json.Marshal(struct {
+		T string          `json:"t"`
+		M json.RawMessage `json:"m"`
+		P int             `json:"p"`
+	}{T: e.Table, M: mustJSON(e.Matches), P: e.Priority})
+	return string(b)
+}
+
+func mustJSON(v any) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// sameValue reports whether two entries program the same action.
+func sameValue(a, b *p4rt.TableEntry) bool {
+	if a.Action != b.Action || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i] != b.Params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// noteDesired folds one device's write stream into its desired state.
+// Called from push (event-loop goroutine) before the write is issued, so
+// the desired state advances even when the device is down.
+func (c *Controller) noteDesired(device string, updates []p4rt.Update) {
+	d := c.desired[device]
+	if d == nil {
+		d = &deviceDesired{
+			entries: make(map[string]p4rt.TableEntry),
+			mcast:   make(map[uint16][]uint16),
+		}
+		c.desired[device] = d
+	}
+	for _, u := range updates {
+		if u.Entry != nil {
+			key := entryIdent(u.Entry)
+			if u.Type == p4rt.UpdateDelete {
+				delete(d.entries, key)
+			} else {
+				d.entries[key] = *u.Entry
+			}
+		}
+		if u.Multicast != nil {
+			if len(u.Multicast.Ports) == 0 {
+				delete(d.mcast, u.Multicast.Group)
+			} else {
+				d.mcast[u.Multicast.Group] = append([]uint16(nil), u.Multicast.Ports...)
+			}
+		}
+	}
+}
+
+// resyncReq asks the event loop to reconcile one device against its
+// desired state using the given (freshly reconnected) connection.
+type resyncReq struct {
+	device string
+	dp     TableReader
+	done   chan error
+}
+
+// Resync reconciles device's actual tables against the controller's
+// desired state, writing only the difference through dp. It is safe to
+// call from any goroutine — the reconciliation itself runs serialized on
+// the controller's event loop, so it observes a consistent desired
+// state. Intended as the body of a p4rt ResilientClient OnReconnect
+// hook, where dp is the fresh not-yet-published client.
+func (c *Controller) Resync(device string, dp TableReader) error {
+	req := &resyncReq{device: device, dp: dp, done: make(chan error, 1)}
+	if !c.enqueue(event{source: "resync", resync: req}) {
+		return fmt.Errorf("core: resync %s: controller stopped", device)
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-c.done:
+		return fmt.Errorf("core: resync %s: controller stopped", device)
+	}
+}
+
+// classTables returns the sorted table names a device's class binds.
+func (c *Controller) classTables(cs *classState) []string {
+	seen := make(map[string]bool)
+	for _, b := range cs.gen.Outputs {
+		seen[b.Table] = true
+	}
+	tables := make([]string, 0, len(seen))
+	for t := range seen {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	return tables
+}
+
+// doResync runs on the event loop. It reads every bound table of the
+// device's class, diffs against desired, and writes deletes for stale
+// entries, inserts for missing ones, and modifies for entries whose
+// action drifted. Multicast groups cannot be read back, so all desired
+// groups are re-pushed — SetMulticast is absolute, making that
+// idempotent. Returns the first error (the caller's redial loop retries).
+func (c *Controller) doResync(device string, dp TableReader) error {
+	start := time.Now()
+	cs := c.devClass[device]
+	if cs == nil {
+		return fmt.Errorf("core: resync: unknown device %q", device)
+	}
+	d := c.desired[device]
+	if d == nil {
+		d = &deviceDesired{entries: map[string]p4rt.TableEntry{}, mcast: map[uint16][]uint16{}}
+	}
+
+	actual := make(map[string]p4rt.TableEntry)
+	for _, table := range c.classTables(cs) {
+		entries, err := dp.ReadTable(table)
+		if err != nil {
+			return fmt.Errorf("core: resync %s: reading %s: %w", device, table, err)
+		}
+		for i := range entries {
+			e := entries[i]
+			if e.Table == "" {
+				e.Table = table
+			}
+			actual[entryIdent(&e)] = e
+		}
+	}
+
+	var dels, rest []p4rt.Update
+	for key, e := range actual {
+		if _, ok := d.entries[key]; !ok {
+			dels = append(dels, p4rt.DeleteEntry(e))
+		}
+	}
+	for key, want := range d.entries {
+		got, ok := actual[key]
+		switch {
+		case !ok:
+			rest = append(rest, p4rt.InsertEntry(want))
+		case !sameValue(&got, &want):
+			rest = append(rest, p4rt.ModifyEntry(want))
+		}
+	}
+	sortUpdates(dels)
+	sortUpdates(rest)
+	groups := make([]uint16, 0, len(d.mcast))
+	for g := range d.mcast {
+		groups = append(groups, g)
+	}
+	sortU16(groups)
+	for _, g := range groups {
+		rest = append(rest, p4rt.SetMulticast(g, d.mcast[g]))
+	}
+
+	updates := append(dels, rest...)
+	if len(updates) > 0 {
+		if err := dp.Write(updates...); err != nil {
+			return fmt.Errorf("core: resync %s: %w", device, err)
+		}
+	}
+	c.m.resyncs.Inc()
+	c.rec.Append(obs.Ev("core", "conn.resync").WithDevice(device).
+		F("deleted", int64(len(dels))).
+		F("written", int64(len(updates)-len(dels))).
+		F("resync_us", time.Since(start).Microseconds()))
+	return nil
+}
+
+// sortUpdates orders updates deterministically by their entry identity.
+func sortUpdates(ups []p4rt.Update) {
+	sort.Slice(ups, func(i, j int) bool {
+		var a, b string
+		if ups[i].Entry != nil {
+			a = entryIdent(ups[i].Entry)
+		}
+		if ups[j].Entry != nil {
+			b = entryIdent(ups[j].Entry)
+		}
+		return a < b
+	})
+}

@@ -1,0 +1,208 @@
+// Package faultnet wraps net.Conn with injectable failures — byte-count
+// fuses, per-operation delay, and hard remote-style closes — so tests
+// can exercise reconnect and resync paths deterministically without
+// real network flakiness. A Dialer tracks every live connection it
+// created, letting a test sever "the network" mid-workload with one
+// call and then observe the stack heal.
+package faultnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error surfaced by tripped read/write fuses.
+var ErrInjected = errors.New("faultnet: injected failure")
+
+// Conn wraps an inner net.Conn with fault hooks. All knobs are safe to
+// adjust concurrently with traffic.
+type Conn struct {
+	inner net.Conn
+
+	// readFuse/writeFuse fail the respective direction (and close the
+	// inner conn) once that many more bytes have passed; 0 = disarmed.
+	readFuse  atomic.Int64
+	writeFuse atomic.Int64
+	// delay is added before every read and write when set.
+	delay atomic.Int64 // time.Duration
+
+	closeOnce sync.Once
+	onClose   atomic.Value // func()
+}
+
+// Wrap returns a fault-injectable view of inner.
+func Wrap(inner net.Conn) *Conn {
+	return &Conn{inner: inner}
+}
+
+// DropAfterRead arms the read fuse: after n more bytes have been read,
+// reads fail with ErrInjected and the connection closes.
+func (c *Conn) DropAfterRead(n int) { c.readFuse.Store(int64(n)) }
+
+// DropAfterWrite arms the write fuse: after n more bytes have been
+// written, writes fail with ErrInjected and the connection closes.
+func (c *Conn) DropAfterWrite(n int) { c.writeFuse.Store(int64(n)) }
+
+// SetDelay adds a fixed delay before every subsequent read and write
+// (0 clears it).
+func (c *Conn) SetDelay(d time.Duration) { c.delay.Store(int64(d)) }
+
+// OnClose registers a hook invoked once when the connection closes
+// (whether by Kill, Close, or a tripped fuse).
+func (c *Conn) OnClose(f func()) { c.onClose.Store(f) }
+
+// Kill hard-closes the connection, as if the remote end vanished.
+func (c *Conn) Kill() { c.shutdown() }
+
+func (c *Conn) shutdown() {
+	c.closeOnce.Do(func() {
+		c.inner.Close()
+		if f, ok := c.onClose.Load().(func()); ok && f != nil {
+			f()
+		}
+	})
+}
+
+func (c *Conn) sleep() {
+	if d := time.Duration(c.delay.Load()); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// burn consumes n bytes from a fuse; it reports false when the fuse
+// trips (n exceeds what remains).
+func burn(fuse *atomic.Int64, n int) bool {
+	for {
+		cur := fuse.Load()
+		if cur == 0 {
+			return true // disarmed
+		}
+		if int64(n) >= cur {
+			fuse.Store(-1) // tripped; stay tripped
+			return false
+		}
+		if cur < 0 {
+			return false
+		}
+		if fuse.CompareAndSwap(cur, cur-int64(n)) {
+			return true
+		}
+	}
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	c.sleep()
+	if c.readFuse.Load() < 0 {
+		return 0, ErrInjected
+	}
+	n, err := c.inner.Read(p)
+	if n > 0 && !burn(&c.readFuse, n) {
+		c.shutdown()
+		return n, ErrInjected
+	}
+	return n, err
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.sleep()
+	if c.writeFuse.Load() < 0 {
+		return 0, ErrInjected
+	}
+	n, err := c.inner.Write(p)
+	if n > 0 && !burn(&c.writeFuse, n) {
+		c.shutdown()
+		return n, ErrInjected
+	}
+	return n, err
+}
+
+func (c *Conn) Close() error {
+	c.shutdown()
+	return nil
+}
+
+func (c *Conn) LocalAddr() net.Addr                { return c.inner.LocalAddr() }
+func (c *Conn) RemoteAddr() net.Addr               { return c.inner.RemoteAddr() }
+func (c *Conn) SetDeadline(t time.Time) error      { return c.inner.SetDeadline(t) }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return c.inner.SetReadDeadline(t) }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }
+
+// Dialer dials TCP connections wrapped in fault-injectable Conns and
+// tracks the live ones.
+type Dialer struct {
+	mu    sync.Mutex
+	live  map[*Conn]bool
+	dials int
+	// Fail, when set, makes Dial return this error instead of connecting
+	// (simulates an unreachable peer during backoff tests).
+	fail error
+}
+
+// NewDialer returns an empty tracking dialer.
+func NewDialer() *Dialer {
+	return &Dialer{live: make(map[*Conn]bool)}
+}
+
+// SetFail forces subsequent Dials to fail with err (nil re-enables).
+func (d *Dialer) SetFail(err error) {
+	d.mu.Lock()
+	d.fail = err
+	d.mu.Unlock()
+}
+
+// Dial connects to addr over TCP and returns the wrapped connection.
+func (d *Dialer) Dial(addr string) (net.Conn, error) {
+	d.mu.Lock()
+	failErr := d.fail
+	d.dials++
+	d.mu.Unlock()
+	if failErr != nil {
+		return nil, failErr
+	}
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := Wrap(nc)
+	d.mu.Lock()
+	d.live[c] = true
+	d.mu.Unlock()
+	c.OnClose(func() {
+		d.mu.Lock()
+		delete(d.live, c)
+		d.mu.Unlock()
+	})
+	return c, nil
+}
+
+// Dials reports how many Dial attempts were made (including failed
+// ones).
+func (d *Dialer) Dials() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials
+}
+
+// Live reports how many tracked connections are open.
+func (d *Dialer) Live() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.live)
+}
+
+// KillAll hard-closes every live tracked connection — the test's "pull
+// the cable" switch.
+func (d *Dialer) KillAll() {
+	d.mu.Lock()
+	conns := make([]*Conn, 0, len(d.live))
+	for c := range d.live {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	for _, c := range conns {
+		c.Kill()
+	}
+}

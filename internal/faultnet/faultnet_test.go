@@ -1,0 +1,144 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a real TCP connection.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			ch <- c
+		}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-ch
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestWriteFuseTripsAndCloses(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := Wrap(client)
+	fc.DropAfterWrite(10)
+	if _, err := fc.Write([]byte("12345")); err != nil {
+		t.Fatalf("first write under fuse: %v", err)
+	}
+	if _, err := fc.Write([]byte("67890ABCDEF")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fuse write error = %v, want ErrInjected", err)
+	}
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip write error = %v, want ErrInjected", err)
+	}
+	// The inner conn closed: the peer's read must fail.
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	server.Read(buf) // drain the 5+ bytes that got through
+	if _, err := server.Read(buf); err == nil {
+		t.Fatalf("peer read succeeded after fuse trip")
+	}
+}
+
+func TestReadFuseTrips(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := Wrap(client)
+	fc.DropAfterRead(4)
+	go server.Write([]byte("abcdefgh"))
+	buf := make([]byte, 64)
+	if _, err := io.ReadFull(fc, buf[:16]); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read past fuse = %v, want ErrInjected", err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := Wrap(client)
+	fc.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delayed write took only %v", elapsed)
+	}
+	_ = server
+}
+
+func TestKillUnblocksPeerAndOnCloseFiresOnce(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := Wrap(client)
+	fires := 0
+	fc.OnClose(func() { fires++ })
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := server.Read(buf)
+		done <- err
+	}()
+	fc.Kill()
+	fc.Close() // second close must not re-fire the hook
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("peer read returned nil after Kill")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("peer read never unblocked after Kill")
+	}
+	if fires != 1 {
+		t.Fatalf("OnClose fired %d times, want 1", fires)
+	}
+}
+
+func TestDialerTracksAndKills(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(io.Discard, c)
+		}
+	}()
+	d := NewDialer()
+	for i := 0; i < 3; i++ {
+		if _, err := d.Dial(ln.Addr().String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Live() != 3 || d.Dials() != 3 {
+		t.Fatalf("live=%d dials=%d, want 3/3", d.Live(), d.Dials())
+	}
+	d.KillAll()
+	if d.Live() != 0 {
+		t.Fatalf("live=%d after KillAll, want 0", d.Live())
+	}
+	d.SetFail(errors.New("partition"))
+	if _, err := d.Dial(ln.Addr().String()); err == nil {
+		t.Fatalf("Dial succeeded under SetFail")
+	}
+	d.SetFail(nil)
+	if _, err := d.Dial(ln.Addr().String()); err != nil {
+		t.Fatalf("Dial after clearing SetFail: %v", err)
+	}
+}

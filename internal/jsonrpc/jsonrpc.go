@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 )
 
 // message is the wire form of all three message kinds.
@@ -76,7 +77,23 @@ type Conn struct {
 	closed  bool
 	readErr error
 	done    chan struct{}
+
+	// callTimeout bounds every Call issued without an explicit deadline
+	// (0 = wait forever, the historical behavior).
+	callTimeout time.Duration
+	// kaStop terminates a running keepalive goroutine (nil when off).
+	kaStop chan struct{}
+	kaOnce sync.Once
 }
+
+// ErrTimeout marks a call that exceeded its deadline while the
+// connection stayed open. The pending entry is removed, so a late reply
+// is discarded rather than leaked.
+var ErrTimeout = errors.New("jsonrpc: call timed out")
+
+// ErrKeepalive marks a connection failed by the echo keepalive after
+// missing too many consecutive heartbeats.
+var ErrKeepalive = errors.New("jsonrpc: keepalive failed")
 
 // NewConn starts a connection over rwc. handler may be nil if the peer
 // never sends requests. The read loop runs until the stream fails or the
@@ -109,8 +126,77 @@ func (c *Conn) Start(handler Handler) {
 
 // Close tears down the connection and fails all pending calls.
 func (c *Conn) Close() error {
+	c.StopKeepalive()
 	c.fail(errors.New("jsonrpc: connection closed"))
 	return c.rwc.Close()
+}
+
+// SetCallTimeout installs a default deadline applied to every Call that
+// does not use CallTimeout explicitly. Zero restores unbounded waits.
+// Safe to call concurrently with calls in flight.
+func (c *Conn) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.callTimeout = d
+	c.mu.Unlock()
+}
+
+// StartKeepalive begins an echo-based heartbeat: every interval the
+// connection issues an "echo" call bounded by the same interval, and
+// after misses consecutive failures the connection is failed (Done
+// closes, pending calls error). It must be called at most once; the
+// goroutine stops on StopKeepalive, Close, or connection failure.
+func (c *Conn) StartKeepalive(interval time.Duration, misses int) {
+	if interval <= 0 {
+		return
+	}
+	if misses < 1 {
+		misses = 1
+	}
+	c.mu.Lock()
+	if c.kaStop != nil || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.kaStop = stop
+	c.mu.Unlock()
+	go c.keepalive(interval, misses, stop)
+}
+
+// StopKeepalive terminates the heartbeat goroutine, if running.
+func (c *Conn) StopKeepalive() {
+	c.mu.Lock()
+	stop := c.kaStop
+	c.mu.Unlock()
+	if stop != nil {
+		c.kaOnce.Do(func() { close(stop) })
+	}
+}
+
+func (c *Conn) keepalive(interval time.Duration, misses int, stop chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	missed := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		var out any
+		if err := c.CallTimeout("echo", []any{"keepalive"}, &out, interval); err != nil {
+			missed++
+			if missed >= misses {
+				c.fail(fmt.Errorf("%w: %d heartbeats missed: %v", ErrKeepalive, missed, err))
+				c.rwc.Close()
+				return
+			}
+			continue
+		}
+		missed = 0
+	}
 }
 
 // Done is closed when the read loop exits.
@@ -192,15 +278,19 @@ func (c *Conn) send(v any) error {
 	if err != nil {
 		return err
 	}
+	// The closed check and the enqueue happen under c.mu together: once a
+	// message is accepted here, it was queued strictly before fail() could
+	// set closed and signal done, so the writeLoop's drain-on-done pass is
+	// guaranteed to see it.
 	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	if c.closed {
+		c.mu.Unlock()
 		return errors.New("jsonrpc: connection closed")
 	}
 	c.writeMu.Lock()
 	c.writeQueue = append(c.writeQueue, buf)
 	c.writeMu.Unlock()
+	c.mu.Unlock()
 	select {
 	case c.writeWake <- struct{}{}:
 	default:
@@ -219,6 +309,20 @@ func (c *Conn) writeLoop() {
 			case <-c.writeWake:
 				continue
 			case <-c.done:
+				// done may win the select while writeWake is also ready:
+				// messages already acknowledged to send() callers can still
+				// be sitting in the queue. Drain them before exiting — the
+				// stream may be perfectly healthy (e.g. the read side hit
+				// EOF first), and accepted messages must not vanish.
+				c.writeMu.Lock()
+				batch = c.writeQueue
+				c.writeQueue = nil
+				c.writeMu.Unlock()
+				for _, buf := range batch {
+					if _, err := c.rwc.Write(buf); err != nil {
+						return
+					}
+				}
 				return
 			}
 		}
@@ -233,8 +337,20 @@ func (c *Conn) writeLoop() {
 }
 
 // Call issues a request and waits for the matching response, decoding its
-// result into result (unless nil).
+// result into result (unless nil). When a default call timeout is set
+// (SetCallTimeout), the wait is bounded by it.
 func (c *Conn) Call(method string, params any, result any) error {
+	c.mu.Lock()
+	d := c.callTimeout
+	c.mu.Unlock()
+	return c.CallTimeout(method, params, result, d)
+}
+
+// CallTimeout is Call with an explicit deadline for this request only
+// (0 = wait forever). On timeout the pending entry is removed — the map
+// does not grow across timed-out calls — and ErrTimeout is returned
+// (test with errors.Is) while the connection itself stays usable.
+func (c *Conn) CallTimeout(method string, params any, result any, timeout time.Duration) error {
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -257,7 +373,31 @@ func (c *Conn) Call(method string, params any, result any) error {
 		c.mu.Unlock()
 		return err
 	}
-	m, ok := <-ch
+	var m *message
+	var ok bool
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case m, ok = <-ch:
+		case <-t.C:
+			c.mu.Lock()
+			_, still := c.pending[id]
+			delete(c.pending, id)
+			c.mu.Unlock()
+			if !still {
+				// The entry was already removed by the read loop (response
+				// in flight into ch) or by fail() (ch closed): a receive
+				// completes promptly either way. Prefer the real outcome
+				// over the timeout.
+				m, ok = <-ch
+			} else {
+				return fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
+			}
+		}
+	} else {
+		m, ok = <-ch
+	}
 	if !ok {
 		return fmt.Errorf("jsonrpc: connection closed while waiting for %s reply", method)
 	}

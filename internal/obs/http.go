@@ -7,7 +7,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -57,6 +60,12 @@ type Observer struct {
 	draining atomic.Bool
 	// stall holds the watchdog's current reason string ("" = healthy).
 	stall atomic.Value
+	// degraded holds per-connection outage reasons keyed by connection
+	// name (e.g. "ovsdb", a device id). While non-empty, /readyz answers
+	// 503 "degraded": the process is alive and self-healing, but not
+	// currently holding all planes in sync.
+	degradedMu sync.Mutex
+	degraded   map[string]string
 	// budgets holds the per-stage slow-transaction Budgets.
 	budgets atomic.Value
 	// expl holds the registered Explainer (nil until a provenance-capable
@@ -174,6 +183,57 @@ func (o *Observer) Ready() bool {
 	return o.ready.Load()
 }
 
+// SetDegraded records that the connection named key is down or
+// resyncing, with a human-readable reason. While any key is degraded,
+// /readyz answers 503 "degraded: ..." so orchestrators stop routing new
+// work at a process that cannot currently apply it everywhere. Nil-safe.
+func (o *Observer) SetDegraded(key, reason string) {
+	if o == nil || key == "" {
+		return
+	}
+	o.degradedMu.Lock()
+	if o.degraded == nil {
+		o.degraded = make(map[string]string)
+	}
+	o.degraded[key] = reason
+	o.degradedMu.Unlock()
+}
+
+// ClearDegraded removes key from the degraded set (no-op if absent).
+// Nil-safe.
+func (o *Observer) ClearDegraded(key string) {
+	if o == nil {
+		return
+	}
+	o.degradedMu.Lock()
+	delete(o.degraded, key)
+	o.degradedMu.Unlock()
+}
+
+// DegradedReasons returns the current degraded set rendered as
+// "key: reason" strings in key order ("" entries render as the bare
+// key). Empty when healthy or when the observer is disabled.
+func (o *Observer) DegradedReasons() []string {
+	if o == nil {
+		return nil
+	}
+	o.degradedMu.Lock()
+	defer o.degradedMu.Unlock()
+	if len(o.degraded) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(o.degraded))
+	for k, v := range o.degraded {
+		if v == "" {
+			out = append(out, k)
+		} else {
+			out = append(out, k+": "+v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // SetExplainer registers the /debug/explain resolver. Nil-safe; a nil
 // explainer is ignored.
 func (o *Observer) SetExplainer(e Explainer) {
@@ -229,6 +289,10 @@ func (o *Observer) Handler() http.Handler {
 		}
 		if reason := o.StallReason(); reason != "" {
 			http.Error(w, "stalled: "+reason, http.StatusServiceUnavailable)
+			return
+		}
+		if reasons := o.DegradedReasons(); len(reasons) > 0 {
+			http.Error(w, "degraded: "+strings.Join(reasons, "; "), http.StatusServiceUnavailable)
 			return
 		}
 		io.WriteString(w, "ready\n")

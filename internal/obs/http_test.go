@@ -51,6 +51,49 @@ func TestHealthzReadyz(t *testing.T) {
 	}
 }
 
+func TestReadyzDegraded(t *testing.T) {
+	o := NewObserver()
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	o.SetReady(true)
+
+	o.SetDegraded("sw1", "redialing")
+	o.SetDegraded("ovsdb", "resync")
+	code, body := get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while degraded = %d, want 503", code)
+	}
+	if !strings.Contains(body, "degraded: ovsdb: resync; sw1: redialing") {
+		t.Fatalf("/readyz degraded body = %q", body)
+	}
+
+	// Recovery is per key: one cleared connection keeps the other's 503.
+	o.ClearDegraded("sw1")
+	if code, body := get(t, srv, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "ovsdb") {
+		t.Fatalf("/readyz with one degraded key = %d %q", code, body)
+	}
+	o.ClearDegraded("ovsdb")
+	if code, body := get(t, srv, "/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("/readyz after full recovery = %d %q", code, body)
+	}
+
+	// Draining and not-ready outrank degraded in the reported reason.
+	o.SetDegraded("sw1", "")
+	o.SetReady(false)
+	if _, body := get(t, srv, "/readyz"); !strings.Contains(body, "not ready") {
+		t.Fatalf("/readyz not-ready body = %q", body)
+	}
+}
+
+func TestNilObserverDegradedIsNoOp(t *testing.T) {
+	var o *Observer
+	o.SetDegraded("x", "y") // must not panic
+	o.ClearDegraded("x")
+	if r := o.DegradedReasons(); r != nil {
+		t.Fatalf("nil observer degraded reasons = %v", r)
+	}
+}
+
 func TestNilObserverReadyStateIsNoOp(t *testing.T) {
 	var o *Observer
 	o.SetReady(true) // must not panic

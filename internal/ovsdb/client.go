@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/jsonrpc"
 )
@@ -103,6 +104,15 @@ func (c *Client) GetSchema(db string) (*DatabaseSchema, error) {
 func (c *Client) Echo() error {
 	var out any
 	return c.conn.Call("echo", []any{"ping"}, &out)
+}
+
+// SetCallTimeout bounds every RPC issued on this connection (0 = none).
+func (c *Client) SetCallTimeout(d time.Duration) { c.conn.SetCallTimeout(d) }
+
+// StartKeepalive begins echo heartbeats on the connection: misses
+// consecutive failures fail it (see jsonrpc.Conn.StartKeepalive).
+func (c *Client) StartKeepalive(interval time.Duration, misses int) {
+	c.conn.StartKeepalive(interval, misses)
 }
 
 // Transact runs operations against the named database and parses the
@@ -203,6 +213,12 @@ func (c *Client) MonitorTxn(db string, id any, requests map[string]*MonitorReque
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.UseNumber()
 	if err := dec.Decode(&initial); err != nil {
+		// Unregister on this failure path too: leaving the callback behind
+		// would make every later monitor with the same id report a spurious
+		// duplicate (and leak the closure for the connection's lifetime).
+		c.mu.Lock()
+		delete(c.monitors, monID)
+		c.mu.Unlock()
 		return nil, fmt.Errorf("ovsdb: bad initial monitor reply: %w", err)
 	}
 	return initial, nil

@@ -1,0 +1,463 @@
+package ovsdb
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ErrDisconnected is returned by RPCs issued while the resilient client
+// has no live connection (it is redialing in the background).
+var ErrDisconnected = errors.New("ovsdb: disconnected")
+
+// ErrClosed is returned by RPCs issued after Close.
+var ErrClosed = errors.New("ovsdb: client closed")
+
+// ResilientConfig configures a self-healing OVSDB client.
+type ResilientConfig struct {
+	// Addr is the server address passed to Dial on every (re)connection.
+	Addr string
+	// Dial establishes the byte stream; nil selects TCP. Tests substitute
+	// fault-injecting dialers here.
+	Dial func(addr string) (io.ReadWriteCloser, error)
+	// BackoffMin/BackoffMax bound the exponential redial backoff
+	// (defaults 50ms and 5s). Each wait is jittered to half-to-full of
+	// the current backoff so a fleet of controllers does not redial in
+	// lockstep after a server restart.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// CallTimeout bounds every RPC on every connection (0 = no deadline).
+	CallTimeout time.Duration
+	// KeepaliveInterval enables echo heartbeats on every connection
+	// (0 = disabled); KeepaliveMisses heartbeat failures in a row fail
+	// the connection (minimum 1).
+	KeepaliveInterval time.Duration
+	KeepaliveMisses   int
+	// Obs receives ovsdb_reconnects_total / ovsdb_disconnected and the
+	// conn.drop / conn.redial / conn.resync events; the client also
+	// flags itself in the observer's degraded set while down. nil
+	// disables all instrumentation.
+	Obs *obs.Observer
+	// Name keys this connection in the observer's degraded set
+	// (default "ovsdb").
+	Name string
+}
+
+// monState is the monitor the resilient client re-establishes after every
+// reconnection, plus the row cache the resync diff runs against. The
+// cache mirrors exactly what the server has told us: projected New rows
+// from the initial snapshot and every subsequent update.
+type monState struct {
+	db       string
+	id       any
+	requests map[string]*MonitorRequest
+	cb       func(uint64, TableUpdates)
+	// cache is table → row UUID → projected row (wire JSON form).
+	cache map[string]map[string]map[string]any
+}
+
+// ResilientClient wraps Client with automatic redial and monitor
+// re-establishment. On connection loss it redials with jittered
+// exponential backoff, re-issues the monitor, diffs the fresh snapshot
+// against the cached row state, and delivers the difference to the
+// monitor callback as synthetic updates — so a subscriber that survives
+// the outage converges to the server's current state without replaying
+// it from scratch and without seeing phantom changes for unchanged rows.
+//
+// Done() fires only on Close, never on transient connection loss: the
+// whole point is that subscribers outlive individual connections.
+type ResilientClient struct {
+	cfg ResilientConfig
+
+	mu     sync.Mutex
+	cur    *Client
+	closed bool
+
+	// monMu serializes monitor registration, cache mutation, and
+	// callback delivery, so synthetic resync updates and live updates
+	// never interleave out of order.
+	monMu sync.Mutex
+	mon   *monState
+
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mReconnects   *obs.Counter
+	gDisconnected *obs.Gauge
+	rec           *obs.Recorder
+}
+
+// DialResilient connects to the server and starts the supervision loop.
+// The initial dial fails fast (a misconfigured address should not retry
+// forever); only established sessions self-heal.
+func DialResilient(cfg ResilientConfig) (*ResilientClient, error) {
+	r := &ResilientClient{cfg: cfg, done: make(chan struct{})}
+	reg := cfg.Obs.Reg()
+	r.mReconnects = reg.Counter("ovsdb_reconnects_total",
+		"Successful OVSDB session re-establishments after connection loss.")
+	r.gDisconnected = reg.Gauge("ovsdb_disconnected",
+		"1 while the OVSDB connection is down and redialing, else 0.")
+	r.rec = cfg.Obs.Rec()
+	c, err := r.connect()
+	if err != nil {
+		return nil, err
+	}
+	r.cur = c
+	go r.supervise()
+	return r, nil
+}
+
+func (r *ResilientClient) name() string {
+	if r.cfg.Name != "" {
+		return r.cfg.Name
+	}
+	return "ovsdb"
+}
+
+func (r *ResilientClient) connect() (*Client, error) {
+	dial := r.cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+	}
+	rwc, err := dial(r.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(rwc)
+	if r.cfg.CallTimeout > 0 {
+		c.conn.SetCallTimeout(r.cfg.CallTimeout)
+	}
+	if r.cfg.KeepaliveInterval > 0 {
+		c.conn.StartKeepalive(r.cfg.KeepaliveInterval, r.cfg.KeepaliveMisses)
+	}
+	return c, nil
+}
+
+// client returns the live connection or the reason there is none.
+func (r *ResilientClient) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.cur == nil {
+		return nil, ErrDisconnected
+	}
+	return r.cur, nil
+}
+
+// Close permanently shuts the client down; the redial loop stops and
+// Done() fires.
+func (r *ResilientClient) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	c := r.cur
+	r.cur = nil
+	r.mu.Unlock()
+	r.closeOnce.Do(func() { close(r.done) })
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// Done fires when the client is closed (not on transient disconnects).
+func (r *ResilientClient) Done() <-chan struct{} { return r.done }
+
+// Connected reports whether a live connection is currently established.
+func (r *ResilientClient) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur != nil && !r.closed
+}
+
+// --- RPC passthroughs (valid only while connected) ---
+
+// ListDbs returns the names of the hosted databases.
+func (r *ResilientClient) ListDbs() ([]string, error) {
+	c, err := r.client()
+	if err != nil {
+		return nil, err
+	}
+	return c.ListDbs()
+}
+
+// GetSchema fetches and parses a database schema.
+func (r *ResilientClient) GetSchema(db string) (*DatabaseSchema, error) {
+	c, err := r.client()
+	if err != nil {
+		return nil, err
+	}
+	return c.GetSchema(db)
+}
+
+// Echo round-trips a keepalive on the current connection.
+func (r *ResilientClient) Echo() error {
+	c, err := r.client()
+	if err != nil {
+		return err
+	}
+	return c.Echo()
+}
+
+// Transact runs operations against the named database.
+func (r *ResilientClient) Transact(db string, ops ...Operation) ([]OpResult, error) {
+	c, err := r.client()
+	if err != nil {
+		return nil, err
+	}
+	return c.Transact(db, ops...)
+}
+
+// TransactErr is Transact with per-operation errors folded into the
+// returned error.
+func (r *ResilientClient) TransactErr(db string, ops ...Operation) ([]OpResult, error) {
+	c, err := r.client()
+	if err != nil {
+		return nil, err
+	}
+	return c.TransactErr(db, ops...)
+}
+
+// --- Monitor with resync ---
+
+// Monitor registers the client's single self-healing monitor (see
+// MonitorTxn).
+func (r *ResilientClient) Monitor(db string, id any, requests map[string]*MonitorRequest, cb func(TableUpdates)) (TableUpdates, error) {
+	return r.MonitorTxn(db, id, requests, func(_ uint64, tu TableUpdates) { cb(tu) })
+}
+
+// MonitorTxn registers the client's single self-healing monitor: it is
+// re-established after every reconnection, with the difference between
+// the fresh snapshot and the last observed state delivered to cb as one
+// synthetic update (txn 0). Updates — live and synthetic — are delivered
+// strictly serialized.
+func (r *ResilientClient) MonitorTxn(db string, id any, requests map[string]*MonitorRequest, cb func(uint64, TableUpdates)) (TableUpdates, error) {
+	c, err := r.client()
+	if err != nil {
+		return nil, err
+	}
+	r.monMu.Lock()
+	defer r.monMu.Unlock()
+	if r.mon != nil {
+		return nil, errors.New("ovsdb: resilient client supports a single monitor")
+	}
+	initial, err := c.MonitorTxn(db, id, requests, r.deliver)
+	if err != nil {
+		return nil, err
+	}
+	r.mon = &monState{db: db, id: id, requests: requests, cb: cb, cache: cacheOf(initial)}
+	return initial, nil
+}
+
+// deliver is the callback registered on every underlying connection: it
+// folds the update into the row cache and forwards it, all under monMu
+// so resync diffs see a consistent cache.
+func (r *ResilientClient) deliver(txn uint64, tu TableUpdates) {
+	r.monMu.Lock()
+	defer r.monMu.Unlock()
+	if r.mon == nil {
+		return
+	}
+	r.mon.apply(tu)
+	r.mon.cb(txn, tu)
+}
+
+// cacheOf seeds a row cache from an initial snapshot.
+func cacheOf(initial TableUpdates) map[string]map[string]map[string]any {
+	cache := make(map[string]map[string]map[string]any, len(initial))
+	for table, tu := range initial {
+		rows := make(map[string]map[string]any, len(tu))
+		for uuid, ru := range tu {
+			if ru.New != nil {
+				rows[uuid] = ru.New
+			}
+		}
+		cache[table] = rows
+	}
+	return cache
+}
+
+// apply folds one update into the cache. New carries the full selected
+// row for inserts and modifies, so it replaces wholesale; a nil New is a
+// delete.
+func (m *monState) apply(tu TableUpdates) {
+	for table, rows := range tu {
+		cached := m.cache[table]
+		if cached == nil {
+			cached = make(map[string]map[string]any)
+			m.cache[table] = cached
+		}
+		for uuid, ru := range rows {
+			if ru.New != nil {
+				cached[uuid] = ru.New
+			} else {
+				delete(cached, uuid)
+			}
+		}
+	}
+}
+
+// rowEqual compares two wire-form rows structurally. Both sides were
+// decoded from server JSON (numbers as json.Number), so marshaling is a
+// faithful canonical form.
+func rowEqual(a, b map[string]any) bool {
+	ab, err1 := json.Marshal(a)
+	bb, err2 := json.Marshal(b)
+	return err1 == nil && err2 == nil && string(ab) == string(bb)
+}
+
+// diff computes the synthetic update turning the cached state into
+// fresh, then replaces the cache with fresh. Deletes carry the full old
+// row and modifies carry the full old row in Old (not just changed
+// columns) — subscribers reconstructing old rows by overlaying Old onto
+// New therefore see exactly the cached row.
+func (m *monState) diff(fresh TableUpdates) TableUpdates {
+	next := cacheOf(fresh)
+	out := make(TableUpdates)
+	tables := make(map[string]bool, len(m.cache)+len(next))
+	for t := range m.cache {
+		tables[t] = true
+	}
+	for t := range next {
+		tables[t] = true
+	}
+	for t := range tables {
+		oldRows, newRows := m.cache[t], next[t]
+		tu := make(TableUpdate)
+		for uuid, oldRow := range oldRows {
+			newRow, ok := newRows[uuid]
+			switch {
+			case !ok:
+				tu[uuid] = RowUpdate{Old: oldRow}
+			case !rowEqual(oldRow, newRow):
+				tu[uuid] = RowUpdate{Old: oldRow, New: newRow}
+			}
+		}
+		for uuid, newRow := range newRows {
+			if _, ok := oldRows[uuid]; !ok {
+				tu[uuid] = RowUpdate{New: newRow}
+			}
+		}
+		if len(tu) > 0 {
+			out[t] = tu
+		}
+	}
+	m.cache = next
+	return out
+}
+
+// resync re-establishes the monitor on a fresh connection and delivers
+// the state difference accumulated during the outage. Called before the
+// connection is published, so RPC users never see a half-resynced
+// session.
+func (r *ResilientClient) resync(c *Client) error {
+	r.monMu.Lock()
+	defer r.monMu.Unlock()
+	if r.mon == nil {
+		return nil
+	}
+	fresh, err := c.MonitorTxn(r.mon.db, r.mon.id, r.mon.requests, r.deliver)
+	if err != nil {
+		return err
+	}
+	diff := r.mon.diff(fresh)
+	rows := 0
+	for _, tu := range diff {
+		rows += len(tu)
+	}
+	r.rec.Append(obs.Ev("ovsdb", "conn.resync").
+		F("tables", int64(len(diff))).
+		F("rows", int64(rows)))
+	if len(diff) > 0 {
+		r.mon.cb(0, diff)
+	}
+	return nil
+}
+
+// supervise watches the live connection and heals it on failure.
+func (r *ResilientClient) supervise() {
+	for {
+		r.mu.Lock()
+		c := r.cur
+		r.mu.Unlock()
+		if c == nil {
+			return // closed during redial
+		}
+		select {
+		case <-c.Done():
+		case <-r.done:
+			return
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		r.cur = nil
+		r.mu.Unlock()
+		r.gDisconnected.Set(1)
+		r.cfg.Obs.SetDegraded(r.name(), "connection lost; reconnecting")
+		r.rec.Append(obs.Ev("ovsdb", "conn.drop"))
+		if !r.redial() {
+			return
+		}
+	}
+}
+
+// redial reconnects with jittered exponential backoff until it succeeds
+// (returning true) or the client is closed (false). Success means the
+// monitor is re-established and resynced, not merely that TCP connected.
+func (r *ResilientClient) redial() bool {
+	backoff := r.cfg.BackoffMin
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxb := r.cfg.BackoffMax
+	if maxb <= 0 {
+		maxb = 5 * time.Second
+	}
+	attempts := 0
+	for {
+		// Jitter to [backoff/2, backoff): concurrent clients spread out.
+		wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-r.done:
+			return false
+		case <-time.After(wait):
+		}
+		attempts++
+		c, err := r.connect()
+		if err == nil {
+			if err = r.resync(c); err == nil {
+				r.mu.Lock()
+				if r.closed {
+					r.mu.Unlock()
+					c.Close()
+					return false
+				}
+				r.cur = c
+				r.mu.Unlock()
+				r.mReconnects.Inc()
+				r.gDisconnected.Set(0)
+				r.cfg.Obs.ClearDegraded(r.name())
+				r.rec.Append(obs.Ev("ovsdb", "conn.redial").
+					F("attempts", int64(attempts)))
+				return true
+			}
+			c.Close()
+		}
+		if backoff < maxb {
+			backoff *= 2
+			if backoff > maxb {
+				backoff = maxb
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package ovsdb
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+	"repro/internal/jsonrpc"
+	"repro/internal/obs"
+)
+
+// TestMonitorTxnUnregistersOnBadInitialReply is the regression test for
+// the monitor-registration leak: when the server's initial monitor reply
+// fails to decode, the callback must be unregistered so the same id can
+// be monitored again (pre-fix this reported a spurious duplicate).
+func TestMonitorTxnUnregistersOnBadInitialReply(t *testing.T) {
+	a, b := net.Pipe()
+	var calls int // touched only on the server conn's read loop
+	srv := jsonrpc.NewConn(b, jsonrpc.HandlerFunc(func(_ *jsonrpc.Conn, method string, _ json.RawMessage) (any, *jsonrpc.RPCError) {
+		if method != "monitor" {
+			return nil, &jsonrpc.RPCError{Code: "unknown method", Details: method}
+		}
+		calls++
+		if calls == 1 {
+			// An array is not a TableUpdates object: the client's decode of
+			// the initial reply fails after the RPC itself succeeded.
+			return []any{1, 2, 3}, nil
+		}
+		return map[string]any{}, nil
+	}))
+	defer srv.Close()
+	c := NewClient(a)
+	defer c.Close()
+
+	cb := func(uint64, TableUpdates) {}
+	if _, err := c.MonitorTxn("db", "m1", nil, cb); err == nil {
+		t.Fatalf("garbage initial reply decoded successfully")
+	}
+	if _, err := c.MonitorTxn("db", "m1", nil, cb); err != nil {
+		t.Fatalf("re-monitor after failed decode: %v (registration leaked?)", err)
+	}
+}
+
+// txnCollector gathers txn-aware monitor updates.
+type txnCollector struct {
+	mu      sync.Mutex
+	updates []TableUpdates
+}
+
+func (c *txnCollector) add(_ uint64, tu TableUpdates) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.updates = append(c.updates, tu)
+}
+
+func (c *txnCollector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.updates)
+}
+
+func (c *txnCollector) waitFor(t *testing.T, n int) []TableUpdates {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		if len(c.updates) >= n {
+			out := append([]TableUpdates{}, c.updates...)
+			c.mu.Unlock()
+			return out
+		}
+		c.mu.Unlock()
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d updates (have %d)", n, c.count())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// startResilient boots a server plus a resilient client dialing through a
+// fault-injecting dialer, with a direct (unkillable) client for mutations.
+func startResilient(t *testing.T, o *obs.Observer) (*ResilientClient, *Client, *faultnet.Dialer) {
+	t.Helper()
+	schema, err := ParseSchema([]byte(testSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewDatabase(schema))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	d := faultnet.NewDialer()
+	r, err := DialResilient(ResilientConfig{
+		Addr:       ln.Addr().String(),
+		Dial:       func(addr string) (io.ReadWriteCloser, error) { return d.Dial(addr) },
+		BackoffMin: 2 * time.Millisecond,
+		BackoffMax: 20 * time.Millisecond,
+		Obs:        o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	direct, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { direct.Close() })
+	return r, direct, d
+}
+
+func portMonitorReqs() map[string]*MonitorRequest {
+	return map[string]*MonitorRequest{
+		"Port": {Columns: []string{"name", "number"}},
+	}
+}
+
+func waitConnected(t *testing.T, r *ResilientClient) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.Connected() {
+		if time.Now().After(deadline) {
+			t.Fatalf("client never reconnected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitDisconnected blocks until the supervisor has noticed the drop, so
+// a following waitConnected observes the next session, not the dying one.
+func waitDisconnected(t *testing.T, r *ResilientClient) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Connected() {
+		if time.Now().After(deadline) {
+			t.Fatalf("drop never noticed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestResilientResyncDeliversOutageDiff(t *testing.T) {
+	o := obs.NewObserver()
+	r, direct, d := startResilient(t, o)
+	var col txnCollector
+	if _, err := r.MonitorTxn("TestDB", "m", portMonitorReqs(), col.add); err != nil {
+		t.Fatalf("MonitorTxn: %v", err)
+	}
+	if _, err := direct.TransactErr("TestDB",
+		OpInsert("Port", map[string]Value{"name": "eth0", "number": int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 1)
+
+	// Sever the client's connection and mutate the database while it is
+	// down: delete eth0, add eth1.
+	d.KillAll()
+	if _, err := direct.TransactErr("TestDB",
+		OpDelete("Port", Cond("name", "==", "eth0")),
+		OpInsert("Port", map[string]Value{"name": "eth1", "number": int64(2)}),
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resync diff must arrive as exactly one synthetic update carrying
+	// the delete of eth0 and the insert of eth1.
+	ups := col.waitFor(t, 2)
+	tu := ups[1]["Port"]
+	if len(tu) != 2 {
+		t.Fatalf("resync update = %v, want 2 row updates", ups[1])
+	}
+	var sawDel, sawIns bool
+	for _, ru := range tu {
+		switch {
+		case ru.New == nil && ru.Old != nil && ru.Old["name"] == "eth0":
+			sawDel = true
+		case ru.Old == nil && ru.New != nil && ru.New["name"] == "eth1":
+			sawIns = true
+		}
+	}
+	if !sawDel || !sawIns {
+		t.Fatalf("resync diff missing changes: del=%v ins=%v (%v)", sawDel, sawIns, tu)
+	}
+
+	// Live updates keep flowing on the healed session.
+	if _, err := r.TransactErr("TestDB",
+		OpInsert("Port", map[string]Value{"name": "eth2", "number": int64(3)})); err != nil {
+		t.Fatalf("transact on healed client: %v", err)
+	}
+	col.waitFor(t, 3)
+
+	if reasons := o.DegradedReasons(); len(reasons) != 0 {
+		t.Fatalf("still degraded after recovery: %v", reasons)
+	}
+	var snap strings.Builder
+	o.Reg().WritePrometheus(&snap)
+	if !strings.Contains(snap.String(), "ovsdb_reconnects_total 1") {
+		t.Fatalf("reconnect counter missing:\n%s", snap.String())
+	}
+}
+
+func TestResilientResyncNoSpuriousDeltas(t *testing.T) {
+	r, direct, d := startResilient(t, nil)
+	var col txnCollector
+	if _, err := r.MonitorTxn("TestDB", "m", portMonitorReqs(), col.add); err != nil {
+		t.Fatalf("MonitorTxn: %v", err)
+	}
+	if _, err := direct.TransactErr("TestDB",
+		OpInsert("Port", map[string]Value{"name": "eth0", "number": int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 1)
+
+	// Nothing changes during the outage: the subscriber must see no
+	// synthetic update at all, not a no-op one.
+	d.KillAll()
+	waitDisconnected(t, r)
+	waitConnected(t, r)
+	time.Sleep(20 * time.Millisecond)
+	if n := col.count(); n != 1 {
+		t.Fatalf("unchanged state produced %d extra updates", n-1)
+	}
+
+	// A change made after the heal arrives exactly once.
+	if _, err := direct.TransactErr("TestDB",
+		OpUpdate("Port", map[string]Value{"number": int64(9)}, Cond("name", "==", "eth0"))); err != nil {
+		t.Fatal(err)
+	}
+	ups := col.waitFor(t, 2)
+	ru := ups[1]["Port"]
+	if len(ru) != 1 {
+		t.Fatalf("post-heal update = %v", ups[1])
+	}
+}
+
+func TestResilientSurvivesRepeatedKills(t *testing.T) {
+	r, direct, d := startResilient(t, nil)
+	var col txnCollector
+	if _, err := r.MonitorTxn("TestDB", "m", portMonitorReqs(), col.add); err != nil {
+		t.Fatalf("MonitorTxn: %v", err)
+	}
+	want := 0
+	for i := 0; i < 3; i++ {
+		d.KillAll()
+		if _, err := direct.TransactErr("TestDB",
+			OpInsert("Port", map[string]Value{"name": "p" + string(rune('a'+i)), "number": int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+		want++
+		col.waitFor(t, want) // each outage's change arrives via resync
+		waitConnected(t, r)
+		time.Sleep(2 * time.Millisecond) // let the healed session settle
+	}
+	select {
+	case <-r.Done():
+		t.Fatalf("resilient client died: transient drops must not close it")
+	default:
+	}
+}
+
+func TestResilientGoroutinesTerminateOnClose(t *testing.T) {
+	// One shared server; the baseline is measured after it is up so only
+	// the resilient clients' own goroutines (supervise, redial, conn
+	// loops) are under test.
+	schema, err := ParseSchema([]byte(testSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewDatabase(schema))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+	time.Sleep(5 * time.Millisecond)
+	base := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		d := faultnet.NewDialer()
+		r, err := DialResilient(ResilientConfig{
+			Addr:       ln.Addr().String(),
+			Dial:       func(addr string) (io.ReadWriteCloser, error) { return d.Dial(addr) },
+			BackoffMin: 2 * time.Millisecond,
+			BackoffMax: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var col txnCollector
+		if _, err := r.MonitorTxn("TestDB", "m", portMonitorReqs(), col.add); err != nil {
+			t.Fatal(err)
+		}
+		d.KillAll()
+		waitDisconnected(t, r)
+		waitConnected(t, r) // exercise the redial loop before closing
+		r.Close()
+		select {
+		case <-r.Done():
+		case <-time.After(time.Second):
+			t.Fatalf("Done not closed after Close")
+		}
+	}
+	// Server-side conn goroutines die when their client closes; everything
+	// must drain back to near the post-server baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d (base %d)\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/jsonrpc"
 )
@@ -19,6 +20,20 @@ type Server struct {
 	listeners map[net.Listener]bool
 	conns     map[*jsonrpc.Conn]bool
 	closed    bool
+
+	// kaInterval/kaMisses, when set, start echo keepalives on every
+	// accepted connection so half-open clients are reaped.
+	kaInterval time.Duration
+	kaMisses   int
+}
+
+// SetKeepalive makes every subsequently accepted connection probe its
+// peer with echo heartbeats: misses consecutive failures fail the
+// connection. Call before Serve; 0 disables.
+func (s *Server) SetKeepalive(interval time.Duration, misses int) {
+	s.lnMu.Lock()
+	s.kaInterval, s.kaMisses = interval, misses
+	s.lnMu.Unlock()
 }
 
 // NewServer creates a server hosting the given databases.
@@ -97,7 +112,11 @@ func (s *Server) serveConn(nc net.Conn) {
 	conn.Start(sc)
 	s.lnMu.Lock()
 	s.conns[conn] = true
+	ka, misses := s.kaInterval, s.kaMisses
 	s.lnMu.Unlock()
+	if ka > 0 {
+		conn.StartKeepalive(ka, misses)
+	}
 	go func() {
 		<-conn.Done()
 		sc.teardown()

@@ -78,6 +78,14 @@ func (c *Client) SetAutoAck(on bool) {
 
 func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) (any, *jsonrpc.RPCError) {
 	switch method {
+	case "echo":
+		// Answer server-side keepalive probes.
+		var v any
+		_ = json.Unmarshal(params, &v)
+		if v == nil {
+			v = []any{}
+		}
+		return v, nil
 	case "digest":
 		var dl DigestList
 		if err := json.Unmarshal(params, &dl); err != nil {
@@ -94,7 +102,14 @@ func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) 
 			handler(dl)
 		}
 		if ack {
-			c.conn.Notify("digest_ack", dl.ListID)
+			if err := c.conn.Notify("digest_ack", dl.ListID); err != nil {
+				// A lost ack means the switch will retransmit the digest
+				// list; surface the failed write instead of dropping it on
+				// the floor so operators can see acks going missing.
+				c.mWriteErrors.Inc()
+				c.rec.Append(obs.Ev("p4rt", "digest.ack_failed").WithDevice(c.target).
+					F("list_id", int64(dl.ListID)))
+			}
 		}
 		return nil, nil
 	case "packet_in":
@@ -201,4 +216,19 @@ func (c *Client) ReadCounters(table string) (p4.TableCounters, error) {
 // AckDigest acknowledges a digest list explicitly (with auto-ack off).
 func (c *Client) AckDigest(listID uint64) error {
 	return c.conn.Notify("digest_ack", listID)
+}
+
+// Echo round-trips a keepalive probe.
+func (c *Client) Echo() error {
+	var out any
+	return c.conn.Call("echo", []any{"ping"}, &out)
+}
+
+// SetCallTimeout bounds every RPC issued on this connection (0 = none).
+func (c *Client) SetCallTimeout(d time.Duration) { c.conn.SetCallTimeout(d) }
+
+// StartKeepalive begins echo heartbeats on the connection: misses
+// consecutive failures fail it (see jsonrpc.Conn.StartKeepalive).
+func (c *Client) StartKeepalive(interval time.Duration, misses int) {
+	c.conn.StartKeepalive(interval, misses)
 }

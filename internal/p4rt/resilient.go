@@ -1,0 +1,386 @@
+package p4rt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/jsonrpc"
+	"repro/internal/obs"
+	"repro/internal/p4"
+)
+
+// ErrUnavailable marks RPCs that failed because the device connection is
+// down (or died mid-call). Callers that supervise their own resync — the
+// controller — treat it as "the device will be reconciled on reconnect"
+// rather than a fatal push error.
+var ErrUnavailable = errors.New("p4rt: device unavailable")
+
+// ErrClosed is returned by RPCs issued after Close.
+var ErrClosed = errors.New("p4rt: client closed")
+
+// ResilientConfig configures a self-healing p4rt client.
+type ResilientConfig struct {
+	// Addr is the switch address passed to Dial on every (re)connection.
+	Addr string
+	// Dial establishes the byte stream; nil selects TCP.
+	Dial func(addr string) (io.ReadWriteCloser, error)
+	// BackoffMin/BackoffMax bound the jittered exponential redial backoff
+	// (defaults 50ms and 5s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// CallTimeout bounds every RPC on every connection (0 = none).
+	CallTimeout time.Duration
+	// KeepaliveInterval enables echo heartbeats (0 = disabled);
+	// KeepaliveMisses consecutive failures fail the connection.
+	KeepaliveInterval time.Duration
+	KeepaliveMisses   int
+	// Obs receives p4rt_reconnects_total / p4rt_disconnected (labelled
+	// with Target) and the conn.drop / conn.redial events, plus the
+	// degraded-readiness flag while the device is down.
+	Obs *obs.Observer
+	// Target is the device id: it labels the metrics, the flight-recorder
+	// events, and the degraded key ("p4rt:<target>").
+	Target string
+}
+
+// ResilientClient wraps Client with automatic redial. On connection loss
+// it redials with jittered exponential backoff, re-arms the digest and
+// packet-in handlers, then runs the OnReconnect hook (the controller's
+// state reconciliation) before publishing the session — so by the time
+// Write succeeds again, the device's tables have been diffed against the
+// desired state and healed.
+//
+// Done() fires only on Close, never on transient connection loss.
+type ResilientClient struct {
+	cfg ResilientConfig
+
+	mu          sync.Mutex
+	cur         *Client
+	closed      bool
+	missed      int // RPC attempts rejected while no session was published
+	onDigest    func(DigestList)
+	onPacketIn  func(PacketIn)
+	onReconnect func(*Client) error
+
+	done      chan struct{}
+	closeOnce sync.Once
+
+	mReconnects   *obs.Counter
+	gDisconnected *obs.Gauge
+	rec           *obs.Recorder
+}
+
+// DialResilient connects to the switch and starts the supervision loop.
+// The initial dial fails fast; only established sessions self-heal.
+func DialResilient(cfg ResilientConfig) (*ResilientClient, error) {
+	if cfg.Target == "" {
+		cfg.Target = cfg.Addr
+	}
+	r := &ResilientClient{cfg: cfg, done: make(chan struct{})}
+	reg := cfg.Obs.Reg()
+	lbl := obs.L("target", cfg.Target)
+	r.mReconnects = reg.Counter("p4rt_reconnects_total",
+		"Successful p4rt session re-establishments after connection loss.", lbl)
+	r.gDisconnected = reg.Gauge("p4rt_disconnected",
+		"1 while this device's connection is down and redialing, else 0.", lbl)
+	r.rec = cfg.Obs.Rec()
+	c, err := r.connect()
+	if err != nil {
+		return nil, err
+	}
+	r.cur = c
+	go r.supervise()
+	return r, nil
+}
+
+func (r *ResilientClient) degradedKey() string { return "p4rt:" + r.cfg.Target }
+
+func (r *ResilientClient) connect() (*Client, error) {
+	dial := r.cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (io.ReadWriteCloser, error) { return net.Dial("tcp", addr) }
+	}
+	rwc, err := dial(r.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(rwc)
+	if r.cfg.CallTimeout > 0 {
+		c.SetCallTimeout(r.cfg.CallTimeout)
+	}
+	if r.cfg.KeepaliveInterval > 0 {
+		c.StartKeepalive(r.cfg.KeepaliveInterval, r.cfg.KeepaliveMisses)
+	}
+	if r.cfg.Obs != nil {
+		c.SetObs(r.cfg.Obs, r.cfg.Target)
+	}
+	r.mu.Lock()
+	od, op := r.onDigest, r.onPacketIn
+	r.mu.Unlock()
+	if od != nil {
+		c.OnDigest(od)
+	}
+	if op != nil {
+		c.OnPacketIn(op)
+	}
+	return c, nil
+}
+
+// client returns the live connection or the reason there is none.
+func (r *ResilientClient) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if r.cur == nil {
+		// Count the rejected attempt: the caller will not retry it, so if
+		// a reconciliation is in flight it must run once more afterwards
+		// to cover whatever this call would have written.
+		r.missed++
+		return nil, fmt.Errorf("%w: redialing %s", ErrUnavailable, r.cfg.Addr)
+	}
+	return r.cur, nil
+}
+
+// Close permanently shuts the client down.
+func (r *ResilientClient) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	c := r.cur
+	r.cur = nil
+	r.mu.Unlock()
+	r.closeOnce.Do(func() { close(r.done) })
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// Done fires when the client is closed (not on transient disconnects).
+func (r *ResilientClient) Done() <-chan struct{} { return r.done }
+
+// Connected reports whether a live session is currently established.
+func (r *ResilientClient) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur != nil && !r.closed
+}
+
+// OnReconnect installs the post-redial reconciliation hook. It runs with
+// the fresh (not yet published) client after handlers are re-armed; an
+// error fails the attempt and the redial loop retries. The controller
+// uses it to diff the device's actual table state against its desired
+// state and re-push only the difference.
+func (r *ResilientClient) OnReconnect(f func(*Client) error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onReconnect = f
+}
+
+// OnDigest installs the digest handler (re-armed on every reconnection).
+func (r *ResilientClient) OnDigest(f func(DigestList)) {
+	r.mu.Lock()
+	r.onDigest = f
+	c := r.cur
+	r.mu.Unlock()
+	if c != nil {
+		c.OnDigest(f)
+	}
+}
+
+// OnPacketIn installs the packet-in handler (re-armed on reconnection).
+func (r *ResilientClient) OnPacketIn(f func(PacketIn)) {
+	r.mu.Lock()
+	r.onPacketIn = f
+	c := r.cur
+	r.mu.Unlock()
+	if c != nil {
+		c.OnPacketIn(f)
+	}
+}
+
+// unavailableOn maps transport-level failures to ErrUnavailable while
+// passing the switch's own RPC errors (bad update, unknown table — real
+// failures a resync will not cure) through unchanged.
+func unavailableOn(err error) error {
+	if err == nil {
+		return nil
+	}
+	var rpcErr *jsonrpc.RPCError
+	if errors.As(err, &rpcErr) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, err)
+}
+
+// GetP4Info fetches the running pipeline's description.
+func (r *ResilientClient) GetP4Info() (*p4.P4Info, error) {
+	c, err := r.client()
+	if err != nil {
+		return nil, err
+	}
+	info, err := c.GetP4Info()
+	return info, unavailableOn(err)
+}
+
+// Write applies updates atomically on the device. While the device is
+// down (or if the connection dies mid-call) the error wraps
+// ErrUnavailable; reconciliation on reconnect is then responsible for
+// convergence.
+func (r *ResilientClient) Write(updates ...Update) error {
+	c, err := r.client()
+	if err != nil {
+		return err
+	}
+	return unavailableOn(c.Write(updates...))
+}
+
+// ReadTable snapshots a table's entries.
+func (r *ResilientClient) ReadTable(table string) ([]TableEntry, error) {
+	c, err := r.client()
+	if err != nil {
+		return nil, err
+	}
+	entries, err := c.ReadTable(table)
+	return entries, unavailableOn(err)
+}
+
+// ReadCounters reads a table's hit/miss counters.
+func (r *ResilientClient) ReadCounters(table string) (p4.TableCounters, error) {
+	c, err := r.client()
+	if err != nil {
+		return p4.TableCounters{}, err
+	}
+	out, err := c.ReadCounters(table)
+	return out, unavailableOn(err)
+}
+
+// PacketOut injects a packet on a port.
+func (r *ResilientClient) PacketOut(port uint16, data []byte) error {
+	c, err := r.client()
+	if err != nil {
+		return err
+	}
+	return unavailableOn(c.PacketOut(port, data))
+}
+
+// supervise watches the live connection and heals it on failure.
+func (r *ResilientClient) supervise() {
+	for {
+		r.mu.Lock()
+		c := r.cur
+		r.mu.Unlock()
+		if c == nil {
+			return
+		}
+		select {
+		case <-c.Done():
+		case <-r.done:
+			return
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		r.cur = nil
+		r.mu.Unlock()
+		r.gDisconnected.Set(1)
+		r.cfg.Obs.SetDegraded(r.degradedKey(), "connection lost; reconnecting")
+		r.rec.Append(obs.Ev("p4rt", "conn.drop").WithDevice(r.cfg.Target))
+		if !r.redial() {
+			return
+		}
+	}
+}
+
+// redial reconnects with jittered exponential backoff until it succeeds
+// (true) or the client is closed (false). Success requires the
+// OnReconnect reconciliation to complete, so a published session is
+// always a converged one.
+func (r *ResilientClient) redial() bool {
+	backoff := r.cfg.BackoffMin
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxb := r.cfg.BackoffMax
+	if maxb <= 0 {
+		maxb = 5 * time.Second
+	}
+	attempts := 0
+	for {
+		wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-r.done:
+			return false
+		case <-time.After(wait):
+		}
+		attempts++
+		c, err := r.connect()
+		if err == nil {
+			hook := func(*Client) error { return nil }
+			r.mu.Lock()
+			if r.onReconnect != nil {
+				hook = r.onReconnect
+			}
+			r.missed = 0
+			r.mu.Unlock()
+			if err = hook(c); err == nil {
+				r.mu.Lock()
+				if r.closed {
+					r.mu.Unlock()
+					c.Close()
+					return false
+				}
+				r.cur = c
+				r.mu.Unlock()
+				// Writes attempted while the hook was reconciling failed
+				// fast with ErrUnavailable and their callers will not retry
+				// them — the state they carried exists only on the desired
+				// side. Reconcile again until a pass completes with no
+				// write having been missed, so the published session is
+				// converged with everything enqueued during the heal.
+				for {
+					r.mu.Lock()
+					missed := r.missed
+					r.missed = 0
+					r.mu.Unlock()
+					if missed == 0 {
+						break
+					}
+					if err = hook(c); err != nil {
+						break
+					}
+				}
+				if err == nil {
+					r.mReconnects.Inc()
+					r.gDisconnected.Set(0)
+					r.cfg.Obs.ClearDegraded(r.degradedKey())
+					r.rec.Append(obs.Ev("p4rt", "conn.redial").WithDevice(r.cfg.Target).
+						F("attempts", int64(attempts)))
+					return true
+				}
+				// The catch-up reconciliation failed: unpublish the session
+				// and fall through to another redial attempt.
+				r.mu.Lock()
+				if r.cur == c {
+					r.cur = nil
+				}
+				r.mu.Unlock()
+			}
+			c.Close()
+		}
+		if backoff < maxb {
+			backoff *= 2
+			if backoff > maxb {
+				backoff = maxb
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/jsonrpc"
 )
@@ -18,6 +19,20 @@ type Server struct {
 	listeners map[net.Listener]bool
 	conns     map[*jsonrpc.Conn]bool
 	closed    bool
+
+	// kaInterval/kaMisses, when set, start echo keepalives on every
+	// accepted connection so half-open controllers are reaped.
+	kaInterval time.Duration
+	kaMisses   int
+}
+
+// SetKeepalive makes every subsequently accepted connection probe its
+// peer with echo heartbeats: misses consecutive failures fail the
+// connection. Call before Serve; 0 disables.
+func (s *Server) SetKeepalive(interval time.Duration, misses int) {
+	s.mu.Lock()
+	s.kaInterval, s.kaMisses = interval, misses
+	s.mu.Unlock()
 }
 
 // NewServer creates a server for the device.
@@ -78,7 +93,11 @@ func (s *Server) addConn(nc net.Conn) {
 	conn := jsonrpc.NewConn(nc, jsonrpc.HandlerFunc(s.handle))
 	s.mu.Lock()
 	s.conns[conn] = true
+	ka, misses := s.kaInterval, s.kaMisses
 	s.mu.Unlock()
+	if ka > 0 {
+		conn.StartKeepalive(ka, misses)
+	}
 	go func() {
 		<-conn.Done()
 		s.mu.Lock()
@@ -115,6 +134,14 @@ func (s *Server) NotifyPacketIn(pi PacketIn) {
 
 func (s *Server) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) (any, *jsonrpc.RPCError) {
 	switch method {
+	case "echo":
+		// Keepalive probe: echo the params back.
+		var v any
+		_ = json.Unmarshal(params, &v)
+		if v == nil {
+			v = []any{}
+		}
+		return v, nil
 	case "get_p4info":
 		return s.dev.P4Info(), nil
 	case "write":

@@ -127,6 +127,13 @@ func (sw *Switch) Name() string { return sw.name }
 // Runtime exposes the underlying pipeline runtime (tests, benchmarks).
 func (sw *Switch) Runtime() *p4.Runtime { return sw.rt }
 
+// SetKeepalive makes the p4rt server probe every subsequently accepted
+// controller connection with echo heartbeats: misses consecutive
+// failures fail the connection (half-open controllers are reaped).
+func (sw *Switch) SetKeepalive(interval time.Duration, misses int) {
+	sw.srv.SetKeepalive(interval, misses)
+}
+
 // Serve accepts p4rt controller connections on ln.
 func (sw *Switch) Serve(ln net.Listener) error { return sw.srv.Serve(ln) }
 
