@@ -34,7 +34,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, reconnect, all")
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, reconnect, throughput, all")
 	n := flag.Int("n", 2000, "ports for -exp ports")
 	vips := flag.Int("vips", 50, "load balancers for -exp lb")
 	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
@@ -49,6 +49,9 @@ func main() {
 	reconnectPorts := flag.String("reconnect-ports", "50,250,1000", "comma-separated port counts for -exp reconnect")
 	reconnectRestarts := flag.Int("reconnect-restarts", 5, "switch restarts per size for -exp reconnect")
 	reconnectOut := flag.String("reconnect-out", "BENCH_reconnect.json", "machine-readable output for -exp reconnect")
+	tpWorkers := flag.Int("throughput-workers", 16, "concurrent OVSDB clients for -exp throughput")
+	tpTxns := flag.Int("throughput-txns", 2000, "measured transactions per worker for -exp throughput")
+	tpOut := flag.String("throughput-out", "BENCH_throughput.json", "machine-readable output for -exp throughput")
 	flag.Parse()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -111,7 +114,7 @@ func main() {
 	}
 	if want("provenance") {
 		run("provenance", func() (fmt.Stringer, error) {
-			res, err := bench.RunProvenance(1000, 32, 20)
+			res, err := bench.RunProvenance(1000, 32, 200)
 			if err != nil {
 				return nil, err
 			}
@@ -161,6 +164,23 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *reconnectOut)
+			return res, nil
+		})
+	}
+	if want("throughput") {
+		run("throughput", func() (fmt.Stringer, error) {
+			res, err := bench.RunThroughput(*tpWorkers, *tpTxns)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*tpOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *tpOut)
 			return res, nil
 		})
 	}

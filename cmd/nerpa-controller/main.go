@@ -40,6 +40,9 @@ func main() {
 	reconnectBackoff := flag.Duration("reconnect-backoff", 5*time.Second, "maximum redial backoff after a connection drops (0 = exit on disconnect)")
 	rpcTimeout := flag.Duration("rpc-timeout", 30*time.Second, "per-RPC deadline on OVSDB and P4Runtime calls (0 = none)")
 	keepalive := flag.Duration("keepalive", 10*time.Second, "echo-heartbeat interval on every connection; 3 misses fail it (0 = off)")
+	coalesceTxns := flag.Int("coalesce-max-txns", 1, "merge up to this many queued OVSDB commits into one engine transaction (<=1 disables coalescing)")
+	coalesceUpdates := flag.Int("coalesce-max-updates", 0, "flush a merged batch once it carries this many input updates (0 = default 1024)")
+	coalesceWindow := flag.Duration("coalesce-window", 0, "wait up to this long for further commits before applying a partial batch (0 = merge only already-queued commits)")
 	verbose := flag.Bool("v", false, "log every applied transaction")
 	flag.Parse()
 
@@ -141,7 +144,12 @@ func main() {
 		devices = append(devices, dp)
 	}
 
-	cfg := core.Config{Rules: rules, Database: *dbName, Obs: observer}
+	cfg := core.Config{
+		Rules: rules, Database: *dbName, Obs: observer,
+		CoalesceMaxTxns:    *coalesceTxns,
+		CoalesceMaxUpdates: *coalesceUpdates,
+		CoalesceWindow:     *coalesceWindow,
+	}
 	if *verbose {
 		cfg.OnTxn = func(st core.TxnStats) {
 			log.Printf("txn source=%s inputs=%d outputs=%d engine=%v push=%v",

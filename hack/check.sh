@@ -25,7 +25,7 @@ test -s BENCH_provenance.json
 go test -run 'TestProvenanceOffZeroAlloc' -count=1 ./internal/dl/engine/
 # Flight-recorder overhead: the experiment must emit its report, and the
 # event hot path must stay allocation-free (the PR's <=5% p50 budget).
-go run ./cmd/nerpa-bench -exp obs-overhead -obs-txns 200 -obs-overhead-out BENCH_obs_overhead.json
+go run ./cmd/nerpa-bench -exp obs-overhead -obs-txns 600 -obs-overhead-out BENCH_obs_overhead.json
 test -s BENCH_obs_overhead.json
 go test -run 'TestEventHotPathZeroAlloc' -count=1 ./internal/obs/
 # Resilience: the kill-and-restart e2e must reconverge under the race
@@ -33,3 +33,20 @@ go test -run 'TestEventHotPathZeroAlloc' -count=1 ./internal/obs/
 go test -race -run 'TestKillRestartEndToEnd' -count=1 .
 go run ./cmd/nerpa-bench -exp reconnect -reconnect-ports 50,250 -reconnect-restarts 3 -reconnect-out BENCH_reconnect.json
 test -s BENCH_reconnect.json
+# Sustained throughput: the experiment must emit its report, and the
+# direct-mode aggregate txn/s must not regress more than 15% against the
+# committed baseline (read before the run overwrites the file).
+baseline=$(python3 -c "import json; print([r['txns_per_sec'] for r in json.load(open('BENCH_throughput.json'))['rows'] if r['mode'] == 'direct'][0])" 2>/dev/null || echo 0)
+go run ./cmd/nerpa-bench -exp throughput -throughput-out BENCH_throughput.json
+test -s BENCH_throughput.json
+python3 - "$baseline" <<'PYEOF'
+import json, sys
+base = float(sys.argv[1])
+cur = [r["txns_per_sec"] for r in json.load(open("BENCH_throughput.json"))["rows"] if r["mode"] == "direct"][0]
+print(f"throughput direct: {cur:.0f} txn/s (baseline {base:.0f})")
+if base > 0 and cur < base * 0.85:
+    sys.exit(f"throughput regression: {cur:.0f} txn/s is >15% below baseline {base:.0f}")
+PYEOF
+# Coalescing under race: merged monitor deliveries must stay
+# data-race-free and preserve per-txn attribution.
+go test -race -run 'TestCoalesc' -count=1 ./internal/core/

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -88,16 +89,53 @@ func (c *obsOverheadSamples) snapshot() []time.Duration {
 	return append([]time.Duration(nil), c.latencies...)
 }
 
-// RunObsOverhead boots the full stack once per mode and drives `txns`
-// alternating Port insert and delete transactions through each — twice:
-// one discarded warmup pass, one measured pass — reporting p50/p99
-// apply+push latency. The alternation keeps table sizes constant, so
-// every mode measures the same steady state.
+// obsOverheadRounds is how many interleaved chunks the measured pass is
+// split into per mode.
+const obsOverheadRounds = 10
+
+// obsModeRun is one recorder configuration's live stack during the
+// interleaved run.
+type obsModeRun struct {
+	mode string
+	o    *obs.Observer
+	s    *Stack
+	coll *obsOverheadSamples
+	sent int
+}
+
+// RunObsOverhead boots the full stack for every recorder mode up front,
+// runs one discarded warmup pass per mode, then interleaves the measured
+// transactions round-robin across the modes in small chunks. The
+// interleaving is the noise-floor fix: a sequential mode-after-mode run
+// lets clock, thermal, and allocator drift show up as phantom overhead
+// (the off row previously measured a few tenths of a percent against
+// itself); round-robin chunks spread that drift evenly across all modes.
+// The insert/delete alternation keeps table sizes constant, so every
+// mode measures the same steady state.
 func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 	if txns <= 0 {
 		txns = 300
 	}
+	// Per-mode chunk: even (to keep the alternation balanced) and at
+	// least 2, so txns rounds up to chunk*obsOverheadRounds.
+	chunk := txns / obsOverheadRounds
+	if chunk%2 != 0 {
+		chunk++
+	}
+	if chunk < 2 {
+		chunk = 2
+	}
+	txns = chunk * obsOverheadRounds
 	res := &ObsOverheadResult{Txns: txns}
+	var runs []*obsModeRun
+	defer func() {
+		for _, m := range runs {
+			if m.o != nil {
+				m.o.StopHistory()
+			}
+			m.s.Close()
+		}
+	}()
 	for _, mode := range []string{"off", obsOverheadBaseMode, "events", "events+history"} {
 		var o *obs.Observer
 		switch mode {
@@ -112,19 +150,70 @@ func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		m := &obsModeRun{mode: mode, o: o, s: s, coll: coll}
+		runs = append(runs, m)
 		if mode == "events+history" {
 			o.StartHistory(10 * time.Millisecond)
 		}
-		row, err := runObsOverheadMode(s, coll, mode, txns)
-		if o != nil {
-			row.Events = o.Reg().Counter("obs_events_total", "").Value()
-			o.StopHistory()
-		}
-		s.Close()
-		if err != nil {
+		if err := s.Transact(ovsdb.OpInsert("SwitchCfg", map[string]ovsdb.Value{
+			"name": "snvs0", "flood_unknown": true,
+		}), ovsdb.OpInsert("Port", map[string]ovsdb.Value{
+			"name": "warm", "port_num": int64(999), "vlan_mode": "access", "tag": int64(10),
+		})); err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows, *row)
+		if err := s.WaitEntries("in_vlan", 1, 10*time.Second); err != nil {
+			return nil, err
+		}
+	}
+	// Warmup pass: full per-mode transaction count, discarded by the
+	// re-arm below. Warms the allocator, connection buffers, table state,
+	// and the pools the measured pass exercises.
+	for _, m := range runs {
+		m.coll.arm()
+		m.sent = 0
+		if err := driveObsChunk(m, txns); err != nil {
+			return nil, err
+		}
+		if err := drainObsMode(m, "warmup"); err != nil {
+			return nil, err
+		}
+	}
+	// Measured pass: interleaved chunks, with the within-round order
+	// rotated each round so any process-wide disturbance that recurs at
+	// the round period (GC cycles chief among them) is spread across all
+	// modes instead of always billing the same one. The explicit GC
+	// before each chunk keeps one mode's garbage from triggering a
+	// collection pause inside the next mode's measurement window.
+	for _, m := range runs {
+		m.coll.arm()
+		m.sent = 0
+	}
+	for r := 0; r < obsOverheadRounds; r++ {
+		for i := range runs {
+			m := runs[(r+i)%len(runs)]
+			runtime.GC()
+			if err := driveObsChunk(m, chunk); err != nil {
+				return nil, err
+			}
+			if err := drainObsMode(m, "measure"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, m := range runs {
+		lats := m.coll.snapshot()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		row := ObsOverheadRow{
+			Mode: m.mode,
+			Txns: len(lats),
+			P50:  percentileDur(lats, 50),
+			P99:  percentileDur(lats, 99),
+		}
+		if m.o != nil {
+			row.Events = m.o.Reg().Counter("obs_events_total", "").Value()
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	var base float64
 	for _, row := range res.Rows {
@@ -140,56 +229,42 @@ func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 	return res, nil
 }
 
-func runObsOverheadMode(s *Stack, coll *obsOverheadSamples, mode string, txns int) (*ObsOverheadRow, error) {
-	if err := s.Transact(ovsdb.OpInsert("SwitchCfg", map[string]ovsdb.Value{
-		"name": "snvs0", "flood_unknown": true,
-	}), ovsdb.OpInsert("Port", map[string]ovsdb.Value{
-		"name": "warm", "port_num": int64(999), "vlan_mode": "access", "tag": int64(10),
-	})); err != nil {
-		return nil, err
-	}
-	if err := s.WaitEntries("in_vlan", 1, 10*time.Second); err != nil {
-		return nil, err
-	}
-	// Pass 1 warms the whole path (allocator, connection buffers, table
-	// state); only pass 2 is measured.
-	for _, pass := range []string{"warmup", "measure"} {
-		coll.arm()
-		for i := 0; i < txns; i++ {
-			var err error
-			if i%2 == 0 {
-				err = s.Transact(ovsdb.OpInsert("Port", map[string]ovsdb.Value{
-					"name": "bench-p", "port_num": int64(7), "vlan_mode": "access", "tag": int64(10),
-				}))
-			} else {
-				err = s.Transact(ovsdb.OpDelete("Port", ovsdb.Cond("name", "==", "bench-p")))
-			}
-			if err != nil {
-				return nil, err
-			}
+// driveObsChunk submits n alternating insert/delete transactions to one
+// mode's stack, continuing the mode's alternation parity.
+func driveObsChunk(m *obsModeRun, n int) error {
+	for i := 0; i < n; i++ {
+		var err error
+		if m.sent%2 == 0 {
+			err = m.s.Transact(ovsdb.OpInsert("Port", map[string]ovsdb.Value{
+				"name": "bench-p", "port_num": int64(7), "vlan_mode": "access", "tag": int64(10),
+			}))
+		} else {
+			err = m.s.Transact(ovsdb.OpDelete("Port", ovsdb.Cond("name", "==", "bench-p")))
 		}
-		// Drain: every committed transaction must have been applied and
-		// pushed before the next pass (or the percentile read) starts.
-		deadline := time.Now().Add(30 * time.Second)
-		for coll.count() < txns {
-			if err := s.Ctrl.Err(); err != nil {
-				return nil, err
-			}
-			if time.Now().After(deadline) {
-				return nil, fmt.Errorf("bench: obs-overhead %s/%s: %d/%d transactions applied",
-					mode, pass, coll.count(), txns)
-			}
-			time.Sleep(time.Millisecond)
+		if err != nil {
+			return err
 		}
+		m.sent++
 	}
-	lats := coll.snapshot()
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	return &ObsOverheadRow{
-		Mode: mode,
-		Txns: len(lats),
-		P50:  percentileDur(lats, 50),
-		P99:  percentileDur(lats, 99),
-	}, nil
+	return nil
+}
+
+// drainObsMode waits until every transaction submitted to the mode so
+// far has been applied and pushed, so chunk latencies never bleed into
+// the next mode's measurement window.
+func drainObsMode(m *obsModeRun, pass string) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for m.coll.count() < m.sent {
+		if err := m.s.Ctrl.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: obs-overhead %s/%s: %d/%d transactions applied",
+				m.mode, pass, m.coll.count(), m.sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
 }
 
 // percentileDur returns the p-th percentile of sorted latencies.

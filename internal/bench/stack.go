@@ -27,6 +27,9 @@ type Stack struct {
 	Switch *switchsim.Switch
 	Fabric *switchsim.Fabric
 	Ctrl   *core.Controller
+	// OVSDBAddr is the management-plane server's listen address, for
+	// experiments that drive load over additional client connections.
+	OVSDBAddr string
 
 	ovsdbSrv *ovsdb.Server
 	closers  []func()
@@ -42,6 +45,46 @@ func StartStackObs(o *obs.Observer) (*Stack, error) { return StartStackWith(o, n
 // StartStackWith is StartStackObs plus a per-transaction stats hook
 // passed through to the controller (used by latency experiments).
 func StartStackWith(o *obs.Observer, onTxn func(core.TxnStats)) (*Stack, error) {
+	return StartStackConfig(StackConfig{Obs: o, OnTxn: onTxn})
+}
+
+// StackConfig selects optional stack features beyond the defaults.
+type StackConfig struct {
+	Obs   *obs.Observer
+	OnTxn func(core.TxnStats)
+	// Coalesce* pass through to core.Config (zero values keep
+	// coalescing off).
+	CoalesceMaxTxns    int
+	CoalesceMaxUpdates int
+	CoalesceWindow     time.Duration
+	// DirectMP attaches the controller's monitor straight to the
+	// in-process database instead of over a JSON-RPC connection. The
+	// OVSDB server still runs (commits through it notify the same
+	// monitor), but monitor delivery skips the wire codec — used to
+	// measure the stack's absorption rate without the socket hop.
+	DirectMP bool
+}
+
+// directMP is the in-process management plane: the real ovsdb.Database
+// fronted without the wire protocol.
+type directMP struct{ db *ovsdb.Database }
+
+func (d directMP) GetSchema(string) (*ovsdb.DatabaseSchema, error) { return d.db.Schema(), nil }
+
+func (d directMP) Monitor(_ string, _ any, requests map[string]*ovsdb.MonitorRequest, cb func(ovsdb.TableUpdates)) (ovsdb.TableUpdates, error) {
+	_, initial, err := d.db.AddMonitor(requests, func(_ uint64, tu ovsdb.TableUpdates) { cb(tu) })
+	return initial, err
+}
+
+func (d directMP) MonitorTxn(_ string, _ any, requests map[string]*ovsdb.MonitorRequest, cb func(uint64, ovsdb.TableUpdates)) (ovsdb.TableUpdates, error) {
+	_, initial, err := d.db.AddMonitor(requests, cb)
+	return initial, err
+}
+
+// StartStackConfig boots the full snvs deployment with the given
+// feature selection.
+func StartStackConfig(cfg StackConfig) (*Stack, error) {
+	o, onTxn := cfg.Obs, cfg.OnTxn
 	schema, err := snvs.Schema()
 	if err != nil {
 		return nil, err
@@ -58,6 +101,7 @@ func StartStackWith(o *obs.Observer, onTxn func(core.TxnStats)) (*Stack, error) 
 		return fail(err)
 	}
 	go s.ovsdbSrv.Serve(ovsdbLn)
+	s.OVSDBAddr = ovsdbLn.Addr().String()
 	s.closers = append(s.closers, s.ovsdbSrv.Close)
 
 	s.Switch, err = switchsim.New("snvs0", switchsim.Config{Program: snvs.Pipeline()})
@@ -89,7 +133,16 @@ func StartStackWith(o *obs.Observer, onTxn func(core.TxnStats)) (*Stack, error) 
 	s.closers = append(s.closers, func() { p4c.Close() })
 	p4c.SetObs(o, "snvs0")
 
-	s.Ctrl, err = core.New(core.Config{Rules: snvs.Rules, Database: "snvs", Obs: o, OnTxn: onTxn}, s.DBC, p4c)
+	var mp core.ManagementPlane = s.DBC
+	if cfg.DirectMP {
+		mp = directMP{s.DB}
+	}
+	s.Ctrl, err = core.New(core.Config{
+		Rules: snvs.Rules, Database: "snvs", Obs: o, OnTxn: onTxn,
+		CoalesceMaxTxns:    cfg.CoalesceMaxTxns,
+		CoalesceMaxUpdates: cfg.CoalesceMaxUpdates,
+		CoalesceWindow:     cfg.CoalesceWindow,
+	}, mp, p4c)
 	if err != nil {
 		return fail(err)
 	}

@@ -89,6 +89,23 @@ type Config struct {
 	// reports success only after every device's writes complete (barrier
 	// before ack).
 	PushWorkers int
+	// CoalesceMaxTxns bounds how many adjacent OVSDB-delivered commits the
+	// event loop merges into a single engine transaction before applying.
+	// 0 or 1 disables coalescing (every commit applies individually).
+	// Merging amortizes the fixed per-apply cost (evaluation setup, delta
+	// collection, data-plane push barrier) across a burst of small
+	// commits; per-commit trace and provenance attribution is preserved
+	// via per-segment accounting.
+	CoalesceMaxTxns int
+	// CoalesceMaxUpdates flushes a merged batch once it carries at least
+	// this many input updates, regardless of how many commits merged so
+	// far. 0 selects the default (1024). Only meaningful when
+	// CoalesceMaxTxns > 1.
+	CoalesceMaxUpdates int
+	// CoalesceWindow is how long the loop waits for further commits to
+	// arrive after the first before applying a not-yet-full batch. 0
+	// merges only commits already queued (no added latency).
+	CoalesceWindow time.Duration
 	// OnTxn, when set, is called after every applied transaction with
 	// processing statistics (used by the evaluation harness). The same
 	// numbers also feed the Obs registry, so the two always agree.
@@ -104,6 +121,10 @@ type Config struct {
 // Config.PushWorkers is zero.
 const defaultPushWorkers = 8
 
+// defaultCoalesceMaxUpdates is the merged-batch size bound used when
+// Config.CoalesceMaxUpdates is zero.
+const defaultCoalesceMaxUpdates = 1024
+
 // TxnStats describes one applied transaction.
 type TxnStats struct {
 	Source        string // "ovsdb", "digest", or "initial"
@@ -112,6 +133,9 @@ type TxnStats struct {
 	OutputChanges int
 	EngineTime    time.Duration
 	PushTime      time.Duration
+	// CoalescedTxns is how many monitor-delivered commits this apply
+	// merged (1 when coalescing is off or nothing was queued).
+	CoalescedTxns int
 }
 
 // mcastKey identifies one multicast group on one device ("" = whole
@@ -172,20 +196,24 @@ type Controller struct {
 // registry every field is a nil instrument (and map lookups on nil maps
 // return nil), so the instrumented paths need no enable checks.
 type ctrlMetrics struct {
-	txnTotal    map[string]*obs.Counter // by event source
-	engineSecs  *obs.Histogram
-	pushSecs    *obs.Histogram
-	inputSize   *obs.Histogram
-	outputSize  *obs.Histogram
-	pushErrors  *obs.Counter
-	resyncs     *obs.Counter
-	devPush     map[string]*obs.Histogram // by device id
-	devBatch    *obs.Histogram
-	evalStratum []*obs.Histogram
-	deltaSize   *obs.Histogram
-	derivations *obs.Counter
-	rounds      *obs.Counter
-	workerBusy  []*obs.Counter
+	txnTotal   map[string]*obs.Counter // by event source
+	engineSecs *obs.Histogram
+	pushSecs   *obs.Histogram
+	inputSize  *obs.Histogram
+	outputSize *obs.Histogram
+	pushErrors *obs.Counter
+	resyncs    *obs.Counter
+	// coalesceBatches counts applies that merged more than one commit;
+	// coalescedTxns counts the commits that rode in them.
+	coalesceBatches *obs.Counter
+	coalescedTxns   *obs.Counter
+	devPush         map[string]*obs.Histogram // by device id
+	devBatch        *obs.Histogram
+	evalStratum     []*obs.Histogram
+	deltaSize       *obs.Histogram
+	derivations     *obs.Counter
+	rounds          *obs.Counter
+	workerBusy      []*obs.Counter
 
 	provFacts     *obs.Gauge
 	provEvictions *obs.Gauge
@@ -217,6 +245,10 @@ func (c *Controller) initObs() {
 		"Transactions whose data-plane push failed.")
 	c.m.resyncs = reg.Counter("core_resyncs_total",
 		"Device reconciliations completed after a reconnect.")
+	c.m.coalesceBatches = reg.Counter("core_coalesce_batches_total",
+		"Engine applies that merged more than one monitor-delivered commit.")
+	c.m.coalescedTxns = reg.Counter("core_coalesced_txns_total",
+		"Monitor-delivered commits merged into coalesced applies.")
 	c.m.devPush = map[string]*obs.Histogram{}
 	for _, cs := range c.classes {
 		for _, dev := range cs.cls.Devices {
@@ -275,12 +307,45 @@ func (c *Controller) initObs() {
 	o.TrackHistogramAvg(obs.SeriesEngineLatency, c.m.engineSecs)
 }
 
+// txnSeg attributes one contiguous slice of a merged event's updates to
+// its originating commit: after coalescing, updates[start:start+n] of
+// segment k came from txnID, where start is the sum of the preceding
+// segments' n. A nil segs slice means the event is a single commit
+// (txnID covers every update).
+type txnSeg struct {
+	txnID uint64
+	n     int
+}
+
 type event struct {
 	source  string
 	txnID   uint64
 	updates []engine.Update
+	segs    []txnSeg
 	barrier chan struct{}
 	resync  *resyncReq
+}
+
+// eachSeg visits the event's per-commit segments in order: the commit's
+// txn ID and its slice of the event's updates.
+func (ev *event) eachSeg(f func(txnID uint64, ups []engine.Update)) {
+	if ev.segs == nil {
+		f(ev.txnID, ev.updates)
+		return
+	}
+	i := 0
+	for _, seg := range ev.segs {
+		f(seg.txnID, ev.updates[i:i+seg.n])
+		i += seg.n
+	}
+}
+
+// coalesced is how many commits the event carries (1 when unmerged).
+func (ev *event) coalesced() int {
+	if ev.segs == nil {
+		return 1
+	}
+	return len(ev.segs)
 }
 
 // New builds and starts a controller managing a single class of devices
@@ -525,90 +590,181 @@ func (c *Controller) fail(err error) {
 func (c *Controller) loop() {
 	defer close(c.done)
 	for ev := range c.events {
-		if ev.barrier != nil {
-			close(ev.barrier)
-			continue
-		}
-		if ev.resync != nil {
-			// Reconciliation runs even though it interleaves with normal
-			// transactions: the event loop serializes it against pushes, so
-			// it sees a consistent desired state.
-			if err := c.Err(); err != nil {
-				ev.resync.done <- fmt.Errorf("core: resync %s: controller failed: %w",
-					ev.resync.device, err)
-			} else {
-				ev.resync.done <- c.doResync(ev.resync.device, ev.resync.dp)
+		// A dispatched event may have pulled the next event off the queue
+		// while coalescing; keep dispatching until none is carried over.
+		for {
+			var deferred *event
+			if ev.source == "ovsdb" && c.cfg.CoalesceMaxTxns > 1 {
+				deferred = c.coalesce(&ev)
 			}
-			continue
+			c.dispatch(&ev)
+			if deferred == nil {
+				break
+			}
+			ev = *deferred
 		}
-		if c.Err() != nil {
-			continue // drain after failure
-		}
-		c.rt.SetEventTxn(ev.txnID)
-		start := time.Now()
-		delta, err := c.rt.Apply(ev.updates)
-		engineTime := time.Since(start)
-		if err != nil {
-			c.fail(fmt.Errorf("core: engine: %w", err))
-			continue
-		}
-		c.observeEngine(&ev, start, engineTime)
-		c.noteInputs(&ev)
-		c.rec.Append(obs.Ev("core", "delta.done").WithTxn(ev.txnID).
-			F("input_updates", int64(len(ev.updates))).
-			F("changed_rels", int64(len(delta))).
-			F("eval_us", engineTime.Microseconds()))
-		pushStart := time.Now()
-		c.rec.Append(obs.Ev("core", "push.start").WithTxn(ev.txnID).At(pushStart))
-		n, err := c.push(&ev, delta)
-		pushTime := time.Since(pushStart)
-		if err != nil {
-			c.m.pushErrors.Inc()
-			c.rec.Append(obs.Ev("core", "push.error").WithTxn(ev.txnID).
-				F("updates", int64(n)))
-			// A device that is merely unreachable does not poison the
-			// controller: its desired state kept advancing, and the resync
-			// that runs when its connection heals closes the gap. Anything
-			// else (e.g. the switch rejected a write) is a real failure.
-			if !errors.Is(err, p4rt.ErrUnavailable) {
-				c.fail(fmt.Errorf("core: push: %w", err))
-				continue
+	}
+}
+
+// coalesce merges queued (and, within CoalesceWindow, soon-arriving)
+// OVSDB commits into ev, bounded by CoalesceMaxTxns commits and
+// CoalesceMaxUpdates input updates. The merged event's txnID is the last
+// merged non-zero commit ID; per-commit attribution is preserved in
+// ev.segs. Returns the first non-mergeable event popped off the queue
+// (a barrier, resync, or digest that must run after the merged batch),
+// or nil.
+func (c *Controller) coalesce(ev *event) *event {
+	maxUpdates := c.cfg.CoalesceMaxUpdates
+	if maxUpdates <= 0 {
+		maxUpdates = defaultCoalesceMaxUpdates
+	}
+	var window <-chan time.Time
+	if c.cfg.CoalesceWindow > 0 {
+		timer := time.NewTimer(c.cfg.CoalesceWindow)
+		defer timer.Stop()
+		window = timer.C
+	}
+	for ev.coalesced() < c.cfg.CoalesceMaxTxns && len(ev.updates) < maxUpdates {
+		var next event
+		var ok bool
+		if window != nil {
+			select {
+			case next, ok = <-c.events:
+			case <-window:
+				return nil
+			}
+		} else {
+			select {
+			case next, ok = <-c.events:
+			default:
+				return nil
 			}
 		}
-		if c.tracer != nil {
-			c.tracer.Record(ev.txnID, "core", obs.Stage{
+		if !ok {
+			// Channel closed mid-drain; dispatch what we merged, the
+			// outer range loop terminates right after.
+			return nil
+		}
+		if next.source != "ovsdb" {
+			return &next
+		}
+		if ev.segs == nil {
+			ev.segs = append(ev.segs, txnSeg{txnID: ev.txnID, n: len(ev.updates)})
+		}
+		ev.segs = append(ev.segs, txnSeg{txnID: next.txnID, n: len(next.updates)})
+		ev.updates = append(ev.updates, next.updates...)
+		if next.txnID != 0 {
+			ev.txnID = next.txnID
+		}
+	}
+	return nil
+}
+
+// dispatch processes one event: control events (barrier, resync)
+// immediately, transaction events through the apply→observe→push
+// sequence.
+func (c *Controller) dispatch(ev *event) {
+	if ev.barrier != nil {
+		close(ev.barrier)
+		return
+	}
+	if ev.resync != nil {
+		// Reconciliation runs even though it interleaves with normal
+		// transactions: the event loop serializes it against pushes, so
+		// it sees a consistent desired state.
+		if err := c.Err(); err != nil {
+			ev.resync.done <- fmt.Errorf("core: resync %s: controller failed: %w",
+				ev.resync.device, err)
+		} else {
+			ev.resync.done <- c.doResync(ev.resync.device, ev.resync.dp)
+		}
+		return
+	}
+	if c.Err() != nil {
+		return // drain after failure
+	}
+	c.rt.SetEventTxn(ev.txnID)
+	start := time.Now()
+	delta, err := c.rt.Apply(ev.updates)
+	engineTime := time.Since(start)
+	if err != nil {
+		c.fail(fmt.Errorf("core: engine: %w", err))
+		return
+	}
+	c.observeEngine(ev, start, engineTime)
+	c.noteInputs(ev)
+	if k := ev.coalesced(); k > 1 {
+		c.m.coalesceBatches.Inc()
+		c.m.coalescedTxns.Add(uint64(k))
+		c.rec.Append(obs.Ev("core", "txn.coalesce").WithTxn(ev.txnID).
+			F("txns", int64(k)).F("updates", int64(len(ev.updates))))
+	}
+	c.rec.Append(obs.Ev("core", "delta.done").WithTxn(ev.txnID).
+		F("input_updates", int64(len(ev.updates))).
+		F("changed_rels", int64(len(delta))).
+		F("eval_us", engineTime.Microseconds()))
+	pushStart := time.Now()
+	c.rec.Append(obs.Ev("core", "push.start").WithTxn(ev.txnID).At(pushStart))
+	n, err := c.push(ev, delta)
+	pushTime := time.Since(pushStart)
+	if err != nil {
+		c.m.pushErrors.Inc()
+		c.rec.Append(obs.Ev("core", "push.error").WithTxn(ev.txnID).
+			F("updates", int64(n)))
+		// A device that is merely unreachable does not poison the
+		// controller: its desired state kept advancing, and the resync
+		// that runs when its connection heals closes the gap. Anything
+		// else (e.g. the switch rejected a write) is a real failure.
+		if !errors.Is(err, p4rt.ErrUnavailable) {
+			c.fail(fmt.Errorf("core: push: %w", err))
+			return
+		}
+	}
+	if c.tracer != nil {
+		// Each merged commit gets its own push stage (with its own attrs
+		// map: pooled maps must not be shared across traces).
+		ev.eachSeg(func(txn uint64, _ []engine.Update) {
+			c.tracer.Record(txn, "core", obs.Stage{
 				Name:  "push",
 				Start: pushStart,
 				End:   pushStart.Add(pushTime),
-				Attrs: map[string]int64{"updates": int64(n)},
+				Attrs: pushAttrs(n),
 			})
-		}
-		// Budget checks run only after the push completed, so an incident
-		// pinned for a slow delta still captures the full commit→push
-		// timeline (and slow pushes pin the provenance of what they wrote).
-		if o := c.cfg.Obs; o != nil {
-			if o.BudgetExceeded("delta", engineTime) {
-				o.PinIncident("delta", ev.txnID, ev.source, engineTime, nil)
-			}
-			if o.BudgetExceeded("push", pushTime) {
-				o.PinIncident("push", ev.txnID, ev.source, pushTime,
-					c.prov.originsForTxn(ev.txnID, incidentOriginLimit))
-			}
-		}
-		c.record(TxnStats{
-			Source:        ev.source,
-			TxnID:         ev.txnID,
-			InputUpdates:  len(ev.updates),
-			OutputChanges: n,
-			EngineTime:    engineTime,
-			PushTime:      pushTime,
 		})
-		if ev.source == "initial" {
-			// Monitor established and initial sync pushed: the controller
-			// is serving the database's current state.
-			c.cfg.Obs.SetReady(true)
+	}
+	// Budget checks run only after the push completed, so an incident
+	// pinned for a slow delta still captures the full commit→push
+	// timeline (and slow pushes pin the provenance of what they wrote).
+	if o := c.cfg.Obs; o != nil {
+		if o.BudgetExceeded("delta", engineTime) {
+			o.PinIncident("delta", ev.txnID, ev.source, engineTime, nil)
+		}
+		if o.BudgetExceeded("push", pushTime) {
+			o.PinIncident("push", ev.txnID, ev.source, pushTime,
+				c.prov.originsForTxn(ev.txnID, incidentOriginLimit))
 		}
 	}
+	c.record(TxnStats{
+		Source:        ev.source,
+		TxnID:         ev.txnID,
+		InputUpdates:  len(ev.updates),
+		OutputChanges: n,
+		EngineTime:    engineTime,
+		PushTime:      pushTime,
+		CoalescedTxns: ev.coalesced(),
+	})
+	if ev.source == "initial" {
+		// Monitor established and initial sync pushed: the controller
+		// is serving the database's current state.
+		c.cfg.Obs.SetReady(true)
+	}
+}
+
+// pushAttrs builds the pooled attr map for the push trace stage.
+func pushAttrs(n int) map[string]int64 {
+	a := obs.NewAttrs()
+	a["updates"] = int64(n)
+	return a
 }
 
 // observeEngine translates the engine's per-transaction statistics into
@@ -631,16 +787,27 @@ func (c *Controller) observeEngine(ev *event, start time.Time, engineTime time.D
 		}
 	}
 	if c.tracer != nil {
-		attrs := map[string]int64{"input_updates": int64(len(ev.updates))}
-		if st != nil {
-			attrs["delta_size"] = int64(st.DeltaSize)
-			attrs["derivations"] = st.Derivations
-		}
-		c.tracer.Record(ev.txnID, "core", obs.Stage{
-			Name:  "delta",
-			Start: start,
-			End:   start.Add(engineTime),
-			Attrs: attrs,
+		// Each merged commit gets its own delta stage carrying its own
+		// update count, so /debug/traces stays per-commit even when the
+		// engine applied several commits at once. Attrs maps are pooled
+		// and per-trace, hence built per segment.
+		coalesced := int64(ev.coalesced())
+		ev.eachSeg(func(txn uint64, ups []engine.Update) {
+			attrs := obs.NewAttrs()
+			attrs["input_updates"] = int64(len(ups))
+			if st != nil {
+				attrs["delta_size"] = int64(st.DeltaSize)
+				attrs["derivations"] = st.Derivations
+			}
+			if coalesced > 1 {
+				attrs["coalesced_txns"] = coalesced
+			}
+			c.tracer.Record(txn, "core", obs.Stage{
+				Name:  "delta",
+				Start: start,
+				End:   start.Add(engineTime),
+				Attrs: attrs,
+			})
 		})
 	}
 }

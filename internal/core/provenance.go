@@ -365,18 +365,22 @@ func (c *Controller) annotate(n *engine.ExplainNode) {
 
 // noteInputs records (or drops) the origin of each input update of one
 // applied transaction. Runs on the event-loop goroutine after a
-// successful Apply.
+// successful Apply. For a coalesced event, each update is attributed to
+// the commit whose segment delivered it — not the merged event's txnID —
+// so /debug/explain keeps naming the true originating transaction.
 func (c *Controller) noteInputs(ev *event) {
 	if c.prov == nil {
 		return
 	}
-	for _, up := range ev.updates {
-		if up.Insert {
-			c.prov.noteInput(up.Relation, up.Rec.Key(), inputOrigin{txnID: ev.txnID, source: ev.source})
-		} else {
-			c.prov.dropInput(up.Relation, up.Rec.Key())
+	ev.eachSeg(func(txnID uint64, ups []engine.Update) {
+		for _, up := range ups {
+			if up.Insert {
+				c.prov.noteInput(up.Relation, up.Rec.Key(), inputOrigin{txnID: txnID, source: ev.source})
+			} else {
+				c.prov.dropInput(up.Relation, up.Rec.Key())
+			}
 		}
-	}
+	})
 }
 
 // pendingOrigin is one entry-origin mutation staged during push and

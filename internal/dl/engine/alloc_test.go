@@ -49,7 +49,7 @@ func probeSetup(t testing.TB) (*Runtime, *plan, value.Record) {
 	return rt, p, value.Record{value.Int(1), value.Int(2)}
 }
 
-var discardEmit emitFunc = func(value.Record, string, int64) error { return nil }
+var discardEmit emitFunc = func(value.Record, string, uint64, int64) error { return nil }
 
 // TestArrangementProbeZeroAlloc pins the tentpole allocation win: once the
 // evaluation context's scratch buffers are warm, probing an arrangement
@@ -59,13 +59,77 @@ func TestArrangementProbeZeroAlloc(t *testing.T) {
 	rt, p, seed := probeSetup(t)
 	ctx := &evalCtx{}
 	run := func() {
-		if err := rt.runPlan(ctx, p, seed, 1, viewAllNew, discardEmit); err != nil {
+		if err := rt.runPlan(ctx, p, seed, "", 1, viewAllNew, discardEmit); err != nil {
 			t.Fatal(err)
 		}
 	}
 	run() // warm the scratch buffers
 	if allocs := testing.AllocsPerRun(200, run); allocs != 0 {
 		t.Fatalf("arrangement probe hit path allocates %.1f times per probe, want 0", allocs)
+	}
+}
+
+// TestProvenanceRecordPoolZeroAlloc guards the journaled provenance store
+// paths: re-recording an already-known derivation (the steady-state case —
+// every re-derivation of a live fact), journaling and flushing a
+// retraction, and full record/retract/drop churn all run allocation-free
+// once warm — sigs are order-independent hashes computed in caller-owned
+// scratch buffers, journal and ref arenas retain their capacity across
+// flushes, and derivation/fact containers recycle through the store's
+// freelists.
+func TestProvenanceRecordPoolZeroAlloc(t *testing.T) {
+	ps := newProvStore(0)
+	head := &relState{id: 1}
+	in := &relState{id: 2}
+	rec := value.Record{value.Int(7), value.Int(8)}
+	key := rec.Key()
+	trail := []provInput{
+		{rs: in, rec: value.Record{value.Int(1), value.Int(2)}},
+		{rs: in, rec: value.Record{value.Int(3), value.Int(4)}},
+	}
+	const label = "O :- R(..), S(..)"
+	lh := provLabelHash(label)
+	var sigBuf []byte
+	sig := sigHash(&sigBuf, lh, trail)
+	dg := provDigest(head.id, key)
+	ps.j.record(dg, head.id, rec, sig, label, 0, trail, false)
+	ps.flush()
+
+	// Duplicate record: sig hashed in caller scratch, journaled, matched
+	// at replay, seq refreshed, dropped.
+	if allocs := testing.AllocsPerRun(200, func() {
+		s := sigHash(&sigBuf, lh, trail)
+		ps.j.record(dg, head.id, rec, s, label, 0, trail, false)
+		ps.flush()
+	}); allocs != 0 {
+		t.Errorf("duplicate record+flush: %v allocs/op, want 0", allocs)
+	}
+
+	// Journaled retraction with no matching derivation left after the
+	// first cycle: sig hash, journal append, deferred replay scan.
+	ps.j.unrecord(dg, sig)
+	ps.flush()
+	if allocs := testing.AllocsPerRun(200, func() {
+		s := sigHash(&sigBuf, lh, trail)
+		ps.j.unrecord(dg, s)
+		ps.flush()
+	}); allocs != 0 {
+		t.Errorf("unrecord+flush: %v allocs/op, want 0", allocs)
+	}
+
+	// Steady-state churn (record a new derivation, retract it, drop the
+	// fact) recycles every container through the freelists; nothing is
+	// materialized per cycle.
+	churn := func() {
+		s := sigHash(&sigBuf, lh, trail)
+		ps.j.record(dg, head.id, rec, s, label, 0, trail, false)
+		ps.j.unrecord(dg, s)
+		ps.j.drop(dg)
+		ps.flush()
+	}
+	churn()
+	if allocs := testing.AllocsPerRun(200, churn); allocs != 0 {
+		t.Errorf("record/unrecord/drop churn: %v allocs/op, want 0", allocs)
 	}
 }
 
@@ -76,13 +140,13 @@ func TestArrangementProbeZeroAlloc(t *testing.T) {
 func BenchmarkRecordKeyCached(b *testing.B) {
 	rt, p, seed := probeSetup(b)
 	ctx := &evalCtx{}
-	if err := rt.runPlan(ctx, p, seed, 1, viewAllNew, discardEmit); err != nil {
+	if err := rt.runPlan(ctx, p, seed, "", 1, viewAllNew, discardEmit); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := rt.runPlan(ctx, p, seed, 1, viewAllNew, discardEmit); err != nil {
+		if err := rt.runPlan(ctx, p, seed, "", 1, viewAllNew, discardEmit); err != nil {
 			b.Fatal(err)
 		}
 	}

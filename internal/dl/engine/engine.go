@@ -96,6 +96,10 @@ type Runtime struct {
 	derivations int64
 	// seqCtx is the evaluation scratch used by all sequential plan runs.
 	seqCtx evalCtx
+	// jobsBuf is the reusable seed-job buffer for counting strata; a
+	// fresh slice per stratum per transaction was a steady allocation
+	// source (and GC-assist magnet) on the apply path.
+	jobsBuf []seedJob
 	// stats is the in-progress ApplyStats of the current transaction (nil
 	// unless Options.CollectStats); lastStats is the completed record of
 	// the previous transaction. statJobs/statRounds accumulate the
@@ -134,8 +138,10 @@ type aggSpec struct {
 	head      *relState
 	headExprs []typecheck.Expr
 	envSize   int
-	// label identifies the aggregation in provenance records.
-	label string
+	// label identifies the aggregation in provenance records; labelHash
+	// is its precomputed sig-hash seed (provLabelHash).
+	label     string
+	labelHash uint64
 }
 
 // New compiles a checked program and returns a runtime with the program's
@@ -166,6 +172,7 @@ func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
 			spec.head = head
 			spec.headExprs = rule.HeadExprs
 			spec.label = fmt.Sprintf("%s :- var = %s(..) group_by (..)", head.rel.Name, gb.Agg)
+			spec.labelHash = provLabelHash(spec.label)
 			rt.aggs = append(rt.aggs, spec)
 			rt.aggsByHead[head] = append(rt.aggsByHead[head], spec)
 			edges = append(edges, depEdge{from: groupRel.id, to: head.id, special: true})
@@ -187,6 +194,7 @@ func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
 			}
 		}
 		cr.label = ruleLabel(cr)
+		cr.labelHash = provLabelHash(cr.label)
 		rt.rules = append(rt.rules, cr)
 		rt.rulesByHead[cr.head] = append(rt.rulesByHead[cr.head], cr)
 	}
@@ -225,6 +233,9 @@ func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
 		for _, rs := range rt.rels {
 			rs.prov = rt.prov
 		}
+		// Sequential evaluation journals straight into the store's own
+		// journal, interleaved chronologically with drops.
+		rt.seqCtx.journal = &rt.prov.j
 	}
 	// Evaluate facts and unit rules (the empty-input fixpoint).
 	if _, err := rt.apply(nil, true); err != nil {
@@ -381,6 +392,11 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 			})
 		}
 	}
+	// Replay the transaction's provenance journal into the store under a
+	// single lock acquisition (provenance.go flush).
+	if rt.prov != nil {
+		rt.prov.flush()
+	}
 	// Collect output deltas and reset per-transaction state.
 	out := make(Delta)
 	for _, rs := range rt.rels {
@@ -426,8 +442,10 @@ var errFallbackRecompute = errors.New("engine: overdelete budget exceeded")
 
 // emitFunc receives head contributions. key is rec's canonical encoding,
 // computed once at emit so downstream map operations (counts, Z-sets) never
-// re-encode the record.
-type emitFunc func(rec value.Record, key string, w int64) error
+// re-encode the record. hh is the maphash of key when the emitting plan
+// already computed it for the provenance journal (zero otherwise);
+// applyCount caches it so fact identity is hashed at most once.
+type emitFunc func(rec value.Record, key string, hh uint64, w int64) error
 
 // countDerivation enforces the per-transaction derivation budget
 // (sequential sections only; workers use countDerivationAtomic).
@@ -443,7 +461,7 @@ func (rt *Runtime) countDerivation() error {
 // runPlan seeds a plan with a tuple (or negation key, or nothing) and
 // streams head contributions to emit. ctx supplies the evaluation scratch;
 // concurrent callers must use distinct contexts.
-func (rt *Runtime) runPlan(ctx *evalCtx, p *plan, seed value.Record, w int64, mode viewMode, emit emitFunc) error {
+func (rt *Runtime) runPlan(ctx *evalCtx, p *plan, seed value.Record, seedKey string, w int64, mode viewMode, emit emitFunc) error {
 	ctx.capture = false
 	if rt.prov != nil && mode != viewAllOld {
 		// Capture the derivation trail: the seed fact (when the seed is a
@@ -454,7 +472,17 @@ func (rt *Runtime) runPlan(ctx *evalCtx, p *plan, seed value.Record, w int64, mo
 		ctx.trail = ctx.trail[:0]
 		if p.seedIdx >= 0 {
 			if lit, ok := p.rule.body[p.seedIdx].(*typecheck.LiteralTerm); ok && !lit.Negated {
-				ctx.trail = append(ctx.trail, provInput{rs: rt.relStateOf(lit.Rel), rec: seed})
+				rs := rt.relStateOf(lit.Rel)
+				ti := provInput{rs: rs, rec: seed, key: seedKey}
+				// The same seed fact seeds one plan per body occurrence;
+				// the context memoizes its identity hash across those runs
+				// (string equality is a pointer check for the same zset
+				// key instance, and the hash is content-determined, so a
+				// hit is always correct).
+				if seedKey != "" && seedKey == ctx.memoSeedKey && rs == ctx.memoSeedRel {
+					ti.hash = ctx.memoSeedHash
+				}
+				ctx.trail = append(ctx.trail, ti)
 			}
 		}
 	}
@@ -471,7 +499,11 @@ func (rt *Runtime) runPlan(ctx *evalCtx, p *plan, seed value.Record, w int64, mo
 			return nil
 		}
 	}
-	return rt.execSteps(ctx, p, 0, env, w, mode, emit)
+	err := rt.execSteps(ctx, p, 0, env, w, mode, emit)
+	if ctx.capture && len(ctx.trail) > 0 && ctx.trail[0].key != "" && ctx.trail[0].hash != 0 {
+		ctx.memoSeedKey, ctx.memoSeedRel, ctx.memoSeedHash = ctx.trail[0].key, ctx.trail[0].rs, ctx.trail[0].hash
+	}
+	return err
 }
 
 func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w int64, mode viewMode, emit emitFunc) error {
@@ -485,10 +517,11 @@ func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w
 			rec[i] = v
 		}
 		key := rec.Key()
+		var hh uint64
 		if ctx.capture {
-			rt.recordProv(p.rule, rec, key, w, ctx.trail)
+			hh = rt.recordProv(ctx, p.rule, rec, key, w, ctx.trail)
 		}
-		return emit(rec, key, w)
+		return emit(rec, key, hh, w)
 	}
 	switch st := p.steps[si].(type) {
 	case *stepFilter:
@@ -525,7 +558,7 @@ func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w
 		var iterErr error
 		// iterBucket resolves its map lookups before yielding, so nested
 		// evalKey calls below may safely reuse (clobber) ctx.keyBuf.
-		st.rel.iterBucket(st.ix, key, old, func(rec value.Record) bool {
+		st.rel.iterBucket(st.ix, key, old, func(rec value.Record, recKey string, phash uint64) bool {
 			for _, b := range st.binds {
 				env[b.Slot] = rec[b.Col]
 			}
@@ -540,7 +573,11 @@ func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w
 				}
 			}
 			if ctx.capture {
-				ctx.trail = append(ctx.trail, provInput{rs: st.rel, rec: rec})
+				ti := provInput{rs: st.rel, rec: rec, key: recKey}
+				if phash != 0 {
+					ti.hash = provFold(phash, st.rel.id)
+				}
+				ctx.trail = append(ctx.trail, ti)
 			}
 			err := rt.execSteps(ctx, p, si+1, env, w, mode, emit)
 			if ctx.capture {
@@ -581,7 +618,7 @@ func evalKey(ctx *evalCtx, keyExprs []typecheck.Expr, env []value.Value) ([]byte
 // the current (new-view) database.
 func (rt *Runtime) runCheckPlan(ctx *evalCtx, cr *compiledRule, rec value.Record) (bool, error) {
 	found := false
-	err := rt.runPlan(ctx, cr.checkPlan, rec, 1, viewAllNew, func(value.Record, string, int64) error {
+	err := rt.runPlan(ctx, cr.checkPlan, rec, "", 1, viewAllNew, func(value.Record, string, uint64, int64) error {
 		found = true
 		return errStop
 	})
@@ -636,7 +673,7 @@ func (rt *Runtime) negTransitions(lit *typecheck.LiteralTerm) []negTransition {
 // needs. The stratum's inputs are settled lower strata, so the whole job
 // list can be computed before any evaluation runs.
 func (rt *Runtime) gatherCountingJobs(head *relState, initial bool) []seedJob {
-	var jobs []seedJob
+	jobs := rt.jobsBuf[:0]
 	for _, cr := range rt.rulesByHead[head] {
 		if initial && cr.unitPlan != nil {
 			jobs = append(jobs, seedJob{p: cr.unitPlan, w: 1, mode: viewAllNew, head: head})
@@ -656,11 +693,12 @@ func (rt *Runtime) gatherCountingJobs(head *relState, initial bool) []seedJob {
 				}
 				continue
 			}
-			litRel.txnDelta.Each(func(rec value.Record, w int64) {
-				jobs = append(jobs, seedJob{p: p, seed: rec, w: w, mode: viewConvention, head: head})
+			litRel.txnDelta.EachKeyed(func(key string, rec value.Record, w int64) {
+				jobs = append(jobs, seedJob{p: p, seed: rec, key: key, w: w, mode: viewConvention, head: head})
 			})
 		}
 	}
+	rt.jobsBuf = jobs
 	return jobs
 }
 
@@ -700,22 +738,22 @@ func (rt *Runtime) runCountingStratum(s int, initial bool) error {
 				if applyErr != nil {
 					return
 				}
-				_, applyErr = head.applyCount(rec, key, w)
+				_, applyErr = head.applyCount(rec, key, w, 0)
 			})
 			if applyErr != nil {
 				return applyErr
 			}
 		}
 	} else {
-		emit := func(rec value.Record, key string, w int64) error {
+		emit := func(rec value.Record, key string, hh uint64, w int64) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
-			_, err := head.applyCount(rec, key, w)
+			_, err := head.applyCount(rec, key, w, hh)
 			return err
 		}
 		for _, j := range jobs {
-			if err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.w, j.mode, emit); err != nil {
+			if err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.key, j.w, j.mode, emit); err != nil {
 				return err
 			}
 		}
@@ -725,6 +763,9 @@ func (rt *Runtime) runCountingStratum(s int, initial bool) error {
 			return err
 		}
 	}
+	// Drop the job buffer's record/key references so the reused backing
+	// array doesn't pin the previous transaction's seeds.
+	clear(jobs)
 	return head.checkSettled()
 }
 
@@ -784,9 +825,9 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 			}
 			key := rec.Key()
 			if rt.prov != nil {
-				rt.prov.unrecordByLabel(spec.head, key, spec.label)
+				rt.prov.j.unrecordByLabel(provDigest(spec.head.id, key), spec.label)
 			}
-			if _, err := spec.head.applyCount(rec, key, -1); err != nil {
+			if _, err := spec.head.applyCount(rec, key, -1, 0); err != nil {
 				return err
 			}
 		}
@@ -799,7 +840,7 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 				return err
 			}
 			key := rec.Key()
-			if _, err := spec.head.applyCount(rec, key, 1); err != nil {
+			if _, err := spec.head.applyCount(rec, key, 1, 0); err != nil {
 				return err
 			}
 			if rt.prov != nil {
@@ -818,7 +859,7 @@ func (rt *Runtime) aggCompute(spec *aggSpec, keyEnc []byte, old bool, env []valu
 	var bitSum uint64
 	n := 0
 	var evalErr error
-	spec.groupRel.iterBucket(spec.keyIx, keyEnc, old, func(rec value.Record) bool {
+	spec.groupRel.iterBucket(spec.keyIx, keyEnc, old, func(rec value.Record, _ string, _ uint64) bool {
 		n++
 		if spec.argExpr == nil {
 			return true
@@ -920,7 +961,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	}
 	odTotal := 0
 	addOD := func(rs *relState) emitFunc {
-		return func(rec value.Record, key string, _ int64) error {
+		return func(rec value.Record, key string, _ uint64, _ int64) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
@@ -960,7 +1001,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 					if lit.Negated {
 						for _, tr := range rt.negTransitions(lit) {
 							if tr.factor < 0 { // matches appeared: support lost
-								if err := rt.runPlan(&rt.seqCtx, p, tr.keyRec, 1, viewAllOld, emit); err != nil {
+								if err := rt.runPlan(&rt.seqCtx, p, tr.keyRec, "", 1, viewAllOld, emit); err != nil {
 									return err
 								}
 							}
@@ -972,7 +1013,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 						if seedErr != nil || w >= 0 {
 							return
 						}
-						seedErr = rt.runPlan(&rt.seqCtx, p, rec, 1, viewAllOld, emit)
+						seedErr = rt.runPlan(&rt.seqCtx, p, rec, "", 1, viewAllOld, emit)
 					})
 					if seedErr != nil {
 						return seedErr
@@ -990,7 +1031,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 					if lit.Negated {
 						continue // in-stratum negation is impossible (stratified)
 					}
-					if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+					if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, "", 1,
 						viewAllOld, addOD(occ.rule.head)); err != nil {
 						return err
 					}
@@ -1015,7 +1056,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	// ---- Phase 3: rederive candidates, then semi-naive insertion ----
 	queue = queue[:0]
 	tryInsert := func(rs *relState) emitFunc {
-		return func(rec value.Record, key string, _ int64) error {
+		return func(rec value.Record, key string, _ uint64, _ int64) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
@@ -1037,7 +1078,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 					return err
 				}
 				if ok {
-					if err := insert(rec, key, 1); err != nil {
+					if err := insert(rec, key, 0, 1); err != nil {
 						return err
 					}
 					break
@@ -1048,7 +1089,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 	for _, cr := range stratumRules {
 		insert := tryInsert(cr.head)
 		if initial && cr.unitPlan != nil {
-			if err := rt.runPlan(&rt.seqCtx, cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
+			if err := rt.runPlan(&rt.seqCtx, cr.unitPlan, nil, "", 1, viewAllNew, insert); err != nil {
 				return err
 			}
 		}
@@ -1064,7 +1105,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 			if lit.Negated {
 				for _, tr := range rt.negTransitions(lit) {
 					if tr.factor > 0 { // matches disappeared: support gained
-						if err := rt.runPlan(&rt.seqCtx, p, tr.keyRec, 1, viewAllNew, insert); err != nil {
+						if err := rt.runPlan(&rt.seqCtx, p, tr.keyRec, "", 1, viewAllNew, insert); err != nil {
 							return err
 						}
 					}
@@ -1076,7 +1117,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 				if seedErr != nil || w <= 0 {
 					return
 				}
-				seedErr = rt.runPlan(&rt.seqCtx, p, rec, 1, viewAllNew, insert)
+				seedErr = rt.runPlan(&rt.seqCtx, p, rec, "", 1, viewAllNew, insert)
 			})
 			if seedErr != nil {
 				return seedErr
@@ -1094,7 +1135,7 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 			if lit.Negated {
 				continue
 			}
-			if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+			if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, "", 1,
 				viewAllNew, tryInsert(occ.rule.head)); err != nil {
 				return err
 			}
@@ -1125,7 +1166,7 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 	}
 	var queue []pending
 	tryInsert := func(rs *relState) emitFunc {
-		return func(rec value.Record, key string, _ int64) error {
+		return func(rec value.Record, key string, _ uint64, _ int64) error {
 			if err := rt.countDerivation(); err != nil {
 				return err
 			}
@@ -1141,7 +1182,7 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 	for _, cr := range stratumRules {
 		insert := tryInsert(cr.head)
 		if cr.unitPlan != nil {
-			if err := rt.runPlan(&rt.seqCtx, cr.unitPlan, nil, 1, viewAllNew, insert); err != nil {
+			if err := rt.runPlan(&rt.seqCtx, cr.unitPlan, nil, "", 1, viewAllNew, insert); err != nil {
 				return err
 			}
 		}
@@ -1159,7 +1200,7 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 				if e.count <= 0 {
 					continue
 				}
-				if seedErr = rt.runPlan(&rt.seqCtx, p, e.rec, 1, viewAllNew, insert); seedErr != nil {
+				if seedErr = rt.runPlan(&rt.seqCtx, p, e.rec, "", 1, viewAllNew, insert); seedErr != nil {
 					return seedErr
 				}
 			}
@@ -1177,7 +1218,7 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 			if lit.Negated {
 				continue
 			}
-			if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, 1,
+			if err := rt.runPlan(&rt.seqCtx, occ.rule.plansByBody[occ.bodyIdx], pd.rec, "", 1,
 				viewAllNew, tryInsert(occ.rule.head)); err != nil {
 				return err
 			}

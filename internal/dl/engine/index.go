@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"strings"
 
@@ -17,19 +18,28 @@ import (
 // overhead); the ablation benchmarks quantify it.
 type index struct {
 	keyCols []int
-	// buckets maps encoded key → (record key → record).
-	buckets map[string]map[string]value.Record
+	// buckets maps encoded key → (record key → entry).
+	buckets map[string]map[string]bucketEnt
 	// deletedTxn holds the records removed during the current transaction,
 	// by key then record key, so "old view" lookups can see them until the
 	// transaction ends.
-	deletedTxn map[string]map[string]value.Record
+	deletedTxn map[string]map[string]bucketEnt
+}
+
+// bucketEnt is one arranged record. phash caches the maphash of the
+// record's canonical key (zero with provenance off): provenance capture
+// reads the identity hash of every joined fact straight off the bucket
+// instead of rehashing the key string per emit.
+type bucketEnt struct {
+	rec   value.Record
+	phash uint64
 }
 
 func newIndex(keyCols []int) *index {
 	return &index{
 		keyCols:    keyCols,
-		buckets:    make(map[string]map[string]value.Record),
-		deletedTxn: make(map[string]map[string]value.Record),
+		buckets:    make(map[string]map[string]bucketEnt),
+		deletedTxn: make(map[string]map[string]bucketEnt),
 	}
 }
 
@@ -55,20 +65,20 @@ func (ix *index) keyAppend(dst []byte, rec value.Record) []byte {
 	return dst
 }
 
-func (ix *index) insert(rec value.Record, recKey string) {
+func (ix *index) insert(rec value.Record, recKey string, phash uint64) {
 	bp := value.GetEncodeBuf()
 	enc := ix.keyAppend(*bp, rec)
 	b := ix.buckets[string(enc)] // zero-alloc map access
 	if b == nil {
-		b = make(map[string]value.Record)
+		b = make(map[string]bucketEnt)
 		ix.buckets[string(enc)] = b
 	}
 	*bp = enc
 	value.PutEncodeBuf(bp)
-	b[recKey] = rec
+	b[recKey] = bucketEnt{rec: rec, phash: phash}
 }
 
-func (ix *index) remove(rec value.Record, recKey string) {
+func (ix *index) remove(rec value.Record, recKey string, phash uint64) {
 	bp := value.GetEncodeBuf()
 	enc := ix.keyAppend(*bp, rec)
 	if b := ix.buckets[string(enc)]; b != nil {
@@ -79,17 +89,17 @@ func (ix *index) remove(rec value.Record, recKey string) {
 	}
 	d := ix.deletedTxn[string(enc)]
 	if d == nil {
-		d = make(map[string]value.Record)
+		d = make(map[string]bucketEnt)
 		ix.deletedTxn[string(enc)] = d
 	}
 	*bp = enc
 	value.PutEncodeBuf(bp)
-	d[recKey] = rec
+	d[recKey] = bucketEnt{rec: rec, phash: phash}
 }
 
 func (ix *index) clearTxn() {
 	if len(ix.deletedTxn) > 0 {
-		ix.deletedTxn = make(map[string]map[string]value.Record)
+		ix.deletedTxn = make(map[string]map[string]bucketEnt)
 	}
 }
 
@@ -123,6 +133,11 @@ type relState struct {
 type countEntry struct {
 	rec   value.Record
 	count int64
+	// phash is the maphash of the record's canonical key, computed once
+	// when the entry is created (zero with provenance off). It seeds the
+	// arrangement bucket entries and the provenance drop digests, so fact
+	// identity is hashed once per insertion instead of once per use.
+	phash uint64
 }
 
 func newRelState(rel *typecheck.Relation, id int, hidden bool) *relState {
@@ -150,7 +165,7 @@ func (rs *relState) getIndex(keyCols []int) *index {
 	// against an already-loaded runtime; at startup relations are empty).
 	for recKey, e := range rs.counts {
 		if e.count > 0 {
-			ix.insert(e.rec, recKey)
+			ix.insert(e.rec, recKey, e.phash)
 		}
 	}
 	rs.indexes[sig] = ix
@@ -166,10 +181,19 @@ func (rs *relState) present(recKey string) bool { return rs.counts[recKey].count
 // transiently negative while a stratum is being processed (retractions can
 // be applied before the matching insertions); checkSettled verifies
 // non-negativity once the stratum settles.
-func (rs *relState) applyCount(rec value.Record, recKey string, w int64) (int, error) {
+// hh, when non-zero, is the caller's already-computed maphash of recKey
+// (plan emits hash the head key for the provenance journal); zero means
+// "compute it here if provenance needs it".
+func (rs *relState) applyCount(rec value.Record, recKey string, w int64, hh uint64) (int, error) {
 	e, ok := rs.counts[recKey]
 	if !ok {
 		e = countEntry{rec: rec}
+		if rs.prov != nil {
+			if hh == 0 {
+				hh = maphash.String(provSeed, recKey)
+			}
+			e.phash = hh
+		}
 	}
 	before := e.count > 0
 	e.count += w
@@ -186,10 +210,10 @@ func (rs *relState) applyCount(rec value.Record, recKey string, w int64) (int, e
 	after := e.count > 0
 	switch {
 	case !before && after:
-		rs.noteInsert(rec, recKey)
+		rs.noteInsert(rec, recKey, e.phash)
 		return 1, nil
 	case before && !after:
-		rs.noteRemove(rec, recKey)
+		rs.noteRemove(rec, recKey, e.phash)
 		return -1, nil
 	default:
 		return 0, nil
@@ -215,8 +239,12 @@ func (rs *relState) setPresent(rec value.Record, recKey string) bool {
 	if rs.present(recKey) {
 		return false
 	}
-	rs.counts[recKey] = countEntry{rec: rec, count: 1}
-	rs.noteInsert(rec, recKey)
+	e := countEntry{rec: rec, count: 1}
+	if rs.prov != nil {
+		e.phash = maphash.String(provSeed, recKey)
+	}
+	rs.counts[recKey] = e
+	rs.noteInsert(rec, recKey, e.phash)
 	return true
 }
 
@@ -228,24 +256,28 @@ func (rs *relState) setAbsent(rec value.Record, recKey string) bool {
 		return false
 	}
 	delete(rs.counts, recKey)
-	rs.noteRemove(rec, recKey)
+	rs.noteRemove(rec, recKey, e.phash)
 	return true
 }
 
-func (rs *relState) noteInsert(rec value.Record, recKey string) {
+func (rs *relState) noteInsert(rec value.Record, recKey string, phash uint64) {
 	for _, ix := range rs.indexList {
-		ix.insert(rec, recKey)
+		ix.insert(rec, recKey, phash)
 	}
 	rs.txnDelta.AddKeyed(rec, recKey, 1)
 }
 
-func (rs *relState) noteRemove(rec value.Record, recKey string) {
+func (rs *relState) noteRemove(rec value.Record, recKey string, phash uint64) {
 	for _, ix := range rs.indexList {
-		ix.remove(rec, recKey)
+		ix.remove(rec, recKey, phash)
 	}
 	rs.txnDelta.AddKeyed(rec, recKey, -1)
-	if rs.prov != nil {
-		rs.prov.drop(rs.id, recKey)
+	// Only rule and aggregate heads record provenance; input facts are
+	// never in the store, so skip the journal append for them. The drop is
+	// journaled by digest — the entry's cached key hash folded with the
+	// relation id — so the flush replay never hashes.
+	if rs.prov != nil && !rs.isInput() {
+		rs.prov.j.drop(provFold(phash, rs.id))
 	}
 }
 
@@ -287,31 +319,33 @@ func (m viewMode) useOld(bodyIdx, seedIdx int) bool {
 }
 
 // iterBucket visits every record of the chosen view with the given index
-// key. The callback returns false to stop early; iterBucket reports whether
-// iteration ran to completion. The key is taken as bytes (zero-alloc map
-// access); both map lookups happen before the first yield, so callers may
-// reuse the key buffer inside the callback.
-func (rs *relState) iterBucket(ix *index, key []byte, old bool, f func(rec value.Record) bool) bool {
+// key, yielding each record with its canonical record key (the bucket's
+// map key — provenance capture hashes it instead of re-encoding the
+// record). The callback returns false to stop early; iterBucket reports
+// whether iteration ran to completion. The key is taken as bytes
+// (zero-alloc map access); both map lookups happen before the first
+// yield, so callers may reuse the key buffer inside the callback.
+func (rs *relState) iterBucket(ix *index, key []byte, old bool, f func(rec value.Record, recKey string, phash uint64) bool) bool {
 	b := ix.buckets[string(key)]
-	var dt map[string]value.Record
+	var dt map[string]bucketEnt
 	if old {
 		dt = ix.deletedTxn[string(key)]
 	}
 	if b != nil {
-		for recKey, rec := range b {
+		for recKey, e := range b {
 			if old && rs.txnDelta.WeightKey(recKey) > 0 {
 				continue // net-inserted this transaction: not in the old view
 			}
-			if !f(rec) {
+			if !f(e.rec, recKey, e.phash) {
 				return false
 			}
 		}
 	}
-	for recKey, rec := range dt {
+	for recKey, e := range dt {
 		// Only net deletions were in the old view; a record deleted and
 		// re-inserted in this transaction is yielded from the bucket.
 		if rs.txnDelta.WeightKey(recKey) < 0 {
-			if !f(rec) {
+			if !f(e.rec, recKey, e.phash) {
 				return false
 			}
 		}
@@ -323,7 +357,7 @@ func (rs *relState) iterBucket(ix *index, key []byte, old bool, f func(rec value
 // given index key.
 func (rs *relState) bucketNonEmpty(ix *index, key []byte, old bool) bool {
 	found := false
-	rs.iterBucket(ix, key, old, func(value.Record) bool {
+	rs.iterBucket(ix, key, old, func(value.Record, string, uint64) bool {
 		found = true
 		return false
 	})

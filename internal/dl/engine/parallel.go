@@ -38,6 +38,11 @@ const minParallelJobs = 16
 type seedJob struct {
 	p    *plan
 	seed value.Record
+	// key is the seed's canonical record key when the gathering site had
+	// it at hand (counting-stratum deltas are keyed Z-sets); empty
+	// otherwise. Provenance capture hashes it instead of re-encoding the
+	// seed at every emit.
+	key  string
 	w    int64
 	mode viewMode
 	head *relState
@@ -63,6 +68,44 @@ type evalCtx struct {
 	// never leak state across runs.
 	capture bool
 	trail   []provInput
+	// memoSeed{Key,Rel,Hash} memoize the last seed fact's identity hash
+	// across the several plans one seed feeds (runPlan).
+	memoSeedKey  string
+	memoSeedRel  *relState
+	memoSeedHash uint64
+	// sigBuf is the per-goroutine encode scratch for derivation sig
+	// hashing (provenance.go sigHash).
+	sigBuf []byte
+	// journal receives buffered provenance ops. The sequential context
+	// points at the store's own journal; worker contexts buffer into
+	// their private journal (priv), absorbed at the join barrier.
+	journal *provJournal
+	priv    provJournal
+}
+
+// attachProvJournal points pooled worker contexts at their private
+// journals before a fan-out (no-op when provenance is off).
+func (rt *Runtime) attachProvJournal(ctxs []*evalCtx) {
+	if rt.prov == nil {
+		return
+	}
+	for _, c := range ctxs {
+		c.journal = &c.priv
+	}
+}
+
+// absorbProvJournals splices the worker contexts' journals into the
+// store's journal. Runs on the apply goroutine after the fan-out barrier,
+// so worker-recorded derivations replay before any drops the subsequent
+// sequential merge produces.
+func (rt *Runtime) absorbProvJournals(ctxs []*evalCtx) {
+	if rt.prov == nil {
+		return
+	}
+	for _, c := range ctxs {
+		rt.prov.j.absorb(&c.priv)
+		c.journal = nil
+	}
 }
 
 // envFor returns a zeroed environment of at least size n backed by the
@@ -146,7 +189,7 @@ func (rt *Runtime) evalJobsZSet(jobs []seedJob, nw int) ([]*zset.ZSet, error) {
 		out := zset.New()
 		outs[wi] = out
 		ctxs[wi] = ctxPool.Get().(*evalCtx)
-		emits[wi] = func(rec value.Record, key string, w int64) error {
+		emits[wi] = func(rec value.Record, key string, _ uint64, w int64) error {
 			if err := rt.countDerivationAtomic(); err != nil {
 				return err
 			}
@@ -154,10 +197,12 @@ func (rt *Runtime) evalJobsZSet(jobs []seedJob, nw int) ([]*zset.ZSet, error) {
 			return nil
 		}
 	}
+	rt.attachProvJournal(ctxs)
 	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error {
 		j := jobs[i]
-		return rt.runPlan(ctxs[wi], j.p, j.seed, j.w, j.mode, emits[wi])
+		return rt.runPlan(ctxs[wi], j.p, j.seed, j.key, j.w, j.mode, emits[wi])
 	}))
+	rt.absorbProvJournals(ctxs)
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -176,8 +221,8 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 		var out []cand
 		for _, j := range jobs {
 			head := j.head
-			err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.w, j.mode,
-				func(rec value.Record, key string, _ int64) error {
+			err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.key, j.w, j.mode,
+				func(rec value.Record, key string, _ uint64, _ int64) error {
 					if err := rt.countDerivation(); err != nil {
 						return err
 					}
@@ -195,10 +240,11 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 	for wi := 0; wi < nw; wi++ {
 		ctxs[wi] = ctxPool.Get().(*evalCtx)
 	}
+	rt.attachProvJournal(ctxs)
 	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error {
 		j := jobs[i]
-		return rt.runPlan(ctxs[wi], j.p, j.seed, j.w, j.mode,
-			func(rec value.Record, key string, _ int64) error {
+		return rt.runPlan(ctxs[wi], j.p, j.seed, j.key, j.w, j.mode,
+			func(rec value.Record, key string, _ uint64, _ int64) error {
 				if err := rt.countDerivationAtomic(); err != nil {
 					return err
 				}
@@ -206,6 +252,7 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 				return nil
 			})
 	}))
+	rt.absorbProvJournals(ctxs)
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -264,7 +311,9 @@ func (rt *Runtime) runCheckJobs(jobs []checkJob) ([]bool, error) {
 	for wi := 0; wi < nw; wi++ {
 		ctxs[wi] = ctxPool.Get().(*evalCtx)
 	}
+	rt.attachProvJournal(ctxs)
 	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error { return check(ctxs[wi], i) }))
+	rt.absorbProvJournals(ctxs)
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}

@@ -82,10 +82,12 @@ type compiledRule struct {
 	src       *typecheck.Rule
 	head      *relState
 	headExprs []typecheck.Expr
-	// label is the rule's operator-facing identity in provenance records.
-	label string
-	body  []typecheck.Term // excludes any GroupBy term
-	slots []typecheck.VarInfo
+	// label is the rule's operator-facing identity in provenance records;
+	// labelHash is its precomputed sig-hash seed (provLabelHash).
+	label     string
+	labelHash uint64
+	body      []typecheck.Term // excludes any GroupBy term
+	slots     []typecheck.VarInfo
 	// plansByBody[i] is the plan seeded at body literal i (nil for
 	// non-literal terms).
 	plansByBody []*plan

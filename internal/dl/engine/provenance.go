@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"sort"
+	"hash/maphash"
 	"strings"
 	"sync"
 
@@ -14,32 +14,47 @@ import (
 // that produced it. It is gated exactly like CollectStats: when
 // Options.CollectProvenance is off the hot path carries only a single
 // boolean write per plan run and stays allocation-free
-// (TestProvenanceOffZeroAlloc). When on, every emit records (or, for
-// retractions, unrecords) a derivation into a bounded, mutex-guarded
-// store keyed by (relation, record key).
+// (TestProvenanceOffZeroAlloc).
+//
+// When on, emits do not touch the store directly. Every record, retract,
+// and drop is appended to a lock-free per-goroutine journal and the whole
+// journal is replayed into the store under one mutex acquisition at the
+// end of Apply. Buffering keeps the per-emit cost to a signature hash and
+// a slice append, makes a transaction's provenance visible atomically,
+// and lets the replay use a single-writer open-addressing table and
+// store-local freelists instead of per-op locked map and sync.Pool
+// traffic.
 //
 // Correctness under the engine's evaluation modes:
 //
-//   - Counting strata: insertions (w>0) record, retractions (w<0)
-//     unrecord. A derivation's identity (sig) is its rule label plus the
-//     *sorted* input record keys, so the seeding plan used to produce or
-//     retract it is irrelevant — the retraction emitted by any seeding of
-//     a rule removes the derivation the matching insertion recorded.
+//   - Counting strata: insertions (w>0) journal a record, retractions
+//     (w<0) journal an unrecord. A derivation's identity (sig) is an
+//     order-independent hash of its rule label and input facts, so the
+//     seeding plan used to produce or retract it is irrelevant — the
+//     retraction emitted by any seeding of a rule removes the derivation
+//     the matching insertion recorded. Unrecords replay after all other
+//     ops, and a per-derivation sequence number makes them skip
+//     derivations re-recorded after the retraction was journaled; facts
+//     dropped wholesale in the same transaction are simply absent by
+//     then, so their unrecords never pay the derivation-matching scan.
 //   - DRed (recursive strata): the overdelete phase runs with viewAllOld
 //     and captures nothing; applying the overdeletions drops each
 //     retracted fact's provenance wholesale (relState.noteRemove →
-//     provStore.drop). Rederivation runs check plans under viewAllNew
-//     with capture on, so a surviving fact's provenance is rebuilt from
-//     its post-deletion proof. RecursiveDeleteFallback's recomputeStratum
+//     journal drop). Rederivation runs check plans under viewAllNew with
+//     capture on, so a surviving fact's provenance is rebuilt from its
+//     post-deletion proof. RecursiveDeleteFallback's recomputeStratum
 //     behaves identically: setAbsent drops, re-insertion re-records.
-//   - Workers > 1: recording happens inside worker emit paths under the
-//     store mutex; sig-based identity makes record/unrecord order across
-//     workers irrelevant.
+//   - Workers > 1: each worker journals into its own context; the
+//     barrier at the end of each fan-out absorbs worker journals into
+//     the store's journal before the sequential merge applies counts, so
+//     records always replay before the drops they may precede. Cross-
+//     worker op order is arbitrary, exactly as the per-op mutex
+//     interleaving was.
 //
 // The store is bounded (ProvenanceCapacity facts, FIFO eviction;
 // maxDerivationsPerFact alternates per fact) and Explain reads only the
-// store under its mutex — never relation state — so explaining while a
-// transaction applies is race-free by construction.
+// store under its mutex — never relation state, never the journal — so
+// explaining while a transaction applies is race-free by construction.
 
 // DefaultProvenanceCapacity bounds the store when
 // Options.ProvenanceCapacity is zero.
@@ -61,105 +76,635 @@ const (
 )
 
 // provInput is one body fact on an evaluation context's capture trail.
+// key is the fact's canonical record key when the pushing site had it at
+// hand (join steps read it off the arrangement bucket); empty otherwise.
+// hash caches the fact's identity hash (see inputHash). Join steps fill
+// it straight from the arrangement bucket's cached key hash, so the
+// common case never hashes at all; entries pushed without it (plan
+// seeds) compute it lazily at the first emit that includes the fact.
+// Zero means "not yet computed" (a real zero hash merely recomputes —
+// harmless).
 type provInput struct {
-	rs  *relState
-	rec value.Record
+	rs   *relState
+	rec  value.Record
+	key  string
+	hash uint64
 }
 
-// factRef identifies one input fact of a recorded derivation.
+// factRef identifies one input fact of a recorded derivation. The input's
+// canonical key is recomputed lazily at explain time rather than stored:
+// materializing it on the record path would cost one string allocation per
+// input per emit.
 type factRef struct {
 	rel int
 	rec value.Record
-	key string
 }
 
-// derivation is one recorded way a fact was produced.
+// derivation is one recorded way a fact was produced. sig is the
+// order-independent 64-bit identity hash (rule label plus input facts);
+// seq is the store-global sequence at the last (re-)record, used by the
+// unrecord replay to avoid removing a derivation re-recorded after its
+// retraction was journaled. Derivations live by value in their fact's
+// slice (their inputs backing arrays recycle through the store), so the
+// store's live-object population — what every GC mark phase must walk —
+// stays proportional to facts, not derivations.
 type derivation struct {
 	label     string
-	stratum   int
-	inputs    []factRef
-	sig       string
+	stratum   int32
 	truncated bool
+	inputs    []factRef
+	sig       uint64
+	seq       uint64
 }
 
-type provKey struct {
-	rel int
-	key string
-}
-
+// factProv is one fact's recorded provenance. digest is the facts-table
+// key (see provDigest); rel identifies the fact's relation for the
+// explain paths; prev/next link the store's FIFO eviction list. dead
+// marks a dropped fact left in place as a tombstone: steady-state churn
+// (the same fact retracted and re-derived across transactions) then
+// skips the table delete, backward shift, and re-insertion — a drop
+// wipes the derivations and flips the flag, and the next record of the
+// same digest revives the container where it sits. Readers treat dead
+// facts as absent; eviction reclaims them in FIFO order like any other.
+// Facts live in the store's arena slab and are addressed by index;
+// prev/next are arena indices (provNil when absent). Pointers into the
+// arena must not be held across a possible arena append.
 type factProv struct {
-	rec    value.Record
-	derivs []*derivation
+	rec        value.Record
+	derivs     []derivation
+	digest     uint64
+	rel        int32
+	dead       bool
+	prev, next int32
 }
 
-// provStore is the bounded, concurrency-safe provenance store.
+// provNil is the arena-index null.
+const provNil = int32(-1)
+
+// provOp kinds (provOp.kind).
+const (
+	opRecord = iota
+	opUnrec
+	opDrop
+	opUnrecLabel
+)
+
+// provOp is one journaled store mutation. Record ops reference their
+// input facts as a [refLo, refHi) window of the journal's shared refs
+// arena, so buffering an op never allocates once the journal is warm.
+type provOp struct {
+	kind         uint8
+	truncated    bool
+	stratum      int32
+	rel          int32
+	refLo, refHi int32
+	sig          uint64
+	// dg is the fact's digest (provDigest), computed where the key hash
+	// was already at hand — emit sites hash the freshly built head key
+	// once, drops reuse the count entry's cached hash — so the flush
+	// replay performs no hashing at all.
+	dg    uint64
+	label string
+	rec   value.Record
+}
+
+// provJournal buffers one goroutine's provenance ops for the
+// end-of-transaction replay. The store owns the apply goroutine's
+// journal; worker contexts buffer into private journals that the join
+// barrier absorbs (parallel.go).
+type provJournal struct {
+	ops  []provOp
+	refs []factRef
+}
+
+func (j *provJournal) record(dg uint64, rel int, rec value.Record, sig uint64, label string, stratum int, trail []provInput, truncated bool) {
+	lo := int32(len(j.refs))
+	for i := range trail {
+		t := &trail[i]
+		j.refs = append(j.refs, factRef{rel: t.rs.id, rec: t.rec})
+	}
+	j.ops = append(j.ops, provOp{
+		kind: opRecord, truncated: truncated,
+		stratum: int32(stratum), rel: int32(rel),
+		refLo: lo, refHi: int32(len(j.refs)),
+		sig: sig, dg: dg, label: label, rec: rec,
+	})
+}
+
+func (j *provJournal) unrecord(dg, sig uint64) {
+	j.ops = append(j.ops, provOp{kind: opUnrec, dg: dg, sig: sig})
+}
+
+func (j *provJournal) drop(dg uint64) {
+	j.ops = append(j.ops, provOp{kind: opDrop, dg: dg})
+}
+
+func (j *provJournal) unrecordByLabel(dg uint64, label string) {
+	j.ops = append(j.ops, provOp{kind: opUnrecLabel, dg: dg, label: label})
+}
+
+// reset empties the journal for the next transaction, retaining capacity.
+// Slots are not cleared: the next transaction overwrites them before any
+// replay reads them, and the record/string references they pin are (at
+// most) one transaction's worth of already-retired facts.
+func (j *provJournal) reset() {
+	j.ops = j.ops[:0]
+	j.refs = j.refs[:0]
+}
+
+// absorb splices a worker journal's ops after this journal's, rebasing
+// record ref windows into the shared arena, and resets the worker
+// journal. Called on the apply goroutine after the fan-out barrier.
+func (j *provJournal) absorb(w *provJournal) {
+	if len(w.ops) == 0 {
+		return
+	}
+	base := int32(len(j.refs))
+	j.refs = append(j.refs, w.refs...)
+	for _, op := range w.ops {
+		op.refLo += base
+		op.refHi += base
+		j.ops = append(j.ops, op)
+	}
+	w.reset()
+}
+
+// provSlot is one open-addressing table slot; ref is the fact's arena
+// index plus one, so the zero value marks an empty slot. Slots carry no
+// pointers: the whole table is skipped by the garbage collector's mark
+// phase instead of being scanned slot by slot.
+type provSlot struct {
+	digest uint64
+	ref    int32
+}
+
+// provTable maps fact digests to arena indices by linear probing.
+// Digests are already uniform 64-bit hashes (provDigest), so the slot
+// index is just the digest's low bits; deletion backward-shifts the probe
+// cluster, so there are no tombstones and lookups never degrade. It
+// replaces a built-in map on the replay path: inserts, hits, misses, and
+// deletes are each a couple of cache lines with no hashing or bucket
+// machinery.
+type provTable struct {
+	slots []provSlot // len is a power of two
+	n     int
+}
+
+// get returns the arena index for dg, or provNil.
+func (t *provTable) get(dg uint64) int32 {
+	if len(t.slots) == 0 {
+		return provNil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := dg & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.ref == 0 {
+			return provNil
+		}
+		if s.digest == dg {
+			return s.ref - 1
+		}
+	}
+}
+
+// getOrInsert returns the arena index for dg, or claims the probe's empty
+// slot with mk() on a miss — one probe sequence where get-then-put would
+// walk the cluster twice. mk must not mutate the table (it may grow the
+// arena the indices point into).
+func (t *provTable) getOrInsert(dg uint64, mk func() int32) int32 {
+	if (t.n+1)*3 >= len(t.slots)*2 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := dg & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.ref == 0 {
+			ref := mk()
+			s.digest, s.ref = dg, ref+1
+			t.n++
+			return ref
+		}
+		if s.digest == dg {
+			return s.ref - 1
+		}
+	}
+}
+
+func (t *provTable) put(dg uint64, ref int32) {
+	if (t.n+1)*3 >= len(t.slots)*2 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := dg & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.ref == 0 {
+			s.digest, s.ref = dg, ref+1
+			t.n++
+			return
+		}
+		if s.digest == dg {
+			s.ref = ref + 1
+			return
+		}
+	}
+}
+
+// del removes and returns the arena index for dg (provNil when absent),
+// closing the probe cluster by the standard backward-shift: each later
+// cluster member whose home slot is at or before the hole moves into it.
+func (t *provTable) del(dg uint64) int32 {
+	if len(t.slots) == 0 {
+		return provNil
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := dg & mask
+	for {
+		s := &t.slots[i]
+		if s.ref == 0 {
+			return provNil
+		}
+		if s.digest == dg {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	removed := t.slots[i].ref - 1
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := t.slots[j]
+		if s.ref == 0 {
+			break
+		}
+		if (j-s.digest)&mask >= (j-i)&mask {
+			t.slots[i] = s
+			i = j
+		}
+	}
+	t.slots[i] = provSlot{}
+	t.n--
+	return removed
+}
+
+func (t *provTable) grow() {
+	old := t.slots
+	size := 1024
+	if len(old) > 0 {
+		size = len(old) * 2
+	}
+	t.slots = make([]provSlot, size)
+	t.n = 0
+	for _, s := range old {
+		if s.ref != 0 {
+			t.put(s.digest, s.ref-1)
+		}
+	}
+}
+
+// provStore is the bounded provenance store. The facts table, eviction
+// list, and freelists are guarded by mu; the journal j is owned by the
+// apply goroutine (worker journals are absorbed at join barriers) and
+// only read under mu during flush.
 type provStore struct {
 	mu       sync.Mutex
 	capacity int
-	facts    map[provKey]*factProv
-	// order is the FIFO insertion order used for eviction; it may hold
-	// keys already dropped (tombstones), compacted when it outgrows the
-	// live set.
-	order         []provKey
+	facts    provTable
+	// arena is the fact slab; the table and eviction list address it by
+	// index. One large array replaces thousands of individually-allocated
+	// fact containers, so the GC marks one object instead of walking the
+	// store's population every cycle.
+	arena []factProv
+	// head/tail are the FIFO eviction list (arena indices), oldest first.
+	head, tail int32
+	// seq stamps replayed ops in order across transactions (see
+	// derivation.seq).
+	seq uint64
+	j   provJournal
+	// pending indexes the journal's unrecord ops during a flush, so they
+	// replay after every drop.
+	pending []int32
+	// factFree recycles arena slots; inputsFree recycles the factRef
+	// backing arrays of removed derivations. Only touched under mu, so
+	// plain slice stacks beat sync.Pool on the replay path.
+	factFree   []int32
+	inputsFree [][]factRef
+	// dropTab notes the digests dropped during the current flush so the
+	// deferred unrecord pass can skip its facts-table probe for them (the
+	// common retraction shape: a fact loses its last derivation and is
+	// dropped wholesale in the same transaction). Entries are validated
+	// by epoch, so the table is never cleared; dropOverflow falls back to
+	// the real probe when a flush drops more facts than the table holds.
+	dropTab      []dropEnt
+	dropEpoch    uint32
+	dropOverflow bool
+	// live counts non-tombstone facts; facts.n additionally counts
+	// tombstones still occupying table slots.
+	live          int
 	evictions     uint64
 	droppedDerivs uint64
+}
+
+// dropEnt is one dropTab slot: the dropped digest, the journal index of
+// the drop, and the flush epoch that wrote it.
+type dropEnt struct {
+	dg    uint64
+	idx   int32
+	epoch uint32
+}
+
+const dropTabSlots = 1024 // power of two; L1/L2-resident (16 KiB)
+
+// noteDropped records that dg was dropped by the op at journal index idx.
+func (ps *provStore) noteDropped(dg uint64, idx int32) {
+	if ps.dropOverflow {
+		return
+	}
+	mask := uint64(dropTabSlots - 1)
+	for i, probes := dg&mask, 0; probes < 16; i, probes = (i+1)&mask, probes+1 {
+		e := &ps.dropTab[i]
+		if e.epoch != ps.dropEpoch {
+			*e = dropEnt{dg: dg, idx: idx, epoch: ps.dropEpoch}
+			return
+		}
+		if e.dg == dg {
+			if idx > e.idx {
+				e.idx = idx
+			}
+			return
+		}
+	}
+	ps.dropOverflow = true
+}
+
+// droppedAfter reports whether dg was dropped by an op later in the
+// journal than idx; a deferred unrecord at idx can then skip its probe —
+// every derivation it could match was wiped by that drop (re-records
+// after the drop carry later seqs, which the seq guard protects anyway).
+func (ps *provStore) droppedAfter(dg uint64, idx int32) bool {
+	mask := uint64(dropTabSlots - 1)
+	for i := dg & mask; ; i = (i + 1) & mask {
+		e := &ps.dropTab[i]
+		if e.epoch != ps.dropEpoch {
+			return false
+		}
+		if e.dg == dg {
+			return e.idx > idx
+		}
+	}
 }
 
 func newProvStore(capacity int) *provStore {
 	if capacity <= 0 {
 		capacity = DefaultProvenanceCapacity
 	}
-	return &provStore{capacity: capacity, facts: make(map[provKey]*factProv)}
+	return &provStore{capacity: capacity, head: provNil, tail: provNil}
 }
 
-// derivationSig is a derivation's identity: rule label plus sorted input
-// keys. Sorting makes the identity independent of which body literal
-// seeded the plan that produced (or retracts) the derivation.
-func derivationSig(label string, inputs []factRef) string {
-	parts := make([]string, len(inputs))
-	var sb strings.Builder
-	for i, in := range inputs {
-		sb.Reset()
-		sb.Grow(len(in.key) + 4)
-		for _, b := range []byte{byte(in.rel >> 8), byte(in.rel)} {
-			sb.WriteByte(b)
+// provSeed keys every provenance hash; identities are stable within a
+// process only, which is all the in-memory store needs.
+var provSeed = maphash.MakeSeed()
+
+// provDigest identifies the fact (rel, key) in the facts table. Keying
+// the table by a 64-bit digest instead of the full (int, string) pair
+// keeps the replay off the long record-key strings. A collision would
+// merge two facts' provenance trees; at the store's default 2^16
+// capacity the probability of any collision existing is ~2^-32 —
+// acceptable for a debugging aid.
+func provDigest(rel int, key string) uint64 {
+	return provFold(maphash.String(provSeed, key), rel)
+}
+
+// provFold mixes a key hash with a relation id (golden-ratio multiply),
+// completing a fact digest from an already-computed key hash.
+func provFold(keyHash uint64, rel int) uint64 {
+	return keyHash + uint64(rel)*0x9e3779b97f4a7c15
+}
+
+// provLabelHash hashes a rule label once at compile time, so per-emit sig
+// hashing starts from a constant instead of re-hashing the label string.
+func provLabelHash(label string) uint64 {
+	return maphash.String(provSeed, label)
+}
+
+// allocFact returns a free arena index, growing the slab if the freelist
+// is empty. Callers must not hold *factProv pointers across the call.
+func (ps *provStore) allocFact() int32 {
+	if n := len(ps.factFree); n > 0 {
+		ref := ps.factFree[n-1]
+		ps.factFree = ps.factFree[:n-1]
+		return ref
+	}
+	ps.arena = append(ps.arena, factProv{prev: provNil, next: provNil})
+	return int32(len(ps.arena) - 1)
+}
+
+// newInputs returns a recycled factRef backing array (or nil) to build a
+// derivation's input list in.
+func (ps *provStore) newInputs() []factRef {
+	if n := len(ps.inputsFree); n > 0 {
+		in := ps.inputsFree[n-1]
+		ps.inputsFree[n-1] = nil
+		ps.inputsFree = ps.inputsFree[:n-1]
+		return in
+	}
+	return nil
+}
+
+func (ps *provStore) freeInputs(in []factRef) {
+	if cap(in) == 0 {
+		return
+	}
+	clear(in[:cap(in)])
+	ps.inputsFree = append(ps.inputsFree, in[:0])
+}
+
+// wipeDerivs recycles every derivation of the fact, leaving derivs empty.
+func (ps *provStore) wipeDerivs(fp *factProv) {
+	for k := range fp.derivs {
+		ps.freeInputs(fp.derivs[k].inputs)
+	}
+	clear(fp.derivs)
+	fp.derivs = fp.derivs[:0]
+}
+
+// dropDeriv removes fp.derivs[k], recycling its inputs and keeping order.
+func (ps *provStore) dropDeriv(fp *factProv, k int) {
+	ps.freeInputs(fp.derivs[k].inputs)
+	last := len(fp.derivs) - 1
+	copy(fp.derivs[k:], fp.derivs[k+1:])
+	fp.derivs[last] = derivation{}
+	fp.derivs = fp.derivs[:last]
+}
+
+// freeFact recycles the fact at ref: derivations are wiped and the arena
+// slot (with its derivs capacity) is pushed on the freelist.
+func (ps *provStore) freeFact(ref int32) {
+	fp := &ps.arena[ref]
+	ps.wipeDerivs(fp)
+	fp.rec = nil
+	fp.digest, fp.rel = 0, 0
+	fp.dead = false
+	fp.prev, fp.next = provNil, provNil
+	ps.factFree = append(ps.factFree, ref)
+}
+
+// pushBack appends a fresh fact to the eviction list's tail.
+func (ps *provStore) pushBack(ref int32) {
+	fp := &ps.arena[ref]
+	fp.prev = ps.tail
+	fp.next = provNil
+	if ps.tail != provNil {
+		ps.arena[ps.tail].next = ref
+	} else {
+		ps.head = ref
+	}
+	ps.tail = ref
+}
+
+// unlink removes a fact from the eviction list.
+func (ps *provStore) unlink(ref int32) {
+	fp := &ps.arena[ref]
+	if fp.prev != provNil {
+		ps.arena[fp.prev].next = fp.next
+	} else {
+		ps.head = fp.next
+	}
+	if fp.next != provNil {
+		ps.arena[fp.next].prev = fp.prev
+	} else {
+		ps.tail = fp.prev
+	}
+	fp.prev, fp.next = provNil, provNil
+}
+
+// inputHash hashes one trail fact: the hash of its canonical encoding
+// combined with its relation id by the same golden-ratio fold as
+// provDigest. Record.Key() is exactly the canonical encoding as a string,
+// so when the trail entry carries the key (join steps read it off the
+// arrangement bucket) the hash comes from the existing string with no
+// re-encoding; entries without a key (plan seeds) encode into the
+// caller's scratch first. Both paths hash identical bytes, so the same
+// fact always contributes the same value to a sig.
+func inputHash(buf *[]byte, t *provInput) uint64 {
+	var h uint64
+	if t.key != "" {
+		h = maphash.String(provSeed, t.key)
+	} else {
+		b := t.rec.AppendEncode((*buf)[:0])
+		*buf = b
+		h = maphash.Bytes(provSeed, b)
+	}
+	return provFold(h, t.rs.id)
+}
+
+// sigHash computes a derivation's identity: the precomputed rule-label
+// hash combined, by wrapping addition, with one hash per input fact.
+// Addition commutes, so the identity is independent of which body literal
+// seeded the plan that produced (or retracts) the derivation — no
+// sorting, no string materialization, no per-emit allocation (buf is the
+// caller's per-goroutine scratch). Input hashes are cached in the trail
+// entries, so a fact feeding many emits is encoded and hashed once.
+func sigHash(buf *[]byte, labelHash uint64, trail []provInput) uint64 {
+	sig := labelHash
+	for i := range trail {
+		t := &trail[i]
+		if t.hash == 0 {
+			t.hash = inputHash(buf, t)
 		}
-		sb.WriteString(in.key)
-		parts[i] = sb.String()
+		sig += t.hash
 	}
-	sort.Strings(parts)
-	return label + "\x01" + strings.Join(parts, "\x01")
+	return sig
 }
 
-func trailToInputs(trail []provInput) []factRef {
-	if len(trail) == 0 {
-		return nil
+// flush replays the transaction's journal into the store under one lock
+// acquisition. Ops replay in journal order — the apply goroutine's
+// chronological order — except unrecords, which are deferred to a second
+// pass: a fact retracted outright later in the transaction is gone by
+// then (its unrecords never pay the derivation scan), while the seq
+// stamps keep an unrecord from removing a derivation that was
+// re-recorded after it.
+func (ps *provStore) flush() {
+	j := &ps.j
+	if len(j.ops) == 0 {
+		return
 	}
-	inputs := make([]factRef, len(trail))
-	for i, t := range trail {
-		inputs[i] = factRef{rel: t.rs.id, rec: t.rec, key: t.rec.Key()}
-	}
-	return inputs
-}
-
-// record adds one derivation of (head, rec); duplicates (same sig) are
-// collapsed.
-func (ps *provStore) record(head *relState, rec value.Record, key, label string, stratum int, trail []provInput, truncated bool) {
-	inputs := trailToInputs(trail)
-	sig := derivationSig(label, inputs)
-	pk := provKey{rel: head.id, key: key}
 	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	fp := ps.facts[pk]
-	if fp == nil {
-		ps.evictLocked()
-		fp = &factProv{rec: rec}
-		ps.facts[pk] = fp
-		ps.order = append(ps.order, pk)
-		ps.compactLocked()
+	if ps.dropTab == nil {
+		ps.dropTab = make([]dropEnt, dropTabSlots)
 	}
-	for _, d := range fp.derivs {
-		if d.sig == sig {
+	ps.dropEpoch++
+	ps.dropOverflow = false
+	base := ps.seq
+	for i := range j.ops {
+		op := &j.ops[i]
+		switch op.kind {
+		case opRecord:
+			ps.applyRecord(op, base+uint64(i)+1, j.refs)
+		case opUnrec:
+			ps.pending = append(ps.pending, int32(i))
+		case opDrop:
+			if ref := ps.facts.get(op.dg); ref != provNil {
+				if fp := &ps.arena[ref]; !fp.dead {
+					fp.dead = true
+					ps.live--
+					ps.wipeDerivs(fp)
+				}
+			}
+			ps.noteDropped(op.dg, int32(i))
+		case opUnrecLabel:
+			ps.applyUnrecLabel(op)
+		}
+	}
+	for _, idx := range ps.pending {
+		op := &j.ops[idx]
+		if !ps.dropOverflow && ps.droppedAfter(op.dg, idx) {
+			continue
+		}
+		ref := ps.facts.get(op.dg)
+		if ref == provNil {
+			continue
+		}
+		fp := &ps.arena[ref]
+		if fp.dead {
+			continue
+		}
+		unrecSeq := base + uint64(idx) + 1
+		for k := range fp.derivs {
+			if d := &fp.derivs[k]; d.sig == op.sig && d.seq < unrecSeq {
+				ps.dropDeriv(fp, k)
+				break
+			}
+		}
+	}
+	ps.pending = ps.pending[:0]
+	ps.seq = base + uint64(len(j.ops))
+	ps.mu.Unlock()
+	j.reset()
+}
+
+// applyRecord adds one derivation of the op's fact; duplicates (same sig)
+// are collapsed with their seq refreshed. The duplicate path — every
+// re-derivation of an existing fact — is allocation-free.
+func (ps *provStore) applyRecord(op *provOp, seq uint64, refs []factRef) {
+	ps.evictLocked()
+	ref := ps.facts.getOrInsert(op.dg, func() int32 {
+		r := ps.allocFact()
+		fp := &ps.arena[r]
+		fp.digest = op.dg
+		fp.rel = op.rel
+		ps.pushBack(r)
+		ps.live++
+		return r
+	})
+	fp := &ps.arena[ref]
+	if fp.dead {
+		fp.dead = false
+		ps.live++
+	}
+	fp.rec = op.rec
+	for k := range fp.derivs {
+		if fp.derivs[k].sig == op.sig {
+			fp.derivs[k].seq = seq
 			return
 		}
 	}
@@ -167,80 +712,45 @@ func (ps *provStore) record(head *relState, rec value.Record, key, label string,
 		ps.droppedDerivs++
 		return
 	}
-	fp.derivs = append(fp.derivs, &derivation{
-		label: label, stratum: stratum, inputs: inputs, sig: sig, truncated: truncated,
+	fp.derivs = append(fp.derivs, derivation{
+		label: op.label, stratum: op.stratum, truncated: op.truncated,
+		inputs: append(ps.newInputs(), refs[op.refLo:op.refHi]...),
+		sig:    op.sig, seq: seq,
 	})
 }
 
-// unrecord removes the derivation of (head, key) matching the retraction's
-// rule and inputs, if recorded.
-func (ps *provStore) unrecord(head *relState, key, label string, trail []provInput) {
-	sig := derivationSig(label, trailToInputs(trail))
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	fp := ps.facts[provKey{rel: head.id, key: key}]
-	if fp == nil {
+// applyUnrecLabel removes every derivation of the op's fact recorded
+// under the op's label, regardless of inputs (aggregate re-derivations
+// replace the whole group's contribution).
+func (ps *provStore) applyUnrecLabel(op *provOp) {
+	ref := ps.facts.get(op.dg)
+	if ref == provNil {
 		return
 	}
-	for i, d := range fp.derivs {
-		if d.sig == sig {
-			fp.derivs = append(fp.derivs[:i], fp.derivs[i+1:]...)
-			return
-		}
-	}
-}
-
-// unrecordByLabel removes every derivation of (head, key) recorded under
-// label, regardless of inputs (aggregate re-derivations replace the whole
-// group's contribution).
-func (ps *provStore) unrecordByLabel(head *relState, key, label string) {
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	fp := ps.facts[provKey{rel: head.id, key: key}]
-	if fp == nil {
+	fp := &ps.arena[ref]
+	if fp.dead {
 		return
 	}
-	kept := fp.derivs[:0]
-	for _, d := range fp.derivs {
-		if d.label != label {
-			kept = append(kept, d)
+	for k := len(fp.derivs) - 1; k >= 0; k-- {
+		if fp.derivs[k].label == op.label {
+			ps.dropDeriv(fp, k)
 		}
 	}
-	fp.derivs = kept
-}
-
-// drop discards all provenance of one fact (called when the fact is
-// retracted from its relation).
-func (ps *provStore) drop(relID int, recKey string) {
-	ps.mu.Lock()
-	delete(ps.facts, provKey{rel: relID, key: recKey})
-	ps.mu.Unlock()
 }
 
 // evictLocked makes room for one more fact by evicting in FIFO order.
 func (ps *provStore) evictLocked() {
-	for len(ps.facts) >= ps.capacity && len(ps.order) > 0 {
-		pk := ps.order[0]
-		ps.order = ps.order[1:]
-		if _, ok := ps.facts[pk]; ok {
-			delete(ps.facts, pk)
+	for ps.facts.n >= ps.capacity && ps.head != provNil {
+		ref := ps.head
+		fp := &ps.arena[ref]
+		ps.unlink(ref)
+		ps.facts.del(fp.digest)
+		if !fp.dead {
+			ps.live--
 			ps.evictions++
 		}
+		ps.freeFact(ref)
 	}
-}
-
-// compactLocked rebuilds order without tombstones once they dominate.
-func (ps *provStore) compactLocked() {
-	if len(ps.order) <= 2*ps.capacity {
-		return
-	}
-	kept := make([]provKey, 0, len(ps.facts))
-	for _, pk := range ps.order {
-		if _, ok := ps.facts[pk]; ok {
-			kept = append(kept, pk)
-		}
-	}
-	ps.order = kept
 }
 
 // ProvenanceStats summarizes the provenance store.
@@ -266,7 +776,7 @@ func (rt *Runtime) ProvenanceStats() ProvenanceStats {
 	rt.prov.mu.Lock()
 	defer rt.prov.mu.Unlock()
 	return ProvenanceStats{
-		Facts:              len(rt.prov.facts),
+		Facts:              rt.prov.live,
 		Evictions:          rt.prov.evictions,
 		DroppedDerivations: rt.prov.droppedDerivs,
 	}
@@ -331,9 +841,10 @@ func (rt *Runtime) ExplainRendered(relation, rendered string, opt ExplainOptions
 	rt.prov.mu.Lock()
 	key := ""
 	found := false
-	for pk, fp := range rt.prov.facts {
-		if pk.rel == rs.id && fp.rec.String() == rendered {
-			key, found = pk.key, true
+	for i := range rt.prov.arena {
+		fp := &rt.prov.arena[i]
+		if fp.rec != nil && !fp.dead && fp.rel == int32(rs.id) && fp.rec.String() == rendered {
+			key, found = fp.rec.Key(), true
 			break
 		}
 	}
@@ -354,32 +865,43 @@ func (ps *provStore) explain(rt *Runtime, rs *relState, key string, opt ExplainO
 	}
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	pk := provKey{rel: rs.id, key: key}
-	fp := ps.facts[pk]
-	if fp == nil || len(fp.derivs) == 0 {
+	ref := ps.facts.get(provDigest(rs.id, key))
+	if ref == provNil {
+		return nil, false
+	}
+	fp := &ps.arena[ref]
+	if fp.dead || len(fp.derivs) == 0 {
 		return nil, false
 	}
 	budget := nodes
-	path := make(map[provKey]bool)
-	return ps.nodeLocked(rt, pk, fp.rec, depth, &budget, path), true
+	path := make(map[uint64]bool)
+	return ps.nodeLocked(rt, rs.id, key, fp.rec, depth, &budget, path), true
 }
 
-// nodeLocked builds the tree node for one fact (store mutex held).
-func (ps *provStore) nodeLocked(rt *Runtime, pk provKey, rec value.Record, depth int, budget *int, path map[provKey]bool) *ExplainNode {
+// nodeLocked builds the tree node for one fact (store mutex held). path
+// tracks the digests of facts being expanded on the current path for
+// cycle detection.
+func (ps *provStore) nodeLocked(rt *Runtime, rel int, key string, rec value.Record, depth int, budget *int, path map[uint64]bool) *ExplainNode {
 	*budget--
-	rs := rt.rels[pk.rel]
+	dg := provDigest(rel, key)
+	rs := rt.rels[rel]
 	n := &ExplainNode{
 		Relation:  rs.rel.Name,
 		Record:    rec.String(),
 		Tuple:     rec,
-		RecordKey: pk.key,
+		RecordKey: key,
 	}
 	if rs.isInput() {
 		n.Kind = "input"
 		return n
 	}
-	fp := ps.facts[pk]
-	if fp == nil || len(fp.derivs) == 0 {
+	ref := ps.facts.get(dg)
+	if ref == provNil {
+		n.Kind = "unknown"
+		return n
+	}
+	fp := &ps.arena[ref]
+	if fp.dead || len(fp.derivs) == 0 {
 		n.Kind = "unknown"
 		return n
 	}
@@ -387,11 +909,12 @@ func (ps *provStore) nodeLocked(rt *Runtime, pk provKey, rec value.Record, depth
 	// Prefer a derivation that does not revisit a fact already being
 	// expanded on this path (recursive strata can record cyclic
 	// alternates).
-	d := fp.derivs[0]
-	for _, cand := range fp.derivs {
+	d := &fp.derivs[0]
+	for k := range fp.derivs {
+		cand := &fp.derivs[k]
 		revisits := false
 		for _, in := range cand.inputs {
-			if path[provKey{rel: in.rel, key: in.key}] {
+			if path[provDigest(in.rel, in.rec.Key())] {
 				revisits = true
 				break
 			}
@@ -402,7 +925,7 @@ func (ps *provStore) nodeLocked(rt *Runtime, pk provKey, rec value.Record, depth
 		}
 	}
 	n.Rule = d.label
-	n.Stratum = d.stratum
+	n.Stratum = int(d.stratum)
 	n.Alternatives = len(fp.derivs) - 1
 	n.Truncated = d.truncated
 	if depth <= 0 {
@@ -411,54 +934,69 @@ func (ps *provStore) nodeLocked(rt *Runtime, pk provKey, rec value.Record, depth
 		}
 		return n
 	}
-	path[pk] = true
+	path[dg] = true
 	for _, in := range d.inputs {
 		if *budget <= 0 {
 			n.Truncated = true
 			break
 		}
-		cpk := provKey{rel: in.rel, key: in.key}
-		if path[cpk] {
+		ckey := in.rec.Key()
+		if path[provDigest(in.rel, ckey)] {
 			*budget--
 			n.Children = append(n.Children, &ExplainNode{
 				Relation:  rt.rels[in.rel].rel.Name,
 				Record:    in.rec.String(),
 				Kind:      "cycle",
 				Tuple:     in.rec,
-				RecordKey: in.key,
+				RecordKey: ckey,
 			})
 			continue
 		}
-		n.Children = append(n.Children, ps.nodeLocked(rt, cpk, in.rec, depth-1, budget, path))
+		n.Children = append(n.Children, ps.nodeLocked(rt, in.rel, ckey, in.rec, depth-1, budget, path))
 	}
-	delete(path, pk)
+	delete(path, dg)
 	return n
 }
 
-// recordProv records (w>0) or retracts (w<0) one derivation at plan emit
-// time. Called only when the emitting context has capture on.
-func (rt *Runtime) recordProv(cr *compiledRule, rec value.Record, key string, w int64, trail []provInput) {
+// recordProv journals one derivation record (w>0) or retraction (w<0) at
+// plan emit time. Called only when the emitting context has capture on;
+// ctx supplies the sig-hash scratch and the goroutine's journal. It
+// returns the head key's hash so the emit path can hand it onward to
+// applyCount — the count entry caches it, making this the only time the
+// fact's identity is hashed.
+func (rt *Runtime) recordProv(ctx *evalCtx, cr *compiledRule, rec value.Record, key string, w int64, trail []provInput) uint64 {
+	sig := sigHash(&ctx.sigBuf, cr.labelHash, trail)
+	hh := maphash.String(provSeed, key)
+	dg := provFold(hh, cr.head.id)
 	if w > 0 {
-		rt.prov.record(cr.head, rec, key, cr.label, cr.head.stratum, trail, false)
+		ctx.journal.record(dg, cr.head.id, rec, sig, cr.label, cr.head.stratum, trail, false)
 	} else if w < 0 {
-		rt.prov.unrecord(cr.head, key, cr.label, trail)
+		ctx.journal.unrecord(dg, sig)
 	}
+	return hh
 }
 
-// recordAggProv records an aggregate head fact with its (capped) group
-// bucket as the input set.
+// recordAggProv journals an aggregate head fact with its (capped) group
+// bucket as the input set. Aggregates run on the apply goroutine, so the
+// sequential context's scratch and the store's own journal are free to
+// use.
 func (rt *Runtime) recordAggProv(spec *aggSpec, keyEnc []byte, rec value.Record, key string) {
 	var trail []provInput
 	truncated := false
-	spec.groupRel.iterBucket(spec.keyIx, keyEnc, false, func(grec value.Record) bool {
+	spec.groupRel.iterBucket(spec.keyIx, keyEnc, false, func(grec value.Record, gkey string, gph uint64) bool {
 		if len(trail) >= maxAggProvInputs {
 			truncated = true
 			return false
 		}
-		trail = append(trail, provInput{rs: spec.groupRel, rec: grec})
+		ti := provInput{rs: spec.groupRel, rec: grec, key: gkey}
+		if gph != 0 {
+			ti.hash = provFold(gph, spec.groupRel.id)
+		}
+		trail = append(trail, ti)
 		return true
 	})
-	rt.prov.record(spec.head, rec, key, spec.label, spec.head.stratum, trail, truncated)
+	sig := sigHash(&rt.seqCtx.sigBuf, spec.labelHash, trail)
+	rt.prov.j.record(provDigest(spec.head.id, key), spec.head.id, rec, sig, spec.label, spec.head.stratum, trail, truncated)
 }
 
 // ruleLabel renders a compact operator-facing identity for a compiled

@@ -449,7 +449,7 @@ func TestProvenanceOffZeroAlloc(t *testing.T) {
 	}
 	ctx := &evalCtx{}
 	run := func() {
-		if err := rt.runPlan(ctx, p, seed, 1, viewAllNew, discardEmit); err != nil {
+		if err := rt.runPlan(ctx, p, seed, "", 1, viewAllNew, discardEmit); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestObsHotPathZeroAlloc guards the acceptance criterion that counter
 // increments and histogram observes allocate nothing for pre-registered
@@ -33,5 +36,61 @@ func TestObsHotPathZeroAlloc(t *testing.T) {
 	var nh *Histogram
 	if allocs := testing.AllocsPerRun(200, func() { nc.Inc(); nh.Observe(1) }); allocs != 0 {
 		t.Errorf("nil instruments: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEventPoolZeroAlloc guards the pooled event/trace hot paths: building
+// and appending a flight-recorder event reuses a ring slot, and a
+// stage-attribute map round-trip through the pool (acquire, fill,
+// reclaim) allocates nothing once warm.
+func TestEventPoolZeroAlloc(t *testing.T) {
+	r := NewRecorder(64)
+	now := time.Now()
+	appendEv := func() {
+		r.Append(Ev("core", "txn.apply").WithTxn(7).At(now).
+			F("updates", 3).F("delta", 2))
+	}
+	appendEv()
+	if allocs := testing.AllocsPerRun(200, appendEv); allocs != 0 {
+		t.Errorf("Recorder.Append: %v allocs/op, want 0", allocs)
+	}
+
+	// Pooled stage-attr maps: acquire, fill, release (the per-txn cycle
+	// the tracer performs on eviction).
+	cycle := func() {
+		m := NewAttrs()
+		m["input_updates"] = 1
+		m["delta_size"] = 2
+		attrsPool.Put(m)
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Errorf("attrs pool cycle: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestTraceEvictionReclaimsAttrs pins the reclamation path: a trace
+// evicted from the ring returns its attr maps to the pool, and clones
+// taken before eviction are unaffected (deep-copied).
+func TestTraceEvictionReclaimsAttrs(t *testing.T) {
+	tr := NewTracer(2)
+	a := NewAttrs()
+	a["updates"] = 41
+	tr.Record(1, "core", Stage{Name: "delta", Attrs: a})
+	snap, ok := tr.Get(1)
+	if !ok || snap.Stages[0].Attrs["updates"] != 41 {
+		t.Fatalf("snapshot before eviction: %+v ok=%v", snap, ok)
+	}
+	tr.Record(2, "core", Stage{Name: "delta"})
+	tr.Record(3, "core", Stage{Name: "delta"}) // evicts txn 1, reclaims a
+	if _, ok := tr.Get(1); ok {
+		t.Fatal("txn 1 still retained after eviction")
+	}
+	// Reuse the pooled map for a different txn: the clone must not change.
+	b := NewAttrs()
+	b["updates"] = 99
+	tr.Record(4, "core", Stage{Name: "delta", Attrs: b})
+	if got := snap.Stages[0].Attrs["updates"]; got != 41 {
+		t.Fatalf("pre-eviction clone mutated: updates=%d, want 41", got)
 	}
 }

@@ -31,11 +31,53 @@ type Trace struct {
 	Stages []Stage `json:"stages"`
 }
 
-// clone deep-copies a trace so callers can't race with appends.
+// clone deep-copies a trace so callers can't race with appends. Attrs
+// maps are copied too: the originals may be pooled and reused after the
+// trace is evicted from the ring.
 func (t *Trace) clone() Trace {
 	out := Trace{TxnID: t.TxnID, Source: t.Source, Stages: make([]Stage, len(t.Stages))}
 	copy(out.Stages, t.Stages)
+	for i := range out.Stages {
+		if a := out.Stages[i].Attrs; a != nil {
+			c := make(map[string]int64, len(a))
+			for k, v := range a {
+				c[k] = v
+			}
+			out.Stages[i].Attrs = c
+		}
+	}
 	return out
+}
+
+// attrsPool recycles stage-attribute maps between transactions: the
+// controller records two attr-carrying stages per transaction, which at
+// sustained load is a measurable per-txn allocation.
+var attrsPool = sync.Pool{New: func() any { return make(map[string]int64, 8) }}
+
+// NewAttrs returns an empty stage-attribute map drawn from a shared pool.
+// Attach it to a Stage passed to Tracer.Record and do not retain it: the
+// tracer reclaims the map when the stage's trace is evicted from the
+// ring. Callers that retain attrs must build their own map instead.
+func NewAttrs() map[string]int64 {
+	m := attrsPool.Get().(map[string]int64)
+	clear(m)
+	return m
+}
+
+// tracePool recycles evicted Trace containers (and their stage slices).
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// releaseTrace returns an evicted trace and its attr maps to their pools.
+func releaseTrace(tr *Trace) {
+	for i := range tr.Stages {
+		if tr.Stages[i].Attrs != nil {
+			attrsPool.Put(tr.Stages[i].Attrs)
+		}
+		tr.Stages[i] = Stage{}
+	}
+	tr.Stages = tr.Stages[:0]
+	tr.TxnID, tr.Source = 0, ""
+	tracePool.Put(tr)
 }
 
 // Tracer keeps a bounded in-memory ring of recent transaction traces.
@@ -75,10 +117,14 @@ func (t *Tracer) Record(txnID uint64, source string, st Stage) {
 		if len(t.order) >= t.cap {
 			old := t.order[0]
 			t.order = t.order[1:]
-			delete(t.byID, old)
+			if otr := t.byID[old]; otr != nil {
+				delete(t.byID, old)
+				releaseTrace(otr)
+			}
 			t.evicted++
 		}
-		tr = &Trace{TxnID: txnID}
+		tr = tracePool.Get().(*Trace)
+		tr.TxnID = txnID
 		t.byID[txnID] = tr
 		t.order = append(t.order, txnID)
 	}

@@ -34,6 +34,9 @@ type Database struct {
 	// Maintained eagerly; rebuilt from the table on transaction rollback.
 	idx map[string][]map[string]UUID
 
+	// txnPool recycles per-transaction scratch (see txn).
+	txnPool sync.Pool
+
 	monMu    sync.Mutex
 	monitors map[*Monitor]bool
 
@@ -191,11 +194,65 @@ type rowChange struct {
 	new Row // nil for delete
 }
 
-// txn tracks one in-flight transaction.
+// txn tracks one in-flight transaction. Instances and their interior
+// maps are pooled: commits dominate the management plane's hot path,
+// and the per-transaction bookkeeping (change maps, row-change records,
+// the effective-changes snapshot) otherwise allocates on every commit.
 type txn struct {
 	db      *Database
 	changes map[string]map[UUID]*rowChange
 	named   map[string]UUID // named-uuid → real uuid
+	// eff is effectiveChanges' reusable output map.
+	eff map[string]map[UUID]*rowChange
+	// rcs/rci are a fixed row-change scratch; transactions touching
+	// more rows spill to individual heap allocations. The array is
+	// never reallocated while pointers into it are live.
+	rcs [64]rowChange
+	rci int
+}
+
+// txnPool is per-database (not package-global): retained change-map
+// keys are table names, which are only meaningful against one schema.
+func newTxn(db *Database) *txn {
+	if tx, ok := db.txnPool.Get().(*txn); ok {
+		tx.db = db
+		return tx
+	}
+	return &txn{
+		db:      db,
+		changes: make(map[string]map[UUID]*rowChange),
+		named:   make(map[string]UUID),
+		eff:     make(map[string]map[UUID]*rowChange),
+	}
+}
+
+// release returns the transaction's scratch to the pool. Inner change
+// maps are cleared but retained (keyed by table), so steady-state
+// commits against the same tables stop allocating maps entirely. Safe
+// once no row-change pointers are referenced — i.e. after monitor
+// rendering, which copies what it needs.
+func (tx *txn) release() {
+	db := tx.db
+	tx.db = nil
+	for _, m := range tx.changes {
+		clear(m)
+	}
+	for _, m := range tx.eff {
+		clear(m)
+	}
+	clear(tx.named)
+	tx.rci = 0
+	db.txnPool.Put(tx)
+}
+
+func (tx *txn) newRowChange() *rowChange {
+	if tx.rci < len(tx.rcs) {
+		c := &tx.rcs[tx.rci]
+		tx.rci++
+		*c = rowChange{}
+		return c
+	}
+	return &rowChange{}
 }
 
 func (tx *txn) change(table string, id UUID) *rowChange {
@@ -206,9 +263,11 @@ func (tx *txn) change(table string, id UUID) *rowChange {
 	}
 	c := m[id]
 	if c == nil {
-		c = &rowChange{}
+		c = tx.newRowChange()
 		if cur, ok := tx.db.tables[table][id]; ok {
-			c.old = cur.clone()
+			// Rows are copy-on-write (every writer clones before
+			// modifying), so the before-image can share the stored row.
+			c.old = cur
 		}
 		m[id] = c
 	}
@@ -223,11 +282,7 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 	start := time.Now()
 	db.mu.Lock()
 
-	tx := &txn{
-		db:      db,
-		changes: make(map[string]map[UUID]*rowChange),
-		named:   make(map[string]UUID),
-	}
+	tx := newTxn(db)
 	results := make([]OpResult, 0, len(ops))
 	failed := -1
 	for i, op := range ops {
@@ -242,6 +297,9 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 		// Roll back in-place modifications and rebuild the touched
 		// tables' index maps.
 		for table, rows := range tx.changes {
+			if len(rows) == 0 {
+				continue // retained scratch entry from a pooled reuse
+			}
 			for id, c := range rows {
 				if c.old == nil {
 					delete(db.tables[table], id)
@@ -255,6 +313,7 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 			results = append(results, OpResult{})
 		}
 		db.mu.Unlock()
+		tx.release()
 		db.mTxnErrors.Inc()
 		db.rec.Append(obs.Ev("ovsdb", "txn.abort").
 			F("ops", int64(len(ops))).F("failed_op", int64(failed)))
@@ -264,6 +323,9 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 	if err := tx.resolveNamed(); err != nil {
 		// Treat as a constraint violation on the whole transaction.
 		for table, rows := range tx.changes {
+			if len(rows) == 0 {
+				continue // retained scratch entry from a pooled reuse
+			}
 			for id, c := range rows {
 				if c.old == nil {
 					delete(db.tables[table], id)
@@ -274,6 +336,7 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 			db.rebuildIndexes(table)
 		}
 		db.mu.Unlock()
+		tx.release()
 		db.mTxnErrors.Inc()
 		db.rec.Append(obs.Ev("ovsdb", "txn.abort").F("ops", int64(len(ops))))
 		return []OpResult{{Error: "constraint violation", Details: err.Error()}}
@@ -286,23 +349,26 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 	db.txnSeq++
 	txnID := db.txnSeq
 	commit := time.Now()
-	changes := tx.effectiveChanges()
-	if len(changes) > 0 {
+	changes, changedTables := tx.effectiveChanges()
+	if changedTables > 0 {
 		db.notifyMonitors(txnID, commit, changes)
 	}
 	db.mu.Unlock()
+	// Monitor rendering (above, synchronous) copied everything it
+	// needs, so the transaction scratch can be recycled.
+	tx.release()
 	db.mTxnTotal.Inc()
 	db.mCommitSeconds.ObserveDuration(commit.Sub(start))
 	db.rec.Append(obs.Ev("ovsdb", "txn.commit").WithTxn(txnID).At(commit).
 		F("ops", int64(len(ops))).
-		F("changed_tables", int64(len(changes))).
+		F("changed_tables", int64(changedTables)).
 		F("commit_us", commit.Sub(start).Microseconds()))
 	if db.tracer != nil {
 		db.tracer.Record(txnID, "ovsdb", obs.Stage{
 			Name:  "commit",
 			Start: start,
 			End:   commit,
-			Attrs: map[string]int64{"ops": int64(len(ops)), "changed_tables": int64(len(changes))},
+			Attrs: map[string]int64{"ops": int64(len(ops)), "changed_tables": int64(changedTables)},
 		})
 	}
 	return results
@@ -310,12 +376,18 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 
 // effectiveChanges drops no-op changes (rows restored to their original
 // value within the transaction).
-func (tx *txn) effectiveChanges() map[string]map[UUID]*rowChange {
-	out := make(map[string]map[UUID]*rowChange)
+// The returned map is the transaction's reusable scratch: it may carry
+// entries for previously-touched tables whose inner maps are empty, so
+// callers use the returned count (tables with at least one change)
+// rather than len() of the map.
+func (tx *txn) effectiveChanges() (map[string]map[UUID]*rowChange, int) {
+	out := tx.eff
+	changedTables := 0
 	for table, rows := range tx.changes {
+		n := 0
 		for id, c := range rows {
 			if cur, ok := tx.db.tables[table][id]; ok {
-				c.new = cur.clone()
+				c.new = cur // copy-on-write rows: safe to share
 			} else {
 				c.new = nil
 			}
@@ -331,9 +403,13 @@ func (tx *txn) effectiveChanges() map[string]map[UUID]*rowChange {
 				out[table] = m
 			}
 			m[id] = c
+			n++
+		}
+		if n > 0 {
+			changedTables++
 		}
 	}
-	return out
+	return out, changedTables
 }
 
 func rowsEqual(a, b Row) bool {
@@ -483,10 +559,35 @@ func (db *Database) opInsert(tx *txn, op *Operation) OpResult {
 
 // matchRows returns the UUIDs of rows satisfying all where clauses, sorted
 // for determinism.
-func (db *Database) matchRows(tx *txn, ts *TableSchema, table map[UUID]Row, where [][3]json.RawMessage) ([]UUID, error) {
+func (db *Database) matchRows(tx *txn, name string, ts *TableSchema, table map[UUID]Row, where [][3]json.RawMessage) ([]UUID, error) {
 	conds, err := parseConditions(tx, ts, where)
 	if err != nil {
 		return nil, err
+	}
+	// Fastpath: a lone equality condition on a declared single-column
+	// index resolves through the index map the database already
+	// maintains for uniqueness — O(1) instead of a table scan. Scalar
+	// columns only, so the index key matches the condition value's key
+	// without set/atom normalization.
+	if len(conds) == 1 && conds[0].op == "==" && !conds[0].isUUID {
+		c := &conds[0]
+		if cs := ts.Columns[c.column]; cs != nil && cs.Type.Min == 1 && cs.Type.Max == 1 {
+			if _, isSet := c.value.(*Set); !isSet {
+				for i, cols := range ts.Indexes {
+					if len(cols) != 1 || cols[0] != c.column {
+						continue
+					}
+					id, ok := db.idx[name][i][valueKey(c.value)+"\x00"]
+					if !ok {
+						return nil, nil
+					}
+					if _, live := table[id]; !live {
+						return nil, nil
+					}
+					return []UUID{id}, nil
+				}
+			}
+		}
 	}
 	var out []UUID
 	for id, row := range table {
@@ -514,7 +615,7 @@ func (db *Database) opSelect(op *Operation) OpResult {
 	if err != nil {
 		return OpResult{Error: "unknown table", Details: err.Error()}
 	}
-	ids, err := db.matchRows(nil, ts, table, op.Where)
+	ids, err := db.matchRows(nil, op.Table, ts, table, op.Where)
 	if err != nil {
 		return OpResult{Error: "constraint violation", Details: err.Error()}
 	}
@@ -540,7 +641,7 @@ func (db *Database) opUpdate(tx *txn, op *Operation) OpResult {
 				Details: fmt.Sprintf("column %q is immutable", col)}
 		}
 	}
-	ids, err := db.matchRows(tx, ts, table, op.Where)
+	ids, err := db.matchRows(tx, op.Table, ts, table, op.Where)
 	if err != nil {
 		return OpResult{Error: "constraint violation", Details: err.Error()}
 	}
@@ -563,7 +664,7 @@ func (db *Database) opDelete(tx *txn, op *Operation) OpResult {
 	if err != nil {
 		return OpResult{Error: "unknown table", Details: err.Error()}
 	}
-	ids, err := db.matchRows(tx, ts, table, op.Where)
+	ids, err := db.matchRows(tx, op.Table, ts, table, op.Where)
 	if err != nil {
 		return OpResult{Error: "constraint violation", Details: err.Error()}
 	}
@@ -582,7 +683,7 @@ func (db *Database) opWait(op *Operation) OpResult {
 	if err != nil {
 		return OpResult{Error: "unknown table", Details: err.Error()}
 	}
-	ids, err := db.matchRows(nil, ts, table, op.Where)
+	ids, err := db.matchRows(nil, op.Table, ts, table, op.Where)
 	if err != nil {
 		return OpResult{Error: "constraint violation", Details: err.Error()}
 	}

@@ -196,7 +196,7 @@ func (m *Monitor) run() {
 // projectRow renders the requested columns of a row to JSON form.
 // A nil column list means all columns.
 func projectRow(ts *TableSchema, row Row, columns []string) map[string]any {
-	out := make(map[string]any)
+	out := make(map[string]any, len(row))
 	if columns == nil {
 		for col, v := range row {
 			out[col] = ValueToJSON(v)
@@ -228,6 +228,9 @@ func (db *Database) notifyMonitors(txn uint64, commit time.Time, changes map[str
 func (m *Monitor) render(db *Database, changes map[string]map[UUID]*rowChange) TableUpdates {
 	out := make(TableUpdates)
 	for table, rows := range changes {
+		if len(rows) == 0 {
+			continue // retained scratch entry (see txn.effectiveChanges)
+		}
 		req := m.requests[table]
 		if req == nil {
 			continue

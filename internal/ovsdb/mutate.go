@@ -79,6 +79,30 @@ func resolveValueNamed(tx *txn, v Value) Value {
 }
 
 func decodeRawJSON(raw json.RawMessage) (any, error) {
+	// Scalar fastpaths: conditions and mutations are overwhelmingly
+	// strings, numbers, and booleans, which decode without the
+	// reader+decoder allocations of the general path below.
+	if b := bytes.TrimSpace(raw); len(b) > 0 {
+		switch b[0] {
+		case '"':
+			var s string
+			if err := json.Unmarshal(b, &s); err == nil {
+				return s, nil
+			}
+		case 't':
+			if bytes.Equal(b, []byte("true")) {
+				return true, nil
+			}
+		case 'f':
+			if bytes.Equal(b, []byte("false")) {
+				return false, nil
+			}
+		default:
+			if (b[0] == '-' || b[0] >= '0' && b[0] <= '9') && json.Valid(b) && isJSONNumber(b) {
+				return json.Number(b), nil
+			}
+		}
+	}
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.UseNumber()
 	var v any
@@ -86,6 +110,20 @@ func decodeRawJSON(raw json.RawMessage) (any, error) {
 		return nil, fmt.Errorf("bad JSON value: %w", err)
 	}
 	return v, nil
+}
+
+// isJSONNumber reports whether b consists solely of number characters
+// (combined with json.Valid, this identifies a bare JSON number).
+func isJSONNumber(b []byte) bool {
+	for _, c := range b {
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func (c *condition) matches(id UUID, row Row) (bool, error) {
@@ -193,7 +231,7 @@ func (db *Database) opMutate(tx *txn, op *Operation) OpResult {
 	if err != nil {
 		return OpResult{Error: "unknown table", Details: err.Error()}
 	}
-	ids, err := db.matchRows(tx, ts, table, op.Where)
+	ids, err := db.matchRows(tx, op.Table, ts, table, op.Where)
 	if err != nil {
 		return OpResult{Error: "constraint violation", Details: err.Error()}
 	}

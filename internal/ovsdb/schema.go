@@ -241,9 +241,18 @@ func validBase(s string) bool {
 }
 
 // DefaultValue returns the value a column takes when an insert omits it.
+// Shared empty-collection defaults. Values are copy-on-write everywhere
+// (mutateValue and the update path build fresh collections instead of
+// modifying in place), so every defaulted column can reference the same
+// empty set or map.
+var (
+	defaultEmptySet = NewSet()
+	defaultEmptyMap = NewMap()
+)
+
 func (ct *ColumnType) DefaultValue() Value {
 	if ct.IsMap() {
-		return NewMap()
+		return defaultEmptyMap
 	}
 	if ct.IsScalar() {
 		switch ct.Key.Type {
@@ -259,7 +268,7 @@ func (ct *ColumnType) DefaultValue() Value {
 			return ZeroUUID
 		}
 	}
-	return NewSet()
+	return defaultEmptySet
 }
 
 // CheckValue validates a value against the column type, including

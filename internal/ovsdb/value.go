@@ -24,7 +24,22 @@ func NewUUID() UUID {
 	}
 	b[6] = b[6]&0x0f | 0x40
 	b[8] = b[8]&0x3f | 0x80
-	return UUID(fmt.Sprintf("%x-%x-%x-%x-%x", b[0:4], b[4:6], b[6:8], b[8:10], b[10:16]))
+	// Hand-rolled hex: this sits on the insert hot path, where
+	// fmt.Sprintf costs several allocations per ID.
+	const hexdigits = "0123456789abcdef"
+	var out [36]byte
+	j := 0
+	for i, v := range b {
+		switch i {
+		case 4, 6, 8, 10:
+			out[j] = '-'
+			j++
+		}
+		out[j] = hexdigits[v>>4]
+		out[j+1] = hexdigits[v&0x0f]
+		j += 2
+	}
+	return UUID(out[:])
 }
 
 // ZeroUUID is the all-zero UUID used as the default for uuid columns.
@@ -172,12 +187,21 @@ func atomToJSON(a Atom) any {
 	}
 }
 
+// emptySetJSON is the shared JSON form of the empty set. JSON-form
+// values are read-only by convention (they are either marshaled to the
+// wire or converted back into Values), so one instance serves every
+// defaulted column.
+var emptySetJSON = []any{"set", []any{}}
+
 // ValueToJSON converts a Value to its RFC 7047 JSON form.
 func ValueToJSON(v Value) any {
 	switch v := v.(type) {
 	case *Set:
 		if len(v.Atoms) == 1 {
 			return atomToJSON(v.Atoms[0])
+		}
+		if len(v.Atoms) == 0 {
+			return emptySetJSON
 		}
 		elems := make([]any, len(v.Atoms))
 		for i, a := range v.Atoms {
@@ -272,6 +296,9 @@ func ValueFromJSON(raw any, ct *ColumnType) (Value, error) {
 			}
 			switch tag {
 			case "set":
+				if len(elems) == 0 {
+					return defaultEmptySet, nil // shared: values are copy-on-write
+				}
 				atoms := make([]Atom, 0, len(elems))
 				for _, e := range elems {
 					a, err := atomFromJSON(e, ct.Key.Type)

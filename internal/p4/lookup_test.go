@@ -1,0 +1,274 @@
+package p4
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// lookupProgram builds a one-table program whose key layout mixes every
+// non-exact match kind, for exercising the tuple-space index.
+func lookupProgram(keys []TableKey) *Program {
+	return &Program{
+		Name: "lookup_bench",
+		Headers: []*HeaderType{
+			{Name: "h", Fields: []HeaderField{
+				{Name: "f32", Bits: 32}, {Name: "f16", Bits: 16},
+				{Name: "f8", Bits: 8}, {Name: "f8b", Bits: 8},
+			}},
+		},
+		Parser:  []*ParserState{{Name: "start", Extract: "h", Next: "accept"}},
+		Actions: []*Action{{Name: "nop", Body: nil}},
+		Tables: []*Table{
+			{Name: "t", Keys: keys, Actions: []string{"nop"}},
+		},
+		Ingress:  &Control{Name: "ingress", Apply: []ControlStmt{&ApplyTable{Table: "t"}}},
+		Deparser: []string{"h"},
+	}
+}
+
+func mustRuntime(t testing.TB, p *Program) *Runtime {
+	t.Helper()
+	rt, err := NewRuntime(p)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	return rt
+}
+
+// randomEntry draws one entry consistent with the key layout. Small value
+// domains and few priorities force collisions, tie-breaks, and overlapping
+// masks.
+func randomEntry(rng *rand.Rand, keys []TableKey) Entry {
+	e := Entry{Action: "nop", Priority: rng.Intn(4)}
+	for _, k := range keys {
+		var m FieldMatch
+		switch k.Match {
+		case MatchExact:
+			m.Value = rng.Uint64() & maskBits(k.Bits) & 0xf
+		case MatchLPM:
+			m.PrefixLen = rng.Intn(k.Bits + 1)
+			m.Value = rng.Uint64() & maskBits(k.Bits)
+		case MatchTernary:
+			m.Mask = rng.Uint64() & maskBits(k.Bits)
+			if rng.Intn(4) == 0 {
+				m.Mask = 0xff00 & maskBits(k.Bits) // recurring mask class
+			}
+			m.Value = rng.Uint64() & maskBits(k.Bits)
+		case MatchOptional:
+			m.Wildcard = rng.Intn(2) == 0
+			m.Value = rng.Uint64() & maskBits(k.Bits) & 0x7
+		}
+		e.Matches = append(e.Matches, m)
+	}
+	return e
+}
+
+// TestLookupMatchesLinearScan is the naive-equivalence property test: over
+// randomized table states (random inserts, deletes, and replacements), the
+// tuple-space lookup must agree with the reference linear scan — same
+// hit/miss outcome, and on hits the same (priority, total LPM prefix)
+// rank, with the returned entry actually matching the probed values. Exact
+// entry identity is not compared because the linear scan's tie-break among
+// equally-ranked entries is map-iteration-order dependent.
+func TestLookupMatchesLinearScan(t *testing.T) {
+	layouts := [][]TableKey{
+		{{Ref: FieldRef{"h", "f32"}, Match: MatchLPM, Bits: 32}},
+		{{Ref: FieldRef{"h", "f16"}, Match: MatchTernary, Bits: 16},
+			{Ref: FieldRef{"h", "f8"}, Match: MatchOptional, Bits: 8}},
+		{{Ref: FieldRef{"h", "f8b"}, Match: MatchExact, Bits: 8},
+			{Ref: FieldRef{"h", "f16"}, Match: MatchLPM, Bits: 16},
+			{Ref: FieldRef{"h", "f8"}, Match: MatchTernary, Bits: 8}},
+	}
+	for li, keys := range layouts {
+		keys := keys
+		t.Run(fmt.Sprintf("layout%d", li), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + li)))
+			rt := mustRuntime(t, lookupProgram(keys))
+			ts := rt.tables["t"]
+			var installed []Entry
+			for step := 0; step < 2000; step++ {
+				switch {
+				case len(installed) == 0 || rng.Intn(3) != 0:
+					e := randomEntry(rng, keys)
+					if err := rt.InsertEntry("t", e); err != nil {
+						t.Fatalf("InsertEntry: %v", err)
+					}
+					// Inserting identical matches replaces: keep at most one
+					// installed record per entry key.
+					k := entryKey(e.Matches)
+					kept := installed[:0]
+					for _, old := range installed {
+						if entryKey(old.Matches) != k {
+							kept = append(kept, old)
+						}
+					}
+					installed = append(kept, e)
+				default:
+					i := rng.Intn(len(installed))
+					if err := rt.DeleteEntry("t", installed[i].Matches); err != nil {
+						t.Fatalf("DeleteEntry: %v", err)
+					}
+					installed[i] = installed[len(installed)-1]
+					installed = installed[:len(installed)-1]
+				}
+				// Probe with a mix of fresh random values and values taken
+				// from installed entries (guaranteed-hit bias).
+				for probe := 0; probe < 4; probe++ {
+					vals := make([]uint64, len(keys))
+					if probe%2 == 0 && len(installed) > 0 {
+						src := installed[rng.Intn(len(installed))]
+						for i := range vals {
+							vals[i] = src.Matches[i].Value
+						}
+					} else {
+						for i, k := range keys {
+							vals[i] = rng.Uint64() & maskBits(k.Bits)
+						}
+					}
+					got := ts.lookup(vals)
+					want := ts.lookupLinear(vals)
+					if (got == nil) != (want == nil) {
+						t.Fatalf("step %d vals %x: lookup=%+v linear=%+v", step, vals, got, want)
+					}
+					if got == nil {
+						continue
+					}
+					if !ts.matches(got, vals) {
+						t.Fatalf("step %d vals %x: lookup returned non-matching entry %+v", step, vals, got)
+					}
+					if got.Priority != want.Priority || ts.totalPrefix(got) != ts.totalPrefix(want) {
+						t.Fatalf("step %d vals %x: rank mismatch: lookup (pri=%d,prefix=%d) linear (pri=%d,prefix=%d)",
+							step, vals, got.Priority, ts.totalPrefix(got), want.Priority, ts.totalPrefix(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLookupDeleteRecomputesGroupPriority pins the maxPriority-recompute
+// path: deleting the highest-priority entry of a group must let a
+// lower-priority group win again.
+func TestLookupDeleteRecomputesGroupPriority(t *testing.T) {
+	keys := []TableKey{{Ref: FieldRef{"h", "f16"}, Match: MatchTernary, Bits: 16}}
+	rt := mustRuntime(t, lookupProgram(keys))
+	ts := rt.tables["t"]
+	hi := Entry{Matches: []FieldMatch{{Value: 0x1200, Mask: 0xff00}}, Priority: 10, Action: "nop"}
+	lo := Entry{Matches: []FieldMatch{{Value: 0x0012, Mask: 0x00ff}}, Priority: 5, Action: "nop"}
+	if err := rt.InsertEntry("t", hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InsertEntry("t", lo); err != nil {
+		t.Fatal(err)
+	}
+	if e := ts.lookup([]uint64{0x1212}); e == nil || e.Priority != 10 {
+		t.Fatalf("want hi-priority entry, got %+v", e)
+	}
+	if err := rt.DeleteEntry("t", hi.Matches); err != nil {
+		t.Fatal(err)
+	}
+	if e := ts.lookup([]uint64{0x1212}); e == nil || e.Priority != 5 {
+		t.Fatalf("after delete want lo-priority entry, got %+v", e)
+	}
+}
+
+// benchTable installs n entries into a fresh runtime and returns the table
+// state plus probe values drawn from the installed population.
+func benchTable(b *testing.B, keys []TableKey, n int, gen func(rng *rand.Rand, i int) Entry) (*tableState, [][]uint64) {
+	b.Helper()
+	rt := mustRuntime(b, lookupProgram(keys))
+	rng := rand.New(rand.NewSource(7))
+	probes := make([][]uint64, 0, n)
+	for i := 0; rt.EntryCount("t") < n; i++ {
+		e := gen(rng, i)
+		if err := rt.InsertEntry("t", e); err != nil {
+			b.Fatalf("InsertEntry: %v", err)
+		}
+		vals := make([]uint64, len(keys))
+		for j := range vals {
+			vals[j] = e.Matches[j].Value
+		}
+		probes = append(probes, vals)
+	}
+	return rt.tables["t"], probes
+}
+
+// BenchmarkLPMLookup measures longest-prefix lookup cost at 100/1k/10k
+// routes. Tuple-space search bounds the cost by the number of distinct
+// prefix lengths (≤25 here), so ns/op should stay flat as the table grows.
+func BenchmarkLPMLookup(b *testing.B) {
+	keys := []TableKey{{Ref: FieldRef{"h", "f32"}, Match: MatchLPM, Bits: 32}}
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ts, probes := benchTable(b, keys, n, func(rng *rand.Rand, i int) Entry {
+				plen := 8 + rng.Intn(25)
+				return Entry{
+					Matches: []FieldMatch{{Value: rng.Uint64() & maskBits(32), PrefixLen: plen}},
+					Action:  "nop",
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ts.lookup(probes[i%len(probes)]) == nil {
+					b.Fatal("expected hit")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTernaryLookup measures ternary+optional lookup at 100/1k/10k
+// entries across a bounded set of mask classes (the realistic ACL shape:
+// many rules, few distinct masks).
+func BenchmarkTernaryLookup(b *testing.B) {
+	keys := []TableKey{
+		{Ref: FieldRef{"h", "f32"}, Match: MatchTernary, Bits: 32},
+		{Ref: FieldRef{"h", "f8"}, Match: MatchOptional, Bits: 8},
+	}
+	maskClasses := []uint64{0xffffffff, 0xffffff00, 0xffff0000, 0xff000000, 0xfffff000, 0xffffffc0, 0xfff00000, 0xffffcc00}
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ts, probes := benchTable(b, keys, n, func(rng *rand.Rand, i int) Entry {
+				return Entry{
+					Matches: []FieldMatch{
+						{Value: rng.Uint64() & maskBits(32), Mask: maskClasses[rng.Intn(len(maskClasses))]},
+						{Value: uint64(rng.Intn(256)), Wildcard: rng.Intn(2) == 0},
+					},
+					Priority: rng.Intn(8),
+					Action:   "nop",
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ts.lookup(probes[i%len(probes)])
+			}
+		})
+	}
+}
+
+// BenchmarkLinearLookupBaseline is the pre-index reference scan at the
+// same sizes, for before/after comparison in EXPERIMENTS.md.
+func BenchmarkLinearLookupBaseline(b *testing.B) {
+	keys := []TableKey{{Ref: FieldRef{"h", "f32"}, Match: MatchLPM, Bits: 32}}
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ts, probes := benchTable(b, keys, n, func(rng *rand.Rand, i int) Entry {
+				plen := 8 + rng.Intn(25)
+				return Entry{
+					Matches: []FieldMatch{{Value: rng.Uint64() & maskBits(32), PrefixLen: plen}},
+					Action:  "nop",
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ts.lookupLinear(probes[i%len(probes)]) == nil {
+					b.Fatal("expected hit")
+				}
+			}
+		})
+	}
+}

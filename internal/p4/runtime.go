@@ -49,6 +49,19 @@ func entryKey(matches []FieldMatch) string {
 	return string(buf)
 }
 
+// maskGroup is one tuple-space class: every entry whose matches reduce to
+// the same effective-mask vector lives in one group, indexed by the masked
+// key-field values. Entries sharing a slot match exactly the same packets,
+// so slots keep entries sorted by descending priority and only the head is
+// ever a lookup candidate.
+type maskGroup struct {
+	sig         string   // encoded mask vector (group identity)
+	masks       []uint64 // effective mask per key field
+	totalPrefix int      // summed LPM prefix bits (tie-break rank)
+	maxPriority int      // max entry priority across the group
+	byKey       map[string][]*Entry
+}
+
 // tableState holds installed entries for one table.
 type tableState struct {
 	table *Table
@@ -56,7 +69,13 @@ type tableState struct {
 	exactIdx map[string]*Entry
 	allExact bool
 	entries  map[string]*Entry
-	defact   ActionCall
+	// groups/ordered implement tuple-space search for tables with
+	// lpm/ternary/optional keys: one hash probe per distinct mask vector
+	// instead of a scan over all entries. ordered is sorted by
+	// (maxPriority desc, totalPrefix desc) so lookups can stop early.
+	groups  map[string]*maskGroup
+	ordered []*maskGroup
+	defact  ActionCall
 	// hits/misses are atomic: lookups run under the runtime's read lock.
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -74,8 +93,161 @@ func newTableState(t *Table) *tableState {
 		allExact: allExact,
 		exactIdx: make(map[string]*Entry),
 		entries:  make(map[string]*Entry),
+		groups:   make(map[string]*maskGroup),
 		defact:   t.DefaultAction,
 	}
+}
+
+// effectiveMasks reduces an entry's matches to the per-field bit masks a
+// packet value is compared under. The masks reproduce the per-kind
+// semantics of matches() exactly: exact and concrete-optional compare the
+// full value, lpm compares the bits at and above the prefix shift (with a
+// zero-length prefix matching everything), ternary compares under the
+// entry's mask verbatim, and wildcard-optional compares nothing.
+func (ts *tableState) effectiveMasks(e *Entry, masks []uint64) []uint64 {
+	for i, k := range ts.table.Keys {
+		m := e.Matches[i]
+		switch k.Match {
+		case MatchLPM:
+			if m.PrefixLen == 0 {
+				masks = append(masks, 0)
+			} else {
+				masks = append(masks, ^uint64(0)<<uint(k.Bits-m.PrefixLen))
+			}
+		case MatchTernary:
+			masks = append(masks, m.Mask)
+		case MatchOptional:
+			if m.Wildcard {
+				masks = append(masks, 0)
+			} else {
+				masks = append(masks, ^uint64(0))
+			}
+		default: // exact
+			masks = append(masks, ^uint64(0))
+		}
+	}
+	return masks
+}
+
+// appendMaskedKey encodes vals&masks into buf, the group's slot key.
+func appendMaskedKey(buf []byte, vals, masks []uint64) []byte {
+	for i, v := range vals {
+		v &= masks[i]
+		for s := 56; s >= 0; s -= 8 {
+			buf = append(buf, byte(v>>uint(s)))
+		}
+	}
+	return buf
+}
+
+// groupInsert adds e to its tuple-space group, creating the group on
+// first use, and keeps ordered sorted. Caller holds the write lock.
+func (ts *tableState) groupInsert(e *Entry) {
+	var mbuf [16]uint64
+	masks := ts.effectiveMasks(e, mbuf[:0])
+	var kbuf [128]byte
+	sig := appendMaskedKey(kbuf[:0], masks, allOnes(len(masks)))
+	g := ts.groups[string(sig)]
+	if g == nil {
+		g = &maskGroup{
+			sig:         string(sig),
+			masks:       append([]uint64(nil), masks...),
+			totalPrefix: ts.totalPrefix(e),
+			maxPriority: e.Priority,
+			byKey:       make(map[string][]*Entry),
+		}
+		ts.groups[g.sig] = g
+		ts.ordered = append(ts.ordered, g)
+	} else if e.Priority > g.maxPriority {
+		g.maxPriority = e.Priority
+	}
+	vals := make([]uint64, len(e.Matches))
+	for i, m := range e.Matches {
+		vals[i] = m.Value
+	}
+	key := string(appendMaskedKey(kbuf[:0], vals, g.masks))
+	slot := append(g.byKey[key], e)
+	sort.SliceStable(slot, func(i, j int) bool { return slot[i].Priority > slot[j].Priority })
+	g.byKey[key] = slot
+	ts.sortGroups()
+}
+
+// groupDelete removes the entry (by pointer identity) from its group,
+// dropping the group when it empties. Caller holds the write lock.
+func (ts *tableState) groupDelete(e *Entry) {
+	var mbuf [16]uint64
+	masks := ts.effectiveMasks(e, mbuf[:0])
+	var kbuf [128]byte
+	sig := appendMaskedKey(kbuf[:0], masks, allOnes(len(masks)))
+	g := ts.groups[string(sig)]
+	if g == nil {
+		return
+	}
+	vals := make([]uint64, len(e.Matches))
+	for i, m := range e.Matches {
+		vals[i] = m.Value
+	}
+	key := string(appendMaskedKey(kbuf[:0], vals, g.masks))
+	slot := g.byKey[key]
+	for i, se := range slot {
+		if se == e {
+			slot = append(slot[:i], slot[i+1:]...)
+			break
+		}
+	}
+	if len(slot) == 0 {
+		delete(g.byKey, key)
+	} else {
+		g.byKey[key] = slot
+	}
+	if len(g.byKey) == 0 {
+		delete(ts.groups, g.sig)
+		for i, og := range ts.ordered {
+			if og == g {
+				ts.ordered = append(ts.ordered[:i], ts.ordered[i+1:]...)
+				break
+			}
+		}
+	} else if e.Priority == g.maxPriority {
+		g.maxPriority = 0
+		first := true
+		for _, s := range g.byKey {
+			if first || s[0].Priority > g.maxPriority {
+				g.maxPriority = s[0].Priority
+				first = false
+			}
+		}
+	}
+	ts.sortGroups()
+}
+
+func (ts *tableState) sortGroups() {
+	sort.SliceStable(ts.ordered, func(i, j int) bool {
+		a, b := ts.ordered[i], ts.ordered[j]
+		if a.maxPriority != b.maxPriority {
+			return a.maxPriority > b.maxPriority
+		}
+		return a.totalPrefix > b.totalPrefix
+	})
+}
+
+var onesBuf = func() []uint64 {
+	b := make([]uint64, 16)
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	return b
+}()
+
+func allOnes(n int) []uint64 {
+	if n <= len(onesBuf) {
+		return onesBuf[:n]
+	}
+	b := make([]uint64, n)
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	return b
 }
 
 func exactKey(matches []FieldMatch) string {
@@ -99,7 +271,47 @@ func exactKeyVals(vals []uint64) string {
 }
 
 // lookup finds the best matching entry for the key field values.
+//
+// Tables with lpm/ternary/optional keys use tuple-space search (the Open
+// vSwitch classifier idiom): one exact-hash probe per distinct mask
+// vector, walking groups in (maxPriority, totalPrefix) order so the scan
+// stops as soon as no remaining group can beat the current best. Cost is
+// O(#mask vectors), not O(#entries) — a 10k-route LPM table with 24
+// distinct prefix lengths costs at most 24 probes.
 func (ts *tableState) lookup(vals []uint64) *Entry {
+	if ts.allExact {
+		return ts.exactIdx[exactKeyVals(vals)]
+	}
+	var best *Entry
+	bestPrefix := -1
+	var kbuf [128]byte
+	for _, g := range ts.ordered {
+		if best != nil {
+			if g.maxPriority < best.Priority ||
+				g.maxPriority == best.Priority && g.totalPrefix <= bestPrefix {
+				break
+			}
+		}
+		key := appendMaskedKey(kbuf[:0], vals, g.masks)
+		slot := g.byKey[string(key)]
+		if len(slot) == 0 {
+			continue
+		}
+		// Entries in one slot match identical packets; the head has the
+		// highest priority among them.
+		e := slot[0]
+		if best == nil || e.Priority > best.Priority ||
+			e.Priority == best.Priority && g.totalPrefix > bestPrefix {
+			best = e
+			bestPrefix = g.totalPrefix
+		}
+	}
+	return best
+}
+
+// lookupLinear is the reference O(entries) scan, kept for the
+// naive-equivalence property test.
+func (ts *tableState) lookupLinear(vals []uint64) *Entry {
 	if ts.allExact {
 		return ts.exactIdx[exactKeyVals(vals)]
 	}
@@ -242,9 +454,14 @@ func (rt *Runtime) InsertEntry(table string, e Entry) error {
 		return err
 	}
 	key := entryKey(e.Matches)
+	if old := ts.entries[key]; old != nil && !ts.allExact {
+		ts.groupDelete(old)
+	}
 	ts.entries[key] = &e
 	if ts.allExact {
 		ts.exactIdx[exactKey(e.Matches)] = &e
+	} else {
+		ts.groupInsert(&e)
 	}
 	return nil
 }
@@ -258,12 +475,15 @@ func (rt *Runtime) DeleteEntry(table string, matches []FieldMatch) error {
 		return fmt.Errorf("p4: unknown table %q", table)
 	}
 	key := entryKey(matches)
-	if _, ok := ts.entries[key]; !ok {
+	old, ok := ts.entries[key]
+	if !ok {
 		return fmt.Errorf("p4: table %q: no such entry", table)
 	}
 	delete(ts.entries, key)
 	if ts.allExact {
 		delete(ts.exactIdx, exactKey(matches))
+	} else {
+		ts.groupDelete(old)
 	}
 	return nil
 }
