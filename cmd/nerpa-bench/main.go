@@ -34,7 +34,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, reconnect, throughput, all")
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, reconnect, throughput, recovery, all")
 	n := flag.Int("n", 2000, "ports for -exp ports")
 	vips := flag.Int("vips", 50, "load balancers for -exp lb")
 	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
@@ -52,6 +52,9 @@ func main() {
 	tpWorkers := flag.Int("throughput-workers", 16, "concurrent OVSDB clients for -exp throughput")
 	tpTxns := flag.Int("throughput-txns", 2000, "measured transactions per worker for -exp throughput")
 	tpOut := flag.String("throughput-out", "BENCH_throughput.json", "machine-readable output for -exp throughput")
+	recoveryTxns := flag.Int("recovery-txns", 4000, "WAL commits for -exp recovery cold-restart measurement")
+	recoveryGap := flag.Int("recovery-gap", 50, "commits missed during the outage for -exp recovery")
+	recoveryOut := flag.String("recovery-out", "BENCH_recovery.json", "machine-readable output for -exp recovery")
 	flag.Parse()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -181,6 +184,23 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *tpOut)
+			return res, nil
+		})
+	}
+	if want("recovery") {
+		run("recovery", func() (fmt.Stringer, error) {
+			res, err := bench.RunRecovery(*recoveryTxns, *recoveryGap)
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*recoveryOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *recoveryOut)
 			return res, nil
 		})
 	}

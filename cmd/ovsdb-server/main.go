@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/ovsdb"
+	"repro/internal/ovsdb/wal"
 	"repro/internal/snvs"
 )
 
@@ -33,6 +34,9 @@ func main() {
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
 	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
 	keepalive := flag.Duration("keepalive", 0, "echo-heartbeat interval on accepted connections; 3 misses fail one (0 = off)")
+	walDir := flag.String("wal-dir", "", "write-ahead-log directory: commits become durable and state survives restarts (empty = memory-only)")
+	walFsync := flag.String("wal-fsync", wal.FsyncCommit, "WAL durability policy: commit (group fsync per commit batch) or off (OS-buffered)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "WAL records between snapshot compactions (0 = default 8192, negative = never)")
 	flag.Parse()
 
 	var schema *ovsdb.DatabaseSchema
@@ -72,6 +76,29 @@ func main() {
 		log.Printf("ovsdb-server: observability on http://%s/metrics", *obsAddr)
 	}
 
+	// Open the WAL after the observer exists so recovery and appends are
+	// instrumented. Recovery replays the snapshot plus the log tail into
+	// the empty database and seeds its txn counter before serving starts.
+	var walLog *wal.Log
+	if *walDir != "" {
+		l, recovered, werr := wal.Open(wal.Options{
+			Dir:           *walDir,
+			Fsync:         *walFsync,
+			SnapshotEvery: *snapshotEvery,
+			Obs:           observer,
+		})
+		if werr != nil {
+			log.Fatalf("opening wal: %v", werr)
+		}
+		if rerr := db.Restore(recovered); rerr != nil {
+			log.Fatalf("restoring from wal: %v", rerr)
+		}
+		db.AttachWAL(l)
+		walLog = l
+		log.Printf("ovsdb-server: wal %s recovered to txn %d (%d tail records)",
+			*walDir, recovered.LastTxn, len(recovered.Tail))
+	}
+
 	srv := ovsdb.NewServer(db)
 	if *keepalive > 0 {
 		srv.SetKeepalive(*keepalive, 3)
@@ -89,6 +116,11 @@ func main() {
 	log.Printf("ovsdb-server: serving database %q on %s", schema.Name, *addr)
 	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("serve: %v", err)
+	}
+	if walLog != nil {
+		if err := walLog.Close(); err != nil {
+			log.Printf("ovsdb-server: wal close: %v", err)
+		}
 	}
 	log.Printf("ovsdb-server: stopped")
 }

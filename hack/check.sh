@@ -50,3 +50,26 @@ PYEOF
 # Coalescing under race: merged monitor deliveries must stay
 # data-race-free and preserve per-txn attribution.
 go test -race -run 'TestCoalesc' -count=1 ./internal/core/
+# Durability: the SIGKILL crash-recovery e2e must reconverge under the
+# race detector, and the WAL append/recover paths get a dedicated -race
+# smoke (group commit is the concurrency hot spot).
+go test -race -run 'TestWALCrashRecoveryEndToEnd' -count=1 .
+go test -race -run 'TestLog|TestWAL' -count=1 ./internal/ovsdb/wal/ ./internal/ovsdb/
+# Recovery bench gate: the experiment must emit its report, gap replay
+# must ship fewer rows than the full-snapshot fallback, and cold
+# recovery must not regress more than 2.5x against the committed
+# baseline (read before the run overwrites the file).
+rec_baseline=$(python3 -c "import json; print(json.load(open('BENCH_recovery.json'))['cold_recovery_ns'])" 2>/dev/null || echo 0)
+go run ./cmd/nerpa-bench -exp recovery -recovery-txns 2000 -recovery-out BENCH_recovery.json
+test -s BENCH_recovery.json
+python3 - "$rec_baseline" <<'PYEOF'
+import json, sys
+base = float(sys.argv[1])
+r = json.load(open("BENCH_recovery.json"))
+cold = float(r["cold_recovery_ns"])
+print(f"cold recovery: {cold/1e6:.1f} ms for {r['txns']} txns (baseline {base/1e6:.1f} ms)")
+if r["gap_rows_delivered"] >= r["full_snapshot_rows"]:
+    sys.exit(f"gap replay shipped {r['gap_rows_delivered']} rows, not fewer than the {r['full_snapshot_rows']}-row snapshot")
+if base > 0 and cold > base * 2.5:
+    sys.exit(f"cold recovery regression: {cold/1e6:.1f} ms is >2.5x baseline {base/1e6:.1f} ms")
+PYEOF

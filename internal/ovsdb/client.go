@@ -19,6 +19,17 @@ type Client struct {
 
 	mu       sync.Mutex
 	monitors map[string]func(uint64, TableUpdates)
+	// updates queues decoded update notifications for the delivery
+	// goroutine (see deliverUpdates); upWake signals a non-empty queue.
+	updates []clientUpdate
+	upWake  chan struct{}
+}
+
+// clientUpdate is one decoded update notification awaiting delivery.
+type clientUpdate struct {
+	monID string
+	txn   uint64
+	tu    TableUpdates
 }
 
 // Dial connects to an OVSDB server over TCP.
@@ -32,8 +43,12 @@ func Dial(addr string) (*Client, error) {
 
 // NewClient wraps an established byte stream.
 func NewClient(rwc io.ReadWriteCloser) *Client {
-	c := &Client{monitors: make(map[string]func(uint64, TableUpdates))}
+	c := &Client{
+		monitors: make(map[string]func(uint64, TableUpdates)),
+		upWake:   make(chan struct{}, 1),
+	}
 	c.conn = jsonrpc.NewConn(rwc, jsonrpc.HandlerFunc(c.handle))
+	go c.deliverUpdates()
 	return c
 }
 
@@ -70,15 +85,58 @@ func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) 
 		if len(raw) >= 3 {
 			_ = json.Unmarshal(raw[2], &txn)
 		}
+		// Queue for the delivery goroutine rather than calling the
+		// callback here: handlers run on the connection's read loop, so
+		// a callback that blocked on (or issued) an RPC on this same
+		// connection would deadlock against its own reply.
 		c.mu.Lock()
-		cb := c.monitors[monID]
+		c.updates = append(c.updates, clientUpdate{monID: monID, txn: txn, tu: tu})
 		c.mu.Unlock()
-		if cb != nil {
-			cb(txn, tu)
+		select {
+		case c.upWake <- struct{}{}:
+		default:
 		}
 		return nil, nil
 	default:
 		return nil, &jsonrpc.RPCError{Code: "unknown method", Details: method}
+	}
+}
+
+// deliverUpdates forwards queued update notifications to their monitor
+// callbacks in arrival (= commit) order, off the read loop. The
+// resilient client's gap-replay resync relies on this: it holds its
+// delivery lock while awaiting the monitor RPC reply, and an early live
+// update must park here — not on the read loop — for the reply to be
+// read at all.
+func (c *Client) deliverUpdates() {
+	for {
+		c.mu.Lock()
+		batch := c.updates
+		c.updates = nil
+		c.mu.Unlock()
+		if len(batch) == 0 {
+			select {
+			case <-c.upWake:
+				continue
+			case <-c.conn.Done():
+				// Final drain of anything queued before the connection died.
+				c.mu.Lock()
+				batch = c.updates
+				c.updates = nil
+				c.mu.Unlock()
+				if len(batch) == 0 {
+					return
+				}
+			}
+		}
+		for i := range batch {
+			c.mu.Lock()
+			cb := c.monitors[batch[i].monID]
+			c.mu.Unlock()
+			if cb != nil {
+				cb(batch[i].txn, batch[i].tu)
+			}
+		}
 	}
 }
 
@@ -222,6 +280,59 @@ func (c *Client) MonitorTxn(db string, id any, requests map[string]*MonitorReque
 		return nil, fmt.Errorf("ovsdb: bad initial monitor reply: %w", err)
 	}
 	return initial, nil
+}
+
+// MonitorSince is MonitorTxn with a transaction cursor (this repo's
+// durability extension). since is the last transaction the caller has
+// seen, NoCursor for none. When the server still retains every commit
+// after since, found is true and gap carries them as per-transaction
+// deltas; otherwise found is false and initial is a full snapshot.
+// Either way lastTxn is the caller's new cursor. Live updates beyond
+// lastTxn are delivered to cb as usual.
+func (c *Client) MonitorSince(db string, id any, requests map[string]*MonitorRequest, since uint64, cb func(uint64, TableUpdates)) (found bool, lastTxn uint64, initial TableUpdates, gap []GapUpdate, err error) {
+	idRaw, err := json.Marshal(id)
+	if err != nil {
+		return false, 0, nil, nil, err
+	}
+	monID := canonicalJSON(idRaw)
+	c.mu.Lock()
+	if _, dup := c.monitors[monID]; dup {
+		c.mu.Unlock()
+		return false, 0, nil, nil, fmt.Errorf("ovsdb: duplicate monitor id %s", monID)
+	}
+	c.monitors[monID] = cb
+	c.mu.Unlock()
+	// Every error path must unregister the callback (see MonitorTxn).
+	fail := func(err error) (bool, uint64, TableUpdates, []GapUpdate, error) {
+		c.mu.Lock()
+		delete(c.monitors, monID)
+		c.mu.Unlock()
+		return false, 0, nil, nil, err
+	}
+	var raw []json.RawMessage
+	if err := c.conn.Call("monitor", []any{db, id, requests, since}, &raw); err != nil {
+		return fail(err)
+	}
+	if len(raw) != 3 {
+		return fail(fmt.Errorf("ovsdb: bad cursor monitor reply: %d elements", len(raw)))
+	}
+	if err := json.Unmarshal(raw[0], &found); err != nil {
+		return fail(fmt.Errorf("ovsdb: bad cursor monitor reply: %w", err))
+	}
+	if err := json.Unmarshal(raw[1], &lastTxn); err != nil {
+		return fail(fmt.Errorf("ovsdb: bad cursor monitor reply: %w", err))
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw[2]))
+	dec.UseNumber()
+	if found {
+		gap = []GapUpdate{}
+		if err := dec.Decode(&gap); err != nil {
+			return fail(fmt.Errorf("ovsdb: bad monitor gap reply: %w", err))
+		}
+	} else if err := dec.Decode(&initial); err != nil {
+		return fail(fmt.Errorf("ovsdb: bad initial monitor reply: %w", err))
+	}
+	return found, lastTxn, initial, gap, nil
 }
 
 // MonitorCancel cancels a previously registered monitor.

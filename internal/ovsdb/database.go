@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/ovsdb/wal"
 )
 
 // Row is one table row: column name → value. The _uuid pseudo-column is
@@ -41,8 +42,25 @@ type Database struct {
 	monitors map[*Monitor]bool
 
 	// txnSeq mints transaction IDs under db.mu, so IDs are monotonic in
-	// commit order. ID 0 is reserved for "no transaction".
+	// commit order. ID 0 is reserved for "no transaction". Restore seeds
+	// it from the recovered log so IDs stay monotonic across restarts.
 	txnSeq uint64
+
+	// Durability (see persist.go). wal is nil for a memory-only
+	// database; walDead latches the first WAL failure (the database
+	// keeps serving but reports itself degraded).
+	wal     *wal.Log
+	walDead bool
+
+	// Gap-replay window for monitor cursor resumption: a ring of the
+	// last winCap change-commits plus the floor below which history has
+	// been dropped. freeBufs recycles evicted entries' change buffers.
+	win      []gapEntry
+	winHead  int
+	winCount int
+	winCap   int
+	winFloor uint64
+	freeBufs [][]changeRef
 
 	// Observability (all nil-safe; zero overhead when unset).
 	obs            *obs.Observer
@@ -53,6 +71,8 @@ type Database struct {
 	mCommitSeconds *obs.Histogram
 	mMonitorLag    *obs.Histogram
 	mMonitorSends  *obs.Counter
+	mGapReplays    *obs.Counter
+	mGapMisses     *obs.Counter
 }
 
 // NewDatabase creates an empty database for the schema.
@@ -150,6 +170,10 @@ func (db *Database) SetObs(o *obs.Observer) {
 		"Delay between commit and monitor callback delivery.", nil)
 	db.mMonitorSends = reg.Counter("ovsdb_monitor_updates_total",
 		"Monitor update notifications delivered.")
+	db.mGapReplays = reg.Counter("ovsdb_monitor_gap_replays_total",
+		"Monitor registrations resumed by gap replay from a txn cursor.")
+	db.mGapMisses = reg.Counter("ovsdb_monitor_gap_misses_total",
+		"Monitor cursor resumptions that fell back to a full snapshot.")
 	o.TrackRate(obs.SeriesCommits, func() float64 { return float64(db.mTxnTotal.Value()) })
 	o.TrackHistogramAvg(obs.SeriesMonitorLag, db.mMonitorLag)
 	o.TrackHistogramAvg("ovsdb_commit_seconds", db.mCommitSeconds)
@@ -350,13 +374,28 @@ func (db *Database) Transact(ops []Operation) []OpResult {
 	txnID := db.txnSeq
 	commit := time.Now()
 	changes, changedTables := tx.effectiveChanges()
+	var walTicket <-chan error
 	if changedTables > 0 {
+		// One pooled flat snapshot of the effective changes feeds both
+		// the WAL appender and the gap-replay window (see persist.go).
+		flat := db.captureChanges(changes)
+		if db.wal != nil && !db.walDead {
+			walTicket = db.walAppendLocked(txnID, flat)
+		}
 		db.notifyMonitors(txnID, commit, changes)
+		db.appendGapLocked(txnID, flat)
 	}
 	db.mu.Unlock()
 	// Monitor rendering (above, synchronous) copied everything it
 	// needs, so the transaction scratch can be recycled.
 	tx.release()
+	if walTicket != nil {
+		// Wait out the group fsync after releasing db.mu, so concurrent
+		// commits batch behind one sync instead of serializing on it.
+		if err := <-walTicket; err != nil {
+			db.walFail(err)
+		}
+	}
 	db.mTxnTotal.Inc()
 	db.mCommitSeconds.ObserveDuration(commit.Sub(start))
 	db.rec.Append(obs.Ev("ovsdb", "txn.commit").WithTxn(txnID).At(commit).

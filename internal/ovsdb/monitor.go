@@ -81,36 +81,83 @@ type queuedUpdate struct {
 // along with the initial contents (rows as inserts) for tables whose
 // select includes initial. notify is called sequentially, in commit order.
 func (db *Database) AddMonitor(requests map[string]*MonitorRequest, notify func(txn uint64, tu TableUpdates)) (*Monitor, TableUpdates, error) {
+	m, _, _, _, initial, err := db.AddMonitorSince(requests, NoCursor, notify)
+	return m, initial, err
+}
+
+// NoCursor, passed to AddMonitorSince as since, requests a full initial
+// snapshot unconditionally; the returned lastTxn seeds the caller's
+// cursor for later resumptions.
+const NoCursor = ^uint64(0)
+
+// GapUpdate is one replayed transaction in a monitor cursor reply.
+type GapUpdate struct {
+	Txn     uint64       `json:"txn"`
+	Updates TableUpdates `json:"updates"`
+}
+
+// AddMonitorSince is AddMonitor with a transaction cursor: since is the
+// last transaction the caller has already seen. When the gap-replay
+// window still covers every change-commit after since, found is true
+// and gap carries those commits as ordinary per-transaction deltas —
+// the caller resumes without a snapshot. Otherwise (cursor compacted
+// away, cursor ahead of this server's history, or since == NoCursor)
+// found is false and initial is the usual full snapshot.
+//
+// lastTxn is the newest committed transaction at registration. The gap
+// covers (since, lastTxn] and live notifications cover strictly later
+// commits — both computed under the commit lock, so no transaction is
+// ever dropped or delivered twice across the boundary.
+func (db *Database) AddMonitorSince(requests map[string]*MonitorRequest, since uint64, notify func(txn uint64, tu TableUpdates)) (m *Monitor, found bool, lastTxn uint64, gap []GapUpdate, initial TableUpdates, err error) {
 	for table, req := range requests {
 		ts := db.schema.Tables[table]
 		if ts == nil {
-			return nil, nil, &MonitorError{Table: table, Reason: "unknown table"}
+			return nil, false, 0, nil, nil, &MonitorError{Table: table, Reason: "unknown table"}
 		}
 		for _, col := range req.Columns {
 			if _, ok := ts.Columns[col]; !ok {
-				return nil, nil, &MonitorError{Table: table, Reason: "unknown column " + col}
+				return nil, false, 0, nil, nil, &MonitorError{Table: table, Reason: "unknown column " + col}
 			}
 		}
 	}
-	m := &Monitor{
+	m = &Monitor{
 		db:       db,
 		requests: requests,
 		notify:   notify,
 		wake:     make(chan struct{}, 1),
 	}
 	db.mu.Lock()
-	initial := make(TableUpdates)
-	for table, req := range requests {
-		if !req.wants("initial") {
-			continue
+	lastTxn = db.txnSeq
+	if since != NoCursor && since <= lastTxn && since >= db.winFloor {
+		found = true
+		gap = []GapUpdate{}
+		for i := 0; i < db.winCount; i++ {
+			e := &db.win[(db.winHead+i)%len(db.win)]
+			if e.txn <= since {
+				continue
+			}
+			if tu := m.render(db, changesAsMap(e.changes)); len(tu) > 0 {
+				gap = append(gap, GapUpdate{Txn: e.txn, Updates: tu})
+			}
 		}
-		ts := db.schema.Tables[table]
-		tu := make(TableUpdate)
-		for id, row := range db.tables[table] {
-			tu[string(id)] = RowUpdate{New: projectRow(ts, row, req.Columns)}
+		db.mGapReplays.Inc()
+	} else {
+		initial = make(TableUpdates)
+		for table, req := range requests {
+			if !req.wants("initial") {
+				continue
+			}
+			ts := db.schema.Tables[table]
+			tu := make(TableUpdate)
+			for id, row := range db.tables[table] {
+				tu[string(id)] = RowUpdate{New: projectRow(ts, row, req.Columns)}
+			}
+			if len(tu) > 0 {
+				initial[table] = tu
+			}
 		}
-		if len(tu) > 0 {
-			initial[table] = tu
+		if since != NoCursor {
+			db.mGapMisses.Inc()
 		}
 	}
 	db.monMu.Lock()
@@ -118,7 +165,7 @@ func (db *Database) AddMonitor(requests map[string]*MonitorRequest, notify func(
 	db.monMu.Unlock()
 	db.mu.Unlock()
 	go m.run()
-	return m, initial, nil
+	return m, found, lastTxn, gap, initial, nil
 }
 
 // MonitorError reports an invalid monitor request.

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -60,6 +61,10 @@ type monState struct {
 	cb       func(uint64, TableUpdates)
 	// cache is table → row UUID → projected row (wire JSON form).
 	cache map[string]map[string]map[string]any
+	// lastTxn is the resumption cursor: the newest transaction the
+	// cache reflects. Reconnection passes it as the monitor's since so
+	// a server retaining the gap replays only the missed commits.
+	lastTxn uint64
 }
 
 // ResilientClient wraps Client with automatic redial and monitor
@@ -90,7 +95,14 @@ type ResilientClient struct {
 
 	mReconnects   *obs.Counter
 	gDisconnected *obs.Gauge
+	mGapReplays   *obs.Counter
+	mSnapResyncs  *obs.Counter
 	rec           *obs.Recorder
+
+	// Resync-path counts mirrored outside obs so tests and tooling can
+	// assert how reconnections resynchronized.
+	nGapReplays  atomic.Uint64
+	nSnapResyncs atomic.Uint64
 }
 
 // DialResilient connects to the server and starts the supervision loop.
@@ -103,6 +115,10 @@ func DialResilient(cfg ResilientConfig) (*ResilientClient, error) {
 		"Successful OVSDB session re-establishments after connection loss.")
 	r.gDisconnected = reg.Gauge("ovsdb_disconnected",
 		"1 while the OVSDB connection is down and redialing, else 0.")
+	r.mGapReplays = reg.Counter("ovsdb_gap_replays_total",
+		"Reconnections resumed by monitor gap replay (cursor within the retained window).")
+	r.mSnapResyncs = reg.Counter("ovsdb_snapshot_resyncs_total",
+		"Reconnections that fell back to a full snapshot-diff resync.")
 	r.rec = cfg.Obs.Rec()
 	c, err := r.connect()
 	if err != nil {
@@ -248,11 +264,13 @@ func (r *ResilientClient) MonitorTxn(db string, id any, requests map[string]*Mon
 	if r.mon != nil {
 		return nil, errors.New("ovsdb: resilient client supports a single monitor")
 	}
-	initial, err := c.MonitorTxn(db, id, requests, r.deliver)
+	// NoCursor: a first registration wants the full snapshot; the reply's
+	// lastTxn seeds the resumption cursor for later reconnections.
+	_, lastTxn, initial, _, err := c.MonitorSince(db, id, requests, NoCursor, r.deliver)
 	if err != nil {
 		return nil, err
 	}
-	r.mon = &monState{db: db, id: id, requests: requests, cb: cb, cache: cacheOf(initial)}
+	r.mon = &monState{db: db, id: id, requests: requests, cb: cb, cache: cacheOf(initial), lastTxn: lastTxn}
 	return initial, nil
 }
 
@@ -266,7 +284,17 @@ func (r *ResilientClient) deliver(txn uint64, tu TableUpdates) {
 		return
 	}
 	r.mon.apply(tu)
+	if txn > r.mon.lastTxn {
+		r.mon.lastTxn = txn
+	}
 	r.mon.cb(txn, tu)
+}
+
+// ResyncStats reports how completed reconnections resynchronized the
+// monitor: by replaying only the missed commits from the server's gap
+// window, or by falling back to a full snapshot diff.
+func (r *ResilientClient) ResyncStats() (gapReplays, snapshotResyncs uint64) {
+	return r.nGapReplays.Load(), r.nSnapResyncs.Load()
 }
 
 // cacheOf seeds a row cache from an initial snapshot.
@@ -354,25 +382,65 @@ func (m *monState) diff(fresh TableUpdates) TableUpdates {
 }
 
 // resync re-establishes the monitor on a fresh connection and delivers
-// the state difference accumulated during the outage. Called before the
+// whatever the subscriber missed during the outage. Called before the
 // connection is published, so RPC users never see a half-resynced
 // session.
+//
+// The monitor is re-issued with the cursor of the last observed
+// transaction. A server still retaining that point in its gap-replay
+// window answers with only the missed commits, delivered here as
+// ordinary per-transaction updates — resync work proportional to the
+// outage, not to database size. When the cursor has been compacted away
+// (or the server lost unsynced history), the reply is a full snapshot
+// and the PR 5 snapshot-diff path takes over: the difference against
+// the cached state goes out as one synthetic update (txn 0).
+//
+// Holding monMu while awaiting the monitor reply is safe: live updates
+// arriving early park in the client's delivery goroutine, not on the
+// connection's read loop.
 func (r *ResilientClient) resync(c *Client) error {
 	r.monMu.Lock()
 	defer r.monMu.Unlock()
 	if r.mon == nil {
 		return nil
 	}
-	fresh, err := c.MonitorTxn(r.mon.db, r.mon.id, r.mon.requests, r.deliver)
+	found, lastTxn, fresh, gap, err := c.MonitorSince(r.mon.db, r.mon.id, r.mon.requests, r.mon.lastTxn, r.deliver)
 	if err != nil {
 		return err
 	}
+	if found {
+		rows := 0
+		for _, g := range gap {
+			for _, tu := range g.Updates {
+				rows += len(tu)
+			}
+			r.mon.apply(g.Updates)
+			if g.Txn > r.mon.lastTxn {
+				r.mon.lastTxn = g.Txn
+			}
+			r.mon.cb(g.Txn, g.Updates)
+		}
+		if lastTxn > r.mon.lastTxn {
+			r.mon.lastTxn = lastTxn
+		}
+		r.mGapReplays.Inc()
+		r.nGapReplays.Add(1)
+		r.rec.Append(obs.Ev("ovsdb", "conn.resync").
+			F("gap", 1).
+			F("txns", int64(len(gap))).
+			F("rows", int64(rows)))
+		return nil
+	}
 	diff := r.mon.diff(fresh)
+	r.mon.lastTxn = lastTxn
 	rows := 0
 	for _, tu := range diff {
 		rows += len(tu)
 	}
+	r.mSnapResyncs.Inc()
+	r.nSnapResyncs.Add(1)
 	r.rec.Append(obs.Ev("ovsdb", "conn.resync").
+		F("gap", 0).
 		F("tables", int64(len(diff))).
 		F("rows", int64(rows)))
 	if len(diff) > 0 {

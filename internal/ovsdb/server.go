@@ -248,8 +248,19 @@ func opResultToJSON(r *OpResult) map[string]any {
 
 func (sc *serverConn) handleMonitor(params json.RawMessage) (any, *jsonrpc.RPCError) {
 	var raw []json.RawMessage
-	if err := json.Unmarshal(params, &raw); err != nil || len(raw) != 3 {
-		return nil, rpcErr("bad params", "monitor expects [db-name, id, requests]")
+	if err := json.Unmarshal(params, &raw); err != nil || len(raw) < 3 || len(raw) > 4 {
+		return nil, rpcErr("bad params", "monitor expects [db-name, id, requests] or [db-name, id, requests, since]")
+	}
+	// Optional fourth element (this repo's durability extension): a txn
+	// cursor. Its presence also changes the reply shape to
+	// [found, last-txn, gap-or-initial] so the client learns its new
+	// cursor; three-element requests keep the RFC 7047 reply.
+	since, hasSince := NoCursor, false
+	if len(raw) == 4 {
+		if err := json.Unmarshal(raw[3], &since); err != nil {
+			return nil, rpcErr("bad params", "since must be a transaction id")
+		}
+		hasSince = true
 	}
 	var dbName string
 	if err := json.Unmarshal(raw[0], &dbName); err != nil {
@@ -284,7 +295,7 @@ func (sc *serverConn) handleMonitor(params json.RawMessage) (any, *jsonrpc.RPCEr
 	// notification so clients can correlate updates with traced
 	// transactions; RFC 7047 clients that expect two elements should
 	// ignore extras.
-	mon, initial, err := db.AddMonitor(requests, func(txn uint64, tu TableUpdates) {
+	mon, found, lastTxn, gap, initial, err := db.AddMonitorSince(requests, since, func(txn uint64, tu TableUpdates) {
 		sc.conn.Notify("update", []any{json.RawMessage(idCopy), tu, txn})
 	})
 	if err != nil {
@@ -293,7 +304,13 @@ func (sc *serverConn) handleMonitor(params json.RawMessage) (any, *jsonrpc.RPCEr
 	sc.mu.Lock()
 	sc.monitors[monID] = mon
 	sc.mu.Unlock()
-	return initial, nil
+	if !hasSince {
+		return initial, nil
+	}
+	if found {
+		return []any{true, lastTxn, gap}, nil
+	}
+	return []any{false, lastTxn, initial}, nil
 }
 
 // parseMonitorRequest accepts an object or an array of objects (RFC 7047

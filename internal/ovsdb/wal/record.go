@@ -1,0 +1,144 @@
+// Package wal is the management plane's durability subsystem: an
+// append-only transaction log with CRC-framed records, group-commit
+// fsync batching, periodic snapshot compaction, and crash-recovery
+// replay. The database appends one record per committed transaction;
+// on restart the latest snapshot plus the log tail reconstruct the
+// exact committed state and the transaction-ID counter.
+//
+// The package is deliberately schema-blind: rows travel as raw JSON in
+// their RFC 7047 wire form, so the log format survives schema evolution
+// and the package depends only on the standard library and internal/obs.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record is one committed transaction's effective row changes: per
+// table, per row UUID, the row's full new image in RFC 7047 JSON form —
+// or JSON null for a delete. Replaying records in txn order onto the
+// snapshot state reproduces the database exactly (row images, not
+// logical operations, so replay is deterministic even though inserts
+// mint random UUIDs).
+type Record struct {
+	Txn    uint64                                `json:"txn"`
+	Tables map[string]map[string]json.RawMessage `json:"tables"`
+}
+
+// Frame layout: a fixed header followed by the JSON payload.
+//
+//	[4] little-endian payload length
+//	[4] little-endian CRC-32C (Castagnoli) of the payload
+//	[n] payload
+//
+// The CRC covers only the payload; a torn header is detected by the
+// buffer running out, a torn or bit-flipped payload by the CRC.
+const frameHeader = 8
+
+// maxRecordSize bounds a single record so a corrupted length field
+// cannot drive recovery into a multi-gigabyte allocation.
+const maxRecordSize = 1 << 28
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTruncated reports a frame that extends past the end of the buffer:
+// the tail of a log whose final write was torn by a crash. Recovery
+// treats it as the end of the usable log, not as corruption.
+var ErrTruncated = errors.New("wal: truncated record")
+
+// ErrCorrupt reports a frame whose payload fails its CRC or whose
+// header is structurally impossible. Recovery stops replay at the first
+// corrupt frame and drops everything after it.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// AppendRecord encodes rec and appends its frame to buf, returning the
+// extended buffer.
+func AppendRecord(buf []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, fmt.Errorf("wal: encoding record txn %d: %w", rec.Txn, err)
+	}
+	return appendFrame(buf, payload), nil
+}
+
+// appendFrame frames an already-encoded payload.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// DecodeRecord decodes the first frame in data, returning the record
+// and the number of bytes consumed. A frame that runs past the buffer
+// returns ErrTruncated; a CRC mismatch or undecodable payload returns
+// ErrCorrupt.
+func DecodeRecord(data []byte) (*Record, int, error) {
+	payload, n, err := decodeFrame(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec := &Record{}
+	if err := json.Unmarshal(payload, rec); err != nil {
+		return nil, 0, fmt.Errorf("%w: bad payload: %v", ErrCorrupt, err)
+	}
+	return rec, n, nil
+}
+
+// decodeFrame validates and extracts the first frame's payload.
+func decodeFrame(data []byte) ([]byte, int, error) {
+	if len(data) < frameHeader {
+		return nil, 0, ErrTruncated
+	}
+	size := binary.LittleEndian.Uint32(data[0:4])
+	if size > maxRecordSize {
+		return nil, 0, fmt.Errorf("%w: implausible record size %d", ErrCorrupt, size)
+	}
+	if len(data) < frameHeader+int(size) {
+		return nil, 0, ErrTruncated
+	}
+	payload := data[frameHeader : frameHeader+int(size)]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, 0, ErrCorrupt
+	}
+	return payload, frameHeader + int(size), nil
+}
+
+// Snapshot is a full-database image at one transaction: per table, per
+// row UUID, the row in RFC 7047 JSON form. Snapshot files hold a single
+// frame whose payload is the JSON encoding of this struct, so the same
+// CRC validation protects both log records and snapshots.
+type Snapshot struct {
+	Txn    uint64                                `json:"txn"`
+	Tables map[string]map[string]json.RawMessage `json:"tables"`
+}
+
+// encodeSnapshot frames a snapshot for its file.
+func encodeSnapshot(s *Snapshot) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding snapshot txn %d: %w", s.Txn, err)
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// decodeSnapshot validates and decodes a snapshot file's contents.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	payload, n, err := decodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot frame", ErrCorrupt, len(data)-n)
+	}
+	s := &Snapshot{}
+	if err := json.Unmarshal(payload, s); err != nil {
+		return nil, fmt.Errorf("%w: bad snapshot payload: %v", ErrCorrupt, err)
+	}
+	return s, nil
+}
