@@ -128,17 +128,23 @@ func (db *Database) AddMonitorSince(requests map[string]*MonitorRequest, since u
 	}
 	db.mu.Lock()
 	lastTxn = db.txnSeq
+	// pending collects the gap's retained commits for rendering after
+	// the lock is released: a large replay (up to the whole window) must
+	// not stall commits and other registrations behind per-row JSON
+	// rendering. The changeRef elements are copied out — ring eviction
+	// zeroes and recycles the buffers — but the Row images they point at
+	// are copy-on-write, so they stay stable off the lock.
+	var pending []gapEntry
 	if since != NoCursor && since <= lastTxn && since >= db.winFloor {
 		found = true
-		gap = []GapUpdate{}
 		for i := 0; i < db.winCount; i++ {
 			e := &db.win[(db.winHead+i)%len(db.win)]
 			if e.txn <= since {
 				continue
 			}
-			if tu := m.render(db, changesAsMap(e.changes)); len(tu) > 0 {
-				gap = append(gap, GapUpdate{Txn: e.txn, Updates: tu})
-			}
+			cp := make([]changeRef, len(e.changes))
+			copy(cp, e.changes)
+			pending = append(pending, gapEntry{txn: e.txn, changes: cp})
 		}
 		db.mGapReplays.Inc()
 	} else {
@@ -164,6 +170,18 @@ func (db *Database) AddMonitorSince(requests map[string]*MonitorRequest, since u
 	db.monitors[m] = true
 	db.monMu.Unlock()
 	db.mu.Unlock()
+	if found {
+		// Render off the lock; only schema (immutable) and the copied
+		// rows are touched. Live commits after lastTxn are already
+		// enqueuing to the monitor, but delivery starts below, so gap
+		// entries still precede every live update.
+		gap = []GapUpdate{}
+		for i := range pending {
+			if tu := m.render(db, changesAsMap(pending[i].changes)); len(tu) > 0 {
+				gap = append(gap, GapUpdate{Txn: pending[i].txn, Updates: tu})
+			}
+		}
+	}
 	go m.run()
 	return m, found, lastTxn, gap, initial, nil
 }

@@ -86,9 +86,14 @@ type ResilientClient struct {
 
 	// monMu serializes monitor registration, cache mutation, and
 	// callback delivery, so synthetic resync updates and live updates
-	// never interleave out of order.
-	monMu sync.Mutex
-	mon   *monState
+	// never interleave out of order. monGen counts monitor
+	// registrations: each connection's delivery callback is bound to the
+	// generation it was registered under, so updates still queued from a
+	// dead connection are dropped instead of being applied after a
+	// resync has already advanced the cache past them.
+	monMu  sync.Mutex
+	mon    *monState
+	monGen uint64
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -266,7 +271,8 @@ func (r *ResilientClient) MonitorTxn(db string, id any, requests map[string]*Mon
 	}
 	// NoCursor: a first registration wants the full snapshot; the reply's
 	// lastTxn seeds the resumption cursor for later reconnections.
-	_, lastTxn, initial, _, err := c.MonitorSince(db, id, requests, NoCursor, r.deliver)
+	r.monGen++
+	_, lastTxn, initial, _, err := c.MonitorSince(db, id, requests, NoCursor, r.bind(r.monGen))
 	if err != nil {
 		return nil, err
 	}
@@ -274,13 +280,23 @@ func (r *ResilientClient) MonitorTxn(db string, id any, requests map[string]*Mon
 	return initial, nil
 }
 
+// bind returns the delivery callback for one underlying connection,
+// tied to the monitor generation it was registered under.
+func (r *ResilientClient) bind(gen uint64) func(uint64, TableUpdates) {
+	return func(txn uint64, tu TableUpdates) { r.deliver(gen, txn, tu) }
+}
+
 // deliver is the callback registered on every underlying connection: it
 // folds the update into the row cache and forwards it, all under monMu
-// so resync diffs see a consistent cache.
-func (r *ResilientClient) deliver(txn uint64, tu TableUpdates) {
+// so resync diffs see a consistent cache. Updates from a superseded
+// generation — queued in a dead connection's delivery goroutine while a
+// resync held monMu — are dropped: the resync that bumped the
+// generation already covered them, and applying them late would roll
+// the cache back to stale row images and replay txns out of order.
+func (r *ResilientClient) deliver(gen, txn uint64, tu TableUpdates) {
 	r.monMu.Lock()
 	defer r.monMu.Unlock()
-	if r.mon == nil {
+	if r.mon == nil || gen != r.monGen {
 		return
 	}
 	r.mon.apply(tu)
@@ -404,7 +420,11 @@ func (r *ResilientClient) resync(c *Client) error {
 	if r.mon == nil {
 		return nil
 	}
-	found, lastTxn, fresh, gap, err := c.MonitorSince(r.mon.db, r.mon.id, r.mon.requests, r.mon.lastTxn, r.deliver)
+	// Registering under a new generation invalidates the dead
+	// connection's callback: anything it still has queued is covered by
+	// this resync and must not be re-applied after it.
+	r.monGen++
+	found, lastTxn, fresh, gap, err := c.MonitorSince(r.mon.db, r.mon.id, r.mon.requests, r.mon.lastTxn, r.bind(r.monGen))
 	if err != nil {
 		return err
 	}

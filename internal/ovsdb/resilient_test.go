@@ -327,3 +327,50 @@ func TestResilientGoroutinesTerminateOnClose(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestResilientDropsSupersededConnectionUpdates is the regression test
+// for stale delivery after resync: an update still queued in a dead
+// connection's delivery goroutine carries an older monitor generation
+// and must be dropped, not applied to the cache or forwarded to the
+// subscriber out of order.
+func TestResilientDropsSupersededConnectionUpdates(t *testing.T) {
+	r, direct, d := startResilient(t, nil)
+	var col txnCollector
+	if _, err := r.MonitorTxn("TestDB", "m", portMonitorReqs(), col.add); err != nil {
+		t.Fatalf("MonitorTxn: %v", err)
+	}
+	if _, err := direct.TransactErr("TestDB",
+		OpInsert("Port", map[string]Value{"name": "eth0", "number": int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	col.waitFor(t, 1)
+
+	// A callback bound to generation 0 predates the current registration
+	// (generation 1): the update must vanish without a trace.
+	r.deliver(0, 42, TableUpdates{"Port": {
+		"00000000-dead-beef-0000-000000000000": RowUpdate{New: map[string]any{"name": "stale", "number": int64(9)}},
+	}})
+	if n := col.count(); n != 1 {
+		t.Fatalf("superseded-generation update forwarded (%d updates)", n)
+	}
+
+	// The cache was not poisoned: an outage with no state change still
+	// produces no synthetic update, and a real change arrives exactly once.
+	d.KillAll()
+	waitDisconnected(t, r)
+	waitConnected(t, r)
+	time.Sleep(20 * time.Millisecond)
+	if n := col.count(); n != 1 {
+		t.Fatalf("stale update leaked into the resync diff (%d updates)", n)
+	}
+	if _, err := direct.TransactErr("TestDB",
+		OpInsert("Port", map[string]Value{"name": "eth1", "number": int64(2)})); err != nil {
+		t.Fatal(err)
+	}
+	ups := col.waitFor(t, 2)
+	for _, ru := range ups[1]["Port"] {
+		if ru.New != nil && ru.New["name"] == "stale" {
+			t.Fatalf("stale row image surfaced after reconnect: %v", ups[1])
+		}
+	}
+}

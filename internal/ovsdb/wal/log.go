@@ -201,21 +201,43 @@ func (l *Log) recover() (*Recovered, error) {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 
-	// Newest validating snapshot wins. Older snapshots are only usable
-	// while their covering segments still exist, which is exactly the
-	// window before compaction deletes them — so falling back is safe.
+	// Newest validating snapshot wins. Falling back past an unreadable
+	// snapshot is only safe while the segments covering it still exist
+	// (the window before compaction deletes them), so a fallback is
+	// cross-checked against segment coverage below.
 	recoveredSnap := &Snapshot{Tables: make(map[string]map[string]json.RawMessage)}
+	snapFellBack := false
 	for _, txn := range snaps {
 		data, err := os.ReadFile(filepath.Join(l.opts.Dir, snapName(txn)))
 		if err != nil {
+			snapFellBack = true
 			continue
 		}
 		s, err := decodeSnapshot(data)
 		if err != nil || s.Txn != txn {
+			snapFellBack = true
 			continue
 		}
 		recoveredSnap = s
 		break
+	}
+	if snapFellBack {
+		// The newest snapshot exists but failed validation. Once its
+		// compaction has deleted the segments it superseded, the fallback
+		// (an older snapshot, or the empty zero state) plus the surviving
+		// segments no longer reproduce the database — recovering anyway
+		// would silently discard nearly all committed state while
+		// reporting success. Only accept the fallback when the oldest
+		// surviving segment starts at or before the transaction right
+		// after it, i.e. replay from the fallback has no hole.
+		if len(segs) == 0 || segs[0] > recoveredSnap.Txn+1 {
+			oldest := uint64(0)
+			if len(segs) > 0 {
+				oldest = segs[0]
+			}
+			return nil, fmt.Errorf("%w: newest snapshot unreadable and surviving segments (oldest start %d) do not cover fallback snapshot txn %d; refusing to recover with silent data loss",
+				ErrCorrupt, oldest, recoveredSnap.Txn)
+		}
 	}
 
 	rec := &Recovered{Snapshot: recoveredSnap, LastTxn: recoveredSnap.Txn}
@@ -443,15 +465,26 @@ func (l *Log) run() {
 			return true
 		}
 		ok := true
-		for _, it := range batch {
+		for i := 0; i < len(batch); i++ {
+			it := batch[i]
 			if it.snap == nil {
 				run = append(run, it)
 				continue
 			}
-			if ok = flush(); !ok {
-				break
+			if ok = flush(); ok {
+				ok = l.rotateAndCompact(it.snap)
 			}
-			if ok = l.rotateAndCompact(it.snap); !ok {
+			if !ok {
+				// flush/rotate latched the failure and resolved the
+				// current run plus l.queue — but not the rest of this
+				// drained batch. Fail those tickets too, or their
+				// Transact callers block forever on a dead log.
+				err := l.Err()
+				for _, rest := range batch[i+1:] {
+					if rest.done != nil {
+						rest.done <- err
+					}
+				}
 				break
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -315,5 +316,135 @@ func TestLogGroupCommit(t *testing.T) {
 	}
 	if rec.LastTxn != n || len(rec.Tail) != n {
 		t.Errorf("recovered %d/%d, want %d acknowledged records", rec.LastTxn, len(rec.Tail), n)
+	}
+}
+
+// TestLogMidBatchFailureResolvesAllTickets hand-builds one drained
+// appender batch of [record, snapshot job, record] over a sabotaged
+// segment file: the first flush fails, and every ticket in the batch —
+// including the records queued after the failure point — must resolve
+// with the latched error instead of hanging its Transact caller.
+func TestLogMidBatchFailureResolvesAllTickets(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mustAppend(t, l, rowRecord(1, "Port", "row-1", "p1"))
+
+	frame2, err := AppendRecord(nil, rowRecord(2, "Port", "row-2", "p2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame3, err := AppendRecord(nil, rowRecord(3, "Port", "row-3", "p3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	done3 := make(chan error, 1)
+	l.mu.Lock()
+	l.seg.Close() // the batch's first write fails
+	l.queue = append(l.queue,
+		item{frame: frame2, txn: 2, done: done2},
+		item{snap: func() (*Snapshot, error) { return &Snapshot{Txn: 2}, nil }},
+		item{frame: frame3, txn: 3, done: done3},
+	)
+	l.lastTxn = 3
+	l.mu.Unlock()
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+
+	for name, ch := range map[string]chan error{"before failure": done2, "after failure": done3} {
+		select {
+		case err := <-ch:
+			if err == nil {
+				t.Errorf("record %s acknowledged despite the failed batch", name)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("ticket of record %s never resolved", name)
+		}
+	}
+	if l.Err() == nil {
+		t.Error("batch failure did not latch")
+	}
+	ticket, _ := l.Append(rowRecord(4, "Port", "row-4", "p4"))
+	if err := <-ticket; err == nil {
+		t.Error("append after latched failure accepted")
+	}
+}
+
+// TestLogCorruptSnapshotRecovery covers both sides of the fallback
+// continuity check: when the newest snapshot is unreadable but the full
+// segment chain survives, recovery replays it; when compaction has
+// already deleted the covering segments, recovery must refuse rather
+// than silently report an almost-empty database as success.
+func TestLogCorruptSnapshotRecovery(t *testing.T) {
+	// Safe fallback: corrupt snapshot, but segments cover from txn 1.
+	dir := t.TempDir()
+	var buf []byte
+	var err error
+	for txn := uint64(1); txn <= 4; txn++ {
+		buf, err = AppendRecord(buf, rowRecord(txn, "Port", fmt.Sprintf("row-%d", txn), "p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName(3)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("covered fallback refused: %v", err)
+	}
+	if rec.LastTxn != 4 || len(rec.Tail) != 4 {
+		t.Errorf("covered fallback recovered %d/%d, want 4/4", rec.LastTxn, len(rec.Tail))
+	}
+	l.Close()
+
+	// Unsafe fallback: a real compaction deletes the covered segments,
+	// then the surviving snapshot rots.
+	dir2 := t.TempDir()
+	l2, _, err := Open(Options{Dir: dir2, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		recd := rowRecord(uint64(i), "Port", fmt.Sprintf("row-%d", i), "p")
+		ticket, wantSnap := l2.Append(recd)
+		if wantSnap {
+			txn := recd.Txn
+			l2.CompactAsync(func() (*Snapshot, error) {
+				return &Snapshot{Txn: txn, Tables: map[string]map[string]json.RawMessage{
+					"Port": {"row-1": json.RawMessage(`{"name":"p"}`)},
+				}}, nil
+			})
+		}
+		if err := <-ticket; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir2, snapPrefix+"*"+snapSuffix))
+	if len(snaps) != 1 {
+		t.Fatalf("want one snapshot after compaction, got %v", snaps)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir2}); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("uncovered fallback after compaction: got %v, want ErrCorrupt", err)
 	}
 }
