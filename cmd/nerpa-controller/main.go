@@ -35,6 +35,7 @@ func main() {
 	rulesPath := flag.String("rules", "", "control-plane rules file (default: built-in snvs rules)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces, /debug/events and pprof on this address (off when empty)")
 	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
+	obsInstance := flag.String("obs-instance", "", "fleet-unique instance ID stamped on obs responses (default: the plane name)")
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
 	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
 	reconnectBackoff := flag.Duration("reconnect-backoff", 5*time.Second, "maximum redial backoff after a connection drops (0 = exit on disconnect)")
@@ -49,6 +50,7 @@ func main() {
 	var observer *obs.Observer
 	if *obsAddr != "" {
 		observer = obs.NewObserverWith(obs.ObserverConfig{EventCapacity: *obsEvents})
+		observer.SetIdentity("controller", *obsInstance)
 		if *obsSlowBudget > 0 {
 			observer.SetSlowBudget(obs.AllBudget(*obsSlowBudget))
 		}

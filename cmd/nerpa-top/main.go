@@ -1,0 +1,69 @@
+// Command nerpa-top is the fleet observability aggregator: it polls
+// the obs endpoints of a running Nerpa deployment (ovsdb-server,
+// nerpa-controller, snvs-switch), stitches each process's trace
+// fragments into end-to-end transaction timelines, estimates
+// per-member clock skew, and serves the fused view on /fleet,
+// /fleet/traces and /fleet/metrics.
+//
+//	nerpa-top -targets db=127.0.0.1:7640,ctl=127.0.0.1:7641,sw=127.0.0.1:7642 \
+//	    [-addr 127.0.0.1:7700] [-interval 2s] [-stale-after 6s]
+//
+// With -once it polls once, prints the member table (or, with -txn,
+// one stitched timeline) to stdout, and exits — the scriptable form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs/fleet"
+)
+
+func main() {
+	targets := flag.String("targets", "", "comma-separated obs endpoints to poll, each addr or name=addr (required)")
+	addr := flag.String("addr", "127.0.0.1:7700", "serve /fleet, /fleet/traces and /fleet/metrics on this address")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	staleAfter := flag.Duration("stale-after", 0, "mark a member stale after this long without a successful scrape (0 = 3×interval)")
+	once := flag.Bool("once", false, "poll once, print the fleet table to stdout, and exit")
+	txn := flag.Uint64("txn", 0, "with -once: print this transaction's stitched timeline instead of the table")
+	flag.Parse()
+
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "nerpa-top: -targets is required (e.g. -targets db=127.0.0.1:7640,sw=127.0.0.1:7642)")
+		os.Exit(2)
+	}
+	agg, err := fleet.New(fleet.Config{
+		Targets:    strings.Split(*targets, ","),
+		Interval:   *interval,
+		StaleAfter: *staleAfter,
+	})
+	if err != nil {
+		log.Fatalf("nerpa-top: %v", err)
+	}
+
+	if *once {
+		agg.PollOnce()
+		if *txn != 0 {
+			tr, ok := agg.Trace(*txn)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "nerpa-top: no trace for txn %d on any member\n", *txn)
+				os.Exit(1)
+			}
+			fmt.Print(fleet.TraceText(tr))
+			return
+		}
+		fmt.Print(agg.Status().Text())
+		return
+	}
+
+	agg.Start()
+	defer agg.Close()
+	log.Printf("nerpa-top: polling %d target(s) every %v; fleet view on http://%s/fleet", len(strings.Split(*targets, ",")), *interval, *addr)
+	if err := agg.Serve(*addr); err != nil {
+		log.Fatalf("nerpa-top: %v", err)
+	}
+}

@@ -35,6 +35,7 @@ func main() {
 	name := flag.String("name", "snvs0", "switch name")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces, /debug/events and pprof on this address (off when empty)")
 	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
+	obsInstance := flag.String("obs-instance", "", "fleet-unique instance ID stamped on obs responses (default: the plane name)")
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
 	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
 	keepalive := flag.Duration("keepalive", 0, "echo-heartbeat interval on accepted connections; 3 misses fail one (0 = off)")
@@ -64,6 +65,7 @@ func main() {
 	var observer *obs.Observer
 	if *obsAddr != "" {
 		observer = obs.NewObserverWith(obs.ObserverConfig{EventCapacity: *obsEvents})
+		observer.SetIdentity("switchsim", *obsInstance)
 		if *obsSlowBudget > 0 {
 			observer.SetSlowBudget(obs.AllBudget(*obsSlowBudget))
 		}

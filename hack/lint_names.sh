@@ -11,11 +11,11 @@ fail=0
 
 # Metric names: the first string argument of Counter/Gauge/Histogram
 # registrations and of history Track* calls outside tests.
-metrics=$(grep -rhoE '\.(Counter|Gauge|Histogram|TrackRate|TrackValue|TrackHistogramAvg|TrackAvg)\("[^"]+"' \
+metrics=$(grep -rhoE '\.(Counter|Gauge|Histogram|CounterFunc|GaugeFunc|TrackRate|TrackValue|TrackHistogramAvg|TrackAvg)\("[^"]+"' \
     --include='*.go' --exclude='*_test.go' cmd internal |
     sed -E 's/.*\("([^"]+)"$/\1/' | sort -u)
 for m in $metrics; do
-    if ! echo "$m" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|bench)_[a-z0-9_]+$'; then
+    if ! echo "$m" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|fleet|bench)_[a-z0-9_]+$'; then
         echo "lint: metric/series name \"$m\" is not <plane>_<snake_case>" >&2
         fail=1
     fi
@@ -25,7 +25,7 @@ done
 series=$(grep -hoE '^\tSeries[A-Za-z]+ += +"[^"]+"' internal/obs/watchdog.go |
     sed -E 's/.*"([^"]+)"/\1/')
 for s in $series; do
-    if ! echo "$s" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|bench)_[a-z0-9_]+$'; then
+    if ! echo "$s" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|fleet|bench)_[a-z0-9_]+$'; then
         echo "lint: watchdog series name \"$s\" is not <plane>_<snake_case>" >&2
         fail=1
     fi

@@ -16,12 +16,14 @@ import (
 // ---------------------------------------------------------------------
 // Flight-recorder overhead — the same full-stack insert/delete workload
 // with no observer at all, with the observer but the event ring
-// disabled, with events on, and with events plus the metrics-history
-// sampler. Overhead is computed against the "metrics" row (observer
-// minus recorder), which isolates what the flight recorder itself adds
-// on top of the pre-existing metrics/tracing instrumentation: that
-// events-only delta is the PR's acceptance budget (p50 within 5%),
-// since the recorder is meant to be always-on in production.
+// disabled, with events on, with events plus txn-ID propagation into
+// the data plane (WriteTxn wire metadata and the switch-applied trace
+// stage), and with events plus the metrics-history sampler. Overhead
+// is computed against the "metrics" row (observer minus recorder),
+// which isolates what each layer adds on top of the pre-existing
+// metrics/tracing instrumentation: the events-only delta is the
+// always-on acceptance budget, and events+dataplane prices the
+// end-to-end tracing extension.
 // ---------------------------------------------------------------------
 
 // obsOverheadBaseMode is the row overheads are computed against.
@@ -29,7 +31,7 @@ const obsOverheadBaseMode = "metrics"
 
 // ObsOverheadRow is one recorder configuration's measurement.
 type ObsOverheadRow struct {
-	Mode string `json:"mode"` // "off", "metrics", "events", "events+history"
+	Mode string `json:"mode"` // "off", "metrics", "events", "events+dataplane", "events+history"
 	Txns int    `json:"txns"`
 	// P50/P99 are apply+push latency percentiles (engine evaluation plus
 	// data-plane push, per transaction, as measured by the controller).
@@ -136,7 +138,7 @@ func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 			m.s.Close()
 		}
 	}()
-	for _, mode := range []string{"off", obsOverheadBaseMode, "events", "events+history"} {
+	for _, mode := range []string{"off", obsOverheadBaseMode, "events", "events+dataplane", "events+history"} {
 		var o *obs.Observer
 		switch mode {
 		case "off":
@@ -146,7 +148,13 @@ func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 			o = obs.NewObserver()
 		}
 		coll := &obsOverheadSamples{}
-		s, err := StartStackWith(o, coll.onTxn)
+		// Txn-ID propagation into the data plane is priced as its own
+		// mode: every row but events+dataplane and events+history pins it
+		// off so the recorder deltas stay comparable to prior baselines.
+		s, err := StartStackConfig(StackConfig{
+			Obs: o, OnTxn: coll.onTxn,
+			DisableTxnWrites: mode != "events+dataplane" && mode != "events+history",
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +219,7 @@ func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 			P99:  percentileDur(lats, 99),
 		}
 		if m.o != nil {
-			row.Events = m.o.Reg().Counter("obs_events_total", "").Value()
+			row.Events = m.o.Rec().Total()
 		}
 		res.Rows = append(res.Rows, row)
 	}

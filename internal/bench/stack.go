@@ -63,6 +63,11 @@ type StackConfig struct {
 	// monitor), but monitor delivery skips the wire codec — used to
 	// measure the stack's absorption rate without the socket hop.
 	DirectMP bool
+	// DisableTxnWrites passes through to core.Config: with an observer
+	// attached the controller normally propagates txn IDs into its
+	// device writes (WriteTxn); this turns that off so benchmarks can
+	// isolate the propagation cost.
+	DisableTxnWrites bool
 }
 
 // directMP is the in-process management plane: the real ovsdb.Database
@@ -142,6 +147,7 @@ func StartStackConfig(cfg StackConfig) (*Stack, error) {
 		CoalesceMaxTxns:    cfg.CoalesceMaxTxns,
 		CoalesceMaxUpdates: cfg.CoalesceMaxUpdates,
 		CoalesceWindow:     cfg.CoalesceWindow,
+		DisableTxnWrites:   cfg.DisableTxnWrites,
 	}, mp, p4c)
 	if err != nil {
 		return fail(err)

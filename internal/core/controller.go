@@ -45,6 +45,16 @@ type DataPlane interface {
 	OnDigest(func(p4rt.DigestList))
 }
 
+// TxnWriter is optionally implemented by data planes that can attach the
+// originating management-plane transaction to a write (*p4rt.Client and
+// *p4rt.ResilientClient do). Observed controllers use it to extend each
+// transaction's trace across the process boundary into the switch, which
+// stamps its apply events and records the switch-applied stage. Detected
+// by interface assertion, like the management plane's MonitorTxn.
+type TxnWriter interface {
+	WriteTxn(txn uint64, updates ...p4rt.Update) error
+}
+
 // ManagementPlane is the controller's view of the configuration database
 // (implemented by *ovsdb.Client).
 type ManagementPlane interface {
@@ -115,6 +125,13 @@ type Config struct {
 	// engine statistics collection so per-stratum and per-worker timings
 	// are exposed. nil disables all instrumentation at zero cost.
 	Obs *obs.Observer
+	// DisableTxnWrites keeps device writes in the legacy wire form even
+	// when the controller is observed and the data plane implements
+	// TxnWriter: no transaction metadata crosses the P4RT boundary.
+	// Useful against pre-txn switches and for isolating the propagation's
+	// cost in benchmarks. The default (false) propagates txn IDs whenever
+	// the controller is observed.
+	DisableTxnWrites bool
 }
 
 // defaultPushWorkers is the device-write concurrency used when
@@ -942,7 +959,8 @@ func (c *Controller) push(ev *event, delta engine.Delta) (int, error) {
 		key := target{class: cs, device: id}
 		dw := byDev[key]
 		if dw == nil {
-			dw = &devWrite{id: id, dp: dp, txn: ev.txnID}
+			dw = &devWrite{id: id, dp: dp, txn: ev.txnID,
+				txnWrite: c.cfg.Obs != nil && !c.cfg.DisableTxnWrites}
 			byDev[key] = dw
 			writes = append(writes, dw)
 		}
@@ -1011,11 +1029,22 @@ type devWrite struct {
 	dp      DataPlane
 	txn     uint64
 	batches [][]p4rt.Update
+	// txnWrite selects the txn-carrying wire form (TxnWriter) so the
+	// device can extend the transaction's trace with its apply.
+	txnWrite bool
 }
 
 func (dw *devWrite) flush() error {
+	tw, ok := dw.dp.(TxnWriter)
+	useTxn := ok && dw.txnWrite && dw.txn != 0
 	for _, b := range dw.batches {
-		if err := dw.dp.Write(b...); err != nil {
+		var err error
+		if useTxn {
+			err = tw.WriteTxn(dw.txn, b...)
+		} else {
+			err = dw.dp.Write(b...)
+		}
+		if err != nil {
 			return err
 		}
 	}

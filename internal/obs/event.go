@@ -156,23 +156,40 @@ const DefaultEventCapacity = 4096
 // disabled state: Append is a no-op and dumps are empty.
 type Recorder struct {
 	minLevel atomic.Int32
-	// total, when set, counts appended events in the metrics registry
-	// (obs_events_total); it is wired by NewObserver.
-	total *Counter
 
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // events ever appended; head slot = (next-1) % len(buf)
+	mu  sync.Mutex
+	buf []Event // length is a power of two; slot = (seq-1) & mask
+	// mask is len(buf)-1, turning the ring-index modulo into an AND on
+	// the append hot path.
+	mask uint64
+	// next counts events ever appended. Writes happen under mu; it is
+	// atomic so Total (the scrape-time obs_events_total callback) can
+	// read it without taking the append lock.
+	next atomic.Uint64
 }
 
-// NewRecorder creates a recorder retaining the last n events.
+// NewRecorder creates a recorder retaining the last n events (rounded
+// up to a power of two so the ring index is a mask, not a modulo).
 func NewRecorder(n int) *Recorder {
 	if n <= 0 {
 		n = DefaultEventCapacity
 	}
-	r := &Recorder{buf: make([]Event, n)}
+	capPow2 := 1
+	for capPow2 < n {
+		capPow2 <<= 1
+	}
+	r := &Recorder{buf: make([]Event, capPow2), mask: uint64(capPow2 - 1)}
 	r.minLevel.Store(int32(LevelDebug))
 	return r
+}
+
+// Total reports how many events have ever been appended (the
+// obs_events_total reading). Nil-safe and lock-free.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
 }
 
 // SetMinLevel drops subsequent events below l (default LevelDebug:
@@ -194,11 +211,10 @@ func (r *Recorder) Append(ev Event) {
 	if ev.Time.IsZero() {
 		ev.Time = time.Now()
 	}
-	r.total.Inc()
 	r.mu.Lock()
-	r.next++
-	ev.Seq = r.next
-	r.buf[(r.next-1)%uint64(len(r.buf))] = ev
+	seq := r.next.Add(1)
+	ev.Seq = seq
+	r.buf[(seq-1)&r.mask] = ev
 	r.mu.Unlock()
 }
 
@@ -209,8 +225,8 @@ func (r *Recorder) Len() int {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.next < uint64(len(r.buf)) {
-		return int(r.next)
+	if n := r.next.Load(); n < uint64(len(r.buf)) {
+		return int(n)
 	}
 	return len(r.buf)
 }
@@ -255,12 +271,13 @@ func (r *Recorder) Snapshot(f EventFilter) (events []Event, evicted, total uint6
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	next := r.next.Load()
 	start := uint64(0)
-	if r.next > uint64(len(r.buf)) {
-		start = r.next - uint64(len(r.buf))
+	if next > uint64(len(r.buf)) {
+		start = next - uint64(len(r.buf))
 	}
-	for i := start; i < r.next; i++ {
-		ev := r.buf[i%uint64(len(r.buf))]
+	for i := start; i < next; i++ {
+		ev := r.buf[i&r.mask]
 		if f.match(&ev) {
 			events = append(events, ev)
 		}
@@ -268,7 +285,7 @@ func (r *Recorder) Snapshot(f EventFilter) (events []Event, evicted, total uint6
 	if f.Limit > 0 && len(events) > f.Limit {
 		events = events[len(events)-f.Limit:]
 	}
-	return events, start, r.next
+	return events, start, next
 }
 
 // EventsFor returns every retained event of one transaction, oldest

@@ -1,0 +1,276 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// memberServer boots an httptest server around a real Observer acting
+// as one fleet member.
+func memberServer(t *testing.T, plane, instance string) (*obs.Observer, *httptest.Server) {
+	t.Helper()
+	o := obs.NewObserver()
+	o.SetIdentity(plane, instance)
+	o.SetReady(true)
+	srv := httptest.NewServer(o.Handler())
+	t.Cleanup(srv.Close)
+	return o, srv
+}
+
+// stage builds a trace stage spanning [start, start+d].
+func stage(name string, start time.Time, d time.Duration) obs.Stage {
+	return obs.Stage{Name: name, Start: start, End: start.Add(d)}
+}
+
+func TestAggregatorStitchesAcrossMembers(t *testing.T) {
+	db, dbSrv := memberServer(t, "ovsdb", "db0")
+	ctl, ctlSrv := memberServer(t, "controller", "ctl0")
+	sw, swSrv := memberServer(t, "switchsim", "sw0")
+
+	// One transaction whose stages are split across the three processes,
+	// the multi-process deployment shape.
+	t0 := time.Now().Add(-time.Second)
+	db.Tr().Record(7, "ovsdb", stage(obs.StageCommit, t0, time.Millisecond))
+	db.Tr().Record(7, "ovsdb", stage("monitor", t0.Add(2*time.Millisecond), time.Millisecond))
+	ctl.Tr().Record(7, "ovsdb", stage("delta", t0.Add(4*time.Millisecond), time.Millisecond))
+	ctl.Tr().Record(7, "ovsdb", stage("push", t0.Add(6*time.Millisecond), 2*time.Millisecond))
+	sw.Tr().Record(7, "p4rt", stage(obs.StageSwitchApplied, t0.Add(7*time.Millisecond), time.Millisecond))
+	// A second transaction that never reached the data plane.
+	db.Tr().Record(9, "ovsdb", stage(obs.StageCommit, t0.Add(time.Millisecond), time.Millisecond))
+
+	agg, err := New(Config{Targets: []string{
+		"db=" + dbSrv.URL, "ctl=" + ctlSrv.URL, "sw=" + swSrv.URL,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.PollOnce()
+
+	st := agg.Status()
+	if len(st.Members) != 3 {
+		t.Fatalf("got %d members, want 3: %+v", len(st.Members), st.Members)
+	}
+	for _, m := range st.Members {
+		if m.Health != HealthUp {
+			t.Fatalf("member %s health = %s, want up (%+v)", m.Name, m.Health, m)
+		}
+	}
+	planes := map[string]string{}
+	for _, m := range st.Members {
+		planes[m.Name] = m.Plane
+	}
+	if planes["db0"] != "ovsdb" || planes["ctl0"] != "controller" || planes["sw0"] != "switchsim" {
+		t.Fatalf("identity attribution wrong: %v", planes)
+	}
+
+	tr, ok := agg.Trace(7)
+	if !ok {
+		t.Fatal("no stitched trace for txn 7")
+	}
+	if !tr.Complete || len(tr.Missing) != 0 {
+		t.Fatalf("txn 7 should be complete: %+v", tr)
+	}
+	if len(tr.Stages) != 5 {
+		t.Fatalf("txn 7 has %d stages, want 5: %+v", len(tr.Stages), tr)
+	}
+	if got := tr.Stages[len(tr.Stages)-1].Name; got != obs.StageSwitchApplied {
+		t.Fatalf("timeline ends in %q, want switch-applied", got)
+	}
+	if tr.Stages[0].Member != "db0" || tr.Stages[len(tr.Stages)-1].Member != "sw0" {
+		t.Fatalf("stage attribution wrong: %+v", tr.Stages)
+	}
+	// commit starts at t0, switch-applied ends at t0+8ms.
+	if got := time.Duration(tr.ConvergenceNs); got < 7*time.Millisecond || got > 9*time.Millisecond {
+		t.Fatalf("convergence = %v, want ~8ms", got)
+	}
+
+	partial, ok := agg.Trace(9)
+	if !ok {
+		t.Fatal("no stitched trace for txn 9")
+	}
+	if partial.Complete {
+		t.Fatalf("txn 9 should be incomplete: %+v", partial)
+	}
+	want := []string{"monitor", "delta", "push", obs.StageSwitchApplied}
+	if strings.Join(partial.Missing, ",") != strings.Join(want, ",") {
+		t.Fatalf("txn 9 missing = %v, want %v", partial.Missing, want)
+	}
+
+	if st.Convergence.Count != 1 || st.Convergence.P50 <= 0 {
+		t.Fatalf("convergence stats = %+v, want count 1 with positive p50", st.Convergence)
+	}
+}
+
+func TestAggregatorMetricsAndStaleness(t *testing.T) {
+	db, dbSrv := memberServer(t, "ovsdb", "db0")
+	_, swSrv := memberServer(t, "switchsim", "sw0")
+
+	t0 := time.Now().Add(-time.Second)
+	db.Tr().Record(3, "ovsdb", stage(obs.StageCommit, t0, time.Millisecond))
+	db.Tr().Record(3, "ovsdb", stage("monitor", t0.Add(time.Millisecond), time.Millisecond))
+	db.Tr().Record(3, "ovsdb", stage("delta", t0.Add(2*time.Millisecond), time.Millisecond))
+	db.Tr().Record(3, "ovsdb", stage("push", t0.Add(3*time.Millisecond), time.Millisecond))
+	db.Tr().Record(3, "ovsdb", stage(obs.StageSwitchApplied, t0.Add(4*time.Millisecond), time.Millisecond))
+
+	agg, err := New(Config{Targets: []string{"db=" + dbSrv.URL, "sw=" + swSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.PollOnce()
+
+	fsrv := httptest.NewServer(agg.Handler())
+	defer fsrv.Close()
+	get := func(path string) string {
+		resp, err := http.Get(fsrv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+
+	metrics := get("/fleet/metrics")
+	for _, series := range []string{
+		`fleet_members 2`,
+		`fleet_members_up 2`,
+		`fleet_member_up{member="db0"} 1`,
+		`fleet_convergence_count 1`,
+		`fleet_convergence_seconds{quantile="0.5"}`,
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("/fleet/metrics missing %q:\n%s", series, metrics)
+		}
+	}
+	// The p50 must be nonzero: the sample is ~5ms.
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, `fleet_convergence_seconds{quantile="0.5"}`) {
+			v, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil || v <= 0 {
+				t.Fatalf("p50 not positive: %q (%v)", line, err)
+			}
+		}
+	}
+
+	var status Status
+	if err := json.Unmarshal([]byte(get("/fleet")), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Traces != 1 || status.Incomplete != 0 {
+		t.Fatalf("status traces = %d incomplete = %d, want 1/0", status.Traces, status.Incomplete)
+	}
+
+	// Kill the switch member: the very next poll marks it stale.
+	swSrv.Close()
+	agg.PollOnce()
+	var after Status
+	if err := json.Unmarshal([]byte(get("/fleet")), &after); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range after.Members {
+		want := HealthUp
+		if m.Name == "sw0" {
+			want = HealthStale
+		}
+		if m.Health != want {
+			t.Fatalf("member %s health = %s, want %s", m.Name, m.Health, want)
+		}
+	}
+	metrics = get("/fleet/metrics")
+	if !strings.Contains(metrics, `fleet_member_up{member="sw0"} 0`) {
+		t.Fatalf("sw0 still up in metrics after kill:\n%s", metrics)
+	}
+
+	// The stitched trace survives member loss: it was captured earlier.
+	if _, ok := agg.Trace(3); !ok {
+		t.Fatal("stitched trace lost after member death")
+	}
+
+	// One-shot text rendering names the members and the health states.
+	text := after.Text()
+	for _, wantStr := range []string{"db0", "sw0", "stale", "convergence"} {
+		if !strings.Contains(text, wantStr) {
+			t.Fatalf("text rendering missing %q:\n%s", wantStr, text)
+		}
+	}
+}
+
+// TestAggregatorSkewCorrection fakes a member whose wall clock runs an
+// hour ahead and checks that stitching maps its stages back onto the
+// aggregator's clock.
+func TestAggregatorSkewCorrection(t *testing.T) {
+	const skew = time.Hour
+	t0 := time.Now().Add(-time.Second)
+
+	db, dbSrv := memberServer(t, "ovsdb", "db0")
+	db.Tr().Record(5, "ovsdb", stage(obs.StageCommit, t0, time.Millisecond))
+	db.Tr().Record(5, "ovsdb", stage("monitor", t0.Add(time.Millisecond), time.Millisecond))
+	db.Tr().Record(5, "ovsdb", stage("delta", t0.Add(2*time.Millisecond), time.Millisecond))
+	db.Tr().Record(5, "ovsdb", stage("push", t0.Add(3*time.Millisecond), time.Millisecond))
+
+	// The skewed switch: every timestamp it reports — stage times and its
+	// X-Obs-Now clock anchor — is one hour in the future.
+	swMux := http.NewServeMux()
+	swMux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Obs-Now-Unix-Nano", strconv.FormatInt(time.Now().Add(skew).UnixNano(), 10))
+		w.Write([]byte("ready\n"))
+	})
+	swMux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Obs-Plane", "switchsim")
+		w.Header().Set("X-Obs-Instance", "sw0")
+		w.Header().Set("X-Obs-Now-Unix-Nano", strconv.FormatInt(time.Now().Add(skew).UnixNano(), 10))
+		tr := obs.Trace{TxnID: 5, Source: "p4rt", Stages: []obs.Stage{
+			stage(obs.StageSwitchApplied, t0.Add(skew).Add(4*time.Millisecond), time.Millisecond),
+		}}
+		json.NewEncoder(w).Encode(struct {
+			Traces []obs.Trace `json:"traces"`
+		}{[]obs.Trace{tr}})
+	})
+	swSrv := httptest.NewServer(swMux)
+	defer swSrv.Close()
+
+	agg, err := New(Config{Targets: []string{"db=" + dbSrv.URL, "sw=" + swSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.PollOnce()
+
+	tr, ok := agg.Trace(5)
+	if !ok {
+		t.Fatal("no stitched trace for txn 5")
+	}
+	if !tr.Complete {
+		t.Fatalf("trace should be complete after skew correction: %+v", tr)
+	}
+	// Without correction the convergence would read ~1h; corrected it is
+	// ~5ms (plus the request round-trip error, well under a second).
+	if got := time.Duration(tr.ConvergenceNs); got < 0 || got > time.Second {
+		t.Fatalf("skew-corrected convergence = %v, want ~5ms", got)
+	}
+	if got := tr.Stages[len(tr.Stages)-1].Name; got != obs.StageSwitchApplied {
+		t.Fatalf("timeline ends in %q after correction, want switch-applied", got)
+	}
+	st := agg.Status()
+	for _, m := range st.Members {
+		if m.Name == "sw0" {
+			if got := time.Duration(m.SkewNs); got < 59*time.Minute || got > 61*time.Minute {
+				t.Fatalf("estimated skew = %v, want ~1h", got)
+			}
+		}
+	}
+}

@@ -71,9 +71,31 @@ type Observer struct {
 	// expl holds the registered Explainer (nil until a provenance-capable
 	// component wires itself in).
 	expl atomic.Value
+	// identity holds the process Identity stamped onto every HTTP
+	// response (zero until SetIdentity).
+	identity atomic.Value
+	// start anchors the process's monotonic clock: it is captured at
+	// observer creation and carries Go's monotonic reading, so
+	// time.Since(start) is immune to wall-clock steps.
+	start time.Time
+	// readyDetail holds appended readiness-detail callbacks (see
+	// AddReadyDetail).
+	readyDetailMu sync.Mutex
+	readyDetail   []func() string
 
 	mIncidents *Counter
 	mStalled   *Gauge
+}
+
+// Identity names the process behind an obs endpoint: which plane it
+// implements (ovsdb, controller, switchsim, ...), a fleet-unique
+// instance ID, and when it started. Aggregators use it to attribute
+// scraped traces and metrics to fleet members and to correct for
+// wall-clock skew between hosts.
+type Identity struct {
+	Plane    string    `json:"plane"`
+	Instance string    `json:"instance"`
+	Start    time.Time `json:"start"`
 }
 
 // ObserverConfig sizes the flight-recorder parts of an observer. The
@@ -104,16 +126,22 @@ func NewObserverWith(cfg ObserverConfig) *Observer {
 		Incidents: NewIncidentStore(cfg.IncidentCapacity),
 		History:   NewHistory(cfg.HistorySamples),
 		Watchdog:  NewWatchdog(cfg.Watchdog),
+		start:     time.Now(),
 	}
 	if cfg.EventCapacity >= 0 {
 		o.Recorder = NewRecorder(cfg.EventCapacity)
-		o.Recorder.total = o.Registry.Counter("obs_events_total",
-			"Flight-recorder events appended (including since-evicted ones).")
+		// Scrape-time callback off the ring's own sequence counter: the
+		// append hot path pays no separate metrics atomic.
+		o.Registry.CounterFunc("obs_events_total",
+			"Flight-recorder events appended (including since-evicted ones).",
+			o.Recorder.Total)
 	}
 	o.mIncidents = o.Registry.Counter("obs_incidents_total",
 		"Slow-transaction incidents pinned by budget checks.")
 	o.mStalled = o.Registry.Gauge("obs_watchdog_stalled",
 		"1 while the stall watchdog reports a wedge, else 0.")
+	o.Tracer.convergence = o.Registry.Histogram("obs_convergence_seconds",
+		"End-to-end commit-to-switch-applied latency per transaction (the full-stack convergence SLO; observed when one tracer sees both stages).", nil)
 	return o
 }
 
@@ -234,6 +262,83 @@ func (o *Observer) DegradedReasons() []string {
 	return out
 }
 
+// SetIdentity names this process for fleet attribution: plane is the
+// layer it implements ("ovsdb", "controller", "switchsim", ...),
+// instance a fleet-unique ID (defaulting to plane when empty). Every
+// HTTP response then carries X-Obs-Plane / X-Obs-Instance /
+// X-Obs-Start-Unix-Nano headers alongside the always-present
+// X-Obs-Now-Unix-Nano / X-Obs-Mono-Ns clock anchors. Nil-safe.
+func (o *Observer) SetIdentity(plane, instance string) {
+	if o == nil {
+		return
+	}
+	if instance == "" {
+		instance = plane
+	}
+	o.identity.Store(Identity{Plane: plane, Instance: instance, Start: o.start})
+}
+
+// Identity returns the identity set by SetIdentity (zero if unset or
+// the observer is disabled).
+func (o *Observer) Identity() Identity {
+	if o == nil {
+		return Identity{}
+	}
+	id, _ := o.identity.Load().(Identity)
+	return id
+}
+
+// AddReadyDetail registers a callback whose non-empty return is
+// appended as an extra line to the healthy /readyz body — status
+// detail (e.g. "wal: snapshot 312s old") that should be visible to
+// probes without flipping readiness. Nil-safe.
+func (o *Observer) AddReadyDetail(f func() string) {
+	if o == nil || f == nil {
+		return
+	}
+	o.readyDetailMu.Lock()
+	o.readyDetail = append(o.readyDetail, f)
+	o.readyDetailMu.Unlock()
+}
+
+// readyDetails collects the non-empty detail lines.
+func (o *Observer) readyDetails() []string {
+	if o == nil {
+		return nil
+	}
+	o.readyDetailMu.Lock()
+	fns := o.readyDetail
+	o.readyDetailMu.Unlock()
+	var out []string
+	for _, f := range fns {
+		if s := f(); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// setIdentityHeaders stamps the process-identity and clock-anchor
+// headers onto one HTTP response. X-Obs-Now-Unix-Nano is the wall
+// clock at response time (an NTP-style skew probe for scrapers);
+// X-Obs-Mono-Ns is nanoseconds of monotonic uptime, immune to
+// wall-clock steps.
+func (o *Observer) setIdentityHeaders(h http.Header) {
+	if o == nil {
+		return
+	}
+	if id := o.Identity(); id.Plane != "" || id.Instance != "" {
+		h.Set("X-Obs-Plane", id.Plane)
+		h.Set("X-Obs-Instance", id.Instance)
+		h.Set("X-Obs-Start-Unix-Nano", strconv.FormatInt(id.Start.UnixNano(), 10))
+	}
+	now := time.Now()
+	h.Set("X-Obs-Now-Unix-Nano", strconv.FormatInt(now.UnixNano(), 10))
+	if !o.start.IsZero() {
+		h.Set("X-Obs-Mono-Ns", strconv.FormatInt(int64(now.Sub(o.start)), 10))
+	}
+}
+
 // SetExplainer registers the /debug/explain resolver. Nil-safe; a nil
 // explainer is ignored.
 func (o *Observer) SetExplainer(e Explainer) {
@@ -296,6 +401,10 @@ func (o *Observer) Handler() http.Handler {
 			return
 		}
 		io.WriteString(w, "ready\n")
+		// Non-fatal status detail rides along on the healthy body.
+		for _, line := range o.readyDetails() {
+			io.WriteString(w, line+"\n")
+		}
 	})
 	mux.HandleFunc("/debug/traces", o.handleTraces)
 	mux.HandleFunc("/debug/events", o.handleEvents)
@@ -307,7 +416,12 @@ func (o *Observer) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	// Every response carries the process-identity and clock-anchor
+	// headers so scrapers can attribute and skew-correct what they read.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		o.setIdentityHeaders(w.Header())
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func (o *Observer) handleTraces(w http.ResponseWriter, r *http.Request) {

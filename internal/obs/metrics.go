@@ -270,6 +270,61 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return g
 }
 
+// CounterFunc is a counter series whose value is computed at scrape
+// time by a callback, for monotonic totals a subsystem already tracks
+// internally — sparing its hot path a second per-event atomic.
+type CounterFunc struct {
+	inst instrument
+	fn   func() uint64
+}
+
+// CounterFunc registers (or returns the existing) callback-backed
+// counter series. fn must be safe to call from any goroutine and
+// monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) *CounterFunc {
+	if r == nil {
+		return nil
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, got := r.lookup(name, help, "counter", key)
+	if got != nil {
+		return got.(*CounterFunc)
+	}
+	c := &CounterFunc{inst: instrument{name: name, labels: key}, fn: fn}
+	f.byKey[key] = c
+	f.series = append(f.series, &c.inst)
+	return c
+}
+
+// GaugeFunc is a gauge series whose value is computed at scrape time by
+// a callback — for values derived from state rather than maintained by
+// explicit Set calls (e.g. the age of the last WAL snapshot).
+type GaugeFunc struct {
+	inst instrument
+	fn   func() float64
+}
+
+// GaugeFunc registers (or returns the existing) callback-backed gauge
+// series. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *GaugeFunc {
+	if r == nil {
+		return nil
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, got := r.lookup(name, help, "gauge", key)
+	if got != nil {
+		return got.(*GaugeFunc)
+	}
+	g := &GaugeFunc{inst: instrument{name: name, labels: key}, fn: fn}
+	f.byKey[key] = g
+	f.series = append(f.series, &g.inst)
+	return g
+}
+
 // Histogram registers (or returns the existing) histogram series with the
 // given ascending bucket upper bounds (nil selects LatencyBuckets).
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
@@ -352,8 +407,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			switch m := f.byKey[inst.labels].(type) {
 			case *Counter:
 				fmt.Fprintf(&sb, "%s%s %d\n", f.name, inst.labels, m.Value())
+			case *CounterFunc:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, inst.labels, m.fn())
 			case *Gauge:
 				fmt.Fprintf(&sb, "%s%s %s\n", f.name, inst.labels, formatFloat(m.Value()))
+			case *GaugeFunc:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, inst.labels, formatFloat(m.fn()))
 			case *Histogram:
 				cum := uint64(0)
 				for i, b := range m.bounds {
@@ -388,8 +447,12 @@ func (r *Registry) Snapshot() map[string]float64 {
 			switch m := f.byKey[inst.labels].(type) {
 			case *Counter:
 				out[f.name+inst.labels] = float64(m.Value())
+			case *CounterFunc:
+				out[f.name+inst.labels] = float64(m.fn())
 			case *Gauge:
 				out[f.name+inst.labels] = m.Value()
+			case *GaugeFunc:
+				out[f.name+inst.labels] = m.fn()
 			case *Histogram:
 				cum := uint64(0)
 				for i, b := range m.bounds {

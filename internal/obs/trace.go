@@ -89,7 +89,22 @@ type Tracer struct {
 	byID    map[uint64]*Trace
 	order   []uint64 // insertion order for FIFO eviction
 	evicted uint64
+
+	// convergence, when set (NewObserver wires it), observes the
+	// commit→switch-applied latency whenever a trace that already carries
+	// its commit stage gains a switch-applied stage — the end-to-end SLO.
+	// Only single-process stacks see both stages in one tracer; across
+	// processes the fleet aggregator stitches the same measurement.
+	convergence *Histogram
 }
+
+// StageCommit and StageSwitchApplied are the trace stages bounding the
+// end-to-end convergence measurement: the management-plane commit and
+// the data-plane apply.
+const (
+	StageCommit        = "commit"
+	StageSwitchApplied = "switch-applied"
+)
 
 // DefaultTraceCapacity bounds the ring when NewTracer is given n <= 0.
 const DefaultTraceCapacity = 256
@@ -132,6 +147,14 @@ func (t *Tracer) Record(txnID uint64, source string, st Stage) {
 		tr.Source = source
 	}
 	tr.Stages = append(tr.Stages, st)
+	if t.convergence != nil && st.Name == StageSwitchApplied {
+		for i := range tr.Stages {
+			if tr.Stages[i].Name == StageCommit {
+				t.convergence.ObserveDuration(st.End.Sub(tr.Stages[i].Start))
+				break
+			}
+		}
+	}
 }
 
 // Get returns a copy of txnID's trace.

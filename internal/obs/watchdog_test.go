@@ -172,6 +172,60 @@ func TestWatchdogFlipsReadyzAndGauge(t *testing.T) {
 	}
 }
 
+// TestWatchdogQueueRecoveryClearsStall drives the queue-flat-high rule
+// end to end through the sampler: a wedge (queue pinned at the cap)
+// flips /readyz and the gauge, then the queue draining back down clears
+// the stall, restores /readyz to 200, and zeroes the gauge.
+func TestWatchdogQueueRecoveryClearsStall(t *testing.T) {
+	o := NewObserverWith(ObserverConfig{Watchdog: WatchdogConfig{Window: 3, QueueHighWater: 100}})
+	o.SetReady(true)
+	depth := 0.0
+	o.TrackValue(SeriesQueueDepth, func() float64 { return depth })
+	o.History.onSample = func(h *History) { o.runWatchdog(h) }
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	base := time.Unix(9500, 0)
+	tick := 0
+	step := func() {
+		tick++
+		o.History.sampleOnce(base.Add(time.Duration(tick) * time.Second))
+	}
+
+	// Wedge: the push queue pins at 512 and never drains.
+	depth = 512
+	for i := 0; i < 4; i++ { // baseline + full window
+		step()
+	}
+	if r := o.StallReason(); !strings.Contains(r, "queue depth flat-high") {
+		t.Fatalf("StallReason = %q, want queue-flat-high", r)
+	}
+	code, body := get(t, srv, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "queue depth flat-high") {
+		t.Fatalf("/readyz while wedged = %d %q", code, body)
+	}
+	if v := gaugeValue(t, o, "obs_watchdog_stalled"); v != 1 {
+		t.Fatalf("obs_watchdog_stalled = %g, want 1", v)
+	}
+
+	// Recovery: the queue drains below the high-water mark. One falling
+	// sample already breaks the flat-high window.
+	for _, d := range []float64{300, 80, 0, 0} {
+		depth = d
+		step()
+	}
+	if r := o.StallReason(); r != "" {
+		t.Fatalf("StallReason after drain = %q, want \"\"", r)
+	}
+	code, body = get(t, srv, "/readyz")
+	if code != http.StatusOK || !strings.HasPrefix(body, "ready") {
+		t.Fatalf("/readyz after drain = %d %q, want 200 ready", code, body)
+	}
+	if v := gaugeValue(t, o, "obs_watchdog_stalled"); v != 0 {
+		t.Fatalf("obs_watchdog_stalled = %g, want 0", v)
+	}
+}
+
 func gaugeValue(t *testing.T, o *Observer, name string) float64 {
 	t.Helper()
 	return o.Reg().Gauge(name, "").Value()

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -37,6 +38,12 @@ type Options struct {
 	// SnapshotEvery is the number of appended records between snapshot
 	// compactions (default 8192; negative disables automatic snapshots).
 	SnapshotEvery int
+	// SnapshotStaleAfter is the last-snapshot age beyond which the log
+	// surfaces a staleness line in the observer's healthy /readyz detail
+	// (default 15m; negative disables the detail line). The
+	// ovsdb_wal_last_snapshot_age_seconds gauge reports the age
+	// regardless.
+	SnapshotStaleAfter time.Duration
 	// Obs receives ovsdb_wal_* metrics and wal.* flight-recorder events;
 	// nil disables all instrumentation.
 	Obs *obs.Observer
@@ -116,6 +123,12 @@ type Log struct {
 	stopped chan struct{}
 	snapWG  sync.WaitGroup
 
+	// snapAnchor is when the durable image was last refreshed (unix
+	// nanos): the newest snapshot file's mtime at recovery, open time
+	// when the directory held none, then each compaction's completion.
+	// ovsdb_wal_last_snapshot_age_seconds derives from it at scrape time.
+	snapAnchor atomic.Int64
+
 	rec           *obs.Recorder
 	mAppends      *obs.Counter
 	mAppendBytes  *obs.Counter
@@ -169,6 +182,27 @@ func Open(opts Options) (*Log, *Recovered, error) {
 	}
 	l.dir = dir
 	l.lastTxn = recovered.LastTxn
+	l.snapAnchor.Store(l.recoveredSnapshotTime(recovered).UnixNano())
+	reg.Gauge("ovsdb_wal_recovery_duration_seconds",
+		"How long the last startup recovery (snapshot load plus tail replay) took.").
+		Set(time.Since(start).Seconds())
+	reg.GaugeFunc("ovsdb_wal_last_snapshot_age_seconds",
+		"Seconds since the durable image was last compacted into a snapshot (since open when none exists yet).",
+		func() float64 { return time.Since(time.Unix(0, l.snapAnchor.Load())).Seconds() })
+	staleAfter := opts.SnapshotStaleAfter
+	if staleAfter == 0 {
+		staleAfter = 15 * time.Minute
+	}
+	if staleAfter > 0 {
+		opts.Obs.AddReadyDetail(func() string {
+			age := time.Since(time.Unix(0, l.snapAnchor.Load()))
+			if age <= staleAfter {
+				return ""
+			}
+			return fmt.Sprintf("wal: last snapshot %s old (stale after %s)",
+				age.Round(time.Second), staleAfter)
+		})
+	}
 	go l.run()
 	l.rec.Append(obs.Ev("ovsdb", "wal.recover").
 		F("last_txn", int64(recovered.LastTxn)).
@@ -176,6 +210,18 @@ func Open(opts Options) (*Log, *Recovered, error) {
 		F("dropped_bytes", int64(recovered.DroppedBytes)).
 		F("recover_us", time.Since(start).Microseconds()))
 	return l, recovered, nil
+}
+
+// recoveredSnapshotTime anchors snapshot freshness at open: the newest
+// snapshot file's mtime, or now when the directory holds none (a fresh
+// log's "image" is as old as the log itself).
+func (l *Log) recoveredSnapshotTime(recovered *Recovered) time.Time {
+	if recovered.Snapshot != nil && recovered.Snapshot.Txn != 0 {
+		if fi, err := os.Stat(filepath.Join(l.opts.Dir, snapName(recovered.Snapshot.Txn))); err == nil {
+			return fi.ModTime()
+		}
+	}
+	return time.Now()
 }
 
 // recover loads the newest valid snapshot, replays every later record,
@@ -601,6 +647,7 @@ func (l *Log) writeSnapshot(render func() (*Snapshot, error), coveredStart uint6
 			os.Remove(filepath.Join(l.opts.Dir, name))
 		}
 	}
+	l.snapAnchor.Store(time.Now().UnixNano())
 	l.rec.Append(obs.Ev("ovsdb", "wal.snapshot").
 		F("txn", int64(snap.Txn)).
 		F("bytes", int64(len(data))).

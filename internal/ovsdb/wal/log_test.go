@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -446,5 +448,77 @@ func TestLogCorruptSnapshotRecovery(t *testing.T) {
 	}
 	if _, _, err := Open(Options{Dir: dir2}); err == nil || !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("uncovered fallback after compaction: got %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLogFreshnessGaugesAndReadyDetail covers the durability-freshness
+// surface: the recovery-duration gauge, the scrape-time snapshot-age
+// gauge, the anchor refresh on compaction and on recovery from an
+// existing snapshot file, and the stale-snapshot line in the healthy
+// /readyz body.
+func TestLogFreshnessGaugesAndReadyDetail(t *testing.T) {
+	dir := t.TempDir()
+	o := obs.NewObserver()
+	o.SetReady(true)
+	l, _, err := Open(Options{Dir: dir, SnapshotEvery: -1, SnapshotStaleAfter: time.Nanosecond, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := o.Reg().Snapshot()
+	if v, ok := snap["ovsdb_wal_recovery_duration_seconds"]; !ok || v < 0 {
+		t.Fatalf("recovery duration gauge missing or negative: %v (%v)", v, ok)
+	}
+	if age, ok := snap["ovsdb_wal_last_snapshot_age_seconds"]; !ok || age < 0 || age > 60 {
+		t.Fatalf("fresh dir snapshot age = %v (%v), want ~0", age, ok)
+	}
+
+	// With a nanosecond staleness budget the healthy readiness body
+	// carries the WAL detail line without flipping to 503.
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %s, want 200 (stale snapshot must not flip readiness)", resp.Status)
+	}
+	if text := string(body[:n]); !strings.HasPrefix(text, "ready\n") || !strings.Contains(text, "wal: last snapshot") {
+		t.Fatalf("/readyz body missing WAL staleness detail:\n%s", text)
+	}
+
+	// Compaction refreshes the freshness anchor.
+	before := l.snapAnchor.Load()
+	mustAppend(t, l, rowRecord(1, "Port", "row-1", "p1"))
+	l.CompactAsync(func() (*Snapshot, error) {
+		return &Snapshot{Txn: 1, Tables: map[string]map[string]json.RawMessage{
+			"Port": {"row-1": json.RawMessage(`{"name":"p1"}`)},
+		}}, nil
+	})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if after := l.snapAnchor.Load(); after <= before {
+		t.Fatalf("snapshot anchor not refreshed by compaction: before=%d after=%d", before, after)
+	}
+
+	// Reopening anchors freshness at the snapshot file's mtime, not the
+	// open instant.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, snapName(1)), old, old); err != nil {
+		t.Fatal(err)
+	}
+	o2 := obs.NewObserver()
+	l2, _, err := Open(Options{Dir: dir, Obs: o2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if age := o2.Reg().Snapshot()["ovsdb_wal_last_snapshot_age_seconds"]; age < 3500 || age > 3700 {
+		t.Fatalf("reopened snapshot age = %vs, want ~3600s (the file's mtime)", age)
 	}
 }

@@ -95,7 +95,7 @@ func (c *Client) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) 
 		handler := c.onDigest
 		ack := c.autoAck
 		c.mu.Unlock()
-		c.rec.Append(obs.Ev("p4rt", "digest.recv").WithDevice(c.target).
+		c.rec.Append(obs.Ev("p4rt", "digest.recv").WithTxn(dl.Txn).WithDevice(c.target).
 			F("list_id", int64(dl.ListID)).
 			F("messages", int64(len(dl.Messages))))
 		if handler != nil {
@@ -165,13 +165,26 @@ func (c *Client) SetObs(o *obs.Observer, target string) {
 
 // Write applies updates atomically on the device.
 func (c *Client) Write(updates ...Update) error {
+	return c.WriteTxn(0, updates...)
+}
+
+// WriteTxn is Write with the originating management-plane transaction
+// attached as optional wire metadata, so the device can stamp its apply
+// events and extend the transaction's trace with a switch-applied stage.
+// A zero txn sends the legacy bare-array form, byte-identical to what
+// pre-txn clients emit — safe against old servers.
+func (c *Client) WriteTxn(txn uint64, updates ...Update) error {
+	var params any = updates
+	if txn != 0 {
+		params = WriteRequest{Txn: txn, Updates: updates}
+	}
 	var out map[string]any
 	if !c.obsOn {
-		return c.conn.Call("write", updates, &out)
+		return c.conn.Call("write", params, &out)
 	}
 	c.mInflight.Add(1)
 	t0 := time.Now()
-	err := c.conn.Call("write", updates, &out)
+	err := c.conn.Call("write", params, &out)
 	elapsed := time.Since(t0)
 	c.mWriteSecs.ObserveDuration(elapsed)
 	c.mInflight.Add(-1)
@@ -182,7 +195,7 @@ func (c *Client) Write(updates ...Update) error {
 		c.mWriteErrors.Inc()
 		failed = 1
 	}
-	c.rec.Append(obs.Ev("p4rt", "rpc.write").WithDevice(c.target).
+	c.rec.Append(obs.Ev("p4rt", "rpc.write").WithTxn(txn).WithDevice(c.target).
 		F("updates", int64(len(updates))).
 		F("rpc_us", elapsed.Microseconds()).
 		F("failed", failed))

@@ -62,6 +62,31 @@ type DigestList struct {
 	Digest   string     `json:"digest"`
 	ListID   uint64     `json:"list_id"`
 	Messages [][]uint64 `json:"messages"`
+	// Txn is the last management-plane transaction the switch had applied
+	// when the digest was emitted (0 = unknown / none yet). It attributes
+	// data-plane learning to the configuration generation it ran under.
+	// Optional on the wire: decoders that predate it ignore the field.
+	Txn uint64 `json:"txn,omitempty"`
+}
+
+// WriteRequest is the extended wire form of the write RPC, carrying the
+// originating management-plane transaction alongside the updates. The
+// legacy form is a bare JSON array of updates; servers accept both (the
+// same backward-compatibility trick as the optional third element of the
+// OVSDB update notification), and clients only emit the extended form
+// when they have a transaction to attach.
+type WriteRequest struct {
+	Txn     uint64   `json:"txn,omitempty"`
+	Updates []Update `json:"updates"`
+}
+
+// TxnDevice is optionally implemented by devices that can attribute a
+// write to its originating management-plane transaction (switchsim does:
+// it stamps write.apply events and records the switch-applied trace
+// stage). Servers fall back to Device.Write when it is absent or when
+// the write carries no transaction.
+type TxnDevice interface {
+	WriteTxn(txn uint64, updates []Update) error
 }
 
 // PacketIn is a data-plane-to-controller packet notification.

@@ -342,3 +342,117 @@ func waitCond(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// fakeTxnDevice is a fakeDevice that also implements TxnDevice,
+// recording which transaction each attributed write arrived under.
+type fakeTxnDevice struct {
+	fakeDevice
+	txns []uint64
+}
+
+func (d *fakeTxnDevice) WriteTxn(txn uint64, updates []Update) error {
+	d.mu.Lock()
+	d.txns = append(d.txns, txn)
+	d.mu.Unlock()
+	return d.Write(updates)
+}
+
+// TestWriteTxnWireForms pins the write RPC's two wire forms: WriteTxn
+// with a nonzero txn sends the extended WriteRequest object and lands on
+// the device's WriteTxn; txn 0 (and plain Write) sends the legacy bare
+// array and lands on Write, byte-compatible with old clients.
+func TestWriteTxnWireForms(t *testing.T) {
+	dev := &fakeTxnDevice{fakeDevice: fakeDevice{info: &p4.P4Info{Program: "fake"}}}
+	_, addr := startServer(t, dev)
+	c := dialT(t, addr)
+
+	upd := InsertEntry(TableEntry{Table: "t", Action: "fwd", Params: []uint64{1}})
+	if err := c.WriteTxn(42, upd); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteTxn(0, upd); err != nil { // degrades to the legacy array
+		t.Fatal(err)
+	}
+	if err := c.Write(upd); err != nil {
+		t.Fatal(err)
+	}
+	dev.mu.Lock()
+	writes, txns := len(dev.writes), append([]uint64(nil), dev.txns...)
+	dev.mu.Unlock()
+	if writes != 3 {
+		t.Fatalf("device saw %d writes, want 3", writes)
+	}
+	if len(txns) != 1 || txns[0] != 42 {
+		t.Fatalf("attributed txns = %v, want [42]", txns)
+	}
+}
+
+// TestWriteTxnLegacyDevice checks the server-side fallback: a device
+// without the TxnDevice extension still receives txn-stamped writes
+// through plain Write, so new controllers interoperate with old
+// switches.
+func TestWriteTxnLegacyDevice(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	_, addr := startServer(t, dev)
+	c := dialT(t, addr)
+
+	upd := InsertEntry(TableEntry{Table: "t", Action: "fwd", Params: []uint64{1}})
+	if err := c.WriteTxn(42, upd); err != nil {
+		t.Fatal(err)
+	}
+	dev.mu.Lock()
+	writes := len(dev.writes)
+	dev.mu.Unlock()
+	if writes != 1 {
+		t.Fatalf("legacy device saw %d writes, want 1", writes)
+	}
+}
+
+// TestWriteRequestDecodeForms drives the server's params discrimination
+// directly with raw JSON: object params decode as WriteRequest, array
+// params as a bare update list, and leading whitespace doesn't confuse
+// the sniff.
+func TestWriteRequestDecodeForms(t *testing.T) {
+	for _, tc := range []struct {
+		raw  string
+		want bool
+	}{
+		{`{"txn":7,"updates":[]}`, true},
+		{`  {"txn":7}`, true},
+		{"\n\t[]", false},
+		{`[{"type":"insert"}]`, false},
+		{``, false},
+	} {
+		if got := isJSONObject([]byte(tc.raw)); got != tc.want {
+			t.Errorf("isJSONObject(%q) = %v, want %v", tc.raw, got, tc.want)
+		}
+	}
+}
+
+// TestDigestTxnRoundTrip checks the digest txn watermark survives the
+// notify wire format, and that a zero txn is omitted entirely (old-field
+// compatibility).
+func TestDigestTxnRoundTrip(t *testing.T) {
+	dev := &fakeDevice{info: &p4.P4Info{Program: "fake"}}
+	srv, addr := startServer(t, dev)
+	c := dialT(t, addr)
+
+	seen := make(chan DigestList, 2)
+	c.OnDigest(func(dl DigestList) { seen <- dl })
+	srv.NotifyDigest(DigestList{Digest: "learn", ListID: 1, Txn: 99})
+	srv.NotifyDigest(DigestList{Digest: "learn", ListID: 2})
+	for i := 0; i < 2; i++ {
+		select {
+		case dl := <-seen:
+			want := uint64(0)
+			if dl.ListID == 1 {
+				want = 99
+			}
+			if dl.Txn != want {
+				t.Fatalf("digest %d txn = %d, want %d", dl.ListID, dl.Txn, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("digest never delivered")
+		}
+	}
+}

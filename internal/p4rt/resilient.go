@@ -234,11 +234,17 @@ func (r *ResilientClient) GetP4Info() (*p4.P4Info, error) {
 // ErrUnavailable; reconciliation on reconnect is then responsible for
 // convergence.
 func (r *ResilientClient) Write(updates ...Update) error {
+	return r.WriteTxn(0, updates...)
+}
+
+// WriteTxn is Write with the originating transaction attached as
+// optional wire metadata (see Client.WriteTxn).
+func (r *ResilientClient) WriteTxn(txn uint64, updates ...Update) error {
 	c, err := r.client()
 	if err != nil {
 		return err
 	}
-	return unavailableOn(c.Write(updates...))
+	return unavailableOn(c.WriteTxn(txn, updates...))
 }
 
 // ReadTable snapshots a table's entries.

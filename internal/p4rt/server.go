@@ -132,6 +132,22 @@ func (s *Server) NotifyPacketIn(pi PacketIn) {
 	}
 }
 
+// isJSONObject reports whether raw's first non-space byte opens an
+// object (the extended WriteRequest form) rather than an array.
+func isJSONObject(raw json.RawMessage) bool {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 func (s *Server) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) (any, *jsonrpc.RPCError) {
 	switch method {
 	case "echo":
@@ -145,11 +161,28 @@ func (s *Server) handle(_ *jsonrpc.Conn, method string, params json.RawMessage) 
 	case "get_p4info":
 		return s.dev.P4Info(), nil
 	case "write":
+		// Two wire forms: the legacy bare update array, and the extended
+		// WriteRequest object carrying the originating transaction (see
+		// p4rt.WriteRequest). Old clients keep sending arrays; both land
+		// on the same device.
 		var updates []Update
-		if err := json.Unmarshal(params, &updates); err != nil {
+		var txn uint64
+		if isJSONObject(params) {
+			var req WriteRequest
+			if err := json.Unmarshal(params, &req); err != nil {
+				return nil, &jsonrpc.RPCError{Code: "bad params", Details: err.Error()}
+			}
+			updates, txn = req.Updates, req.Txn
+		} else if err := json.Unmarshal(params, &updates); err != nil {
 			return nil, &jsonrpc.RPCError{Code: "bad params", Details: err.Error()}
 		}
-		if err := s.dev.Write(updates); err != nil {
+		var err error
+		if td, ok := s.dev.(TxnDevice); ok && txn != 0 {
+			err = td.WriteTxn(txn, updates)
+		} else {
+			err = s.dev.Write(updates)
+		}
+		if err != nil {
 			return nil, &jsonrpc.RPCError{Code: "write failed", Details: err.Error()}
 		}
 		return map[string]any{}, nil

@@ -63,6 +63,12 @@ type Switch struct {
 	mWrites  *obs.Counter
 	mUpdates *obs.Counter
 	rec      *obs.Recorder
+	tracer   *obs.Tracer
+
+	// lastTxn is the newest management-plane transaction applied through
+	// WriteTxn; digests emitted afterwards are attributed to it (the
+	// configuration generation the pipeline ran under).
+	lastTxn atomic.Uint64
 
 	// writeFault, when set, runs at the start of every Write (fault
 	// injection for tests: delays, forced errors).
@@ -83,6 +89,7 @@ func (sw *Switch) SetWriteFault(f func([]p4rt.Update) error) {
 func (sw *Switch) SetObs(o *obs.Observer) {
 	reg := o.Reg()
 	sw.rec = o.Rec()
+	sw.tracer = o.Tr()
 	lbl := obs.L("switch", sw.name)
 	sw.mRx = reg.Counter("switchsim_rx_packets_total", "Frames injected.", lbl)
 	sw.mTx = reg.Counter("switchsim_tx_packets_total", "Frames emitted.", lbl)
@@ -254,10 +261,11 @@ func (sw *Switch) flushDigestLocked(name string) {
 	}
 	sw.nextListID++
 	sw.mDigests.Inc()
-	sw.rec.Append(obs.Ev("switchsim", "digest.send").WithDevice(sw.name).
+	txn := sw.lastTxn.Load()
+	sw.rec.Append(obs.Ev("switchsim", "digest.send").WithTxn(txn).WithDevice(sw.name).
 		F("list_id", int64(sw.nextListID)).
 		F("messages", int64(len(msgs))))
-	dl := p4rt.DigestList{Digest: name, ListID: sw.nextListID, Messages: msgs}
+	dl := p4rt.DigestList{Digest: name, ListID: sw.nextListID, Messages: msgs, Txn: txn}
 	// Notify without holding digestMu against reentrant acks: the server
 	// send path is asynchronous, so holding it is safe, but release anyway.
 	go sw.srv.NotifyDigest(dl)
@@ -271,17 +279,40 @@ func (sw *Switch) P4Info() *p4.P4Info { return sw.info }
 // Write applies updates atomically: all validations run against the
 // current state and applied changes are rolled back if a later update
 // fails.
-func (sw *Switch) Write(updates []p4rt.Update) error {
+func (sw *Switch) Write(updates []p4rt.Update) error { return sw.WriteTxn(0, updates) }
+
+// WriteTxn is Write attributed to the management-plane transaction that
+// produced the updates (p4rt.TxnDevice). The apply is stamped into the
+// flight recorder with the txn, and — when a tracer is attached — closes
+// the transaction's timeline with a switch-applied stage, the trace's
+// data-plane terminus.
+func (sw *Switch) WriteTxn(txn uint64, updates []p4rt.Update) error {
+	start := time.Now()
+	err := sw.applyWrite(txn, updates)
+	if err == nil && txn != 0 {
+		sw.lastTxn.Store(txn)
+		if sw.tracer != nil {
+			attrs := obs.NewAttrs()
+			attrs["updates"] = int64(len(updates))
+			sw.tracer.Record(txn, "switchsim", obs.Stage{
+				Name: "switch-applied", Start: start, End: time.Now(), Attrs: attrs,
+			})
+		}
+	}
+	return err
+}
+
+func (sw *Switch) applyWrite(txn uint64, updates []p4rt.Update) error {
 	if fp, _ := sw.writeFault.Load().(*func([]p4rt.Update) error); fp != nil && *fp != nil {
 		if err := (*fp)(updates); err != nil {
-			sw.rec.Append(obs.Ev("switchsim", "write.apply").WithDevice(sw.name).
+			sw.rec.Append(obs.Ev("switchsim", "write.apply").WithTxn(txn).WithDevice(sw.name).
 				F("updates", int64(len(updates))).F("failed", 1))
 			return fmt.Errorf("switchsim %s: injected fault: %w", sw.name, err)
 		}
 	}
 	sw.mWrites.Inc()
 	sw.mUpdates.Add(uint64(len(updates)))
-	sw.rec.Append(obs.Ev("switchsim", "write.apply").WithDevice(sw.name).
+	sw.rec.Append(obs.Ev("switchsim", "write.apply").WithTxn(txn).WithDevice(sw.name).
 		F("updates", int64(len(updates))))
 	type undo func()
 	var undos []undo

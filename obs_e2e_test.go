@@ -50,8 +50,8 @@ func stageNames(tr obs.Trace) []string {
 }
 
 // TestObsTraceTimeline asserts that one OVSDB transaction produces exactly
-// one trace carrying the complete commit→monitor→delta→push timeline with
-// monotonic stage timestamps.
+// one trace carrying the complete commit→monitor→delta→push→switch-applied
+// timeline with monotonic stage timestamps.
 func TestObsTraceTimeline(t *testing.T) {
 	o, s := startObservedStack(t)
 
@@ -67,7 +67,7 @@ func TestObsTraceTimeline(t *testing.T) {
 	for {
 		var ok bool
 		tr, ok = o.Tr().Get(txn)
-		if ok && len(tr.Stages) >= 4 {
+		if ok && len(tr.Stages) >= 5 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -83,7 +83,10 @@ func TestObsTraceTimeline(t *testing.T) {
 		t.Fatalf("trace source = %q, want ovsdb", tr.Source)
 	}
 
-	want := map[string]bool{"commit": true, "monitor": true, "delta": true, "push": true}
+	want := map[string]bool{
+		"commit": true, "monitor": true, "delta": true, "push": true,
+		"switch-applied": true,
+	}
 	byName := map[string]obs.Stage{}
 	for _, st := range tr.Stages {
 		byName[st.Name] = st
@@ -101,8 +104,8 @@ func TestObsTraceTimeline(t *testing.T) {
 		}
 	}
 	// Pipeline order: commit precedes monitor delivery precedes delta
-	// evaluation precedes the push completing.
-	order := []string{"commit", "monitor", "delta", "push"}
+	// evaluation precedes the push, within which the device applies.
+	order := []string{"commit", "monitor", "delta", "push", "switch-applied"}
 	for i := 1; i < len(order); i++ {
 		prev, cur := byName[order[i-1]], byName[order[i]]
 		if cur.Start.Before(prev.Start) {
@@ -172,7 +175,7 @@ func TestObsEndpointsServeAllPlanes(t *testing.T) {
 		if err := json.Unmarshal([]byte(get("/debug/traces")), &dump); err != nil {
 			t.Fatalf("/debug/traces is not JSON: %v", err)
 		}
-		if len(dump.Traces) == 1 && len(dump.Traces[0].Stages) >= 4 {
+		if len(dump.Traces) == 1 && len(dump.Traces[0].Stages) >= 5 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -192,7 +195,7 @@ func TestObsEndpointsServeAllPlanes(t *testing.T) {
 		idx[n] = i
 	}
 	last := -1
-	for _, n := range []string{"commit", "monitor", "delta", "push"} {
+	for _, n := range []string{"commit", "monitor", "delta", "push", "switch-applied"} {
 		i, ok := idx[n]
 		if !ok {
 			t.Fatalf("timeline missing %q: %v", n, names)
@@ -201,5 +204,11 @@ func TestObsEndpointsServeAllPlanes(t *testing.T) {
 			t.Fatalf("timeline out of order: %v", names)
 		}
 		last = i
+	}
+
+	// With switch-applied in the trace, the end-to-end convergence
+	// histogram must have observed the commit→apply latency.
+	if metrics := get("/metrics"); !strings.Contains(metrics, "obs_convergence_seconds_count 1") {
+		t.Fatalf("/metrics missing obs_convergence_seconds_count 1 after full timeline:\n%s", metrics)
 	}
 }
