@@ -38,6 +38,7 @@ func main() {
 	obsInstance := flag.String("obs-instance", "", "fleet-unique instance ID stamped on obs responses (default: the plane name)")
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
 	obsHistoryInterval := flag.Duration("obs-history-interval", time.Second, "metrics-history sampling interval (0 = off)")
+	obsProfile := flag.Bool("obs-profile", true, "continuous workload profiler: per-rule cost attribution (/debug/rules, dl_rule_*) and memory accounting (/debug/memory, dl_mem_*)")
 	reconnectBackoff := flag.Duration("reconnect-backoff", 5*time.Second, "maximum redial backoff after a connection drops (0 = exit on disconnect)")
 	rpcTimeout := flag.Duration("rpc-timeout", 30*time.Second, "per-RPC deadline on OVSDB and P4Runtime calls (0 = none)")
 	keepalive := flag.Duration("keepalive", 10*time.Second, "echo-heartbeat interval on every connection; 3 misses fail it (0 = off)")
@@ -151,6 +152,7 @@ func main() {
 		CoalesceMaxTxns:    *coalesceTxns,
 		CoalesceMaxUpdates: *coalesceUpdates,
 		CoalesceWindow:     *coalesceWindow,
+		Profile:            *obsProfile,
 	}
 	if *verbose {
 		cfg.OnTxn = func(st core.TxnStats) {

@@ -174,12 +174,18 @@ func TestFleetEndToEnd(t *testing.T) {
 		}
 	}
 
-	// One-shot mode prints the member table on stdout.
+	// One-shot mode prints the member table on stdout, plus the
+	// fleet-wide hot-rule table scraped from the controller's profiler
+	// (-obs-profile defaults on): rule IDs ranked by EWMA cost with the
+	// hottest member attributed.
 	out, err := exec.Command(filepath.Join(bin, "nerpa-top"), "-targets", targets, "-once").CombinedOutput()
 	if err != nil {
 		t.Fatalf("nerpa-top -once: %v\n%s", err, out)
 	}
-	for _, wantStr := range []string{"db0", "ctl0", "sw0", "up", "convergence"} {
+	for _, wantStr := range []string{
+		"db0", "ctl0", "sw0", "up", "convergence",
+		"hot rules", "InVlan#0", "TOP MEMBER",
+	} {
 		if !strings.Contains(string(out), wantStr) {
 			t.Fatalf("nerpa-top -once output missing %q:\n%s", wantStr, out)
 		}

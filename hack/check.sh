@@ -23,6 +23,9 @@ go test -run=NONE -bench=. -benchtime=1x ./...
 go run ./cmd/nerpa-bench -exp provenance -provenance-out BENCH_provenance.json
 test -s BENCH_provenance.json
 go test -run 'TestProvenanceOffZeroAlloc' -count=1 ./internal/dl/engine/
+# Workload profiler: with profiling off the per-rule attribution path
+# must stay allocation-free (the always-on cost is zero).
+go test -run 'TestRuleProfOffZeroAlloc' -count=1 ./internal/dl/engine/
 # Flight-recorder overhead: the experiment must emit its report, the
 # event hot path must stay allocation-free, and the p50 overhead vs the
 # metrics baseline must stay inside the honest budget. Measured range
@@ -34,7 +37,7 @@ test -s BENCH_obs_overhead.json
 python3 - <<'PYEOF'
 import json, sys
 rows = {r["mode"]: r["p50_overhead_pct"] for r in json.load(open("BENCH_obs_overhead.json"))["rows"]}
-budgets = {"events": 15.0, "events+dataplane": 20.0}
+budgets = {"events": 15.0, "events+dataplane": 20.0, "profiler": 20.0}
 for mode, budget in budgets.items():
     pct = rows.get(mode)
     if pct is None:

@@ -21,6 +21,27 @@ for m in $metrics; do
     fi
 done
 
+# Workload-profiler families: per-rule attribution series live under
+# dl_rule_* and memory accounting under dl_mem_*, and their suffixes
+# carry the semantics — cumulative per-rule counters end in _total,
+# the EWMA gauge in _seconds, and memory gauges in their unit. Keeping
+# the suffix conventions tight keeps the {rule=...} label cardinality
+# confined to a predictable, greppable family.
+for m in $metrics; do
+    case "$m" in
+    dl_rule_*)
+        if ! echo "$m" | grep -qE '^dl_rule_[a-z0-9_]+_(total|seconds)$'; then
+            echo "lint: profiler series \"$m\" must end in _total (counter) or _seconds (gauge)" >&2
+            fail=1
+        fi ;;
+    dl_mem_*)
+        if ! echo "$m" | grep -qE '^dl_mem_([a-z0-9_]+_)?(bytes|tuples|entries)$'; then
+            echo "lint: memory series \"$m\" must end in its unit (bytes/tuples/entries)" >&2
+            fail=1
+        fi ;;
+    esac
+done
+
 # The watchdog's canonical series constants are series names too.
 series=$(grep -hoE '^\tSeries[A-Za-z]+ += +"[^"]+"' internal/obs/watchdog.go |
     sed -E 's/.*"([^"]+)"/\1/')

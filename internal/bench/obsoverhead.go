@@ -18,12 +18,14 @@ import (
 // with no observer at all, with the observer but the event ring
 // disabled, with events on, with events plus txn-ID propagation into
 // the data plane (WriteTxn wire metadata and the switch-applied trace
-// stage), and with events plus the metrics-history sampler. Overhead
-// is computed against the "metrics" row (observer minus recorder),
-// which isolates what each layer adds on top of the pre-existing
-// metrics/tracing instrumentation: the events-only delta is the
-// always-on acceptance budget, and events+dataplane prices the
-// end-to-end tracing extension.
+// stage), with events plus the metrics-history sampler, and with the
+// workload profiler (per-rule stats collection in the engine plus the
+// EWMA aggregation and memory accounting). Overhead is computed
+// against the "metrics" row (observer minus recorder), which isolates
+// what each layer adds on top of the pre-existing metrics/tracing
+// instrumentation: the events-only delta is the always-on acceptance
+// budget, events+dataplane prices the end-to-end tracing extension,
+// and profiler prices the per-rule attribution path.
 // ---------------------------------------------------------------------
 
 // obsOverheadBaseMode is the row overheads are computed against.
@@ -31,7 +33,7 @@ const obsOverheadBaseMode = "metrics"
 
 // ObsOverheadRow is one recorder configuration's measurement.
 type ObsOverheadRow struct {
-	Mode string `json:"mode"` // "off", "metrics", "events", "events+dataplane", "events+history"
+	Mode string `json:"mode"` // "off", "metrics", "events", "events+dataplane", "events+history", "profiler"
 	Txns int    `json:"txns"`
 	// P50/P99 are apply+push latency percentiles (engine evaluation plus
 	// data-plane push, per transaction, as measured by the controller).
@@ -138,11 +140,14 @@ func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 			m.s.Close()
 		}
 	}()
-	for _, mode := range []string{"off", obsOverheadBaseMode, "events", "events+dataplane", "events+history"} {
+	for _, mode := range []string{"off", obsOverheadBaseMode, "events", "events+dataplane", "events+history", "profiler"} {
 		var o *obs.Observer
 		switch mode {
 		case "off":
-		case obsOverheadBaseMode:
+		case obsOverheadBaseMode, "profiler":
+			// profiler uses the metrics baseline (event ring disabled) plus
+			// the workload profiler, so its delta prices exactly the
+			// per-rule attribution path.
 			o = obs.NewObserverWith(obs.ObserverConfig{EventCapacity: -1})
 		default:
 			o = obs.NewObserver()
@@ -154,6 +159,7 @@ func RunObsOverhead(txns int) (*ObsOverheadResult, error) {
 		s, err := StartStackConfig(StackConfig{
 			Obs: o, OnTxn: coll.onTxn,
 			DisableTxnWrites: mode != "events+dataplane" && mode != "events+history",
+			Profile:          mode == "profiler",
 		})
 		if err != nil {
 			return nil, err

@@ -68,6 +68,12 @@ type StackConfig struct {
 	// device writes (WriteTxn); this turns that off so benchmarks can
 	// isolate the propagation cost.
 	DisableTxnWrites bool
+	// Profile passes through to core.Config: the continuous workload
+	// profiler (per-rule stats, memory accounting). Needs Obs.
+	Profile bool
+	// Rules overrides the control-plane program (default snvs.Rules) —
+	// profiler experiments append deliberately expensive rules to it.
+	Rules string
 }
 
 // directMP is the in-process management plane: the real ovsdb.Database
@@ -142,12 +148,17 @@ func StartStackConfig(cfg StackConfig) (*Stack, error) {
 	if cfg.DirectMP {
 		mp = directMP{s.DB}
 	}
+	rules := cfg.Rules
+	if rules == "" {
+		rules = snvs.Rules
+	}
 	s.Ctrl, err = core.New(core.Config{
-		Rules: snvs.Rules, Database: "snvs", Obs: o, OnTxn: onTxn,
+		Rules: rules, Database: "snvs", Obs: o, OnTxn: onTxn,
 		CoalesceMaxTxns:    cfg.CoalesceMaxTxns,
 		CoalesceMaxUpdates: cfg.CoalesceMaxUpdates,
 		CoalesceWindow:     cfg.CoalesceWindow,
 		DisableTxnWrites:   cfg.DisableTxnWrites,
+		Profile:            cfg.Profile,
 	}, mp, p4c)
 	if err != nil {
 		return fail(err)

@@ -132,6 +132,13 @@ type Config struct {
 	// cost in benchmarks. The default (false) propagates txn IDs whenever
 	// the controller is observed.
 	DisableTxnWrites bool
+	// Profile enables the continuous workload profiler: per-rule
+	// cost/cardinality attribution (dl_rule_* metrics, /debug/rules,
+	// incident rule breakdowns) and periodic memory accounting snapshots
+	// (dl_mem_*, /debug/memory). Requires Obs. The attribution adds
+	// bookkeeping to the engine's evaluation paths, so it is opt-in; the
+	// obs-overhead benchmark's "profiler" mode prices it.
+	Profile bool
 }
 
 // defaultPushWorkers is the device-write concurrency used when
@@ -322,6 +329,76 @@ func (c *Controller) initObs() {
 	o.TrackValue(obs.SeriesQueueDepth, func() float64 { return float64(len(c.events)) })
 	o.TrackHistogramAvg(obs.SeriesPushLatency, c.m.pushSecs)
 	o.TrackHistogramAvg(obs.SeriesEngineLatency, c.m.engineSecs)
+
+	// Workload-profiler series. The rule set is static per program, so
+	// every dl_rule_* series is registered up front from the engine's
+	// RuleInfos (the short "Head#ordinal" rule ID as the label value) and
+	// read at scrape time from the profiler's aggregation — the per-txn
+	// path only feeds the profiler once, under its lock. Memory totals
+	// are scrape-time callbacks over the latest published snapshot;
+	// per-relation detail stays on /debug/memory where cardinality is
+	// bounded by the response, not the registry.
+	if infos := c.rt.RuleInfos(); len(infos) > 0 {
+		prof := o.Prof()
+		for _, in := range infos {
+			id := in.ID
+			prof.EnsureRule(in.ID, in.Label, in.Stratum, in.Recursive)
+			reg.CounterFunc("dl_rule_eval_ns_total",
+				"Evaluation time attributed to each rule, nanoseconds.",
+				func() uint64 { ev, _, _ := prof.RuleTotals(id); return ev },
+				obs.L("rule", id))
+			reg.CounterFunc("dl_rule_derivations_total",
+				"Tuple derivations attributed to each rule.",
+				func() uint64 { _, d, _ := prof.RuleTotals(id); return d },
+				obs.L("rule", id))
+			reg.CounterFunc("dl_rule_delta_tuples_total",
+				"Net tuple presence transitions attributed to each rule.",
+				func() uint64 { _, _, dt := prof.RuleTotals(id); return dt },
+				obs.L("rule", id))
+			reg.GaugeFunc("dl_rule_cost_ewma_seconds",
+				"EWMA of each rule's per-transaction evaluation time (the hot-rule ranking signal).",
+				func() float64 { return prof.RuleEwmaSeconds(id) },
+				obs.L("rule", id))
+		}
+		reg.GaugeFunc("dl_mem_bytes",
+			"Estimated engine memory footprint: arrangements, indexes, and provenance.",
+			func() float64 { m, _ := prof.Memory(); return float64(m.Bytes + m.Provenance.Bytes) })
+		reg.GaugeFunc("dl_mem_tuples",
+			"Tuples resident across all relations.",
+			func() float64 { m, _ := prof.Memory(); return float64(m.Tuples) })
+		reg.GaugeFunc("dl_mem_index_entries",
+			"Secondary-index entries resident across all relations.",
+			func() float64 { m, _ := prof.Memory(); return float64(m.IndexEntries) })
+		reg.GaugeFunc("dl_mem_provenance_bytes",
+			"Estimated provenance-store share of the engine footprint.",
+			func() float64 { m, _ := prof.Memory(); return float64(m.Provenance.Bytes) })
+	}
+}
+
+// publishMemory snapshots the engine's memory accounting into the
+// profiler after every transaction, so /debug/memory is always current
+// as of the last apply (a burst's final state, not its first).
+// MemoryStats runs off maintained counters in O(#relations), so the
+// per-txn cost is a short walk, priced by the obs-overhead "profiler"
+// row. Event-loop goroutine only: Runtime.MemoryStats reads state that
+// Apply mutates.
+func (c *Controller) publishMemory() {
+	ms := c.rt.MemoryStats()
+	snap := obs.MemSnapshot{
+		Relations:    make([]obs.RelMem, len(ms.Relations)),
+		Tuples:       int64(ms.Tuples),
+		IndexEntries: int64(ms.IndexEntries),
+		Bytes:        ms.Bytes,
+		Provenance:   obs.ProvMem{Facts: int64(ms.Provenance.Facts), Bytes: ms.Provenance.Bytes},
+	}
+	for i, rm := range ms.Relations {
+		snap.Relations[i] = obs.RelMem{
+			Name: rm.Name, Hidden: rm.Hidden, Stratum: rm.Stratum,
+			Recursive: rm.Recursive, Tuples: int64(rm.Tuples), Indexes: int64(rm.Indexes),
+			IndexEntries: int64(rm.IndexEntries), Bytes: rm.Bytes,
+		}
+	}
+	c.cfg.Obs.Prof().SetMemory(snap)
 }
 
 // txnSeg attributes one contiguous slice of a merged event's updates to
@@ -392,6 +469,9 @@ func NewWithClasses(cfg Config, mp ManagementPlane, classes []DeviceClass) (*Con
 		// The engine shares the process flight recorder, so apply/stratum
 		// events interleave with the controller's own on one timeline.
 		cfg.EngineOptions.Events = cfg.Obs.Rec()
+		if cfg.Profile {
+			cfg.EngineOptions.CollectRuleStats = true
+		}
 	}
 	schema, err := mp.GetSchema(cfg.Database)
 	if err != nil {
@@ -708,7 +788,7 @@ func (c *Controller) dispatch(ev *event) {
 		c.fail(fmt.Errorf("core: engine: %w", err))
 		return
 	}
-	c.observeEngine(ev, start, engineTime)
+	ruleSamples := c.observeEngine(ev, start, engineTime)
 	c.noteInputs(ev)
 	if k := ev.coalesced(); k > 1 {
 		c.m.coalesceBatches.Inc()
@@ -754,7 +834,14 @@ func (c *Controller) dispatch(ev *event) {
 	// timeline (and slow pushes pin the provenance of what they wrote).
 	if o := c.cfg.Obs; o != nil {
 		if o.BudgetExceeded("delta", engineTime) {
-			o.PinIncident("delta", ev.txnID, ev.source, engineTime, nil)
+			// With profiling on, the incident carries the pinned
+			// transaction's own per-rule breakdown, so it answers *which*
+			// rule made the delta slow, not just that it was slow.
+			var detail any
+			if len(ruleSamples) > 0 {
+				detail = map[string]any{"rules": ruleSamples}
+			}
+			o.PinIncident("delta", ev.txnID, ev.source, engineTime, detail)
 		}
 		if o.BudgetExceeded("push", pushTime) {
 			o.PinIncident("push", ev.txnID, ev.source, pushTime,
@@ -785,8 +872,10 @@ func pushAttrs(n int) map[string]int64 {
 }
 
 // observeEngine translates the engine's per-transaction statistics into
-// dl_* metrics and the "delta" trace stage.
-func (c *Controller) observeEngine(ev *event, start time.Time, engineTime time.Duration) {
+// dl_* metrics and the "delta" trace stage. When profiling is on, it
+// also feeds the workload profiler and returns the transaction's
+// per-rule breakdown for incident enrichment (nil otherwise).
+func (c *Controller) observeEngine(ev *event, start time.Time, engineTime time.Duration) []obs.RuleSample {
 	st := c.rt.LastApplyStats()
 	if st != nil {
 		for _, ss := range st.Strata {
@@ -802,6 +891,24 @@ func (c *Controller) observeEngine(ev *event, start time.Time, engineTime time.D
 				c.m.workerBusy[wi].Add(uint64(d))
 			}
 		}
+	}
+	var ruleSamples []obs.RuleSample
+	if c.cfg.EngineOptions.CollectRuleStats {
+		if st != nil && len(st.Rules) > 0 {
+			ruleSamples = make([]obs.RuleSample, len(st.Rules))
+			for i, r := range st.Rules {
+				ruleSamples[i] = obs.RuleSample{
+					ID: r.ID, Label: r.Label, Stratum: r.Stratum, Recursive: r.Recursive,
+					Seedings: r.Seedings, Derivations: r.Derivations,
+					DeltaTuples: r.DeltaTuples, Rounds: r.Rounds,
+					EvalNs: int64(r.Duration),
+				}
+			}
+		}
+		// Observe even an empty transaction: idle rules' EWMA costs decay
+		// so stale hot spots sink out of the top-K.
+		c.cfg.Obs.Prof().ObserveTxn(ruleSamples)
+		c.publishMemory()
 	}
 	if c.tracer != nil {
 		// Each merged commit gets its own delta stage carrying its own
@@ -827,6 +934,7 @@ func (c *Controller) observeEngine(ev *event, start time.Time, engineTime time.D
 			})
 		})
 	}
+	return ruleSamples
 }
 
 // record is the single accounting site for per-transaction statistics:

@@ -57,6 +57,12 @@ type Options struct {
 	// via LastApplyStats. Off by default: the hot path then contains no
 	// timing calls at all.
 	CollectStats bool
+	// CollectRuleStats extends CollectStats to per-rule granularity:
+	// every plan seeding is timed and attributed to its rule, and
+	// ApplyStats.Rules reports per-rule eval time, seedings, derivations,
+	// and delta tuples. Off by default: the hot path then carries only a
+	// length check per seeding (no clock reads, no allocation).
+	CollectRuleStats bool
 	// CollectProvenance records, per derived fact, the rule and input
 	// facts of each derivation into a bounded store queryable via
 	// Explain. Off by default: like CollectStats, the evaluation hot
@@ -108,6 +114,13 @@ type Runtime struct {
 	lastStats  *ApplyStats
 	statJobs   int
 	statRounds int
+	// ruleProf is the per-rule transaction accumulator (nil unless
+	// Options.CollectRuleStats); seqCtx.prof aliases it so sequential
+	// evaluation accumulates in place. roundEpoch/roundSeq dedupe
+	// per-round rule participation marks (profRound).
+	ruleProf   []ruleAcc
+	roundEpoch []uint32
+	roundSeq   uint32
 	// prov is the provenance store (nil unless Options.CollectProvenance).
 	prov *provStore
 	// eventTxn tags the next Apply's flight-recorder events with a
@@ -142,6 +155,10 @@ type aggSpec struct {
 	// is its precomputed sig-hash seed (provLabelHash).
 	label     string
 	labelHash uint64
+	// idx/id place the aggregation in the rule-profiling accumulator
+	// space (profile.go; zero values unless CollectRuleStats).
+	idx int
+	id  string
 }
 
 // New compiles a checked program and returns a runtime with the program's
@@ -226,6 +243,7 @@ func New(prog *typecheck.Program, opts Options) (*Runtime, error) {
 			}
 		}
 	}
+	rt.initRuleProf()
 	if opts.CollectProvenance {
 		rt.prov = newProvStore(opts.ProvenanceCapacity)
 		// Every relation (including hidden group relations) drops a
@@ -407,6 +425,14 @@ func (rt *Runtime) apply(updates []Update, initial bool) (Delta, error) {
 	for _, rs := range rt.rels {
 		rs.clearTxn()
 	}
+	if rt.ruleProf != nil {
+		// Render and reset the per-rule accumulator even when CollectStats
+		// is off, so counters never leak across transactions.
+		rules := rt.buildRuleStats()
+		if rt.stats != nil {
+			rt.stats.Rules = rules
+		}
+	}
 	if rt.stats != nil {
 		rt.stats.Derivations = rt.derivations
 		for _, z := range out {
@@ -460,8 +486,26 @@ func (rt *Runtime) countDerivation() error {
 
 // runPlan seeds a plan with a tuple (or negation key, or nothing) and
 // streams head contributions to emit. ctx supplies the evaluation scratch;
-// concurrent callers must use distinct contexts.
+// concurrent callers must use distinct contexts. With rule profiling on
+// the seeding is timed and attributed to the plan's rule; otherwise this
+// is a direct call into evalPlan.
 func (rt *Runtime) runPlan(ctx *evalCtx, p *plan, seed value.Record, seedKey string, w int64, mode viewMode, emit emitFunc) error {
+	if len(ctx.prof) == 0 {
+		return rt.evalPlan(ctx, p, seed, seedKey, w, mode, emit)
+	}
+	// curRule lets emit closures attribute presence transitions that
+	// happen during this seeding (recursive insertion/overdelete paths).
+	ctx.curRule = p.rule.idx
+	t0 := time.Now()
+	err := rt.evalPlan(ctx, p, seed, seedKey, w, mode, emit)
+	a := &ctx.prof[p.rule.idx]
+	a.ns += int64(time.Since(t0))
+	a.seedings++
+	return err
+}
+
+// evalPlan is runPlan's profiling-free body.
+func (rt *Runtime) evalPlan(ctx *evalCtx, p *plan, seed value.Record, seedKey string, w int64, mode viewMode, emit emitFunc) error {
 	ctx.capture = false
 	if rt.prov != nil && mode != viewAllOld {
 		// Capture the derivation trail: the seed fact (when the seed is a
@@ -520,6 +564,9 @@ func (rt *Runtime) execSteps(ctx *evalCtx, p *plan, si int, env []value.Value, w
 		var hh uint64
 		if ctx.capture {
 			hh = rt.recordProv(ctx, p.rule, rec, key, w, ctx.trail)
+		}
+		if len(ctx.prof) > 0 {
+			ctx.prof[p.rule.idx].derivs++
 		}
 		return emit(rec, key, hh, w)
 	}
@@ -702,6 +749,61 @@ func (rt *Runtime) gatherCountingJobs(head *relState, initial bool) []seedJob {
 	return jobs
 }
 
+// applyZSetOuts merges worker-private Z-sets into head through
+// applyCount. ruleIdx >= 0 attributes net presence transitions to that
+// rule in the profiling accumulator.
+func (rt *Runtime) applyZSetOuts(head *relState, outs []*zset.ZSet, ruleIdx int) error {
+	if rt.prov != nil && len(outs) > 1 {
+		// With provenance on, consolidate the workers' Z-sets first so
+		// each key sees at most one net applyCount transition. Without
+		// this, a transient remove (worker A's -1 merged before worker
+		// B's +1) would drop provenance recorded during evaluation for
+		// a fact that ends the transaction present.
+		for _, z := range outs[1:] {
+			outs[0].AddAll(z)
+		}
+		outs = outs[:1]
+	}
+	for _, z := range outs {
+		var applyErr error
+		z.EachKeyed(func(key string, rec value.Record, w int64) {
+			if applyErr != nil {
+				return
+			}
+			var tr int
+			tr, applyErr = head.applyCount(rec, key, w, 0)
+			if tr != 0 && ruleIdx >= 0 {
+				rt.ruleProf[ruleIdx].delta++
+			}
+		})
+		if applyErr != nil {
+			return applyErr
+		}
+	}
+	return nil
+}
+
+// runCountingSeq evaluates counting-stratum jobs sequentially, applying
+// each head contribution immediately.
+func (rt *Runtime) runCountingSeq(head *relState, jobs []seedJob) error {
+	emit := func(rec value.Record, key string, hh uint64, w int64) error {
+		if err := rt.countDerivation(); err != nil {
+			return err
+		}
+		tr, err := head.applyCount(rec, key, w, hh)
+		if tr != 0 && len(rt.seqCtx.prof) > 0 {
+			rt.seqCtx.prof[rt.seqCtx.curRule].delta++
+		}
+		return err
+	}
+	for _, j := range jobs {
+		if err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.key, j.w, j.mode, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runCountingStratum propagates settled lower-stratum deltas into one
 // non-recursive relation using derivation counting. Evaluation is read-only
 // with respect to this stratum (the head never appears in its own rule
@@ -716,46 +818,43 @@ func (rt *Runtime) runCountingStratum(s int, initial bool) error {
 	if rt.stats != nil {
 		rt.statJobs += len(jobs)
 	}
-	if nw := rt.parallelism(len(jobs)); nw > 1 {
+	if nw := rt.parallelism(len(jobs)); nw > 1 && rt.ruleProf == nil {
 		outs, err := rt.evalJobsZSet(jobs, nw)
 		if err != nil {
 			return err
 		}
-		if rt.prov != nil && len(outs) > 1 {
-			// With provenance on, consolidate the workers' Z-sets first so
-			// each key sees at most one net applyCount transition. Without
-			// this, a transient remove (worker A's -1 merged before worker
-			// B's +1) would drop provenance recorded during evaluation for
-			// a fact that ends the transaction present.
-			for _, z := range outs[1:] {
-				outs[0].AddAll(z)
-			}
-			outs = outs[:1]
-		}
-		for _, z := range outs {
-			var applyErr error
-			z.EachKeyed(func(key string, rec value.Record, w int64) {
-				if applyErr != nil {
-					return
-				}
-				_, applyErr = head.applyCount(rec, key, w, 0)
-			})
-			if applyErr != nil {
-				return applyErr
-			}
-		}
-	} else {
-		emit := func(rec value.Record, key string, hh uint64, w int64) error {
-			if err := rt.countDerivation(); err != nil {
-				return err
-			}
-			_, err := head.applyCount(rec, key, w, hh)
+		if err := rt.applyZSetOuts(head, outs, -1); err != nil {
 			return err
 		}
-		for _, j := range jobs {
-			if err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.key, j.w, j.mode, emit); err != nil {
+	} else if nw > 1 {
+		// Rule profiling: the job list is rule-contiguous (gathered per
+		// rule), so evaluating one rule's segment at a time keeps net
+		// presence transitions attributable. Segments still fan out
+		// across workers, and the chronological segment order keeps the
+		// provenance journal drop/record interleaving correct.
+		for start := 0; start < len(jobs); {
+			end := start + 1
+			for end < len(jobs) && jobs[end].p.rule == jobs[start].p.rule {
+				end++
+			}
+			seg := jobs[start:end]
+			ruleIdx := seg[0].p.rule.idx
+			if segNw := rt.parallelism(len(seg)); segNw > 1 {
+				outs, err := rt.evalJobsZSet(seg, segNw)
+				if err != nil {
+					return err
+				}
+				if err := rt.applyZSetOuts(head, outs, ruleIdx); err != nil {
+					return err
+				}
+			} else if err := rt.runCountingSeq(head, seg); err != nil {
 				return err
 			}
+			start = end
+		}
+	} else {
+		if err := rt.runCountingSeq(head, jobs); err != nil {
+			return err
 		}
 	}
 	for _, spec := range rt.aggsByHead[head] {
@@ -775,6 +874,12 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 	if spec.groupRel.txnDelta.IsEmpty() {
 		return nil
 	}
+	if rt.ruleProf != nil {
+		t0 := time.Now()
+		defer func() {
+			rt.ruleProf[spec.idx].ns += int64(time.Since(t0))
+		}()
+	}
 	env := make([]value.Value, spec.envSize)
 	seen := make(map[string]bool)
 	var keys []value.Record
@@ -786,6 +891,10 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 			keys = append(keys, keyRec)
 		}
 	})
+	if rt.ruleProf != nil {
+		// One re-aggregated group is one seeding of the aggregation.
+		rt.ruleProf[spec.idx].seedings += int64(len(keys))
+	}
 	var keyBuf []byte
 	for _, keyRec := range keys {
 		keyBuf = value.Record(keyRec).AppendEncode(keyBuf[:0])
@@ -827,8 +936,16 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 			if rt.prov != nil {
 				rt.prov.j.unrecordByLabel(provDigest(spec.head.id, key), spec.label)
 			}
-			if _, err := spec.head.applyCount(rec, key, -1, 0); err != nil {
+			tr, err := spec.head.applyCount(rec, key, -1, 0)
+			if err != nil {
 				return err
+			}
+			if rt.ruleProf != nil {
+				a := &rt.ruleProf[spec.idx]
+				a.derivs++
+				if tr != 0 {
+					a.delta++
+				}
 			}
 		}
 		if newOK {
@@ -840,8 +957,16 @@ func (rt *Runtime) runAggregate(spec *aggSpec) error {
 				return err
 			}
 			key := rec.Key()
-			if _, err := spec.head.applyCount(rec, key, 1, 0); err != nil {
+			tr, err := spec.head.applyCount(rec, key, 1, 0)
+			if err != nil {
 				return err
+			}
+			if rt.ruleProf != nil {
+				a := &rt.ruleProf[spec.idx]
+				a.derivs++
+				if tr != 0 {
+					a.delta++
+				}
 			}
 			if rt.prov != nil {
 				rt.recordAggProv(spec, keyBuf, rec, key)
@@ -978,6 +1103,11 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 			}
 			m[key] = rec
 			odTotal++
+			if len(rt.seqCtx.prof) > 0 {
+				// Overdeletes count as the overdeleting rule's delta
+				// tuples (rederivations add back as insertions).
+				rt.seqCtx.prof[rt.seqCtx.curRule].delta++
+			}
 			if odBudget >= 0 && odTotal > odBudget {
 				return errFallbackRecompute
 			}
@@ -1062,6 +1192,9 @@ func (rt *Runtime) runRecursiveStratum(s int, initial bool) error {
 			}
 			if rs.setPresent(rec, key) {
 				queue = append(queue, pending{rel: rs, rec: rec})
+				if len(rt.seqCtx.prof) > 0 {
+					rt.seqCtx.prof[rt.seqCtx.curRule].delta++
+				}
 			}
 			return nil
 		}
@@ -1172,6 +1305,9 @@ func (rt *Runtime) recomputeStratum(inStratum map[*relState]bool, stratumRules [
 			}
 			if rs.setPresent(rec, key) {
 				queue = append(queue, pending{rel: rs, rec: rec})
+				if len(rt.seqCtx.prof) > 0 {
+					rt.seqCtx.prof[rt.seqCtx.curRule].delta++
+				}
 			}
 			return nil
 		}

@@ -128,6 +128,10 @@ type relState struct {
 	// prov, when non-nil, is the runtime's provenance store: a retracted
 	// fact drops its recorded derivations.
 	prov *provStore
+	// keyBytes sums the canonical-key lengths of the present tuples. It
+	// is maintained on presence transitions (one integer add) and feeds
+	// the memory-accounting estimates (profile.go MemoryStats).
+	keyBytes int64
 }
 
 type countEntry struct {
@@ -264,6 +268,7 @@ func (rs *relState) noteInsert(rec value.Record, recKey string, phash uint64) {
 	for _, ix := range rs.indexList {
 		ix.insert(rec, recKey, phash)
 	}
+	rs.keyBytes += int64(len(recKey))
 	rs.txnDelta.AddKeyed(rec, recKey, 1)
 }
 
@@ -271,6 +276,7 @@ func (rs *relState) noteRemove(rec value.Record, recKey string, phash uint64) {
 	for _, ix := range rs.indexList {
 		ix.remove(rec, recKey, phash)
 	}
+	rs.keyBytes -= int64(len(recKey))
 	rs.txnDelta.AddKeyed(rec, recKey, -1)
 	// Only rule and aggregate heads record provenance; input facts are
 	// never in the store, so skip the journal append for them. The drop is

@@ -49,11 +49,14 @@ type seedJob struct {
 }
 
 // cand is one head contribution collected during a recursive-stratum
-// evaluation round.
+// evaluation round. ruleIdx carries the emitting rule's profiling index
+// so the sequential merge can attribute presence transitions (unused
+// with rule profiling off).
 type cand struct {
-	rel *relState
-	rec value.Record
-	key string
+	rel     *relState
+	rec     value.Record
+	key     string
+	ruleIdx int
 }
 
 // evalCtx is per-goroutine evaluation scratch: the variable environment and
@@ -81,6 +84,55 @@ type evalCtx struct {
 	// their private journal (priv), absorbed at the join barrier.
 	journal *provJournal
 	priv    provJournal
+	// prof is the per-rule profiling accumulator (empty unless
+	// CollectRuleStats). The sequential context aliases the runtime's
+	// transaction accumulator; worker contexts get private slices sized
+	// by attachRuleProf and absorbed at the join barrier. curRule is the
+	// rule index of the seeding currently evaluating in this context, so
+	// emit closures can attribute presence transitions.
+	prof    []ruleAcc
+	curRule int
+}
+
+// attachRuleProf sizes (and zeroes) pooled worker contexts' private
+// profiling accumulators before a fan-out (no-op with profiling off).
+func (rt *Runtime) attachRuleProf(ctxs []*evalCtx) {
+	if rt.ruleProf == nil {
+		return
+	}
+	n := len(rt.ruleProf)
+	for _, c := range ctxs {
+		if cap(c.prof) < n {
+			c.prof = make([]ruleAcc, n)
+		} else {
+			c.prof = c.prof[:n]
+			clear(c.prof)
+		}
+	}
+}
+
+// absorbRuleProf folds the worker contexts' profiling accumulators into
+// the runtime's transaction accumulator after the fan-out barrier.
+func (rt *Runtime) absorbRuleProf(ctxs []*evalCtx) {
+	if rt.ruleProf == nil {
+		return
+	}
+	for _, c := range ctxs {
+		for i := range c.prof {
+			a := c.prof[i]
+			if a == (ruleAcc{}) {
+				continue
+			}
+			t := &rt.ruleProf[i]
+			t.ns += a.ns
+			t.seedings += a.seedings
+			t.derivs += a.derivs
+			t.delta += a.delta
+		}
+		// Keep the capacity for the pool but leave the slice empty so a
+		// profiling-off runtime sharing the pool sees no accumulator.
+		c.prof = c.prof[:0]
+	}
 }
 
 // attachProvJournal points pooled worker contexts at their private
@@ -198,11 +250,13 @@ func (rt *Runtime) evalJobsZSet(jobs []seedJob, nw int) ([]*zset.ZSet, error) {
 		}
 	}
 	rt.attachProvJournal(ctxs)
+	rt.attachRuleProf(ctxs)
 	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error {
 		j := jobs[i]
 		return rt.runPlan(ctxs[wi], j.p, j.seed, j.key, j.w, j.mode, emits[wi])
 	}))
 	rt.absorbProvJournals(ctxs)
+	rt.absorbRuleProf(ctxs)
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -221,12 +275,13 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 		var out []cand
 		for _, j := range jobs {
 			head := j.head
+			ruleIdx := j.p.rule.idx
 			err := rt.runPlan(&rt.seqCtx, j.p, j.seed, j.key, j.w, j.mode,
 				func(rec value.Record, key string, _ uint64, _ int64) error {
 					if err := rt.countDerivation(); err != nil {
 						return err
 					}
-					out = append(out, cand{rel: head, rec: rec, key: key})
+					out = append(out, cand{rel: head, rec: rec, key: key, ruleIdx: ruleIdx})
 					return nil
 				})
 			if err != nil {
@@ -241,6 +296,7 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 		ctxs[wi] = ctxPool.Get().(*evalCtx)
 	}
 	rt.attachProvJournal(ctxs)
+	rt.attachRuleProf(ctxs)
 	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error {
 		j := jobs[i]
 		return rt.runPlan(ctxs[wi], j.p, j.seed, j.key, j.w, j.mode,
@@ -248,11 +304,12 @@ func (rt *Runtime) evalJobsCollect(jobs []seedJob) ([]cand, error) {
 				if err := rt.countDerivationAtomic(); err != nil {
 					return err
 				}
-				outs[wi] = append(outs[wi], cand{rel: j.head, rec: rec, key: key})
+				outs[wi] = append(outs[wi], cand{rel: j.head, rec: rec, key: key, ruleIdx: j.p.rule.idx})
 				return nil
 			})
 	}))
 	rt.absorbProvJournals(ctxs)
+	rt.absorbRuleProf(ctxs)
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -278,11 +335,13 @@ type checkJob struct {
 }
 
 // runCheckJobs runs rederivation checks (read-only) in parallel and
-// reports, per job, whether any rule rederives the tuple.
-func (rt *Runtime) runCheckJobs(jobs []checkJob) ([]bool, error) {
-	res := make([]bool, len(jobs))
+// reports, per job, the profiling index of the rule that rederives the
+// tuple (-1 when no rule does).
+func (rt *Runtime) runCheckJobs(jobs []checkJob) ([]int, error) {
+	res := make([]int, len(jobs))
 	check := func(ctx *evalCtx, i int) error {
 		cj := jobs[i]
+		res[i] = -1
 		for _, cr := range rt.rulesByHead[cj.rs] {
 			if cr.checkPlan == nil {
 				continue
@@ -292,7 +351,7 @@ func (rt *Runtime) runCheckJobs(jobs []checkJob) ([]bool, error) {
 				return err
 			}
 			if ok {
-				res[i] = true
+				res[i] = cr.idx
 				return nil
 			}
 		}
@@ -312,8 +371,10 @@ func (rt *Runtime) runCheckJobs(jobs []checkJob) ([]bool, error) {
 		ctxs[wi] = ctxPool.Get().(*evalCtx)
 	}
 	rt.attachProvJournal(ctxs)
+	rt.attachRuleProf(ctxs)
 	err := runWorkers(nw, len(jobs), rt.instrument(func(wi, i int) error { return check(ctxs[wi], i) }))
 	rt.absorbProvJournals(ctxs)
+	rt.absorbRuleProf(ctxs)
 	for _, c := range ctxs {
 		ctxPool.Put(c)
 	}
@@ -417,6 +478,7 @@ func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, str
 				rt.statRounds++
 				rt.statJobs += len(frontier)
 			}
+			rt.profRound(frontier)
 			cands, err := rt.evalJobsCollect(frontier)
 			if err != nil {
 				return err
@@ -436,6 +498,9 @@ func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, str
 				}
 				m[c.key] = c.rec
 				odTotal++
+				if rt.ruleProf != nil {
+					rt.ruleProf[c.ruleIdx].delta++
+				}
 				if odBudget >= 0 && odTotal > odBudget {
 					fallback = true
 					break
@@ -469,7 +534,11 @@ func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, str
 			return err
 		}
 		for i, cj := range checks {
-			if ok[i] && cj.rs.setPresent(cj.rec, cj.key) {
+			if ok[i] >= 0 && cj.rs.setPresent(cj.rec, cj.key) {
+				if rt.ruleProf != nil {
+					// The rederiving rule re-inserts the tuple.
+					rt.ruleProf[ok[i]].delta++
+				}
 				frontier = rt.appendCascadeJobs(frontier, inStratum, cj.rs, cj.rec, viewAllNew)
 			}
 		}
@@ -480,6 +549,7 @@ func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, str
 			rt.statRounds++
 			rt.statJobs += len(frontier)
 		}
+		rt.profRound(frontier)
 		cands, err := rt.evalJobsCollect(frontier)
 		if err != nil {
 			return err
@@ -487,6 +557,9 @@ func (rt *Runtime) runRecursiveStratumParallel(inStratum map[*relState]bool, str
 		var next []seedJob
 		for _, c := range cands {
 			if c.rel.setPresent(c.rec, c.key) {
+				if rt.ruleProf != nil {
+					rt.ruleProf[c.ruleIdx].delta++
+				}
 				next = rt.appendCascadeJobs(next, inStratum, c.rel, c.rec, viewAllNew)
 			}
 		}

@@ -86,8 +86,12 @@ type compiledRule struct {
 	// labelHash is its precomputed sig-hash seed (provLabelHash).
 	label     string
 	labelHash uint64
-	body      []typecheck.Term // excludes any GroupBy term
-	slots     []typecheck.VarInfo
+	// idx/id place the rule in the rule-profiling accumulator space
+	// (profile.go; zero values unless CollectRuleStats).
+	idx   int
+	id    string
+	body  []typecheck.Term // excludes any GroupBy term
+	slots []typecheck.VarInfo
 	// plansByBody[i] is the plan seeded at body literal i (nil for
 	// non-literal terms).
 	plansByBody []*plan

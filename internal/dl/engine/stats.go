@@ -32,6 +32,9 @@ type ApplyStats struct {
 	// (empty when evaluation stayed sequential).
 	Workers    int
 	WorkerBusy []time.Duration
+	// Rules attributes the transaction's evaluation per rule (nil unless
+	// Options.CollectRuleStats; rules with no activity are omitted).
+	Rules []RuleStats
 }
 
 // LastApplyStats returns the statistics of the most recent Apply, or nil

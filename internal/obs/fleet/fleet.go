@@ -52,6 +52,9 @@ type Config struct {
 	TraceCapacity int
 	// ScrapeTimeout bounds each HTTP scrape (default 2s).
 	ScrapeTimeout time.Duration
+	// RuleLimit caps the fleet-wide hot-rule table merged from the
+	// members' /debug/rules reports (default 16).
+	RuleLimit int
 }
 
 func (c *Config) withDefaults() {
@@ -70,6 +73,9 @@ func (c *Config) withDefaults() {
 	if c.ScrapeTimeout <= 0 {
 		c.ScrapeTimeout = 2 * time.Second
 	}
+	if c.RuleLimit <= 0 {
+		c.RuleLimit = 16
+	}
 }
 
 // member is the aggregator's view of one polled process.
@@ -85,6 +91,12 @@ type member struct {
 	lastOK   time.Time
 	lastErr  string
 	traces   []obs.Trace // last successful /debug/traces fetch
+	// rules is the member's last /debug/rules report; hasRules marks
+	// that the member serves the profiler surface at all (members
+	// running without profiling simply contribute nothing to the
+	// fleet-wide hot-rule table).
+	rules    obs.RuleReport
+	hasRules bool
 }
 
 // MemberStatus is the JSON rendering of one member on /fleet.
@@ -249,6 +261,10 @@ func (a *Aggregator) scrape(m *member) {
 	if id.Plane == "" {
 		id = identityFrom(hdr)
 	}
+	// Hot-rule reports are best-effort: a member without the profiler
+	// (older build, profiling off) stays healthy and merely contributes
+	// nothing to the fleet-wide table.
+	rules, hasRules := a.scrapeRules(base)
 	m.mu.Lock()
 	m.identity = id
 	m.skew = skew
@@ -257,7 +273,26 @@ func (a *Aggregator) scrape(m *member) {
 	m.lastOK = time.Now()
 	m.lastErr = ""
 	m.traces = traces
+	m.rules, m.hasRules = rules, hasRules
 	m.mu.Unlock()
+}
+
+// scrapeRules fetches the member's /debug/rules hot-rule report.
+// Any failure (endpoint absent, decode error) reports ok=false.
+func (a *Aggregator) scrapeRules(base string) (obs.RuleReport, bool) {
+	resp, err := a.client.Get(base + "/debug/rules?limit=" + strconv.Itoa(a.cfg.RuleLimit))
+	if err != nil {
+		return obs.RuleReport{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.RuleReport{}, false
+	}
+	var rep obs.RuleReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return obs.RuleReport{}, false
+	}
+	return rep, len(rep.Rules) > 0 || rep.Txns > 0
 }
 
 // scrapeReadyz classifies the member's readiness answer.

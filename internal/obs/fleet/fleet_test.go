@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -273,4 +274,178 @@ func TestAggregatorSkewCorrection(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestAggregatorHotRules drives two profiled members and checks the
+// fleet-wide merge: summed EWMA costs rank rules across the
+// deployment, the per-member "other" rollups combine, and the one-shot
+// text view renders the table.
+func TestAggregatorHotRules(t *testing.T) {
+	a, aSrv := memberServer(t, "controller", "ctl0")
+	b, bSrv := memberServer(t, "controller", "ctl1")
+
+	a.Prof().ObserveTxn([]obs.RuleSample{
+		{ID: "Hot#0", Label: "Hot(a,c) :- In(a,b), In(c,b).", EvalNs: 8_000_000, Derivations: 1000, DeltaTuples: 400},
+		{ID: "Cheap#0", EvalNs: 100_000, Derivations: 10, DeltaTuples: 10},
+	})
+	b.Prof().ObserveTxn([]obs.RuleSample{
+		{ID: "Hot#0", EvalNs: 2_000_000, Derivations: 300, DeltaTuples: 100},
+		{ID: "Cheap#0", EvalNs: 5_000_000, Derivations: 20, DeltaTuples: 20},
+	})
+
+	agg, err := New(Config{Targets: []string{"a=" + aSrv.URL, "b=" + bSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.PollOnce()
+
+	hr := agg.Status().HotRules
+	if hr.Members != 2 {
+		t.Fatalf("hot rules from %d members, want 2: %+v", hr.Members, hr)
+	}
+	if len(hr.Rules) != 2 || hr.Rules[0].ID != "Hot#0" || hr.Rules[1].ID != "Cheap#0" {
+		t.Fatalf("fleet ranking wrong: %+v", hr.Rules)
+	}
+	hot := hr.Rules[0]
+	if hot.Members != 2 || hot.Derivations != 1300 || hot.DeltaTuples != 500 {
+		t.Fatalf("merged Hot#0 = %+v", hot)
+	}
+	if hot.EwmaNs < 9_000_000 || hot.TopMember != "ctl0" {
+		t.Fatalf("Hot#0 ewma/top member wrong: %+v", hot)
+	}
+	// Cheap#0 is hottest on ctl1 even though Hot#0 dominates fleet-wide.
+	if hr.Rules[1].TopMember != "ctl1" {
+		t.Fatalf("Cheap#0 top member = %q, want ctl1", hr.Rules[1].TopMember)
+	}
+	if hot.Share <= hr.Rules[1].Share || hot.Share <= 0 {
+		t.Fatalf("shares wrong: %+v", hr.Rules)
+	}
+	if hot.Label == "" {
+		t.Fatalf("label lost in merge: %+v", hot)
+	}
+
+	text := agg.Status().Text()
+	for _, want := range []string{"hot rules", "Hot#0", "ctl0"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestAggregatorRuleLimitRollsUp checks the fleet-level top-K cut: rules
+// beyond the bound fold into the "other" bucket together with the
+// members' own rollups.
+func TestAggregatorRuleLimitRollsUp(t *testing.T) {
+	m, mSrv := memberServer(t, "controller", "ctl0")
+	var samples []obs.RuleSample
+	for i := 0; i < 6; i++ {
+		samples = append(samples, obs.RuleSample{
+			ID:     "R" + strconv.Itoa(i) + "#0",
+			EvalNs: int64((i + 1) * 1000),
+		})
+	}
+	m.Prof().ObserveTxn(samples)
+
+	agg, err := New(Config{Targets: []string{"m=" + mSrv.URL}, RuleLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.PollOnce()
+	hr := agg.Status().HotRules
+	if len(hr.Rules) != 2 || hr.Rules[0].ID != "R5#0" {
+		t.Fatalf("limited table = %+v", hr.Rules)
+	}
+	if hr.Other == nil || hr.Other.Count != 4 {
+		t.Fatalf("other rollup = %+v, want 4 rules", hr.Other)
+	}
+}
+
+// TestAggregatorMemberWithoutClockHeaders fakes a member that serves
+// traces but stamps no X-Obs-* headers at all (no identity, no clock
+// anchors). Skew estimation must degrade to uncorrected timestamps —
+// zero offset, never NaN — and stitching must still fuse the member's
+// stages into complete timelines.
+func TestAggregatorMemberWithoutClockHeaders(t *testing.T) {
+	t0 := time.Now().Add(-time.Second)
+
+	db, dbSrv := memberServer(t, "ovsdb", "db0")
+	db.Tr().Record(11, "ovsdb", stage(obs.StageCommit, t0, time.Millisecond))
+	db.Tr().Record(11, "ovsdb", stage("monitor", t0.Add(time.Millisecond), time.Millisecond))
+	db.Tr().Record(11, "ovsdb", stage("delta", t0.Add(2*time.Millisecond), time.Millisecond))
+	db.Tr().Record(11, "ovsdb", stage("push", t0.Add(3*time.Millisecond), time.Millisecond))
+
+	// A bare member: correct JSON bodies, no obs headers whatsoever.
+	swMux := http.NewServeMux()
+	swMux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ready\n"))
+	})
+	swMux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.Trace{TxnID: 11, Source: "p4rt", Stages: []obs.Stage{
+			stage(obs.StageSwitchApplied, t0.Add(4*time.Millisecond), time.Millisecond),
+		}}
+		json.NewEncoder(w).Encode(struct {
+			Traces []obs.Trace `json:"traces"`
+		}{[]obs.Trace{tr}})
+	})
+	swSrv := httptest.NewServer(swMux)
+	defer swSrv.Close()
+
+	agg, err := New(Config{Targets: []string{"db=" + dbSrv.URL, "sw=" + swSrv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg.PollOnce()
+
+	st := agg.Status()
+	for _, m := range st.Members {
+		if m.Health != HealthUp {
+			t.Fatalf("member %s health = %s, want up", m.Name, m.Health)
+		}
+		if m.SkewNs != m.SkewNs || float64(m.SkewNs) != float64(m.SkewNs) { // NaN guard
+			t.Fatalf("member %s skew is NaN", m.Name)
+		}
+		if m.Name == "sw" && m.SkewNs != 0 {
+			t.Fatalf("headerless member skew = %d, want 0 (uncorrected)", m.SkewNs)
+		}
+	}
+
+	tr, ok := agg.Trace(11)
+	if !ok {
+		t.Fatal("no stitched trace for txn 11")
+	}
+	if !tr.Complete || len(tr.Stages) != 5 {
+		t.Fatalf("stitching degraded: %+v", tr)
+	}
+	// Uncorrected timestamps: the stage times pass through unchanged, so
+	// the convergence still reads ~5ms off the shared test clock.
+	if got := time.Duration(tr.ConvergenceNs); got < 4*time.Millisecond || got > time.Second {
+		t.Fatalf("uncorrected convergence = %v, want ~5ms", got)
+	}
+	// The headerless member keeps its configured label (no identity to
+	// override it) and the trace attributes its stage to that label.
+	if tr.Stages[len(tr.Stages)-1].Member != "sw" {
+		t.Fatalf("stage attribution = %+v, want configured name sw", tr.Stages)
+	}
+
+	// The metrics view renders a finite skew for the headerless member.
+	if text := get2f(t, agg, "/fleet/metrics"); !strings.Contains(text, `fleet_member_skew_seconds{member="sw"} 0`) {
+		t.Fatalf("expected zero skew gauge for headerless member:\n%s", text)
+	}
+}
+
+// get2f fetches one aggregator endpoint through a throwaway server.
+func get2f(t *testing.T, a *Aggregator, path string) string {
+	t.Helper()
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
 }

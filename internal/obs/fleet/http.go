@@ -21,12 +21,15 @@ type Status struct {
 	// Incomplete counts retained stitched traces with missing stages.
 	Incomplete  int              `json:"incomplete"`
 	Convergence ConvergenceStats `json:"convergence"`
-	Polls       uint64           `json:"polls"`
+	// HotRules is the fleet-wide hot-rule table merged from the
+	// members' /debug/rules reports.
+	HotRules FleetRules `json:"hot_rules"`
+	Polls    uint64     `json:"polls"`
 }
 
 // Status snapshots the fused fleet view.
 func (a *Aggregator) Status() Status {
-	st := Status{Members: a.statuses()}
+	st := Status{Members: a.statuses(), HotRules: a.hotRules()}
 	a.mu.Lock()
 	st.Traces = len(a.stitched)
 	for _, tr := range a.stitched {
@@ -181,6 +184,7 @@ func (s Status) Text() string {
 	} else {
 		b.WriteString("convergence (commit→switch-applied): no complete timelines yet\n")
 	}
+	rulesText(&b, s.HotRules)
 	return b.String()
 }
 

@@ -233,6 +233,46 @@ func (h *History) Last(name string, k int) []Sample {
 	return s.last(k)
 }
 
+// Names returns the tracked series names in registration order.
+func (h *History) Names() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, len(h.series))
+	for i, s := range h.series {
+		out[i] = s.name
+	}
+	return out
+}
+
+// historyNamesJSON is the /debug/history envelope when no series is
+// selected: the catalog of names a ?series= query can ask for.
+type historyNamesJSON struct {
+	IntervalSeconds float64  `json:"interval_seconds"`
+	Capacity        int      `json:"capacity"`
+	Names           []string `json:"series"`
+}
+
+// WriteNamesJSON dumps the available series names (the no-?series=
+// /debug/history answer).
+func (h *History) WriteNamesJSON(w io.Writer) error {
+	dump := historyNamesJSON{Names: []string{}}
+	if h != nil {
+		h.mu.Lock()
+		dump.IntervalSeconds = h.interval.Seconds()
+		dump.Capacity = h.cap
+		for _, s := range h.series {
+			dump.Names = append(dump.Names, s.name)
+		}
+		h.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}
+
 // historySeriesJSON is one series in the /debug/history dump.
 type historySeriesJSON struct {
 	Name string     `json:"name"`

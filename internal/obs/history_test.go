@@ -108,6 +108,22 @@ func TestDebugHistoryEndpoint(t *testing.T) {
 	srv := httptest.NewServer(o.Handler())
 	defer srv.Close()
 
+	// Without ?series= the endpoint answers with the catalog of series
+	// names, not the full sample dump.
+	var names struct {
+		Capacity int      `json:"capacity"`
+		Series   []string `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(get2(t, srv, "/debug/history")), &names); err != nil {
+		t.Fatal(err)
+	}
+	if len(names.Series) != 2 || names.Capacity != DefaultHistorySamples {
+		t.Fatalf("name catalog has %d series, capacity %d", len(names.Series), names.Capacity)
+	}
+	if names.Series[0] != "core_queue_depth" || names.Series[1] != "other_series" {
+		t.Fatalf("name catalog wrong: %v", names.Series)
+	}
+
 	var dump struct {
 		Capacity int `json:"capacity"`
 		Series   []struct {
@@ -119,12 +135,6 @@ func TestDebugHistoryEndpoint(t *testing.T) {
 			Max     float64  `json:"max"`
 			Samples []Sample `json:"samples"`
 		} `json:"series"`
-	}
-	if err := json.Unmarshal([]byte(get2(t, srv, "/debug/history")), &dump); err != nil {
-		t.Fatal(err)
-	}
-	if len(dump.Series) != 2 || dump.Capacity != DefaultHistorySamples {
-		t.Fatalf("dump has %d series, capacity %d", len(dump.Series), dump.Capacity)
 	}
 
 	if err := json.Unmarshal([]byte(get2(t, srv, "/debug/history?series=core_queue_depth&n=2")), &dump); err != nil {

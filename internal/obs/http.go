@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +51,9 @@ type Observer struct {
 	History *History
 	// Watchdog derives stall state from History on each sampler tick.
 	Watchdog *Watchdog
+	// Profiler aggregates per-rule workload attribution and memory
+	// snapshots (nil = profiling surface disabled).
+	Profiler *RuleProfiler
 
 	// ready is the /readyz state: set by the process once its planes are
 	// established (for the controller: OVSDB monitor up and the initial
@@ -108,6 +112,9 @@ type ObserverConfig struct {
 	IncidentCapacity int
 	// HistorySamples sizes each history ring (0 = default).
 	HistorySamples int
+	// ProfileTopK bounds /debug/rules and fleet hot-rule reports to the
+	// K most expensive rules by EWMA cost (0 = DefaultProfileTopK).
+	ProfileTopK int
 	// Watchdog tunes the stall rules (zero = defaults).
 	Watchdog WatchdogConfig
 }
@@ -126,6 +133,7 @@ func NewObserverWith(cfg ObserverConfig) *Observer {
 		Incidents: NewIncidentStore(cfg.IncidentCapacity),
 		History:   NewHistory(cfg.HistorySamples),
 		Watchdog:  NewWatchdog(cfg.Watchdog),
+		Profiler:  NewRuleProfiler(cfg.ProfileTopK),
 		start:     time.Now(),
 	}
 	if cfg.EventCapacity >= 0 {
@@ -369,8 +377,13 @@ func (o *Observer) explainer() Explainer {
 //	                [seq or RFC3339] ?limit=; ?format=ndjson streams one
 //	                event per line)
 //	/debug/incidents pinned slow-transaction captures (?txn= filters)
-//	/debug/history  sampled metrics rings (?series= one series, ?n= caps
-//	                samples per series)
+//	/debug/history  sampled metrics rings (?series= one series, ?limit=
+//	                caps samples; without ?series= lists the available
+//	                series names)
+//	/debug/rules    hot-rule workload report: top-K rules by EWMA
+//	                evaluation cost plus an "other" rollup (?limit=
+//	                narrows K)
+//	/debug/memory   per-relation memory accounting snapshot
 //	/debug/explain  derivation tree of one fact or table entry
 //	                (?relation= and ?key=, with ?depth=/?nodes= bounds)
 //	/debug/pprof/   the standard Go profiling endpoints
@@ -410,6 +423,8 @@ func (o *Observer) Handler() http.Handler {
 	mux.HandleFunc("/debug/events", o.handleEvents)
 	mux.HandleFunc("/debug/incidents", o.handleIncidents)
 	mux.HandleFunc("/debug/history", o.handleHistory)
+	mux.HandleFunc("/debug/rules", o.handleRules)
+	mux.HandleFunc("/debug/memory", o.handleMemory)
 	mux.HandleFunc("/debug/explain", o.handleExplain)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -422,6 +437,27 @@ func (o *Observer) Handler() http.Handler {
 		o.setIdentityHeaders(w.Header())
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// parseLimit reads the result-cap query parameter shared by every
+// /debug/* handler: ?limit= is the documented form, ?n= the accepted
+// alias. Absent means 0 (no cap). A negative or non-numeric value is a
+// client error: parseLimit answers 400 and returns ok=false, and the
+// handler must not write anything further.
+func parseLimit(w http.ResponseWriter, q url.Values) (n int, ok bool) {
+	for _, p := range []string{"limit", "n"} {
+		s := q.Get(p)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			http.Error(w, "bad "+p+" (want non-negative integer): "+s, http.StatusBadRequest)
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, true
 }
 
 func (o *Observer) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -441,15 +477,9 @@ func (o *Observer) handleTraces(w http.ResponseWriter, r *http.Request) {
 		writeTraceJSON(w, tr)
 		return
 	}
-	n := 0
-	// ?limit= is the documented form; ?n= is kept for compatibility.
-	for _, p := range []string{"limit", "n"} {
-		if s := q.Get(p); s != "" {
-			if v, err := strconv.Atoi(s); err == nil {
-				n = v
-			}
-			break
-		}
+	n, ok := parseLimit(w, q)
+	if !ok {
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	o.Tr().WriteJSON(w, n)
@@ -478,11 +508,11 @@ func (o *Observer) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if s := q.Get("limit"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil {
-			f.Limit = v
-		}
+	n, ok := parseLimit(w, q)
+	if !ok {
+		return
 	}
+	f.Limit = n
 	if q.Get("format") == "ndjson" {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		o.Rec().WriteNDJSON(w, f)
@@ -508,14 +538,33 @@ func (o *Observer) handleIncidents(w http.ResponseWriter, r *http.Request) {
 
 func (o *Observer) handleHistory(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	n := 0
-	if s := q.Get("n"); s != "" {
-		if v, err := strconv.Atoi(s); err == nil {
-			n = v
-		}
+	n, ok := parseLimit(w, q)
+	if !ok {
+		return
+	}
+	series := q.Get("series")
+	w.Header().Set("Content-Type", "application/json")
+	if series == "" {
+		// Without ?series= the useful answer is "what can I ask for":
+		// the available series names, not every ring's full sample dump.
+		o.Hist().WriteNamesJSON(w)
+		return
+	}
+	o.Hist().WriteJSON(w, series, n)
+}
+
+func (o *Observer) handleRules(w http.ResponseWriter, r *http.Request) {
+	n, ok := parseLimit(w, r.URL.Query())
+	if !ok {
+		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	o.Hist().WriteJSON(w, q.Get("series"), n)
+	o.Prof().WriteJSON(w, n)
+}
+
+func (o *Observer) handleMemory(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	o.Prof().WriteMemoryJSON(w)
 }
 
 func (o *Observer) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/obs"
 	"repro/internal/ovsdb"
+	"repro/internal/snvs"
 )
 
 // startObservedStack boots the in-process snvs stack with every plane
@@ -210,5 +212,121 @@ func TestObsEndpointsServeAllPlanes(t *testing.T) {
 	// histogram must have observed the commit→apply latency.
 	if metrics := get("/metrics"); !strings.Contains(metrics, "obs_convergence_seconds_count 1") {
 		t.Fatalf("/metrics missing obs_convergence_seconds_count 1 after full timeline:\n%s", metrics)
+	}
+}
+
+// profilerRules extends the snvs program with a deliberately expensive
+// rule: every ordered pair of ports sharing a VLAN, quadratic in ports
+// per VLAN. The relation is bound to no data-plane table, so it stays
+// internal — pure engine load for the profiler to attribute.
+const profilerRules = snvs.Rules + `
+relation PortPair(a: bit<16>, b: bit<16>)
+PortPair(a, b) :- InVlan(a, v), InVlan(b, v).
+`
+
+// TestProfilerRanksExpensiveRule is the workload-profiler e2e: a port
+// churn workload whose cost is dominated by the quadratic PortPair rule
+// must surface that rule first on /debug/rules, expose its dl_rule_*
+// series on /metrics, and account its tuples on /debug/memory.
+func TestProfilerRanksExpensiveRule(t *testing.T) {
+	o := obs.NewObserver()
+	s, err := bench.StartStackConfig(bench.StackConfig{
+		Obs: o, Profile: true, Rules: profilerRules,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Transact(ovsdb.OpInsert("SwitchCfg", map[string]ovsdb.Value{
+		"name": "snvs0", "flood_unknown": true,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	const ports = 48
+	for i := 0; i < ports; i++ {
+		if err := s.Transact(ovsdb.OpInsert("Port", map[string]ovsdb.Value{
+			"name": "p" + strconv.Itoa(i), "port_num": int64(i + 1),
+			"vlan_mode": "access", "tag": int64(10),
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WaitEntries("in_vlan", ports, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var rep obs.RuleReport
+	if err := json.Unmarshal([]byte(get("/debug/rules")), &rep); err != nil {
+		t.Fatalf("/debug/rules is not JSON: %v", err)
+	}
+	if rep.Txns == 0 || len(rep.Rules) == 0 {
+		t.Fatalf("profiler observed nothing: %+v", rep)
+	}
+	top := rep.Rules[0]
+	if top.ID != "PortPair#0" {
+		t.Fatalf("hottest rule = %s (%.0fns EWMA), want PortPair#0: %+v",
+			top.ID, top.EwmaNs, rep.Rules)
+	}
+	// Quadratic growth: 48 single-port inserts into one VLAN derive
+	// sum(2k-1) = 48² pairs.
+	if top.Derivations != ports*ports {
+		t.Fatalf("PortPair derivations = %d, want %d", top.Derivations, ports*ports)
+	}
+	if top.Share <= 0 || top.EwmaNs <= 0 || top.Label == "" {
+		t.Fatalf("top row incomplete: %+v", top)
+	}
+
+	metrics := get("/metrics")
+	for _, series := range []string{
+		`dl_rule_eval_ns_total{rule="PortPair#0"}`,
+		`dl_rule_derivations_total{rule="PortPair#0"} 2304`,
+		`dl_rule_cost_ewma_seconds{rule="PortPair#0"}`,
+		"dl_mem_bytes",
+		"dl_mem_tuples",
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Fatalf("/metrics missing %q", series)
+		}
+	}
+
+	// Memory accounting: the snapshot republishes on every transaction,
+	// so after the last insert PortPair already shows the quadratic
+	// tuple set.
+	var mem struct {
+		At time.Time `json:"at"`
+		obs.MemSnapshot
+	}
+	if err := json.Unmarshal([]byte(get("/debug/memory")), &mem); err != nil {
+		t.Fatalf("/debug/memory is not JSON: %v", err)
+	}
+	if mem.At.IsZero() || mem.Bytes == 0 {
+		t.Fatalf("memory snapshot never published: %+v", mem)
+	}
+	var pp *obs.RelMem
+	for i := range mem.Relations {
+		if mem.Relations[i].Name == "PortPair" {
+			pp = &mem.Relations[i]
+		}
+	}
+	if pp == nil || pp.Tuples != ports*ports || pp.Bytes == 0 {
+		t.Fatalf("PortPair memory accounting wrong: %+v", pp)
 	}
 }
