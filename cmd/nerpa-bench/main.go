@@ -34,7 +34,7 @@ func parseWorkers(s string) ([]int, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, reconnect, throughput, recovery, all")
+	exp := flag.String("exp", "all", "experiment: ports, lb, incr, label, label-dense, fig3, loc, parallel, provenance, obs-overhead, reconnect, throughput, recovery, fanout, all")
 	n := flag.Int("n", 2000, "ports for -exp ports")
 	vips := flag.Int("vips", 50, "load balancers for -exp lb")
 	backends := flag.Int("backends", 500, "backends per load balancer for -exp lb")
@@ -55,6 +55,10 @@ func main() {
 	recoveryTxns := flag.Int("recovery-txns", 4000, "WAL commits for -exp recovery cold-restart measurement")
 	recoveryGap := flag.Int("recovery-gap", 50, "commits missed during the outage for -exp recovery")
 	recoveryOut := flag.String("recovery-out", "BENCH_recovery.json", "machine-readable output for -exp recovery")
+	fanoutSubs := flag.Int("fanout-subs", 10000, "concurrent subscriptions for -exp fanout")
+	fanoutConns := flag.Int("fanout-conns", 200, "client connections carrying the subscriptions for -exp fanout")
+	fanoutChurn := flag.Int("fanout-churn", 256, "port-churn commits driving the fan-out for -exp fanout")
+	fanoutOut := flag.String("fanout-out", "BENCH_fanout.json", "machine-readable output for -exp fanout")
 	flag.Parse()
 
 	run := func(name string, f func() (fmt.Stringer, error)) {
@@ -201,6 +205,27 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *recoveryOut)
+			return res, nil
+		})
+	}
+	if want("fanout") {
+		run("fanout", func() (fmt.Stringer, error) {
+			res, err := bench.RunFanout(bench.FanoutConfig{
+				Subscribers: *fanoutSubs,
+				Conns:       *fanoutConns,
+				ChurnTxns:   *fanoutChurn,
+			})
+			if err != nil {
+				return nil, err
+			}
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*fanoutOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *fanoutOut)
 			return res, nil
 		})
 	}

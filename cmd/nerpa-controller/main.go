@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/ovsdb"
 	"repro/internal/p4rt"
 	"repro/internal/snvs"
+	"repro/internal/subscribe"
 )
 
 // drainDelay is how long /readyz answers 503 "draining" before the
@@ -34,6 +36,9 @@ func main() {
 	p4rtAddrs := flag.String("p4rt", "127.0.0.1:9559", "comma-separated P4Runtime addresses")
 	rulesPath := flag.String("rules", "", "control-plane rules file (default: built-in snvs rules)")
 	obsAddr := flag.String("obs-addr", "", "serve /metrics, /debug/traces, /debug/events and pprof on this address (off when empty)")
+	subAddr := flag.String("sub-addr", "", "serve derived-relation subscriptions (nerpa-watch clients) on this address (off when empty)")
+	subQueue := flag.Int("sub-queue", 0, "per-subscriber pending-update queue; a full queue evicts the subscriber (0 = default 256)")
+	subWriteLimit := flag.Int("sub-write-limit", 0, "per-subscriber-connection JSON-RPC write-queue cap (0 = default 4096, negative = unlimited)")
 	obsEvents := flag.Int("obs-events", 0, "flight-recorder event ring capacity (0 = default, negative = disable events)")
 	obsInstance := flag.String("obs-instance", "", "fleet-unique instance ID stamped on obs responses (default: the plane name)")
 	obsSlowBudget := flag.Duration("obs-slow-budget", 0, "pin transactions whose stages exceed this duration to /debug/incidents (0 = off)")
@@ -154,6 +159,16 @@ func main() {
 		CoalesceWindow:     *coalesceWindow,
 		Profile:            *obsProfile,
 	}
+	var subSvc *subscribe.Service
+	if *subAddr != "" {
+		subSvc = subscribe.New(subscribe.Config{
+			QueueLen:   *subQueue,
+			WriteLimit: *subWriteLimit,
+			Obs:        observer,
+		})
+		defer subSvc.Close()
+		cfg.OnDelta = subSvc.Publish
+	}
 	if *verbose {
 		cfg.OnTxn = func(st core.TxnStats) {
 			log.Printf("txn source=%s inputs=%d outputs=%d engine=%v push=%v",
@@ -170,6 +185,20 @@ func main() {
 		id := fmt.Sprintf("dev%d", i)
 		rc := rc
 		rc.OnReconnect(func(cl *p4rt.Client) error { return ctrl.Resync(id, cl) })
+	}
+	if subSvc != nil {
+		subSvc.SetCatalog(ctrl.OutputRelations())
+		ln, err := net.Listen("tcp", *subAddr)
+		if err != nil {
+			log.Fatalf("subscription listener on %s: %v", *subAddr, err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := subSvc.Serve(ln); err != nil {
+				log.Fatalf("subscription server: %v", err)
+			}
+		}()
+		log.Printf("nerpa-controller: serving derived-relation subscriptions on %s", *subAddr)
 	}
 	log.Printf("nerpa-controller: managing %q across %d data plane(s)", *dbName, len(devices))
 

@@ -71,6 +71,34 @@ print(f"throughput direct: {cur:.0f} txn/s (baseline {base:.0f})")
 if base > 0 and cur < base * 0.85:
     sys.exit(f"throughput regression: {cur:.0f} txn/s is >15% below baseline {base:.0f}")
 PYEOF
+# Pub/sub fan-out: the subscription service e2e (snapshot-then-delta
+# ordering, slow-consumer eviction and resubscribe) and the jsonrpc
+# bounded-write regressions run under the race detector.
+go test -race -run 'TestSnapshotThenDelta|TestSlowConsumerEviction' -count=1 ./internal/subscribe/
+go test -race -run 'TestWriteLimit|TestCloseFlushes' -count=1 ./internal/jsonrpc/
+# Fan-out bench gate: 10k+ subscribers must all converge (cursor at the
+# sentinel txn, state fingerprint equal to the reference snapshot), the
+# stalled connection must be evicted and recover via resubscribe, and
+# sustained delivery must not regress more than 25% against the
+# committed baseline (read before the run overwrites the file).
+fan_baseline=$(python3 -c "import json; print(json.load(open('BENCH_fanout.json'))['updates_per_sec'])" 2>/dev/null || echo 0)
+go run ./cmd/nerpa-bench -exp fanout -fanout-out BENCH_fanout.json
+test -s BENCH_fanout.json
+python3 - "$fan_baseline" <<'PYEOF'
+import json, sys
+base = float(sys.argv[1])
+r = json.load(open("BENCH_fanout.json"))
+print(f"fanout: {r['subscribers']} subscribers, {r['updates_per_sec']:.0f} updates/s "
+      f"(baseline {base:.0f}), converged {r['converged']}, evictions {r['evictions']:.0f}")
+if r["subscribers"] < 10000:
+    sys.exit(f"fanout ran {r['subscribers']} subscribers, below the 10k bar")
+if r["converged"] != r["subscribers"]:
+    sys.exit(f"fanout: only {r['converged']}/{r['subscribers']} subscribers converged")
+if r["evictions"] < 1 or not r["evicted_recovered"]:
+    sys.exit("fanout: slow-consumer eviction + resubscribe recovery not demonstrated")
+if base > 0 and r["updates_per_sec"] < base * 0.75:
+    sys.exit(f"fanout regression: {r['updates_per_sec']:.0f} updates/s is >25% below baseline {base:.0f}")
+PYEOF
 # Coalescing under race: merged monitor deliveries must stay
 # data-race-free and preserve per-txn attribution.
 go test -race -run 'TestCoalesc' -count=1 ./internal/core/

@@ -15,7 +15,7 @@ metrics=$(grep -rhoE '\.(Counter|Gauge|Histogram|CounterFunc|GaugeFunc|TrackRate
     --include='*.go' --exclude='*_test.go' cmd internal |
     sed -E 's/.*\("([^"]+)"$/\1/' | sort -u)
 for m in $metrics; do
-    if ! echo "$m" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|fleet|bench)_[a-z0-9_]+$'; then
+    if ! echo "$m" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|fleet|bench|sub|jsonrpc)_[a-z0-9_]+$'; then
         echo "lint: metric/series name \"$m\" is not <plane>_<snake_case>" >&2
         fail=1
     fi
@@ -46,7 +46,7 @@ done
 series=$(grep -hoE '^\tSeries[A-Za-z]+ += +"[^"]+"' internal/obs/watchdog.go |
     sed -E 's/.*"([^"]+)"/\1/')
 for s in $series; do
-    if ! echo "$s" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|fleet|bench)_[a-z0-9_]+$'; then
+    if ! echo "$s" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|obs|fleet|bench|sub|jsonrpc)_[a-z0-9_]+$'; then
         echo "lint: watchdog series name \"$s\" is not <plane>_<snake_case>" >&2
         fail=1
     fi
@@ -59,7 +59,7 @@ events=$(grep -rhoE '\bEv\("[^"]+", *"[^"]+"\)' \
 for e in $events; do
     plane=${e%%:*}
     kind=${e#*:}
-    if ! echo "$plane" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim)$'; then
+    if ! echo "$plane" | grep -qE '^(ovsdb|dl|core|p4rt|switchsim|sub)$'; then
         echo "lint: event plane \"$plane\" (kind $kind) is not a known plane" >&2
         fail=1
     fi

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dl/engine"
 	"repro/internal/obs"
 	"repro/internal/ovsdb"
 	"repro/internal/p4rt"
@@ -74,6 +75,9 @@ type StackConfig struct {
 	// Rules overrides the control-plane program (default snvs.Rules) —
 	// profiler experiments append deliberately expensive rules to it.
 	Rules string
+	// OnDelta passes through to core.Config: the post-push output-delta
+	// tap the subscription fan-out attaches to.
+	OnDelta func(txn uint64, delta engine.Delta)
 }
 
 // directMP is the in-process management plane: the real ovsdb.Database
@@ -154,6 +158,7 @@ func StartStackConfig(cfg StackConfig) (*Stack, error) {
 	}
 	s.Ctrl, err = core.New(core.Config{
 		Rules: rules, Database: "snvs", Obs: o, OnTxn: onTxn,
+		OnDelta:            cfg.OnDelta,
 		CoalesceMaxTxns:    cfg.CoalesceMaxTxns,
 		CoalesceMaxUpdates: cfg.CoalesceMaxUpdates,
 		CoalesceWindow:     cfg.CoalesceWindow,

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/dl"
+	"repro/internal/dl/ast"
 	"repro/internal/dl/engine"
 	"repro/internal/dl/value"
 	"repro/internal/obs"
@@ -120,6 +121,14 @@ type Config struct {
 	// processing statistics (used by the evaluation harness). The same
 	// numbers also feed the Obs registry, so the two always agree.
 	OnTxn func(TxnStats)
+	// OnDelta, when set, receives every non-empty output delta right
+	// after the data-plane push, on the event-loop goroutine, attributed
+	// with the transaction that produced it (0 for the initial sync; a
+	// coalesced batch reports the last merged commit's ID). The callee
+	// must treat the delta as read-only and return quickly — it runs
+	// inside the serialization point of the controller. This is the tap
+	// the pub/sub fan-out (internal/subscribe) attaches to.
+	OnDelta func(txn uint64, delta engine.Delta)
 	// Obs, when set, receives controller metrics (registry) and per-txn
 	// commit→delta→push timelines (tracer). Setting it also enables
 	// engine statistics collection so per-stratum and per-worker timings
@@ -635,6 +644,19 @@ func (c *Controller) Generated() *codegen.Generated { return c.inputGen }
 // Contents exposes a relation snapshot (diagnostics and tests).
 func (c *Controller) Contents(rel string) ([]value.Record, error) { return c.rt.Contents(rel) }
 
+// OutputRelations returns the names of the program's derived (output-
+// role) relations, sorted — the set a subscription service may offer,
+// and exactly the keys that can appear in an OnDelta delta.
+func (c *Controller) OutputRelations() []string {
+	var names []string
+	for _, name := range c.rt.Relations() {
+		if role, ok := c.rt.RelationRole(name); ok && role == ast.RoleOutput {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // Err returns the error that stopped the controller, if any.
 func (c *Controller) Err() error {
 	c.mu.Lock()
@@ -816,6 +838,12 @@ func (c *Controller) dispatch(ev *event) {
 			c.fail(fmt.Errorf("core: push: %w", err))
 			return
 		}
+	}
+	if c.cfg.OnDelta != nil && len(delta) > 0 {
+		// Subscribers observe the delta only once the data plane accepted
+		// it (or the device was merely unreachable and will resync): the
+		// published stream never runs ahead of a delta the push rejected.
+		c.cfg.OnDelta(ev.txnID, delta)
 	}
 	if c.tracer != nil {
 		// Each merged commit gets its own push stage (with its own attrs

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,9 +68,20 @@ type Conn struct {
 	// Writes are decoupled from callers (and from the read loop, which
 	// serves handlers) through a queue drained by a writer goroutine, so a
 	// slow or synchronous peer never deadlocks request handling.
-	writeMu    sync.Mutex
-	writeQueue [][]byte
-	writeWake  chan struct{}
+	writeMu     sync.Mutex
+	writeQueue  [][]byte
+	writeWake   chan struct{}
+	writeLimit  int
+	writePolicy OverflowPolicy
+	// writeDone is closed when the write loop exits, so Close can wait
+	// for accepted messages to reach the stream before tearing it down.
+	writeDone chan struct{}
+	started   atomic.Bool
+	// queued counts messages accepted by send but not yet handed to the
+	// stream (the write-queue depth, including the batch in flight).
+	queued atomic.Int64
+	// overflowed counts messages rejected by the write-queue cap.
+	overflowed atomic.Uint64
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -95,6 +107,35 @@ var ErrTimeout = errors.New("jsonrpc: call timed out")
 // missing too many consecutive heartbeats.
 var ErrKeepalive = errors.New("jsonrpc: keepalive failed")
 
+// ErrWriteOverflow marks a send rejected because the connection's write
+// queue reached its configured cap: the peer is not draining its read
+// side fast enough. Test with errors.Is.
+var ErrWriteOverflow = errors.New("jsonrpc: write queue overflow")
+
+// OverflowPolicy selects what happens to a send that would push the
+// write queue past its cap.
+type OverflowPolicy int
+
+const (
+	// FailConn fails the whole connection on overflow (the default): a
+	// peer too slow to drain its socket is treated like a dead one, so
+	// the server's memory stays bounded and the client's reconnect
+	// machinery takes over. Right for streams whose messages must not be
+	// silently skipped (monitor updates, responses).
+	FailConn OverflowPolicy = iota
+	// DropNewest rejects just the overflowing message: send returns
+	// ErrWriteOverflow, the counter behind WriteOverflows increments,
+	// and the connection stays up. Right for streams with downstream
+	// resync semantics where losing one notification is recoverable.
+	DropNewest
+)
+
+// closeFlushTimeout bounds how long Close waits for the write loop to
+// flush accepted messages before closing the stream regardless. A peer
+// that has stopped reading would otherwise hang a graceful close
+// forever.
+const closeFlushTimeout = 2 * time.Second
+
 // NewConn starts a connection over rwc. handler may be nil if the peer
 // never sends requests. The read loop runs until the stream fails or the
 // connection is closed.
@@ -111,6 +152,7 @@ func NewConnPending(rwc io.ReadWriteCloser) *Conn {
 	return &Conn{
 		rwc:       rwc,
 		writeWake: make(chan struct{}, 1),
+		writeDone: make(chan struct{}),
 		pending:   make(map[uint64]chan *message),
 		done:      make(chan struct{}),
 	}
@@ -120,14 +162,48 @@ func NewConnPending(rwc io.ReadWriteCloser) *Conn {
 // must be called exactly once on a pending connection.
 func (c *Conn) Start(handler Handler) {
 	c.handler = handler
+	c.started.Store(true)
 	go c.readLoop()
 	go c.writeLoop()
 }
 
-// Close tears down the connection and fails all pending calls.
+// SetWriteLimit caps the write queue at limit pending messages; an
+// overflowing send is handled per policy (fail the connection, or drop
+// the message with ErrWriteOverflow). 0 restores the unbounded
+// historical behavior. Call before the peer can stall; safe to call
+// concurrently with sends.
+func (c *Conn) SetWriteLimit(limit int, policy OverflowPolicy) {
+	c.writeMu.Lock()
+	c.writeLimit = limit
+	c.writePolicy = policy
+	c.writeMu.Unlock()
+}
+
+// WriteQueueLen reports the messages accepted by send but not yet
+// written to the stream (the write-queue depth, including the batch the
+// writer currently holds).
+func (c *Conn) WriteQueueLen() int { return int(c.queued.Load()) }
+
+// WriteOverflows reports how many messages the write-queue cap has
+// rejected on this connection.
+func (c *Conn) WriteOverflows() uint64 { return c.overflowed.Load() }
+
+// Close tears down the connection and fails all pending calls. Messages
+// already accepted by send are flushed to the stream first (bounded by
+// closeFlushTimeout, so a peer that stopped reading cannot hang the
+// close), preserving send's acceptance guarantee on a graceful close.
 func (c *Conn) Close() error {
 	c.StopKeepalive()
 	c.fail(errors.New("jsonrpc: connection closed"))
+	if c.started.Load() {
+		// fail() closed done, so the write loop is in (or headed for)
+		// its drain-on-done pass; wait for it to hand the queue to the
+		// stream before pulling the stream out from under it.
+		select {
+		case <-c.writeDone:
+		case <-time.After(closeFlushTimeout):
+		}
+	}
 	return c.rwc.Close()
 }
 
@@ -288,7 +364,20 @@ func (c *Conn) send(v any) error {
 		return errors.New("jsonrpc: connection closed")
 	}
 	c.writeMu.Lock()
+	if c.writeLimit > 0 && int(c.queued.Load()) >= c.writeLimit {
+		limit, policy := c.writeLimit, c.writePolicy
+		c.writeMu.Unlock()
+		c.mu.Unlock()
+		c.overflowed.Add(1)
+		if policy == DropNewest {
+			return fmt.Errorf("%w: %d messages pending, message dropped", ErrWriteOverflow, limit)
+		}
+		c.fail(fmt.Errorf("%w: peer left %d messages pending", ErrWriteOverflow, limit))
+		c.rwc.Close()
+		return fmt.Errorf("%w: %d messages pending, connection failed", ErrWriteOverflow, limit)
+	}
 	c.writeQueue = append(c.writeQueue, buf)
+	c.queued.Add(1)
 	c.writeMu.Unlock()
 	c.mu.Unlock()
 	select {
@@ -299,6 +388,7 @@ func (c *Conn) send(v any) error {
 }
 
 func (c *Conn) writeLoop() {
+	defer close(c.writeDone)
 	for {
 		c.writeMu.Lock()
 		batch := c.writeQueue
@@ -313,27 +403,40 @@ func (c *Conn) writeLoop() {
 				// messages already acknowledged to send() callers can still
 				// be sitting in the queue. Drain them before exiting — the
 				// stream may be perfectly healthy (e.g. the read side hit
-				// EOF first), and accepted messages must not vanish.
+				// EOF first, or Close is flushing), and accepted messages
+				// must not vanish.
 				c.writeMu.Lock()
 				batch = c.writeQueue
 				c.writeQueue = nil
 				c.writeMu.Unlock()
-				for _, buf := range batch {
-					if _, err := c.rwc.Write(buf); err != nil {
-						return
-					}
-				}
+				c.writeBatch(batch, false)
 				return
 			}
 		}
-		for _, buf := range batch {
-			if _, err := c.rwc.Write(buf); err != nil {
-				c.fail(err)
-				c.rwc.Close()
-				return
-			}
+		if !c.writeBatch(batch, true) {
+			return
 		}
 	}
+}
+
+// writeBatch hands one drained batch to the stream, keeping the queue
+// depth current. failConn selects whether a stream error fails the
+// connection (the live path) or merely abandons the flush (the
+// drain-on-done pass, where the connection is already failed). Reports
+// whether the loop should keep running.
+func (c *Conn) writeBatch(batch [][]byte, failConn bool) bool {
+	for i, buf := range batch {
+		if _, err := c.rwc.Write(buf); err != nil {
+			c.queued.Add(-int64(len(batch) - i))
+			if failConn {
+				c.fail(err)
+				c.rwc.Close()
+			}
+			return false
+		}
+		c.queued.Add(-1)
+	}
+	return true
 }
 
 // Call issues a request and waits for the matching response, decoding its

@@ -2,6 +2,7 @@ package jsonrpc
 
 import (
 	"encoding/json"
+	"errors"
 	"net"
 	"strings"
 	"sync"
@@ -157,6 +158,127 @@ func TestMalformedStreamFailsConn(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatalf("connection did not fail on malformed input")
+	}
+}
+
+func TestWriteLimitFailsSlowPeer(t *testing.T) {
+	// A peer that never reads must not grow the write queue without
+	// bound: once the cap is hit, the connection fails (FailConn).
+	a, b := net.Pipe()
+	defer b.Close()
+	ca := NewConn(a, nil)
+	defer ca.Close()
+	ca.SetWriteLimit(8, FailConn)
+	var overflow error
+	for i := 0; i < 100; i++ {
+		if err := ca.Notify("update", []int{i}); err != nil {
+			overflow = err
+			break
+		}
+	}
+	if !errors.Is(overflow, ErrWriteOverflow) {
+		t.Fatalf("send against a stalled peer returned %v, want ErrWriteOverflow", overflow)
+	}
+	select {
+	case <-ca.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatalf("connection did not fail after write-queue overflow")
+	}
+	if err := ca.Err(); !errors.Is(err, ErrWriteOverflow) {
+		t.Errorf("Err() = %v, want ErrWriteOverflow", err)
+	}
+	if got := ca.WriteOverflows(); got == 0 {
+		t.Errorf("WriteOverflows() = 0, want > 0")
+	}
+}
+
+func TestWriteLimitDropNewest(t *testing.T) {
+	// DropNewest keeps the connection alive: overflowing sends are
+	// rejected with ErrWriteOverflow, and once the peer drains, sends
+	// succeed again.
+	a, b := net.Pipe()
+	ca := NewConn(a, nil)
+	defer ca.Close()
+	ca.SetWriteLimit(4, DropNewest)
+	var dropped int
+	for i := 0; i < 50; i++ {
+		if err := ca.Notify("update", []int{i}); err != nil {
+			if !errors.Is(err, ErrWriteOverflow) {
+				t.Fatalf("send returned %v, want ErrWriteOverflow", err)
+			}
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		t.Fatalf("no sends rejected against a stalled peer with a 4-message cap")
+	}
+	if uint64(dropped) != ca.WriteOverflows() {
+		t.Errorf("WriteOverflows() = %d, want %d", ca.WriteOverflows(), dropped)
+	}
+	select {
+	case <-ca.Done():
+		t.Fatalf("DropNewest failed the connection: %v", ca.Err())
+	default:
+	}
+	// Drain the peer; the queue empties and the connection serves again.
+	go func() {
+		dec := json.NewDecoder(b)
+		for {
+			var v any
+			if dec.Decode(&v) != nil {
+				return
+			}
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for ca.WriteQueueLen() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("write queue never drained: %d pending", ca.WriteQueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := ca.Notify("update", []string{"after-drain"}); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+	b.Close()
+}
+
+func TestCloseFlushesAcceptedMessages(t *testing.T) {
+	// Every message accepted by send before Close must reach the peer:
+	// Close may not race the write loop's drain pass by closing the
+	// stream under it.
+	const n = 50
+	for round := 0; round < 20; round++ {
+		a, b := net.Pipe()
+		ca := NewConn(a, nil)
+		got := make(chan int, 1)
+		go func() {
+			dec := json.NewDecoder(b)
+			count := 0
+			for {
+				var v any
+				if dec.Decode(&v) != nil {
+					got <- count
+					return
+				}
+				count++
+			}
+		}()
+		for i := 0; i < n; i++ {
+			if err := ca.Notify("update", []int{i}); err != nil {
+				t.Fatalf("round %d: send %d: %v", round, i, err)
+			}
+		}
+		ca.Close()
+		select {
+		case count := <-got:
+			if count != n {
+				t.Fatalf("round %d: peer received %d of %d accepted messages", round, count, n)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: peer never saw the stream close", round)
+		}
+		b.Close()
 	}
 }
 

@@ -87,6 +87,11 @@ type Observer struct {
 	readyDetailMu sync.Mutex
 	readyDetail   []func() string
 
+	// extra holds late-registered debug handlers (see RegisterDebug);
+	// consulted by the Handler wrapper before the fixed mux.
+	extraMu sync.RWMutex
+	extra   map[string]http.Handler
+
 	mIncidents *Counter
 	mStalled   *Gauge
 }
@@ -347,6 +352,32 @@ func (o *Observer) setIdentityHeaders(h http.Header) {
 	}
 }
 
+// RegisterDebug mounts an extra handler on the observer's HTTP surface
+// at the given path (e.g. "/debug/subscribers"). Components that come
+// up after the HTTP listener — or that live in packages obs must not
+// import — use this to publish their own debug views. Registration may
+// happen before or after Handler() is called; extra paths shadow the
+// fixed mux, and a later registration on the same path wins. Nil-safe:
+// a nil Observer, nil handler, or empty path is a no-op.
+func (o *Observer) RegisterDebug(path string, h http.Handler) {
+	if o == nil || h == nil || path == "" {
+		return
+	}
+	o.extraMu.Lock()
+	if o.extra == nil {
+		o.extra = make(map[string]http.Handler)
+	}
+	o.extra[path] = h
+	o.extraMu.Unlock()
+}
+
+// debugHandler returns the extra handler registered for path, if any.
+func (o *Observer) debugHandler(path string) http.Handler {
+	o.extraMu.RLock()
+	defer o.extraMu.RUnlock()
+	return o.extra[path]
+}
+
 // SetExplainer registers the /debug/explain resolver. Nil-safe; a nil
 // explainer is ignored.
 func (o *Observer) SetExplainer(e Explainer) {
@@ -387,6 +418,9 @@ func (o *Observer) explainer() Explainer {
 //	/debug/explain  derivation tree of one fact or table entry
 //	                (?relation= and ?key=, with ?depth=/?nodes= bounds)
 //	/debug/pprof/   the standard Go profiling endpoints
+//
+// Extra paths mounted via RegisterDebug are served ahead of the fixed
+// set above.
 func (o *Observer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -435,6 +469,10 @@ func (o *Observer) Handler() http.Handler {
 	// headers so scrapers can attribute and skew-correct what they read.
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		o.setIdentityHeaders(w.Header())
+		if h := o.debugHandler(r.URL.Path); h != nil {
+			h.ServeHTTP(w, r)
+			return
+		}
 		mux.ServeHTTP(w, r)
 	})
 }

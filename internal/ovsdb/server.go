@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/jsonrpc"
+	"repro/internal/obs"
 )
 
 // Server exposes one or more databases over the OVSDB JSON-RPC protocol:
@@ -25,7 +26,22 @@ type Server struct {
 	// accepted connection so half-open clients are reaped.
 	kaInterval time.Duration
 	kaMisses   int
+
+	// wrLimit caps each accepted connection's JSON-RPC write queue
+	// (0 = default, <0 = unlimited); see SetWriteLimit.
+	wrLimit int
+	// overflowBase accumulates departed connections' overflow counts so
+	// the jsonrpc_write_overflows_total reading stays monotonic.
+	overflowBase uint64
 }
+
+// defaultWriteLimit bounds an accepted connection's write queue unless
+// SetWriteLimit overrides it. Monitor fan-out (handleMonitor) enqueues
+// every committed transaction into each monitoring client's queue, so
+// a stalled monitor previously grew server memory without bound; at
+// the cap the connection fails, and the resilient client redials and
+// resyncs (the PR-5 reconnection path).
+const defaultWriteLimit = 16384
 
 // SetKeepalive makes every subsequently accepted connection probe its
 // peer with echo heartbeats: misses consecutive failures fail the
@@ -34,6 +50,43 @@ func (s *Server) SetKeepalive(interval time.Duration, misses int) {
 	s.lnMu.Lock()
 	s.kaInterval, s.kaMisses = interval, misses
 	s.lnMu.Unlock()
+}
+
+// SetWriteLimit caps the JSON-RPC write queue of every subsequently
+// accepted connection; overflow fails the connection (the client's
+// reconnect-and-resync path recovers). 0 restores the default
+// (16384); negative disables the cap. Call before Serve.
+func (s *Server) SetWriteLimit(limit int) {
+	s.lnMu.Lock()
+	s.wrLimit = limit
+	s.lnMu.Unlock()
+}
+
+// SetObs registers the server's jsonrpc queue instrumentation (depth
+// gauge and overflow counter, labeled server="ovsdb") with the given
+// observer. Nil-safe.
+func (s *Server) SetObs(o *obs.Observer) {
+	reg := o.Reg()
+	reg.GaugeFunc("jsonrpc_write_queue_depth",
+		"Messages queued in JSON-RPC write queues.", func() float64 {
+			s.lnMu.Lock()
+			defer s.lnMu.Unlock()
+			n := 0
+			for c := range s.conns {
+				n += c.WriteQueueLen()
+			}
+			return float64(n)
+		}, obs.L("server", "ovsdb"))
+	reg.CounterFunc("jsonrpc_write_overflows_total",
+		"Sends rejected by the JSON-RPC write-queue cap.", func() uint64 {
+			s.lnMu.Lock()
+			defer s.lnMu.Unlock()
+			n := s.overflowBase
+			for c := range s.conns {
+				n += c.WriteOverflows()
+			}
+			return n
+		}, obs.L("server", "ovsdb"))
 }
 
 // NewServer creates a server hosting the given databases.
@@ -109,6 +162,15 @@ func (s *Server) serveConn(nc net.Conn) {
 	sc := &serverConn{server: s, monitors: make(map[string]*Monitor)}
 	conn := jsonrpc.NewConnPending(nc)
 	sc.conn = conn
+	s.lnMu.Lock()
+	limit := s.wrLimit
+	s.lnMu.Unlock()
+	if limit == 0 {
+		limit = defaultWriteLimit
+	}
+	if limit > 0 {
+		conn.SetWriteLimit(limit, jsonrpc.FailConn)
+	}
 	conn.Start(sc)
 	s.lnMu.Lock()
 	s.conns[conn] = true
@@ -122,6 +184,7 @@ func (s *Server) serveConn(nc net.Conn) {
 		sc.teardown()
 		s.lnMu.Lock()
 		delete(s.conns, conn)
+		s.overflowBase += conn.WriteOverflows()
 		s.lnMu.Unlock()
 	}()
 }

@@ -1,0 +1,787 @@
+// Package subscribe turns the controller's derived relations into a
+// queryable network-state service: many JSON-RPC clients subscribe to
+// output relations (optionally with field filters) and receive an
+// initial snapshot followed by incremental deltas attributed with the
+// originating transaction ID.
+//
+// The service materializes each published relation as a Z-set of its
+// own (fed by the controller's OnDelta tap), so a subscriber's snapshot
+// and its subsequent delta stream are cut under one lock: every delta
+// published after the snapshot is delivered exactly once, and none that
+// the snapshot already contains. Fan-out is a tree keyed by relation;
+// each subscriber owns a bounded queue drained by a dedicated delivery
+// goroutine. A subscriber whose queue is full when a delta arrives is
+// evicted — the service never blocks the controller's event loop on a
+// slow reader — and told so with a final "sub_evicted" notification;
+// the recovery path is to resubscribe, which yields a fresh snapshot.
+//
+// Wire protocol (JSON-RPC 1.0, same framing as the OVSDB plane):
+//
+//	request  "subscribe"   params [relation, {"filter": {"<col>": v}}?]
+//	         → {"sub": id, "relation": r, "txn": t, "rows": [{"row": [...], "w": 1}, ...]}
+//	request  "unsubscribe" params [id]          → {}
+//	request  "relations"   params []            → {"relations": [...]}
+//	request  "echo"        params any           → params (keepalive)
+//	notify   "sub_update"  params [{"sub": id, "txn": t, "changes": [{"row": [...], "w": ±n}, ...]}]
+//	notify   "sub_evicted" params [{"sub": id, "reason": r, "pending": n}]
+//
+// Rows render records as JSON arrays (bool, number, string, or nested
+// array for tuples); "w" is the Z-set weight (+ inserts, − deletes).
+// Because delivery goroutines and RPC replies share one connection, a
+// "sub_update" may reach the wire before the "subscribe" result that
+// names its id — clients buffer updates for ids they have not yet
+// resolved (the Client helper does).
+package subscribe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+	"repro/internal/dl/zset"
+	"repro/internal/jsonrpc"
+	"repro/internal/obs"
+)
+
+// defaultQueueLen bounds a subscriber's pending-update queue when
+// Config.QueueLen is zero.
+const defaultQueueLen = 256
+
+// defaultWriteLimit caps a connection's JSON-RPC write queue when
+// Config.WriteLimit is zero.
+const defaultWriteLimit = 4096
+
+// defaultSoftLimit is where delivery goroutines stop feeding a
+// congested connection's write queue and instead let the subscriber
+// queue fill (and evict). It sits well below the hard write limit so
+// slowness surfaces as subscriber eviction — which the client can
+// recover from with a resubscribe — rather than connection failure.
+const defaultSoftLimit = 64
+
+// Config tunes one Service.
+type Config struct {
+	// QueueLen bounds each subscriber's pending-update queue; a delta
+	// arriving at a full queue evicts the subscriber. 0 selects the
+	// default (256).
+	QueueLen int
+	// WriteLimit caps each connection's JSON-RPC write queue (the layer
+	// below the per-subscriber queues; it backstops replies and eviction
+	// notices too). 0 selects the default (4096); negative disables the
+	// cap. Overflow fails the connection.
+	WriteLimit int
+	// Obs receives sub_* metrics, subscriber.evict events, and the
+	// /debug/subscribers endpoint. nil disables instrumentation.
+	Obs *obs.Observer
+}
+
+// relState is one relation's fan-out node: the materialized contents
+// plus the subscribers watching it.
+type relState struct {
+	z    *zset.ZSet
+	subs map[uint64]*subscriber
+}
+
+// connState is the service's view of one client connection; it is also
+// the connection's JSON-RPC handler.
+type connState struct {
+	svc    *Service
+	conn   *jsonrpc.Conn
+	remote string
+	subs   map[uint64]*subscriber // guarded by svc.mu
+}
+
+// queuedUpdate is one delta pending delivery to one subscriber.
+type queuedUpdate struct {
+	txn     uint64
+	changes []Change
+}
+
+// subscriber is one (connection, relation, filter) subscription.
+type subscriber struct {
+	id       uint64
+	relation string
+	filter   []fieldFilter
+	cs       *connState
+	queue    chan queuedUpdate
+	since    time.Time
+
+	// sent counts delivered update notifications (debug surface).
+	sent atomic.Uint64
+
+	// evicted/reason/pending are set under svc.mu before queue close;
+	// the delivery goroutine reads them after the queue closes (the
+	// close is the synchronization edge).
+	evicted bool
+	reason  string
+	pending int
+}
+
+// Change is one weighted row on the wire: a record rendered as a JSON
+// array plus its Z-set weight (positive inserts, negative deletes).
+type Change struct {
+	Row []any `json:"row"`
+	W   int64 `json:"w"`
+}
+
+// updateMsg is the "sub_update" notification payload.
+type updateMsg struct {
+	Sub     uint64   `json:"sub"`
+	Txn     uint64   `json:"txn"`
+	Changes []Change `json:"changes"`
+}
+
+// evictMsg is the "sub_evicted" notification payload.
+type evictMsg struct {
+	Sub     uint64 `json:"sub"`
+	Reason  string `json:"reason"`
+	Pending int    `json:"pending"`
+}
+
+// subscribeResult is the "subscribe" reply.
+type subscribeResult struct {
+	Sub      uint64   `json:"sub"`
+	Relation string   `json:"relation"`
+	Txn      uint64   `json:"txn"`
+	Rows     []Change `json:"rows"`
+}
+
+// Service is the derived-relation pub/sub fan-out. Create with New,
+// feed with Publish (normally via core.Config.OnDelta), serve clients
+// with Serve/ServeConn.
+type Service struct {
+	cfg Config
+	rec *obs.Recorder
+	// softLimit is the write-queue depth at which delivery goroutines
+	// pause (see defaultSoftLimit; derived from cfg.WriteLimit).
+	softLimit int
+
+	mu      sync.Mutex
+	rels    map[string]*relState
+	catalog map[string]bool // nil = accept any relation name
+	conns   map[*connState]bool
+	lastTxn uint64
+	nextSub uint64
+	nSubs   int
+	closed  bool
+	// overflowBase accumulates WriteOverflows of departed connections so
+	// the jsonrpc overflow counter stays monotonic.
+	overflowBase uint64
+
+	m struct {
+		subscribers  *obs.Gauge
+		subsTotal    *obs.Counter
+		unsubsTotal  *obs.Counter
+		evictions    *obs.Counter
+		updates      *obs.Counter
+		updateRows   *obs.Counter
+		snapshotRows *obs.Counter
+		dropped      *obs.Counter
+	}
+}
+
+// New builds a Service and, when cfg.Obs is set, registers its metrics
+// and the /debug/subscribers endpoint.
+func New(cfg Config) *Service {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = defaultQueueLen
+	}
+	s := &Service{
+		cfg:       cfg,
+		rec:       cfg.Obs.Rec(),
+		softLimit: defaultSoftLimit,
+		rels:      make(map[string]*relState),
+		conns:     make(map[*connState]bool),
+	}
+	if limit := cfg.WriteLimit; limit > 0 && s.softLimit > limit/2 {
+		s.softLimit = limit / 2
+		if s.softLimit < 1 {
+			s.softLimit = 1
+		}
+	}
+	reg := cfg.Obs.Reg()
+	s.m.subscribers = reg.Gauge("sub_subscribers",
+		"Active subscriptions across all connections.")
+	s.m.subsTotal = reg.Counter("sub_subscriptions_total",
+		"Subscriptions accepted since start.")
+	s.m.unsubsTotal = reg.Counter("sub_unsubscribes_total",
+		"Explicit unsubscribes honored.")
+	s.m.evictions = reg.Counter("sub_evictions_total",
+		"Subscribers evicted for not draining their queue.")
+	s.m.updates = reg.Counter("sub_updates_total",
+		"Delta notifications enqueued to subscribers.")
+	s.m.updateRows = reg.Counter("sub_update_rows_total",
+		"Weighted rows carried by enqueued delta notifications.")
+	s.m.snapshotRows = reg.Counter("sub_snapshot_rows_total",
+		"Rows served in initial snapshots.")
+	s.m.dropped = reg.Counter("sub_dropped_updates_total",
+		"Updates discarded with their evicted subscriber's queue.")
+	reg.GaugeFunc("sub_connections",
+		"Open subscriber connections.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.conns))
+		})
+	reg.GaugeFunc("sub_pending_updates",
+		"Updates queued across all subscribers, awaiting delivery.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, rs := range s.rels {
+				for _, sub := range rs.subs {
+					n += len(sub.queue)
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("jsonrpc_write_queue_depth",
+		"Messages queued in JSON-RPC write queues.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for cs := range s.conns {
+				n += cs.conn.WriteQueueLen()
+			}
+			return float64(n)
+		}, obs.L("server", "subscribe"))
+	reg.CounterFunc("jsonrpc_write_overflows_total",
+		"Sends rejected by the JSON-RPC write-queue cap.", func() uint64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := s.overflowBase
+			for cs := range s.conns {
+				n += cs.conn.WriteOverflows()
+			}
+			return n
+		}, obs.L("server", "subscribe"))
+	cfg.Obs.RegisterDebug("/debug/subscribers", http.HandlerFunc(s.handleDebug))
+	return s
+}
+
+// SetCatalog restricts subscribe to the given relation names (normally
+// the controller's OutputRelations). Without a catalog any name is
+// accepted; unknown relations simply start empty and never change.
+func (s *Service) SetCatalog(names []string) {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	s.mu.Lock()
+	s.catalog = m
+	s.mu.Unlock()
+}
+
+// Publish feeds one transaction's output delta into the fan-out. It is
+// the core.Config.OnDelta shape: called post-push on the controller's
+// event loop, so it must not block — enqueue or evict, never wait.
+func (s *Service) Publish(txn uint64, delta engine.Delta) {
+	if s == nil || len(delta) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.lastTxn = txn
+	for rel, dz := range delta {
+		if dz.IsEmpty() {
+			continue
+		}
+		rs := s.rels[rel]
+		if rs == nil {
+			rs = &relState{z: zset.New(), subs: make(map[uint64]*subscriber)}
+			s.rels[rel] = rs
+		}
+		rs.z.AddAll(dz)
+		if len(rs.subs) == 0 {
+			continue
+		}
+		var shared []Change // unfiltered rendering, built once per relation
+		var evict []*subscriber
+		for _, sub := range rs.subs {
+			var changes []Change
+			if sub.filter == nil {
+				if shared == nil {
+					shared = renderDelta(dz, nil)
+				}
+				changes = shared
+			} else {
+				changes = renderDelta(dz, sub.filter)
+			}
+			if len(changes) == 0 {
+				continue
+			}
+			select {
+			case sub.queue <- queuedUpdate{txn: txn, changes: changes}:
+				s.m.updates.Inc()
+				s.m.updateRows.Add(uint64(len(changes)))
+			default:
+				evict = append(evict, sub)
+			}
+		}
+		for _, sub := range evict {
+			s.evictLocked(sub, "slow consumer: queue full")
+		}
+	}
+}
+
+// evictLocked removes a subscriber that failed to drain its queue. The
+// delivery goroutine flushes what it can, then sends the terminal
+// "sub_evicted" notice; the client's recovery is a fresh subscribe.
+func (s *Service) evictLocked(sub *subscriber, reason string) {
+	sub.evicted = true
+	sub.reason = reason
+	sub.pending = len(sub.queue)
+	s.removeLocked(sub)
+	s.m.evictions.Inc()
+	s.m.dropped.Add(uint64(sub.pending))
+	s.rec.Append(obs.Ev("sub", "subscriber.evict").WithTxn(s.lastTxn).
+		F("sub", int64(sub.id)).F("pending", int64(sub.pending)))
+}
+
+// removeLocked unregisters a subscriber and closes its queue (ending
+// the delivery goroutine). Idempotence: only the caller that still
+// finds the subscriber registered may close the queue.
+func (s *Service) removeLocked(sub *subscriber) {
+	rs := s.rels[sub.relation]
+	if rs == nil || rs.subs[sub.id] == nil {
+		return
+	}
+	delete(rs.subs, sub.id)
+	delete(sub.cs.subs, sub.id)
+	s.nSubs--
+	s.m.subscribers.Add(-1)
+	close(sub.queue)
+}
+
+// waitWritable holds a delivery goroutine back while the connection's
+// write queue sits above the soft limit. This is what converts a slow
+// TCP reader into subscriber-queue pressure (and hence eviction)
+// instead of unbounded jsonrpc queue growth or connection failure.
+// Returns false once the connection is dead.
+func (cs *connState) waitWritable(soft int) bool {
+	for {
+		select {
+		case <-cs.conn.Done():
+			return false
+		default:
+		}
+		if cs.conn.WriteQueueLen() < soft {
+			return true
+		}
+		select {
+		case <-cs.conn.Done():
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// deliver drains one subscriber's queue onto its connection. Runs on a
+// dedicated goroutine; exits when the queue closes (unsubscribe,
+// eviction, connection teardown, service close).
+func (sub *subscriber) deliver() {
+	soft := sub.cs.svc.softLimit
+	for u := range sub.queue {
+		if !sub.cs.waitWritable(soft) {
+			// Connection failed: keep draining so the publisher's
+			// sends stay non-blocking until teardown closes the queue.
+			continue
+		}
+		if err := sub.cs.conn.Notify("sub_update", []any{updateMsg{
+			Sub: sub.id, Txn: u.txn, Changes: u.changes,
+		}}); err != nil {
+			continue
+		}
+		sub.sent.Add(1)
+	}
+	if sub.evicted {
+		// Best-effort: the conn is usually still healthy (the queue
+		// that overflowed was ours, not jsonrpc's).
+		sub.cs.conn.Notify("sub_evicted", []any{evictMsg{
+			Sub: sub.id, Reason: sub.reason, Pending: sub.pending,
+		}})
+	}
+}
+
+// Serve accepts subscriber connections until the listener closes.
+func (s *Service) Serve(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.ServeConn(nc)
+	}
+}
+
+// ServeConn attaches one client stream to the service and returns its
+// JSON-RPC connection (tests drive in-memory pipes through this).
+func (s *Service) ServeConn(rwc io.ReadWriteCloser) *jsonrpc.Conn {
+	conn := jsonrpc.NewConnPending(rwc)
+	limit := s.cfg.WriteLimit
+	if limit == 0 {
+		limit = defaultWriteLimit
+	}
+	if limit > 0 {
+		conn.SetWriteLimit(limit, jsonrpc.FailConn)
+	}
+	cs := &connState{svc: s, conn: conn, subs: make(map[uint64]*subscriber)}
+	if nc, ok := rwc.(net.Conn); ok {
+		cs.remote = nc.RemoteAddr().String()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		rwc.Close()
+		conn.Start(nil)
+		conn.Close()
+		return conn
+	}
+	s.conns[cs] = true
+	s.mu.Unlock()
+	conn.Start(cs)
+	go func() {
+		<-conn.Done()
+		s.dropConn(cs)
+	}()
+	return conn
+}
+
+// dropConn tears down a departed connection's subscriptions.
+func (s *Service) dropConn(cs *connState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.conns[cs] {
+		return
+	}
+	delete(s.conns, cs)
+	s.overflowBase += cs.conn.WriteOverflows()
+	for _, sub := range cs.subs {
+		s.removeLocked(sub)
+	}
+}
+
+// Close shuts the service down: every subscriber queue closes, every
+// connection flushes and closes. The Serve loop (if any) returns once
+// its listener is closed by the caller.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var conns []*connState
+	for cs := range s.conns {
+		conns = append(conns, cs)
+		for _, sub := range cs.subs {
+			s.removeLocked(sub)
+		}
+	}
+	s.mu.Unlock()
+	for _, cs := range conns {
+		cs.conn.Close()
+	}
+}
+
+// Subscribers reports the number of active subscriptions.
+func (s *Service) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nSubs
+}
+
+// LastTxn reports the last published transaction ID.
+func (s *Service) LastTxn() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTxn
+}
+
+// Handle implements jsonrpc.Handler for one client connection.
+func (cs *connState) Handle(c *jsonrpc.Conn, method string, params json.RawMessage) (any, *jsonrpc.RPCError) {
+	switch method {
+	case "echo":
+		var v any
+		if len(params) > 0 {
+			json.Unmarshal(params, &v)
+		}
+		return v, nil
+	case "subscribe":
+		return cs.handleSubscribe(params)
+	case "unsubscribe":
+		return cs.handleUnsubscribe(params)
+	case "relations":
+		return cs.svc.handleRelations(), nil
+	default:
+		return nil, &jsonrpc.RPCError{Code: "unknown method", Details: method}
+	}
+}
+
+// subscribeOpts is the optional second "subscribe" parameter.
+type subscribeOpts struct {
+	// Filter maps column index (JSON object keys are strings) to the
+	// scalar the column must equal.
+	Filter map[string]any `json:"filter"`
+}
+
+func (cs *connState) handleSubscribe(params json.RawMessage) (any, *jsonrpc.RPCError) {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(params, &raw); err != nil || len(raw) < 1 || len(raw) > 2 {
+		return nil, &jsonrpc.RPCError{Code: "bad params",
+			Details: "want [relation] or [relation, opts]"}
+	}
+	var rel string
+	if err := json.Unmarshal(raw[0], &rel); err != nil {
+		return nil, &jsonrpc.RPCError{Code: "bad params", Details: "relation must be a string"}
+	}
+	var opts subscribeOpts
+	if len(raw) == 2 {
+		if err := json.Unmarshal(raw[1], &opts); err != nil {
+			return nil, &jsonrpc.RPCError{Code: "bad params", Details: err.Error()}
+		}
+	}
+	filter, err := parseFilter(opts.Filter)
+	if err != nil {
+		return nil, &jsonrpc.RPCError{Code: "bad filter", Details: err.Error()}
+	}
+
+	s := cs.svc
+	s.mu.Lock()
+	if s.closed || !s.conns[cs] {
+		s.mu.Unlock()
+		return nil, &jsonrpc.RPCError{Code: "shutting down"}
+	}
+	if s.catalog != nil && !s.catalog[rel] {
+		s.mu.Unlock()
+		return nil, &jsonrpc.RPCError{Code: "unknown relation", Details: rel}
+	}
+	rs := s.rels[rel]
+	if rs == nil {
+		rs = &relState{z: zset.New(), subs: make(map[uint64]*subscriber)}
+		s.rels[rel] = rs
+	}
+	s.nextSub++
+	sub := &subscriber{
+		id:       s.nextSub,
+		relation: rel,
+		filter:   filter,
+		cs:       cs,
+		queue:    make(chan queuedUpdate, s.cfg.QueueLen),
+		since:    time.Now(),
+	}
+	rs.subs[sub.id] = sub
+	cs.subs[sub.id] = sub
+	s.nSubs++
+	rows := renderDelta(rs.z, filter)
+	txn := s.lastTxn
+	s.m.subscribers.Add(1)
+	s.m.subsTotal.Inc()
+	s.m.snapshotRows.Add(uint64(len(rows)))
+	s.mu.Unlock()
+
+	go sub.deliver()
+	return subscribeResult{Sub: sub.id, Relation: rel, Txn: txn, Rows: rows}, nil
+}
+
+func (cs *connState) handleUnsubscribe(params json.RawMessage) (any, *jsonrpc.RPCError) {
+	var ids []uint64
+	if err := json.Unmarshal(params, &ids); err != nil || len(ids) != 1 {
+		return nil, &jsonrpc.RPCError{Code: "bad params", Details: "want [sub-id]"}
+	}
+	s := cs.svc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub := cs.subs[ids[0]]
+	if sub == nil {
+		return nil, &jsonrpc.RPCError{Code: "unknown subscription",
+			Details: fmt.Sprintf("%d", ids[0])}
+	}
+	s.removeLocked(sub)
+	s.m.unsubsTotal.Inc()
+	return map[string]any{}, nil
+}
+
+func (s *Service) handleRelations() any {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.catalog))
+	if s.catalog != nil {
+		for n := range s.catalog {
+			names = append(names, n)
+		}
+	} else {
+		for n := range s.rels {
+			names = append(names, n)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(names)
+	return map[string]any{"relations": names}
+}
+
+// handleDebug serves /debug/subscribers: the live fan-out tree.
+func (s *Service) handleDebug(w http.ResponseWriter, r *http.Request) {
+	type subInfo struct {
+		Sub      uint64 `json:"sub"`
+		Relation string `json:"relation"`
+		Remote   string `json:"remote,omitempty"`
+		Filtered bool   `json:"filtered,omitempty"`
+		Queue    int    `json:"queue"`
+		QueueCap int    `json:"queue_cap"`
+		Sent     uint64 `json:"sent"`
+		AgeSecs  int64  `json:"age_secs"`
+	}
+	type relInfo struct {
+		Rows        int `json:"rows"`
+		Subscribers int `json:"subscribers"`
+	}
+	s.mu.Lock()
+	out := struct {
+		Txn         uint64             `json:"txn"`
+		Connections int                `json:"connections"`
+		Subscribers []subInfo          `json:"subscribers"`
+		Relations   map[string]relInfo `json:"relations"`
+	}{
+		Txn:         s.lastTxn,
+		Connections: len(s.conns),
+		Relations:   make(map[string]relInfo, len(s.rels)),
+	}
+	now := time.Now()
+	for name, rs := range s.rels {
+		out.Relations[name] = relInfo{Rows: rs.z.Len(), Subscribers: len(rs.subs)}
+		for _, sub := range rs.subs {
+			out.Subscribers = append(out.Subscribers, subInfo{
+				Sub: sub.id, Relation: sub.relation, Remote: sub.cs.remote,
+				Filtered: sub.filter != nil,
+				Queue:    len(sub.queue), QueueCap: cap(sub.queue),
+				Sent:    sub.sent.Load(),
+				AgeSecs: int64(now.Sub(sub.since).Seconds()),
+			})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(out.Subscribers, func(i, j int) bool {
+		return out.Subscribers[i].Sub < out.Subscribers[j].Sub
+	})
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// fieldFilter requires one record column to equal a scalar.
+type fieldFilter struct {
+	idx  int
+	want any // bool, float64, or string (JSON scalar)
+}
+
+// parseFilter validates the wire filter map into match predicates.
+func parseFilter(m map[string]any) ([]fieldFilter, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	fs := make([]fieldFilter, 0, len(m))
+	for k, v := range m {
+		var idx int
+		if _, err := fmt.Sscanf(k, "%d", &idx); err != nil || idx < 0 {
+			return nil, fmt.Errorf("filter key %q: want a non-negative column index", k)
+		}
+		switch v.(type) {
+		case bool, float64, string:
+		default:
+			return nil, fmt.Errorf("filter %q: want a scalar (bool, number, string)", k)
+		}
+		fs = append(fs, fieldFilter{idx: idx, want: v})
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].idx < fs[j].idx })
+	return fs, nil
+}
+
+// match reports whether a record passes every filter predicate.
+func match(rec value.Record, filter []fieldFilter) bool {
+	for _, f := range filter {
+		if f.idx >= len(rec) || !matchValue(rec[f.idx], f.want) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchValue compares one engine value against a JSON scalar.
+func matchValue(v value.Value, want any) bool {
+	switch w := want.(type) {
+	case bool:
+		return v.Kind() == value.KindBool && v.Bool() == w
+	case float64:
+		switch v.Kind() {
+		case value.KindInt:
+			return float64(v.Int()) == w
+		case value.KindBit:
+			return float64(v.Bit()) == w
+		}
+		return false
+	case string:
+		return v.Kind() == value.KindString && v.Str() == w
+	}
+	return false
+}
+
+// renderDelta renders a Z-set as wire changes in the deterministic
+// Entries() order, keeping only records that pass the filter.
+func renderDelta(z *zset.ZSet, filter []fieldFilter) []Change {
+	entries := z.Entries()
+	out := make([]Change, 0, len(entries))
+	for _, e := range entries {
+		if filter != nil && !match(e.Rec, filter) {
+			continue
+		}
+		out = append(out, Change{Row: renderRecord(e.Rec), W: e.Weight})
+	}
+	return out
+}
+
+// renderRecord renders a record as a JSON array value.
+func renderRecord(r value.Record) []any {
+	out := make([]any, len(r))
+	for i, v := range r {
+		out[i] = renderValue(v)
+	}
+	return out
+}
+
+func renderValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindBool:
+		return v.Bool()
+	case value.KindInt:
+		return v.Int()
+	case value.KindBit:
+		return v.Bit()
+	case value.KindString:
+		return v.Str()
+	case value.KindTuple:
+		fields := v.Tuple()
+		out := make([]any, len(fields))
+		for i, f := range fields {
+			out[i] = renderValue(f)
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package subscribe
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dl/engine"
+	"repro/internal/dl/value"
+	"repro/internal/dl/zset"
+	"repro/internal/obs"
+)
+
+// d builds a single-relation delta.
+func d(rel string, entries ...zset.Entry) engine.Delta {
+	return engine.Delta{rel: zset.FromEntries(entries...)}
+}
+
+func row(i int64) value.Record { return value.Record{value.Int(i)} }
+
+// pair wires a client to a service over an in-memory pipe.
+func pair(t *testing.T, svc *Service) *Client {
+	t.Helper()
+	a, b := net.Pipe()
+	svc.ServeConn(b)
+	cl := NewClient(a)
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// recv waits for one update with a deadline.
+func recv(t *testing.T, sub *Subscription) Update {
+	t.Helper()
+	select {
+	case u, ok := <-sub.Updates:
+		if !ok {
+			t.Fatalf("Updates closed while waiting for an update")
+		}
+		return u
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no update within deadline")
+	}
+	panic("unreachable")
+}
+
+// applyChanges folds weighted rows into a row-key → weight map.
+func applyChanges(state map[string]int64, changes []Change) {
+	for _, ch := range changes {
+		key, _ := json.Marshal(ch.Row)
+		state[string(key)] += ch.W
+		if state[string(key)] == 0 {
+			delete(state, string(key))
+		}
+	}
+}
+
+func TestSnapshotThenDelta(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	svc.Publish(1, d("R",
+		zset.Entry{Rec: row(1), Weight: 1},
+		zset.Entry{Rec: row(2), Weight: 1}))
+
+	cl := pair(t, svc)
+	sub, err := cl.Subscribe("R", nil)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if sub.Txn != 1 || len(sub.Rows) != 2 {
+		t.Fatalf("snapshot txn=%d rows=%d, want txn=1 rows=2", sub.Txn, len(sub.Rows))
+	}
+	state := map[string]int64{}
+	applyChanges(state, sub.Rows)
+
+	svc.Publish(2, d("R",
+		zset.Entry{Rec: row(1), Weight: -1},
+		zset.Entry{Rec: row(3), Weight: 1}))
+	u := recv(t, sub)
+	if u.Txn != 2 {
+		t.Errorf("update txn = %d, want 2", u.Txn)
+	}
+	if len(u.Changes) != 2 {
+		t.Fatalf("update carries %d changes, want 2", len(u.Changes))
+	}
+	applyChanges(state, u.Changes)
+	if len(state) != 2 || state[`[2]`] != 1 || state[`[3]`] != 1 {
+		t.Errorf("converged state = %v, want rows [2] and [3]", state)
+	}
+}
+
+func TestFilteredSubscription(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	mk := func(port, vlan int64) zset.Entry {
+		return zset.Entry{Rec: value.Record{value.Int(port), value.Int(vlan)}, Weight: 1}
+	}
+	svc.Publish(1, d("InVlan", mk(1, 10), mk(2, 10), mk(3, 20)))
+
+	cl := pair(t, svc)
+	sub, err := cl.Subscribe("InVlan", map[int]any{1: 10})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if len(sub.Rows) != 2 {
+		t.Fatalf("filtered snapshot has %d rows, want 2 (vlan 10 only)", len(sub.Rows))
+	}
+	// A delta touching only vlan 20 must not reach this subscriber;
+	// the next vlan-10 change must.
+	svc.Publish(2, d("InVlan", mk(4, 20)))
+	svc.Publish(3, d("InVlan", mk(5, 10)))
+	u := recv(t, sub)
+	if u.Txn != 3 || len(u.Changes) != 1 {
+		t.Fatalf("filtered update txn=%d changes=%d, want txn=3 with 1 change", u.Txn, len(u.Changes))
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	cl := pair(t, svc)
+	sub, err := cl.Subscribe("R", nil)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := sub.Unsubscribe(); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	select {
+	case _, ok := <-sub.Updates:
+		if ok {
+			t.Fatalf("update delivered after unsubscribe")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Updates not closed after unsubscribe")
+	}
+	if evicted, _ := sub.Evicted(); evicted {
+		t.Errorf("clean unsubscribe reported as eviction")
+	}
+	if n := svc.Subscribers(); n != 0 {
+		t.Errorf("Subscribers() = %d after unsubscribe, want 0", n)
+	}
+}
+
+func TestCatalogRejectsUnknownRelation(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	svc.SetCatalog([]string{"Flood", "Dmac"})
+	cl := pair(t, svc)
+	if _, err := cl.Subscribe("NoSuchRel", nil); err == nil {
+		t.Fatalf("subscribe to uncataloged relation succeeded")
+	}
+	rels, err := cl.Relations()
+	if err != nil {
+		t.Fatalf("Relations: %v", err)
+	}
+	if len(rels) != 2 || rels[0] != "Dmac" || rels[1] != "Flood" {
+		t.Errorf("Relations() = %v, want [Dmac Flood]", rels)
+	}
+}
+
+// throttle wraps a stream so its reads can be stalled and resumed —
+// the in-memory stand-in for a consumer that stops draining TCP.
+type throttle struct {
+	rwc  io.ReadWriteCloser
+	dead chan struct{}
+	once sync.Once
+
+	mu   sync.Mutex
+	gate chan struct{}
+}
+
+func newThrottle(rwc io.ReadWriteCloser) *throttle {
+	return &throttle{rwc: rwc, dead: make(chan struct{})}
+}
+
+func (t *throttle) stall() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gate == nil {
+		t.gate = make(chan struct{})
+	}
+}
+
+func (t *throttle) resume() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.gate != nil {
+		close(t.gate)
+		t.gate = nil
+	}
+}
+
+func (t *throttle) Read(p []byte) (int, error) {
+	t.mu.Lock()
+	gate := t.gate
+	t.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-t.dead:
+			return 0, io.ErrClosedPipe
+		}
+	}
+	return t.rwc.Read(p)
+}
+
+func (t *throttle) Write(p []byte) (int, error) { return t.rwc.Write(p) }
+
+func (t *throttle) Close() error {
+	t.once.Do(func() { close(t.dead) })
+	return t.rwc.Close()
+}
+
+// TestSlowConsumerEviction is the e2e for the eviction contract: a
+// subscriber that stops reading is evicted while a healthy subscriber
+// on another connection keeps converging; after the stall clears, the
+// evicted client sees the sub_evicted notice and resubscribes into a
+// fresh, complete snapshot.
+func TestSlowConsumerEviction(t *testing.T) {
+	svc := New(Config{QueueLen: 4, WriteLimit: 1024})
+	defer svc.Close()
+
+	healthy := pair(t, svc)
+	hsub, err := healthy.Subscribe("R", nil)
+	if err != nil {
+		t.Fatalf("healthy Subscribe: %v", err)
+	}
+
+	a, b := net.Pipe()
+	th := newThrottle(a)
+	svc.ServeConn(b)
+	slow := NewClient(th)
+	defer slow.Close()
+	ssub, err := slow.Subscribe("R", nil)
+	if err != nil {
+		t.Fatalf("slow Subscribe: %v", err)
+	}
+	th.stall()
+
+	// Publish at the healthy subscriber's consumption pace (recv acks
+	// each txn). The stalled connection's delivery parks once its write
+	// queue congests, so its 4-slot queue fills and evicts regardless.
+	const K = 100
+	state := map[string]int64{}
+	applyChanges(state, hsub.Rows)
+	lastTxn := uint64(0)
+	for i := 1; i <= K; i++ {
+		svc.Publish(uint64(i), d("R", zset.Entry{Rec: row(int64(i)), Weight: 1}))
+		u := recv(t, hsub)
+		if u.Txn <= lastTxn {
+			t.Fatalf("updates out of order: txn %d after %d", u.Txn, lastTxn)
+		}
+		lastTxn = u.Txn
+		applyChanges(state, u.Changes)
+	}
+	if len(state) != K {
+		t.Fatalf("healthy subscriber converged on %d rows, want %d", len(state), K)
+	}
+
+	// The stalled subscriber is evicted (its queue filled) without
+	// taking its connection — or the healthy stream — down.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Subscribers() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled subscriber never evicted: %d active", svc.Subscribers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stall lifted: the client drains what was in flight, then sees
+	// the eviction close its stream.
+	th.resume()
+	for range ssub.Updates {
+	}
+	if evicted, reason := ssub.Evicted(); !evicted || reason == "" {
+		t.Fatalf("Evicted() = %v %q, want eviction with reason", evicted, reason)
+	}
+	select {
+	case <-slow.Done():
+		t.Fatalf("eviction killed the connection: %v", slow.Conn().Err())
+	default:
+	}
+
+	// Resubscribe-with-fresh-snapshot: the new subscription starts
+	// from the complete current state.
+	re, err := slow.Subscribe("R", nil)
+	if err != nil {
+		t.Fatalf("resubscribe after eviction: %v", err)
+	}
+	if len(re.Rows) != K || re.Txn != K {
+		t.Fatalf("fresh snapshot rows=%d txn=%d, want rows=%d txn=%d",
+			len(re.Rows), re.Txn, K, K)
+	}
+}
+
+func TestDebugEndpointAndMetrics(t *testing.T) {
+	o := obs.NewObserver()
+	svc := New(Config{Obs: o})
+	defer svc.Close()
+	svc.Publish(7, d("R", zset.Entry{Rec: row(1), Weight: 1}))
+	cl := pair(t, svc)
+	if _, err := cl.Subscribe("R", nil); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	ts := httptest.NewServer(o.Handler())
+	defer ts.Close()
+	res, err := ts.Client().Get(ts.URL + "/debug/subscribers")
+	if err != nil {
+		t.Fatalf("GET /debug/subscribers: %v", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/debug/subscribers status = %d", res.StatusCode)
+	}
+	var out struct {
+		Txn         uint64 `json:"txn"`
+		Connections int    `json:"connections"`
+		Subscribers []struct {
+			Relation string `json:"relation"`
+		} `json:"subscribers"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Txn != 7 || out.Connections != 1 || len(out.Subscribers) != 1 {
+		t.Fatalf("debug view = %+v, want txn=7, 1 conn, 1 subscriber", out)
+	}
+	if snap := o.Reg().Snapshot(); snap["sub_subscribers"] != 1 {
+		t.Errorf("sub_subscribers = %v, want 1", snap["sub_subscribers"])
+	}
+}
